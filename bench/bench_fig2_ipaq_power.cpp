@@ -1,0 +1,59 @@
+/// \file bench_fig2_ipaq_power.cpp
+/// Reproduces **Figure 2** — "Average IPAQ power consumption".
+///
+/// Paper setup: three concurrent IPAQ 3970 clients receiving high-quality
+/// MP3 audio, first through standard WLAN and Bluetooth interfaces with no
+/// additional scheduling, then with Hotspot scheduling (bursts of 10s of
+/// KB, Bluetooth parked / WLAN off between bursts).  Paper result: QoS is
+/// maintained while saving **97% of WNIC power**.
+///
+/// We additionally print the standard 802.11 PSM point, which the paper's
+/// §1 describes as the MAC-level state of the art the system-level
+/// approach improves on.
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "core/scenarios.hpp"
+
+int main() {
+    using namespace wlanps;
+    namespace sc = core::scenarios;
+    namespace bu = benchutil;
+
+    sc::StreamConfig config;
+    config.clients = 3;
+    config.duration = Time::from_seconds(300);
+
+    bu::heading("FIG2", "Average IPAQ power, 3 clients x 128 kb/s MP3, 300 s");
+
+    const sc::ScenarioResult cam = sc::run_wlan_cam(config);
+    const sc::ScenarioResult psm = sc::run_wlan_psm(config);
+    const sc::ScenarioResult bt = sc::run_bt_active(config);
+    sc::HotspotOptions hs;
+    hs.scheduler = "edf";
+    const sc::ScenarioResult hotspot = sc::run_hotspot(config, hs);
+
+    std::printf("%-26s %12s %14s %8s %12s\n", "configuration", "WNIC power", "device power",
+                "QoS", "WNIC saving");
+    const power::Power base = cam.mean_wnic();
+    for (const sc::ScenarioResult* r : {&cam, &psm, &bt, &hotspot}) {
+        std::printf("%-26s %12s %14s %7.2f%% %11.1f%%\n", r->label.c_str(),
+                    r->mean_wnic().str().c_str(), r->mean_device().str().c_str(),
+                    100.0 * r->min_qos(), bu::saving_pct(base, r->mean_wnic()));
+    }
+
+    std::printf("\nPer-client detail (hotspot):\n");
+    std::printf("%-8s %12s %10s %10s %12s\n", "client", "WNIC power", "QoS", "underruns",
+                "received");
+    for (std::size_t i = 0; i < hotspot.clients.size(); ++i) {
+        const auto& c = hotspot.clients[i];
+        std::printf("C%-7zu %12s %9.2f%% %10llu %12s\n", i + 1,
+                    c.wnic_average.str().c_str(), 100.0 * c.qos,
+                    static_cast<unsigned long long>(c.underruns), c.received.str().c_str());
+    }
+
+    bu::note("paper: Hotspot scheduling saves ~97% WNIC power vs standard WLAN, QoS maintained");
+    bu::note("expected shape: wlan-cam >> bt-active > hotspot; hotspot saving ~95-98%, QoS ~100%");
+    return 0;
+}

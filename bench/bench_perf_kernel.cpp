@@ -1,0 +1,85 @@
+/// \file bench_perf_kernel.cpp
+/// Micro-benchmarks of the simulation substrate (google-benchmark).
+///
+/// Not a paper artifact — engineering due diligence: the event kernel and
+/// the hot paths of the scenario runs must be fast enough that 300 s
+/// simulations stay interactive.
+
+#include <benchmark/benchmark.h>
+
+#include "channel/gilbert_elliott.hpp"
+#include "core/scenarios.hpp"
+#include "core/scheduler.hpp"
+#include "sim/random.hpp"
+#include "sim/simulator.hpp"
+
+using namespace wlanps;
+
+namespace {
+
+void BM_EventScheduleDispatch(benchmark::State& state) {
+    sim::Simulator sim;
+    std::uint64_t counter = 0;
+    for (auto _ : state) {
+        for (int i = 0; i < 1000; ++i) {
+            sim.schedule_in(Time::from_us(i), [&counter] { ++counter; });
+        }
+        sim.run();
+    }
+    state.SetItemsProcessed(state.iterations() * 1000);
+    benchmark::DoNotOptimize(counter);
+}
+BENCHMARK(BM_EventScheduleDispatch);
+
+void BM_RandomExponential(benchmark::State& state) {
+    sim::Random rng(1);
+    double acc = 0.0;
+    for (auto _ : state) acc += rng.exponential(1.0);
+    benchmark::DoNotOptimize(acc);
+}
+BENCHMARK(BM_RandomExponential);
+
+void BM_GilbertElliottTransmit(benchmark::State& state) {
+    channel::GilbertElliottConfig cfg;
+    channel::GilbertElliott ch(cfg, sim::Random(2));
+    Time t = Time::zero();
+    bool ok = false;
+    for (auto _ : state) {
+        ok ^= ch.transmit_success(t, DataSize::from_bytes(1500), Rate::from_mbps(11));
+        t += Time::from_ms(2);  // > frame airtime: keeps queries time-ordered
+    }
+    benchmark::DoNotOptimize(ok);
+}
+BENCHMARK(BM_GilbertElliottTransmit);
+
+void BM_SchedulerPick(benchmark::State& state) {
+    core::WfqScheduler scheduler;
+    std::vector<core::BurstRequest> pending;
+    for (int i = 0; i < 16; ++i) {
+        core::BurstRequest r;
+        r.client = static_cast<core::ClientId>(i + 1);
+        r.size = DataSize::from_kilobytes(48);
+        r.deadline = Time::from_seconds(i);
+        r.weight = 1.0 + i;
+        pending.push_back(r);
+    }
+    std::size_t acc = 0;
+    for (auto _ : state) acc += scheduler.pick(pending, Time::zero());
+    benchmark::DoNotOptimize(acc);
+}
+BENCHMARK(BM_SchedulerPick);
+
+void BM_HotspotScenarioSecond(benchmark::State& state) {
+    // Cost of one simulated second of the full 3-client Hotspot world.
+    for (auto _ : state) {
+        core::scenarios::StreamConfig config;
+        config.clients = 3;
+        config.duration = Time::from_seconds(10);
+        auto result = core::scenarios::run_hotspot(config, core::scenarios::HotspotOptions{});
+        benchmark::DoNotOptimize(result);
+    }
+    state.SetItemsProcessed(state.iterations() * 10);  // simulated seconds
+}
+BENCHMARK(BM_HotspotScenarioSecond);
+
+}  // namespace

@@ -1,0 +1,23 @@
+#pragma once
+/// \file bench_util.hpp
+/// Shared table-printing helpers for the experiment-reproduction benches.
+
+#include <cstdio>
+#include <string>
+
+#include "power/units.hpp"
+
+namespace wlanps::benchutil {
+
+inline void heading(const std::string& id, const std::string& title) {
+    std::printf("\n=== %s — %s ===\n", id.c_str(), title.c_str());
+}
+
+inline void note(const std::string& text) { std::printf("  %s\n", text.c_str()); }
+
+/// Percentage saving of \p value relative to \p baseline.
+inline double saving_pct(power::Power baseline, power::Power value) {
+    return 100.0 * (1.0 - value / baseline);
+}
+
+}  // namespace wlanps::benchutil

@@ -1,0 +1,113 @@
+/// \file hotspot_cli.cpp
+/// Command-line front end for the Hotspot simulator — run any
+/// configuration without writing code.
+///
+/// Usage:
+///   hotspot_cli [--clients N] [--duration SECONDS] [--scheduler NAME]
+///               [--burst KB] [--config NAME] [--seed N] [--no-bt] [--no-wlan]
+///
+///   --config: hotspot (default) | wlan-cam | wlan-psm | bt | ecmac | mixed
+///   --scheduler: edf | wfq | round-robin | fixed-priority | fifo
+///
+/// Examples:
+///   hotspot_cli                               # the Figure 2 hotspot row
+///   hotspot_cli --config wlan-cam             # the baseline row
+///   hotspot_cli --clients 5 --scheduler wfq --burst 96
+///   hotspot_cli --config mixed --duration 120
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "core/scenarios.hpp"
+
+using namespace wlanps;
+namespace sc = core::scenarios;
+
+namespace {
+
+[[noreturn]] void usage(const char* argv0) {
+    std::fprintf(stderr,
+                 "usage: %s [--clients N] [--duration S] [--scheduler NAME] [--burst KB]\n"
+                 "          [--config hotspot|wlan-cam|wlan-psm|bt|ecmac|mixed]\n"
+                 "          [--seed N] [--no-bt] [--no-wlan]\n",
+                 argv0);
+    std::exit(2);
+}
+
+void print(const sc::ScenarioResult& result) {
+    std::printf("%-22s %12s %14s %8s %10s %12s\n", "configuration", "WNIC power",
+                "device power", "QoS", "underruns", "received");
+    for (std::size_t i = 0; i < result.clients.size(); ++i) {
+        const auto& c = result.clients[i];
+        std::printf("%s client %-8zu %12s %14s %7.2f%% %10llu %12s\n",
+                    result.label.c_str(), i + 1, c.wnic_average.str().c_str(),
+                    c.device_average.str().c_str(), 100.0 * c.qos,
+                    static_cast<unsigned long long>(c.underruns), c.received.str().c_str());
+    }
+    std::printf("mean WNIC %s, mean device %s, min QoS %.2f%%\n",
+                result.mean_wnic().str().c_str(), result.mean_device().str().c_str(),
+                100.0 * result.min_qos());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    sc::StreamConfig config;
+    sc::HotspotOptions options;
+    std::string kind = "hotspot";
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> const char* {
+            if (i + 1 >= argc) usage(argv[0]);
+            return argv[++i];
+        };
+        if (arg == "--clients") {
+            config.clients = std::atoi(next());
+            if (config.clients < 1) usage(argv[0]);
+        } else if (arg == "--duration") {
+            config.duration = Time::from_seconds(std::atof(next()));
+        } else if (arg == "--scheduler") {
+            options.scheduler = next();
+        } else if (arg == "--burst") {
+            options.target_burst = DataSize::from_kilobytes(std::atof(next()));
+        } else if (arg == "--config") {
+            kind = next();
+        } else if (arg == "--seed") {
+            config.seed = static_cast<std::uint64_t>(std::atoll(next()));
+        } else if (arg == "--no-bt") {
+            options.bt_available = false;
+        } else if (arg == "--no-wlan") {
+            options.wlan_available = false;
+        } else {
+            usage(argv[0]);
+        }
+    }
+
+    std::printf("%d client(s), %.0f s, seed %llu\n\n", config.clients,
+                config.duration.to_seconds(),
+                static_cast<unsigned long long>(config.seed));
+    try {
+        if (kind == "hotspot") {
+            print(sc::run_hotspot(config, options));
+        } else if (kind == "wlan-cam") {
+            print(sc::run_wlan_cam(config));
+        } else if (kind == "wlan-psm") {
+            print(sc::run_wlan_psm(config));
+        } else if (kind == "bt") {
+            print(sc::run_bt_active(config));
+        } else if (kind == "ecmac") {
+            print(sc::run_ecmac(config));
+        } else if (kind == "mixed") {
+            print(sc::run_hotspot_mixed(config, options, sc::MixedWorkload{}));
+        } else {
+            usage(argv[0]);
+        }
+    } catch (const ContractViolation& e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 1;
+    }
+    return 0;
+}

@@ -1,0 +1,80 @@
+/// \file psm_comparison.cpp
+/// MAC-level power saving on a bursty web workload: always-awake (CAM)
+/// versus 802.11 PSM at several listen intervals, built directly on the
+/// mac:: substrate API (AccessPoint / WlanStation / Bss) rather than the
+/// scenario helpers — shows how to assemble a BSS by hand.
+///
+/// Build & run:  ./build/examples/psm_comparison
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "mac/access_point.hpp"
+#include "mac/station.hpp"
+#include "traffic/source.hpp"
+
+using namespace wlanps;
+
+namespace {
+
+struct Outcome {
+    power::Power nic_power;
+    double mean_delay_ms;
+    std::uint64_t frames;
+};
+
+Outcome run(mac::StationMode mode, int listen_interval) {
+    sim::Simulator sim;
+    sim::Random root(1234);
+
+    mac::Bss bss(sim);
+    mac::AccessPointConfig ap_cfg;
+    ap_cfg.mode = mode == mac::StationMode::cam ? mac::ApMode::cam : mac::ApMode::psm;
+    mac::AccessPoint ap(sim, bss, ap_cfg, mac::DcfConfig{}, root.fork(1));
+
+    mac::StationConfig st_cfg;
+    st_cfg.mode = mode;
+    st_cfg.listen_interval = listen_interval;
+    mac::WlanStation station(sim, bss, /*id=*/1, st_cfg, mac::DcfConfig{},
+                             phy::WlanNicConfig{}, root.fork(2));
+    bss.set_link(1, channel::GilbertElliottConfig{}, root.fork(3));
+
+    // Bursty web browsing: Pareto ON/OFF download pattern.
+    traffic::WebSource source(sim, [&ap](DataSize size) { ap.send(1, size); },
+                              traffic::WebSource::Config{}, root.fork(4));
+
+    ap.start();
+    station.start(ap.config().beacon_interval, ap.config().beacon_interval);
+    source.start();
+    sim.run_until(Time::from_seconds(120));
+
+    Outcome out;
+    out.nic_power = station.average_power();
+    out.mean_delay_ms =
+        station.delivery_latency().empty() ? 0.0 : station.delivery_latency().mean() * 1e3;
+    out.frames = station.frames_received();
+    return out;
+}
+
+}  // namespace
+
+int main() {
+    std::printf("Web browsing over 802.11: CAM vs PSM (120 s, one station)\n\n");
+    std::printf("%-24s %12s %16s %10s\n", "mode", "NIC power", "mean MAC delay", "frames");
+
+    const Outcome cam = run(mac::StationMode::cam, 1);
+    std::printf("%-24s %12s %13.1f ms %10llu\n", "CAM (always awake)", cam.nic_power.str().c_str(),
+                cam.mean_delay_ms, static_cast<unsigned long long>(cam.frames));
+
+    for (const int li : {1, 2, 5, 10}) {
+        const Outcome psm = run(mac::StationMode::psm, li);
+        std::printf("PSM, listen interval %-3d %12s %13.1f ms %10llu\n", li,
+                    psm.nic_power.str().c_str(), psm.mean_delay_ms,
+                    static_cast<unsigned long long>(psm.frames));
+    }
+
+    std::printf("\nThe latency/energy knob the paper describes: longer listen intervals\n"
+                "doze deeper but buffer frames across more beacons.\n");
+    return 0;
+}

@@ -1,0 +1,131 @@
+#!/usr/bin/env python3
+"""Parse wlanps bench output into CSV files (and plots, if matplotlib is
+available).
+
+Usage:
+    for b in build/bench/*; do $b; done | tee bench_output.txt
+    python3 scripts/plot_results.py bench_output.txt --outdir results/
+
+Every `=== ID — title ===` section becomes results/<id>.txt; sections whose
+body contains an aligned table additionally get results/<id>.csv.  With
+matplotlib installed, the Figure 2 bar chart and the AB3 loss sweep are
+rendered as PNGs.
+"""
+
+import argparse
+import csv
+import os
+import re
+import sys
+
+
+def split_sections(text):
+    """Yield (section_id, title, body) for each '=== ID — title ===' block."""
+    pattern = re.compile(r"^=== (\S+) — (.*?) ===$", re.MULTILINE)
+    matches = list(pattern.finditer(text))
+    for i, m in enumerate(matches):
+        end = matches[i + 1].start() if i + 1 < len(matches) else len(text)
+        yield m.group(1), m.group(2), text[m.start():end].strip()
+
+
+def table_rows(body):
+    """Best-effort extraction of whitespace-aligned table rows."""
+    rows = []
+    for line in body.splitlines():
+        if line.startswith(("===", "  ")) or not line.strip():
+            continue
+        cells = re.split(r"\s{2,}", line.strip())
+        if len(cells) >= 3:
+            rows.append(cells)
+    return rows
+
+
+def write_outputs(sections, outdir):
+    os.makedirs(outdir, exist_ok=True)
+    for section_id, title, body in sections:
+        slug = section_id.lower()
+        with open(os.path.join(outdir, f"{slug}.txt"), "w") as f:
+            f.write(body + "\n")
+        rows = table_rows(body)
+        if rows:
+            with open(os.path.join(outdir, f"{slug}.csv"), "w", newline="") as f:
+                csv.writer(f).writerows(rows)
+        print(f"{section_id}: {title} -> {slug}.txt"
+              + (f", {slug}.csv ({len(rows)} rows)" if rows else ""))
+
+
+def try_plots(sections, outdir):
+    try:
+        import matplotlib
+        matplotlib.use("Agg")
+        import matplotlib.pyplot as plt
+    except ImportError:
+        print("matplotlib not available; skipping plots", file=sys.stderr)
+        return
+
+    by_id = {sid: body for sid, _, body in sections}
+
+    # Figure 2: configuration vs WNIC power bar chart.
+    if "FIG2" in by_id:
+        labels, watts = [], []
+        for cells in table_rows(by_id["FIG2"]):
+            m = re.match(r"([\d.]+)(m?)W", cells[1]) if len(cells) > 1 else None
+            if m and not cells[0].startswith(("configuration", "client", "C")):
+                labels.append(cells[0])
+                watts.append(float(m.group(1)) * (1e-3 if m.group(2) else 1.0))
+        if labels:
+            fig, ax = plt.subplots(figsize=(6, 3.2))
+            ax.bar(labels, watts)
+            ax.set_ylabel("mean WNIC power [W]")
+            ax.set_title("Figure 2 — average WNIC power, 3 MP3 clients")
+            fig.autofmt_xdate(rotation=20)
+            fig.tight_layout()
+            fig.savefig(os.path.join(outdir, "fig2.png"), dpi=150)
+            print("wrote fig2.png")
+
+    # AB3: loss sweep line chart.
+    if "AB3" in by_id:
+        loss, reno, split, snoop = [], [], [], []
+        for cells in table_rows(by_id["AB3"]):
+            try:
+                l = float(cells[0])
+            except ValueError:
+                continue
+            nums = re.findall(r"([\d.]+) Mb/s", " ".join(cells))
+            if len(nums) >= 3:
+                loss.append(l)
+                reno.append(float(nums[0]))
+                split.append(float(nums[1]))
+                snoop.append(float(nums[2]))
+        if loss:
+            fig, ax = plt.subplots(figsize=(6, 3.2))
+            ax.plot(loss, reno, marker="o", label="end-to-end TCP")
+            ax.plot(loss, split, marker="s", label="split connection")
+            ax.plot(loss, snoop, marker="^", label="snoop")
+            ax.set_xlabel("wireless loss probability")
+            ax.set_ylabel("throughput [Mb/s]")
+            ax.set_title("AB3 — TCP over a lossy wireless hop")
+            ax.legend()
+            fig.tight_layout()
+            fig.savefig(os.path.join(outdir, "ab3.png"), dpi=150)
+            print("wrote ab3.png")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("input", help="bench output transcript")
+    parser.add_argument("--outdir", default="results")
+    args = parser.parse_args()
+    with open(args.input) as f:
+        text = f.read()
+    sections = list(split_sections(text))
+    if not sections:
+        print("no bench sections found", file=sys.stderr)
+        return 1
+    write_outputs(sections, args.outdir)
+    try_plots(sections, args.outdir)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,167 @@
+#include "bt/piconet.hpp"
+
+#include <utility>
+
+#include "sim/assert.hpp"
+
+namespace wlanps::bt {
+
+Piconet::Piconet(sim::Simulator& sim, PiconetConfig config, sim::Random rng)
+    : sim_(sim), config_(config), rng_(rng) {
+    WLANPS_REQUIRE(config_.slot > Time::zero());
+    WLANPS_REQUIRE(config_.dh5_slots >= 1);
+    WLANPS_REQUIRE(config_.max_packet_retries >= 1);
+}
+
+SlaveId Piconet::join(BtSlave& slave_device) {
+    WLANPS_REQUIRE_MSG(active_count_ < config_.max_active, "piconet active set full");
+    const SlaveId id = next_id_++;
+    slaves_[id] = Slave{&slave_device, SlaveMode::active, nullptr, sim_.now()};
+    ++active_count_;
+    return id;
+}
+
+Piconet::Slave& Piconet::slave(SlaveId id) {
+    auto it = slaves_.find(id);
+    WLANPS_REQUIRE_MSG(it != slaves_.end(), "unknown slave");
+    return it->second;
+}
+
+const Piconet::Slave& Piconet::slave(SlaveId id) const {
+    auto it = slaves_.find(id);
+    WLANPS_REQUIRE_MSG(it != slaves_.end(), "unknown slave");
+    return it->second;
+}
+
+void Piconet::set_link(SlaveId id, channel::GilbertElliottConfig config, sim::Random rng) {
+    slave(id).link = std::make_unique<channel::WirelessLink>(config, rng);
+}
+
+void Piconet::set_link_script(SlaveId id, channel::ScriptedQuality script) {
+    Slave& s = slave(id);
+    WLANPS_REQUIRE_MSG(s.link != nullptr, "no link for slave");
+    s.link->set_scripted_quality(std::move(script));
+}
+
+channel::WirelessLink* Piconet::link(SlaveId id) { return slave(id).link.get(); }
+
+SlaveMode Piconet::mode(SlaveId id) const { return slave(id).mode; }
+
+void Piconet::park(SlaveId id, std::function<void()> done) {
+    Slave& s = slave(id);
+    WLANPS_REQUIRE_MSG(!(busy_ && current_.id == id), "cannot park mid-transfer");
+    if (s.mode == SlaveMode::active) --active_count_;
+    s.mode = SlaveMode::park;
+    s.device->nic().request_state(phy::BtNic::State::park, std::move(done));
+}
+
+void Piconet::sniff(SlaveId id, std::function<void()> done) {
+    Slave& s = slave(id);
+    WLANPS_REQUIRE_MSG(!(busy_ && current_.id == id), "cannot sniff mid-transfer");
+    s.mode = SlaveMode::sniff;
+    s.next_sniff_anchor = sim_.now() + config_.sniff_interval;
+    s.device->nic().request_state(phy::BtNic::State::sniff, std::move(done));
+}
+
+void Piconet::activate(SlaveId id, std::function<void()> done) {
+    Slave& s = slave(id);
+    if (s.mode == SlaveMode::park) {
+        WLANPS_REQUIRE_MSG(active_count_ < config_.max_active, "piconet active set full");
+    }
+    if (s.mode != SlaveMode::active) ++active_count_;
+    const SlaveMode was = s.mode;
+    s.mode = SlaveMode::active;
+    if (was == SlaveMode::sniff) {
+        // Must wait for the next sniff anchor before the slave listens.
+        Time anchor = s.next_sniff_anchor;
+        while (anchor < sim_.now()) anchor += config_.sniff_interval;
+        sim_.schedule_at(anchor, [&s, done = std::move(done)]() mutable {
+            s.device->nic().request_state(phy::BtNic::State::active, std::move(done));
+        });
+        return;
+    }
+    s.device->nic().request_state(phy::BtNic::State::active, std::move(done));
+}
+
+Rate Piconet::peak_goodput() const {
+    const Time exchange = config_.slot * static_cast<double>(config_.dh5_slots + 1);
+    return Rate::from_bps(static_cast<double>(config_.dh5_payload.bits()) /
+                          exchange.to_seconds());
+}
+
+void Piconet::send(SlaveId id, DataSize payload, TransferCallback done) {
+    WLANPS_REQUIRE(payload > DataSize::zero());
+    queue_.push_back(Transfer{id, payload, std::move(done), 0});
+    if (!busy_) start_next();
+}
+
+void Piconet::start_next() {
+    if (queue_.empty()) return;
+    busy_ = true;
+    current_ = std::move(queue_.front());
+    queue_.pop_front();
+    Slave& s = slave(current_.id);
+    if (s.mode != SlaveMode::active) {
+        activate(current_.id, [this] { run_transfer(); });
+    } else if (!s.device->nic().awake()) {
+        s.device->nic().wake([this] { run_transfer(); });
+    } else {
+        run_transfer();
+    }
+}
+
+void Piconet::run_transfer() {
+    current_.packet_retries = 0;
+    send_packet();
+}
+
+void Piconet::send_packet() {
+    Slave& s = slave(current_.id);
+    const DataSize chunk =
+        current_.remaining < config_.dh5_payload ? current_.remaining : config_.dh5_payload;
+    // Forward slots carry the payload; the return slot carries the ARQ ack.
+    const Time forward = config_.slot * static_cast<double>(config_.dh5_slots);
+    const Time exchange = forward + config_.slot;
+
+    bool ok = true;
+    if (s.link) {
+        ok = s.link->transmit(sim_.now(), chunk, Rate::from_bps(static_cast<double>(chunk.bits()) /
+                                                                forward.to_seconds()));
+    }
+    packets_.add(ok);
+
+    // Slave radio: receives for the forward slots, transmits the return.
+    s.device->nic().occupy(phy::BtNic::State::rx, forward);
+    sim_.schedule_in(forward, [&s, this] {
+        if (s.device->nic().awake()) s.device->nic().occupy(phy::BtNic::State::tx, config_.slot);
+    });
+
+    sim_.schedule_in(exchange, [this, chunk, ok] {
+        Slave& sl = slave(current_.id);
+        if (ok) {
+            current_.packet_retries = 0;
+            current_.remaining -= chunk;
+            sl.device->deliver(chunk);
+            if (current_.remaining.is_zero()) {
+                auto done = std::move(current_.done);
+                busy_ = false;
+                if (done) done(true);
+                if (!busy_) start_next();
+                return;
+            }
+        } else {
+            ++retransmissions_;
+            ++current_.packet_retries;
+            if (current_.packet_retries >= config_.max_packet_retries) {
+                auto done = std::move(current_.done);
+                busy_ = false;
+                if (done) done(false);
+                if (!busy_) start_next();
+                return;
+            }
+        }
+        send_packet();
+    });
+}
+
+}  // namespace wlanps::bt

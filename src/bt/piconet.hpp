@@ -1,0 +1,149 @@
+#pragma once
+/// \file piconet.hpp
+/// Bluetooth piconet: master-driven TDD ACL transfers with sniff/park.
+///
+/// The master (Hotspot side, wall-powered) serializes ACL transfers to its
+/// slaves in DH5 packets (339 bytes over 5 slots + 1 return slot =
+/// 723.2 kb/s peak).  The baseband's stop-and-wait ARQ retransmits over a
+/// per-slave Gilbert–Elliott link.  Slaves are parked between bursts —
+/// the low-power mode the paper's Hotspot scheduler uses for Bluetooth —
+/// or put in sniff with a configurable anchor interval.
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+
+#include "channel/link.hpp"
+#include "phy/bt_nic.hpp"
+#include "sim/random.hpp"
+#include "sim/simulator.hpp"
+#include "sim/stats.hpp"
+
+namespace wlanps::bt {
+
+/// Slave identifier within a piconet.
+using SlaveId = std::uint32_t;
+
+/// Link-level mode the master tracks per slave.
+enum class SlaveMode { active, sniff, park };
+
+/// Piconet configuration.
+struct PiconetConfig {
+    Time slot = phy::calibration::kBtSlot;
+    DataSize dh5_payload = phy::calibration::kBtDh5Payload;
+    int dh5_slots = phy::calibration::kBtDh5Slots;
+    /// Sniff anchor interval (when a slave is in sniff mode).
+    Time sniff_interval = Time::from_ms(100);
+    /// Give up a transfer after this many consecutive ARQ retries of one
+    /// packet (link supervision timeout stand-in).
+    int max_packet_retries = 32;
+    /// Max simultaneously active (non-parked) slaves.
+    int max_active = 7;
+};
+
+/// A slave device: wraps the BtNic and hands received payload upward.
+class BtSlave {
+public:
+    using ReceiveCallback = std::function<void(DataSize payload)>;
+
+    BtSlave(sim::Simulator& sim, phy::BtNicConfig nic_config,
+            phy::BtNic::State initial = phy::BtNic::State::active)
+        : nic_(sim, nic_config, initial) {}
+
+    void set_receive_callback(ReceiveCallback cb) { on_receive_ = std::move(cb); }
+
+    [[nodiscard]] phy::BtNic& nic() { return nic_; }
+    [[nodiscard]] const phy::BtNic& nic() const { return nic_; }
+    [[nodiscard]] power::Energy energy_consumed() const { return nic_.energy_consumed(); }
+    [[nodiscard]] power::Power average_power() const { return nic_.average_power(); }
+    [[nodiscard]] DataSize bytes_received() const { return bytes_received_; }
+
+private:
+    friend class Piconet;
+    void deliver(DataSize payload) {
+        bytes_received_ += payload;
+        if (on_receive_) on_receive_(payload);
+    }
+
+    phy::BtNic nic_;
+    ReceiveCallback on_receive_;
+    DataSize bytes_received_;
+};
+
+/// The piconet master and its TDD medium.
+class Piconet {
+public:
+    /// Transfer completion: delivered fully, or aborted (supervision).
+    using TransferCallback = std::function<void(bool delivered)>;
+
+    Piconet(sim::Simulator& sim, PiconetConfig config, sim::Random rng);
+    Piconet(const Piconet&) = delete;
+    Piconet& operator=(const Piconet&) = delete;
+
+    /// Add \p slave to the piconet in active mode.  Returns its id.
+    SlaveId join(BtSlave& slave);
+
+    /// Give the slave a lossy baseband link (perfect without one).
+    void set_link(SlaveId id, channel::GilbertElliottConfig config, sim::Random rng);
+    void set_link_script(SlaveId id, channel::ScriptedQuality script);
+    [[nodiscard]] channel::WirelessLink* link(SlaveId id);
+
+    /// Mode control.  park()/sniff() fail (contract) during a transfer to
+    /// that slave.  \p done fires when the mode is reached.
+    void park(SlaveId id, std::function<void()> done = {});
+    void sniff(SlaveId id, std::function<void()> done = {});
+    void activate(SlaveId id, std::function<void()> done = {});
+    [[nodiscard]] SlaveMode mode(SlaveId id) const;
+
+    /// Queue \p payload for \p id.  Un-parks / un-sniffs the slave if
+    /// needed (adding the corresponding latency), streams DH5 packets with
+    /// baseband ARQ, then leaves the slave *active* (callers decide when
+    /// to park again).
+    void send(SlaveId id, DataSize payload, TransferCallback done = {});
+
+    /// Effective goodput of an error-free DH5 stream.
+    [[nodiscard]] Rate peak_goodput() const;
+
+    [[nodiscard]] bool transferring() const { return busy_; }
+    [[nodiscard]] const PiconetConfig& config() const { return config_; }
+    [[nodiscard]] const sim::RatioCounter& packet_stats() const { return packets_; }
+    [[nodiscard]] std::uint64_t retransmissions() const { return retransmissions_; }
+
+private:
+    struct Transfer {
+        SlaveId id;
+        DataSize remaining;
+        TransferCallback done;
+        int packet_retries = 0;
+    };
+    struct Slave {
+        BtSlave* device;
+        SlaveMode mode = SlaveMode::active;
+        std::unique_ptr<channel::WirelessLink> link;
+        Time next_sniff_anchor = Time::zero();
+    };
+
+    void start_next();
+    void run_transfer();
+    void send_packet();
+    [[nodiscard]] Slave& slave(SlaveId id);
+    [[nodiscard]] const Slave& slave(SlaveId id) const;
+
+    sim::Simulator& sim_;
+    PiconetConfig config_;
+    sim::Random rng_;
+    std::unordered_map<SlaveId, Slave> slaves_;
+    SlaveId next_id_ = 1;
+    int active_count_ = 0;
+
+    std::deque<Transfer> queue_;
+    bool busy_ = false;
+    Transfer current_;
+
+    sim::RatioCounter packets_;
+    std::uint64_t retransmissions_ = 0;
+};
+
+}  // namespace wlanps::bt

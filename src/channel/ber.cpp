@@ -1,0 +1,74 @@
+#include "channel/ber.hpp"
+
+#include <cmath>
+
+#include "sim/assert.hpp"
+
+namespace wlanps::channel {
+
+namespace {
+
+double db_to_linear(double db) { return std::pow(10.0, db / 10.0); }
+
+}  // namespace
+
+double bit_error_rate(Modulation mod, double snr_db) {
+    const double g = db_to_linear(snr_db);  // treat SNR as Eb/N0 per modulation
+    double ber = 0.0;
+    switch (mod) {
+        case Modulation::dbpsk:
+            // DBPSK: 0.5 * exp(-Eb/N0)
+            ber = 0.5 * std::exp(-g);
+            break;
+        case Modulation::dqpsk:
+            // DQPSK ~ 2 dB penalty vs DBPSK
+            ber = 0.5 * std::exp(-g / db_to_linear(2.0));
+            break;
+        case Modulation::cck55:
+            // CCK 5.5: ~5 dB penalty vs DBPSK (same family of curves so
+            // the rate ladder is strictly ordered at every SNR).
+            ber = 0.5 * std::exp(-g / db_to_linear(5.0));
+            break;
+        case Modulation::cck11:
+            // CCK 11: ~8 dB penalty vs DBPSK.
+            ber = 0.5 * std::exp(-g / db_to_linear(8.0));
+            break;
+        case Modulation::gfsk_bt:
+            // Non-coherent GFSK (h=0.32): 0.5 * exp(-0.6 Eb/N0)
+            ber = 0.5 * std::exp(-0.6 * g);
+            break;
+    }
+    return std::min(0.5, std::max(0.0, ber));
+}
+
+double packet_error_rate(double ber, wlanps::DataSize size) {
+    WLANPS_REQUIRE(ber >= 0.0 && ber <= 1.0);
+    const auto bits = static_cast<double>(size.bits());
+    // 1 - (1-ber)^bits, computed stably in log space.
+    return -std::expm1(bits * std::log1p(-ber));
+}
+
+Modulation modulation_for_rate(wlanps::Rate rate) {
+    const double mbps = rate.mbps();
+    if (mbps <= 1.0) return Modulation::dbpsk;
+    if (mbps <= 2.0) return Modulation::dqpsk;
+    if (mbps <= 5.5) return Modulation::cck55;
+    return Modulation::cck11;
+}
+
+double required_snr_db(Modulation mod, double target_ber) {
+    WLANPS_REQUIRE(target_ber > 0.0 && target_ber < 0.5);
+    // Bisection over a generous SNR range; BER is monotone decreasing.
+    double lo = -10.0, hi = 40.0;
+    for (int i = 0; i < 60; ++i) {
+        const double mid = 0.5 * (lo + hi);
+        if (bit_error_rate(mod, mid) > target_ber) {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    return hi;
+}
+
+}  // namespace wlanps::channel

@@ -1,0 +1,35 @@
+#pragma once
+/// \file ber.hpp
+/// Bit-error-rate models for the modulations used by 802.11b and Bluetooth.
+///
+/// Standard textbook AWGN approximations — good enough to give each PHY
+/// rate a distinct SNR operating region, which is what rate selection and
+/// the ARQ/FEC trade-off study need.
+
+#include "sim/units.hpp"
+
+namespace wlanps::channel {
+
+/// Modulation schemes of interest.
+enum class Modulation {
+    dbpsk,    ///< 802.11b 1 Mb/s
+    dqpsk,    ///< 802.11b 2 Mb/s
+    cck55,    ///< 802.11b 5.5 Mb/s
+    cck11,    ///< 802.11b 11 Mb/s
+    gfsk_bt,  ///< Bluetooth 1 Mb/s GFSK
+};
+
+/// Bit error probability at \p snr_db for \p mod (AWGN approximation).
+[[nodiscard]] double bit_error_rate(Modulation mod, double snr_db);
+
+/// Probability that a packet of \p size transmitted at BER \p ber contains
+/// at least one bit error (no coding).
+[[nodiscard]] double packet_error_rate(double ber, wlanps::DataSize size);
+
+/// The 802.11b modulation for a given PHY rate.
+[[nodiscard]] Modulation modulation_for_rate(wlanps::Rate rate);
+
+/// Minimum SNR (dB) at which \p mod achieves BER <= \p target_ber.
+[[nodiscard]] double required_snr_db(Modulation mod, double target_ber);
+
+}  // namespace wlanps::channel

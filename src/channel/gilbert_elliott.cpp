@@ -1,0 +1,81 @@
+#include "channel/gilbert_elliott.hpp"
+
+#include <cmath>
+
+#include "sim/assert.hpp"
+
+namespace wlanps::channel {
+
+GilbertElliott::GilbertElliott(GilbertElliottConfig config, sim::Random rng)
+    : config_(config), rng_(rng) {
+    WLANPS_REQUIRE(config_.mean_good > Time::zero());
+    WLANPS_REQUIRE(config_.mean_bad > Time::zero());
+    WLANPS_REQUIRE(config_.ber_good >= 0.0 && config_.ber_good <= 1.0);
+    WLANPS_REQUIRE(config_.ber_bad >= 0.0 && config_.ber_bad <= 1.0);
+    // Start in steady state.
+    state_ = rng_.chance(config_.stationary_good()) ? ChannelState::good : ChannelState::bad;
+    state_until_ = rng_.exponential_time(state_ == ChannelState::good ? config_.mean_good
+                                                                      : config_.mean_bad);
+}
+
+void GilbertElliott::flip() {
+    state_ = state_ == ChannelState::good ? ChannelState::bad : ChannelState::good;
+    state_until_ += rng_.exponential_time(state_ == ChannelState::good ? config_.mean_good
+                                                                       : config_.mean_bad);
+}
+
+void GilbertElliott::advance(Time t) {
+    WLANPS_REQUIRE_MSG(t >= clock_, "channel queries must be time-ordered");
+    while (state_until_ <= t) {
+        const Time seg = state_until_ - clock_;
+        if (state_ == ChannelState::good) good_time_ += seg;
+        total_time_ += seg;
+        clock_ = state_until_;
+        flip();
+    }
+    const Time seg = t - clock_;
+    if (state_ == ChannelState::good) good_time_ += seg;
+    total_time_ += seg;
+    clock_ = t;
+}
+
+ChannelState GilbertElliott::state_at(Time t) {
+    advance(t);
+    return state_;
+}
+
+double GilbertElliott::ber_at(Time t) {
+    advance(t);
+    return ber_of(state_);
+}
+
+bool GilbertElliott::transmit_success(Time start, DataSize size, Rate rate) {
+    WLANPS_REQUIRE(rate > Rate::zero());
+    advance(start);
+    const Time end = start + rate.transmit_time(size);
+    // Walk the chain segment by segment; accumulate log-success.
+    double log_success = 0.0;
+    Time cursor = start;
+    while (cursor < end) {
+        const Time seg_end = state_until_ < end ? state_until_ : end;
+        const double bits = rate.bps() * (seg_end - cursor).to_seconds();
+        log_success += bits * std::log1p(-ber_of(state_));
+        cursor = seg_end;
+        advance(cursor);  // flips when cursor lands on state_until_
+    }
+    advance(end);
+    return rng_.uniform() < std::exp(log_success);
+}
+
+double GilbertElliott::success_probability(Time now, DataSize size, Rate /*rate*/) {
+    advance(now);
+    const double bits = static_cast<double>(size.bits());
+    return std::exp(bits * std::log1p(-ber_of(state_)));
+}
+
+double GilbertElliott::observed_good_fraction() const {
+    if (total_time_.is_zero()) return 1.0;
+    return good_time_ / total_time_;
+}
+
+}  // namespace wlanps::channel

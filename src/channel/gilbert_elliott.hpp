@@ -1,0 +1,83 @@
+#pragma once
+/// \file gilbert_elliott.hpp
+/// Continuous-time Gilbert–Elliott burst-error channel.
+///
+/// The classic two-state Markov model of a fading wireless link: a GOOD
+/// state with low BER and a BAD state with high BER, with exponentially
+/// distributed sojourn times.  The paper's link-layer section (adaptive
+/// ARQ, channel prediction) is all about exploiting exactly this burst
+/// structure.
+
+#include <cstdint>
+
+#include "sim/random.hpp"
+#include "sim/time.hpp"
+#include "sim/units.hpp"
+
+namespace wlanps::channel {
+
+/// The two channel states.
+enum class ChannelState : std::uint8_t { good, bad };
+
+/// Parameters for a Gilbert–Elliott chain.
+struct GilbertElliottConfig {
+    Time mean_good = Time::from_ms(500);  ///< mean sojourn in GOOD
+    Time mean_bad = Time::from_ms(50);    ///< mean sojourn in BAD
+    double ber_good = 1e-6;               ///< bit error rate while GOOD
+    double ber_bad = 1e-3;                ///< bit error rate while BAD
+
+    /// Long-run fraction of time spent in GOOD.
+    [[nodiscard]] double stationary_good() const {
+        return mean_good.to_seconds() / (mean_good + mean_bad).to_seconds();
+    }
+    /// Long-run average BER.
+    [[nodiscard]] double average_ber() const {
+        const double pg = stationary_good();
+        return pg * ber_good + (1.0 - pg) * ber_bad;
+    }
+};
+
+/// A live Gilbert–Elliott channel.  All queries must be called with
+/// non-decreasing times (the chain is advanced lazily).
+class GilbertElliott {
+public:
+    GilbertElliott(GilbertElliottConfig config, sim::Random rng);
+
+    /// Channel state at time \p t (advances the chain).
+    [[nodiscard]] ChannelState state_at(Time t);
+
+    /// Instantaneous BER at time \p t.
+    [[nodiscard]] double ber_at(Time t);
+
+    /// Simulate a transmission of \p size at \p rate starting at \p start:
+    /// walks the chain across state changes during the transmission and
+    /// returns true iff no bit error occurred.
+    [[nodiscard]] bool transmit_success(Time start, DataSize size, Rate rate);
+
+    /// Success probability for a transmission starting now in the current
+    /// state, *ignoring* state changes during the packet (the estimate a
+    /// protocol with perfect channel-state information would use).
+    [[nodiscard]] double success_probability(Time now, DataSize size, Rate rate);
+
+    [[nodiscard]] const GilbertElliottConfig& config() const { return config_; }
+
+    /// Fraction of advanced time spent GOOD (diagnostic).
+    [[nodiscard]] double observed_good_fraction() const;
+
+private:
+    void advance(Time t);
+    void flip();
+    [[nodiscard]] double ber_of(ChannelState s) const {
+        return s == ChannelState::good ? config_.ber_good : config_.ber_bad;
+    }
+
+    GilbertElliottConfig config_;
+    sim::Random rng_;
+    ChannelState state_ = ChannelState::good;
+    Time state_until_;       // time of the next state flip
+    Time clock_;             // last time the chain was advanced to
+    Time good_time_;         // accumulated GOOD residency
+    Time total_time_;        // accumulated advanced time
+};
+
+}  // namespace wlanps::channel

@@ -1,0 +1,27 @@
+#include "channel/link.hpp"
+
+namespace wlanps::channel {
+
+WirelessLink::WirelessLink(GilbertElliottConfig ge, sim::Random rng)
+    : chain_(ge, rng.fork(1)), drop_rng_(rng.fork(2)) {}
+
+bool WirelessLink::transmit(Time start, DataSize size, Rate rate) {
+    const double q = quality_signal(start);
+    bool ok = chain_.transmit_success(start, size, rate);
+    if (ok && q < 1.0) ok = !drop_rng_.chance(1.0 - q);
+    deliveries_.add(ok);
+    return ok;
+}
+
+double WirelessLink::success_estimate(Time now, DataSize size, Rate rate) {
+    return chain_.success_probability(now, size, rate) * quality_signal(now);
+}
+
+double WirelessLink::quality(Time now) {
+    // Stationary GOOD probability is the long-run usability of the chain;
+    // the quality signal (scripted or mobility-driven) scales it down
+    // during deterministic degradation.
+    return chain_.config().stationary_good() * quality_signal(now);
+}
+
+}  // namespace wlanps::channel

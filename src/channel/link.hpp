@@ -1,0 +1,63 @@
+#pragma once
+/// \file link.hpp
+/// Composite wireless link: Gilbert–Elliott errors plus scripted quality.
+///
+/// WirelessLink is the channel abstraction the MAC layers transmit over
+/// and the Hotspot interface selector inspects.  It combines:
+///   * a Gilbert–Elliott chain (stochastic burst errors), and
+///   * an optional scripted quality curve (deterministic degradation),
+/// where scripted quality q drops packets with extra probability (1 - q).
+
+#include <functional>
+#include <utility>
+
+#include "channel/gilbert_elliott.hpp"
+#include "channel/scripted.hpp"
+#include "sim/random.hpp"
+#include "sim/stats.hpp"
+#include "sim/units.hpp"
+
+namespace wlanps::channel {
+
+/// A one-hop wireless link with time-varying error behaviour.
+class WirelessLink {
+public:
+    WirelessLink(GilbertElliottConfig ge, sim::Random rng);
+
+    /// Attach a scripted quality curve (copied).
+    void set_scripted_quality(ScriptedQuality script) { script_ = std::move(script); }
+
+    /// Attach a live quality source (e.g. channel::MobileLinkQuality) —
+    /// takes precedence over a scripted curve.  Must return values in
+    /// [0, 1] and tolerate non-decreasing query times.
+    void set_quality_function(std::function<double(Time)> fn) { quality_fn_ = std::move(fn); }
+
+    /// Simulate one transmission attempt.  Returns true iff delivered.
+    /// Counts attempts/deliveries for diagnostics.
+    [[nodiscard]] bool transmit(Time start, DataSize size, Rate rate);
+
+    /// Estimated packet success probability right now (current channel
+    /// state, current scripted quality) — what a resource manager with
+    /// fresh channel-state feedback would estimate.
+    [[nodiscard]] double success_estimate(Time now, DataSize size, Rate rate);
+
+    /// Abstract quality in [0, 1] for interface selection: scripted quality
+    /// times the probability of being in the GOOD state long-run.
+    [[nodiscard]] double quality(Time now);
+
+    [[nodiscard]] const GilbertElliott& chain() const { return chain_; }
+    [[nodiscard]] const sim::RatioCounter& delivery_stats() const { return deliveries_; }
+
+private:
+    [[nodiscard]] double quality_signal(Time t) {
+        return quality_fn_ ? quality_fn_(t) : script_.at(t);
+    }
+
+    GilbertElliott chain_;
+    sim::Random drop_rng_;
+    ScriptedQuality script_;
+    std::function<double(Time)> quality_fn_;
+    sim::RatioCounter deliveries_;
+};
+
+}  // namespace wlanps::channel

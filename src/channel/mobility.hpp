@@ -1,0 +1,96 @@
+#pragma once
+/// \file mobility.hpp
+/// Mobility-driven link quality.
+///
+/// The paper's switching story — "as conditions in the link change" — is
+/// usually caused by motion: a client walking away from the Hotspot loses
+/// its short-range Bluetooth link well before WLAN.  MobileLinkQuality
+/// turns a trajectory + path-loss model into the [0, 1] quality signal a
+/// WirelessLink consumes, so interface handover emerges from physics
+/// instead of a hand-written script.
+
+#include <functional>
+#include <memory>
+
+#include "channel/ber.hpp"
+#include "channel/path_loss.hpp"
+#include "sim/assert.hpp"
+#include "sim/time.hpp"
+
+namespace wlanps::channel {
+
+/// A 1-D trajectory: distance from the access point over time.
+using Trajectory = std::function<double(Time)>;
+
+/// Constant-velocity walk starting at \p start_m, moving \p speed_mps
+/// (negative = toward the AP).  Distance is clamped at 0.5 m.
+[[nodiscard]] inline Trajectory linear_walk(double start_m, double speed_mps,
+                                            Time departure = Time::zero()) {
+    WLANPS_REQUIRE(start_m > 0.0);
+    return [start_m, speed_mps, departure](Time t) {
+        const double dt = t <= departure ? 0.0 : (t - departure).to_seconds();
+        const double d = start_m + speed_mps * dt;
+        return d < 0.5 ? 0.5 : d;
+    };
+}
+
+/// Maps a trajectory through a path-loss model to link quality.
+///
+/// Quality is the SNR margin over the modulation's requirement, scaled to
+/// [0, 1]: 0 at the BER=1e-3 threshold, 1 at threshold + \p headroom_db.
+class MobileLinkQuality {
+public:
+    struct Config {
+        PathLossConfig path_loss;
+        Modulation modulation = Modulation::cck11;
+        double headroom_db = 10.0;
+    };
+
+    MobileLinkQuality(Config config, Trajectory trajectory, sim::Random rng)
+        : config_(config),
+          trajectory_(std::move(trajectory)),
+          path_(config.path_loss, rng),
+          threshold_db_(required_snr_db(config.modulation, 1e-3)) {
+        WLANPS_REQUIRE(trajectory_ != nullptr);
+        WLANPS_REQUIRE(config.headroom_db > 0.0);
+    }
+
+    /// Quality in [0, 1] at time \p t (times must be non-decreasing —
+    /// the shadowing process is stateful).
+    [[nodiscard]] double at(Time t) {
+        const double snr = path_.snr_db(t, trajectory_(t));
+        const double q = (snr - threshold_db_) / config_.headroom_db;
+        return q < 0.0 ? 0.0 : (q > 1.0 ? 1.0 : q);
+    }
+
+    /// The quality callable a WirelessLink consumes.  The returned
+    /// function shares this object's state: keep it alive.
+    [[nodiscard]] std::function<double(Time)> as_function() {
+        return [this](Time t) { return at(t); };
+    }
+
+    [[nodiscard]] double threshold_snr_db() const { return threshold_db_; }
+    [[nodiscard]] const Config& config() const { return config_; }
+
+private:
+    Config config_;
+    Trajectory trajectory_;
+    PathLoss path_;
+    double threshold_db_;
+};
+
+/// Path-loss presets for the two radios: Bluetooth transmits ~15 dB less
+/// (class 2, 2.5 mW vs ~30 mW WLAN), so its usable range is much shorter.
+[[nodiscard]] inline PathLossConfig wlan_path_loss() {
+    PathLossConfig cfg;
+    cfg.tx_power_dbm = 15.0;
+    return cfg;
+}
+
+[[nodiscard]] inline PathLossConfig bt_path_loss() {
+    PathLossConfig cfg;
+    cfg.tx_power_dbm = 4.0;  // BT class 2
+    return cfg;
+}
+
+}  // namespace wlanps::channel

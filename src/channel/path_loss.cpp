@@ -1,0 +1,42 @@
+#include "channel/path_loss.hpp"
+
+#include <cmath>
+
+#include "sim/assert.hpp"
+
+namespace wlanps::channel {
+
+PathLoss::PathLoss(PathLossConfig config, sim::Random rng) : config_(config), rng_(rng) {
+    WLANPS_REQUIRE(config_.exponent > 0.0);
+    WLANPS_REQUIRE(config_.reference_distance_m > 0.0);
+    WLANPS_REQUIRE(config_.shadowing_sigma_db >= 0.0);
+    WLANPS_REQUIRE(config_.shadowing_coherence > Time::zero());
+}
+
+double PathLoss::mean_snr_db(double distance_m) const {
+    WLANPS_REQUIRE(distance_m > 0.0);
+    const double d = std::max(distance_m, config_.reference_distance_m);
+    const double loss = config_.reference_loss_db +
+                        10.0 * config_.exponent * std::log10(d / config_.reference_distance_m);
+    return config_.tx_power_dbm - loss - config_.noise_floor_dbm;
+}
+
+double PathLoss::snr_db(Time t, double distance_m) {
+    if (!started_) {
+        started_ = true;
+        last_sample_ = t;
+        shadow_db_ = rng_.normal(0.0, config_.shadowing_sigma_db);
+    } else {
+        WLANPS_REQUIRE_MSG(t >= last_sample_, "path-loss queries must be time-ordered");
+        // AR(1): shadow(t) = rho * shadow(t0) + sqrt(1-rho^2) * N(0, sigma),
+        // rho = exp(-dt / coherence).
+        const double dt = (t - last_sample_).to_seconds();
+        const double rho = std::exp(-dt / config_.shadowing_coherence.to_seconds());
+        shadow_db_ = rho * shadow_db_ +
+                     rng_.normal(0.0, config_.shadowing_sigma_db * std::sqrt(1.0 - rho * rho));
+        last_sample_ = t;
+    }
+    return mean_snr_db(distance_m) - shadow_db_;
+}
+
+}  // namespace wlanps::channel

@@ -1,0 +1,48 @@
+#pragma once
+/// \file path_loss.hpp
+/// Log-distance path loss with lognormal shadowing.
+///
+/// Maps transmit power and distance to received SNR, which the BER models
+/// turn into error rates.  Shadowing evolves as a first-order
+/// autoregressive process so successive samples are correlated (slow
+/// fading), matching how real link quality drifts as a client moves.
+
+#include "sim/random.hpp"
+#include "sim/time.hpp"
+
+namespace wlanps::channel {
+
+/// Parameters of the propagation environment.
+struct PathLossConfig {
+    double reference_loss_db = 40.0;   ///< loss at reference distance (2.4 GHz, 1 m)
+    double exponent = 3.0;             ///< indoor path-loss exponent
+    double reference_distance_m = 1.0;
+    double shadowing_sigma_db = 4.0;   ///< lognormal shadowing std-dev
+    Time shadowing_coherence = Time::from_seconds(1);  ///< AR(1) decorrelation time
+    double tx_power_dbm = 15.0;        ///< 802.11b CF-card class
+    double noise_floor_dbm = -94.0;
+};
+
+/// Stateful path-loss + shadowing model for one link.
+class PathLoss {
+public:
+    PathLoss(PathLossConfig config, sim::Random rng);
+
+    /// SNR in dB at time \p t for a receiver \p distance_m away.
+    /// Times must be non-decreasing.
+    [[nodiscard]] double snr_db(Time t, double distance_m);
+
+    /// Deterministic mean SNR (no shadowing) at \p distance_m.
+    [[nodiscard]] double mean_snr_db(double distance_m) const;
+
+    [[nodiscard]] const PathLossConfig& config() const { return config_; }
+
+private:
+    PathLossConfig config_;
+    sim::Random rng_;
+    Time last_sample_;
+    double shadow_db_ = 0.0;
+    bool started_ = false;
+};
+
+}  // namespace wlanps::channel

@@ -1,0 +1,66 @@
+#include "channel/predictor.hpp"
+
+#include "sim/assert.hpp"
+#include "sim/random.hpp"
+
+namespace wlanps::channel {
+
+SlidingWindowPredictor::SlidingWindowPredictor(std::size_t window) : window_(window) {
+    WLANPS_REQUIRE(window > 0);
+}
+
+void SlidingWindowPredictor::observe(bool good) {
+    history_.push_back(good);
+    if (good) ++good_count_;
+    if (history_.size() > window_) {
+        if (history_.front()) --good_count_;
+        history_.pop_front();
+    }
+}
+
+bool SlidingWindowPredictor::predict() const {
+    if (history_.empty()) return true;
+    return 2 * good_count_ >= history_.size();
+}
+
+std::string SlidingWindowPredictor::name() const {
+    return "window-" + std::to_string(window_);
+}
+
+void MarkovPredictor::observe(bool good) {
+    if (has_last_) {
+        counts_[last_ ? 1 : 0][good ? 1 : 0] += 1.0;
+    }
+    last_ = good;
+    has_last_ = true;
+}
+
+bool MarkovPredictor::predict() const {
+    const int from = last_ ? 1 : 0;
+    return counts_[from][1] >= counts_[from][0];
+}
+
+double MarkovPredictor::stay_good_probability() const {
+    return counts_[1][1] / (counts_[1][0] + counts_[1][1]);
+}
+
+double MarkovPredictor::leave_bad_probability() const {
+    return counts_[0][1] / (counts_[0][0] + counts_[0][1]);
+}
+
+NoisyOraclePredictor::NoisyOraclePredictor(double fidelity, sim::Random rng)
+    : fidelity_(fidelity), rng_(rng) {
+    WLANPS_REQUIRE(fidelity >= 0.0 && fidelity <= 1.0);
+}
+
+bool NoisyOraclePredictor::predict() const {
+    // With probability fidelity report the truth, otherwise guess like
+    // a last-value predictor (a realistic failure mode).
+    return rng_.chance(fidelity_) ? truth_ : last_;
+}
+
+std::string NoisyOraclePredictor::name() const {
+    return "oracle-" + std::to_string(static_cast<int>(fidelity_ * 100.0)) + "%";
+}
+
+}  // namespace wlanps::channel

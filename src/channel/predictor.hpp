@@ -1,0 +1,116 @@
+#pragma once
+/// \file predictor.hpp
+/// Channel-condition predictors.
+///
+/// The paper notes a trade-off between the cost/accuracy of channel
+/// prediction and the energy saved by acting on predictions.  These
+/// predictors observe a binary channel condition (good/bad, e.g. "was the
+/// last transmission delivered") and predict the next observation; the
+/// AB2 bench measures energy as a function of predictor accuracy.
+
+#include <cstddef>
+#include <deque>
+#include <memory>
+#include <string>
+
+#include "sim/random.hpp"
+#include "sim/stats.hpp"
+
+namespace wlanps::channel {
+
+/// Interface: observe a binary channel condition, predict the next one.
+class Predictor {
+public:
+    virtual ~Predictor() = default;
+
+    /// Record an observed condition (true = good).
+    virtual void observe(bool good) = 0;
+
+    /// Predict the next condition.
+    [[nodiscard]] virtual bool predict() const = 0;
+
+    /// Human-readable name for reports.
+    [[nodiscard]] virtual std::string name() const = 0;
+
+    /// Convenience: predict, then observe \p actual, scoring accuracy.
+    void observe_and_score(bool actual) {
+        accuracy_.add(predict() == actual);
+        observe(actual);
+    }
+
+    /// Fraction of scored predictions that were correct.
+    [[nodiscard]] double accuracy() const { return accuracy_.ratio(); }
+    [[nodiscard]] const sim::RatioCounter& accuracy_counter() const { return accuracy_; }
+
+private:
+    sim::RatioCounter accuracy_;
+};
+
+/// Predicts the next condition equals the last observed one.  Strong on
+/// bursty (Gilbert–Elliott) channels, free to compute.
+class LastValuePredictor final : public Predictor {
+public:
+    void observe(bool good) override { last_ = good; }
+    [[nodiscard]] bool predict() const override { return last_; }
+    [[nodiscard]] std::string name() const override { return "last-value"; }
+
+private:
+    bool last_ = true;
+};
+
+/// Majority vote over a sliding window of the last N observations.
+class SlidingWindowPredictor final : public Predictor {
+public:
+    explicit SlidingWindowPredictor(std::size_t window);
+    void observe(bool good) override;
+    [[nodiscard]] bool predict() const override;
+    [[nodiscard]] std::string name() const override;
+
+private:
+    std::size_t window_;
+    std::deque<bool> history_;
+    std::size_t good_count_ = 0;
+};
+
+/// Online first-order Markov estimator: counts observed transitions and
+/// predicts the most likely successor of the last state.  Converges to the
+/// optimal single-step predictor for a two-state Markov channel.
+class MarkovPredictor final : public Predictor {
+public:
+    void observe(bool good) override;
+    [[nodiscard]] bool predict() const override;
+    [[nodiscard]] std::string name() const override { return "markov"; }
+
+    /// Estimated P(next good | current state).
+    [[nodiscard]] double stay_good_probability() const;
+    [[nodiscard]] double leave_bad_probability() const;
+
+private:
+    bool last_ = true;
+    bool has_last_ = false;
+    // counts[from][to], indexed by (bad=0, good=1)
+    double counts_[2][2] = {{1.0, 1.0}, {1.0, 1.0}};  // Laplace smoothing
+};
+
+/// A deliberately imperfect oracle: knows the true next condition but is
+/// corrupted with probability (1 - fidelity).  Used to sweep "prediction
+/// accuracy vs energy saved" without retraining real predictors.
+class NoisyOraclePredictor final : public Predictor {
+public:
+    NoisyOraclePredictor(double fidelity, sim::Random rng);
+
+    /// Feed the *true upcoming* condition before calling predict().
+    void set_truth(bool next_good) { truth_ = next_good; }
+
+    void observe(bool good) override { last_ = good; }
+    [[nodiscard]] bool predict() const override;
+    [[nodiscard]] std::string name() const override;
+
+private:
+    double fidelity_;
+    mutable sim::Random rng_;
+    bool truth_ = true;
+    bool last_ = true;
+};
+
+}  // namespace wlanps::channel

@@ -1,0 +1,45 @@
+#include "channel/rate_control.hpp"
+
+namespace wlanps::channel {
+
+ArfRateController::ArfRateController(std::vector<Rate> ladder, ArfConfig config)
+    : ladder_(std::move(ladder)), config_(config) {
+    WLANPS_REQUIRE(!ladder_.empty());
+    for (std::size_t i = 1; i < ladder_.size(); ++i) {
+        WLANPS_REQUIRE_MSG(ladder_[i] > ladder_[i - 1], "ladder must be ascending");
+    }
+    WLANPS_REQUIRE(config_.up_threshold >= 1);
+    WLANPS_REQUIRE(config_.down_threshold >= 1);
+}
+
+ArfRateController ArfRateController::dot11b() {
+    return ArfRateController({Rate::from_mbps(1.0), Rate::from_mbps(2.0), Rate::from_mbps(5.5),
+                              Rate::from_mbps(11.0)});
+}
+
+void ArfRateController::on_result(bool success) {
+    if (success) {
+        probing_ = false;
+        failure_streak_ = 0;
+        ++success_streak_;
+        if (success_streak_ >= config_.up_threshold && index_ + 1 < ladder_.size()) {
+            ++index_;
+            ++ups_;
+            success_streak_ = 0;
+            probing_ = true;  // the new rate is on probation
+        }
+        return;
+    }
+    success_streak_ = 0;
+    ++failure_streak_;
+    // A failed probe falls back immediately; otherwise wait for the
+    // down-threshold run of failures.
+    if ((probing_ || failure_streak_ >= config_.down_threshold) && index_ > 0) {
+        --index_;
+        ++downs_;
+        failure_streak_ = 0;
+    }
+    probing_ = false;
+}
+
+}  // namespace wlanps::channel

@@ -1,0 +1,61 @@
+#pragma once
+/// \file rate_control.hpp
+/// Auto-Rate Fallback (ARF) — link rate adaptation for 802.11b.
+///
+/// The PHY rate ladder (1/2/5.5/11 Mb/s) trades speed against SNR
+/// robustness; ARF climbs after a run of successes and steps down after
+/// consecutive failures (or a failed probe).  Rate adaptation interacts
+/// with energy: transmitting faster shortens airtime per bit but fails
+/// more often at low SNR — the AB9 bench sweeps distance to show the
+/// envelope.
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/assert.hpp"
+#include "sim/units.hpp"
+
+namespace wlanps::channel {
+
+/// ARF parameters.
+struct ArfConfig {
+    /// Consecutive successes before probing the next higher rate.
+    int up_threshold = 10;
+    /// Consecutive failures before stepping down.
+    int down_threshold = 2;
+};
+
+/// Classic ARF over an arbitrary rate ladder.
+class ArfRateController {
+public:
+    /// \p ladder must be non-empty, ascending.  Starts at the lowest rate.
+    explicit ArfRateController(std::vector<Rate> ladder, ArfConfig config = ArfConfig{});
+
+    /// The 802.11b ladder.
+    [[nodiscard]] static ArfRateController dot11b();
+
+    [[nodiscard]] Rate current() const { return ladder_[index_]; }
+    [[nodiscard]] std::size_t rate_index() const { return index_; }
+
+    /// Feed the outcome of one transmission at current().
+    void on_result(bool success);
+
+    /// True if the last rate change was an upward probe (the very next
+    /// failure steps straight back down).
+    [[nodiscard]] bool probing() const { return probing_; }
+
+    [[nodiscard]] std::uint64_t rate_increases() const { return ups_; }
+    [[nodiscard]] std::uint64_t rate_decreases() const { return downs_; }
+
+private:
+    std::vector<Rate> ladder_;
+    ArfConfig config_;
+    std::size_t index_ = 0;
+    int success_streak_ = 0;
+    int failure_streak_ = 0;
+    bool probing_ = false;
+    std::uint64_t ups_ = 0;
+    std::uint64_t downs_ = 0;
+};
+
+}  // namespace wlanps::channel

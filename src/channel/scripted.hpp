@@ -1,0 +1,56 @@
+#pragma once
+/// \file scripted.hpp
+/// Scripted (deterministic) link-quality timelines.
+///
+/// The paper's interface-switching scenario hinges on "conditions in the
+/// link change": a scripted quality curve lets benches and tests degrade a
+/// link at known times and check that the resource manager reacts.
+
+#include <vector>
+
+#include "sim/assert.hpp"
+#include "sim/time.hpp"
+
+namespace wlanps::channel {
+
+/// Piecewise-linear quality q(t) in [0, 1].  1 = perfect, 0 = dead link.
+class ScriptedQuality {
+public:
+    /// Constant quality 1 by default.
+    ScriptedQuality() = default;
+
+    /// Add a control point.  Points must be added in increasing time order.
+    void add_point(Time t, double quality) {
+        WLANPS_REQUIRE(quality >= 0.0 && quality <= 1.0);
+        WLANPS_REQUIRE_MSG(points_.empty() || t > points_.back().t,
+                           "control points must be strictly increasing in time");
+        points_.push_back({t, quality});
+    }
+
+    /// Quality at \p t: linear between points, clamped at the ends.
+    [[nodiscard]] double at(Time t) const {
+        if (points_.empty()) return 1.0;
+        if (t <= points_.front().t) return points_.front().q;
+        if (t >= points_.back().t) return points_.back().q;
+        for (std::size_t i = 1; i < points_.size(); ++i) {
+            if (t <= points_[i].t) {
+                const auto& a = points_[i - 1];
+                const auto& b = points_[i];
+                const double f = (t - a.t) / (b.t - a.t);
+                return a.q + f * (b.q - a.q);
+            }
+        }
+        return points_.back().q;  // unreachable
+    }
+
+    [[nodiscard]] bool empty() const { return points_.empty(); }
+
+private:
+    struct Point {
+        Time t;
+        double q;
+    };
+    std::vector<Point> points_;
+};
+
+}  // namespace wlanps::channel

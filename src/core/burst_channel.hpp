@@ -1,0 +1,132 @@
+#pragma once
+/// \file burst_channel.hpp
+/// Scheduled burst-transfer paths to a client, one per wireless interface.
+///
+/// The Hotspot resource manager serializes bursts per interface, so the
+/// scheduled data path is contention-free (the same argument EC-MAC makes
+/// at the MAC layer): a WLAN burst streams MPDUs DIFS/SIFS-separated with
+/// immediate ACKs and per-MPDU channel sampling; a Bluetooth burst rides
+/// the piconet's DH5 ACL stream.  The unscheduled baselines (CAM, PSM) use
+/// the full contention MAC in mac/ — see DESIGN.md.
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "bt/piconet.hpp"
+#include "channel/link.hpp"
+#include "phy/wlan_nic.hpp"
+#include "phy/wnic.hpp"
+#include "sim/simulator.hpp"
+#include "sim/stats.hpp"
+
+namespace wlanps::core {
+
+/// A one-client, one-interface scheduled transfer engine.
+class BurstChannel {
+public:
+    /// Outcome of one burst.
+    struct Result {
+        bool ok = false;          ///< every chunk eventually delivered
+        DataSize delivered;       ///< payload that reached the client
+        DataSize lost;            ///< payload dropped after retry exhaustion
+        Time elapsed = Time::zero();
+    };
+    using Completion = std::function<void(const Result&)>;
+    /// Progressive delivery into the client's playout buffer.
+    using DeliverySink = std::function<void(DataSize)>;
+
+    virtual ~BurstChannel() = default;
+
+    [[nodiscard]] virtual phy::Interface interface() const = 0;
+    /// The client-side NIC this channel drives (for wake/sleep control).
+    /// Const method returning a mutable reference: the channel refers to
+    /// the NIC, it does not own its constness.
+    [[nodiscard]] virtual phy::Wnic& wnic() const = 0;
+
+    /// Transfer \p size to the client.  The NIC must be awake.  Chunks are
+    /// handed to the delivery sink as they arrive; \p done fires at the
+    /// end of the burst.
+    virtual void transfer(DataSize size, Completion done) = 0;
+
+    /// Sustained goodput of the scheduled path when the link is clean.
+    [[nodiscard]] virtual Rate goodput() const = 0;
+
+    /// Link quality in [0, 1] as the client's resource manager reports it.
+    [[nodiscard]] virtual double quality(Time now) = 0;
+
+    [[nodiscard]] virtual bool busy() const = 0;
+
+    void set_delivery_sink(DeliverySink sink) { sink_ = std::move(sink); }
+
+protected:
+    void deliver(DataSize size) {
+        if (sink_) sink_(size);
+    }
+
+private:
+    DeliverySink sink_;
+};
+
+/// Scheduled WLAN burst path.
+class WlanBurstChannel final : public BurstChannel {
+public:
+    struct Config {
+        DataSize mpdu = DataSize::from_bytes(1500);
+        Rate rate = phy::calibration::kWlanRate11;
+        int retry_limit = 7;
+    };
+
+    /// \p link may be null (perfect channel).  Both must outlive this.
+    WlanBurstChannel(sim::Simulator& sim, phy::WlanNic& nic, channel::WirelessLink* link)
+        : WlanBurstChannel(sim, nic, link, Config{}) {}
+    WlanBurstChannel(sim::Simulator& sim, phy::WlanNic& nic, channel::WirelessLink* link,
+                     Config config);
+
+    [[nodiscard]] phy::Interface interface() const override { return phy::Interface::wlan; }
+    [[nodiscard]] phy::Wnic& wnic() const override { return nic_; }
+    void transfer(DataSize size, Completion done) override;
+    [[nodiscard]] Rate goodput() const override;
+    [[nodiscard]] double quality(Time now) override;
+    [[nodiscard]] bool busy() const override { return busy_; }
+
+private:
+    struct Progress {
+        DataSize remaining;
+        Result result;
+        Completion done;
+        Time started_at;
+        int retries = 0;
+    };
+    void next_chunk();
+
+    sim::Simulator& sim_;
+    phy::WlanNic& nic_;
+    channel::WirelessLink* link_;
+    Config config_;
+    bool busy_ = false;
+    Progress progress_;
+};
+
+/// Scheduled Bluetooth burst path.
+class BtBurstChannel final : public BurstChannel {
+public:
+    /// \p piconet and \p slave must outlive this.  The slave's receive
+    /// callback is claimed by this channel.
+    BtBurstChannel(bt::Piconet& piconet, bt::SlaveId id, bt::BtSlave& slave);
+
+    [[nodiscard]] phy::Interface interface() const override { return phy::Interface::bluetooth; }
+    [[nodiscard]] phy::Wnic& wnic() const override { return slave_.nic(); }
+    void transfer(DataSize size, Completion done) override;
+    [[nodiscard]] Rate goodput() const override { return piconet_.peak_goodput(); }
+    [[nodiscard]] double quality(Time now) override;
+    [[nodiscard]] bool busy() const override { return busy_; }
+
+private:
+    bt::Piconet& piconet_;
+    bt::SlaveId id_;
+    bt::BtSlave& slave_;
+    bool busy_ = false;
+};
+
+}  // namespace wlanps::core

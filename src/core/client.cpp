@@ -1,0 +1,105 @@
+#include "core/client.hpp"
+
+#include <utility>
+
+#include "sim/assert.hpp"
+
+namespace wlanps::core {
+
+namespace {
+traffic::PlayoutBuffer::Config playout_config(const QosContract& contract) {
+    traffic::PlayoutBuffer::Config c;
+    c.capacity = contract.client_buffer;
+    c.preroll = contract.preroll;
+    // Frame granularity follows the stream rate at the MP3 frame cadence.
+    c.frame_interval = phy::calibration::kMp3FrameInterval;
+    c.frame_size = contract.stream_rate.data_in(c.frame_interval);
+    c.start_threshold_frames = contract.start_threshold_frames;
+    return c;
+}
+}  // namespace
+
+HotspotClient::HotspotClient(sim::Simulator& sim, ClientId id, QosContract contract)
+    : sim_(sim),
+      id_(id),
+      contract_(contract),
+      playout_(sim, playout_config(contract)),
+      created_at_(sim.now()) {}
+
+std::size_t HotspotClient::add_channel(std::unique_ptr<BurstChannel> channel) {
+    WLANPS_REQUIRE(channel != nullptr);
+    channel->set_delivery_sink([this](DataSize chunk) {
+        bytes_received_ += chunk;
+        playout_.on_data(chunk);
+    });
+    channels_.push_back(std::move(channel));
+    return channels_.size() - 1;
+}
+
+void HotspotClient::start(bool start_playout) {
+    WLANPS_REQUIRE_MSG(!channels_.empty(), "client needs at least one channel");
+    if (start_playout) playout_.start();
+    for (auto& ch : channels_) ch->wnic().deep_sleep();
+    transfer_trace_.set_state(sim_.now(), "idle", 0.0);
+}
+
+std::vector<BurstChannel*> HotspotClient::channels() {
+    std::vector<BurstChannel*> out;
+    out.reserve(channels_.size());
+    for (auto& ch : channels_) out.push_back(ch.get());
+    return out;
+}
+
+BurstChannel& HotspotClient::channel(std::size_t index) {
+    WLANPS_REQUIRE_MSG(index < channels_.size(),
+                       "index " + std::to_string(index) + " of " + std::to_string(channels_.size()));
+    return *channels_[index];
+}
+
+void HotspotClient::execute_burst(std::size_t index, DataSize size, Time start,
+                                  BurstChannel::Completion done) {
+    WLANPS_REQUIRE(index < channels_.size());
+    BurstChannel& ch = *channels_[index];
+    WLANPS_REQUIRE_MSG(!ch.busy(), "channel busy");
+    const Time wake_at = start - ch.wnic().wake_latency();
+    WLANPS_REQUIRE_MSG(wake_at >= sim_.now(), "burst scheduled too soon to wake the NIC");
+
+    sim_.schedule_at(wake_at, [this, &ch, size, done = std::move(done)]() mutable {
+        ch.wnic().wake([this, &ch, size, done = std::move(done)]() mutable {
+            transfer_trace_.set_state(sim_.now(), "burst", 1.0);
+            ch.transfer(size, [this, &ch, done = std::move(done)](const BurstChannel::Result& r) {
+                transfer_trace_.set_state(sim_.now(), "idle", 0.0);
+                ++bursts_executed_;
+                // Client RM: straight back to the deepest sleep — it knows
+                // the schedule, nothing arrives until the next burst.
+                ch.wnic().deep_sleep();
+                if (done) done(r);
+            });
+        });
+    });
+}
+
+power::Energy HotspotClient::wnic_energy() const {
+    power::Energy total;
+    for (const auto& ch : channels_) total += ch->wnic().energy_consumed();
+    return total;
+}
+
+double HotspotClient::battery_level() {
+    if (battery_ == nullptr) return 1.0;
+    const power::Energy total = wnic_energy();
+    const power::Energy delta = total - battery_charged_;
+    battery_charged_ = total;
+    if (delta > power::Energy::zero()) {
+        battery_->drain(delta, wnic_average_power());
+    }
+    return battery_->level();
+}
+
+power::Power HotspotClient::wnic_average_power() const {
+    const Time elapsed = sim_.now() - created_at_;
+    if (elapsed.is_zero()) return power::Power::zero();
+    return wnic_energy().average_over(elapsed);
+}
+
+}  // namespace wlanps::core

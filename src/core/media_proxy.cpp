@@ -1,0 +1,58 @@
+#include "core/media_proxy.hpp"
+
+#include <utility>
+
+#include "sim/assert.hpp"
+
+namespace wlanps::core {
+
+MediaProxy::MediaProxy(sim::Simulator& sim, HotspotClient& client, traffic::Sink downstream,
+                       Config config)
+    : sim_(sim),
+      client_(client),
+      downstream_(std::move(downstream)),
+      config_(config),
+      selector_(config.selector) {
+    WLANPS_REQUIRE(downstream_ != nullptr);
+    WLANPS_REQUIRE(config_.audio_rate > Rate::zero());
+    WLANPS_REQUIRE(config_.av_rate > config_.audio_rate);
+    WLANPS_REQUIRE(config_.check_interval > Time::zero());
+}
+
+void MediaProxy::start() {
+    checker_ = std::make_unique<sim::PeriodicEvent>(sim_, config_.check_interval,
+                                                    [this] { check(); });
+    checker_->start();
+}
+
+void MediaProxy::check() {
+    // Can any of the client's channels sustain the full A/V rate?
+    bool av_feasible = false;
+    for (BurstChannel* ch : client_.channels()) {
+        if (selector_.feasible(*ch, config_.av_rate, sim_.now())) {
+            av_feasible = true;
+            break;
+        }
+    }
+    if (av_feasible != video_enabled_) {
+        video_enabled_ = av_feasible;
+        ++adaptations_;
+    }
+}
+
+traffic::Sink MediaProxy::ingest_sink() {
+    return [this](DataSize chunk) {
+        if (video_enabled_) {
+            forwarded_ += chunk;
+            downstream_(chunk);
+            return;
+        }
+        // Adverse conditions: forward only the audio share of the chunk.
+        const DataSize audio = chunk * (config_.audio_rate / config_.av_rate);
+        forwarded_ += audio;
+        dropped_ += chunk - audio;
+        downstream_(audio);
+    };
+}
+
+}  // namespace wlanps::core

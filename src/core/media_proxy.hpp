@@ -1,0 +1,70 @@
+#pragma once
+/// \file media_proxy.hpp
+/// Proxy-based content adaptation (paper §1, application level).
+///
+/// "Most proxy adaptations to date have been relatively simple, such as
+/// dropping video content and delivering only audio in adverse
+/// conditions."  MediaProxy sits between an A/V source and the Hotspot
+/// server's ingest: it watches the client's channels and, when no channel
+/// can sustain the full A/V rate, forwards only the audio share of each
+/// chunk; when conditions recover, video resumes.
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "core/client.hpp"
+#include "core/selector.hpp"
+#include "sim/simulator.hpp"
+#include "traffic/source.hpp"
+
+namespace wlanps::core {
+
+/// Content-adaptation proxy for one client's A/V stream.
+class MediaProxy {
+public:
+    struct Config {
+        /// Full audio+video stream rate and its audio-only share.
+        Rate av_rate = Rate::from_kbps(600);
+        Rate audio_rate = Rate::from_kbps(128);
+        /// How often the proxy re-evaluates the channels.
+        Time check_interval = Time::from_seconds(1);
+        SelectorConfig selector;
+    };
+
+    /// Forwards (possibly thinned) traffic into \p downstream for
+    /// \p client.  Both must outlive the proxy.
+    MediaProxy(sim::Simulator& sim, HotspotClient& client, traffic::Sink downstream,
+               Config config);
+    MediaProxy(const MediaProxy&) = delete;
+    MediaProxy& operator=(const MediaProxy&) = delete;
+
+    /// Begin monitoring the client's channels.
+    void start();
+    void stop() { checker_.reset(); }
+
+    /// The sink to connect the full A/V source to.
+    [[nodiscard]] traffic::Sink ingest_sink();
+
+    /// Is the proxy currently delivering video?
+    [[nodiscard]] bool video_enabled() const { return video_enabled_; }
+    [[nodiscard]] std::uint64_t adaptations() const { return adaptations_; }
+    [[nodiscard]] DataSize bytes_forwarded() const { return forwarded_; }
+    [[nodiscard]] DataSize bytes_dropped() const { return dropped_; }
+
+private:
+    void check();
+
+    sim::Simulator& sim_;
+    HotspotClient& client_;
+    traffic::Sink downstream_;
+    Config config_;
+    InterfaceSelector selector_;
+    bool video_enabled_ = true;
+    std::uint64_t adaptations_ = 0;
+    DataSize forwarded_;
+    DataSize dropped_;
+    std::unique_ptr<sim::PeriodicEvent> checker_;
+};
+
+}  // namespace wlanps::core

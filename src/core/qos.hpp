@@ -1,0 +1,53 @@
+#pragma once
+/// \file qos.hpp
+/// QoS contracts between Hotspot clients and the resource manager.
+///
+/// On registration each client hands the server its stream requirements
+/// and client-side buffer capacity; the server's burst planner derives
+/// burst sizes and deadlines from this contract (paper §2: "it knows more
+/// about the clients in its network, such as their QoS needs, battery
+/// levels, current conditions in the channel").
+
+#include <cstdint>
+#include <string>
+
+#include "sim/time.hpp"
+#include "sim/units.hpp"
+
+namespace wlanps::core {
+
+/// Hotspot client identifier.
+using ClientId = std::uint32_t;
+
+/// What a client requires from the resource manager.
+struct QosContract {
+    /// Sustained stream rate the application consumes.
+    Rate stream_rate = Rate::from_kbps(128);
+    /// Client-side playout buffer capacity.
+    DataSize client_buffer = DataSize::from_kilobytes(2048);
+    /// Preroll the client accumulates before playback starts.
+    Time preroll = Time::from_seconds(2);
+    /// Playback additionally waits until this many frames are buffered
+    /// (initial buffering is extended rather than glitching).
+    int start_threshold_frames = 38;  // ~1 s of 26 ms MP3 frames
+    /// Scheduling weight (WFQ) — share of infrastructure bandwidth.
+    double weight = 1.0;
+    /// Fixed priority (lower value = more important).
+    int priority = 1;
+    /// Safety margin: bursts must land this long before the projected
+    /// client-buffer underrun.
+    Time deadline_margin = Time::from_ms(500);
+};
+
+/// Client state the server tracks to plan bursts.
+struct ClientStatus {
+    /// Estimated client playout-buffer level (server-side model, updated
+    /// on each completed burst and drained at stream_rate).
+    DataSize buffer_level;
+    /// When buffer_level was last reconciled.
+    Time as_of = Time::zero();
+    /// Battery level in [0, 1] as last reported.
+    double battery_level = 1.0;
+};
+
+}  // namespace wlanps::core

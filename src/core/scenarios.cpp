@@ -1,0 +1,460 @@
+#include "core/scenarios.hpp"
+
+#include <memory>
+#include <utility>
+
+#include "bt/piconet.hpp"
+#include "core/burst_channel.hpp"
+#include "mac/access_point.hpp"
+#include "mac/ecmac.hpp"
+#include "mac/station.hpp"
+#include "sim/assert.hpp"
+#include "traffic/playout.hpp"
+#include "traffic/source.hpp"
+
+namespace wlanps::core::scenarios {
+
+namespace {
+
+using phy::calibration::kIpaqBase;
+
+power::Power device_power(power::Power wnic) { return wnic + kIpaqBase; }
+
+traffic::PlayoutBuffer::Config mp3_playout() {
+    traffic::PlayoutBuffer::Config c;
+    c.frame_size = phy::calibration::kMp3FrameSize;
+    c.frame_interval = phy::calibration::kMp3FrameInterval;
+    c.preroll = Time::from_seconds(2);
+    c.capacity = DataSize::from_kilobytes(2048);
+    c.start_threshold_frames = 38;  // ~1 s of audio buffered before playing
+    return c;
+}
+
+ClientMetrics make_metrics(power::Power wnic_avg, power::Energy wnic_energy,
+                           const traffic::PlayoutBuffer& playout, DataSize received) {
+    ClientMetrics m;
+    m.wnic_average = wnic_avg;
+    m.wnic_energy = wnic_energy;
+    m.device_average = device_power(wnic_avg);
+    m.qos = playout.qos();
+    m.underruns = playout.underruns();
+    m.received = received;
+    return m;
+}
+
+}  // namespace
+
+power::Power ScenarioResult::mean_wnic() const {
+    WLANPS_REQUIRE(!clients.empty());
+    power::Power sum;
+    for (const ClientMetrics& c : clients) sum += c.wnic_average;
+    return sum * (1.0 / static_cast<double>(clients.size()));
+}
+
+power::Power ScenarioResult::mean_device() const {
+    WLANPS_REQUIRE(!clients.empty());
+    power::Power sum;
+    for (const ClientMetrics& c : clients) sum += c.device_average;
+    return sum * (1.0 / static_cast<double>(clients.size()));
+}
+
+double ScenarioResult::min_qos() const {
+    WLANPS_REQUIRE(!clients.empty());
+    double q = 1.0;
+    for (const ClientMetrics& c : clients) q = std::min(q, c.qos);
+    return q;
+}
+
+ScenarioResult run_wlan_cam(const StreamConfig& config) {
+    WLANPS_REQUIRE(config.clients >= 1);
+    sim::Simulator sim;
+    sim::Random root(config.seed);
+    mac::Bss bss(sim);
+    mac::AccessPointConfig ap_cfg;
+    ap_cfg.mode = mac::ApMode::cam;
+    mac::AccessPoint ap(sim, bss, ap_cfg, mac::DcfConfig{}, root.fork(100));
+
+    std::vector<std::unique_ptr<mac::WlanStation>> stations;
+    std::vector<std::unique_ptr<traffic::PlayoutBuffer>> playouts;
+    std::vector<std::unique_ptr<traffic::Mp3Source>> sources;
+
+    for (int i = 0; i < config.clients; ++i) {
+        const auto id = static_cast<mac::StationId>(i + 1);
+        mac::StationConfig st_cfg;
+        st_cfg.mode = mac::StationMode::cam;
+        auto st = std::make_unique<mac::WlanStation>(sim, bss, id, st_cfg, mac::DcfConfig{},
+                                                     config.wlan_nic, root.fork(200 + i));
+        bss.set_link(id, config.wlan_link, root.fork(300 + i));
+        auto playout = std::make_unique<traffic::PlayoutBuffer>(sim, mp3_playout());
+        st->set_receive_callback(
+            [p = playout.get()](DataSize size, Time) { p->on_data(size); });
+        auto src = std::make_unique<traffic::Mp3Source>(
+            sim, [&ap, id](DataSize size) { ap.send(id, size); });
+        stations.push_back(std::move(st));
+        playouts.push_back(std::move(playout));
+        sources.push_back(std::move(src));
+    }
+
+    ap.start();
+    for (auto& st : stations) st->start(ap.config().beacon_interval, ap.config().beacon_interval);
+    for (auto& p : playouts) p->start();
+    for (auto& s : sources) s->start();
+    sim.run_until(config.duration);
+
+    ScenarioResult result;
+    result.label = "wlan-cam";
+    for (int i = 0; i < config.clients; ++i) {
+        result.clients.push_back(make_metrics(stations[static_cast<std::size_t>(i)]->average_power(),
+                                              stations[static_cast<std::size_t>(i)]->energy_consumed(),
+                                              *playouts[static_cast<std::size_t>(i)],
+                                              stations[static_cast<std::size_t>(i)]->bytes_received()));
+    }
+    return result;
+}
+
+ScenarioResult run_wlan_psm(const StreamConfig& config, PsmOptions options) {
+    WLANPS_REQUIRE(config.clients >= 1);
+    WLANPS_REQUIRE(options.listen_interval >= 1);
+    WLANPS_REQUIRE(options.aggregate_limit >= 1);
+    sim::Simulator sim;
+    sim::Random root(config.seed);
+    mac::Bss bss(sim);
+    mac::AccessPointConfig ap_cfg;
+    ap_cfg.mode = mac::ApMode::psm;
+    ap_cfg.beacon_interval = options.beacon_interval;
+    ap_cfg.aggregate_limit = options.aggregate_limit;
+    mac::AccessPoint ap(sim, bss, ap_cfg, mac::DcfConfig{}, root.fork(100));
+
+    std::vector<std::unique_ptr<mac::WlanStation>> stations;
+    std::vector<std::unique_ptr<traffic::PlayoutBuffer>> playouts;
+    std::vector<std::unique_ptr<traffic::Mp3Source>> sources;
+
+    for (int i = 0; i < config.clients; ++i) {
+        const auto id = static_cast<mac::StationId>(i + 1);
+        mac::StationConfig st_cfg;
+        st_cfg.mode = mac::StationMode::psm;
+        st_cfg.listen_interval = options.listen_interval;
+        auto st = std::make_unique<mac::WlanStation>(sim, bss, id, st_cfg, mac::DcfConfig{},
+                                                     config.wlan_nic, root.fork(200 + i));
+        bss.set_link(id, config.wlan_link, root.fork(300 + i));
+        auto playout = std::make_unique<traffic::PlayoutBuffer>(sim, mp3_playout());
+        st->set_receive_callback(
+            [p = playout.get()](DataSize size, Time) { p->on_data(size); });
+        auto src = std::make_unique<traffic::Mp3Source>(
+            sim, [&ap, id](DataSize size) { ap.send(id, size); });
+        stations.push_back(std::move(st));
+        playouts.push_back(std::move(playout));
+        sources.push_back(std::move(src));
+    }
+
+    ap.start();
+    for (auto& st : stations) st->start(ap.config().beacon_interval, ap.config().beacon_interval);
+    for (auto& p : playouts) p->start();
+    for (auto& s : sources) s->start();
+    sim.run_until(config.duration);
+
+    ScenarioResult result;
+    result.label = "wlan-psm";
+    for (std::size_t i = 0; i < stations.size(); ++i) {
+        result.clients.push_back(make_metrics(stations[i]->average_power(),
+                                              stations[i]->energy_consumed(), *playouts[i],
+                                              stations[i]->bytes_received()));
+    }
+    return result;
+}
+
+ScenarioResult run_ecmac(const StreamConfig& config, Time superframe) {
+    WLANPS_REQUIRE(config.clients >= 1);
+    sim::Simulator sim;
+    sim::Random root(config.seed);
+    mac::Bss bss(sim);
+    mac::EcMacConfig ec_cfg;
+    ec_cfg.superframe = superframe;
+    mac::EcMacController controller(sim, bss, ec_cfg, root.fork(100));
+
+    std::vector<std::unique_ptr<mac::EcMacStation>> stations;
+    std::vector<std::unique_ptr<traffic::PlayoutBuffer>> playouts;
+    std::vector<std::unique_ptr<traffic::Mp3Source>> sources;
+
+    for (int i = 0; i < config.clients; ++i) {
+        const auto id = static_cast<mac::StationId>(i + 1);
+        auto st = std::make_unique<mac::EcMacStation>(sim, bss, id, ec_cfg, config.wlan_nic);
+        bss.set_link(id, config.wlan_link, root.fork(300 + i));
+        auto playout = std::make_unique<traffic::PlayoutBuffer>(sim, mp3_playout());
+        st->set_receive_callback(
+            [p = playout.get()](DataSize size, Time) { p->on_data(size); });
+        auto src = std::make_unique<traffic::Mp3Source>(
+            sim, [&controller, id](DataSize size) { controller.send(id, size); });
+        stations.push_back(std::move(st));
+        playouts.push_back(std::move(playout));
+        sources.push_back(std::move(src));
+    }
+
+    controller.start();
+    for (auto& st : stations) st->start(controller.superframe_anchor());
+    for (auto& p : playouts) p->start();
+    for (auto& s : sources) s->start();
+    sim.run_until(config.duration);
+
+    ScenarioResult result;
+    result.label = "ec-mac";
+    for (std::size_t i = 0; i < stations.size(); ++i) {
+        result.clients.push_back(make_metrics(stations[i]->average_power(),
+                                              stations[i]->energy_consumed(), *playouts[i],
+                                              stations[i]->bytes_received()));
+    }
+    return result;
+}
+
+ScenarioResult run_bt_active(const StreamConfig& config) {
+    WLANPS_REQUIRE(config.clients >= 1);
+    sim::Simulator sim;
+    sim::Random root(config.seed);
+    bt::Piconet piconet(sim, bt::PiconetConfig{}, root.fork(100));
+
+    std::vector<std::unique_ptr<bt::BtSlave>> slaves;
+    std::vector<bt::SlaveId> ids;
+    std::vector<std::unique_ptr<traffic::PlayoutBuffer>> playouts;
+    std::vector<std::unique_ptr<traffic::Mp3Source>> sources;
+
+    for (int i = 0; i < config.clients; ++i) {
+        auto slave = std::make_unique<bt::BtSlave>(sim, config.bt_nic,
+                                                   phy::BtNic::State::active);
+        const bt::SlaveId id = piconet.join(*slave);
+        piconet.set_link(id, config.bt_link, root.fork(300 + i));
+        auto playout = std::make_unique<traffic::PlayoutBuffer>(sim, mp3_playout());
+        slave->set_receive_callback([p = playout.get()](DataSize size) { p->on_data(size); });
+        auto src = std::make_unique<traffic::Mp3Source>(
+            sim, [&piconet, id](DataSize size) { piconet.send(id, size); });
+        slaves.push_back(std::move(slave));
+        ids.push_back(id);
+        playouts.push_back(std::move(playout));
+        sources.push_back(std::move(src));
+    }
+
+    for (auto& p : playouts) p->start();
+    for (auto& s : sources) s->start();
+    sim.run_until(config.duration);
+
+    ScenarioResult result;
+    result.label = "bt-active";
+    for (std::size_t i = 0; i < slaves.size(); ++i) {
+        result.clients.push_back(make_metrics(slaves[i]->average_power(),
+                                              slaves[i]->energy_consumed(), *playouts[i],
+                                              slaves[i]->bytes_received()));
+    }
+    return result;
+}
+
+ScenarioResult run_hotspot(const StreamConfig& config, HotspotOptions options) {
+    WLANPS_REQUIRE(config.clients >= 1);
+    WLANPS_REQUIRE_MSG(options.wlan_available || options.bt_available,
+                       "at least one interface must be available");
+    sim::Simulator sim;
+    sim::Random root(config.seed);
+
+    // Shared Bluetooth piconet for all clients (one Hotspot radio).
+    bt::Piconet piconet(sim, bt::PiconetConfig{}, root.fork(100));
+
+    std::vector<std::unique_ptr<HotspotClient>> clients;
+    std::vector<std::unique_ptr<phy::WlanNic>> wlan_nics;
+    std::vector<std::unique_ptr<channel::WirelessLink>> wlan_links;
+    std::vector<std::unique_ptr<bt::BtSlave>> slaves;
+
+    ServerConfig server_cfg;
+    server_cfg.target_burst = options.target_burst;
+    server_cfg.utilization_cap = options.utilization_cap;
+    server_cfg.target_burst_period = options.target_burst_period;
+    HotspotServer server(sim, server_cfg, make_scheduler(options.scheduler));
+
+    for (int i = 0; i < config.clients; ++i) {
+        const auto id = static_cast<ClientId>(i + 1);
+        QosContract contract;
+        contract.stream_rate = phy::calibration::kMp3Rate;
+        if (options.contract_tweak) options.contract_tweak(id, contract);
+        auto client = std::make_unique<HotspotClient>(sim, id, contract);
+
+        if (options.wlan_available) {
+            auto nic = std::make_unique<phy::WlanNic>(sim, config.wlan_nic,
+                                                      phy::WlanNic::State::idle);
+            auto link = std::make_unique<channel::WirelessLink>(config.wlan_link,
+                                                                root.fork(300 + i));
+            client->add_channel(
+                std::make_unique<WlanBurstChannel>(sim, *nic, link.get()));
+            wlan_nics.push_back(std::move(nic));
+            wlan_links.push_back(std::move(link));
+        }
+        if (options.bt_available) {
+            auto slave = std::make_unique<bt::BtSlave>(sim, config.bt_nic,
+                                                       phy::BtNic::State::active);
+            const bt::SlaveId sid = piconet.join(*slave);
+            piconet.set_link(sid, config.bt_link, root.fork(400 + i));
+            if (!options.bt_quality_script.empty()) {
+                piconet.set_link_script(sid, options.bt_quality_script);
+            }
+            client->add_channel(std::make_unique<BtBurstChannel>(piconet, sid, *slave));
+            slaves.push_back(std::move(slave));
+        }
+
+        server.register_client(*client);
+        // The Hotspot proxy streams stored/prefetched media: bursts are
+        // sized by the client buffer, not real-time arrival (paper §2).
+        server.set_stored_content(id, true);
+        clients.push_back(std::move(client));
+    }
+
+    // Lives through the whole run: on_start callbacks may schedule probes
+    // that reference it mid-simulation.
+    std::vector<HotspotClient*> raw;
+    raw.reserve(clients.size());
+    for (auto& c : clients) raw.push_back(c.get());
+
+    if (options.on_start) options.on_start(sim, server, raw);
+    for (auto& c : clients) c->start();
+    server.start();
+    sim.run_until(config.duration);
+
+    if (options.inspect) options.inspect(sim, server, raw);
+
+    ScenarioResult result;
+    result.label = "hotspot-" + options.scheduler;
+    for (auto& c : clients) {
+        result.clients.push_back(make_metrics(c->wnic_average_power(), c->wnic_energy(),
+                                              c->playout(), c->bytes_received()));
+    }
+    return result;
+}
+
+ScenarioResult run_hotspot_mixed(const StreamConfig& config, HotspotOptions options,
+                                 MixedWorkload mix) {
+    WLANPS_REQUIRE(mix.mp3_clients >= 0 && mix.video_clients >= 0 && mix.web_clients >= 0);
+    const int total = mix.mp3_clients + mix.video_clients + mix.web_clients;
+    WLANPS_REQUIRE(total >= 1);
+    WLANPS_REQUIRE_MSG(mix.mp3_clients + mix.video_clients + mix.web_clients <= 7,
+                       "one piconet supports at most 7 active slaves");
+
+    sim::Simulator sim;
+    sim::Random root(config.seed);
+    bt::Piconet piconet(sim, bt::PiconetConfig{}, root.fork(100));
+
+    std::vector<std::unique_ptr<HotspotClient>> clients;
+    std::vector<std::unique_ptr<phy::WlanNic>> wlan_nics;
+    std::vector<std::unique_ptr<channel::WirelessLink>> wlan_links;
+    std::vector<std::unique_ptr<bt::BtSlave>> slaves;
+    std::vector<std::unique_ptr<traffic::Source>> sources;
+    enum class Kind { mp3, video, web };
+    std::vector<Kind> kinds;
+
+    ServerConfig server_cfg;
+    server_cfg.target_burst = options.target_burst;
+    server_cfg.utilization_cap = options.utilization_cap;
+    server_cfg.target_burst_period = options.target_burst_period;
+    HotspotServer server(sim, server_cfg, make_scheduler(options.scheduler));
+
+    // Mean rate of the default VBR video pattern (GOP of 12 at 25 fps).
+    const traffic::VideoSource::Config video_cfg;
+    const double video_bytes_per_gop =
+        static_cast<double>(video_cfg.i_frame.bytes()) +
+        3.0 * static_cast<double>(video_cfg.p_frame.bytes()) +
+        8.0 * static_cast<double>(video_cfg.b_frame.bytes());
+    const Rate video_rate =
+        Rate::from_bps(video_bytes_per_gop * 8.0 * video_cfg.fps / video_cfg.gop);
+
+    auto build_client = [&](ClientId id, Kind kind) {
+        QosContract contract;
+        switch (kind) {
+            case Kind::mp3:
+                contract.stream_rate = phy::calibration::kMp3Rate;
+                break;
+            case Kind::video:
+                contract.stream_rate = video_rate;
+                contract.client_buffer = DataSize::from_kilobytes(4096);
+                // Live VBR consumes as fast as it arrives, so the client
+                // can never buffer more than its preroll: a deep preroll
+                // buys the long inter-burst sleeps.
+                contract.preroll = Time::from_seconds(6);
+                break;
+            case Kind::web:
+                // Bursty, latency-tolerant; reserve a light trickle.
+                contract.stream_rate = Rate::from_kbps(64);
+                break;
+        }
+        auto client = std::make_unique<HotspotClient>(sim, id, contract);
+        auto nic = std::make_unique<phy::WlanNic>(sim, config.wlan_nic,
+                                                  phy::WlanNic::State::idle);
+        auto link = std::make_unique<channel::WirelessLink>(config.wlan_link,
+                                                            root.fork(300 + id));
+        client->add_channel(std::make_unique<WlanBurstChannel>(sim, *nic, link.get()));
+        wlan_nics.push_back(std::move(nic));
+        wlan_links.push_back(std::move(link));
+
+        auto slave = std::make_unique<bt::BtSlave>(sim, config.bt_nic,
+                                                   phy::BtNic::State::active);
+        const bt::SlaveId sid = piconet.join(*slave);
+        piconet.set_link(sid, config.bt_link, root.fork(400 + id));
+        client->add_channel(std::make_unique<BtBurstChannel>(piconet, sid, *slave));
+        slaves.push_back(std::move(slave));
+
+        server.register_client(*client);
+        switch (kind) {
+            case Kind::mp3:
+                server.set_stored_content(id, true);
+                break;
+            case Kind::video:
+                sources.push_back(std::make_unique<traffic::VideoSource>(
+                    sim, server.ingest_sink(id), video_cfg, root.fork(500 + id)));
+                break;
+            case Kind::web:
+                sources.push_back(std::make_unique<traffic::WebSource>(
+                    sim, server.ingest_sink(id), traffic::WebSource::Config{},
+                    root.fork(500 + id)));
+                break;
+        }
+        kinds.push_back(kind);
+        clients.push_back(std::move(client));
+    };
+
+    ClientId next_id = 1;
+    for (int i = 0; i < mix.mp3_clients; ++i) build_client(next_id++, Kind::mp3);
+    for (int i = 0; i < mix.video_clients; ++i) build_client(next_id++, Kind::video);
+    for (int i = 0; i < mix.web_clients; ++i) build_client(next_id++, Kind::web);
+
+    std::vector<HotspotClient*> raw;
+    raw.reserve(clients.size());
+    for (auto& c : clients) raw.push_back(c.get());
+
+    if (options.on_start) options.on_start(sim, server, raw);
+    for (std::size_t i = 0; i < clients.size(); ++i) {
+        clients[i]->start(/*start_playout=*/kinds[i] != Kind::web);
+    }
+    for (auto& s : sources) s->start();
+    server.start();
+    sim.run_until(config.duration);
+
+    if (options.inspect) options.inspect(sim, server, raw);
+
+    ScenarioResult result;
+    result.label = "hotspot-mixed-" + options.scheduler;
+    std::size_t source_index = 0;
+    for (std::size_t i = 0; i < clients.size(); ++i) {
+        ClientMetrics m = make_metrics(clients[i]->wnic_average_power(),
+                                       clients[i]->wnic_energy(), clients[i]->playout(),
+                                       clients[i]->bytes_received());
+        if (kinds[i] != Kind::mp3) {
+            // Live-ingest clients: relate delivery to generation.
+            const traffic::Source& src = *sources[source_index++];
+            if (kinds[i] == Kind::web) {
+                const auto generated = src.bytes_generated();
+                m.qos = generated.is_zero()
+                            ? 1.0
+                            : std::min(1.0, static_cast<double>(m.received.bytes()) /
+                                                static_cast<double>(generated.bytes()));
+                m.underruns = 0;
+            }
+        }
+        result.clients.push_back(m);
+    }
+    return result;
+}
+
+}  // namespace wlanps::core::scenarios

@@ -1,0 +1,126 @@
+#pragma once
+/// \file scenarios.hpp
+/// End-to-end scenario builders for the paper's evaluation.
+///
+/// Each function builds a full world (simulator, traffic, MAC/PHY
+/// substrates, meters), runs it, and returns per-client power and QoS —
+/// the rows of Figure 2 and the ablation benches.  The four configurations
+/// of the Figure 2 experiment:
+///   * WLAN, no scheduling  (CAM: NIC idle-listening throughout)
+///   * WLAN standard 802.11 PSM (TIM + PS-Poll)
+///   * Bluetooth, no scheduling (ACL active the whole session)
+///   * Hotspot scheduling (paper §2: bursts + interface selection +
+///     park/off between bursts)
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "channel/gilbert_elliott.hpp"
+#include "channel/scripted.hpp"
+#include "core/client.hpp"
+#include "core/server.hpp"
+#include "power/units.hpp"
+#include "sim/time.hpp"
+#include "sim/units.hpp"
+
+namespace wlanps::core::scenarios {
+
+/// Common workload/world parameters (defaults = the Figure 2 experiment).
+struct StreamConfig {
+    int clients = 3;
+    Time duration = Time::from_seconds(300);
+    std::uint64_t seed = 42;
+    /// Per-client link behaviour (mild burst errors by default).
+    channel::GilbertElliottConfig wlan_link{Time::from_ms(800), Time::from_ms(40), 1e-7, 1e-4};
+    channel::GilbertElliottConfig bt_link{Time::from_ms(800), Time::from_ms(40), 1e-7, 1e-4};
+    /// NIC calibration overrides (defaults = IPAQ measurements) — the
+    /// sensitivity ablation sweeps these.
+    phy::WlanNicConfig wlan_nic;
+    phy::BtNicConfig bt_nic;
+};
+
+/// Ground-truth per-client results.
+struct ClientMetrics {
+    power::Power wnic_average;     ///< all wireless interfaces
+    power::Energy wnic_energy;
+    power::Power device_average;   ///< wnic + IPAQ base platform
+    double qos = 0.0;              ///< fraction of playout deadlines met
+    std::uint64_t underruns = 0;
+    DataSize received;
+};
+
+/// Result of one scenario run.
+struct ScenarioResult {
+    std::string label;
+    std::vector<ClientMetrics> clients;
+
+    [[nodiscard]] power::Power mean_wnic() const;
+    [[nodiscard]] power::Power mean_device() const;
+    [[nodiscard]] double min_qos() const;
+};
+
+/// WLAN baseline, no power management: stations constantly awake.
+[[nodiscard]] ScenarioResult run_wlan_cam(const StreamConfig& config);
+
+/// Standard 802.11 PSM: TIM beacons + PS-Polls.
+struct PsmOptions {
+    int listen_interval = 1;
+    /// >1 enables MAC-level aggregation (multiple MSDUs per poll).
+    int aggregate_limit = 1;
+    Time beacon_interval = phy::calibration::kWlanBeaconInterval;
+};
+[[nodiscard]] ScenarioResult run_wlan_psm(const StreamConfig& config, PsmOptions options = {});
+
+/// EC-MAC: centrally broadcast schedule, collision-free slots.
+[[nodiscard]] ScenarioResult run_ecmac(const StreamConfig& config,
+                                       Time superframe = Time::from_ms(100));
+
+/// Bluetooth baseline, no scheduling: slaves active for the whole session,
+/// frames forwarded as they are generated.
+[[nodiscard]] ScenarioResult run_bt_active(const StreamConfig& config);
+
+/// Hotspot scheduling options.
+struct HotspotOptions {
+    std::string scheduler = "edf";
+    DataSize target_burst = DataSize::from_kilobytes(48);
+    /// Per-client bursts are max(target_burst, rate * target_burst_period)
+    /// — set this below target_burst/rate to sweep small bursts.
+    Time target_burst_period = Time::from_seconds(3);
+    bool wlan_available = true;
+    bool bt_available = true;
+    /// Admission-control utilization cap (>1 effectively disables
+    /// admission — used by the overload ablation).
+    double utilization_cap = 0.90;
+    /// Optional scripted BT degradation (per client) — the paper's
+    /// "conditions in the link change" switching scenario.
+    channel::ScriptedQuality bt_quality_script;
+    /// Per-client QoS contract adjustment (weights, priorities, rates)
+    /// applied before the client is built.
+    std::function<void(ClientId, QosContract&)> contract_tweak;
+    /// Invoked after the world is built, before the run starts — attach
+    /// power traces, schedule mid-run probes, tweak contracts, etc.
+    std::function<void(sim::Simulator&, HotspotServer&, std::vector<HotspotClient*>&)> on_start;
+    /// Invoked just before teardown for inspection (traces, reports).
+    std::function<void(sim::Simulator&, HotspotServer&, std::vector<HotspotClient*>&)> inspect;
+};
+/// The paper's system: server resource manager + client resource managers.
+[[nodiscard]] ScenarioResult run_hotspot(const StreamConfig& config, HotspotOptions options);
+
+/// Mixed heterogeneous workload through one Hotspot (paper intro: "most
+/// of wireless data traffic is targeted at the infrastructure"):
+///   * stored MP3 audio clients (as in Figure 2),
+///   * live VBR video clients (~600 kb/s mean — too fast for Bluetooth,
+///     the selector must put them on WLAN),
+///   * bursty web-browsing clients (live ingest, no playout QoS — their
+///     qos field reports the delivery ratio instead).
+struct MixedWorkload {
+    int mp3_clients = 2;
+    int video_clients = 1;
+    int web_clients = 1;
+};
+[[nodiscard]] ScenarioResult run_hotspot_mixed(const StreamConfig& config,
+                                               HotspotOptions options, MixedWorkload mix);
+
+}  // namespace wlanps::core::scenarios

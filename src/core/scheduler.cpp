@@ -1,0 +1,110 @@
+#include "core/scheduler.hpp"
+
+#include <algorithm>
+
+#include "sim/assert.hpp"
+
+namespace wlanps::core {
+
+namespace {
+/// FIFO tie-break helper: prefer the earlier-created request.
+bool earlier(const BurstRequest& a, const BurstRequest& b) {
+    return a.created_at < b.created_at;
+}
+}  // namespace
+
+std::size_t EdfScheduler::pick(const std::vector<BurstRequest>& pending, Time /*now*/) {
+    WLANPS_REQUIRE(!pending.empty());
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < pending.size(); ++i) {
+        if (pending[i].deadline < pending[best].deadline ||
+            (pending[i].deadline == pending[best].deadline &&
+             earlier(pending[i], pending[best]))) {
+            best = i;
+        }
+    }
+    return best;
+}
+
+double WfqScheduler::normalized_service(ClientId client) const {
+    const auto it = served_.find(client);
+    return it == served_.end() ? 0.0 : it->second;
+}
+
+std::size_t WfqScheduler::pick(const std::vector<BurstRequest>& pending, Time /*now*/) {
+    WLANPS_REQUIRE(!pending.empty());
+    std::size_t best = 0;
+    double best_served = normalized_service(pending[0].client);
+    WLANPS_REQUIRE(pending[0].weight > 0.0);
+    for (std::size_t i = 1; i < pending.size(); ++i) {
+        WLANPS_REQUIRE(pending[i].weight > 0.0);
+        const double served = normalized_service(pending[i].client);
+        if (served < best_served ||
+            (served == best_served && earlier(pending[i], pending[best]))) {
+            best = i;
+            best_served = served;
+        }
+    }
+    return best;
+}
+
+void WfqScheduler::on_dispatch(const BurstRequest& request, Time /*service_time*/) {
+    WLANPS_REQUIRE(request.weight > 0.0);
+    served_[request.client] += static_cast<double>(request.size.bits()) / request.weight;
+}
+
+std::size_t RoundRobinScheduler::pick(const std::vector<BurstRequest>& pending, Time /*now*/) {
+    WLANPS_REQUIRE(!pending.empty());
+    // Smallest client id strictly greater than the last served; wrap.
+    std::size_t best = pending.size();
+    for (std::size_t i = 0; i < pending.size(); ++i) {
+        if (pending[i].client > last_served_) {
+            if (best == pending.size() || pending[i].client < pending[best].client) best = i;
+        }
+    }
+    if (best != pending.size()) return best;
+    // Wrap to the smallest id.
+    best = 0;
+    for (std::size_t i = 1; i < pending.size(); ++i) {
+        if (pending[i].client < pending[best].client) best = i;
+    }
+    return best;
+}
+
+void RoundRobinScheduler::on_dispatch(const BurstRequest& request, Time /*service_time*/) {
+    last_served_ = request.client;
+}
+
+std::size_t FixedPriorityScheduler::pick(const std::vector<BurstRequest>& pending, Time /*now*/) {
+    WLANPS_REQUIRE(!pending.empty());
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < pending.size(); ++i) {
+        if (pending[i].priority < pending[best].priority ||
+            (pending[i].priority == pending[best].priority &&
+             earlier(pending[i], pending[best]))) {
+            best = i;
+        }
+    }
+    return best;
+}
+
+std::size_t FifoScheduler::pick(const std::vector<BurstRequest>& pending, Time /*now*/) {
+    WLANPS_REQUIRE(!pending.empty());
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < pending.size(); ++i) {
+        if (earlier(pending[i], pending[best])) best = i;
+    }
+    return best;
+}
+
+std::unique_ptr<Scheduler> make_scheduler(const std::string& name) {
+    if (name == "edf") return std::make_unique<EdfScheduler>();
+    if (name == "wfq") return std::make_unique<WfqScheduler>();
+    if (name == "round-robin") return std::make_unique<RoundRobinScheduler>();
+    if (name == "fixed-priority") return std::make_unique<FixedPriorityScheduler>();
+    if (name == "fifo") return std::make_unique<FifoScheduler>();
+    WLANPS_REQUIRE_MSG(false, "unknown scheduler: " + name);
+    return nullptr;  // unreachable
+}
+
+}  // namespace wlanps::core

@@ -1,0 +1,107 @@
+#pragma once
+/// \file scheduler.hpp
+/// Burst schedulers for the Hotspot resource manager (paper §2).
+///
+/// "A number of scheduling algorithms have been implemented in the
+/// Hotspot's resource manager, ranging from standard real-time schedulers
+/// such as earliest deadline first, to well known packet level schedulers
+/// such as weighted fair queuing."  A Scheduler picks which pending burst
+/// a (serialized) interface serves next.
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/qos.hpp"
+#include "sim/time.hpp"
+#include "sim/units.hpp"
+
+namespace wlanps::core {
+
+/// One pending burst the dispatcher must place.
+struct BurstRequest {
+    ClientId client = 0;
+    DataSize size;
+    /// Completion deadline (projected client-buffer underrun minus margin).
+    Time deadline = Time::max();
+    double weight = 1.0;
+    int priority = 1;
+    /// When the request was created (FIFO tie-breaks).
+    Time created_at = Time::zero();
+};
+
+/// Picks the next burst to serve from the pending set.
+class Scheduler {
+public:
+    virtual ~Scheduler() = default;
+
+    /// Index into \p pending of the burst to serve next.  \p pending is
+    /// non-empty.  \p now is the dispatch time.
+    [[nodiscard]] virtual std::size_t pick(const std::vector<BurstRequest>& pending,
+                                           Time now) = 0;
+
+    /// Notification that \p request starts service taking \p service_time
+    /// (WFQ advances virtual time here).
+    virtual void on_dispatch(const BurstRequest& request, Time service_time) {
+        (void)request;
+        (void)service_time;
+    }
+
+    [[nodiscard]] virtual std::string name() const = 0;
+};
+
+/// Earliest deadline first.
+class EdfScheduler final : public Scheduler {
+public:
+    [[nodiscard]] std::size_t pick(const std::vector<BurstRequest>& pending, Time now) override;
+    [[nodiscard]] std::string name() const override { return "edf"; }
+};
+
+/// Weighted fair queuing over burst sizes, in the long-run (fluid) sense:
+/// each client accumulates normalized service size/weight, and the
+/// pending burst of the least-served client goes next.  For persistently
+/// backlogged flows this converges to the weight-proportional bandwidth
+/// split of packetized WFQ, without per-arrival virtual-time tagging.
+class WfqScheduler final : public Scheduler {
+public:
+    [[nodiscard]] std::size_t pick(const std::vector<BurstRequest>& pending, Time now) override;
+    void on_dispatch(const BurstRequest& request, Time service_time) override;
+    [[nodiscard]] std::string name() const override { return "wfq"; }
+    /// Normalized service a client has received so far (bits / weight).
+    [[nodiscard]] double normalized_service(ClientId client) const;
+
+private:
+    std::unordered_map<ClientId, double> served_;
+};
+
+/// Round robin over clients.
+class RoundRobinScheduler final : public Scheduler {
+public:
+    [[nodiscard]] std::size_t pick(const std::vector<BurstRequest>& pending, Time now) override;
+    void on_dispatch(const BurstRequest& request, Time service_time) override;
+    [[nodiscard]] std::string name() const override { return "round-robin"; }
+
+private:
+    ClientId last_served_ = 0;
+};
+
+/// Fixed priority (rate-monotonic-style), FIFO within a priority level.
+class FixedPriorityScheduler final : public Scheduler {
+public:
+    [[nodiscard]] std::size_t pick(const std::vector<BurstRequest>& pending, Time now) override;
+    [[nodiscard]] std::string name() const override { return "fixed-priority"; }
+};
+
+/// First come, first served (baseline).
+class FifoScheduler final : public Scheduler {
+public:
+    [[nodiscard]] std::size_t pick(const std::vector<BurstRequest>& pending, Time now) override;
+    [[nodiscard]] std::string name() const override { return "fifo"; }
+};
+
+/// Factory by name ("edf", "wfq", "round-robin", "fixed-priority", "fifo").
+[[nodiscard]] std::unique_ptr<Scheduler> make_scheduler(const std::string& name);
+
+}  // namespace wlanps::core

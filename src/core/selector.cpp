@@ -1,0 +1,80 @@
+#include "core/selector.hpp"
+
+#include "sim/assert.hpp"
+
+namespace wlanps::core {
+
+power::Power InterfaceSelector::predicted_power(BurstChannel& channel, Rate stream_rate,
+                                                DataSize burst_size) {
+    WLANPS_REQUIRE(stream_rate > Rate::zero());
+    WLANPS_REQUIRE(burst_size > DataSize::zero());
+    phy::Wnic& nic = channel.wnic();
+    const Time period = Time::from_seconds(static_cast<double>(burst_size.bits()) /
+                                           stream_rate.bps());
+    const Time active = nic.wake_latency() + channel.goodput().transmit_time(burst_size);
+    if (active >= period) {
+        // Channel cannot even keep up; predicted power is the always-on
+        // active power (an upper bound that also de-prioritizes it).
+        return nic.active_power();
+    }
+    const power::Energy per_burst =
+        nic.active_power().over(active) + nic.sleep_power().over(period - active);
+    return per_burst.average_over(period);
+}
+
+bool InterfaceSelector::feasible(BurstChannel& channel, Rate stream_rate, Time now) const {
+    if (channel.quality(now) < config_.quality_threshold) return false;
+    return channel.goodput().bps() >= stream_rate.bps() * config_.rate_margin;
+}
+
+std::size_t InterfaceSelector::select(const std::vector<BurstChannel*>& channels,
+                                      Rate stream_rate, DataSize burst_size, Time now,
+                                      std::size_t current_index) const {
+    WLANPS_REQUIRE(!channels.empty());
+    std::size_t best = channels.size();
+    power::Power best_power = power::Power::from_watts(1e9);
+    for (std::size_t i = 0; i < channels.size(); ++i) {
+        // Dual-threshold handover: candidates must clear the higher entry
+        // bar; the serving channel stays eligible down to the base bar.
+        const double threshold = i == current_index ? config_.quality_threshold
+                                                    : config_.quality_enter_threshold;
+        if (channels[i]->quality(now) < threshold) continue;
+        if (channels[i]->goodput().bps() < stream_rate.bps() * config_.rate_margin) continue;
+        const power::Power p = predicted_power(*channels[i], stream_rate, burst_size);
+        if (p < best_power) {
+            best = i;
+            best_power = p;
+        }
+    }
+    if (best == channels.size()) {
+        // Nothing feasible: serve on the best-quality channel anyway,
+        // with hysteresis so borderline channels don't flap.
+        best = 0;
+        double best_q = channels[0]->quality(now);
+        for (std::size_t i = 1; i < channels.size(); ++i) {
+            const double q = channels[i]->quality(now);
+            if (q > best_q) {
+                best = i;
+                best_q = q;
+            }
+        }
+        if (current_index < channels.size() && current_index != best &&
+            channels[current_index]->quality(now) >= best_q * 0.75) {
+            return current_index;
+        }
+        return best;
+    }
+    // Hysteresis: keep the current feasible interface unless the winner is
+    // clearly better.
+    if (current_index < channels.size() && current_index != best &&
+        feasible(*channels[current_index], stream_rate, now)) {
+        const power::Power current_power =
+            predicted_power(*channels[current_index], stream_rate, burst_size);
+        if (current_power.watts() <= best_power.watts() * config_.switch_gain) {
+            return current_index;
+        }
+    }
+    return best;
+}
+
+}  // namespace wlanps::core

@@ -1,0 +1,66 @@
+#pragma once
+/// \file selector.hpp
+/// Per-client wireless interface selection (paper §2).
+///
+/// "Resource manager on the server dynamically selects the appropriate
+/// wireless network interface on each client (e.g. Bluetooth, WLAN)":
+/// among the channels whose link quality and goodput can carry the
+/// client's stream, pick the one with the lowest predicted average power
+/// for the planned burst cadence.  Bluetooth wins at audio rates on a
+/// healthy link; WLAN takes over when the Bluetooth link degrades or the
+/// required rate grows.
+
+#include <cstddef>
+#include <vector>
+
+#include "core/burst_channel.hpp"
+#include "power/units.hpp"
+#include "sim/time.hpp"
+#include "sim/units.hpp"
+
+namespace wlanps::core {
+
+/// Selection policy knobs.
+struct SelectorConfig {
+    /// Links below this quality are unusable.
+    double quality_threshold = 0.60;
+    /// Dual-threshold handover: a link must exceed this (higher) quality
+    /// to be switched TO; the serving link stays usable down to
+    /// quality_threshold.  Suppresses flapping under noisy shadowing.
+    double quality_enter_threshold = 0.75;
+    /// Channel goodput must exceed stream rate by this factor so bursts
+    /// can catch up after errors.
+    double rate_margin = 1.5;
+    /// Hysteresis: a new interface must beat the current one's predicted
+    /// power by this factor to trigger a switch (prevents flapping).
+    double switch_gain = 1.10;
+};
+
+/// Stateless power prediction + stateful (hysteresis) selection.
+class InterfaceSelector {
+public:
+    explicit InterfaceSelector(SelectorConfig config) : config_(config) {}
+
+    /// Predicted client-side average power of serving \p stream_rate in
+    /// bursts of \p burst_size over \p channel.
+    [[nodiscard]] static power::Power predicted_power(BurstChannel& channel, Rate stream_rate,
+                                                      DataSize burst_size);
+
+    /// Is \p channel currently able to carry \p stream_rate?
+    [[nodiscard]] bool feasible(BurstChannel& channel, Rate stream_rate, Time now) const;
+
+    /// Choose among \p channels for a client currently using
+    /// \p current_index (or channels.size() if none yet).  Returns the
+    /// chosen index.  Falls back to the highest-quality channel when none
+    /// is feasible (degraded service beats none).
+    [[nodiscard]] std::size_t select(const std::vector<BurstChannel*>& channels,
+                                     Rate stream_rate, DataSize burst_size, Time now,
+                                     std::size_t current_index) const;
+
+    [[nodiscard]] const SelectorConfig& config() const { return config_; }
+
+private:
+    SelectorConfig config_;
+};
+
+}  // namespace wlanps::core

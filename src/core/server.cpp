@@ -1,0 +1,318 @@
+#include "core/server.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "sim/assert.hpp"
+#include "sim/logger.hpp"
+
+namespace wlanps::core {
+
+HotspotServer::HotspotServer(sim::Simulator& sim, ServerConfig config,
+                             std::unique_ptr<Scheduler> scheduler)
+    : sim_(sim),
+      config_(config),
+      scheduler_(std::move(scheduler)),
+      selector_(config.selector) {
+    WLANPS_REQUIRE(scheduler_ != nullptr);
+    WLANPS_REQUIRE(config_.target_burst >= config_.min_burst);
+    WLANPS_REQUIRE(config_.min_burst > DataSize::zero());
+    WLANPS_REQUIRE(config_.plan_interval > Time::zero());
+}
+
+bool HotspotServer::try_register(HotspotClient& client) {
+    WLANPS_REQUIRE_MSG(clients_.find(client.id()) == clients_.end(), "duplicate client id");
+    WLANPS_REQUIRE_MSG(client.channel_count() > 0, "client has no channels");
+
+    // Refresh per-interface capacities from this client's channels (all
+    // clients of one Hotspot share each interface's airtime).
+    auto channels = client.channels();
+    for (BurstChannel* ch : channels) {
+        capacity_[ch->interface()] = ch->goodput() * config_.utilization_cap;
+    }
+
+    // Find an interface with room for the contract's reservation,
+    // preferring the lowest predicted client power (same ranking the
+    // burst-time selector uses).
+    const Rate need = client.contract().stream_rate * config_.reservation_margin;
+    std::vector<BurstChannel*> ordered(channels.begin(), channels.end());
+    std::sort(ordered.begin(), ordered.end(), [&](BurstChannel* a, BurstChannel* b) {
+        return InterfaceSelector::predicted_power(*a, client.contract().stream_rate,
+                                                  config_.target_burst) <
+               InterfaceSelector::predicted_power(*b, client.contract().stream_rate,
+                                                  config_.target_burst);
+    });
+    BurstChannel* admitted_on = nullptr;
+    for (BurstChannel* ch : ordered) {
+        const phy::Interface itf = ch->interface();
+        if ((reserved_[itf] + need).bps() <= capacity_[itf].bps()) {
+            admitted_on = ch;
+            break;
+        }
+    }
+    if (admitted_on == nullptr) return false;  // admission denied
+
+    ClientRecord rec;
+    rec.client = &client;
+    rec.playback_start = sim_.now() + client.contract().preroll;
+    rec.reserved_on = admitted_on->interface();
+    rec.reservation = need;
+    reserved_[rec.reserved_on] += need;
+    clients_[client.id()] = std::move(rec);
+    return true;
+}
+
+void HotspotServer::register_client(HotspotClient& client) {
+    WLANPS_REQUIRE_MSG(try_register(client),
+                       "admission denied: no interface has bandwidth for this contract");
+}
+
+void HotspotServer::unregister_client(ClientId id) {
+    auto it = clients_.find(id);
+    WLANPS_REQUIRE_MSG(it != clients_.end(), "unknown client");
+    // Release the bandwidth reservation.
+    auto& rec = it->second;
+    reserved_[rec.reserved_on] = Rate::from_bps(
+        std::max(0.0, reserved_[rec.reserved_on].bps() - rec.reservation.bps()));
+    // Drop pending (not yet dispatched) bursts for this client.
+    for (auto& [itf, queue] : pending_) {
+        std::erase_if(queue, [id](const auto& entry) { return entry.first.client == id; });
+    }
+    clients_.erase(it);
+}
+
+Rate HotspotServer::reserved(phy::Interface itf) const {
+    const auto it = reserved_.find(itf);
+    return it == reserved_.end() ? Rate::zero() : it->second;
+}
+
+Rate HotspotServer::capacity(phy::Interface itf) const {
+    const auto it = capacity_.find(itf);
+    return it == capacity_.end() ? Rate::zero() : it->second;
+}
+
+void HotspotServer::move_reservation(ClientRecord& rec, phy::Interface to) {
+    if (rec.reserved_on == to) return;
+    reserved_[rec.reserved_on] = Rate::from_bps(
+        std::max(0.0, (reserved_[rec.reserved_on].bps() - rec.reservation.bps())));
+    reserved_[to] += rec.reservation;
+    rec.reserved_on = to;
+}
+
+DataSize HotspotServer::effective_target(const ClientRecord& rec) const {
+    // Rate-proportional sizing: a 600 kb/s video client gets ~4x the burst
+    // of a 128 kb/s audio client, so both sleep ~target_burst_period.
+    const DataSize by_rate =
+        rec.client->contract().stream_rate.data_in(config_.target_burst_period);
+    DataSize target = std::max(config_.target_burst, by_rate);
+    if (config_.battery_aware) {
+        // Low battery -> larger bursts -> fewer wakeups (paper §2: the
+        // server knows its clients' battery levels).
+        const double level = rec.client->battery_level();
+        target = target * (2.0 - level);
+    }
+    return target;
+}
+
+traffic::Sink HotspotServer::ingest_sink(ClientId id) {
+    WLANPS_REQUIRE_MSG(clients_.find(id) != clients_.end(), "unknown client");
+    return [this, id](DataSize size) {
+        // Traffic for a departed client is dropped (do not resurrect it).
+        auto it = clients_.find(id);
+        if (it != clients_.end()) it->second.server_buffer += size;
+    };
+}
+
+void HotspotServer::set_stored_content(ClientId id, bool stored) {
+    auto it = clients_.find(id);
+    WLANPS_REQUIRE_MSG(it != clients_.end(), "unknown client");
+    it->second.stored_content = stored;
+}
+
+void HotspotServer::start() {
+    plan_timer_ = std::make_unique<sim::PeriodicEvent>(sim_, config_.plan_interval,
+                                                       [this] { plan(); });
+    plan_timer_->start();
+}
+
+DataSize HotspotServer::modeled_buffer(const ClientRecord& rec, Time at) const {
+    if (at <= rec.playback_start) return rec.modeled_delivered;
+    const DataSize consumed =
+        rec.client->contract().stream_rate.data_in(at - rec.playback_start);
+    if (consumed >= rec.modeled_delivered) return DataSize::zero();
+    return rec.modeled_delivered - consumed;
+}
+
+Time HotspotServer::projected_underrun(const ClientRecord& rec) const {
+    const Time t0 = std::max(sim_.now(), rec.playback_start);
+    const DataSize level = modeled_buffer(rec, t0);
+    return t0 + rec.client->contract().stream_rate.transmit_time(level);
+}
+
+void HotspotServer::plan() {
+    for (auto& [id, rec] : clients_) plan_client(id, rec);
+}
+
+void HotspotServer::plan_client(ClientId id, ClientRecord& rec) {
+    if (rec.burst_outstanding) return;
+    const DataSize target = effective_target(rec);
+    const DataSize available = rec.stored_content ? target : rec.server_buffer;
+    if (available < config_.min_burst) return;
+
+    const Time underrun = projected_underrun(rec);
+    const bool buffer_full = !rec.stored_content && rec.server_buffer >= target;
+    // Critical lead: this burst's own transfer plus worst-case
+    // serialization behind every other client on the serving interface,
+    // plus the planning tick and the contract margin.  Bursting earlier
+    // than this produces dust bursts; later risks the deadline.
+    const Rate goodput = rec.has_channel
+                             ? rec.client->channel(rec.current_channel).goodput()
+                             : rec.client->channel(0).goodput();
+    const Time queue_allowance =
+        goodput.transmit_time(target) * static_cast<double>(clients_.size());
+    const Time critical = rec.client->contract().deadline_margin + config_.underrun_lead +
+                          config_.plan_interval + queue_allowance;
+    const bool deadline_near = underrun - sim_.now() <= critical;
+    // Prefill: a client that has received nothing yet is served eagerly so
+    // its preroll completes even when several first bursts serialize.
+    const bool prefill = rec.stored_content && rec.modeled_delivered.is_zero();
+    if (!buffer_full && !deadline_near && !prefill) return;
+
+    const QosContract& contract = rec.client->contract();
+    // Headroom in the client's buffer (server-side model).
+    const DataSize level = modeled_buffer(rec, sim_.now());
+    const DataSize headroom =
+        contract.client_buffer > level ? contract.client_buffer - level : DataSize::zero();
+    DataSize size = std::min({available, target, headroom});
+    if (size < config_.min_burst) return;  // client buffer nearly full: wait
+
+    // Select the interface for this burst.
+    auto channels = rec.client->channels();
+    const std::size_t chosen = selector_.select(
+        channels, contract.stream_rate, size, sim_.now(),
+        rec.has_channel ? rec.current_channel : channels.size());
+    if (rec.has_channel && chosen != rec.current_channel) {
+        ++rec.interface_switches;
+        sim::Logger::log(sim::LogLevel::info, sim_.now(), "hotspot",
+                         "client " + std::to_string(id) + " switches to " +
+                             phy::to_string(channels[chosen]->interface()));
+    }
+    rec.current_channel = chosen;
+    rec.has_channel = true;
+    // Keep the bandwidth reservation on the serving interface.
+    move_reservation(rec, channels[chosen]->interface());
+
+    BurstRequest request;
+    request.client = id;
+    request.size = size;
+    request.deadline = underrun - contract.deadline_margin;
+    request.weight = contract.weight;
+    request.priority = contract.priority;
+    request.created_at = sim_.now();
+
+    if (!rec.stored_content) rec.server_buffer -= size;  // reserve
+    rec.burst_outstanding = true;
+    const phy::Interface itf = channels[chosen]->interface();
+    decisions_.push_back(BurstDecision{sim_.now(), id, size, itf, request.deadline});
+    if (decisions_.size() > kDecisionLogCapacity) decisions_.pop_front();
+    sim::Logger::log(sim::LogLevel::debug, sim_.now(), "hotspot",
+                     "burst " + size.str() + " for client " + std::to_string(id) + " on " +
+                         phy::to_string(itf) + ", deadline " + request.deadline.str());
+    pending_[itf].emplace_back(request, chosen);
+    dispatch(itf);
+}
+
+void HotspotServer::dispatch(phy::Interface itf) {
+    if (interface_busy_[itf]) return;
+    auto& queue = pending_[itf];
+    if (queue.empty()) return;
+
+    std::vector<BurstRequest> requests;
+    requests.reserve(queue.size());
+    for (const auto& [req, idx] : queue) requests.push_back(req);
+    const std::size_t pick = scheduler_->pick(requests, sim_.now());
+    WLANPS_REQUIRE(pick < queue.size());
+
+    const BurstRequest request = queue[pick].first;
+    const std::size_t channel_index = queue[pick].second;
+    queue.erase(queue.begin() + static_cast<std::ptrdiff_t>(pick));
+
+    const ClientRecord& rec = clients_.at(request.client);
+    const Time service_estimate =
+        rec.client->channel(channel_index).goodput().transmit_time(request.size);
+    scheduler_->on_dispatch(request, service_estimate);
+
+    interface_busy_[itf] = true;
+    execute(itf, request, channel_index);
+}
+
+void HotspotServer::execute(phy::Interface itf, BurstRequest request, std::size_t channel_index) {
+    ClientRecord& rec = clients_.at(request.client);
+    BurstChannel& channel = rec.client->channel(channel_index);
+    // Wake the client just in time: the schedule notification is free
+    // (control plane), the wake latency is not.
+    const Time start = sim_.now() + channel.wnic().wake_latency() + Time::from_ms(1);
+
+    rec.client->execute_burst(
+        channel_index, request.size, start,
+        [this, itf, request](const BurstChannel::Result& result) {
+            interface_busy_[itf] = false;
+            auto it = clients_.find(request.client);
+            if (it == clients_.end()) {
+                // The client left mid-burst; just free the interface.
+                dispatch(itf);
+                return;
+            }
+            ClientRecord& r = it->second;
+            r.burst_outstanding = false;
+            r.modeled_delivered += result.delivered;
+            ++r.bursts;
+            ++total_bursts_;
+            if (sim_.now() > request.deadline) ++r.deadline_misses;
+            // Undelivered bytes go back to the server buffer for a retry.
+            if (!result.lost.is_zero() && !r.stored_content) r.server_buffer += result.lost;
+            dispatch(itf);
+            plan_client(request.client, r);
+        });
+}
+
+ClientReport HotspotServer::report(ClientId id) const {
+    const auto it = clients_.find(id);
+    WLANPS_REQUIRE_MSG(it != clients_.end(), "unknown client");
+    const ClientRecord& rec = it->second;
+    ClientReport rep;
+    rep.id = id;
+    rep.delivered = rec.modeled_delivered;
+    rep.bursts = rec.bursts;
+    rep.deadline_misses = rec.deadline_misses;
+    rep.interface_switches = rec.interface_switches;
+    rep.current_channel = rec.current_channel;
+    return rep;
+}
+
+std::vector<ClientReport> HotspotServer::reports() const {
+    std::vector<ClientReport> out;
+    out.reserve(clients_.size());
+    for (const auto& [id, rec] : clients_) out.push_back(report(id));
+    return out;
+}
+
+std::uint64_t HotspotServer::total_deadline_misses() const {
+    std::uint64_t total = 0;
+    for (const auto& [id, rec] : clients_) total += rec.deadline_misses;
+    return total;
+}
+
+DataSize HotspotServer::modeled_client_buffer(ClientId id) const {
+    const auto it = clients_.find(id);
+    WLANPS_REQUIRE_MSG(it != clients_.end(), "unknown client");
+    return modeled_buffer(it->second, sim_.now());
+}
+
+DataSize HotspotServer::server_buffer(ClientId id) const {
+    const auto it = clients_.find(id);
+    WLANPS_REQUIRE_MSG(it != clients_.end(), "unknown client");
+    return it->second.server_buffer;
+}
+
+}  // namespace wlanps::core

@@ -1,0 +1,178 @@
+#pragma once
+/// \file server.hpp
+/// The Hotspot server-side resource manager (paper §2).
+///
+/// "The resource manager's goal is to schedule data transmission times
+/// with clients in order to meet QoS requirements while minimizing the
+/// power consumption."  The server ingests each client's stream into a
+/// per-client buffer, plans large bursts against a model of the client's
+/// playout buffer (deadline = projected underrun), selects the lowest-
+/// power feasible interface per client, serializes bursts per interface
+/// under a pluggable scheduler (EDF, WFQ, ...), and tells each client
+/// exactly when to wake its WNIC.  Control messaging rides the existing
+/// registration channel and is modeled free (bytes are negligible next to
+/// 10s-of-KB bursts — see DESIGN.md).
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/client.hpp"
+#include "core/qos.hpp"
+#include "core/scheduler.hpp"
+#include "core/selector.hpp"
+#include "sim/simulator.hpp"
+#include "sim/stats.hpp"
+#include "traffic/source.hpp"
+
+namespace wlanps::core {
+
+/// Server configuration.
+struct ServerConfig {
+    /// Target burst size ("larger data burst sizes mean clients can have
+    /// longer periods of sleep time" — 10s of KB in the paper).
+    DataSize target_burst = DataSize::from_kilobytes(48);
+    /// Fast streams get proportionally larger bursts so every client
+    /// sleeps for about this long between bursts: the per-client target is
+    /// max(target_burst, stream_rate * target_burst_period).
+    Time target_burst_period = Time::from_seconds(3);
+    /// Don't bother waking a client for less than this.
+    DataSize min_burst = DataSize::from_kilobytes(4);
+    /// Planning cadence.
+    Time plan_interval = Time::from_ms(100);
+    /// Extra safety added to the computed critical lead (contract margin +
+    /// own transfer + worst-case queueing + plan tick) before the deadline
+    /// path dispatches a burst.
+    Time underrun_lead = Time::from_ms(500);
+    SelectorConfig selector;
+    /// Admission control ("allocates appropriate bandwidth"): fraction of
+    /// an interface's goodput that may be reserved by admitted streams.
+    double utilization_cap = 0.90;
+    /// Bandwidth reserved per stream = stream_rate * this factor (headroom
+    /// for retries and burst catch-up).
+    double reservation_margin = 1.2;
+    /// Battery-aware scheduling: grow a low-battery client's bursts (up to
+    /// 2x at empty) so its radio wakes less often.  0 disables.
+    bool battery_aware = false;
+};
+
+/// Per-client accounting the server exposes.
+struct ClientReport {
+    ClientId id = 0;
+    DataSize delivered;
+    std::uint64_t bursts = 0;
+    std::uint64_t deadline_misses = 0;
+    std::uint64_t interface_switches = 0;
+    std::size_t current_channel = 0;
+};
+
+/// The server-side resource manager.
+class HotspotServer {
+public:
+    HotspotServer(sim::Simulator& sim, ServerConfig config, std::unique_ptr<Scheduler> scheduler);
+    HotspotServer(const HotspotServer&) = delete;
+    HotspotServer& operator=(const HotspotServer&) = delete;
+
+    /// Admission control: try to register \p client.  Returns false (and
+    /// registers nothing) if no interface has enough unreserved bandwidth
+    /// for the client's contract.  The client must outlive the server.
+    [[nodiscard]] bool try_register(HotspotClient& client);
+
+    /// Register \p client; throws if admission fails (convenience for
+    /// setups that are known feasible).
+    void register_client(HotspotClient& client);
+
+    /// Client left the Hotspot: release its bandwidth reservation and drop
+    /// its pending bursts.  An in-flight burst completes harmlessly.
+    void unregister_client(ClientId id);
+
+    [[nodiscard]] std::size_t client_count() const { return clients_.size(); }
+
+    /// Bandwidth currently reserved on \p itf.
+    [[nodiscard]] Rate reserved(phy::Interface itf) const;
+    /// Reservable capacity of \p itf as last observed (0 until a client
+    /// with a channel on that interface registered).
+    [[nodiscard]] Rate capacity(phy::Interface itf) const;
+
+    /// Sink for \p id's downstream traffic (connect a traffic::Source).
+    [[nodiscard]] traffic::Sink ingest_sink(ClientId id);
+
+    /// Mark \p id's stream as stored content: the proxy can prefetch from
+    /// the infrastructure at LAN speed, so burst sizes are limited by the
+    /// client buffer, not by real-time arrival.  (The paper's Hotspot
+    /// serves cached/streamed media through its proxy.)  Default: live
+    /// ingest via ingest_sink.
+    void set_stored_content(ClientId id, bool stored);
+
+    /// Start planning (clients should be start()ed first).
+    void start();
+
+    /// One scheduling decision, for explainability and the Figure 1 story.
+    struct BurstDecision {
+        Time at = Time::zero();
+        ClientId client = 0;
+        DataSize size;
+        phy::Interface interface = phy::Interface::wlan;
+        Time deadline = Time::zero();
+    };
+    /// The most recent scheduling decisions (bounded ring, newest last).
+    [[nodiscard]] const std::deque<BurstDecision>& decisions() const { return decisions_; }
+
+    // --- reporting -----------------------------------------------------------
+    [[nodiscard]] ClientReport report(ClientId id) const;
+    [[nodiscard]] std::vector<ClientReport> reports() const;
+    [[nodiscard]] std::uint64_t total_bursts() const { return total_bursts_; }
+    [[nodiscard]] std::uint64_t total_deadline_misses() const;
+    [[nodiscard]] const Scheduler& scheduler() const { return *scheduler_; }
+    /// Server-side estimate of client \p id's buffer level right now.
+    [[nodiscard]] DataSize modeled_client_buffer(ClientId id) const;
+    [[nodiscard]] DataSize server_buffer(ClientId id) const;
+
+private:
+    struct ClientRecord {
+        HotspotClient* client = nullptr;
+        DataSize server_buffer;      ///< bytes awaiting transmission
+        DataSize modeled_delivered;  ///< bytes delivered to the client
+        Time playback_start;         ///< when the client's decoder starts
+        std::size_t current_channel = 0;
+        bool has_channel = false;
+        bool stored_content = false;
+        bool burst_outstanding = false;  ///< planned or in flight
+        /// Interface the client's bandwidth reservation currently sits on.
+        phy::Interface reserved_on = phy::Interface::wlan;
+        Rate reservation;
+        std::uint64_t bursts = 0;
+        std::uint64_t deadline_misses = 0;
+        std::uint64_t interface_switches = 0;
+    };
+
+    void plan();
+    void plan_client(ClientId id, ClientRecord& rec);
+    void dispatch(phy::Interface itf);
+    void execute(phy::Interface itf, BurstRequest request, std::size_t channel_index);
+    [[nodiscard]] DataSize modeled_buffer(const ClientRecord& rec, Time at) const;
+    [[nodiscard]] Time projected_underrun(const ClientRecord& rec) const;
+    [[nodiscard]] DataSize effective_target(const ClientRecord& rec) const;
+    void move_reservation(ClientRecord& rec, phy::Interface to);
+
+    sim::Simulator& sim_;
+    ServerConfig config_;
+    std::unique_ptr<Scheduler> scheduler_;
+    InterfaceSelector selector_;
+    std::map<ClientId, ClientRecord> clients_;  // ordered: deterministic plans
+    // Pending bursts per interface (each interface is a serialized resource).
+    std::map<phy::Interface, std::vector<std::pair<BurstRequest, std::size_t>>> pending_;
+    std::map<phy::Interface, bool> interface_busy_;
+    std::map<phy::Interface, Rate> reserved_;
+    std::map<phy::Interface, Rate> capacity_;
+    std::deque<BurstDecision> decisions_;
+    static constexpr std::size_t kDecisionLogCapacity = 256;
+    std::uint64_t total_bursts_ = 0;
+    std::unique_ptr<sim::PeriodicEvent> plan_timer_;
+};
+
+}  // namespace wlanps::core

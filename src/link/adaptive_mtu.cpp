@@ -1,0 +1,57 @@
+#include "link/adaptive_mtu.hpp"
+
+#include <algorithm>
+
+#include "sim/assert.hpp"
+
+namespace wlanps::link {
+
+AdaptiveMtuArq::AdaptiveMtuArq(LinkConfig config, AdaptiveMtuConfig mtu_config)
+    : LinkProtocol(config), mtu_config_(mtu_config), mtu_(config.mtu) {
+    WLANPS_REQUIRE(mtu_config_.min_mtu > DataSize::zero());
+    WLANPS_REQUIRE(mtu_config_.min_mtu <= config.mtu);
+    WLANPS_REQUIRE(mtu_config_.grow_threshold >= 1);
+}
+
+TransferReport AdaptiveMtuArq::transfer(channel::GilbertElliott& channel, Time start,
+                                        DataSize message) {
+    WLANPS_REQUIRE(message > DataSize::zero());
+    TransferReport report;
+    report.useful = message;
+
+    DataSize remaining = message;
+    int frame_attempts = 0;
+    while (!remaining.is_zero()) {
+        const DataSize payload = std::min(remaining, mtu_);
+        const DataSize on_air = payload + config_.header;
+        const bool ok = channel.transmit_success(start + report.elapsed, on_air, config_.rate);
+        charge_frame(report, on_air);
+
+        if (ok) {
+            remaining -= payload;
+            frame_attempts = 0;
+            ++success_streak_;
+            if (success_streak_ >= mtu_config_.grow_threshold && mtu_ < config_.mtu) {
+                mtu_ = std::min(mtu_ * 2.0, config_.mtu);
+                success_streak_ = 0;
+            }
+            continue;
+        }
+
+        // Failure: shrink the frame and retry (selective-repeat nack cost).
+        success_streak_ = 0;
+        mtu_ = std::max(mtu_ * 0.5, mtu_config_.min_mtu);
+        report.elapsed += config_.turnaround;
+        report.energy += (config_.rx_power * 2.0).over(config_.turnaround);
+        if (++frame_attempts >= config_.retry_limit) return report;
+    }
+
+    // Cumulative acks, one per window of frames (as SelectiveRepeatArq).
+    const std::int64_t frames = std::max<std::int64_t>(1, report.transmissions);
+    const std::int64_t acks = (frames + config_.window - 1) / config_.window;
+    for (std::int64_t a = 0; a < acks; ++a) charge_ack(report);
+    report.delivered = true;
+    return report;
+}
+
+}  // namespace wlanps::link

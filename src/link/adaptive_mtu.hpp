@@ -1,0 +1,40 @@
+#pragma once
+/// \file adaptive_mtu.hpp
+/// Packet-size-adaptive ARQ.
+///
+/// On a noisy channel long frames almost always contain an error while
+/// short frames survive; on a clean channel long frames amortize header
+/// and turnaround overhead.  This protocol adapts the frame size to the
+/// observed outcome stream: halve after a failure, climb back after a run
+/// of successes — the packet-size counterpart of ARF rate adaptation.
+
+#include "link/protocol.hpp"
+
+namespace wlanps::link {
+
+/// MTU adaptation parameters.
+struct AdaptiveMtuConfig {
+    DataSize min_mtu = DataSize::from_bytes(128);
+    /// Consecutive successes before doubling the frame size.
+    int grow_threshold = 4;
+};
+
+/// Selective-repeat ARQ with a dynamically adapted frame size.
+class AdaptiveMtuArq final : public LinkProtocol {
+public:
+    AdaptiveMtuArq(LinkConfig config, AdaptiveMtuConfig mtu_config = AdaptiveMtuConfig{});
+
+    [[nodiscard]] TransferReport transfer(channel::GilbertElliott& channel, Time start,
+                                          DataSize message) override;
+    [[nodiscard]] std::string name() const override { return "adaptive-mtu"; }
+
+    /// Frame size the adapter ended the last transfer with.
+    [[nodiscard]] DataSize current_mtu() const { return mtu_; }
+
+private:
+    AdaptiveMtuConfig mtu_config_;
+    DataSize mtu_;
+    int success_streak_ = 0;
+};
+
+}  // namespace wlanps::link

@@ -1,0 +1,114 @@
+#include "link/arq.hpp"
+
+#include "sim/assert.hpp"
+
+namespace wlanps::link {
+
+namespace {
+/// Split \p message into MTU-sized payload chunks (last one may be short).
+std::int64_t frame_count(const LinkConfig& c, DataSize message) {
+    return (message.bits() + c.mtu.bits() - 1) / c.mtu.bits();
+}
+
+DataSize frame_payload(const LinkConfig& c, DataSize message, std::int64_t index,
+                       std::int64_t frames) {
+    if (index + 1 < frames) return c.mtu;
+    const std::int64_t rem = message.bits() - c.mtu.bits() * (frames - 1);
+    return DataSize::from_bits(rem);
+}
+}  // namespace
+
+TransferReport StopAndWaitArq::transfer(channel::GilbertElliott& channel, Time start,
+                                        DataSize message) {
+    WLANPS_REQUIRE(message > DataSize::zero());
+    TransferReport report;
+    report.useful = message;
+    const std::int64_t frames = frame_count(config_, message);
+
+    for (std::int64_t i = 0; i < frames; ++i) {
+        const DataSize payload = frame_payload(config_, message, i, frames);
+        const DataSize on_air = payload + config_.header;
+        int attempts = 0;
+        bool ok = false;
+        while (attempts < config_.retry_limit) {
+            ++attempts;
+            ok = channel.transmit_success(start + report.elapsed, on_air, config_.rate);
+            charge_frame(report, on_air);
+            charge_ack(report);  // ack (or timeout of the same duration)
+            if (ok) break;
+        }
+        if (!ok) return report;  // delivered stays false
+    }
+    report.delivered = true;
+    return report;
+}
+
+TransferReport GoBackNArq::transfer(channel::GilbertElliott& channel, Time start,
+                                    DataSize message) {
+    WLANPS_REQUIRE(message > DataSize::zero());
+    TransferReport report;
+    report.useful = message;
+    const std::int64_t frames = frame_count(config_, message);
+
+    std::int64_t i = 0;
+    int attempts_here = 0;
+    while (i < frames) {
+        const DataSize payload = frame_payload(config_, message, i, frames);
+        const DataSize on_air = payload + config_.header;
+        const bool ok = channel.transmit_success(start + report.elapsed, on_air, config_.rate);
+        charge_frame(report, on_air);
+        if (ok) {
+            ++i;
+            attempts_here = 0;
+            continue;
+        }
+        // Error detected one window later: the (up to window-1) successor
+        // frames already in flight are wasted and will be resent.
+        ++attempts_here;
+        if (attempts_here >= config_.retry_limit) return report;
+        const std::int64_t wasted = std::min<std::int64_t>(config_.window - 1, frames - i - 1);
+        for (std::int64_t w = 0; w < wasted; ++w) {
+            const DataSize wp = frame_payload(config_, message, i + 1 + w, frames);
+            charge_frame(report, wp + config_.header);
+        }
+        // Cumulative-ack turnaround before resuming from frame i.
+        charge_ack(report);
+    }
+    // One cumulative ack closes the transfer.
+    charge_ack(report);
+    report.delivered = true;
+    return report;
+}
+
+TransferReport SelectiveRepeatArq::transfer(channel::GilbertElliott& channel, Time start,
+                                            DataSize message) {
+    WLANPS_REQUIRE(message > DataSize::zero());
+    TransferReport report;
+    report.useful = message;
+    const std::int64_t frames = frame_count(config_, message);
+
+    for (std::int64_t i = 0; i < frames; ++i) {
+        const DataSize payload = frame_payload(config_, message, i, frames);
+        const DataSize on_air = payload + config_.header;
+        int attempts = 0;
+        bool ok = false;
+        while (attempts < config_.retry_limit) {
+            ++attempts;
+            ok = channel.transmit_success(start + report.elapsed, on_air, config_.rate);
+            charge_frame(report, on_air);
+            if (ok) break;
+            // Selective nack rides the reverse stream: only the turnaround
+            // cost is paid before the retransmission.
+            report.elapsed += config_.turnaround;
+            report.energy += (config_.rx_power * 2.0).over(config_.turnaround);
+        }
+        if (!ok) return report;
+    }
+    // Per-window cumulative acks: approximate as one ack per window.
+    const std::int64_t acks = (frames + config_.window - 1) / config_.window;
+    for (std::int64_t a = 0; a < acks; ++a) charge_ack(report);
+    report.delivered = true;
+    return report;
+}
+
+}  // namespace wlanps::link

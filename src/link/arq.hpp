@@ -1,0 +1,37 @@
+#pragma once
+/// \file arq.hpp
+/// ARQ retransmission schemes: stop-and-wait, go-back-N, selective repeat.
+
+#include "link/protocol.hpp"
+
+namespace wlanps::link {
+
+/// Stop-and-wait: one frame, ack, retransmit on error.
+class StopAndWaitArq final : public LinkProtocol {
+public:
+    explicit StopAndWaitArq(LinkConfig config) : LinkProtocol(config) {}
+    [[nodiscard]] TransferReport transfer(channel::GilbertElliott& channel, Time start,
+                                          DataSize message) override;
+    [[nodiscard]] std::string name() const override { return "stop-and-wait"; }
+};
+
+/// Go-back-N: pipelined; an error flushes the in-flight window, so each
+/// lost frame costs up to `window` frame airtimes of wasted transmission.
+class GoBackNArq final : public LinkProtocol {
+public:
+    explicit GoBackNArq(LinkConfig config) : LinkProtocol(config) {}
+    [[nodiscard]] TransferReport transfer(channel::GilbertElliott& channel, Time start,
+                                          DataSize message) override;
+    [[nodiscard]] std::string name() const override { return "go-back-n"; }
+};
+
+/// Selective repeat: pipelined; only erroneous frames are retransmitted.
+class SelectiveRepeatArq final : public LinkProtocol {
+public:
+    explicit SelectiveRepeatArq(LinkConfig config) : LinkProtocol(config) {}
+    [[nodiscard]] TransferReport transfer(channel::GilbertElliott& channel, Time start,
+                                          DataSize message) override;
+    [[nodiscard]] std::string name() const override { return "selective-repeat"; }
+};
+
+}  // namespace wlanps::link

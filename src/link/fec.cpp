@@ -1,0 +1,148 @@
+#include "link/fec.hpp"
+
+#include "sim/assert.hpp"
+
+namespace wlanps::link {
+
+namespace {
+std::int64_t frame_count(const LinkConfig& c, DataSize message) {
+    return (message.bits() + c.mtu.bits() - 1) / c.mtu.bits();
+}
+
+DataSize frame_payload(const LinkConfig& c, DataSize message, std::int64_t index,
+                       std::int64_t frames) {
+    if (index + 1 < frames) return c.mtu;
+    return DataSize::from_bits(message.bits() - c.mtu.bits() * (frames - 1));
+}
+
+/// Coded on-air size of a frame (payload + header, expanded by n/k).
+DataSize coded_size(const LinkConfig& c, const FecCode& code, DataSize payload) {
+    const double factor = code.overhead_factor();
+    const auto bits = static_cast<std::int64_t>(
+        static_cast<double>((payload + c.header).bits()) * factor + 0.5);
+    return DataSize::from_bits(bits);
+}
+}  // namespace
+
+FecOnly::FecOnly(LinkConfig config, FecCode code, sim::Random rng)
+    : LinkProtocol(config), code_(code), rng_(rng) {}
+
+std::string FecOnly::name() const {
+    return "fec(" + std::to_string(code_.n) + "," + std::to_string(code_.k) + ")";
+}
+
+TransferReport FecOnly::transfer(channel::GilbertElliott& channel, Time start,
+                                 DataSize message) {
+    WLANPS_REQUIRE(message > DataSize::zero());
+    TransferReport report;
+    report.useful = message;
+    const std::int64_t frames = frame_count(config_, message);
+    std::int64_t lost = 0;
+
+    for (std::int64_t i = 0; i < frames; ++i) {
+        const DataSize payload = frame_payload(config_, message, i, frames);
+        const DataSize on_air = coded_size(config_, code_, payload);
+        // Residual frame survival under the code at the channel's current
+        // BER; the chain still advances over the (coded) airtime.
+        const double ber = channel.ber_at(start + report.elapsed);
+        const bool survives = code_.frame_survives(rng_, on_air.bits(), ber);
+        (void)channel.transmit_success(start + report.elapsed, on_air, config_.rate);
+        charge_frame(report, on_air);
+        if (!survives) ++lost;
+    }
+    last_loss_rate_ = frames == 0 ? 0.0 : static_cast<double>(lost) / static_cast<double>(frames);
+    report.delivered = lost == 0;
+    return report;
+}
+
+HybridArq::HybridArq(LinkConfig config, FecCode code, sim::Random rng)
+    : LinkProtocol(config), code_(code), rng_(rng) {}
+
+std::string HybridArq::name() const {
+    return "hybrid-arq(" + std::to_string(code_.n) + "," + std::to_string(code_.k) + ")";
+}
+
+TransferReport HybridArq::transfer(channel::GilbertElliott& channel, Time start,
+                                   DataSize message) {
+    WLANPS_REQUIRE(message > DataSize::zero());
+    TransferReport report;
+    report.useful = message;
+    const std::int64_t frames = frame_count(config_, message);
+
+    for (std::int64_t i = 0; i < frames; ++i) {
+        const DataSize payload = frame_payload(config_, message, i, frames);
+        const DataSize on_air = coded_size(config_, code_, payload);
+        int attempts = 0;
+        bool ok = false;
+        while (attempts < config_.retry_limit) {
+            ++attempts;
+            const double ber = channel.ber_at(start + report.elapsed);
+            ok = code_.frame_survives(rng_, on_air.bits(), ber);
+            (void)channel.transmit_success(start + report.elapsed, on_air, config_.rate);
+            charge_frame(report, on_air);
+            charge_ack(report);
+            if (ok) break;
+        }
+        if (!ok) return report;
+    }
+    report.delivered = true;
+    return report;
+}
+
+AdaptiveArq::AdaptiveArq(LinkConfig config, FecCode code, channel::Predictor& predictor,
+                         sim::Random rng)
+    : LinkProtocol(config), code_(code), predictor_(predictor), rng_(rng) {}
+
+std::string AdaptiveArq::name() const { return "adaptive-arq[" + predictor_.name() + "]"; }
+
+TransferReport AdaptiveArq::transfer(channel::GilbertElliott& channel, Time start,
+                                     DataSize message) {
+    WLANPS_REQUIRE(message > DataSize::zero());
+    TransferReport report;
+    report.useful = message;
+    const std::int64_t frames = frame_count(config_, message);
+
+    for (std::int64_t i = 0; i < frames; ++i) {
+        const DataSize payload = frame_payload(config_, message, i, frames);
+        int attempts = 0;
+        bool ok = false;
+        while (attempts < config_.retry_limit) {
+            ++attempts;
+            const Time t = start + report.elapsed;
+            // Clairvoyant predictors are told the truth before predicting
+            // (this is how the accuracy-vs-savings sweep is driven).
+            if (auto* oracle = dynamic_cast<channel::NoisyOraclePredictor*>(&predictor_)) {
+                oracle->set_truth(channel.ber_at(t) < 1e-5);
+            }
+            const bool predicted_good = predictor_.predict();
+            bool actual_good;
+            if (predicted_good) {
+                // Plain ARQ frame.
+                ++plain_frames_;
+                const DataSize on_air = payload + config_.header;
+                ok = channel.transmit_success(t, on_air, config_.rate);
+                charge_frame(report, on_air);
+                actual_good = ok;
+            } else {
+                // FEC-coded frame.
+                ++coded_frames_;
+                const DataSize on_air = coded_size(config_, code_, payload);
+                const double ber = channel.ber_at(t);
+                ok = code_.frame_survives(rng_, on_air.bits(), ber);
+                (void)channel.transmit_success(t, on_air, config_.rate);
+                charge_frame(report, on_air);
+                // The channel was "good" for prediction purposes if even a
+                // plain frame would likely have survived.
+                actual_good = ber < 1e-5;
+            }
+            predictor_.observe_and_score(actual_good);
+            charge_ack(report);
+            if (ok) break;
+        }
+        if (!ok) return report;
+    }
+    report.delivered = true;
+    return report;
+}
+
+}  // namespace wlanps::link

@@ -1,0 +1,70 @@
+#pragma once
+/// \file fec.hpp
+/// FEC, hybrid, and channel-adaptive link protocols.
+
+#include <memory>
+
+#include "channel/predictor.hpp"
+#include "link/arq.hpp"
+#include "link/protocol.hpp"
+#include "sim/random.hpp"
+
+namespace wlanps::link {
+
+/// Pure FEC: every frame carries code overhead, no retransmission.  Frames
+/// whose residual errors exceed the code's correction power are lost
+/// (delivered=false if any frame is lost — suitable where the upper layer
+/// can conceal rare losses, e.g. audio).
+class FecOnly final : public LinkProtocol {
+public:
+    FecOnly(LinkConfig config, FecCode code, sim::Random rng);
+    [[nodiscard]] TransferReport transfer(channel::GilbertElliott& channel, Time start,
+                                          DataSize message) override;
+    [[nodiscard]] std::string name() const override;
+    /// Fraction of frames lost in the last transfer.
+    [[nodiscard]] double last_loss_rate() const { return last_loss_rate_; }
+
+private:
+    FecCode code_;
+    sim::Random rng_;
+    double last_loss_rate_ = 0.0;
+};
+
+/// Hybrid ARQ type-I: FEC-coded frames, retransmitted when the code fails.
+class HybridArq final : public LinkProtocol {
+public:
+    HybridArq(LinkConfig config, FecCode code, sim::Random rng);
+    [[nodiscard]] TransferReport transfer(channel::GilbertElliott& channel, Time start,
+                                          DataSize message) override;
+    [[nodiscard]] std::string name() const override;
+
+private:
+    FecCode code_;
+    sim::Random rng_;
+};
+
+/// Channel-adaptive ARQ (paper §1): a predictor classifies the upcoming
+/// channel state from past frame outcomes; predicted-bad frames are sent
+/// FEC-coded, predicted-good frames plain — tracking the better scheme on
+/// a bursty channel.  The predictor is observed/scored on every frame, so
+/// its accuracy is available after the transfer.
+class AdaptiveArq final : public LinkProtocol {
+public:
+    /// \p predictor is owned by the caller and shared across transfers so
+    /// it can keep learning.
+    AdaptiveArq(LinkConfig config, FecCode code, channel::Predictor& predictor, sim::Random rng);
+    [[nodiscard]] TransferReport transfer(channel::GilbertElliott& channel, Time start,
+                                          DataSize message) override;
+    [[nodiscard]] std::string name() const override;
+    [[nodiscard]] std::uint64_t coded_frames() const { return coded_frames_; }
+    [[nodiscard]] std::uint64_t plain_frames() const { return plain_frames_; }
+
+private:
+    FecCode code_;
+    channel::Predictor& predictor_;
+    sim::Random rng_;
+    std::uint64_t coded_frames_ = 0;
+    std::uint64_t plain_frames_ = 0;
+};
+
+}  // namespace wlanps::link

@@ -1,0 +1,67 @@
+#include "link/protocol.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/assert.hpp"
+
+namespace wlanps::link {
+
+void LinkProtocol::charge_frame(TransferReport& report, DataSize on_air_size) const {
+    const Time air = config_.rate.transmit_time(on_air_size);
+    report.elapsed += air;
+    report.on_air += on_air_size;
+    report.energy += config_.tx_power.over(air) + config_.rx_power.over(air);
+    ++report.transmissions;
+}
+
+void LinkProtocol::charge_ack(TransferReport& report) const {
+    const Time air = config_.rate.transmit_time(config_.ack);
+    report.elapsed += config_.turnaround + air;
+    report.on_air += config_.ack;
+    // Ack direction: receiver transmits, sender receives.
+    report.energy += config_.tx_power.over(air) + config_.rx_power.over(air);
+    // Both radios listen through the turnaround.
+    report.energy += (config_.rx_power * 2.0).over(config_.turnaround);
+}
+
+double optimal_payload_bits(double ber, double header_bits) {
+    WLANPS_REQUIRE(ber > 0.0 && ber < 1.0);
+    WLANPS_REQUIRE(header_bits > 0.0);
+    const double lnq = std::log1p(-ber);  // < 0
+    const double h = header_bits;
+    // Positive root of L²·lnq + h·L·lnq + h = 0.
+    const double disc = h * h * lnq * lnq - 4.0 * h * lnq;
+    return (-h * lnq - std::sqrt(disc)) / (2.0 * lnq);
+}
+
+double FecCode::block_failure_probability(double ber) const {
+    WLANPS_REQUIRE(ber >= 0.0 && ber <= 1.0);
+    const double lambda = static_cast<double>(n) * ber;
+    if (lambda < 30.0) {
+        // Poisson tail: P(X > t) = 1 - sum_{i<=t} e^-l l^i / i!
+        double term = std::exp(-lambda);
+        double cdf = term;
+        for (int i = 1; i <= t; ++i) {
+            term *= lambda / static_cast<double>(i);
+            cdf += term;
+        }
+        return std::clamp(1.0 - cdf, 0.0, 1.0);
+    }
+    // Normal approximation with continuity correction.
+    const double sigma = std::sqrt(lambda * (1.0 - ber));
+    const double z = (static_cast<double>(t) + 0.5 - lambda) / sigma;
+    return std::clamp(0.5 * std::erfc(z / std::sqrt(2.0)), 0.0, 1.0);
+}
+
+bool FecCode::frame_survives(sim::Random& rng, std::int64_t payload_bits, double ber) const {
+    WLANPS_REQUIRE(payload_bits > 0);
+    const auto blocks = static_cast<int>((payload_bits + k - 1) / k);
+    const double p_block = block_failure_probability(ber);
+    if (p_block <= 0.0) return true;
+    // Frame fails if any block fails.
+    const double p_frame_ok = std::pow(1.0 - p_block, blocks);
+    return rng.chance(p_frame_ok);
+}
+
+}  // namespace wlanps::link

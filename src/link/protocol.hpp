@@ -1,0 +1,110 @@
+#pragma once
+/// \file protocol.hpp
+/// Logical-link-layer protocol framework (paper §1, link layer).
+///
+/// The paper's link-layer claim: energy can be traded between ARQ
+/// retransmissions and FEC overhead, with channel-adaptive schemes (driven
+/// by channel-state prediction) tracking the better of the two.  These
+/// classes transfer a message over a Gilbert–Elliott channel and report
+/// elapsed time, radio energy, and on-air overhead so the AB2 bench can
+/// draw the trade-off curves.
+///
+/// Protocols run synchronously against their own time cursor — the
+/// channel chain advances as the transfer progresses, no Simulator needed.
+
+#include <limits>
+#include <memory>
+#include <string>
+
+#include "channel/gilbert_elliott.hpp"
+#include "power/units.hpp"
+#include "sim/random.hpp"
+#include "sim/time.hpp"
+#include "sim/units.hpp"
+
+namespace wlanps::link {
+
+/// Radio and framing parameters shared by all link protocols.
+struct LinkConfig {
+    Rate rate = Rate::from_mbps(1.0);
+    DataSize mtu = DataSize::from_bytes(1024);     ///< payload per frame
+    DataSize header = DataSize::from_bytes(16);    ///< per-frame overhead
+    DataSize ack = DataSize::from_bytes(8);
+    Time turnaround = Time::from_us(200);          ///< rx/tx switch + processing
+    power::Power tx_power = power::Power::from_watts(1.2);
+    power::Power rx_power = power::Power::from_watts(0.9);
+    int retry_limit = 16;                          ///< per-frame
+    /// Go-Back-N window (frames in flight when an error is detected).
+    int window = 8;
+};
+
+/// Outcome of one message transfer.
+struct TransferReport {
+    bool delivered = false;
+    Time elapsed = Time::zero();
+    power::Energy energy;          ///< sender tx + receiver rx + ack both ways
+    DataSize on_air;               ///< total bits put on the channel
+    DataSize useful;               ///< message payload bits
+    int transmissions = 0;         ///< data-frame transmissions (incl. retries)
+
+    /// Joules per delivered payload bit (infinite if undelivered).
+    [[nodiscard]] double energy_per_useful_bit() const {
+        if (!delivered || useful.is_zero()) return std::numeric_limits<double>::infinity();
+        return energy.joules() / static_cast<double>(useful.bits());
+    }
+    /// Payload bits per second over the transfer.
+    [[nodiscard]] double goodput_bps() const {
+        if (!delivered || elapsed.is_zero()) return 0.0;
+        return static_cast<double>(useful.bits()) / elapsed.to_seconds();
+    }
+};
+
+/// Base class: common accounting helpers.
+class LinkProtocol {
+public:
+    explicit LinkProtocol(LinkConfig config) : config_(config) {}
+    virtual ~LinkProtocol() = default;
+
+    /// Transfer \p message over \p channel starting at \p start.
+    [[nodiscard]] virtual TransferReport transfer(channel::GilbertElliott& channel, Time start,
+                                                  DataSize message) = 0;
+
+    [[nodiscard]] virtual std::string name() const = 0;
+    [[nodiscard]] const LinkConfig& config() const { return config_; }
+
+protected:
+    /// Charge one data-frame transmission (both radios) to \p report.
+    void charge_frame(TransferReport& report, DataSize on_air_size) const;
+    /// Charge one ack exchange (turnaround + ack airtime).
+    void charge_ack(TransferReport& report) const;
+
+    LinkConfig config_;
+};
+
+/// Closed-form throughput-optimal ARQ payload size for a memoryless
+/// channel with bit error rate \p ber and per-frame header of
+/// \p header_bits: maximizing L·q^(L+h)/(L+h) with q = 1-ber gives
+///   L* = (-h·ln q - sqrt(h²·ln²q - 4·h·ln q)) / (2·ln q).
+/// The size-adaptation protocols should hover near this value; tests
+/// cross-check the simulation against it.
+[[nodiscard]] double optimal_payload_bits(double ber, double header_bits);
+
+/// A forward-error-correction block code (n, k, t): k data bits become n
+/// coded bits; up to t bit errors per block are corrected.
+struct FecCode {
+    int n = 1023;
+    int k = 923;
+    int t = 10;  // BCH(1023, 923) corrects 10 errors
+
+    [[nodiscard]] double overhead_factor() const {
+        return static_cast<double>(n) / static_cast<double>(k);
+    }
+    /// Probability a block of n bits at \p ber exceeds t errors
+    /// (analytic, normal/Poisson approximated for large n).
+    [[nodiscard]] double block_failure_probability(double ber) const;
+    /// Sample whether a frame of \p payload_bits survives coding at \p ber.
+    [[nodiscard]] bool frame_survives(sim::Random& rng, std::int64_t payload_bits,
+                                      double ber) const;
+};
+
+}  // namespace wlanps::link

@@ -1,0 +1,140 @@
+#include "mac/access_point.hpp"
+
+#include <utility>
+
+#include "sim/assert.hpp"
+
+namespace wlanps::mac {
+
+AccessPoint::AccessPoint(sim::Simulator& sim, Bss& bss, AccessPointConfig config, DcfConfig dcf,
+                         sim::Random rng)
+    : sim_(sim),
+      bss_(bss),
+      config_(config),
+      nic_(sim, phy::WlanNicConfig{}, phy::WlanNic::State::idle),
+      dcf_(sim, bss.medium(), nic_, bss, rng, dcf) {
+    WLANPS_REQUIRE(config_.beacon_interval > Time::zero());
+    WLANPS_REQUIRE(config_.aggregate_limit >= 1);
+    bss_.attach(kApId, *this);
+}
+
+void AccessPoint::start() {
+    beacon_event_ = sim_.schedule_in(config_.beacon_interval, [this] { send_beacon(); });
+}
+
+void AccessPoint::send_beacon() {
+    // Schedule the next beacon on the nominal grid regardless of how long
+    // this beacon contends (target beacon transmission time semantics).
+    beacon_event_ = sim_.schedule_in(config_.beacon_interval, [this] { send_beacon(); });
+
+    std::set<StationId> tim;
+    for (const auto& [dst, q] : buffers_) {
+        if (!q.empty()) tim.insert(dst);
+    }
+    for (const auto& obs : beacon_observers_) obs(tim);
+
+    Frame beacon;
+    beacon.kind = FrameKind::beacon;
+    beacon.src = kApId;
+    beacon.dst = kBroadcast;
+    beacon.payload = config_.beacon_size;
+    beacon.seq = ++seq_;
+    beacon.tim.assign(tim.begin(), tim.end());
+    dcf_.enqueue(beacon);
+    ++beacons_sent_;
+}
+
+void AccessPoint::send(StationId dst, DataSize payload, SendCallback done) {
+    WLANPS_REQUIRE_MSG(dst != kApId, "AP cannot send to itself");
+    if (config_.mode == ApMode::cam) {
+        transmit_now(dst, payload, false, std::move(done));
+        return;
+    }
+    buffers_[dst].push_back(Buffered{payload, std::move(done), sim_.now()});
+}
+
+void AccessPoint::transmit_now(StationId dst, DataSize payload, bool more, SendCallback done) {
+    transmit_now(dst, payload, more, sim_.now(), std::move(done));
+}
+
+void AccessPoint::transmit_now(StationId dst, DataSize payload, bool more, Time queued_at,
+                               SendCallback done) {
+    Frame f;
+    f.kind = FrameKind::data;
+    f.src = kApId;
+    f.dst = dst;
+    f.payload = payload;
+    f.more_data = more;
+    f.enqueued_at = queued_at;
+    f.seq = ++seq_;
+    dcf_.enqueue(std::move(f), [done = std::move(done)](const DcfTransmitter::Result& r) {
+        if (done) done(r.delivered);
+    });
+}
+
+void AccessPoint::serve_poll(StationId dst) {
+    auto it = buffers_.find(dst);
+    if (it == buffers_.end() || it->second.empty()) {
+        // Nothing buffered (e.g. drained since the beacon): send a zero-
+        // length null frame so the station can doze again.
+        transmit_now(dst, DataSize::zero(), false, {});
+        return;
+    }
+    auto& q = it->second;
+    // Pop up to aggregate_limit MSDUs and deliver them as one MPDU.
+    DataSize total = DataSize::zero();
+    std::vector<SendCallback> callbacks;
+    const Time oldest = q.front().queued_at;
+    int taken = 0;
+    while (!q.empty() && taken < config_.aggregate_limit) {
+        total += q.front().payload;
+        if (q.front().done) callbacks.push_back(std::move(q.front().done));
+        q.pop_front();
+        ++taken;
+    }
+    const bool more = !q.empty();
+    transmit_now(dst, total, more, oldest, [callbacks = std::move(callbacks)](bool delivered) {
+        for (const auto& cb : callbacks) cb(delivered);
+    });
+}
+
+void AccessPoint::flush_to(StationId dst, std::function<void()> all_done) {
+    auto it = buffers_.find(dst);
+    if (it == buffers_.end() || it->second.empty()) {
+        if (all_done) all_done();
+        return;
+    }
+    auto& q = it->second;
+    DataSize total = DataSize::zero();
+    std::vector<SendCallback> callbacks;
+    const Time oldest = q.front().queued_at;
+    while (!q.empty()) {
+        total += q.front().payload;
+        if (q.front().done) callbacks.push_back(std::move(q.front().done));
+        q.pop_front();
+    }
+    transmit_now(dst, total, false, oldest,
+                 [callbacks = std::move(callbacks), all_done = std::move(all_done)](bool delivered) {
+                     for (const auto& cb : callbacks) cb(delivered);
+                     if (all_done) all_done();
+                 });
+}
+
+std::size_t AccessPoint::buffered(StationId dst) const {
+    auto it = buffers_.find(dst);
+    return it == buffers_.end() ? 0 : it->second.size();
+}
+
+void AccessPoint::on_frame(const Frame& frame) {
+    if (frame.kind == FrameKind::ps_poll) {
+        serve_poll(frame.src);
+        return;
+    }
+    if (frame.kind == FrameKind::data && !frame.payload.is_zero()) {
+        // Uplink terminates here (handed to the distribution system).
+        uplink_bytes_ += frame.payload;
+        ++uplink_frames_;
+    }
+}
+
+}  // namespace wlanps::mac

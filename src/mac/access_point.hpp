@@ -1,0 +1,109 @@
+#pragma once
+/// \file access_point.hpp
+/// 802.11 access point: beaconing, TIM, per-station buffering, PSM.
+///
+/// In CAM mode frames go straight to the DCF queue.  In PSM mode the AP
+/// buffers frames per dozing station, advertises pending traffic in the
+/// beacon's Traffic Indication Map, and releases one buffered frame (or an
+/// aggregate of several, when aggregation is enabled) per PS-Poll, setting
+/// the More-Data bit while the buffer stays non-empty — the standard
+/// 802.11 power-save machinery the paper's §1 describes.
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <set>
+#include <unordered_map>
+
+#include "mac/bss.hpp"
+#include "mac/dcf.hpp"
+#include "mac/frame.hpp"
+#include "phy/wlan_nic.hpp"
+#include "sim/simulator.hpp"
+#include "sim/stats.hpp"
+
+namespace wlanps::mac {
+
+/// How the AP releases downstream traffic.
+enum class ApMode {
+    cam,  ///< transmit immediately (clients always listening)
+    psm,  ///< buffer + TIM + PS-Poll
+};
+
+/// AP configuration.
+struct AccessPointConfig {
+    Time beacon_interval = phy::calibration::kWlanBeaconInterval;
+    DataSize beacon_size = DataSize::from_bytes(60);  // incl. TIM element
+    ApMode mode = ApMode::cam;
+    /// Max MSDUs folded into one delivery per PS-Poll (1 = standard PSM;
+    /// >1 models MAC-level packet aggregation, paper §1).
+    int aggregate_limit = 1;
+};
+
+/// The (wall-powered) access point of a BSS.
+class AccessPoint final : public MacEntity {
+public:
+    /// Fired when a downstream send completes (delivered or dropped).
+    using SendCallback = std::function<void(bool delivered)>;
+    /// Observer for beacon transmissions (station wake scheduling).
+    using BeaconObserver = std::function<void(const std::set<StationId>& tim)>;
+
+    AccessPoint(sim::Simulator& sim, Bss& bss, AccessPointConfig config, DcfConfig dcf,
+                sim::Random rng);
+
+    /// Start beaconing (first beacon one interval from now).
+    void start();
+
+    /// Queue \p payload for \p dst.  CAM: transmits now.  PSM: buffers
+    /// until the station polls.
+    void send(StationId dst, DataSize payload, SendCallback done = {});
+
+    /// Deliver every frame buffered for \p dst back-to-back (used by the
+    /// scheduled/EC-MAC paths where the station is known to be awake).
+    void flush_to(StationId dst, std::function<void()> all_done = {});
+
+    [[nodiscard]] ApMode mode() const { return config_.mode; }
+    [[nodiscard]] const AccessPointConfig& config() const { return config_; }
+    [[nodiscard]] DcfTransmitter& dcf() { return dcf_; }
+    [[nodiscard]] std::size_t buffered(StationId dst) const;
+    [[nodiscard]] std::uint64_t beacons_sent() const { return beacons_sent_; }
+    /// Uplink traffic terminated at the AP (station -> distribution system).
+    [[nodiscard]] DataSize uplink_bytes() const { return uplink_bytes_; }
+    [[nodiscard]] std::uint64_t uplink_frames() const { return uplink_frames_; }
+
+    /// Observe each beacon's TIM (tests / station wake logic).
+    void on_beacon(BeaconObserver observer) { beacon_observers_.push_back(std::move(observer)); }
+
+    // --- MacEntity ----------------------------------------------------------
+    [[nodiscard]] phy::WlanNic& nic() override { return nic_; }
+    [[nodiscard]] bool listening() const override { return nic_.awake(); }
+    void on_frame(const Frame& frame) override;
+
+private:
+    struct Buffered {
+        DataSize payload;
+        SendCallback done;
+        Time queued_at;
+    };
+
+    void send_beacon();
+    void serve_poll(StationId dst);
+    void transmit_now(StationId dst, DataSize payload, bool more, SendCallback done);
+    void transmit_now(StationId dst, DataSize payload, bool more, Time queued_at,
+                      SendCallback done);
+
+    sim::Simulator& sim_;
+    Bss& bss_;
+    AccessPointConfig config_;
+    phy::WlanNic nic_;
+    DcfTransmitter dcf_;
+    std::unordered_map<StationId, std::deque<Buffered>> buffers_;
+    std::uint64_t beacons_sent_ = 0;
+    std::uint64_t seq_ = 0;
+    DataSize uplink_bytes_;
+    std::uint64_t uplink_frames_ = 0;
+    std::vector<BeaconObserver> beacon_observers_;
+    sim::EventHandle beacon_event_;
+};
+
+}  // namespace wlanps::mac

@@ -1,0 +1,97 @@
+#include "mac/bss.hpp"
+
+#include <utility>
+
+#include "sim/assert.hpp"
+
+namespace wlanps::mac {
+
+void Bss::attach(StationId id, MacEntity& entity) {
+    WLANPS_REQUIRE_MSG(entities_.find(id) == entities_.end(), "duplicate station id");
+    entities_[id] = &entity;
+}
+
+void Bss::set_link(StationId id, channel::GilbertElliottConfig config, sim::Random rng) {
+    links_[id] = std::make_unique<channel::WirelessLink>(config, rng);
+}
+
+void Bss::set_link_script(StationId id, channel::ScriptedQuality script) {
+    auto it = links_.find(id);
+    WLANPS_REQUIRE_MSG(it != links_.end(), "no link for station");
+    it->second->set_scripted_quality(std::move(script));
+}
+
+channel::WirelessLink* Bss::link(StationId id) {
+    auto it = links_.find(id);
+    return it == links_.end() ? nullptr : it->second.get();
+}
+
+MacEntity* Bss::find(StationId id) {
+    auto it = entities_.find(id);
+    return it == entities_.end() ? nullptr : it->second;
+}
+
+bool Bss::reception_begins(const Frame& frame, Time airtime) {
+    if (frame.dst == kBroadcast) {
+        // All listening stations decode the broadcast (they pay rx power
+        // whether or not they care about it).
+        for (auto& [id, entity] : entities_) {
+            if (id != frame.src && entity->listening()) {
+                entity->nic().occupy(phy::WlanNic::State::rx, airtime);
+            }
+        }
+        return true;
+    }
+    MacEntity* dst = find(frame.dst);
+    if (dst == nullptr || !dst->listening()) return false;
+    dst->nic().occupy(phy::WlanNic::State::rx, airtime);
+    return true;
+}
+
+bool Bss::channel_ok(const Frame& frame, Time start, DataSize on_air, Rate rate) {
+    if (frame.dst == kBroadcast) return true;  // beacon loss not modeled
+    // The link is keyed by the client end of the AP<->station pair.
+    const StationId key = frame.dst == kApId ? frame.src : frame.dst;
+    auto it = links_.find(key);
+    if (it == links_.end()) return true;
+    return it->second->transmit(start, on_air, rate);
+}
+
+void Bss::ack_begins(const Frame& frame, Time airtime) {
+    // The data receiver transmits the ACK; the data sender receives it.
+    if (MacEntity* receiver = find(frame.dst)) {
+        receiver->nic().occupy(phy::WlanNic::State::tx, airtime);
+    }
+    if (MacEntity* sender = find(frame.src)) {
+        if (sender->listening()) sender->nic().occupy(phy::WlanNic::State::rx, airtime);
+    }
+}
+
+bool Bss::rts_begins(const Frame& frame, Time airtime) {
+    MacEntity* dst = find(frame.dst);
+    if (dst == nullptr || !dst->listening()) return false;
+    dst->nic().occupy(phy::WlanNic::State::rx, airtime);
+    return true;
+}
+
+void Bss::cts_begins(const Frame& frame, Time airtime) {
+    // The data receiver transmits the CTS; the data sender receives it.
+    if (MacEntity* receiver = find(frame.dst)) {
+        receiver->nic().occupy(phy::WlanNic::State::tx, airtime);
+    }
+    if (MacEntity* sender = find(frame.src)) {
+        if (sender->listening()) sender->nic().occupy(phy::WlanNic::State::rx, airtime);
+    }
+}
+
+void Bss::deliver(const Frame& frame) {
+    if (frame.dst == kBroadcast) {
+        for (auto& [id, entity] : entities_) {
+            if (id != frame.src && entity->listening()) entity->on_frame(frame);
+        }
+        return;
+    }
+    if (MacEntity* dst = find(frame.dst)) dst->on_frame(frame);
+}
+
+}  // namespace wlanps::mac

@@ -1,0 +1,72 @@
+#pragma once
+/// \file bss.hpp
+/// One 802.11 Basic Service Set: medium + AP + stations + per-station links.
+///
+/// Bss is the binding context of the MAC layer.  It owns the Medium,
+/// routes frames between registered entities, samples per-station channel
+/// links, and does receiver-side radio accounting (putting listening NICs
+/// into rx while frames addressed to them are on air).
+
+#include <functional>
+#include <memory>
+#include <unordered_map>
+
+#include "channel/link.hpp"
+#include "mac/dcf.hpp"
+#include "mac/frame.hpp"
+#include "mac/medium.hpp"
+#include "phy/wlan_nic.hpp"
+#include "sim/random.hpp"
+#include "sim/simulator.hpp"
+
+namespace wlanps::mac {
+
+/// Anything that can terminate frames: the AP or a client station.
+class MacEntity {
+public:
+    virtual ~MacEntity() = default;
+    /// The entity's radio.
+    [[nodiscard]] virtual phy::WlanNic& nic() = 0;
+    /// Is the entity's receiver able to decode a frame starting now?
+    [[nodiscard]] virtual bool listening() const = 0;
+    /// A frame addressed to the entity was received intact.
+    virtual void on_frame(const Frame& frame) = 0;
+};
+
+/// Binding context for one BSS.
+class Bss final : public DcfEnvironment {
+public:
+    explicit Bss(sim::Simulator& sim) : sim_(sim), medium_(sim) {}
+
+    /// Register an entity under \p id.  Ids must be unique; the AP is 0.
+    void attach(StationId id, MacEntity& entity);
+
+    /// Give station \p id a lossy channel (both directions).  Without a
+    /// link the channel is perfect.
+    void set_link(StationId id, channel::GilbertElliottConfig config, sim::Random rng);
+
+    /// Scripted quality on an existing link (degradation scenarios).
+    void set_link_script(StationId id, channel::ScriptedQuality script);
+
+    [[nodiscard]] Medium& medium() { return medium_; }
+    [[nodiscard]] sim::Simulator& simulator() { return sim_; }
+    [[nodiscard]] channel::WirelessLink* link(StationId id);
+
+    // --- DcfEnvironment ----------------------------------------------------
+    bool reception_begins(const Frame& frame, Time airtime) override;
+    bool channel_ok(const Frame& frame, Time start, DataSize on_air, Rate rate) override;
+    void ack_begins(const Frame& frame, Time airtime) override;
+    void deliver(const Frame& frame) override;
+    bool rts_begins(const Frame& frame, Time airtime) override;
+    void cts_begins(const Frame& frame, Time airtime) override;
+
+private:
+    [[nodiscard]] MacEntity* find(StationId id);
+
+    sim::Simulator& sim_;
+    Medium medium_;
+    std::unordered_map<StationId, MacEntity*> entities_;
+    std::unordered_map<StationId, std::unique_ptr<channel::WirelessLink>> links_;
+};
+
+}  // namespace wlanps::mac

@@ -1,0 +1,190 @@
+#include "mac/dcf.hpp"
+
+#include <utility>
+
+#include "sim/assert.hpp"
+
+namespace wlanps::mac {
+
+DcfTransmitter::DcfTransmitter(sim::Simulator& sim, Medium& medium, phy::WlanNic& nic,
+                               DcfEnvironment& env, sim::Random rng, DcfConfig config)
+    : sim_(sim), medium_(medium), nic_(nic), env_(env), rng_(rng), config_(config),
+      cw_(config.cw_min) {
+    WLANPS_REQUIRE(config_.cw_min > 0 && config_.cw_max >= config_.cw_min);
+    WLANPS_REQUIRE(config_.retry_limit >= 1);
+    medium_.on_idle([this] {
+        if (waiting_idle_) {
+            waiting_idle_ = false;
+            attempt();
+        }
+    });
+}
+
+void DcfTransmitter::enqueue(Frame frame, Completion done) {
+    // Preserve an upper layer's timestamp (e.g. when the payload entered
+    // the AP's PSM buffer) so delivery latency spans buffering too.
+    if (frame.enqueued_at.is_zero()) frame.enqueued_at = sim_.now();
+    queue_.emplace_back(std::move(frame), std::move(done));
+    if (!in_service_) start_next();
+}
+
+void DcfTransmitter::start_next() {
+    if (queue_.empty()) return;
+    in_service_ = true;
+    current_ = queue_.front().first;
+    completion_ = std::move(queue_.front().second);
+    queue_.pop_front();
+    attempt_count_ = 0;
+    cw_ = config_.cw_min;
+    service_start_ = sim_.now();
+    attempt();
+}
+
+void DcfTransmitter::attempt() {
+    if (medium_.busy()) {
+        waiting_idle_ = true;
+        return;
+    }
+    // Beacons and other AP management frames go out with zero backoff
+    // (PIFS-priority approximation); data draws from [0, cw].
+    const bool management = current_.kind == FrameKind::beacon ||
+                            current_.kind == FrameKind::schedule;
+    const std::int64_t slots = management ? 0 : rng_.uniform_int(0, cw_);
+    const Time start_delay = config_.difs + config_.slot * static_cast<double>(slots);
+    fire_event_ = sim_.schedule_in(start_delay, [this] { fire(); });
+}
+
+void DcfTransmitter::fire() {
+    if (medium_.busy()) {
+        // Carrier sensing takes a slot time to register a peer's start:
+        // firing inside that vulnerability window proceeds (and collides);
+        // any later and the station defers.
+        const bool vulnerable = sim_.now() - medium_.busy_since() < config_.slot;
+        if (!vulnerable) {
+            // Someone grabbed the medium during our countdown: wait and
+            // retry the attempt (same contention window — approx. freeze).
+            waiting_idle_ = true;
+            return;
+        }
+    } else if (sim_.now() - medium_.idle_since() < config_.difs) {
+        // The medium was busy during our countdown and freed less than a
+        // DIFS ago: a SIFS-spaced ACK may be imminent, and real stations
+        // would still be waiting out their DIFS.  Re-run the attempt.
+        attempt();
+        return;
+    }
+    WLANPS_REQUIRE_MSG(nic_.awake(), "DCF fired while NIC not awake");
+    ++attempt_count_;
+
+    const bool protect = config_.use_rts_cts && current_.dst != kBroadcast &&
+                         current_.kind == FrameKind::data &&
+                         current_.payload > config_.rts_threshold;
+    if (protect) {
+        rts_exchange();
+    } else {
+        data_exchange();
+    }
+}
+
+void DcfTransmitter::rts_exchange() {
+    ++rts_exchanges_;
+    const Time rts_air = nic_.frame_airtime(config_.rts_size, config_.basic_rate);
+    const Time cts_air = nic_.frame_airtime(config_.cts_size, config_.basic_rate);
+
+    const bool listening = env_.rts_begins(current_, rts_air);
+    nic_.occupy(phy::WlanNic::State::tx, rts_air);
+    medium_.transmit(rts_air, [this, listening, cts_air](bool collided) {
+        if (collided || !listening) {
+            // A collided RTS costs only the short control frame.
+            fail_attempt();
+            return;
+        }
+        // CTS after SIFS; then the protected data frame.
+        sim_.schedule_in(config_.sifs, [this, cts_air] {
+            env_.cts_begins(current_, cts_air);
+            medium_.transmit(cts_air, [this](bool cts_collided) {
+                if (cts_collided) {
+                    fail_attempt();
+                    return;
+                }
+                sim_.schedule_in(config_.sifs, [this] { data_exchange(); });
+            });
+        });
+    });
+}
+
+void DcfTransmitter::data_exchange() {
+    const bool broadcast = current_.dst == kBroadcast;
+    const Rate rate = broadcast ? config_.basic_rate : config_.data_rate;
+    const DataSize on_air = current_.payload + phy::calibration::kWlanMacHeader;
+    const Time airtime = nic_.frame_airtime(on_air, rate);
+    const Time start = sim_.now();
+
+    const bool listening = env_.reception_begins(current_, airtime);
+    const bool channel = env_.channel_ok(current_, start, on_air, rate);
+
+    nic_.occupy(phy::WlanNic::State::tx, airtime);
+    medium_.transmit(airtime, [this, channel, listening](bool collided) {
+        transmission_ended(collided, channel, listening);
+    });
+}
+
+void DcfTransmitter::transmission_ended(bool collided, bool channel_ok, bool listening) {
+    const bool received = !collided && channel_ok && listening;
+
+    if (current_.dst == kBroadcast) {
+        // No ACK for broadcast; one shot.
+        if (received) env_.deliver(current_);
+        finish(received);
+        return;
+    }
+
+    if (!received) {
+        fail_attempt();
+        return;
+    }
+
+    // Receiver returns an ACK after SIFS.  ACKs are short, sent at the
+    // basic rate right after the medium freed, and modeled error-free.
+    const Time ack_air = nic_.ack_airtime();
+    sim_.schedule_in(config_.sifs, [this, ack_air] {
+        env_.ack_begins(current_, ack_air);
+        medium_.transmit(ack_air, [this](bool ack_collided) {
+            // SIFS < DIFS protects the ACK from data transmissions; the
+            // residual collision window of the approximate-freeze backoff
+            // is handled as a lost ACK -> sender retries.
+            if (ack_collided) {
+                fail_attempt();
+            } else {
+                succeed();
+            }
+        });
+    });
+}
+
+void DcfTransmitter::succeed() {
+    env_.deliver(current_);
+    finish(true);
+}
+
+void DcfTransmitter::fail_attempt() {
+    if (attempt_count_ >= config_.retry_limit) {
+        finish(false);
+        return;
+    }
+    cw_ = std::min(2 * cw_ + 1, config_.cw_max);
+    attempt();
+}
+
+void DcfTransmitter::finish(bool delivered) {
+    deliveries_.add(delivered);
+    attempts_.add(attempt_count_);
+    if (delivered) access_delay_.add((sim_.now() - current_.enqueued_at).to_seconds());
+    auto done = std::move(completion_);
+    completion_ = nullptr;
+    in_service_ = false;
+    if (done) done(Result{delivered, attempt_count_});
+    if (!in_service_) start_next();
+}
+
+}  // namespace wlanps::mac

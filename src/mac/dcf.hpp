@@ -1,0 +1,140 @@
+#pragma once
+/// \file dcf.hpp
+/// 802.11 DCF (CSMA/CA) transmitter.
+///
+/// One DcfTransmitter drives one station's queue onto the shared Medium:
+/// DIFS sensing, slotted random backoff with binary exponential contention
+/// window, data/ACK exchange, retries up to the retry limit.  Backoff
+/// freezing is approximated: if the medium turns busy before the scheduled
+/// transmit instant, the attempt redraws from the *same* contention window
+/// when the medium frees (statistically close to slot-frozen backoff at
+/// the contention levels of a few-client BSS, and far cheaper than
+/// per-slot events).
+
+#include <deque>
+#include <functional>
+
+#include "mac/frame.hpp"
+#include "mac/medium.hpp"
+#include "phy/calibration.hpp"
+#include "phy/wlan_nic.hpp"
+#include "sim/random.hpp"
+#include "sim/simulator.hpp"
+#include "sim/stats.hpp"
+
+namespace wlanps::mac {
+
+/// DCF timing/contention parameters (defaults: 802.11b long preamble).
+struct DcfConfig {
+    Time slot = phy::calibration::kWlanSlot;
+    Time sifs = phy::calibration::kWlanSifs;
+    Time difs = phy::calibration::kWlanDifs;
+    int cw_min = phy::calibration::kWlanCwMin;
+    int cw_max = phy::calibration::kWlanCwMax;
+    int retry_limit = phy::calibration::kWlanRetryLimit;
+    Rate data_rate = phy::calibration::kWlanRate11;
+    Rate basic_rate = phy::calibration::kWlanRate2;  // beacons, ACKs
+    /// RTS/CTS protection: unicast data frames with payload strictly above
+    /// rts_threshold reserve the medium with a short RTS first, so
+    /// collisions cost an RTS instead of a whole data frame.
+    bool use_rts_cts = false;
+    DataSize rts_threshold = DataSize::from_bytes(500);
+    DataSize rts_size = DataSize::from_bytes(20);
+    DataSize cts_size = DataSize::from_bytes(14);
+};
+
+/// What the DCF needs from the rest of the BSS (implemented by mac::Bss).
+class DcfEnvironment {
+public:
+    virtual ~DcfEnvironment() = default;
+
+    /// Data frame goes on air: occupy the receiver's radio for \p airtime
+    /// if it is listening.  Returns true iff the receiver is listening
+    /// (false => the frame cannot be received, e.g. dozing station).
+    virtual bool reception_begins(const Frame& frame, Time airtime) = 0;
+
+    /// Sample the channel for this attempt: true iff no bit errors.
+    virtual bool channel_ok(const Frame& frame, Time start, DataSize on_air, Rate rate) = 0;
+
+    /// ACK goes on air: occupy receiver-side tx and sender-side rx radios.
+    virtual void ack_begins(const Frame& frame, Time airtime) = 0;
+
+    /// Hand the successfully received frame to its destination(s).
+    virtual void deliver(const Frame& frame) = 0;
+
+    /// RTS goes on air: occupy the receiver's radio if it is listening.
+    /// Returns true iff the receiver is listening (a CTS will follow).
+    virtual bool rts_begins(const Frame& frame, Time airtime) = 0;
+
+    /// CTS goes on air: occupy receiver-side tx and sender-side rx radios.
+    virtual void cts_begins(const Frame& frame, Time airtime) = 0;
+};
+
+/// Per-station CSMA/CA engine with a FIFO queue.
+class DcfTransmitter {
+public:
+    /// Outcome of one send.
+    struct Result {
+        bool delivered = false;
+        int attempts = 0;
+    };
+    using Completion = std::function<void(const Result&)>;
+
+    DcfTransmitter(sim::Simulator& sim, Medium& medium, phy::WlanNic& nic, DcfEnvironment& env,
+                   sim::Random rng, DcfConfig config);
+    DcfTransmitter(const DcfTransmitter&) = delete;
+    DcfTransmitter& operator=(const DcfTransmitter&) = delete;
+
+    /// Queue \p frame for transmission.  Broadcast frames are sent at the
+    /// basic rate without ACK or retry.  \p done may be null.
+    void enqueue(Frame frame, Completion done = {});
+
+    /// Frames waiting (including the one in service).
+    [[nodiscard]] std::size_t queue_depth() const {
+        return queue_.size() + (in_service_ ? 1u : 0u);
+    }
+    [[nodiscard]] bool idle() const { return !in_service_ && queue_.empty(); }
+
+    // Diagnostics.
+    [[nodiscard]] const sim::RatioCounter& delivery_stats() const { return deliveries_; }
+    [[nodiscard]] const sim::Accumulator& attempt_stats() const { return attempts_; }
+    [[nodiscard]] const sim::Accumulator& access_delay_stats() const { return access_delay_; }
+    [[nodiscard]] const DcfConfig& config() const { return config_; }
+
+    [[nodiscard]] std::uint64_t rts_exchanges() const { return rts_exchanges_; }
+
+private:
+    void start_next();
+    void attempt();
+    void fire();
+    void rts_exchange();
+    void data_exchange();
+    void transmission_ended(bool collided, bool channel_ok, bool listening);
+    void succeed();
+    void fail_attempt();
+    void finish(bool delivered);
+
+    sim::Simulator& sim_;
+    Medium& medium_;
+    phy::WlanNic& nic_;
+    DcfEnvironment& env_;
+    sim::Random rng_;
+    DcfConfig config_;
+
+    std::deque<std::pair<Frame, Completion>> queue_;
+    bool in_service_ = false;
+    Frame current_;
+    Completion completion_;
+    int attempt_count_ = 0;
+    int cw_ = 0;
+    bool waiting_idle_ = false;
+    Time service_start_;
+    sim::EventHandle fire_event_;
+
+    sim::RatioCounter deliveries_;
+    sim::Accumulator attempts_;
+    sim::Accumulator access_delay_;  // queue entry -> delivered, seconds
+    std::uint64_t rts_exchanges_ = 0;
+};
+
+}  // namespace wlanps::mac

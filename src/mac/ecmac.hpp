@@ -1,0 +1,128 @@
+#pragma once
+/// \file ecmac.hpp
+/// EC-MAC: centrally scheduled, collision-free MAC (paper §1).
+///
+/// The controller (base-station side) broadcasts a schedule of downlink
+/// transmission times at each superframe boundary; stations doze except
+/// for the schedule frame and their own slots.  Compared to 802.11 PSM
+/// this removes PS-Poll contention and gives stations *exact* doze
+/// windows — the same idea the paper's Hotspot resource manager later
+/// applies at the application level with much larger bursts.
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "mac/bss.hpp"
+#include "mac/frame.hpp"
+#include "phy/wlan_nic.hpp"
+#include "sim/random.hpp"
+#include "sim/simulator.hpp"
+#include "sim/stats.hpp"
+
+namespace wlanps::mac {
+
+/// EC-MAC parameters.
+struct EcMacConfig {
+    Time superframe = Time::from_ms(100);
+    DataSize schedule_base_size = DataSize::from_bytes(40);
+    DataSize schedule_entry_size = DataSize::from_bytes(8);
+    Rate data_rate = phy::calibration::kWlanRate11;
+    Rate basic_rate = phy::calibration::kWlanRate2;
+    Time sifs = phy::calibration::kWlanSifs;
+    Time slot_guard = Time::from_us(200);
+    DataSize max_mpdu = phy::calibration::kWlanMaxPayload;
+    /// Cap on downlink data scheduled per station per superframe.
+    DataSize per_station_quota = DataSize::from_kilobytes(64);
+};
+
+/// Base-station side: buffers downlink traffic, builds and broadcasts the
+/// per-superframe schedule, transmits in the assigned slots (no backoff,
+/// no contention — the schedule guarantees exclusive access).
+class EcMacController final : public MacEntity {
+public:
+    using SendCallback = std::function<void(bool delivered)>;
+
+    EcMacController(sim::Simulator& sim, Bss& bss, EcMacConfig config, sim::Random rng);
+
+    /// Start superframes (first boundary one superframe from now).
+    void start();
+
+    /// Queue \p payload for \p dst; it rides in the next superframe(s).
+    void send(StationId dst, DataSize payload, SendCallback done = {});
+
+    [[nodiscard]] const EcMacConfig& config() const { return config_; }
+    [[nodiscard]] std::uint64_t superframes() const { return superframes_; }
+    [[nodiscard]] std::size_t buffered(StationId dst) const;
+    [[nodiscard]] Time superframe_anchor() const { return anchor_; }
+
+    // --- MacEntity ------------------------------------------------------------
+    [[nodiscard]] phy::WlanNic& nic() override { return nic_; }
+    [[nodiscard]] bool listening() const override { return nic_.awake(); }
+    void on_frame(const Frame&) override {}
+
+private:
+    struct Buffered {
+        DataSize payload;
+        SendCallback done;
+        Time queued_at = Time::zero();
+    };
+
+    void superframe_boundary();
+    void transmit_slot(StationId dst, std::size_t frame_count);
+    void transmit_one(StationId dst, std::vector<Buffered> frames, std::size_t index);
+
+    sim::Simulator& sim_;
+    Bss& bss_;
+    EcMacConfig config_;
+    phy::WlanNic nic_;
+    sim::Random rng_;
+    std::unordered_map<StationId, std::deque<Buffered>> buffers_;
+    std::uint64_t superframes_ = 0;
+    std::uint64_t seq_ = 0;
+    Time anchor_;  // time of the next superframe boundary
+};
+
+/// Station side: doze except for schedule frames and assigned slots.
+class EcMacStation final : public MacEntity {
+public:
+    using ReceiveCallback = std::function<void(DataSize payload, Time mac_latency)>;
+
+    EcMacStation(sim::Simulator& sim, Bss& bss, StationId id, EcMacConfig config,
+                 phy::WlanNicConfig nic_config);
+
+    /// Begin following the superframe grid anchored at \p first_boundary.
+    void start(Time first_boundary);
+
+    void set_receive_callback(ReceiveCallback cb) { on_receive_ = std::move(cb); }
+
+    [[nodiscard]] StationId id() const { return id_; }
+    [[nodiscard]] power::Energy energy_consumed() const { return nic_.energy_consumed(); }
+    [[nodiscard]] power::Power average_power() const { return nic_.average_power(); }
+    [[nodiscard]] std::uint64_t frames_received() const { return frames_received_; }
+    [[nodiscard]] DataSize bytes_received() const { return bytes_received_; }
+    [[nodiscard]] phy::WlanNic& wlan_nic() { return nic_; }
+
+    // --- MacEntity ------------------------------------------------------------
+    [[nodiscard]] phy::WlanNic& nic() override { return nic_; }
+    [[nodiscard]] bool listening() const override { return nic_.awake(); }
+    void on_frame(const Frame& frame) override;
+
+private:
+    void wake_for_boundary();
+
+    sim::Simulator& sim_;
+    Bss& bss_;
+    StationId id_;
+    EcMacConfig config_;
+    phy::WlanNic nic_;
+    ReceiveCallback on_receive_;
+    Time next_boundary_;
+    Time last_schedule_at_ = Time::from_ns(-1);
+    std::uint64_t frames_received_ = 0;
+    DataSize bytes_received_;
+};
+
+}  // namespace wlanps::mac

@@ -1,0 +1,69 @@
+#pragma once
+/// \file frame.hpp
+/// 802.11 MAC frame descriptors.
+///
+/// The simulation never carries payload bytes — only sizes and the header
+/// fields that drive protocol behaviour (addresses, More-Data, TIM).
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "sim/time.hpp"
+#include "sim/units.hpp"
+
+namespace wlanps::mac {
+
+/// Station identifier within a BSS.  The AP is station 0 by convention.
+using StationId = std::uint32_t;
+inline constexpr StationId kApId = 0;
+inline constexpr StationId kBroadcast = std::numeric_limits<StationId>::max();
+
+/// Frame types the models exchange.
+enum class FrameKind : std::uint8_t {
+    data,
+    ack,
+    beacon,   ///< carries the TIM bitmap
+    ps_poll,  ///< PSM station requesting one buffered frame
+    schedule, ///< EC-MAC broadcast schedule announcement
+};
+
+[[nodiscard]] constexpr const char* to_string(FrameKind k) {
+    switch (k) {
+        case FrameKind::data: return "data";
+        case FrameKind::ack: return "ack";
+        case FrameKind::beacon: return "beacon";
+        case FrameKind::ps_poll: return "ps-poll";
+        case FrameKind::schedule: return "schedule";
+    }
+    return "?";
+}
+
+/// One entry of an EC-MAC broadcast schedule: when (relative to the end of
+/// the schedule frame) and for how long a station's downlink slot runs.
+struct ScheduleEntry {
+    StationId station = kBroadcast;
+    Time offset = Time::zero();
+    Time duration = Time::zero();
+};
+
+/// One MAC frame in flight.
+struct Frame {
+    FrameKind kind = FrameKind::data;
+    StationId src = kApId;
+    StationId dst = kBroadcast;
+    /// MSDU payload size (headers are added by the MAC when timing it).
+    DataSize payload = DataSize::zero();
+    /// 802.11 More-Data bit: more buffered traffic awaits the receiver.
+    bool more_data = false;
+    /// Sequence number for upper-layer bookkeeping.
+    std::uint64_t seq = 0;
+    /// When the payload entered the MAC queue (for delay accounting).
+    Time enqueued_at = Time::zero();
+    /// Beacon only: stations with buffered traffic (the TIM bitmap).
+    std::vector<StationId> tim;
+    /// Schedule frame only: the slot assignments of this superframe.
+    std::vector<ScheduleEntry> schedule;
+};
+
+}  // namespace wlanps::mac

@@ -1,0 +1,43 @@
+#include "mac/medium.hpp"
+
+#include <utility>
+
+#include "sim/assert.hpp"
+
+namespace wlanps::mac {
+
+void Medium::transmit(Time airtime, std::function<void(bool)> on_end) {
+    WLANPS_REQUIRE(airtime > Time::zero());
+    WLANPS_REQUIRE(on_end != nullptr);
+    ++transmissions_;
+    airtime_ += airtime;
+    if (active_ > 0) {
+        overlap_ = true;  // joining an ongoing tx => collision
+    } else {
+        busy_since_ = sim_.now();
+    }
+    ++active_;
+    // Snapshot whether *this* transmission overlapped at start; overlap can
+    // also arise later if another tx starts before we end, so re-check at
+    // end via the shared flag covering our interval.
+    sim_.schedule_in(airtime, [this, on_end = std::move(on_end)] {
+        const bool collided = overlap_;
+        end_transmission(collided);
+        on_end(collided);
+    });
+}
+
+void Medium::end_transmission(bool was_collided) {
+    WLANPS_REQUIRE(active_ > 0);
+    --active_;
+    if (was_collided) ++collisions_;
+    if (active_ == 0) {
+        overlap_ = false;
+        idle_since_ = sim_.now();
+        // Copy: watchers may start new transmissions re-entrantly.
+        const auto watchers = idle_watchers_;
+        for (const auto& w : watchers) w();
+    }
+}
+
+}  // namespace wlanps::mac

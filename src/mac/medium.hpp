@@ -1,0 +1,66 @@
+#pragma once
+/// \file medium.hpp
+/// The shared half-duplex wireless medium of one BSS.
+///
+/// Transmitters reserve airtime; overlapping reservations collide (both
+/// transmissions are lost), which is how CSMA/CA contention costs appear.
+/// Idle watchers are notified when the medium frees so DCF stations can
+/// resume frozen backoff.
+
+#include <functional>
+#include <vector>
+
+#include "sim/simulator.hpp"
+#include "sim/time.hpp"
+
+namespace wlanps::mac {
+
+/// Busy/idle arbitration plus collision detection for one radio channel.
+class Medium {
+public:
+    explicit Medium(sim::Simulator& sim) : sim_(sim) {}
+    Medium(const Medium&) = delete;
+    Medium& operator=(const Medium&) = delete;
+
+    /// Is a transmission (or several, colliding) on the air right now?
+    [[nodiscard]] bool busy() const { return active_ > 0; }
+
+    /// Time the medium has continuously been idle (Time::max() if it has
+    /// never carried a transmission).
+    [[nodiscard]] Time idle_since() const { return idle_since_; }
+
+    /// When the current busy period started (meaningful only while busy).
+    /// Carrier sensing needs a slot time to register a peer's start, so a
+    /// transmitter that fires within that window of busy_since() collides
+    /// rather than defers.
+    [[nodiscard]] Time busy_since() const { return busy_since_; }
+
+    /// Begin a transmission lasting \p airtime.  \p on_end(bool collided)
+    /// fires when the transmission leaves the air.  A transmission that
+    /// overlaps any other is collided (as is the other).
+    void transmit(Time airtime, std::function<void(bool collided)> on_end);
+
+    /// Register to be called every time the medium transitions busy->idle.
+    /// Watchers persist; register once per station.
+    void on_idle(std::function<void()> watcher) { idle_watchers_.push_back(std::move(watcher)); }
+
+    /// Total airtime carried so far (collided airtime counts once per tx).
+    [[nodiscard]] Time airtime_carried() const { return airtime_; }
+    [[nodiscard]] std::uint64_t collisions() const { return collisions_; }
+    [[nodiscard]] std::uint64_t transmissions() const { return transmissions_; }
+
+private:
+    void end_transmission(bool was_collided);
+
+    sim::Simulator& sim_;
+    int active_ = 0;               // transmissions currently on air
+    bool overlap_ = false;         // any overlap among the active set
+    Time idle_since_ = Time::zero();
+    Time busy_since_ = Time::zero();
+    Time airtime_;
+    std::uint64_t collisions_ = 0;
+    std::uint64_t transmissions_ = 0;
+    std::vector<std::function<void()>> idle_watchers_;
+};
+
+}  // namespace wlanps::mac

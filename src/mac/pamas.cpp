@@ -1,0 +1,79 @@
+#include "mac/pamas.hpp"
+
+#include <algorithm>
+
+#include "sim/assert.hpp"
+
+namespace wlanps::mac {
+
+double pamas_stretch(const PamasConfig& config, double battery_level) {
+    WLANPS_REQUIRE(battery_level >= 0.0 && battery_level <= 1.0);
+    const double lvl = std::max(battery_level, config.floor_level);
+    // Linear in battery level: 1.0 at full, max_stretch at the floor.
+    const double span = 1.0 - config.floor_level;
+    const double f = (1.0 - lvl) / span;  // 0 at full, 1 at floor
+    return 1.0 + f * (config.max_stretch - 1.0);
+}
+
+PamasStation::PamasStation(sim::Simulator& sim, Bss& bss, StationId id, AccessPoint& ap,
+                           power::Battery& battery, PamasConfig config,
+                           phy::WlanNicConfig nic_config)
+    : sim_(sim),
+      bss_(bss),
+      id_(id),
+      ap_(ap),
+      battery_(battery),
+      config_(config),
+      nic_(sim, nic_config, phy::WlanNic::State::doze) {
+    WLANPS_REQUIRE(config_.base_period > Time::zero());
+    WLANPS_REQUIRE(config_.max_stretch >= 1.0);
+    WLANPS_REQUIRE_MSG(ap.mode() == ApMode::psm, "PAMAS needs a buffering (PSM-mode) AP");
+    bss_.attach(id, *this);
+}
+
+Time PamasStation::current_period() const {
+    return config_.base_period * pamas_stretch(config_, battery_.level());
+}
+
+void PamasStation::start() {
+    sim_.schedule_in(current_period(), [this] { cycle(); });
+}
+
+void PamasStation::cycle() {
+    drain_battery();
+    if (battery_.empty()) {
+        nic_.deep_sleep();  // dead node: radio off, no more cycles
+        return;
+    }
+    // Probe (free, signaling channel): anything buffered for us?
+    if (ap_.buffered(id_) == 0) {
+        sim_.schedule_in(current_period(), [this] { cycle(); });
+        return;
+    }
+    nic_.wake([this] {
+        ap_.flush_to(id_, [this] {
+            nic_.doze();
+            drain_battery();
+            sim_.schedule_in(current_period(), [this] { cycle(); });
+        });
+    });
+}
+
+void PamasStation::drain_battery() {
+    const power::Energy total = nic_.energy_consumed();
+    const power::Energy delta = total - drained_;
+    drained_ = total;
+    if (delta > power::Energy::zero()) {
+        battery_.drain(delta, nic_.average_power());
+    }
+}
+
+void PamasStation::on_frame(const Frame& frame) {
+    if (frame.kind != FrameKind::data || frame.payload.is_zero()) return;
+    ++frames_received_;
+    bytes_received_ += frame.payload;
+    latency_.add((sim_.now() - frame.enqueued_at).to_seconds());
+    if (on_receive_) on_receive_(frame.payload, sim_.now() - frame.enqueued_at);
+}
+
+}  // namespace wlanps::mac

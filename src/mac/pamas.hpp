@@ -1,0 +1,83 @@
+#pragma once
+/// \file pamas.hpp
+/// PAMAS-style battery-aware independent sleeping (paper §1).
+///
+/// Stations "independently enter sleep state based on their battery
+/// levels": each station cycles between sleep and a short traffic check,
+/// and stretches its sleep period as its battery drains — trading delivery
+/// latency for lifetime.  The probe itself is modeled free (PAMAS uses a
+/// separate low-power signaling channel); the cost that remains is the
+/// wake transition plus the awake time to drain buffered traffic.
+
+#include <cstdint>
+#include <functional>
+
+#include "mac/access_point.hpp"
+#include "mac/bss.hpp"
+#include "power/battery.hpp"
+#include "phy/wlan_nic.hpp"
+#include "sim/simulator.hpp"
+#include "sim/stats.hpp"
+
+namespace wlanps::mac {
+
+/// PAMAS policy parameters.
+struct PamasConfig {
+    /// Sleep/check cycle period at full battery.
+    Time base_period = Time::from_ms(250);
+    /// Period multiplier when the battery is at floor_level.
+    double max_stretch = 8.0;
+    /// Battery level at/below which the stretch saturates.
+    double floor_level = 0.10;
+};
+
+/// Sleep-period stretch factor for a given battery level (1.0 at full).
+[[nodiscard]] double pamas_stretch(const PamasConfig& config, double battery_level);
+
+/// A station running the PAMAS-style policy against an AP in PSM mode
+/// (the AP's buffering stands in for PAMAS's "probe told me data waits").
+class PamasStation final : public MacEntity {
+public:
+    using ReceiveCallback = std::function<void(DataSize payload, Time mac_latency)>;
+
+    PamasStation(sim::Simulator& sim, Bss& bss, StationId id, AccessPoint& ap,
+                 power::Battery& battery, PamasConfig config, phy::WlanNicConfig nic_config);
+
+    void start();
+
+    void set_receive_callback(ReceiveCallback cb) { on_receive_ = std::move(cb); }
+
+    [[nodiscard]] StationId id() const { return id_; }
+    [[nodiscard]] power::Energy energy_consumed() const { return nic_.energy_consumed(); }
+    [[nodiscard]] power::Power average_power() const { return nic_.average_power(); }
+    [[nodiscard]] std::uint64_t frames_received() const { return frames_received_; }
+    [[nodiscard]] DataSize bytes_received() const { return bytes_received_; }
+    [[nodiscard]] const sim::Accumulator& delivery_latency() const { return latency_; }
+    [[nodiscard]] Time current_period() const;
+    [[nodiscard]] phy::WlanNic& wlan_nic() { return nic_; }
+
+    // --- MacEntity ------------------------------------------------------------
+    [[nodiscard]] phy::WlanNic& nic() override { return nic_; }
+    [[nodiscard]] bool listening() const override { return nic_.awake(); }
+    void on_frame(const Frame& frame) override;
+
+private:
+    void cycle();
+    void drain_battery();
+
+    sim::Simulator& sim_;
+    Bss& bss_;
+    StationId id_;
+    AccessPoint& ap_;
+    power::Battery& battery_;
+    PamasConfig config_;
+    phy::WlanNic nic_;
+    ReceiveCallback on_receive_;
+    power::Energy drained_;  // NIC energy already charged to the battery
+
+    std::uint64_t frames_received_ = 0;
+    DataSize bytes_received_;
+    sim::Accumulator latency_;
+};
+
+}  // namespace wlanps::mac

@@ -1,0 +1,85 @@
+#include "net/probing.hpp"
+
+#include <algorithm>
+#include <memory>
+
+#include "sim/assert.hpp"
+
+namespace wlanps::net {
+
+ProbingTcpAgent::ProbingTcpAgent(ProbingConfig config) : config_(config) {
+    WLANPS_REQUIRE(config_.link_rate > Rate::zero());
+    WLANPS_REQUIRE(config_.probe_size > DataSize::zero());
+}
+
+ProbingResult ProbingTcpAgent::bulk_transfer(DataSize payload,
+                                             channel::GilbertElliott& channel) const {
+    WLANPS_REQUIRE(payload > DataSize::zero());
+    const TcpConfig& tcp = config_.tcp;
+    ProbingResult result;
+    const std::int64_t total_segments = (payload.bits() + tcp.mss.bits() - 1) / tcp.mss.bits();
+
+    double cwnd = 1.0;
+    double ssthresh = static_cast<double>(tcp.initial_ssthresh);
+    std::int64_t acked = 0;
+
+    while (acked < total_segments) {
+        ++result.rounds;
+        const auto window = static_cast<std::int64_t>(
+            std::min<double>(cwnd, static_cast<double>(tcp.max_window)));
+        const std::int64_t to_send = std::min<std::int64_t>(window, total_segments - acked);
+
+        std::int64_t ok_prefix = 0;
+        bool loss = false;
+        Time cursor = result.elapsed;  // segments are spaced by their airtime
+        for (std::int64_t i = 0; i < to_send; ++i) {
+            ++result.segments_sent;
+            const bool ok = channel.transmit_success(cursor, tcp.mss, config_.link_rate);
+            cursor += config_.link_rate.transmit_time(tcp.mss);
+            if (ok && !loss) ++ok_prefix;
+            if (!ok) loss = true;
+        }
+        acked += ok_prefix;
+        result.elapsed = std::max(result.elapsed + tcp.rtt, cursor);
+
+        if (!loss) {
+            if (cwnd < ssthresh) {
+                cwnd = std::min(cwnd * 2.0, static_cast<double>(tcp.max_window));
+            } else {
+                cwnd += 1.0;
+            }
+            continue;
+        }
+
+        // Loss: freeze the window and probe until the channel recovers.
+        ++result.probe_cycles;
+        while (true) {
+            ++result.probes_sent;
+            result.elapsed += tcp.rtt;  // one probe exchange per RTT
+            const bool ok = channel.transmit_success(result.elapsed, config_.probe_size,
+                                                     config_.link_rate);
+            // Keep the transfer clock ahead of the channel clock.
+            result.elapsed += config_.link_rate.transmit_time(config_.probe_size);
+            if (ok) break;  // channel is back: resume with the frozen cwnd
+        }
+    }
+    return result;
+}
+
+TcpResult ProbingTcpAgent::reno_transfer(DataSize payload,
+                                         channel::GilbertElliott& channel) const {
+    const TcpAgent reno(config_.tcp);
+    // Reno sampling against the same channel model: time advances with
+    // the transfer; the closure tracks its own clock.
+    auto clock = std::make_shared<Time>(Time::zero());
+    const Rate link = config_.link_rate;
+    const DataSize mss = config_.tcp.mss;
+    const Time per_segment = config_.tcp.rtt / 16.0;  // spread within a round
+    auto& ch = channel;
+    return reno.bulk_transfer(payload, [clock, &ch, mss, link, per_segment] {
+        *clock += per_segment;
+        return ch.transmit_success(*clock, mss, link);
+    });
+}
+
+}  // namespace wlanps::net

@@ -1,0 +1,61 @@
+#pragma once
+/// \file probing.hpp
+/// TCP-Probing: freeze instead of back off during wireless loss bursts.
+///
+/// One of the paper's transport-layer mitigations ("...ranging from
+/// splitting a connection, to probing, ..."): when loss is detected the
+/// sender suspends data and exchanges tiny probe packets; congestion
+/// control is frozen, and transmission resumes at the prior rate once a
+/// probe succeeds — so bursty wireless errors cost the burst duration, not
+/// a window collapse.
+
+#include "channel/gilbert_elliott.hpp"
+#include "net/tcp.hpp"
+#include "sim/random.hpp"
+
+namespace wlanps::net {
+
+/// Probing-TCP parameters.
+struct ProbingConfig {
+    TcpConfig tcp;  ///< shared base parameters (mss, rtt, bottleneck)
+    /// Wireless hop link rate for per-segment error sampling.
+    Rate link_rate = Rate::from_mbps(2.0);
+    DataSize probe_size = DataSize::from_bytes(40);
+};
+
+/// Result of a probing transfer.
+struct ProbingResult {
+    Time elapsed = Time::zero();
+    int probe_cycles = 0;       ///< times the sender entered probing
+    std::int64_t probes_sent = 0;
+    std::int64_t segments_sent = 0;
+    int rounds = 0;
+
+    [[nodiscard]] double throughput_bps(DataSize payload) const {
+        if (elapsed.is_zero()) return 0.0;
+        return static_cast<double>(payload.bits()) / elapsed.to_seconds();
+    }
+};
+
+/// Reno-style sender with probe-and-freeze loss handling, sampled against
+/// a live Gilbert–Elliott channel (the channel state advances with the
+/// transfer, so loss bursts have duration).
+class ProbingTcpAgent {
+public:
+    explicit ProbingTcpAgent(ProbingConfig config);
+
+    [[nodiscard]] ProbingResult bulk_transfer(DataSize payload,
+                                              channel::GilbertElliott& channel) const;
+
+    /// Reference: plain Reno over the same kind of channel (for the AB3
+    /// comparison; losses feed congestion control as usual).
+    [[nodiscard]] TcpResult reno_transfer(DataSize payload,
+                                          channel::GilbertElliott& channel) const;
+
+    [[nodiscard]] const ProbingConfig& config() const { return config_; }
+
+private:
+    ProbingConfig config_;
+};
+
+}  // namespace wlanps::net

@@ -1,0 +1,80 @@
+#include "net/proxy.hpp"
+
+#include <algorithm>
+#include <memory>
+
+#include "sim/assert.hpp"
+
+namespace wlanps::net {
+
+SplitConnectionProxy::SplitConnectionProxy(SplitConnectionConfig config) : config_(config) {
+    WLANPS_REQUIRE(config_.local_retry_limit >= 1);
+    WLANPS_REQUIRE(config_.wireless_rate > Rate::zero());
+}
+
+ProxyResult SplitConnectionProxy::transfer(DataSize payload,
+                                           const LossProcess& wireless_delivered) const {
+    WLANPS_REQUIRE(payload > DataSize::zero());
+    ProxyResult result;
+
+    // Stage 1: wired TCP to the proxy over a clean path.
+    const TcpAgent wired(config_.wired);
+    const TcpResult wired_result = wired.bulk_transfer(payload, [] { return true; });
+
+    // Stage 2: wireless hop with local ARQ (stop-and-wait over a short
+    // local RTT, pipelined enough to fill the wireless rate when clean).
+    const std::int64_t segments =
+        (payload.bits() + config_.mss.bits() - 1) / config_.mss.bits();
+    Time wireless_elapsed = Time::zero();
+    bool ok = true;
+    for (std::int64_t i = 0; i < segments && ok; ++i) {
+        int attempts = 0;
+        bool seg_ok = false;
+        while (attempts < config_.local_retry_limit) {
+            ++attempts;
+            ++result.wireless_transmissions;
+            wireless_elapsed += config_.wireless_rate.transmit_time(config_.mss);
+            if (wireless_delivered()) {
+                seg_ok = true;
+                break;
+            }
+            wireless_elapsed += config_.wireless_rtt;  // local timeout/nack
+        }
+        ok = seg_ok;
+    }
+
+    // Pipelined stages: total time is dominated by the slower stage (plus
+    // one wired RTT of fill latency).
+    result.delivered = ok;
+    result.elapsed = std::max(wired_result.elapsed, wireless_elapsed) + config_.wired.rtt;
+    return result;
+}
+
+SnoopFilter::SnoopFilter(LossProcess raw, int local_retries, Time local_retry_delay)
+    : raw_(std::move(raw)),
+      local_retries_(local_retries),
+      local_retry_delay_(local_retry_delay),
+      local_delay_(std::make_shared<Time>(Time::zero())),
+      local_retx_(std::make_shared<std::int64_t>(0)) {
+    WLANPS_REQUIRE(local_retries >= 0);
+    WLANPS_REQUIRE(raw_ != nullptr);
+}
+
+LossProcess SnoopFilter::filtered() {
+    auto raw = raw_;
+    const int retries = local_retries_;
+    const Time delay = local_retry_delay_;
+    auto total_delay = local_delay_;
+    auto total_retx = local_retx_;
+    return [raw, retries, delay, total_delay, total_retx] {
+        if (raw()) return true;
+        for (int i = 0; i < retries; ++i) {
+            *total_delay += delay;
+            ++*total_retx;
+            if (raw()) return true;
+        }
+        return false;
+    };
+}
+
+}  // namespace wlanps::net

@@ -1,0 +1,82 @@
+#pragma once
+/// \file proxy.hpp
+/// Wireless-TCP mitigations: split connections and snoop (paper §1).
+///
+/// Both hide wireless loss from the end-to-end sender:
+///  * Split connection (I-TCP style): the proxy terminates the wired TCP
+///    connection and runs a separate, locally retransmitted transfer over
+///    the wireless hop.  End-to-end semantics are relaxed; throughput is
+///    pipelined min() of the two stages.
+///  * Snoop: the base station caches segments and retransmits locally on
+///    duplicate acks, so the sender only sees losses that defeat the local
+///    retries.
+
+#include <memory>
+
+#include "net/tcp.hpp"
+#include "sim/random.hpp"
+
+namespace wlanps::net {
+
+/// Split-connection transfer: wired TCP stage + locally-ARQ'd wireless
+/// stage, pipelined.
+struct SplitConnectionConfig {
+    TcpConfig wired;                   ///< sender -> proxy (lossless)
+    Time wireless_rtt = Time::from_ms(10);
+    Rate wireless_rate = Rate::from_mbps(2.0);
+    int local_retry_limit = 8;
+    DataSize mss = DataSize::from_bytes(1460);
+};
+
+/// Result of a proxied transfer.
+struct ProxyResult {
+    Time elapsed = Time::zero();
+    std::int64_t wireless_transmissions = 0;
+    bool delivered = false;
+
+    [[nodiscard]] double throughput_bps(DataSize payload) const {
+        if (elapsed.is_zero()) return 0.0;
+        return static_cast<double>(payload.bits()) / elapsed.to_seconds();
+    }
+};
+
+/// I-TCP style split-connection proxy.
+class SplitConnectionProxy {
+public:
+    explicit SplitConnectionProxy(SplitConnectionConfig config);
+
+    /// Transfer \p payload; wireless per-segment delivery sampled from
+    /// \p wireless_delivered.
+    [[nodiscard]] ProxyResult transfer(DataSize payload,
+                                       const LossProcess& wireless_delivered) const;
+
+    [[nodiscard]] const SplitConnectionConfig& config() const { return config_; }
+
+private:
+    SplitConnectionConfig config_;
+};
+
+/// Snoop agent: wraps a raw loss process so that TCP only sees a loss when
+/// all local (base-station) retransmissions also fail.  Each local retry
+/// adds \p local_retry_delay to an internal latency budget the caller can
+/// read after the transfer.
+class SnoopFilter {
+public:
+    SnoopFilter(LossProcess raw, int local_retries, Time local_retry_delay);
+
+    /// The filtered loss process to hand to TcpAgent::bulk_transfer.
+    [[nodiscard]] LossProcess filtered();
+
+    /// Time spent on local retransmissions so far (add to transfer time).
+    [[nodiscard]] Time local_delay() const { return *local_delay_; }
+    [[nodiscard]] std::int64_t local_retransmissions() const { return *local_retx_; }
+
+private:
+    LossProcess raw_;
+    int local_retries_;
+    Time local_retry_delay_;
+    std::shared_ptr<Time> local_delay_;
+    std::shared_ptr<std::int64_t> local_retx_;
+};
+
+}  // namespace wlanps::net

@@ -1,0 +1,89 @@
+#include "net/tcp.hpp"
+
+#include <algorithm>
+#include <memory>
+
+#include "sim/assert.hpp"
+#include "sim/random.hpp"
+
+namespace wlanps::net {
+
+TcpAgent::TcpAgent(TcpConfig config) : config_(config) {
+    WLANPS_REQUIRE(config_.initial_ssthresh >= 2);
+    WLANPS_REQUIRE(config_.max_window >= 2);
+    WLANPS_REQUIRE(config_.rtt > Time::zero());
+    WLANPS_REQUIRE(config_.rto >= config_.rtt);
+}
+
+TcpResult TcpAgent::bulk_transfer(DataSize payload, const LossProcess& delivered) const {
+    WLANPS_REQUIRE(payload > DataSize::zero());
+    WLANPS_REQUIRE(delivered != nullptr);
+
+    TcpResult result;
+    const std::int64_t total_segments =
+        (payload.bits() + config_.mss.bits() - 1) / config_.mss.bits();
+
+    double cwnd = 1.0;
+    double ssthresh = static_cast<double>(config_.initial_ssthresh);
+    std::int64_t acked = 0;
+
+    while (acked < total_segments) {
+        ++result.rounds;
+        const auto window = static_cast<std::int64_t>(
+            std::min<double>(cwnd, static_cast<double>(config_.max_window)));
+        const std::int64_t to_send = std::min<std::int64_t>(window, total_segments - acked);
+
+        // Sample each segment of this round.
+        std::int64_t ok_prefix = 0;  // in-order delivered before first loss
+        std::int64_t losses = 0;
+        bool first_loss_seen = false;
+        for (std::int64_t i = 0; i < to_send; ++i) {
+            ++result.segments_sent;
+            if (delivered()) {
+                ++result.segments_delivered;
+                if (!first_loss_seen) ++ok_prefix;
+            } else {
+                ++losses;
+                first_loss_seen = true;
+            }
+        }
+        acked += ok_prefix;
+
+        // Round duration: an RTT, or longer if cwnd exceeds the
+        // bandwidth-delay product of the bottleneck.
+        const Time drain = config_.bottleneck.transmit_time(config_.mss * static_cast<double>(to_send));
+        result.elapsed += std::max(config_.rtt, drain);
+
+        if (losses == 0) {
+            // Additive increase / slow start.
+            if (cwnd < ssthresh) {
+                cwnd = std::min(cwnd * 2.0, static_cast<double>(config_.max_window));
+            } else {
+                cwnd += 1.0;
+            }
+            continue;
+        }
+
+        if (losses == 1 && to_send >= 4) {
+            // Enough dup acks for fast retransmit: halve the window.
+            ++result.fast_retransmits;
+            ssthresh = std::max(2.0, cwnd / 2.0);
+            cwnd = ssthresh;
+        } else {
+            // Burst loss -> retransmission timeout.
+            ++result.timeouts;
+            result.elapsed += config_.rto;
+            ssthresh = std::max(2.0, cwnd / 2.0);
+            cwnd = 1.0;
+        }
+    }
+    return result;
+}
+
+LossProcess bernoulli_loss(double loss_probability, std::uint64_t seed) {
+    WLANPS_REQUIRE(loss_probability >= 0.0 && loss_probability <= 1.0);
+    auto rng = std::make_shared<sim::Random>(seed);
+    return [rng, loss_probability] { return !rng->chance(loss_probability); };
+}
+
+}  // namespace wlanps::net

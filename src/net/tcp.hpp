@@ -1,0 +1,73 @@
+#pragma once
+/// \file tcp.hpp
+/// Round-based TCP Reno model for the wireless-loss study (paper §1).
+///
+/// Transport protocols "are designed to work well when deployed on
+/// reliable links, thus causing problems when working in wireless
+/// conditions": random wireless loss is misread as congestion, halving the
+/// window or forcing timeouts.  This model advances one RTT "round" at a
+/// time — cwnd segments sampled against a per-packet loss source — which
+/// reproduces the classic 1/(RTT·√p) throughput collapse and the recovery
+/// offered by split-connection and snoop proxies.
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "sim/time.hpp"
+#include "sim/units.hpp"
+
+namespace wlanps::net {
+
+/// TCP Reno parameters.
+struct TcpConfig {
+    DataSize mss = DataSize::from_bytes(1460);
+    int initial_ssthresh = 64;        ///< segments
+    int max_window = 256;             ///< receiver window, segments
+    Time rtt = Time::from_ms(100);    ///< end-to-end round-trip
+    Time rto = Time::from_seconds(1); ///< retransmission timeout
+    Rate bottleneck = Rate::from_mbps(5.0);
+};
+
+/// Outcome of a bulk transfer.
+struct TcpResult {
+    Time elapsed = Time::zero();
+    std::int64_t segments_sent = 0;      ///< incl. retransmissions
+    std::int64_t segments_delivered = 0;
+    int fast_retransmits = 0;
+    int timeouts = 0;
+    int rounds = 0;
+
+    [[nodiscard]] double throughput_bps(DataSize payload) const {
+        if (elapsed.is_zero()) return 0.0;
+        return static_cast<double>(payload.bits()) / elapsed.to_seconds();
+    }
+    [[nodiscard]] double retransmission_ratio() const {
+        if (segments_sent == 0) return 0.0;
+        return 1.0 - static_cast<double>(segments_delivered) / static_cast<double>(segments_sent);
+    }
+};
+
+/// Per-segment delivery oracle (true = delivered).  Implementations sample
+/// a WirelessLink, a Bernoulli process, or a snoop-filtered channel.
+using LossProcess = std::function<bool()>;
+
+/// A Reno sender.
+class TcpAgent {
+public:
+    explicit TcpAgent(TcpConfig config);
+
+    /// Transfer \p payload over a path whose per-segment delivery is
+    /// sampled from \p delivered.
+    [[nodiscard]] TcpResult bulk_transfer(DataSize payload, const LossProcess& delivered) const;
+
+    [[nodiscard]] const TcpConfig& config() const { return config_; }
+
+private:
+    TcpConfig config_;
+};
+
+/// Bernoulli loss process with fixed loss probability.
+[[nodiscard]] LossProcess bernoulli_loss(double loss_probability, std::uint64_t seed);
+
+}  // namespace wlanps::net

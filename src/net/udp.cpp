@@ -1,0 +1,26 @@
+#include "net/udp.hpp"
+
+#include "sim/assert.hpp"
+
+namespace wlanps::net {
+
+UdpAgent::UdpAgent(UdpConfig config) : config_(config) {
+    WLANPS_REQUIRE(config_.datagram > DataSize::zero());
+    WLANPS_REQUIRE(config_.send_rate > Rate::zero());
+}
+
+UdpResult UdpAgent::stream(Time duration, const LossProcess& delivered) const {
+    WLANPS_REQUIRE(duration > Time::zero());
+    WLANPS_REQUIRE(delivered != nullptr);
+    UdpResult result;
+    result.elapsed = duration;
+    const double datagrams_per_second =
+        config_.send_rate.bps() / static_cast<double>(config_.datagram.bits());
+    result.sent = static_cast<std::int64_t>(datagrams_per_second * duration.to_seconds());
+    for (std::int64_t i = 0; i < result.sent; ++i) {
+        if (delivered()) ++result.delivered;
+    }
+    return result;
+}
+
+}  // namespace wlanps::net

@@ -1,0 +1,53 @@
+#pragma once
+/// \file udp.hpp
+/// UDP datagram model: constant-rate streaming with per-packet loss.
+///
+/// Streaming workloads (the paper's MP3 scenario) ride UDP: no congestion
+/// control, loss shows up as application-level gaps.  The model reports
+/// delivery ratio and goodput for a stream pushed through a loss process.
+
+#include <cstdint>
+
+#include "net/tcp.hpp"  // LossProcess
+#include "sim/time.hpp"
+#include "sim/units.hpp"
+
+namespace wlanps::net {
+
+/// UDP stream parameters.
+struct UdpConfig {
+    DataSize datagram = DataSize::from_bytes(1472);
+    Rate send_rate = Rate::from_kbps(128);
+};
+
+/// Outcome of a streaming session.
+struct UdpResult {
+    std::int64_t sent = 0;
+    std::int64_t delivered = 0;
+    Time elapsed = Time::zero();
+
+    [[nodiscard]] double delivery_ratio() const {
+        return sent == 0 ? 0.0 : static_cast<double>(delivered) / static_cast<double>(sent);
+    }
+    [[nodiscard]] double goodput_bps(DataSize datagram) const {
+        if (elapsed.is_zero()) return 0.0;
+        return static_cast<double>(datagram.bits()) * static_cast<double>(delivered) /
+               elapsed.to_seconds();
+    }
+};
+
+/// A constant-bit-rate UDP sender.
+class UdpAgent {
+public:
+    explicit UdpAgent(UdpConfig config);
+
+    /// Stream for \p duration, sampling each datagram against \p delivered.
+    [[nodiscard]] UdpResult stream(Time duration, const LossProcess& delivered) const;
+
+    [[nodiscard]] const UdpConfig& config() const { return config_; }
+
+private:
+    UdpConfig config_;
+};
+
+}  // namespace wlanps::net

@@ -1,0 +1,68 @@
+#include "os/device_manager.hpp"
+
+#include <utility>
+
+#include "sim/assert.hpp"
+
+namespace wlanps::os {
+
+DeviceManager::DeviceManager(sim::Simulator& sim, phy::WlanNic& nic,
+                             std::unique_ptr<ShutdownPolicy> policy)
+    : sim_(sim), nic_(nic), policy_(std::move(policy)) {
+    WLANPS_REQUIRE(policy_ != nullptr);
+    idle_since_ = sim.now();
+    idle_began();
+}
+
+void DeviceManager::request(Time service_time, std::function<void()> done) {
+    WLANPS_REQUIRE(service_time > Time::zero());
+    queue_.push_back(Pending{service_time, std::move(done), sim_.now()});
+    if (!serving_) serve_next();
+}
+
+void DeviceManager::serve_next() {
+    if (queue_.empty()) {
+        idle_since_ = sim_.now();
+        idle_began();
+        return;
+    }
+    if (!serving_) {
+        // Ending an idle period: feed its length back to the policy.
+        sleep_timer_.cancel();
+        policy_->observe(sim_.now() - idle_since_);
+    }
+    serving_ = true;
+
+    Pending next = std::move(queue_.front());
+    queue_.pop_front();
+    const Time arrived = next.arrived_at;
+    nic_.wake([this, next = std::move(next), arrived]() mutable {
+        wake_delays_.add((sim_.now() - arrived).to_seconds());
+        // Service: the radio is busy rx'ing/tx'ing for the service time.
+        nic_.occupy(phy::WlanNic::State::rx, next.service_time,
+                    [this, done = std::move(next.done)] {
+                        ++served_;
+                        serving_ = false;
+                        if (done) done();
+                        serve_next();
+                    });
+    });
+}
+
+void DeviceManager::idle_began() {
+    const Time timeout = policy_->decide();
+    if (timeout == Time::max()) return;  // stay on
+    if (timeout.is_zero()) {
+        go_to_sleep();
+        return;
+    }
+    sleep_timer_ = sim_.schedule_in(timeout, [this] { go_to_sleep(); });
+}
+
+void DeviceManager::go_to_sleep() {
+    if (serving_ || !queue_.empty()) return;  // raced with an arrival
+    ++sleeps_;
+    nic_.deep_sleep();
+}
+
+}  // namespace wlanps::os

@@ -1,0 +1,67 @@
+#pragma once
+/// \file device_manager.hpp
+/// OS-level device power manager driving a real NIC model.
+///
+/// The offline policy evaluator (shutdown_policy.hpp) replays idle traces;
+/// DeviceManager closes the loop inside a simulation: requests arrive, the
+/// device serves them, and between requests the manager applies a
+/// ShutdownPolicy to decide when to switch the NIC off — paying the real
+/// wake latency (and delaying the request) when it guessed wrong.  This is
+/// the paper's OS-level technique acting on the same WlanNic the MAC
+/// scenarios use.
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+
+#include "os/shutdown_policy.hpp"
+#include "phy/wlan_nic.hpp"
+#include "sim/simulator.hpp"
+#include "sim/stats.hpp"
+
+namespace wlanps::os {
+
+/// Closed-loop device power manager.
+class DeviceManager {
+public:
+    /// Manages \p nic with \p policy.  The NIC must outlive the manager.
+    DeviceManager(sim::Simulator& sim, phy::WlanNic& nic, std::unique_ptr<ShutdownPolicy> policy);
+    DeviceManager(const DeviceManager&) = delete;
+    DeviceManager& operator=(const DeviceManager&) = delete;
+
+    /// A request needing the device for \p service_time arrived.  If the
+    /// device sleeps, it is woken first (the request waits).  \p done
+    /// fires when service completes.  Back-to-back requests queue.
+    void request(Time service_time, std::function<void()> done = {});
+
+    [[nodiscard]] std::uint64_t requests_served() const { return served_; }
+    /// Wake-up delay suffered by requests that found the device asleep.
+    [[nodiscard]] const sim::Accumulator& wake_delays() const { return wake_delays_; }
+    [[nodiscard]] std::uint64_t sleeps() const { return sleeps_; }
+    [[nodiscard]] const ShutdownPolicy& policy() const { return *policy_; }
+    [[nodiscard]] phy::WlanNic& nic() { return nic_; }
+
+private:
+    void serve_next();
+    void idle_began();
+    void go_to_sleep();
+
+    sim::Simulator& sim_;
+    phy::WlanNic& nic_;
+    std::unique_ptr<ShutdownPolicy> policy_;
+
+    struct Pending {
+        Time service_time;
+        std::function<void()> done;
+        Time arrived_at;
+    };
+    std::deque<Pending> queue_;
+    bool serving_ = false;
+    Time idle_since_ = Time::zero();
+    sim::EventHandle sleep_timer_;
+    std::uint64_t served_ = 0;
+    std::uint64_t sleeps_ = 0;
+    sim::Accumulator wake_delays_;
+};
+
+}  // namespace wlanps::os

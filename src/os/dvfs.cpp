@@ -1,0 +1,62 @@
+#include "os/dvfs.hpp"
+
+#include <algorithm>
+
+#include "sim/assert.hpp"
+
+namespace wlanps::os {
+
+DvfsCpu::DvfsCpu(std::vector<OperatingPoint> points, double c_eff_nf)
+    : points_(std::move(points)), c_eff_nf_(c_eff_nf) {
+    WLANPS_REQUIRE(!points_.empty());
+    WLANPS_REQUIRE(c_eff_nf > 0.0);
+    std::sort(points_.begin(), points_.end(),
+              [](const OperatingPoint& a, const OperatingPoint& b) {
+                  return a.frequency_mhz < b.frequency_mhz;
+              });
+    for (const OperatingPoint& p : points_) {
+        WLANPS_REQUIRE(p.frequency_mhz > 0.0 && p.voltage > 0.0);
+    }
+}
+
+DvfsCpu DvfsCpu::xscale() {
+    return DvfsCpu({{100.0, 0.85}, {200.0, 1.00}, {300.0, 1.10}, {400.0, 1.30}},
+                   /*c_eff_nf=*/1.2);
+}
+
+double DvfsCpu::utilization(const std::vector<PeriodicTask>& tasks, const OperatingPoint& point) {
+    double u = 0.0;
+    for (const PeriodicTask& t : tasks) {
+        WLANPS_REQUIRE(t.wcet_mcycles > 0.0);
+        WLANPS_REQUIRE(t.period > Time::zero());
+        const double exec_s = t.wcet_mcycles * 1e6 / (point.frequency_mhz * 1e6);
+        u += exec_s / t.period.to_seconds();
+    }
+    return u;
+}
+
+const OperatingPoint& DvfsCpu::select(const std::vector<PeriodicTask>& tasks,
+                                      double margin) const {
+    WLANPS_REQUIRE(margin >= 0.0 && margin < 1.0);
+    for (const OperatingPoint& p : points_) {
+        if (utilization(tasks, p) <= 1.0 - margin) return p;
+    }
+    WLANPS_REQUIRE_MSG(false, "task set infeasible even at the highest frequency");
+    return points_.back();  // unreachable
+}
+
+power::Power DvfsCpu::average_power(const std::vector<PeriodicTask>& tasks,
+                                    const OperatingPoint& point,
+                                    double idle_fraction_power) const {
+    const double u = utilization(tasks, point);
+    WLANPS_REQUIRE_MSG(u <= 1.0, "task set overloads this operating point");
+    const power::Power busy = point.dynamic_power(c_eff_nf_);
+    return busy * u + busy * idle_fraction_power * (1.0 - u);
+}
+
+power::Energy DvfsCpu::energy(const std::vector<PeriodicTask>& tasks, const OperatingPoint& point,
+                              Time horizon, double idle_fraction_power) const {
+    return average_power(tasks, point, idle_fraction_power).over(horizon);
+}
+
+}  // namespace wlanps::os

@@ -1,0 +1,76 @@
+#pragma once
+/// \file dvfs.hpp
+/// CPU dynamic voltage/frequency scaling with EDF scheduling (paper §1).
+///
+/// "More traditional CPU voltage scaling and scheduling": a periodic task
+/// set is schedulable under EDF at any frequency where utilization <= 1,
+/// and dynamic power scales as C·V²·f, so running just fast enough saves
+/// superlinear energy.  The model provides operating points, the EDF
+/// utilization test, frequency selection, and energy per hyperperiod.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "power/units.hpp"
+#include "sim/time.hpp"
+
+namespace wlanps::os {
+
+/// One CPU operating point.
+struct OperatingPoint {
+    double frequency_mhz = 0.0;
+    double voltage = 0.0;
+
+    /// Dynamic power relative to capacitance: P = C_eff · V² · f.
+    [[nodiscard]] power::Power dynamic_power(double c_eff_nf) const {
+        return power::Power::from_watts(c_eff_nf * 1e-9 * voltage * voltage *
+                                        frequency_mhz * 1e6);
+    }
+};
+
+/// A periodic task: worst-case cycles per job, released every period.
+struct PeriodicTask {
+    std::string name;
+    double wcet_mcycles = 0.0;  ///< worst-case execution, mega-cycles
+    Time period = Time::from_ms(100);
+};
+
+/// A DVFS-capable CPU (defaults approximate the IPAQ's XScale PXA250).
+class DvfsCpu {
+public:
+    /// \p c_eff_nf is the effective switched capacitance in nanofarads.
+    DvfsCpu(std::vector<OperatingPoint> points, double c_eff_nf);
+
+    /// Factory: XScale PXA250-like ladder (100–400 MHz).
+    [[nodiscard]] static DvfsCpu xscale();
+
+    [[nodiscard]] const std::vector<OperatingPoint>& points() const { return points_; }
+
+    /// Total utilization of \p tasks at \p point (EDF-schedulable iff <= 1).
+    [[nodiscard]] static double utilization(const std::vector<PeriodicTask>& tasks,
+                                            const OperatingPoint& point);
+
+    /// Lowest operating point at which \p tasks are EDF-schedulable,
+    /// leaving \p margin headroom (utilization <= 1 - margin).
+    /// Throws if no point is feasible.
+    [[nodiscard]] const OperatingPoint& select(const std::vector<PeriodicTask>& tasks,
+                                               double margin = 0.05) const;
+
+    /// Average power running \p tasks at \p point: busy at dynamic power,
+    /// idle cycles at \p idle_fraction_power of it (clock-gated).
+    [[nodiscard]] power::Power average_power(const std::vector<PeriodicTask>& tasks,
+                                             const OperatingPoint& point,
+                                             double idle_fraction_power = 0.10) const;
+
+    /// Energy over \p horizon at \p point for \p tasks.
+    [[nodiscard]] power::Energy energy(const std::vector<PeriodicTask>& tasks,
+                                       const OperatingPoint& point, Time horizon,
+                                       double idle_fraction_power = 0.10) const;
+
+private:
+    std::vector<OperatingPoint> points_;  // ascending by frequency
+    double c_eff_nf_;
+};
+
+}  // namespace wlanps::os

@@ -1,0 +1,49 @@
+#include "os/idle_trace.hpp"
+
+#include "sim/assert.hpp"
+
+namespace wlanps::os {
+
+std::vector<Time> exponential_idle_trace(sim::Random& rng, std::size_t count, Time mean) {
+    WLANPS_REQUIRE(mean > Time::zero());
+    std::vector<Time> trace;
+    trace.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+        trace.push_back(rng.exponential_time(mean));
+    }
+    return trace;
+}
+
+std::vector<Time> pareto_idle_trace(sim::Random& rng, std::size_t count, double alpha,
+                                    Time minimum) {
+    WLANPS_REQUIRE(minimum > Time::zero());
+    std::vector<Time> trace;
+    trace.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+        trace.push_back(Time::from_seconds(rng.pareto(alpha, minimum.to_seconds())));
+    }
+    return trace;
+}
+
+std::vector<Time> bimodal_idle_trace(sim::Random& rng, std::size_t count, double short_fraction,
+                                     Time short_mean, Time long_mean, double run_length) {
+    WLANPS_REQUIRE(short_fraction >= 0.0 && short_fraction <= 1.0);
+    WLANPS_REQUIRE(short_mean > Time::zero() && long_mean > Time::zero());
+    WLANPS_REQUIRE(run_length >= 1.0);
+    std::vector<Time> trace;
+    trace.reserve(count);
+    bool in_long_run = !rng.chance(short_fraction);
+    const double leave_run = 1.0 / run_length;
+    while (trace.size() < count) {
+        if (in_long_run) {
+            trace.push_back(rng.exponential_time(long_mean));
+            if (rng.chance(leave_run)) in_long_run = false;
+        } else {
+            trace.push_back(rng.exponential_time(short_mean));
+            if (rng.chance(leave_run * (1.0 - short_fraction))) in_long_run = true;
+        }
+    }
+    return trace;
+}
+
+}  // namespace wlanps::os

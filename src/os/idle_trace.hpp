@@ -1,0 +1,33 @@
+#pragma once
+/// \file idle_trace.hpp
+/// Synthetic idle-period traces for shutdown-policy studies.
+///
+/// Real device idle-time distributions are heavy-tailed and often bimodal
+/// (protocol chatter produces many short gaps; user think-time produces
+/// long ones).  These generators produce the standard shapes against which
+/// predictive shutdown policies are evaluated.
+
+#include <vector>
+
+#include "sim/random.hpp"
+#include "sim/time.hpp"
+
+namespace wlanps::os {
+
+/// Exponential idle periods with the given mean.
+[[nodiscard]] std::vector<Time> exponential_idle_trace(sim::Random& rng, std::size_t count,
+                                                       Time mean);
+
+/// Pareto (heavy-tailed) idle periods: shape alpha, minimum xm.
+[[nodiscard]] std::vector<Time> pareto_idle_trace(sim::Random& rng, std::size_t count,
+                                                  double alpha, Time minimum);
+
+/// Bimodal trace: with probability \p short_fraction an exponential short
+/// gap (mean \p short_mean), otherwise a long think-time gap (mean
+/// \p long_mean).  Long gaps additionally cluster in runs of mean length
+/// \p run_length, giving history-based predictors something to exploit.
+[[nodiscard]] std::vector<Time> bimodal_idle_trace(sim::Random& rng, std::size_t count,
+                                                   double short_fraction, Time short_mean,
+                                                   Time long_mean, double run_length = 4.0);
+
+}  // namespace wlanps::os

@@ -1,0 +1,38 @@
+#include "os/offload.hpp"
+
+namespace wlanps::os {
+
+double OffloadPolicy::break_even_density(const OffloadTask& shape) const {
+    const double data_kb =
+        static_cast<double>((shape.input + shape.output).bytes()) / 1024.0;
+    WLANPS_REQUIRE(data_kb > 0.0);
+    // Bisection on cycles for the fixed data size; offload energy is
+    // constant in cycles only through the wait term, local energy linear.
+    double lo = 1e-3, hi = 1e6;
+    for (int i = 0; i < 80; ++i) {
+        const double mid = 0.5 * (lo + hi);
+        OffloadTask t = shape;
+        t.cycles_mcycles = mid;
+        if (should_offload(t)) {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    return hi / data_kb;
+}
+
+PartitionResult partition(const OffloadPolicy& policy, const std::vector<OffloadTask>& tasks) {
+    PartitionResult result;
+    result.offloaded.reserve(tasks.size());
+    for (const OffloadTask& task : tasks) {
+        const bool off = policy.should_offload(task);
+        result.offloaded.push_back(off);
+        const PlacementCost cost = off ? policy.remote(task) : policy.local(task);
+        result.total_energy += cost.energy;
+        result.total_latency += cost.latency;
+    }
+    return result;
+}
+
+}  // namespace wlanps::os

@@ -1,0 +1,110 @@
+#pragma once
+/// \file offload.hpp
+/// Load partitioning: local execution vs. offload (paper §1, application
+/// level).
+///
+/// "Load partitioning executes portions of mobile's software on more than
+/// one device depending on energy and performance needs."  The classic
+/// break-even: running locally costs CPU energy for the task's cycles;
+/// offloading costs radio energy to ship input/output plus idle energy
+/// while the server computes.  Offloading pays off for compute-heavy,
+/// data-light tasks — and the decision flips with radio rate and CPU
+/// efficiency, which this model quantifies.
+
+#include <string>
+#include <vector>
+
+#include "os/dvfs.hpp"
+#include "power/units.hpp"
+#include "sim/assert.hpp"
+#include "sim/units.hpp"
+
+namespace wlanps::os {
+
+/// A partitionable task.
+struct OffloadTask {
+    std::string name;
+    double cycles_mcycles = 100.0;  ///< local compute demand
+    DataSize input = DataSize::from_kilobytes(10);   ///< shipped up on offload
+    DataSize output = DataSize::from_kilobytes(2);   ///< shipped back
+};
+
+/// The devices and links involved in the decision.
+struct OffloadEnvironment {
+    /// Local CPU operating point (IPAQ-ish default: 400 MHz).
+    OperatingPoint cpu{400.0, 1.30};
+    double cpu_c_eff_nf = 1.2;
+    /// Radio the offload rides on.
+    Rate uplink = Rate::from_mbps(2.0);
+    Rate downlink = Rate::from_mbps(2.0);
+    power::Power radio_tx = power::Power::from_watts(1.40);
+    power::Power radio_rx = power::Power::from_watts(0.95);
+    /// Device draw while waiting for the server (radio idle-listening or
+    /// dozing between poll intervals).
+    power::Power wait_draw = power::Power::from_watts(0.30);
+    /// Server speed relative to the local CPU.
+    double remote_speedup = 8.0;
+};
+
+/// Outcome of evaluating one placement.
+struct PlacementCost {
+    power::Energy energy;
+    Time latency;
+};
+
+/// Energy/latency calculator and policy.
+class OffloadPolicy {
+public:
+    explicit OffloadPolicy(OffloadEnvironment env) : env_(env) {
+        WLANPS_REQUIRE(env.remote_speedup > 0.0);
+        WLANPS_REQUIRE(env.uplink > Rate::zero() && env.downlink > Rate::zero());
+    }
+
+    /// Cost of running \p task on the mobile.
+    [[nodiscard]] PlacementCost local(const OffloadTask& task) const {
+        WLANPS_REQUIRE(task.cycles_mcycles > 0.0);
+        const double seconds = task.cycles_mcycles * 1e6 / (env_.cpu.frequency_mhz * 1e6);
+        const Time t = Time::from_seconds(seconds);
+        return PlacementCost{env_.cpu.dynamic_power(env_.cpu_c_eff_nf).over(t), t};
+    }
+
+    /// Cost of offloading \p task (ship input, wait, receive output).
+    [[nodiscard]] PlacementCost remote(const OffloadTask& task) const {
+        const Time up = env_.uplink.transmit_time(task.input);
+        const Time down = env_.downlink.transmit_time(task.output);
+        const double remote_seconds =
+            task.cycles_mcycles * 1e6 / (env_.cpu.frequency_mhz * 1e6 * env_.remote_speedup);
+        const Time wait = Time::from_seconds(remote_seconds);
+        PlacementCost cost;
+        cost.latency = up + wait + down;
+        cost.energy = env_.radio_tx.over(up) + env_.wait_draw.over(wait) +
+                      env_.radio_rx.over(down);
+        return cost;
+    }
+
+    /// True iff offloading \p task saves energy.
+    [[nodiscard]] bool should_offload(const OffloadTask& task) const {
+        return remote(task).energy < local(task).energy;
+    }
+
+    /// Compute density (Mcycles per KB of transferred data) above which
+    /// offloading wins for this environment (found by bisection on a
+    /// scaled task).
+    [[nodiscard]] double break_even_density(const OffloadTask& shape) const;
+
+    [[nodiscard]] const OffloadEnvironment& environment() const { return env_; }
+
+private:
+    OffloadEnvironment env_;
+};
+
+/// Partition a task list: returns per-task placements and total costs.
+struct PartitionResult {
+    std::vector<bool> offloaded;  ///< per task
+    power::Energy total_energy;
+    Time total_latency;
+};
+[[nodiscard]] PartitionResult partition(const OffloadPolicy& policy,
+                                        const std::vector<OffloadTask>& tasks);
+
+}  // namespace wlanps::os

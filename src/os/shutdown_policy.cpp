@@ -1,0 +1,85 @@
+#include "os/shutdown_policy.hpp"
+
+#include <typeinfo>
+
+#include "sim/assert.hpp"
+
+namespace wlanps::os {
+
+TimeoutPolicy::TimeoutPolicy(Time timeout) : timeout_(timeout) {
+    WLANPS_REQUIRE(timeout >= Time::zero());
+}
+
+std::string TimeoutPolicy::name() const { return "timeout-" + timeout_.str(); }
+
+AdaptivePolicy::AdaptivePolicy(DeviceParams device, double alpha, Time fallback_timeout)
+    : device_(device), alpha_(alpha), fallback_(fallback_timeout) {
+    WLANPS_REQUIRE(alpha > 0.0 && alpha <= 1.0);
+}
+
+Time AdaptivePolicy::decide() {
+    if (!seeded_) return fallback_;
+    return prediction_ > device_.break_even() ? Time::zero() : fallback_;
+}
+
+void AdaptivePolicy::observe(Time idle_length) {
+    if (!seeded_) {
+        prediction_ = idle_length;
+        seeded_ = true;
+        return;
+    }
+    prediction_ = prediction_ * (1.0 - alpha_) + idle_length * alpha_;
+}
+
+HistoryPolicy::HistoryPolicy(DeviceParams device) : device_(device) {}
+
+Time HistoryPolicy::decide() {
+    if (!seeded_) return device_.break_even();
+    // Long idles cluster: if the last idle comfortably exceeded break-even,
+    // sleep immediately; otherwise wait out the break-even time.
+    return last_idle_ > device_.break_even() * 2.0 ? Time::zero() : device_.break_even();
+}
+
+void HistoryPolicy::observe(Time idle_length) {
+    last_idle_ = idle_length;
+    seeded_ = true;
+}
+
+OraclePolicy::OraclePolicy(DeviceParams device) : device_(device) {}
+
+Time OraclePolicy::decide() {
+    return truth_ > device_.break_even() ? Time::zero() : Time::max();
+}
+
+PolicyEvaluation evaluate_policy(ShutdownPolicy& policy, DeviceParams device,
+                                 const std::vector<Time>& idle_trace) {
+    PolicyEvaluation eval;
+    for (const Time idle : idle_trace) {
+        WLANPS_REQUIRE_MSG(idle > Time::zero(), "idle periods must be positive");
+        eval.total_idle += idle;
+
+        if (auto* oracle = dynamic_cast<OraclePolicy*>(&policy)) oracle->set_truth(idle);
+        const Time timeout = policy.decide();
+        policy.observe(idle);
+
+        if (timeout >= idle) {
+            // Device stayed on through the whole idle period.
+            eval.energy += device.idle.over(idle);
+            continue;
+        }
+        // On for the timeout, then sleep; wake at the end of the period.
+        ++eval.sleeps;
+        const Time asleep = idle - timeout;
+        const power::Energy on_cost = device.idle.over(timeout);
+        const power::Energy sleep_cost = device.sleep.over(asleep) + device.transition_energy;
+        eval.energy += on_cost + sleep_cost;
+        // The wake transition completes after the idle period ended: the
+        // next busy period is delayed by the wake latency.
+        eval.added_latency += device.wake_latency;
+        // "Wrong" if staying on would have been cheaper.
+        if (on_cost + sleep_cost > device.idle.over(idle)) ++eval.wrong_sleeps;
+    }
+    return eval;
+}
+
+}  // namespace wlanps::os

@@ -1,0 +1,144 @@
+#pragma once
+/// \file shutdown_policy.hpp
+/// OS-level device shutdown policies (paper §1, operating-system layer).
+///
+/// The OS decides when a wireless device is switched off during idle
+/// periods, "independently of any application information, and thus must
+/// rely on the quality of the predictive techniques".  A policy observes
+/// past idle periods and, at the start of each new one, chooses how long
+/// to wait before sleeping (0 = sleep immediately, Time::max() = never).
+/// The evaluator replays an idle-period trace and accounts energy and
+/// added wakeup latency against the device's break-even time.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "power/units.hpp"
+#include "sim/time.hpp"
+
+namespace wlanps::os {
+
+/// Energy-relevant device parameters for shutdown decisions.
+struct DeviceParams {
+    power::Power idle = power::Power::from_watts(0.83);   ///< device on, no work
+    power::Power sleep = power::Power::from_watts(0.0);   ///< device off
+    /// Energy and latency to go to sleep and come back.
+    power::Energy transition_energy = power::Energy::from_joules(0.12);
+    Time sleep_latency = Time::from_ms(10);
+    Time wake_latency = Time::from_ms(300);
+
+    /// Idle duration above which sleeping saves energy.
+    [[nodiscard]] Time break_even() const {
+        // idle * T_be = transition_energy + sleep * (T_be - latencies); with
+        // sleep ~ 0 this reduces to transition_energy / idle.
+        const double denom = (idle - sleep).watts();
+        return Time::from_seconds(transition_energy.joules() / denom);
+    }
+};
+
+/// A shutdown policy: queried at the start of each idle period.
+class ShutdownPolicy {
+public:
+    virtual ~ShutdownPolicy() = default;
+
+    /// Timeout before sleeping for the idle period about to start.
+    /// Return Time::zero() to sleep immediately, Time::max() to stay on.
+    [[nodiscard]] virtual Time decide() = 0;
+
+    /// Feed back the actual length of the idle period that just ended.
+    virtual void observe(Time idle_length) = 0;
+
+    [[nodiscard]] virtual std::string name() const = 0;
+};
+
+/// Fixed timeout (the classic default).
+class TimeoutPolicy final : public ShutdownPolicy {
+public:
+    explicit TimeoutPolicy(Time timeout);
+    [[nodiscard]] Time decide() override { return timeout_; }
+    void observe(Time) override {}
+    [[nodiscard]] std::string name() const override;
+
+private:
+    Time timeout_;
+};
+
+/// Never sleeps (always-on baseline).
+class AlwaysOnPolicy final : public ShutdownPolicy {
+public:
+    [[nodiscard]] Time decide() override { return Time::max(); }
+    void observe(Time) override {}
+    [[nodiscard]] std::string name() const override { return "always-on"; }
+};
+
+/// Predictive shutdown via an exponentially weighted average of past idle
+/// lengths (Hwang & Wu style): sleeps immediately when the predicted idle
+/// exceeds the break-even time, otherwise applies a fallback timeout.
+class AdaptivePolicy final : public ShutdownPolicy {
+public:
+    AdaptivePolicy(DeviceParams device, double alpha = 0.5,
+                   Time fallback_timeout = Time::from_seconds(2));
+    [[nodiscard]] Time decide() override;
+    void observe(Time idle_length) override;
+    [[nodiscard]] std::string name() const override { return "adaptive-ewma"; }
+    [[nodiscard]] Time predicted() const { return prediction_; }
+
+private:
+    DeviceParams device_;
+    double alpha_;
+    Time fallback_;
+    Time prediction_ = Time::zero();
+    bool seeded_ = false;
+};
+
+/// Last-value threshold predictor (captures L-shaped idle distributions:
+/// a long idle tends to follow a long idle).
+class HistoryPolicy final : public ShutdownPolicy {
+public:
+    explicit HistoryPolicy(DeviceParams device);
+    [[nodiscard]] Time decide() override;
+    void observe(Time idle_length) override;
+    [[nodiscard]] std::string name() const override { return "history-lastvalue"; }
+
+private:
+    DeviceParams device_;
+    Time last_idle_ = Time::zero();
+    bool seeded_ = false;
+};
+
+/// Clairvoyant lower bound: told each idle length in advance (via
+/// set_truth) and sleeps immediately iff it pays.
+class OraclePolicy final : public ShutdownPolicy {
+public:
+    explicit OraclePolicy(DeviceParams device);
+    void set_truth(Time upcoming_idle) { truth_ = upcoming_idle; }
+    [[nodiscard]] Time decide() override;
+    void observe(Time) override {}
+    [[nodiscard]] std::string name() const override { return "oracle"; }
+
+private:
+    DeviceParams device_;
+    Time truth_ = Time::zero();
+};
+
+/// Replay results for one policy over one trace.
+struct PolicyEvaluation {
+    power::Energy energy;                 ///< total over all idle periods
+    Time added_latency = Time::zero();    ///< wakeup delay charged to the user
+    std::size_t sleeps = 0;               ///< times the device was put to sleep
+    std::size_t wrong_sleeps = 0;         ///< sleeps that cost more than staying on
+    Time total_idle = Time::zero();
+
+    [[nodiscard]] power::Power average_power() const {
+        if (total_idle.is_zero()) return power::Power::zero();
+        return energy.average_over(total_idle);
+    }
+};
+
+/// Replay \p idle_trace through \p policy for \p device.  OraclePolicy is
+/// fed the truth automatically.
+[[nodiscard]] PolicyEvaluation evaluate_policy(ShutdownPolicy& policy, DeviceParams device,
+                                               const std::vector<Time>& idle_trace);
+
+}  // namespace wlanps::os

@@ -1,0 +1,101 @@
+#include "phy/bt_nic.hpp"
+
+#include <utility>
+
+#include "sim/assert.hpp"
+
+namespace wlanps::phy {
+
+namespace {
+// State ids follow insertion order; keep in sync with id_of().
+power::PowerModel build_model(const BtNicConfig& c) {
+    power::PowerModel m;
+    const auto off = m.add_state("off", power::Power::zero());
+    const auto park = m.add_state("park", c.park);
+    const auto sniff = m.add_state("sniff", c.sniff);
+    const auto active = m.add_state("active", c.active);
+    m.add_state("rx", c.rx);
+    m.add_state("tx", c.tx);
+    const auto rx = power::StateId{4};
+    const auto tx = power::StateId{5};
+    m.add_transition(off, active, c.connect_latency, c.connect_draw.over(c.connect_latency));
+    m.add_transition(active, off, Time::from_ms(1), c.active.over(Time::from_ms(1)));
+    m.add_transition(park, active, c.unpark_latency, c.active.over(c.unpark_latency));
+    m.add_transition(active, park, c.park_enter_latency, c.park.over(c.park_enter_latency));
+    m.add_transition(sniff, active, c.unsniff_latency, c.active.over(c.unsniff_latency));
+    m.add_transition(active, sniff, Time::from_us(625), c.sniff.over(Time::from_us(625)));
+    // Parking or sleeping straight out of rx/tx (burst just ended).
+    for (const auto busy : {rx, tx}) {
+        m.add_transition(busy, park, c.park_enter_latency, c.park.over(c.park_enter_latency));
+        m.add_transition(busy, sniff, Time::from_us(625), c.sniff.over(Time::from_us(625)));
+        m.add_transition(busy, off, Time::from_ms(1), c.active.over(Time::from_ms(1)));
+    }
+    return m;
+}
+}  // namespace
+
+BtNic::BtNic(sim::Simulator& sim, BtNicConfig config, State initial)
+    : sim_(sim), config_(config), machine_(sim, build_model(config), id_of(initial)) {}
+
+power::StateId BtNic::id_of(State s) {
+    switch (s) {
+        case State::off: return 0;
+        case State::park: return 1;
+        case State::sniff: return 2;
+        case State::active: return 3;
+        case State::rx: return 4;
+        case State::tx: return 5;
+    }
+    WLANPS_REQUIRE_MSG(false, "bad state");
+    return 0;
+}
+
+BtNic::State BtNic::state() const {
+    switch (machine_.state()) {
+        case 0: return State::off;
+        case 1: return State::park;
+        case 2: return State::sniff;
+        case 3: return State::active;
+        case 4: return State::rx;
+        default: return State::tx;
+    }
+}
+
+void BtNic::wake(std::function<void()> ready) {
+    machine_.request(id_of(State::active), std::move(ready));
+}
+
+void BtNic::deep_sleep(std::function<void()> done) {
+    machine_.request(id_of(State::park), std::move(done));
+}
+
+bool BtNic::awake() const {
+    if (machine_.transitioning()) return false;
+    const State s = state();
+    return s == State::active || s == State::rx || s == State::tx;
+}
+
+void BtNic::request_state(State s, std::function<void()> done) {
+    machine_.request(id_of(s), std::move(done));
+}
+
+void BtNic::occupy(State s, Time airtime, std::function<void()> done) {
+    WLANPS_REQUIRE_MSG(s == State::rx || s == State::tx, "occupy is for rx/tx only");
+    WLANPS_REQUIRE_MSG(awake(), "NIC must be awake to occupy the radio");
+    WLANPS_REQUIRE(airtime >= Time::zero());
+    machine_.request(id_of(s));
+    sim_.schedule_in(airtime, [this, s, done = std::move(done)] {
+        // Release the radio back to active only if this occupancy still
+        // owns it (see WlanNic::occupy).
+        if (!machine_.transitioning() && state() == s) {
+            machine_.request(id_of(State::active));
+        }
+        if (done) done();
+    });
+}
+
+Time BtNic::residency(State s) const { return machine_.residency(id_of(s)); }
+
+std::size_t BtNic::entries(State s) const { return machine_.entries(id_of(s)); }
+
+}  // namespace wlanps::phy

@@ -1,0 +1,85 @@
+#pragma once
+/// \file bt_nic.hpp
+/// Bluetooth module device model.
+///
+/// States: off / park / sniff / active / rx / tx.  Park keeps the piconet
+/// membership at ~12 mW — which is why the Hotspot scheduler parks the BT
+/// radio between bursts instead of powering it off (reconnecting from off
+/// costs seconds of inquiry/paging).
+
+#include <functional>
+
+#include "phy/calibration.hpp"
+#include "phy/wnic.hpp"
+#include "power/state_machine.hpp"
+#include "sim/simulator.hpp"
+#include "sim/trace.hpp"
+
+namespace wlanps::phy {
+
+/// Tunable Bluetooth NIC parameters (defaults = IPAQ module calibration).
+struct BtNicConfig {
+    power::Power active = calibration::kBtActive;
+    power::Power tx = calibration::kBtTx;
+    power::Power rx = calibration::kBtRx;
+    power::Power sniff = calibration::kBtSniff;
+    power::Power park = calibration::kBtPark;
+    Time unpark_latency = calibration::kBtUnparkLatency;
+    Time park_enter_latency = calibration::kBtParkEnterLatency;
+    Time unsniff_latency = calibration::kBtUnsniffLatency;
+    Time connect_latency = calibration::kBtConnectLatency;  // off -> active
+    power::Power connect_draw = calibration::kBtConnectDraw;
+    /// Peak asymmetric ACL rate (DH5).
+    Rate acl_peak = calibration::kBtAclPeak;
+    /// Fraction of the peak delivered as goodput (polling + L2CAP framing).
+    double goodput_efficiency = 0.80;
+};
+
+/// A Bluetooth NIC instance in a simulation.
+class BtNic final : public Wnic {
+public:
+    enum class State { off, park, sniff, active, rx, tx };
+
+    BtNic(sim::Simulator& sim, BtNicConfig config, State initial = State::active);
+
+    // --- Wnic interface ---------------------------------------------------
+    [[nodiscard]] Interface interface() const override { return Interface::bluetooth; }
+    void wake(std::function<void()> ready = {}) override;        // -> active
+    void deep_sleep(std::function<void()> done = {}) override;
+    [[nodiscard]] bool awake() const override;
+    [[nodiscard]] Time wake_latency() const override { return config_.unpark_latency; }
+    [[nodiscard]] Rate sustained_rate() const override {
+        return config_.acl_peak * config_.goodput_efficiency;
+    }
+    [[nodiscard]] power::Power active_power() const override { return config_.active; }
+    [[nodiscard]] power::Power sleep_power() const override { return config_.park; }
+    [[nodiscard]] power::Energy energy_consumed() const override {
+        return machine_.energy_consumed();
+    }
+    [[nodiscard]] std::string name() const override { return "bt-nic"; }
+
+    // --- baseband-facing controls ------------------------------------------
+    void request_state(State s, std::function<void()> done = {});
+    [[nodiscard]] State state() const;
+    [[nodiscard]] bool transitioning() const { return machine_.transitioning(); }
+
+    /// Occupy the radio in rx or tx for \p airtime, then return to active.
+    void occupy(State s, Time airtime, std::function<void()> done = {});
+
+    // --- accounting ---------------------------------------------------------
+    [[nodiscard]] power::Power average_power() const { return machine_.average_power(); }
+    [[nodiscard]] Time residency(State s) const;
+    [[nodiscard]] std::size_t entries(State s) const;
+    void attach_trace(sim::TimelineTrace* trace) { machine_.attach_trace(trace); }
+    [[nodiscard]] const BtNicConfig& config() const { return config_; }
+    [[nodiscard]] sim::Simulator& simulator() const { return sim_; }
+
+private:
+    [[nodiscard]] static power::StateId id_of(State s);
+
+    sim::Simulator& sim_;
+    BtNicConfig config_;
+    power::PowerStateMachine machine_;
+};
+
+}  // namespace wlanps::phy

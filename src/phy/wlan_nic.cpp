@@ -1,0 +1,113 @@
+#include "phy/wlan_nic.hpp"
+
+#include <utility>
+
+#include "sim/assert.hpp"
+
+namespace wlanps::phy {
+
+namespace {
+// State ids follow insertion order; keep in sync with id_of().
+power::PowerModel build_model(const WlanNicConfig& c) {
+    power::PowerModel m;
+    const auto off = m.add_state("off", power::Power::zero());
+    const auto doze = m.add_state("doze", c.doze);
+    const auto idle = m.add_state("idle", c.idle);
+    m.add_state("rx", c.rx);
+    m.add_state("tx", c.tx);
+    const auto rx = power::StateId{3};
+    const auto tx = power::StateId{4};
+    m.add_transition(off, idle, c.resume_latency, c.resume_draw.over(c.resume_latency));
+    m.add_transition(idle, off, c.suspend_latency, c.idle.over(c.suspend_latency));
+    m.add_transition(doze, idle, c.doze_wake_latency, c.idle.over(c.doze_wake_latency));
+    m.add_transition(idle, doze, c.doze_enter_latency, c.doze.over(c.doze_enter_latency));
+    // Sleeping straight out of rx/tx costs the same as from idle (a
+    // resource manager can request off/doze the instant a burst ends).
+    for (const auto busy : {rx, tx}) {
+        m.add_transition(busy, off, c.suspend_latency, c.idle.over(c.suspend_latency));
+        m.add_transition(busy, doze, c.doze_enter_latency, c.doze.over(c.doze_enter_latency));
+    }
+    // idle <-> rx/tx are instantaneous (the radio is already powered).
+    return m;
+}
+}  // namespace
+
+WlanNic::WlanNic(sim::Simulator& sim, WlanNicConfig config, State initial)
+    : sim_(sim), config_(config), machine_(sim, build_model(config), id_of(initial)) {}
+
+power::StateId WlanNic::id_of(State s) {
+    switch (s) {
+        case State::off: return 0;
+        case State::doze: return 1;
+        case State::idle: return 2;
+        case State::rx: return 3;
+        case State::tx: return 4;
+    }
+    WLANPS_REQUIRE_MSG(false, "bad state");
+    return 0;
+}
+
+WlanNic::State WlanNic::state() const {
+    switch (machine_.state()) {
+        case 0: return State::off;
+        case 1: return State::doze;
+        case 2: return State::idle;
+        case 3: return State::rx;
+        default: return State::tx;
+    }
+}
+
+void WlanNic::wake(std::function<void()> ready) {
+    machine_.request(id_of(State::idle), std::move(ready));
+}
+
+void WlanNic::deep_sleep(std::function<void()> done) {
+    machine_.request(id_of(State::off), std::move(done));
+}
+
+bool WlanNic::awake() const {
+    if (machine_.transitioning()) return false;
+    const State s = state();
+    return s == State::idle || s == State::rx || s == State::tx;
+}
+
+void WlanNic::doze(std::function<void()> done) {
+    machine_.request(id_of(State::doze), std::move(done));
+}
+
+void WlanNic::request_state(State s, std::function<void()> done) {
+    machine_.request(id_of(s), std::move(done));
+}
+
+void WlanNic::occupy(State s, Time airtime, std::function<void()> done) {
+    WLANPS_REQUIRE_MSG(s == State::rx || s == State::tx, "occupy is for rx/tx only");
+    WLANPS_REQUIRE_MSG(awake(), "NIC must be awake to occupy the radio");
+    WLANPS_REQUIRE(airtime >= Time::zero());
+    machine_.request(id_of(s));
+    sim_.schedule_in(airtime, [this, s, done = std::move(done)] {
+        // Release the radio back to idle only if this occupancy still owns
+        // it — a resource manager may already have requested doze/off in a
+        // callback that ran earlier at this same timestamp.
+        if (!machine_.transitioning() && state() == s) {
+            machine_.request(id_of(State::idle));
+        }
+        if (done) done();
+    });
+}
+
+Time WlanNic::frame_airtime(DataSize payload, Rate rate) const {
+    WLANPS_REQUIRE(rate > Rate::zero());
+    return calibration::kWlanPlcpOverhead + rate.transmit_time(payload);
+}
+
+Time WlanNic::ack_airtime() const {
+    // Control responses go at the 2 Mb/s basic rate.
+    return calibration::kWlanPlcpOverhead +
+           calibration::kWlanRate2.transmit_time(calibration::kWlanAckFrame);
+}
+
+Time WlanNic::residency(State s) const { return machine_.residency(id_of(s)); }
+
+std::size_t WlanNic::entries(State s) const { return machine_.entries(id_of(s)); }
+
+}  // namespace wlanps::phy

@@ -1,0 +1,97 @@
+#pragma once
+/// \file wlan_nic.hpp
+/// 802.11b NIC device model.
+///
+/// Wraps a calibrated power-state machine (off / doze / idle / rx / tx)
+/// with the PHY timing the MAC needs (PLCP overhead, per-rate airtime).
+/// TX and RX draw nearly the same power and idle listening is almost as
+/// expensive as RX — the physical-layer facts the paper's §1 leads with.
+
+#include <functional>
+#include <optional>
+
+#include "phy/calibration.hpp"
+#include "phy/wnic.hpp"
+#include "power/state_machine.hpp"
+#include "sim/simulator.hpp"
+#include "sim/trace.hpp"
+
+namespace wlanps::phy {
+
+/// Tunable WLAN NIC parameters (defaults = IPAQ CF card calibration).
+struct WlanNicConfig {
+    power::Power tx = calibration::kWlanTx;
+    power::Power rx = calibration::kWlanRx;
+    power::Power idle = calibration::kWlanIdle;
+    power::Power doze = calibration::kWlanDoze;
+    Time resume_latency = calibration::kWlanResumeLatency;   // off -> idle
+    power::Power resume_draw = calibration::kWlanResumeDraw;
+    Time suspend_latency = calibration::kWlanSuspendLatency;  // idle -> off
+    Time doze_wake_latency = calibration::kWlanDozeWakeLatency;
+    Time doze_enter_latency = calibration::kWlanDozeEnterLatency;
+    Rate phy_rate = calibration::kWlanRate11;
+    /// Fraction of the PHY rate delivered as goodput through DCF with MAC
+    /// overheads at burst sizes (measured ~0.5 for 11 Mb/s 802.11b).
+    double goodput_efficiency = 0.50;
+};
+
+/// An 802.11b NIC instance in a simulation.
+class WlanNic final : public Wnic {
+public:
+    /// States exposed for residency queries.
+    enum class State { off, doze, idle, rx, tx };
+
+    WlanNic(sim::Simulator& sim, WlanNicConfig config, State initial = State::idle);
+
+    // --- Wnic interface (resource-manager view) --------------------------
+    [[nodiscard]] Interface interface() const override { return Interface::wlan; }
+    void wake(std::function<void()> ready = {}) override;
+    void deep_sleep(std::function<void()> done = {}) override;
+    [[nodiscard]] bool awake() const override;
+    [[nodiscard]] Time wake_latency() const override { return config_.resume_latency; }
+    [[nodiscard]] Rate sustained_rate() const override {
+        return config_.phy_rate * config_.goodput_efficiency;
+    }
+    [[nodiscard]] power::Power active_power() const override { return config_.rx; }
+    [[nodiscard]] power::Power sleep_power() const override { return power::Power::zero(); }
+    [[nodiscard]] power::Energy energy_consumed() const override {
+        return machine_.energy_consumed();
+    }
+    [[nodiscard]] std::string name() const override { return "wlan-nic"; }
+
+    // --- MAC-facing controls ---------------------------------------------
+    /// Enter PSM doze (connection kept, wakes for TIM beacons).
+    void doze(std::function<void()> done = {});
+    /// Request a specific state.
+    void request_state(State s, std::function<void()> done = {});
+    [[nodiscard]] State state() const;
+    [[nodiscard]] bool transitioning() const { return machine_.transitioning(); }
+
+    /// Occupy the radio in \p s (rx or tx) for \p airtime, then return to
+    /// idle and fire \p done.  The NIC must currently be idle.
+    void occupy(State s, Time airtime, std::function<void()> done = {});
+
+    /// Airtime of a frame of \p payload MAC+LLC bytes at \p rate,
+    /// including PLCP preamble/header.
+    [[nodiscard]] Time frame_airtime(DataSize payload, Rate rate) const;
+
+    /// Airtime of an ACK at the base rate.
+    [[nodiscard]] Time ack_airtime() const;
+
+    // --- accounting -------------------------------------------------------
+    [[nodiscard]] power::Power average_power() const { return machine_.average_power(); }
+    [[nodiscard]] Time residency(State s) const;
+    [[nodiscard]] std::size_t entries(State s) const;
+    void attach_trace(sim::TimelineTrace* trace) { machine_.attach_trace(trace); }
+    [[nodiscard]] const WlanNicConfig& config() const { return config_; }
+    [[nodiscard]] sim::Simulator& simulator() const { return sim_; }
+
+private:
+    [[nodiscard]] static power::StateId id_of(State s);
+
+    sim::Simulator& sim_;
+    WlanNicConfig config_;
+    power::PowerStateMachine machine_;
+};
+
+}  // namespace wlanps::phy

@@ -1,0 +1,68 @@
+#pragma once
+/// \file wnic.hpp
+/// Abstract wireless network interface, as seen by a resource manager.
+///
+/// The client-side resource manager (paper §2) "implements the scheduling
+/// decisions by enabling data transfer and transitioning the wireless
+/// network interfaces between power states".  Wnic is that control
+/// surface: wake / deep-sleep / airtime accounting, independent of whether
+/// the radio underneath is 802.11 or Bluetooth.
+
+#include <functional>
+#include <string>
+
+#include "power/units.hpp"
+#include "sim/time.hpp"
+#include "sim/trace.hpp"
+#include "sim/units.hpp"
+
+namespace wlanps::phy {
+
+/// Which radio a Wnic is.
+enum class Interface { wlan, bluetooth };
+
+[[nodiscard]] inline const char* to_string(Interface i) {
+    return i == Interface::wlan ? "WLAN" : "BT";
+}
+
+/// Resource-manager-facing NIC interface.
+class Wnic {
+public:
+    virtual ~Wnic() = default;
+
+    [[nodiscard]] virtual Interface interface() const = 0;
+
+    /// Bring the NIC to its active/communicating state.  \p ready fires
+    /// when it can exchange data.
+    virtual void wake(std::function<void()> ready = {}) = 0;
+
+    /// Enter the deepest low-power state the schedule allows (paper: park
+    /// for Bluetooth, off for WLAN).  \p done fires when reached.
+    virtual void deep_sleep(std::function<void()> done = {}) = 0;
+
+    /// True when the NIC can exchange data right now.
+    [[nodiscard]] virtual bool awake() const = 0;
+
+    /// Worst-case latency from deep sleep to awake — the resource manager
+    /// wakes the NIC this far ahead of a scheduled burst.
+    [[nodiscard]] virtual Time wake_latency() const = 0;
+
+    /// Sustained goodput the NIC can deliver while awake (MAC overheads
+    /// included); the burst planner sizes transfer windows from this.
+    [[nodiscard]] virtual Rate sustained_rate() const = 0;
+
+    /// Power draw while awake and receiving / in deep sleep.
+    [[nodiscard]] virtual power::Power active_power() const = 0;
+    [[nodiscard]] virtual power::Power sleep_power() const = 0;
+
+    /// Cumulative energy consumed by this NIC.
+    [[nodiscard]] virtual power::Energy energy_consumed() const = 0;
+
+    /// Mirror power-state changes into \p trace (level = watts); nullptr
+    /// detaches.  The trace must outlive the NIC's use of it.
+    virtual void attach_trace(sim::TimelineTrace* trace) = 0;
+
+    [[nodiscard]] virtual std::string name() const = 0;
+};
+
+}  // namespace wlanps::phy

@@ -1,0 +1,45 @@
+#include "power/battery.hpp"
+
+#include <cmath>
+
+namespace wlanps::power {
+
+Energy Battery::drain(Energy energy, Power draw) {
+    WLANPS_REQUIRE(energy >= Energy::zero());
+    double factor = 1.0;
+    if (config_.rate_exponent > 0.0 && draw > config_.nominal_draw) {
+        factor = std::pow(draw / config_.nominal_draw, config_.rate_exponent);
+    }
+    Energy effective = energy * factor;
+    if (effective > remaining_) effective = remaining_;
+    remaining_ -= effective;
+    notify_watchers();
+    return effective;
+}
+
+void Battery::on_level_below(double threshold, std::function<void()> callback) {
+    WLANPS_REQUIRE(threshold > 0.0 && threshold <= 1.0);
+    WLANPS_REQUIRE(callback != nullptr);
+    watchers_.push_back(Watcher{threshold, std::move(callback)});
+}
+
+Time Battery::lifetime_at(Power draw) const {
+    WLANPS_REQUIRE(draw > Power::zero());
+    double factor = 1.0;
+    if (config_.rate_exponent > 0.0 && draw > config_.nominal_draw) {
+        factor = std::pow(draw / config_.nominal_draw, config_.rate_exponent);
+    }
+    return Time::from_seconds(remaining_.joules() / (draw.watts() * factor));
+}
+
+void Battery::notify_watchers() {
+    const double lvl = level();
+    for (Watcher& w : watchers_) {
+        if (!w.fired && lvl < w.threshold) {
+            w.fired = true;
+            w.callback();
+        }
+    }
+}
+
+}  // namespace wlanps::power

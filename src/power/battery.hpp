@@ -1,0 +1,72 @@
+#pragma once
+/// \file battery.hpp
+/// Battery model with rate-dependent effective capacity.
+///
+/// PAMAS-style MAC policies (paper §1) make sleep decisions from battery
+/// level, so the battery exposes a level query and a low-level callback.
+/// The rate-capacity effect is modeled Peukert-style: drawing above the
+/// nominal rate wastes a fraction of the charge.
+
+#include <functional>
+#include <vector>
+
+#include "power/units.hpp"
+#include "sim/assert.hpp"
+
+namespace wlanps::power {
+
+/// Parameters of a battery.
+struct BatteryConfig {
+    Energy capacity = Energy::from_mah(1400, 3.7);  // IPAQ 3970 pack
+    /// Power draw at which the full capacity is available.
+    Power nominal_draw = Power::from_watts(1.0);
+    /// Peukert-like exponent; 0 disables the rate-capacity effect.
+    /// Effective charge drained = E * (P/nominal)^k for P > nominal.
+    double rate_exponent = 0.15;
+};
+
+/// A drainable battery.  Drains are applied explicitly (pull model): the
+/// owner periodically charges consumed energy at the prevailing power.
+class Battery {
+public:
+    explicit Battery(BatteryConfig config) : config_(config), remaining_(config.capacity) {
+        WLANPS_REQUIRE(config.capacity > Energy::zero());
+        WLANPS_REQUIRE(config.nominal_draw > Power::zero());
+        WLANPS_REQUIRE(config.rate_exponent >= 0.0);
+    }
+
+    /// Drain \p energy that was consumed at average power \p draw.
+    /// Returns the effective charge removed (>= energy when draw exceeds
+    /// nominal).  Clamps at empty.
+    Energy drain(Energy energy, Power draw);
+
+    /// Remaining charge as a fraction of capacity in [0, 1].
+    [[nodiscard]] double level() const {
+        return remaining_.joules() / config_.capacity.joules();
+    }
+
+    [[nodiscard]] Energy remaining() const { return remaining_; }
+    [[nodiscard]] bool empty() const { return remaining_.is_zero(); }
+    [[nodiscard]] const BatteryConfig& config() const { return config_; }
+
+    /// Register \p callback to fire once when level() first drops below
+    /// \p threshold.  Multiple watchers allowed.
+    void on_level_below(double threshold, std::function<void()> callback);
+
+    /// Predicted lifetime at constant \p draw from the current level.
+    [[nodiscard]] Time lifetime_at(Power draw) const;
+
+private:
+    void notify_watchers();
+
+    BatteryConfig config_;
+    Energy remaining_;
+    struct Watcher {
+        double threshold;
+        std::function<void()> callback;
+        bool fired = false;
+    };
+    std::vector<Watcher> watchers_;
+};
+
+}  // namespace wlanps::power

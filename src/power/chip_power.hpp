@@ -1,0 +1,73 @@
+#pragma once
+/// \file chip_power.hpp
+/// Physical-layer chip power: dynamic switching plus gated leakage.
+///
+/// The paper's physical-layer bullet: "minimizing the interconnect
+/// parasitic capacitance to reduce the dynamic power consumption and
+/// selectively turning off power supply to lessen leakage power."  This
+/// analytic model splits a radio/baseband chip's draw into
+///   P_dynamic = C_eff · V² · f        (activity-scaled)
+///   P_leakage = V · I_leak            (suppressed by power gating)
+/// and quantifies both knobs: capacitance reduction and supply gating.
+
+#include "power/units.hpp"
+#include "sim/assert.hpp"
+
+namespace wlanps::power {
+
+/// Analytic CMOS chip power model.
+class ChipPowerModel {
+public:
+    struct Config {
+        double c_eff_nf = 2.0;       ///< effective switched capacitance, nF
+        double voltage = 1.8;        ///< supply, V
+        double frequency_mhz = 44.0; ///< baseband clock (11 Mb/s x 4 spreading)
+        double leak_current_ma = 8.0;
+        /// Residual leakage fraction while power-gated (header switch).
+        double gated_leak_fraction = 0.03;
+    };
+
+    explicit ChipPowerModel(Config config) : config_(config) {
+        WLANPS_REQUIRE(config.c_eff_nf > 0.0);
+        WLANPS_REQUIRE(config.voltage > 0.0);
+        WLANPS_REQUIRE(config.frequency_mhz > 0.0);
+        WLANPS_REQUIRE(config.leak_current_ma >= 0.0);
+        WLANPS_REQUIRE(config.gated_leak_fraction >= 0.0 &&
+                       config.gated_leak_fraction <= 1.0);
+    }
+
+    /// Dynamic power at activity factor \p alpha in [0, 1].
+    [[nodiscard]] Power dynamic(double alpha = 1.0) const {
+        WLANPS_REQUIRE(alpha >= 0.0 && alpha <= 1.0);
+        return Power::from_watts(alpha * config_.c_eff_nf * 1e-9 * config_.voltage *
+                                 config_.voltage * config_.frequency_mhz * 1e6);
+    }
+
+    /// Leakage power, optionally with the supply gated off.
+    [[nodiscard]] Power leakage(bool gated = false) const {
+        const double scale = gated ? config_.gated_leak_fraction : 1.0;
+        return Power::from_watts(scale * config_.voltage * config_.leak_current_ma * 1e-3);
+    }
+
+    /// Total power at activity \p alpha; a gated chip clocks nothing.
+    [[nodiscard]] Power total(double alpha, bool gated = false) const {
+        if (gated) return leakage(true);
+        return dynamic(alpha) + leakage(false);
+    }
+
+    /// The same chip with its interconnect capacitance scaled by \p factor
+    /// (the paper's "minimize parasitic capacitance" knob).
+    [[nodiscard]] ChipPowerModel with_capacitance_scaled(double factor) const {
+        WLANPS_REQUIRE(factor > 0.0);
+        Config c = config_;
+        c.c_eff_nf *= factor;
+        return ChipPowerModel(c);
+    }
+
+    [[nodiscard]] const Config& config() const { return config_; }
+
+private:
+    Config config_;
+};
+
+}  // namespace wlanps::power

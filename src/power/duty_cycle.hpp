@@ -1,0 +1,63 @@
+#pragma once
+/// \file duty_cycle.hpp
+/// Closed-form duty-cycle power estimator.
+///
+/// Cross-checks the event-driven simulation: given per-state powers and the
+/// fraction of time spent in each state (plus transition rates), compute
+/// the expected average power analytically.  Tests compare simulated
+/// average power against this model.
+
+#include <vector>
+
+#include "power/units.hpp"
+#include "sim/assert.hpp"
+#include "sim/time.hpp"
+
+namespace wlanps::power {
+
+/// Analytic average-power model for a periodic duty cycle.
+class DutyCycleModel {
+public:
+    /// Add a phase: the device draws \p draw for \p duration each period.
+    void add_phase(Power draw, Time duration) {
+        WLANPS_REQUIRE(duration >= Time::zero());
+        phases_.push_back({draw, duration});
+    }
+
+    /// Add a per-period fixed energy cost (e.g. one wake transition).
+    void add_fixed_energy(Energy e) {
+        WLANPS_REQUIRE(e >= Energy::zero());
+        fixed_ += e;
+    }
+
+    /// Period length (sum of phase durations).
+    [[nodiscard]] Time period() const {
+        Time total = Time::zero();
+        for (const auto& p : phases_) total += p.duration;
+        return total;
+    }
+
+    /// Energy per period.
+    [[nodiscard]] Energy energy_per_period() const {
+        Energy total = fixed_;
+        for (const auto& p : phases_) total += p.draw.over(p.duration);
+        return total;
+    }
+
+    /// Long-run average power.
+    [[nodiscard]] Power average_power() const {
+        const Time t = period();
+        WLANPS_REQUIRE_MSG(t > Time::zero(), "empty duty cycle");
+        return energy_per_period().average_over(t);
+    }
+
+private:
+    struct Phase {
+        Power draw;
+        Time duration;
+    };
+    std::vector<Phase> phases_;
+    Energy fixed_;
+};
+
+}  // namespace wlanps::power

@@ -1,0 +1,71 @@
+#include "power/energy_meter.hpp"
+
+#include <utility>
+
+#include "sim/assert.hpp"
+
+namespace wlanps::power {
+
+void EnergyMeter::add_constant(std::string name, Power draw) {
+    const Time from = sim_.now();
+    add_source(std::move(name), [draw, from](Time t) {
+        return t <= from ? Energy::zero() : draw.over(t - from);
+    });
+}
+
+void EnergyMeter::add_machine(std::string name, const PowerStateMachine& machine) {
+    add_source(std::move(name), [&machine](Time) { return machine.energy_consumed(); });
+}
+
+void EnergyMeter::add_source(std::string name, std::function<Energy(Time)> source) {
+    WLANPS_REQUIRE(!name.empty());
+    WLANPS_REQUIRE(source != nullptr);
+    for (const Source& s : sources_) {
+        WLANPS_REQUIRE_MSG(s.name != name, "duplicate meter source: " + name);
+    }
+    sources_.push_back(Source{std::move(name), std::move(source)});
+}
+
+const EnergyMeter::Source& EnergyMeter::find(const std::string& name) const {
+    for (const Source& s : sources_) {
+        if (s.name == name) return s;
+    }
+    WLANPS_REQUIRE_MSG(false, "unknown meter source: " + name);
+    return sources_.front();  // unreachable
+}
+
+Energy EnergyMeter::energy(const std::string& name) const {
+    return find(name).cumulative(sim_.now());
+}
+
+Energy EnergyMeter::total_energy() const {
+    Energy total = Energy::zero();
+    for (const Source& s : sources_) total += s.cumulative(sim_.now());
+    return total;
+}
+
+Power EnergyMeter::average_power() const {
+    const Time e = elapsed();
+    if (e.is_zero()) return Power::zero();
+    return total_energy().average_over(e);
+}
+
+Power EnergyMeter::average_power(const std::string& name) const {
+    const Time e = elapsed();
+    if (e.is_zero()) return Power::zero();
+    return energy(name).average_over(e);
+}
+
+std::vector<EnergyMeter::Row> EnergyMeter::breakdown() const {
+    std::vector<Row> rows;
+    rows.reserve(sources_.size());
+    const Time e = elapsed();
+    for (const Source& s : sources_) {
+        const Energy en = s.cumulative(sim_.now());
+        rows.push_back(Row{s.name, en,
+                           e.is_zero() ? Power::zero() : en.average_over(e)});
+    }
+    return rows;
+}
+
+}  // namespace wlanps::power

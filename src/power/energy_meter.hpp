@@ -1,0 +1,68 @@
+#pragma once
+/// \file energy_meter.hpp
+/// Aggregates energy from several sources into device-level totals.
+///
+/// A meter registers named energy sources — power-state machines, constant
+/// base loads (CPU + memory during playback), or arbitrary callables — and
+/// reports per-source and total energy/average power.  This is how the
+/// Figure 2 bench separates "WNIC power" from "whole-IPAQ power".
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "power/state_machine.hpp"
+#include "power/units.hpp"
+#include "sim/simulator.hpp"
+
+namespace wlanps::power {
+
+/// Named multi-source energy aggregator.
+class EnergyMeter {
+public:
+    explicit EnergyMeter(sim::Simulator& sim) : sim_(sim), start_(sim.now()) {}
+
+    /// Register a constant load drawing \p draw from now on.
+    void add_constant(std::string name, Power draw);
+
+    /// Register a power-state machine (must outlive the meter's queries).
+    void add_machine(std::string name, const PowerStateMachine& machine);
+
+    /// Register an arbitrary source reporting cumulative energy at time t.
+    void add_source(std::string name, std::function<Energy(Time)> source);
+
+    /// Cumulative energy of source \p name up to now.
+    [[nodiscard]] Energy energy(const std::string& name) const;
+
+    /// Sum over all sources up to now.
+    [[nodiscard]] Energy total_energy() const;
+
+    /// Total energy divided by elapsed time since meter creation.
+    [[nodiscard]] Power average_power() const;
+
+    /// Average power of a single source.
+    [[nodiscard]] Power average_power(const std::string& name) const;
+
+    [[nodiscard]] Time elapsed() const { return sim_.now() - start_; }
+
+    struct Row {
+        std::string name;
+        Energy energy;
+        Power average;
+    };
+    /// Per-source breakdown, in registration order.
+    [[nodiscard]] std::vector<Row> breakdown() const;
+
+private:
+    struct Source {
+        std::string name;
+        std::function<Energy(Time)> cumulative;
+    };
+    [[nodiscard]] const Source& find(const std::string& name) const;
+
+    sim::Simulator& sim_;
+    Time start_;
+    std::vector<Source> sources_;
+};
+
+}  // namespace wlanps::power

@@ -1,0 +1,137 @@
+#pragma once
+/// \file state_machine.hpp
+/// Generic device power-state machine with transition costs.
+///
+/// A PowerModel describes a device's stable states (name + power draw) and
+/// the legal transitions between them (latency + energy, e.g. a WLAN NIC's
+/// 300 ms off→on resume).  A PowerStateMachine instantiates the model in a
+/// simulation: it tracks the current state, executes timed transitions,
+/// integrates consumed energy, and records per-state residency — exactly
+/// the bookkeeping needed to reproduce the paper's average-power figures.
+
+#include <cstddef>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "power/units.hpp"
+#include "sim/simulator.hpp"
+#include "sim/stats.hpp"
+#include "sim/trace.hpp"
+
+namespace wlanps::power {
+
+/// Index of a state within its PowerModel.
+using StateId = std::size_t;
+
+/// Immutable description of a device's power behaviour.
+class PowerModel {
+public:
+    /// Register a stable state.  Returns its id.
+    StateId add_state(std::string name, Power draw);
+
+    /// Register a legal transition.  Unregistered transitions are
+    /// instantaneous and free (useful for abstract models); registered ones
+    /// take \p latency and consume \p energy (spread evenly over latency).
+    void add_transition(StateId from, StateId to, Time latency, Energy energy);
+
+    [[nodiscard]] std::size_t state_count() const { return states_.size(); }
+    [[nodiscard]] const std::string& state_name(StateId id) const;
+    [[nodiscard]] Power state_power(StateId id) const;
+    /// Id of the state named \p name; throws if absent.
+    [[nodiscard]] StateId state_by_name(const std::string& name) const;
+
+    struct Transition {
+        Time latency;
+        Energy energy;
+    };
+    /// Cost of from→to (zero-cost default if unregistered).
+    [[nodiscard]] Transition transition(StateId from, StateId to) const;
+
+private:
+    struct State {
+        std::string name;
+        Power draw;
+    };
+    std::vector<State> states_;
+    // Sparse transition table.
+    struct Edge {
+        StateId from, to;
+        Transition cost;
+    };
+    std::vector<Edge> edges_;
+};
+
+/// A live device following a PowerModel inside a simulation.
+class PowerStateMachine {
+public:
+    /// Starts in \p initial at the simulator's current time.
+    PowerStateMachine(sim::Simulator& sim, PowerModel model, StateId initial);
+
+    PowerStateMachine(const PowerStateMachine&) = delete;
+    PowerStateMachine& operator=(const PowerStateMachine&) = delete;
+
+    /// Request a transition to \p target.  If a transition is already in
+    /// flight the request is queued and executed right after it completes
+    /// (only the latest queued request is kept).  \p on_complete fires when
+    /// the device is stable in \p target.  Requesting the current state
+    /// while stable fires \p on_complete immediately.
+    void request(StateId target, std::function<void()> on_complete = {});
+
+    /// Stable state (the last one fully entered).
+    [[nodiscard]] StateId state() const { return state_; }
+    [[nodiscard]] const std::string& state_name() const { return model_.state_name(state_); }
+    [[nodiscard]] bool transitioning() const { return in_transit_; }
+    /// The state being entered, if a transition is in flight.
+    [[nodiscard]] std::optional<StateId> transition_target() const;
+
+    /// Instantaneous power draw (state power, or transition power while in
+    /// flight).
+    [[nodiscard]] Power current_draw() const;
+
+    /// Total energy consumed since construction, up to now().
+    [[nodiscard]] Energy energy_consumed() const;
+
+    /// Average power since construction.
+    [[nodiscard]] Power average_power() const;
+
+    /// Total time spent stable in \p id (transition time not attributed).
+    [[nodiscard]] Time residency(StateId id) const;
+
+    /// Number of completed transitions into \p id.
+    [[nodiscard]] std::size_t entries(StateId id) const;
+
+    [[nodiscard]] const PowerModel& model() const { return model_; }
+    [[nodiscard]] sim::Simulator& simulator() const { return sim_; }
+
+    /// Mirror state changes into \p trace (level = power draw in watts).
+    /// Pass nullptr to detach.  The trace must outlive the machine's use.
+    void attach_trace(sim::TimelineTrace* trace);
+
+private:
+    void begin_transition(StateId target);
+    void complete_transition(StateId target);
+    void set_draw(Power draw, const std::string& label);
+    void impulse_correction(Energy energy) { impulse_energy_ += energy; }
+
+    sim::Simulator& sim_;
+    PowerModel model_;
+    StateId state_;
+    bool in_transit_ = false;
+    StateId transit_target_ = 0;
+    sim::EventHandle transit_event_;
+    std::function<void()> on_complete_;
+    std::optional<StateId> queued_target_;
+    std::function<void()> queued_on_complete_;
+
+    Time created_at_;
+    Energy impulse_energy_;  // energy of zero-latency transitions
+    sim::TimeWeighted power_signal_;
+    std::vector<Time> residency_;
+    std::vector<Time> residency_since_;
+    std::vector<std::size_t> entries_;
+    sim::TimelineTrace* trace_ = nullptr;
+};
+
+}  // namespace wlanps::power

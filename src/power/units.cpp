@@ -1,0 +1,28 @@
+#include "power/units.hpp"
+
+#include <cstdio>
+
+namespace wlanps::power {
+
+namespace {
+std::string format(double value, const char* unit) {
+    char buf[48];
+    std::snprintf(buf, sizeof buf, "%.4g%s", value, unit);
+    return buf;
+}
+}  // namespace
+
+std::string Power::str() const {
+    if (watts_ != 0.0 && watts_ < 0.1) return format(milliwatts(), "mW");
+    return format(watts_, "W");
+}
+
+std::string Energy::str() const {
+    if (joules_ != 0.0 && joules_ < 0.1) return format(millijoules(), "mJ");
+    return format(joules_, "J");
+}
+
+std::ostream& operator<<(std::ostream& os, Power p) { return os << p.str(); }
+std::ostream& operator<<(std::ostream& os, Energy e) { return os << e.str(); }
+
+}  // namespace wlanps::power

@@ -1,0 +1,41 @@
+#pragma once
+/// \file assert.hpp
+/// Contract-checking macros used across the library.
+///
+/// WLANPS_REQUIRE checks a precondition and throws wlanps::ContractViolation
+/// on failure.  Contract checks stay enabled in release builds: simulation
+/// correctness depends on them and their cost is negligible next to event
+/// dispatch.
+
+#include <stdexcept>
+#include <string>
+
+namespace wlanps {
+
+/// Thrown when a precondition or invariant of a public API is violated.
+class ContractViolation : public std::logic_error {
+public:
+    explicit ContractViolation(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void contract_failure(const char* expr, const char* file, int line,
+                                          const std::string& msg) {
+    std::string text = std::string(file) + ":" + std::to_string(line) +
+                       ": contract violated: (" + expr + ")";
+    if (!msg.empty()) text += " — " + msg;
+    throw ContractViolation(text);
+}
+}  // namespace detail
+
+}  // namespace wlanps
+
+#define WLANPS_REQUIRE(expr)                                                         \
+    do {                                                                             \
+        if (!(expr)) ::wlanps::detail::contract_failure(#expr, __FILE__, __LINE__, {}); \
+    } while (false)
+
+#define WLANPS_REQUIRE_MSG(expr, msg)                                                   \
+    do {                                                                                \
+        if (!(expr)) ::wlanps::detail::contract_failure(#expr, __FILE__, __LINE__, msg); \
+    } while (false)

@@ -1,0 +1,37 @@
+#pragma once
+/// \file logger.hpp
+/// Minimal leveled logger with simulated-time prefixes.
+///
+/// Logging is off by default (benches and tests want clean stdout); enable
+/// per-run with Logger::set_level.
+
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "sim/time.hpp"
+
+namespace wlanps::sim {
+
+enum class LogLevel { off = 0, error, info, debug };
+
+/// Process-global log sink.
+class Logger {
+public:
+    static void set_level(LogLevel level) { level_ref() = level; }
+    [[nodiscard]] static LogLevel level() { return level_ref(); }
+
+    /// Emit a line at \p level, prefixed with sim time and component tag.
+    static void log(LogLevel level, Time now, const std::string& tag, const std::string& message) {
+        if (static_cast<int>(level) > static_cast<int>(level_ref())) return;
+        std::clog << "[" << now.str() << "] " << tag << ": " << message << '\n';
+    }
+
+private:
+    static LogLevel& level_ref() {
+        static LogLevel level = LogLevel::off;
+        return level;
+    }
+};
+
+}  // namespace wlanps::sim

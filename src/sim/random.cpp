@@ -1,0 +1,24 @@
+#include "sim/random.hpp"
+
+#include <numeric>
+
+namespace wlanps::sim {
+
+std::size_t Random::weighted_index(const std::vector<double>& weights) {
+    WLANPS_REQUIRE(!weights.empty());
+    double total = 0.0;
+    for (double w : weights) {
+        WLANPS_REQUIRE_MSG(w >= 0.0, "negative weight");
+        total += w;
+    }
+    WLANPS_REQUIRE_MSG(total > 0.0, "all weights zero");
+    double x = uniform(0.0, total);
+    double acc = 0.0;
+    for (std::size_t i = 0; i < weights.size(); ++i) {
+        acc += weights[i];
+        if (x < acc) return i;
+    }
+    return weights.size() - 1;  // numerical edge: x == total
+}
+
+}  // namespace wlanps::sim

@@ -1,0 +1,89 @@
+#include "sim/simulator.hpp"
+
+#include <utility>
+
+#include "sim/assert.hpp"
+
+namespace wlanps::sim {
+
+bool EventHandle::pending() const { return state_ && !state_->cancelled && state_->callback; }
+
+void EventHandle::cancel() {
+    if (state_) state_->cancelled = true;
+}
+
+EventHandle Simulator::schedule_at(Time when, std::function<void()> callback) {
+    WLANPS_REQUIRE_MSG(when >= now_, "cannot schedule into the past");
+    WLANPS_REQUIRE(callback != nullptr);
+    auto state = std::make_shared<EventHandle::State>();
+    state->callback = std::move(callback);
+    queue_.push(Entry{when, next_seq_++, state});
+    return EventHandle(std::move(state));
+}
+
+EventHandle Simulator::schedule_in(Time delay, std::function<void()> callback) {
+    WLANPS_REQUIRE_MSG(!delay.is_negative(), "negative delay");
+    return schedule_at(now_ + delay, std::move(callback));
+}
+
+bool Simulator::dispatch_next(Time horizon) {
+    while (!queue_.empty()) {
+        Entry top = queue_.top();
+        if (top.when > horizon) return false;
+        queue_.pop();
+        if (top.state->cancelled) continue;
+        now_ = top.when;
+        // Move the callback out so the handle reads as no-longer-pending
+        // while it runs, and self-rescheduling callbacks work.
+        auto cb = std::move(top.state->callback);
+        top.state->callback = nullptr;
+        ++dispatched_;
+        cb();
+        return true;
+    }
+    return false;
+}
+
+void Simulator::run() {
+    stop_requested_ = false;
+    while (!stop_requested_ && dispatch_next(Time::max())) {
+    }
+}
+
+void Simulator::run_until(Time horizon) {
+    WLANPS_REQUIRE_MSG(horizon >= now_, "horizon in the past");
+    stop_requested_ = false;
+    while (!stop_requested_ && dispatch_next(horizon)) {
+    }
+    if (!stop_requested_ && now_ < horizon) now_ = horizon;
+}
+
+bool Simulator::step() {
+    return dispatch_next(Time::max());
+}
+
+PeriodicEvent::PeriodicEvent(Simulator& sim, Time period, std::function<void()> tick)
+    : sim_(sim), period_(period), tick_(std::move(tick)) {
+    WLANPS_REQUIRE_MSG(period_ > Time::zero(), "period must be positive");
+    WLANPS_REQUIRE(tick_ != nullptr);
+}
+
+PeriodicEvent::~PeriodicEvent() { cancel(); }
+
+void PeriodicEvent::start() { start_at(sim_.now() + period_); }
+
+void PeriodicEvent::start_at(Time first_tick) {
+    cancel();
+    handle_ = sim_.schedule_at(first_tick, [this] { fire(); });
+}
+
+void PeriodicEvent::cancel() { handle_.cancel(); }
+
+void PeriodicEvent::fire() {
+    // Reschedule before invoking the tick, so a tick that cancels the
+    // periodic activity wins over the automatic rescheduling.
+    handle_ = sim_.schedule_in(period_, [this] { fire(); });
+    tick_();
+}
+
+}  // namespace wlanps::sim

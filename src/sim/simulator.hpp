@@ -1,0 +1,121 @@
+#pragma once
+/// \file simulator.hpp
+/// Discrete-event simulation kernel.
+///
+/// A Simulator owns a time-ordered event queue.  Components schedule
+/// callbacks at absolute times or after delays; run() dispatches them in
+/// (time, insertion-order) order, so simultaneous events execute FIFO and
+/// every run with the same seed is bit-reproducible.
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace wlanps::sim {
+
+/// Handle to a scheduled event; used to cancel it before it fires.
+class EventHandle {
+public:
+    EventHandle() = default;
+
+    /// True if the event has neither fired nor been cancelled.
+    [[nodiscard]] bool pending() const;
+    /// Cancel the event.  No-op if it already fired or was cancelled.
+    void cancel();
+
+private:
+    friend class Simulator;
+    struct State {
+        std::function<void()> callback;
+        bool cancelled = false;
+    };
+    explicit EventHandle(std::shared_ptr<State> state) : state_(std::move(state)) {}
+    std::shared_ptr<State> state_;
+};
+
+/// The simulation kernel.  Not copyable; components hold references to it.
+class Simulator {
+public:
+    Simulator() = default;
+    Simulator(const Simulator&) = delete;
+    Simulator& operator=(const Simulator&) = delete;
+
+    /// Current simulated time.
+    [[nodiscard]] Time now() const { return now_; }
+
+    /// Schedule \p callback at absolute time \p when (must be >= now()).
+    EventHandle schedule_at(Time when, std::function<void()> callback);
+
+    /// Schedule \p callback \p delay after now() (delay must be >= 0).
+    EventHandle schedule_in(Time delay, std::function<void()> callback);
+
+    /// Run until the queue is empty or stop() is called.
+    void run();
+
+    /// Run until simulated time reaches \p horizon (events at exactly
+    /// \p horizon still execute), the queue empties, or stop() is called.
+    /// Afterwards now() == horizon unless stopped earlier.
+    void run_until(Time horizon);
+
+    /// Execute the single next event.  Returns false if the queue is empty.
+    bool step();
+
+    /// Ask the running loop to return after the current event.
+    void stop() { stop_requested_ = true; }
+
+    /// Number of events dispatched so far (cancelled events excluded).
+    [[nodiscard]] std::uint64_t events_dispatched() const { return dispatched_; }
+
+    /// Number of events currently queued (including cancelled tombstones).
+    [[nodiscard]] std::size_t queue_size() const { return queue_.size(); }
+
+private:
+    struct Entry {
+        Time when;
+        std::uint64_t seq;  // tie-break: FIFO among simultaneous events
+        std::shared_ptr<EventHandle::State> state;
+        bool operator>(const Entry& rhs) const {
+            if (when != rhs.when) return when > rhs.when;
+            return seq > rhs.seq;
+        }
+    };
+
+    bool dispatch_next(Time horizon);
+
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<>> queue_;
+    Time now_ = Time::zero();
+    std::uint64_t next_seq_ = 0;
+    std::uint64_t dispatched_ = 0;
+    bool stop_requested_ = false;
+};
+
+/// Scoped periodic activity: reschedules itself every `period` until
+/// cancelled or its owner is destroyed.  Used for beacons, polls, meters.
+class PeriodicEvent {
+public:
+    PeriodicEvent(Simulator& sim, Time period, std::function<void()> tick);
+    ~PeriodicEvent();
+    PeriodicEvent(const PeriodicEvent&) = delete;
+    PeriodicEvent& operator=(const PeriodicEvent&) = delete;
+
+    void start();
+    void start_at(Time first_tick);
+    void cancel();
+    [[nodiscard]] bool running() const { return handle_.pending(); }
+    [[nodiscard]] Time period() const { return period_; }
+
+private:
+    void fire();
+
+    Simulator& sim_;
+    Time period_;
+    std::function<void()> tick_;
+    EventHandle handle_;
+};
+
+}  // namespace wlanps::sim

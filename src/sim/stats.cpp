@@ -1,0 +1,97 @@
+#include "sim/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/assert.hpp"
+
+namespace wlanps::sim {
+
+void Accumulator::add(double x) {
+    ++n_;
+    sum_ += x;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+}
+
+double Accumulator::mean() const {
+    WLANPS_REQUIRE_MSG(n_ > 0, "mean of empty accumulator");
+    return mean_;
+}
+
+double Accumulator::variance() const {
+    WLANPS_REQUIRE_MSG(n_ > 1, "variance needs >= 2 samples");
+    return m2_ / static_cast<double>(n_ - 1);
+}
+
+double Accumulator::stddev() const { return std::sqrt(variance()); }
+
+double Accumulator::min() const {
+    WLANPS_REQUIRE_MSG(n_ > 0, "min of empty accumulator");
+    return min_;
+}
+
+double Accumulator::max() const {
+    WLANPS_REQUIRE_MSG(n_ > 0, "max of empty accumulator");
+    return max_;
+}
+
+void TimeWeighted::set(Time when, double value) {
+    if (!started_) {
+        started_ = true;
+        start_ = last_ = when;
+        value_ = value;
+        return;
+    }
+    WLANPS_REQUIRE_MSG(when >= last_, "TimeWeighted updates must be time-ordered");
+    area_ += value_ * (when - last_).to_seconds();
+    last_ = when;
+    value_ = value;
+}
+
+double TimeWeighted::integral(Time when) const {
+    if (!started_) return 0.0;
+    WLANPS_REQUIRE(when >= last_);
+    return area_ + value_ * (when - last_).to_seconds();
+}
+
+double TimeWeighted::average(Time when) const {
+    if (!started_ || when <= start_) return value_;
+    return integral(when) / (when - start_).to_seconds();
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(bins)), counts_(bins, 0) {
+    WLANPS_REQUIRE(hi > lo);
+    WLANPS_REQUIRE(bins > 0);
+}
+
+void Histogram::add(double x) {
+    auto idx = static_cast<std::ptrdiff_t>((x - lo_) / width_);
+    idx = std::clamp<std::ptrdiff_t>(idx, 0, static_cast<std::ptrdiff_t>(counts_.size()) - 1);
+    ++counts_[static_cast<std::size_t>(idx)];
+    ++total_;
+}
+
+double Histogram::percentile(double p) const {
+    WLANPS_REQUIRE(p >= 0.0 && p <= 100.0);
+    WLANPS_REQUIRE_MSG(total_ > 0, "percentile of empty histogram");
+    const double target = p / 100.0 * static_cast<double>(total_);
+    double cum = 0.0;
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+        const double next = cum + static_cast<double>(counts_[i]);
+        if (next >= target) {
+            const double frac = counts_[i] == 0
+                                    ? 0.0
+                                    : (target - cum) / static_cast<double>(counts_[i]);
+            return lo_ + (static_cast<double>(i) + frac) * width_;
+        }
+        cum = next;
+    }
+    return hi_;
+}
+
+}  // namespace wlanps::sim

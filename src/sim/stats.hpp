@@ -1,0 +1,109 @@
+#pragma once
+/// \file stats.hpp
+/// Statistics accumulators used by meters, benches, and tests.
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace wlanps::sim {
+
+/// Streaming mean/variance/min/max (Welford's algorithm — numerically
+/// stable, O(1) memory).
+class Accumulator {
+public:
+    void add(double x);
+
+    [[nodiscard]] std::size_t count() const { return n_; }
+    [[nodiscard]] bool empty() const { return n_ == 0; }
+    [[nodiscard]] double sum() const { return sum_; }
+    /// Mean of the samples.  Requires at least one sample.
+    [[nodiscard]] double mean() const;
+    /// Unbiased sample variance.  Requires at least two samples.
+    [[nodiscard]] double variance() const;
+    [[nodiscard]] double stddev() const;
+    [[nodiscard]] double min() const;
+    [[nodiscard]] double max() const;
+
+    void reset() { *this = Accumulator{}; }
+
+private:
+    std::size_t n_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double sum_ = 0.0;
+    double min_ = std::numeric_limits<double>::infinity();
+    double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Time-weighted average of a piecewise-constant signal — the right way to
+/// compute "average power" from a power-state timeline.
+class TimeWeighted {
+public:
+    /// Record that the signal has value \p value starting at \p when.
+    /// Calls must be non-decreasing in time.
+    void set(Time when, double value);
+
+    /// Integral of the signal over [start, when] divided by elapsed time.
+    [[nodiscard]] double average(Time when) const;
+
+    /// Integral of the signal over [start, when] (e.g. energy in joules
+    /// when the signal is power in watts).
+    [[nodiscard]] double integral(Time when) const;
+
+    [[nodiscard]] double current() const { return value_; }
+    [[nodiscard]] bool started() const { return started_; }
+
+private:
+    bool started_ = false;
+    Time start_ = Time::zero();
+    Time last_ = Time::zero();
+    double value_ = 0.0;
+    double area_ = 0.0;
+};
+
+/// Fixed-bin histogram over [lo, hi); out-of-range samples clamp to the
+/// edge bins.  Supports percentile queries.
+class Histogram {
+public:
+    Histogram(double lo, double hi, std::size_t bins);
+
+    void add(double x);
+    [[nodiscard]] std::size_t count() const { return total_; }
+    [[nodiscard]] std::size_t bin_count(std::size_t i) const { return counts_.at(i); }
+    [[nodiscard]] std::size_t bins() const { return counts_.size(); }
+    /// Approximate p-th percentile (p in [0, 100]), linear within a bin.
+    [[nodiscard]] double percentile(double p) const;
+
+private:
+    double lo_, hi_, width_;
+    std::vector<std::size_t> counts_;
+    std::size_t total_ = 0;
+};
+
+/// Success/failure counter with ratio helpers (deadline misses, frame
+/// errors, cache-style hit rates).
+class RatioCounter {
+public:
+    void hit() { ++hits_; }
+    void miss() { ++misses_; }
+    void add(bool success) { success ? hit() : miss(); }
+
+    [[nodiscard]] std::uint64_t hits() const { return hits_; }
+    [[nodiscard]] std::uint64_t misses() const { return misses_; }
+    [[nodiscard]] std::uint64_t total() const { return hits_ + misses_; }
+    /// Fraction of successes; 0 when no samples.
+    [[nodiscard]] double ratio() const {
+        return total() == 0 ? 0.0 : static_cast<double>(hits_) / static_cast<double>(total());
+    }
+
+private:
+    std::uint64_t hits_ = 0;
+    std::uint64_t misses_ = 0;
+};
+
+}  // namespace wlanps::sim

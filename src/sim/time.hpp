@@ -1,0 +1,77 @@
+#pragma once
+/// \file time.hpp
+/// Simulated time as a strong type.
+///
+/// Time is a signed 64-bit count of nanoseconds, used both for absolute
+/// simulation timestamps and for durations (the style of SystemC's sc_time).
+/// 64-bit nanoseconds give ±292 years of range, ample for any WLAN study.
+
+#include <compare>
+#include <cstdint>
+#include <ostream>
+#include <string>
+
+namespace wlanps {
+
+/// A point in simulated time, or a duration, with nanosecond resolution.
+class Time {
+public:
+    constexpr Time() = default;
+
+    /// Named constructors.  Fractional inputs are rounded to the nearest ns.
+    [[nodiscard]] static constexpr Time from_ns(std::int64_t ns) { return Time(ns); }
+    [[nodiscard]] static constexpr Time from_us(double us) { return Time(round_ns(us * 1e3)); }
+    [[nodiscard]] static constexpr Time from_ms(double ms) { return Time(round_ns(ms * 1e6)); }
+    [[nodiscard]] static constexpr Time from_seconds(double s) { return Time(round_ns(s * 1e9)); }
+    [[nodiscard]] static constexpr Time zero() { return Time(0); }
+    [[nodiscard]] static constexpr Time max() { return Time(INT64_MAX); }
+
+    [[nodiscard]] constexpr std::int64_t ns() const { return ns_; }
+    [[nodiscard]] constexpr double to_us() const { return static_cast<double>(ns_) / 1e3; }
+    [[nodiscard]] constexpr double to_ms() const { return static_cast<double>(ns_) / 1e6; }
+    [[nodiscard]] constexpr double to_seconds() const { return static_cast<double>(ns_) / 1e9; }
+
+    [[nodiscard]] constexpr bool is_zero() const { return ns_ == 0; }
+    [[nodiscard]] constexpr bool is_negative() const { return ns_ < 0; }
+
+    constexpr auto operator<=>(const Time&) const = default;
+
+    constexpr Time& operator+=(Time rhs) { ns_ += rhs.ns_; return *this; }
+    constexpr Time& operator-=(Time rhs) { ns_ -= rhs.ns_; return *this; }
+
+    friend constexpr Time operator+(Time a, Time b) { return Time(a.ns_ + b.ns_); }
+    friend constexpr Time operator-(Time a, Time b) { return Time(a.ns_ - b.ns_); }
+    friend constexpr Time operator*(Time a, double k) { return Time(round_ns(static_cast<double>(a.ns_) * k)); }
+    friend constexpr Time operator*(double k, Time a) { return a * k; }
+    friend constexpr Time operator/(Time a, double k) { return Time(round_ns(static_cast<double>(a.ns_) / k)); }
+    /// Ratio of two durations.
+    friend constexpr double operator/(Time a, Time b) {
+        return static_cast<double>(a.ns_) / static_cast<double>(b.ns_);
+    }
+
+    /// "12.345ms"-style rendering, unit chosen by magnitude.
+    [[nodiscard]] std::string str() const;
+
+private:
+    constexpr explicit Time(std::int64_t ns) : ns_(ns) {}
+
+    static constexpr std::int64_t round_ns(double v) {
+        return static_cast<std::int64_t>(v < 0 ? v - 0.5 : v + 0.5);
+    }
+
+    std::int64_t ns_ = 0;
+};
+
+std::ostream& operator<<(std::ostream& os, Time t);
+
+namespace time_literals {
+constexpr Time operator""_ns(unsigned long long v) { return Time::from_ns(static_cast<std::int64_t>(v)); }
+constexpr Time operator""_us(unsigned long long v) { return Time::from_us(static_cast<double>(v)); }
+constexpr Time operator""_ms(unsigned long long v) { return Time::from_ms(static_cast<double>(v)); }
+constexpr Time operator""_s(unsigned long long v) { return Time::from_seconds(static_cast<double>(v)); }
+constexpr Time operator""_us(long double v) { return Time::from_us(static_cast<double>(v)); }
+constexpr Time operator""_ms(long double v) { return Time::from_ms(static_cast<double>(v)); }
+constexpr Time operator""_s(long double v) { return Time::from_seconds(static_cast<double>(v)); }
+}  // namespace time_literals
+
+}  // namespace wlanps

@@ -1,0 +1,96 @@
+#include "sim/trace.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "sim/assert.hpp"
+
+namespace wlanps::sim {
+
+void TimelineTrace::set_state(Time when, std::string label, double level) {
+    finish(when);
+    open_ = true;
+    open_begin_ = when;
+    open_label_ = std::move(label);
+    open_level_ = level;
+}
+
+void TimelineTrace::finish(Time when) {
+    if (!open_) return;
+    WLANPS_REQUIRE_MSG(when >= open_begin_, "trace updates must be time-ordered");
+    if (when > open_begin_) {
+        spans_.push_back(Span{open_begin_, when, open_label_, open_level_});
+    }
+    open_ = false;
+}
+
+double TimelineTrace::level_at(Time t) const {
+    for (const Span& s : spans_) {
+        if (t >= s.begin && t < s.end) return s.level;
+    }
+    if (open_ && t >= open_begin_) return open_level_;
+    return 0.0;
+}
+
+std::string TimelineTrace::label_at(Time t) const {
+    for (const Span& s : spans_) {
+        if (t >= s.begin && t < s.end) return s.label;
+    }
+    if (open_ && t >= open_begin_) return open_label_;
+    return {};
+}
+
+double TimelineTrace::max_level() const {
+    double m = 0.0;
+    for (const Span& s : spans_) m = std::max(m, s.level);
+    if (open_) m = std::max(m, open_level_);
+    return m;
+}
+
+void GanttChart::add_lane(std::string name, const TimelineTrace& trace) {
+    lanes_.push_back(Lane{std::move(name), &trace});
+}
+
+namespace {
+char glyph_for(double normalized) {
+    if (normalized <= 0.0) return ' ';
+    if (normalized < 0.10) return '.';
+    if (normalized < 0.40) return '-';
+    if (normalized < 0.80) return '=';
+    return '#';
+}
+}  // namespace
+
+std::string GanttChart::render(Time begin, Time end, int columns) const {
+    WLANPS_REQUIRE(end > begin);
+    WLANPS_REQUIRE(columns > 0);
+
+    std::size_t name_width = 0;
+    for (const Lane& lane : lanes_) name_width = std::max(name_width, lane.name.size());
+
+    std::ostringstream out;
+    const Time step = (end - begin) / static_cast<double>(columns);
+    for (const Lane& lane : lanes_) {
+        out << lane.name << std::string(name_width - lane.name.size(), ' ') << " |";
+        const double peak = lane.trace->max_level();
+        for (int c = 0; c < columns; ++c) {
+            // Sample mid-column so narrow spans are not missed at edges.
+            const Time t = begin + step * (static_cast<double>(c) + 0.5);
+            const double level = lane.trace->level_at(t);
+            out << glyph_for(peak > 0.0 ? level / peak : 0.0);
+        }
+        out << "|\n";
+    }
+    // Time axis.
+    out << std::string(name_width, ' ') << " +" << std::string(static_cast<std::size_t>(columns), '-')
+        << "+\n";
+    out << std::string(name_width, ' ') << "  " << begin.str()
+        << std::string(static_cast<std::size_t>(std::max(
+               0, columns - static_cast<int>(begin.str().size() + end.str().size()))),
+                       ' ')
+        << end.str() << "\n";
+    return out.str();
+}
+
+}  // namespace wlanps::sim

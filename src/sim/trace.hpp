@@ -1,0 +1,71 @@
+#pragma once
+/// \file trace.hpp
+/// Timeline tracing and ASCII Gantt rendering.
+///
+/// A TimelineTrace records a piecewise-constant signal (e.g. a NIC's power
+/// state) as labeled spans; GanttChart renders several traces into the kind
+/// of schedule picture the paper's Figure 1 shows (per-client transfer
+/// windows on top, power levels underneath).
+
+#include <string>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace wlanps::sim {
+
+/// One lane of a timeline: consecutive labeled spans with a numeric level.
+class TimelineTrace {
+public:
+    struct Span {
+        Time begin;
+        Time end;
+        std::string label;
+        double level = 0.0;
+    };
+
+    /// Enter a new state at \p when.  Closes the previous span.  Calls must
+    /// be non-decreasing in time; zero-length spans are dropped.
+    void set_state(Time when, std::string label, double level);
+
+    /// Close the open span at \p when.  Idempotent.
+    void finish(Time when);
+
+    [[nodiscard]] const std::vector<Span>& spans() const { return spans_; }
+    [[nodiscard]] bool empty() const { return spans_.empty() && !open_; }
+
+    /// Level at time \p t (0 if before the first span / after finish).
+    [[nodiscard]] double level_at(Time t) const;
+    /// Label at time \p t (empty if none).
+    [[nodiscard]] std::string label_at(Time t) const;
+
+    /// Max level seen (for normalizing chart glyphs).  0 if empty.
+    [[nodiscard]] double max_level() const;
+
+private:
+    std::vector<Span> spans_;
+    bool open_ = false;
+    Time open_begin_ = Time::zero();
+    std::string open_label_;
+    double open_level_ = 0.0;
+};
+
+/// Renders one or more TimelineTraces as a fixed-width ASCII Gantt chart.
+/// Glyph encodes the normalized level: ' ' (zero) . - = # (full).
+class GanttChart {
+public:
+    /// Add a lane.  The trace must outlive the chart.
+    void add_lane(std::string name, const TimelineTrace& trace);
+
+    /// Render all lanes over [begin, end] using \p columns characters.
+    [[nodiscard]] std::string render(Time begin, Time end, int columns = 100) const;
+
+private:
+    struct Lane {
+        std::string name;
+        const TimelineTrace* trace;
+    };
+    std::vector<Lane> lanes_;
+};
+
+}  // namespace wlanps::sim

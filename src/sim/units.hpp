@@ -1,0 +1,101 @@
+#pragma once
+/// \file units.hpp
+/// Strong types for data size and data rate.
+///
+/// Interfaces across the library exchange DataSize and Rate instead of raw
+/// integers, so "bits vs. bytes" and "kb/s vs. kB/s" mistakes become type
+/// errors (C++ Core Guidelines P.1/I.4).
+
+#include <compare>
+#include <cstdint>
+#include <ostream>
+#include <string>
+
+#include "sim/assert.hpp"
+#include "sim/time.hpp"
+
+namespace wlanps {
+
+/// An amount of data, stored in bits (WLAN MAC/PHY math is bit-oriented).
+class DataSize {
+public:
+    constexpr DataSize() = default;
+
+    [[nodiscard]] static constexpr DataSize from_bits(std::int64_t bits) { return DataSize(bits); }
+    [[nodiscard]] static constexpr DataSize from_bytes(std::int64_t bytes) { return DataSize(bytes * 8); }
+    [[nodiscard]] static constexpr DataSize from_kilobytes(double kb) {
+        return DataSize(static_cast<std::int64_t>(kb * 8 * 1024 + 0.5));
+    }
+    [[nodiscard]] static constexpr DataSize zero() { return DataSize(0); }
+
+    [[nodiscard]] constexpr std::int64_t bits() const { return bits_; }
+    [[nodiscard]] constexpr std::int64_t bytes() const { return bits_ / 8; }
+    [[nodiscard]] constexpr double kilobytes() const { return static_cast<double>(bits_) / (8.0 * 1024.0); }
+    [[nodiscard]] constexpr bool is_zero() const { return bits_ == 0; }
+
+    constexpr auto operator<=>(const DataSize&) const = default;
+
+    constexpr DataSize& operator+=(DataSize rhs) { bits_ += rhs.bits_; return *this; }
+    constexpr DataSize& operator-=(DataSize rhs) { bits_ -= rhs.bits_; return *this; }
+
+    friend constexpr DataSize operator+(DataSize a, DataSize b) { return DataSize(a.bits_ + b.bits_); }
+    friend constexpr DataSize operator-(DataSize a, DataSize b) { return DataSize(a.bits_ - b.bits_); }
+    friend constexpr DataSize operator*(DataSize a, double k) {
+        return DataSize(static_cast<std::int64_t>(static_cast<double>(a.bits_) * k + 0.5));
+    }
+    friend constexpr double operator/(DataSize a, DataSize b) {
+        return static_cast<double>(a.bits_) / static_cast<double>(b.bits_);
+    }
+
+    [[nodiscard]] std::string str() const;
+
+private:
+    constexpr explicit DataSize(std::int64_t bits) : bits_(bits) {}
+    std::int64_t bits_ = 0;
+};
+
+std::ostream& operator<<(std::ostream& os, DataSize s);
+
+/// A data rate in bits per second.
+class Rate {
+public:
+    constexpr Rate() = default;
+
+    [[nodiscard]] static constexpr Rate from_bps(double bps) { return Rate(bps); }
+    [[nodiscard]] static constexpr Rate from_kbps(double kbps) { return Rate(kbps * 1e3); }
+    [[nodiscard]] static constexpr Rate from_mbps(double mbps) { return Rate(mbps * 1e6); }
+    [[nodiscard]] static constexpr Rate zero() { return Rate(0.0); }
+
+    [[nodiscard]] constexpr double bps() const { return bps_; }
+    [[nodiscard]] constexpr double kbps() const { return bps_ / 1e3; }
+    [[nodiscard]] constexpr double mbps() const { return bps_ / 1e6; }
+    [[nodiscard]] constexpr bool is_zero() const { return bps_ == 0.0; }
+
+    constexpr auto operator<=>(const Rate&) const = default;
+
+    /// Time to move \p size at this rate.  Rate must be positive.
+    [[nodiscard]] Time transmit_time(DataSize size) const {
+        WLANPS_REQUIRE_MSG(bps_ > 0.0, "transmit_time on zero rate");
+        return Time::from_seconds(static_cast<double>(size.bits()) / bps_);
+    }
+
+    /// Data moved in \p duration at this rate.
+    [[nodiscard]] DataSize data_in(Time duration) const {
+        return DataSize::from_bits(static_cast<std::int64_t>(bps_ * duration.to_seconds() + 0.5));
+    }
+
+    constexpr Rate& operator+=(Rate rhs) { bps_ += rhs.bps_; return *this; }
+    friend constexpr Rate operator*(Rate r, double k) { return Rate(r.bps_ * k); }
+    friend constexpr Rate operator+(Rate a, Rate b) { return Rate(a.bps_ + b.bps_); }
+    friend constexpr double operator/(Rate a, Rate b) { return a.bps_ / b.bps_; }
+
+    [[nodiscard]] std::string str() const;
+
+private:
+    constexpr explicit Rate(double bps) : bps_(bps) {}
+    double bps_ = 0.0;
+};
+
+std::ostream& operator<<(std::ostream& os, Rate r);
+
+}  // namespace wlanps

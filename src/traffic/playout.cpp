@@ -1,0 +1,48 @@
+#include "traffic/playout.hpp"
+
+namespace wlanps::traffic {
+
+PlayoutBuffer::PlayoutBuffer(sim::Simulator& sim, Config config) : sim_(sim), config_(config) {
+    WLANPS_REQUIRE(config_.frame_size > DataSize::zero());
+    WLANPS_REQUIRE(config_.frame_interval > Time::zero());
+    WLANPS_REQUIRE(config_.capacity >= config_.frame_size);
+}
+
+void PlayoutBuffer::start() {
+    running_ = true;
+    sim_.schedule_in(config_.preroll, [this] { consume(); });
+}
+
+void PlayoutBuffer::on_data(DataSize size) {
+    if (level_ + size > config_.capacity) {
+        ++overflow_drops_;
+        level_ = config_.capacity;
+        return;
+    }
+    level_ += size;
+}
+
+void PlayoutBuffer::consume() {
+    if (!running_) return;
+    if (!playing_) {
+        // Initial buffering: extend rather than glitch (no miss counted).
+        const DataSize threshold = config_.frame_size *
+                                   static_cast<double>(config_.start_threshold_frames);
+        if (level_ < threshold) {
+            sim_.schedule_in(config_.frame_interval, [this] { consume(); });
+            return;
+        }
+        playing_ = true;
+        playback_started_at_ = sim_.now();
+    }
+    occupancy_.add(level_ / config_.frame_size);
+    if (level_ >= config_.frame_size) {
+        level_ -= config_.frame_size;
+        played_.hit();
+    } else {
+        played_.miss();  // underrun: glitch, frame skipped
+    }
+    sim_.schedule_in(config_.frame_interval, [this] { consume(); });
+}
+
+}  // namespace wlanps::traffic

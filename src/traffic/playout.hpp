@@ -1,0 +1,77 @@
+#pragma once
+/// \file playout.hpp
+/// Client-side playout buffer — the QoS metric of the streaming scenarios.
+///
+/// The decoder consumes one frame every frame interval; a consume with
+/// insufficient buffered data is an underrun (audible glitch).  "QoS is
+/// maintained" in the paper's Figure 2 experiment means zero underruns
+/// after preroll, which is exactly what the benches assert.
+
+#include <cstdint>
+
+#include "phy/calibration.hpp"
+#include "sim/assert.hpp"
+#include "sim/simulator.hpp"
+#include "sim/stats.hpp"
+#include "sim/units.hpp"
+
+namespace wlanps::traffic {
+
+/// A fixed-rate playout buffer.
+class PlayoutBuffer {
+public:
+    struct Config {
+        DataSize frame_size = phy::calibration::kMp3FrameSize;
+        Time frame_interval = phy::calibration::kMp3FrameInterval;
+        /// Decoder starts this long after start() (buffer fill time).
+        Time preroll = Time::from_seconds(2);
+        /// Cap on buffered data (client memory); arrivals beyond it are
+        /// counted as overflow and dropped.
+        DataSize capacity = DataSize::from_kilobytes(2048);
+        /// If > 0, playback additionally waits (without counting misses)
+        /// until this many frames are buffered — real players extend their
+        /// initial buffering rather than glitch when the first delivery is
+        /// late.  Once playback has started, shortfalls are underruns.
+        int start_threshold_frames = 0;
+    };
+
+    PlayoutBuffer(sim::Simulator& sim, Config config);
+    PlayoutBuffer(const PlayoutBuffer&) = delete;
+    PlayoutBuffer& operator=(const PlayoutBuffer&) = delete;
+
+    /// Begin consuming after the preroll.
+    void start();
+    /// Stop consuming.
+    void stop() { running_ = false; }
+
+    /// Stream data arrived.
+    void on_data(DataSize size);
+
+    [[nodiscard]] DataSize level() const { return level_; }
+    [[nodiscard]] DataSize headroom() const { return config_.capacity - level_; }
+    [[nodiscard]] std::uint64_t frames_played() const { return played_.hits(); }
+    [[nodiscard]] std::uint64_t underruns() const { return played_.misses(); }
+    /// Fraction of frame deadlines met.
+    [[nodiscard]] double qos() const { return played_.ratio(); }
+    [[nodiscard]] std::uint64_t overflow_drops() const { return overflow_drops_; }
+    [[nodiscard]] const sim::Accumulator& occupancy_stats() const { return occupancy_; }
+    [[nodiscard]] const Config& config() const { return config_; }
+    /// When the decoder actually began consuming (start threshold met).
+    [[nodiscard]] Time playback_started_at() const { return playback_started_at_; }
+    [[nodiscard]] bool playing() const { return playing_; }
+
+private:
+    void consume();
+
+    sim::Simulator& sim_;
+    Config config_;
+    DataSize level_;
+    bool running_ = false;
+    bool playing_ = false;
+    Time playback_started_at_ = Time::zero();
+    sim::RatioCounter played_;
+    std::uint64_t overflow_drops_ = 0;
+    sim::Accumulator occupancy_;  // sampled at each consume, in frames
+};
+
+}  // namespace wlanps::traffic

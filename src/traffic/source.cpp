@@ -1,0 +1,135 @@
+#include "traffic/source.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "sim/assert.hpp"
+
+namespace wlanps::traffic {
+
+Source::Source(sim::Simulator& sim, Sink sink)
+    : sim_(sim), sink_(std::move(sink)), created_at_(sim.now()) {
+    WLANPS_REQUIRE(sink_ != nullptr);
+}
+
+void Source::emit(DataSize size) {
+    ++packets_;
+    bytes_ += size;
+    sink_(size);
+}
+
+Rate Source::average_rate() const {
+    const Time elapsed = sim_.now() - created_at_;
+    if (elapsed.is_zero()) return Rate::zero();
+    return Rate::from_bps(static_cast<double>(bytes_.bits()) / elapsed.to_seconds());
+}
+
+Mp3Source::Mp3Source(sim::Simulator& sim, Sink sink, Config config)
+    : Source(sim, std::move(sink)), config_(config) {
+    WLANPS_REQUIRE(config_.frame_interval > Time::zero());
+    WLANPS_REQUIRE(config_.frame_size > DataSize::zero());
+}
+
+void Mp3Source::start() {
+    set_running(true);
+    sim_.schedule_in(config_.frame_interval, [this] { tick(); });
+}
+
+void Mp3Source::tick() {
+    if (!running()) return;
+    emit(config_.frame_size);
+    sim_.schedule_in(config_.frame_interval, [this] { tick(); });
+}
+
+VideoSource::VideoSource(sim::Simulator& sim, Sink sink, Config config, sim::Random rng)
+    : Source(sim, std::move(sink)), config_(config), rng_(rng) {
+    WLANPS_REQUIRE(config_.fps > 0.0);
+    WLANPS_REQUIRE(config_.gop >= 1);
+    WLANPS_REQUIRE(config_.jitter >= 0.0);
+}
+
+void VideoSource::start() {
+    set_running(true);
+    sim_.schedule_in(Time::from_seconds(1.0 / config_.fps), [this] { tick(); });
+}
+
+void VideoSource::tick() {
+    if (!running()) return;
+    const int pos = frame_index_ % config_.gop;
+    DataSize base;
+    if (pos == 0) {
+        base = config_.i_frame;
+    } else if (pos % 3 == 0) {
+        base = config_.p_frame;
+    } else {
+        base = config_.b_frame;
+    }
+    const double factor = std::max(0.2, rng_.normal(1.0, config_.jitter));
+    emit(base * factor);
+    ++frame_index_;
+    sim_.schedule_in(Time::from_seconds(1.0 / config_.fps), [this] { tick(); });
+}
+
+WebSource::WebSource(sim::Simulator& sim, Sink sink, Config config, sim::Random rng)
+    : Source(sim, std::move(sink)), config_(config), rng_(rng) {
+    WLANPS_REQUIRE(config_.on_rate > Rate::zero());
+    WLANPS_REQUIRE(config_.on_alpha > 0.0 && config_.off_alpha > 0.0);
+}
+
+void WebSource::start() {
+    set_running(true);
+    begin_on();
+}
+
+void WebSource::begin_on() {
+    if (!running()) return;
+    const double on_s = rng_.pareto(config_.on_alpha, config_.on_min.to_seconds());
+    on_until_ = sim_.now() + Time::from_seconds(on_s);
+    on_tick();
+}
+
+void WebSource::on_tick() {
+    if (!running()) return;
+    if (sim_.now() >= on_until_) {
+        const double off_s = rng_.pareto(config_.off_alpha, config_.off_min.to_seconds());
+        sim_.schedule_in(Time::from_seconds(off_s), [this] { begin_on(); });
+        return;
+    }
+    emit(config_.packet);
+    sim_.schedule_in(config_.on_rate.transmit_time(config_.packet), [this] { on_tick(); });
+}
+
+PoissonSource::PoissonSource(sim::Simulator& sim, Sink sink, DataSize packet, Rate mean_rate,
+                             sim::Random rng)
+    : Source(sim, std::move(sink)), packet_(packet), rng_(rng) {
+    WLANPS_REQUIRE(packet > DataSize::zero());
+    WLANPS_REQUIRE(mean_rate > Rate::zero());
+    mean_interarrival_ = mean_rate.transmit_time(packet);
+}
+
+void PoissonSource::start() {
+    set_running(true);
+    sim_.schedule_in(rng_.exponential_time(mean_interarrival_), [this] { tick(); });
+}
+
+void PoissonSource::tick() {
+    if (!running()) return;
+    emit(packet_);
+    sim_.schedule_in(rng_.exponential_time(mean_interarrival_), [this] { tick(); });
+}
+
+TraceSource::TraceSource(sim::Simulator& sim, Sink sink, std::vector<Entry> entries)
+    : Source(sim, std::move(sink)), entries_(std::move(entries)) {}
+
+void TraceSource::start() {
+    set_running(true);
+    for (const Entry& e : entries_) {
+        WLANPS_REQUIRE_MSG(e.at >= sim_.now(), "trace entry in the past");
+        sim_.schedule_at(e.at, [this, size = e.size] {
+            if (running()) emit(size);
+        });
+    }
+}
+
+}  // namespace wlanps::traffic

@@ -1,0 +1,158 @@
+#pragma once
+/// \file source.hpp
+/// Workload generators.
+///
+/// Sources push (size, timestamp) packets into a sink at simulated times;
+/// the sink is whatever transports them (AP queue, Hotspot server, bench
+/// harness).  Generators cover the paper's workloads: high-quality MP3
+/// audio (the Figure 2 stream), VBR video, bursty web browsing, Poisson
+/// background traffic, and scripted traces.
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "phy/calibration.hpp"
+#include "sim/random.hpp"
+#include "sim/simulator.hpp"
+#include "sim/units.hpp"
+
+namespace wlanps::traffic {
+
+/// Packet sink: called at generation time.
+using Sink = std::function<void(DataSize size)>;
+
+/// Base class for generators.
+class Source {
+public:
+    Source(sim::Simulator& sim, Sink sink);
+    virtual ~Source() = default;
+    Source(const Source&) = delete;
+    Source& operator=(const Source&) = delete;
+
+    /// Begin generating (first packet scheduled from now).
+    virtual void start() = 0;
+    /// Stop generating.
+    virtual void stop() { running_ = false; }
+
+    [[nodiscard]] virtual std::string name() const = 0;
+    [[nodiscard]] std::uint64_t packets_generated() const { return packets_; }
+    [[nodiscard]] DataSize bytes_generated() const { return bytes_; }
+    /// Average generated rate since construction.
+    [[nodiscard]] Rate average_rate() const;
+
+protected:
+    void emit(DataSize size);
+    [[nodiscard]] bool running() const { return running_; }
+
+    sim::Simulator& sim_;
+
+private:
+    Sink sink_;
+    bool running_ = false;
+    Time created_at_;
+    std::uint64_t packets_ = 0;
+    DataSize bytes_;
+
+protected:
+    void set_running(bool r) { running_ = r; }
+};
+
+/// Constant-bit-rate MP3 stream: one frame every frame interval.
+/// Defaults: 128 kb/s high-quality stereo (the paper's workload).
+class Mp3Source final : public Source {
+public:
+    struct Config {
+        DataSize frame_size = phy::calibration::kMp3FrameSize;
+        Time frame_interval = phy::calibration::kMp3FrameInterval;
+    };
+    Mp3Source(sim::Simulator& sim, Sink sink) : Mp3Source(sim, std::move(sink), Config{}) {}
+    Mp3Source(sim::Simulator& sim, Sink sink, Config config);
+    void start() override;
+    [[nodiscard]] std::string name() const override { return "mp3-cbr"; }
+    [[nodiscard]] const Config& config() const { return config_; }
+
+private:
+    void tick();
+    Config config_;
+};
+
+/// VBR video: GOP-patterned frame sizes (I frames large, P medium, B
+/// small) with lognormal-ish size jitter.
+class VideoSource final : public Source {
+public:
+    struct Config {
+        double fps = 25.0;
+        DataSize i_frame = DataSize::from_bytes(12000);
+        DataSize p_frame = DataSize::from_bytes(4000);
+        DataSize b_frame = DataSize::from_bytes(1500);
+        int gop = 12;           ///< frames per GOP (IBBPBBPBBPBB)
+        double jitter = 0.25;   ///< multiplicative size noise (std-dev)
+    };
+    VideoSource(sim::Simulator& sim, Sink sink, Config config, sim::Random rng);
+    void start() override;
+    [[nodiscard]] std::string name() const override { return "video-vbr"; }
+
+private:
+    void tick();
+    Config config_;
+    sim::Random rng_;
+    int frame_index_ = 0;
+};
+
+/// Web browsing: Pareto ON/OFF.  ON periods stream packets at a page rate;
+/// OFF periods are heavy-tailed think times.
+class WebSource final : public Source {
+public:
+    struct Config {
+        DataSize packet = DataSize::from_bytes(1460);
+        Rate on_rate = Rate::from_kbps(400);
+        double on_alpha = 1.5;
+        Time on_min = Time::from_ms(500);
+        double off_alpha = 1.2;
+        Time off_min = Time::from_seconds(2);
+    };
+    WebSource(sim::Simulator& sim, Sink sink, Config config, sim::Random rng);
+    void start() override;
+    [[nodiscard]] std::string name() const override { return "web-onoff"; }
+
+private:
+    void begin_on();
+    void on_tick();
+    Config config_;
+    sim::Random rng_;
+    Time on_until_;
+};
+
+/// Poisson arrivals of fixed-size packets.
+class PoissonSource final : public Source {
+public:
+    PoissonSource(sim::Simulator& sim, Sink sink, DataSize packet, Rate mean_rate,
+                  sim::Random rng);
+    void start() override;
+    [[nodiscard]] std::string name() const override { return "poisson"; }
+
+private:
+    void tick();
+    DataSize packet_;
+    Time mean_interarrival_;
+    sim::Random rng_;
+};
+
+/// Replays an explicit (time, size) script.
+class TraceSource final : public Source {
+public:
+    struct Entry {
+        Time at;
+        DataSize size;
+    };
+    TraceSource(sim::Simulator& sim, Sink sink, std::vector<Entry> entries);
+    void start() override;
+    [[nodiscard]] std::string name() const override { return "trace"; }
+
+private:
+    std::vector<Entry> entries_;
+};
+
+}  // namespace wlanps::traffic

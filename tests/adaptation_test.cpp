@@ -1,0 +1,233 @@
+/// Tests for the adaptation mechanisms: ARF rate control, adaptive MTU,
+/// and the closed-loop OS device manager.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "channel/ber.hpp"
+#include "channel/path_loss.hpp"
+#include "channel/rate_control.hpp"
+#include "link/adaptive_mtu.hpp"
+#include "link/arq.hpp"
+#include "os/device_manager.hpp"
+#include "sim/assert.hpp"
+#include "sim/simulator.hpp"
+#include "traffic/source.hpp"
+
+namespace wlanps {
+namespace {
+
+using namespace time_literals;
+
+// ---- ARF ---------------------------------------------------------------------
+
+TEST(ArfTest, StartsAtLowestRate) {
+    auto arf = channel::ArfRateController::dot11b();
+    EXPECT_DOUBLE_EQ(arf.current().mbps(), 1.0);
+}
+
+TEST(ArfTest, ClimbsAfterSuccessRun) {
+    auto arf = channel::ArfRateController::dot11b();
+    for (int i = 0; i < 10; ++i) arf.on_result(true);
+    EXPECT_DOUBLE_EQ(arf.current().mbps(), 2.0);
+    EXPECT_TRUE(arf.probing());
+    EXPECT_EQ(arf.rate_increases(), 1u);
+}
+
+TEST(ArfTest, FailedProbeFallsBackImmediately) {
+    auto arf = channel::ArfRateController::dot11b();
+    for (int i = 0; i < 10; ++i) arf.on_result(true);
+    ASSERT_TRUE(arf.probing());
+    arf.on_result(false);  // one failure is enough while probing
+    EXPECT_DOUBLE_EQ(arf.current().mbps(), 1.0);
+    EXPECT_EQ(arf.rate_decreases(), 1u);
+}
+
+TEST(ArfTest, NeedsTwoFailuresWhenSettled) {
+    auto arf = channel::ArfRateController::dot11b();
+    for (int i = 0; i < 10; ++i) arf.on_result(true);
+    arf.on_result(true);  // clears probation
+    arf.on_result(false);
+    EXPECT_DOUBLE_EQ(arf.current().mbps(), 2.0);  // one failure: still there
+    arf.on_result(false);
+    EXPECT_DOUBLE_EQ(arf.current().mbps(), 1.0);  // two: step down
+}
+
+TEST(ArfTest, SaturatesAtLadderEnds) {
+    auto arf = channel::ArfRateController::dot11b();
+    for (int i = 0; i < 100; ++i) arf.on_result(true);
+    EXPECT_DOUBLE_EQ(arf.current().mbps(), 11.0);
+    for (int i = 0; i < 100; ++i) arf.on_result(false);
+    EXPECT_DOUBLE_EQ(arf.current().mbps(), 1.0);
+}
+
+TEST(ArfTest, ConvergesToSnrAppropriateRate) {
+    // At an SNR where 5.5 Mb/s is reliable but 11 Mb/s is not, ARF should
+    // spend most of its time at 5.5.
+    auto arf = channel::ArfRateController::dot11b();
+    sim::Random rng(3);
+    const double snr = channel::required_snr_db(channel::Modulation::cck55, 1e-6) + 0.5;
+    std::size_t at_55 = 0;
+    const int frames = 5000;
+    for (int i = 0; i < frames; ++i) {
+        const double ber =
+            channel::bit_error_rate(channel::modulation_for_rate(arf.current()), snr);
+        const double per = channel::packet_error_rate(ber, DataSize::from_bytes(1500));
+        arf.on_result(!rng.chance(per));
+        if (arf.rate_index() == 2) ++at_55;
+    }
+    EXPECT_GT(static_cast<double>(at_55) / frames, 0.6);
+}
+
+TEST(ArfTest, BadLadderThrows) {
+    EXPECT_THROW(channel::ArfRateController({}), ContractViolation);
+    EXPECT_THROW(channel::ArfRateController({Rate::from_mbps(2), Rate::from_mbps(1)}),
+                 ContractViolation);
+}
+
+// ---- Adaptive MTU ---------------------------------------------------------------
+
+TEST(AdaptiveMtuTest, KeepsLargeFramesOnCleanChannel) {
+    link::LinkConfig cfg;
+    link::AdaptiveMtuArq adaptive(cfg);
+    channel::GilbertElliottConfig clean;
+    clean.ber_good = clean.ber_bad = 0.0;
+    channel::GilbertElliott ch(clean, sim::Random(5));
+    const auto r = adaptive.transfer(ch, Time::zero(), DataSize::from_kilobytes(32));
+    EXPECT_TRUE(r.delivered);
+    EXPECT_EQ(adaptive.current_mtu(), cfg.mtu);
+    EXPECT_EQ(r.transmissions, 32);  // never shrank
+}
+
+TEST(AdaptiveMtuTest, ShrinksUnderErrors) {
+    link::LinkConfig cfg;
+    link::AdaptiveMtuArq adaptive(cfg);
+    channel::GilbertElliottConfig noisy;
+    noisy.ber_good = noisy.ber_bad = 3e-4;  // 1 KB frames ~92% loss
+    channel::GilbertElliott ch(noisy, sim::Random(7));
+    const auto r = adaptive.transfer(ch, Time::zero(), DataSize::from_kilobytes(8));
+    EXPECT_TRUE(r.delivered);
+    EXPECT_LT(adaptive.current_mtu(), cfg.mtu);
+}
+
+TEST(AdaptiveMtuTest, BeatsFixedLargeMtuAtHighBer) {
+    link::LinkConfig cfg;
+    channel::GilbertElliottConfig noisy;
+    noisy.ber_good = noisy.ber_bad = 3e-4;
+
+    link::AdaptiveMtuArq adaptive(cfg);
+    channel::GilbertElliott c1(noisy, sim::Random(9));
+    const auto r_adaptive = adaptive.transfer(c1, Time::zero(), DataSize::from_kilobytes(8));
+
+    link::SelectiveRepeatArq fixed(cfg);
+    channel::GilbertElliott c2(noisy, sim::Random(9));
+    const auto r_fixed = fixed.transfer(c2, Time::zero(), DataSize::from_kilobytes(8));
+
+    ASSERT_TRUE(r_adaptive.delivered);
+    if (r_fixed.delivered) {
+        EXPECT_LT(r_adaptive.energy_per_useful_bit(), r_fixed.energy_per_useful_bit());
+    }
+}
+
+TEST(AdaptiveMtuTest, RespectsMinimumMtu) {
+    link::LinkConfig cfg;
+    link::AdaptiveMtuConfig mtu_cfg;
+    mtu_cfg.min_mtu = DataSize::from_bytes(256);
+    link::AdaptiveMtuArq adaptive(cfg, mtu_cfg);
+    channel::GilbertElliottConfig awful;
+    awful.ber_good = awful.ber_bad = 2e-3;
+    channel::GilbertElliott ch(awful, sim::Random(11));
+    (void)adaptive.transfer(ch, Time::zero(), DataSize::from_kilobytes(4));
+    EXPECT_GE(adaptive.current_mtu(), mtu_cfg.min_mtu);
+}
+
+// ---- DeviceManager -----------------------------------------------------------------
+
+TEST(DeviceManagerTest, ServesRequestsAndSleeps) {
+    sim::Simulator sim;
+    phy::WlanNic nic(sim, phy::WlanNicConfig{}, phy::WlanNic::State::idle);
+    os::DeviceParams params;
+    auto manager = std::make_unique<os::DeviceManager>(
+        sim, nic, std::make_unique<os::TimeoutPolicy>(100_ms));
+    int done = 0;
+    manager->request(10_ms, [&] { ++done; });
+    sim.run_until(Time::from_seconds(1));
+    EXPECT_EQ(done, 1);
+    EXPECT_EQ(manager->requests_served(), 1u);
+    // After the 100 ms timeout the NIC went off.
+    EXPECT_EQ(nic.state(), phy::WlanNic::State::off);
+    // The request arrived before the initial idle timer fired, so only the
+    // post-request idle period ends in a sleep.
+    EXPECT_EQ(manager->sleeps(), 1u);
+}
+
+TEST(DeviceManagerTest, WakeDelayChargedToLateRequests) {
+    sim::Simulator sim;
+    phy::WlanNic nic(sim, phy::WlanNicConfig{}, phy::WlanNic::State::idle);
+    auto manager = std::make_unique<os::DeviceManager>(
+        sim, nic, std::make_unique<os::TimeoutPolicy>(50_ms));
+    sim.run_until(Time::from_seconds(1));  // asleep by now
+    ASSERT_EQ(nic.state(), phy::WlanNic::State::off);
+    Time done_at = Time::zero();
+    manager->request(10_ms, [&] { done_at = sim.now(); });
+    sim.run_until(Time::from_seconds(2));
+    // 300 ms resume + 10 ms service.
+    EXPECT_NEAR((done_at - Time::from_seconds(1)).to_ms(), 310.0, 1.0);
+    EXPECT_NEAR(manager->wake_delays().mean(), 0.300, 0.005);
+}
+
+TEST(DeviceManagerTest, AlwaysOnNeverSleeps) {
+    sim::Simulator sim;
+    phy::WlanNic nic(sim, phy::WlanNicConfig{}, phy::WlanNic::State::idle);
+    auto manager = std::make_unique<os::DeviceManager>(
+        sim, nic, std::make_unique<os::AlwaysOnPolicy>());
+    sim.run_until(Time::from_seconds(10));
+    EXPECT_EQ(nic.state(), phy::WlanNic::State::idle);
+    EXPECT_EQ(manager->sleeps(), 0u);
+}
+
+TEST(DeviceManagerTest, QueuedRequestsServeBackToBack) {
+    sim::Simulator sim;
+    phy::WlanNic nic(sim, phy::WlanNicConfig{}, phy::WlanNic::State::idle);
+    auto manager = std::make_unique<os::DeviceManager>(
+        sim, nic, std::make_unique<os::TimeoutPolicy>(100_ms));
+    int done = 0;
+    for (int i = 0; i < 5; ++i) manager->request(10_ms, [&] { ++done; });
+    sim.run_until(60_ms);
+    EXPECT_EQ(done, 5);  // 5 * 10 ms, no sleep in between
+    EXPECT_EQ(nic.state(), phy::WlanNic::State::idle);
+}
+
+TEST(DeviceManagerTest, AdaptivePolicySavesEnergyOnBurstyTraffic) {
+    // Bursty arrivals (long exponential gaps): a predictive policy should
+    // use far less energy than always-on at a bounded delay cost.
+    auto run = [](std::unique_ptr<os::ShutdownPolicy> policy) {
+        sim::Simulator sim;
+        phy::WlanNic nic(sim, phy::WlanNicConfig{}, phy::WlanNic::State::idle);
+        os::DeviceManager manager(sim, nic, std::move(policy));
+        sim::Random rng(13);
+        // Bursts of 3 requests every ~5 s.
+        std::function<void()> burst = [&] {
+            for (int i = 0; i < 3; ++i) manager.request(20_ms);
+            sim.schedule_in(rng.exponential_time(Time::from_seconds(5)), burst);
+        };
+        sim.schedule_in(Time::from_seconds(1), burst);
+        sim.run_until(Time::from_seconds(120));
+        return nic.energy_consumed().joules();
+    };
+    os::DeviceParams params;
+    const double e_always = run(std::make_unique<os::AlwaysOnPolicy>());
+    const double e_adaptive = run(std::make_unique<os::AdaptivePolicy>(params));
+    EXPECT_LT(e_adaptive, e_always * 0.25);
+}
+
+TEST(DeviceManagerTest, RejectsNonPositiveService) {
+    sim::Simulator sim;
+    phy::WlanNic nic(sim, phy::WlanNicConfig{}, phy::WlanNic::State::idle);
+    os::DeviceManager manager(sim, nic, std::make_unique<os::AlwaysOnPolicy>());
+    EXPECT_THROW(manager.request(Time::zero()), ContractViolation);
+}
+
+}  // namespace
+}  // namespace wlanps

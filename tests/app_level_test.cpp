@@ -1,0 +1,202 @@
+/// Tests for the application-level techniques: load partitioning
+/// (offloading) and proxy-based content adaptation.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "bt/piconet.hpp"
+#include "core/burst_channel.hpp"
+#include "core/client.hpp"
+#include "core/media_proxy.hpp"
+#include "os/offload.hpp"
+#include "sim/assert.hpp"
+#include "sim/simulator.hpp"
+
+namespace wlanps {
+namespace {
+
+using namespace time_literals;
+
+// ---- Offloading -----------------------------------------------------------
+
+TEST(OffloadTest, LocalCostIsLinearInCycles) {
+    os::OffloadPolicy policy{os::OffloadEnvironment{}};
+    os::OffloadTask t;
+    t.cycles_mcycles = 100.0;
+    const auto one = policy.local(t);
+    t.cycles_mcycles = 200.0;
+    const auto two = policy.local(t);
+    EXPECT_NEAR(two.energy.joules(), 2.0 * one.energy.joules(), 1e-9);
+    EXPECT_NEAR(two.latency.to_seconds(), 2.0 * one.latency.to_seconds(), 1e-9);
+}
+
+TEST(OffloadTest, RemoteCostDominatedByRadioForDataHeavyTasks) {
+    os::OffloadPolicy policy{os::OffloadEnvironment{}};
+    os::OffloadTask heavy_data;
+    heavy_data.cycles_mcycles = 1.0;
+    heavy_data.input = DataSize::from_kilobytes(1000);
+    heavy_data.output = DataSize::from_kilobytes(1000);
+    // Light compute + heavy data: local must win.
+    EXPECT_FALSE(policy.should_offload(heavy_data));
+}
+
+TEST(OffloadTest, ComputeHeavyTasksOffload) {
+    os::OffloadPolicy policy{os::OffloadEnvironment{}};
+    os::OffloadTask heavy_compute;
+    heavy_compute.cycles_mcycles = 20000.0;  // 50 s locally
+    heavy_compute.input = DataSize::from_kilobytes(10);
+    heavy_compute.output = DataSize::from_kilobytes(1);
+    EXPECT_TRUE(policy.should_offload(heavy_compute));
+    // And it is faster too, with an 8x server.
+    EXPECT_LT(policy.remote(heavy_compute).latency, policy.local(heavy_compute).latency);
+}
+
+TEST(OffloadTest, BreakEvenDensityIsConsistent) {
+    os::OffloadPolicy policy{os::OffloadEnvironment{}};
+    os::OffloadTask shape;
+    shape.input = DataSize::from_kilobytes(50);
+    shape.output = DataSize::from_kilobytes(10);
+    const double density = policy.break_even_density(shape);
+    EXPECT_GT(density, 0.0);
+    // A task 2x above the density offloads; 2x below runs locally.
+    const double data_kb = 60.0;
+    os::OffloadTask above = shape;
+    above.cycles_mcycles = 2.0 * density * data_kb;
+    os::OffloadTask below = shape;
+    below.cycles_mcycles = 0.5 * density * data_kb;
+    EXPECT_TRUE(policy.should_offload(above));
+    EXPECT_FALSE(policy.should_offload(below));
+}
+
+TEST(OffloadTest, FasterRadioLowersBreakEven) {
+    os::OffloadEnvironment slow;
+    slow.uplink = slow.downlink = Rate::from_kbps(500);
+    os::OffloadEnvironment fast;
+    fast.uplink = fast.downlink = Rate::from_mbps(11);
+    os::OffloadTask shape;
+    const double d_slow = os::OffloadPolicy(slow).break_even_density(shape);
+    const double d_fast = os::OffloadPolicy(fast).break_even_density(shape);
+    EXPECT_LT(d_fast, d_slow);  // cheap shipping -> offload smaller tasks
+}
+
+TEST(OffloadTest, PartitionMixesPlacements) {
+    os::OffloadPolicy policy{os::OffloadEnvironment{}};
+    std::vector<os::OffloadTask> tasks = {
+        {"ui", 5.0, DataSize::from_kilobytes(4), DataSize::from_kilobytes(4)},
+        {"speech-recognition", 30000.0, DataSize::from_kilobytes(40),
+         DataSize::from_kilobytes(1)},
+        {"photo-upload-filter", 50.0, DataSize::from_kilobytes(2000),
+         DataSize::from_kilobytes(2000)},
+    };
+    const auto result = os::partition(policy, tasks);
+    ASSERT_EQ(result.offloaded.size(), 3u);
+    EXPECT_FALSE(result.offloaded[0]);  // trivial task stays local
+    EXPECT_TRUE(result.offloaded[1]);   // compute-heavy offloads
+    EXPECT_FALSE(result.offloaded[2]);  // data-heavy stays local
+    EXPECT_GT(result.total_energy.joules(), 0.0);
+    // The partition is no worse than either all-local or all-remote.
+    power::Energy all_local, all_remote;
+    for (const auto& t : tasks) {
+        all_local += policy.local(t).energy;
+        all_remote += policy.remote(t).energy;
+    }
+    EXPECT_LE(result.total_energy.joules(), all_local.joules() + 1e-12);
+    EXPECT_LE(result.total_energy.joules(), all_remote.joules() + 1e-12);
+}
+
+// ---- Media proxy ------------------------------------------------------------
+
+struct ProxyFixture {
+    sim::Simulator sim;
+    sim::Random root{111};
+    bt::Piconet piconet{sim, bt::PiconetConfig{}, sim::Random(112)};
+    std::unique_ptr<bt::BtSlave> slave;
+    std::unique_ptr<phy::WlanNic> wlan_nic;
+    std::unique_ptr<channel::WirelessLink> wlan_link;
+    std::unique_ptr<core::HotspotClient> client;
+
+    ProxyFixture() {
+        core::QosContract contract;
+        contract.stream_rate = Rate::from_kbps(600);
+        client = std::make_unique<core::HotspotClient>(sim, 1, contract);
+        wlan_nic = std::make_unique<phy::WlanNic>(sim, phy::WlanNicConfig{},
+                                                  phy::WlanNic::State::idle);
+        wlan_link = std::make_unique<channel::WirelessLink>(channel::GilbertElliottConfig{},
+                                                            root.fork(1));
+        client->add_channel(
+            std::make_unique<core::WlanBurstChannel>(sim, *wlan_nic, wlan_link.get()));
+        slave = std::make_unique<bt::BtSlave>(sim, phy::BtNicConfig{},
+                                              phy::BtNic::State::active);
+        const auto sid = piconet.join(*slave);
+        client->add_channel(std::make_unique<core::BtBurstChannel>(piconet, sid, *slave));
+    }
+};
+
+TEST(MediaProxyTest, ForwardsFullStreamOnHealthyChannel) {
+    ProxyFixture f;
+    DataSize delivered;
+    core::MediaProxy proxy(f.sim, *f.client, [&](DataSize s) { delivered += s; },
+                           core::MediaProxy::Config{});
+    proxy.start();
+    auto sink = proxy.ingest_sink();
+    f.sim.run_until(2_s);
+    sink(DataSize::from_kilobytes(30));
+    EXPECT_TRUE(proxy.video_enabled());
+    EXPECT_EQ(delivered, DataSize::from_kilobytes(30));
+    EXPECT_TRUE(proxy.bytes_dropped().is_zero());
+}
+
+TEST(MediaProxyTest, DropsVideoWhenNoChannelSustainsAvRate) {
+    ProxyFixture f;
+    // Degrade WLAN below the quality threshold; BT can't carry 600 kb/s.
+    channel::ScriptedQuality bad;
+    bad.add_point(1_s, 1.0);
+    bad.add_point(2_s, 0.1);
+    f.wlan_link->set_scripted_quality(bad);
+
+    DataSize delivered;
+    core::MediaProxy proxy(f.sim, *f.client, [&](DataSize s) { delivered += s; },
+                           core::MediaProxy::Config{});
+    proxy.start();
+    auto sink = proxy.ingest_sink();
+
+    f.sim.run_until(5_s);  // after degradation + a proxy check
+    EXPECT_FALSE(proxy.video_enabled());
+    EXPECT_GE(proxy.adaptations(), 1u);
+
+    delivered = DataSize::zero();
+    sink(DataSize::from_kilobytes(30));
+    // Only the audio share (128/600) is forwarded.
+    EXPECT_NEAR(static_cast<double>(delivered.bytes()),
+                30.0 * 1024.0 * 128.0 / 600.0, 64.0);
+    EXPECT_GT(proxy.bytes_dropped().bytes(), 0);
+}
+
+TEST(MediaProxyTest, VideoResumesOnRecovery) {
+    ProxyFixture f;
+    channel::ScriptedQuality dip;
+    dip.add_point(1_s, 1.0);
+    dip.add_point(2_s, 0.1);   // bad...
+    dip.add_point(10_s, 0.1);
+    dip.add_point(11_s, 1.0);  // ...then recovered
+    f.wlan_link->set_scripted_quality(dip);
+
+    core::MediaProxy proxy(f.sim, *f.client, [](DataSize) {}, core::MediaProxy::Config{});
+    proxy.start();
+    f.sim.run_until(5_s);
+    EXPECT_FALSE(proxy.video_enabled());
+    f.sim.run_until(15_s);
+    EXPECT_TRUE(proxy.video_enabled());
+    EXPECT_GE(proxy.adaptations(), 2u);  // off, then back on
+}
+
+TEST(MediaProxyTest, InvalidConfigThrows) {
+    ProxyFixture f;
+    core::MediaProxy::Config cfg;
+    cfg.audio_rate = cfg.av_rate;  // audio share must be strictly smaller
+    EXPECT_THROW(core::MediaProxy(f.sim, *f.client, [](DataSize) {}, cfg), ContractViolation);
+}
+
+}  // namespace
+}  // namespace wlanps

@@ -1,0 +1,177 @@
+/// Tests for the Bluetooth piconet: ACL transfers, ARQ, sniff/park modes.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "bt/piconet.hpp"
+#include "sim/assert.hpp"
+#include "sim/simulator.hpp"
+
+namespace wlanps::bt {
+namespace {
+
+using namespace time_literals;
+
+struct BtWorld {
+    sim::Simulator sim;
+    sim::Random root{21};
+    Piconet piconet{sim, PiconetConfig{}, sim::Random(22)};
+    std::vector<std::unique_ptr<BtSlave>> slaves;
+    std::vector<SlaveId> ids;
+
+    explicit BtWorld(int n) {
+        for (int i = 0; i < n; ++i) {
+            slaves.push_back(std::make_unique<BtSlave>(sim, phy::BtNicConfig{},
+                                                       phy::BtNic::State::active));
+            ids.push_back(piconet.join(*slaves.back()));
+        }
+    }
+};
+
+TEST(PiconetTest, PeakGoodputIsDh5Rate) {
+    BtWorld w(1);
+    // 339 B / (6 * 625 us) = 723.2 kb/s.
+    EXPECT_NEAR(w.piconet.peak_goodput().kbps(), 723.2, 0.1);
+}
+
+TEST(PiconetTest, TransferDeliversAllBytes) {
+    BtWorld w(1);
+    bool done = false;
+    w.piconet.send(w.ids[0], DataSize::from_kilobytes(10), [&](bool ok) { done = ok; });
+    w.sim.run();
+    EXPECT_TRUE(done);
+    EXPECT_EQ(w.slaves[0]->bytes_received(), DataSize::from_kilobytes(10));
+}
+
+TEST(PiconetTest, TransferTimeMatchesGoodput) {
+    BtWorld w(1);
+    Time finished = Time::zero();
+    const DataSize size = DataSize::from_kilobytes(48);
+    w.piconet.send(w.ids[0], size, [&](bool) { finished = w.sim.now(); });
+    w.sim.run();
+    const double expected_s =
+        static_cast<double>(size.bits()) / w.piconet.peak_goodput().bps();
+    EXPECT_NEAR(finished.to_seconds(), expected_s, 0.01);
+}
+
+TEST(PiconetTest, TransfersSerialize) {
+    BtWorld w(2);
+    std::vector<int> completion_order;
+    w.piconet.send(w.ids[0], DataSize::from_kilobytes(5), [&](bool) {
+        completion_order.push_back(0);
+    });
+    w.piconet.send(w.ids[1], DataSize::from_kilobytes(5), [&](bool) {
+        completion_order.push_back(1);
+    });
+    EXPECT_TRUE(w.piconet.transferring());
+    w.sim.run();
+    EXPECT_EQ(completion_order, (std::vector<int>{0, 1}));
+    EXPECT_FALSE(w.piconet.transferring());
+}
+
+TEST(PiconetTest, ArqRetransmitsOverLossyLink) {
+    BtWorld w(1);
+    channel::GilbertElliottConfig bad;
+    bad.mean_good = 20_ms;
+    bad.mean_bad = 20_ms;
+    bad.ber_good = 0.0;
+    bad.ber_bad = 2e-4;  // DH5 packets mostly fail in bad state
+    w.piconet.set_link(w.ids[0], bad, w.root.fork(1));
+    bool done = false;
+    w.piconet.send(w.ids[0], DataSize::from_kilobytes(20), [&](bool ok) { done = ok; });
+    w.sim.run();
+    EXPECT_TRUE(done);  // baseband ARQ pushes it through
+    EXPECT_EQ(w.slaves[0]->bytes_received(), DataSize::from_kilobytes(20));
+    EXPECT_GT(w.piconet.retransmissions(), 0u);
+}
+
+TEST(PiconetTest, SupervisionAbortsDeadLink) {
+    BtWorld w(1);
+    channel::GilbertElliottConfig dead;
+    dead.ber_good = 0.01;  // every DH5 fails
+    dead.ber_bad = 0.01;
+    w.piconet.set_link(w.ids[0], dead, w.root.fork(2));
+    bool result = true;
+    w.piconet.send(w.ids[0], DataSize::from_kilobytes(5), [&](bool ok) { result = ok; });
+    w.sim.run();
+    EXPECT_FALSE(result);  // gave up after max_packet_retries
+}
+
+TEST(PiconetTest, ParkAndUnpark) {
+    BtWorld w(1);
+    bool parked = false;
+    w.piconet.park(w.ids[0], [&] { parked = true; });
+    w.sim.run();
+    EXPECT_TRUE(parked);
+    EXPECT_EQ(w.piconet.mode(w.ids[0]), SlaveMode::park);
+    EXPECT_EQ(w.slaves[0]->nic().state(), phy::BtNic::State::park);
+
+    // Sending to a parked slave un-parks it first.
+    bool done = false;
+    w.piconet.send(w.ids[0], DataSize::from_kilobytes(1), [&](bool ok) { done = ok; });
+    w.sim.run();
+    EXPECT_TRUE(done);
+    EXPECT_EQ(w.piconet.mode(w.ids[0]), SlaveMode::active);
+}
+
+TEST(PiconetTest, SniffDelaysToAnchor) {
+    BtWorld w(1);
+    w.piconet.sniff(w.ids[0]);
+    w.sim.run();
+    EXPECT_EQ(w.piconet.mode(w.ids[0]), SlaveMode::sniff);
+
+    // Activation waits for the next sniff anchor (<= sniff_interval away).
+    Time activated = Time::zero();
+    w.piconet.activate(w.ids[0], [&] { activated = w.sim.now(); });
+    w.sim.run();
+    EXPECT_GT(activated, Time::zero());
+    EXPECT_LE(activated, w.piconet.config().sniff_interval + 5_ms);
+}
+
+TEST(PiconetTest, ParkedSlaveDrawsMilliwatts) {
+    BtWorld w(1);
+    w.piconet.park(w.ids[0]);
+    w.sim.run_until(Time::from_seconds(10));
+    EXPECT_LT(w.slaves[0]->average_power().watts(), 0.02);
+}
+
+TEST(PiconetTest, ActiveSetLimit) {
+    BtWorld w(7);
+    auto extra = std::make_unique<BtSlave>(w.sim, phy::BtNicConfig{});
+    EXPECT_THROW((void)w.piconet.join(*extra), ContractViolation);
+    // Parking one frees a seat.
+    w.piconet.park(w.ids[0]);
+    const SlaveId id8 = w.piconet.join(*extra);
+    EXPECT_EQ(w.piconet.mode(id8), SlaveMode::active);
+    // Un-parking now would exceed the limit again.
+    EXPECT_THROW(w.piconet.activate(w.ids[0]), ContractViolation);
+}
+
+TEST(PiconetTest, PacketStatsTrackDeliveries) {
+    BtWorld w(1);
+    w.piconet.send(w.ids[0], DataSize::from_bytes(339 * 4));
+    w.sim.run();
+    EXPECT_EQ(w.piconet.packet_stats().total(), 4u);
+    EXPECT_DOUBLE_EQ(w.piconet.packet_stats().ratio(), 1.0);
+}
+
+TEST(PiconetTest, UnknownSlaveThrows) {
+    BtWorld w(1);
+    EXPECT_THROW(w.piconet.park(99), ContractViolation);
+    EXPECT_THROW((void)w.piconet.mode(99), ContractViolation);
+}
+
+TEST(PiconetTest, SlaveRadioDutySplitsRxTx) {
+    BtWorld w(1);
+    w.piconet.send(w.ids[0], DataSize::from_kilobytes(20));
+    w.sim.run();
+    const Time rx = w.slaves[0]->nic().residency(phy::BtNic::State::rx);
+    const Time tx = w.slaves[0]->nic().residency(phy::BtNic::State::tx);
+    // DH5: 5 forward slots vs 1 return slot.
+    EXPECT_NEAR(rx / tx, 5.0, 0.2);
+}
+
+}  // namespace
+}  // namespace wlanps::bt

@@ -1,0 +1,345 @@
+/// Unit and statistical tests for the channel models and predictors.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "channel/ber.hpp"
+#include "channel/gilbert_elliott.hpp"
+#include "channel/link.hpp"
+#include "channel/path_loss.hpp"
+#include "channel/predictor.hpp"
+#include "channel/scripted.hpp"
+#include "sim/assert.hpp"
+
+namespace wlanps::channel {
+namespace {
+
+using namespace time_literals;
+
+// ---- BER models -----------------------------------------------------------
+
+TEST(BerTest, MonotoneDecreasingInSnr) {
+    for (const auto mod : {Modulation::dbpsk, Modulation::dqpsk, Modulation::cck55,
+                           Modulation::cck11, Modulation::gfsk_bt}) {
+        double prev = 1.0;
+        for (double snr = -5.0; snr <= 30.0; snr += 1.0) {
+            const double ber = bit_error_rate(mod, snr);
+            EXPECT_LE(ber, prev) << "mod " << static_cast<int>(mod) << " snr " << snr;
+            prev = ber;
+        }
+    }
+}
+
+TEST(BerTest, HigherOrderModulationNeedsMoreSnr) {
+    // At a fixed mid SNR, faster 802.11b rates have higher BER.
+    const double snr = 8.0;
+    EXPECT_LT(bit_error_rate(Modulation::dbpsk, snr), bit_error_rate(Modulation::dqpsk, snr));
+    EXPECT_LT(bit_error_rate(Modulation::dqpsk, snr), bit_error_rate(Modulation::cck55, snr));
+    EXPECT_LT(bit_error_rate(Modulation::cck55, snr), bit_error_rate(Modulation::cck11, snr));
+}
+
+TEST(BerTest, PacketErrorRateMatchesClosedForm) {
+    const double ber = 1e-4;
+    const DataSize size = DataSize::from_bytes(1500);
+    const double per = packet_error_rate(ber, size);
+    const double expected = 1.0 - std::pow(1.0 - ber, 1500.0 * 8.0);
+    EXPECT_NEAR(per, expected, 1e-9);
+}
+
+TEST(BerTest, PacketErrorRateEdges) {
+    EXPECT_DOUBLE_EQ(packet_error_rate(0.0, DataSize::from_bytes(1500)), 0.0);
+    EXPECT_NEAR(packet_error_rate(1.0, DataSize::from_bytes(1)), 1.0, 1e-12);
+}
+
+TEST(BerTest, ModulationForRate) {
+    EXPECT_EQ(modulation_for_rate(Rate::from_mbps(1)), Modulation::dbpsk);
+    EXPECT_EQ(modulation_for_rate(Rate::from_mbps(2)), Modulation::dqpsk);
+    EXPECT_EQ(modulation_for_rate(Rate::from_mbps(5.5)), Modulation::cck55);
+    EXPECT_EQ(modulation_for_rate(Rate::from_mbps(11)), Modulation::cck11);
+}
+
+TEST(BerTest, RequiredSnrInvertsTheCurve) {
+    for (const auto mod : {Modulation::dbpsk, Modulation::cck11}) {
+        const double snr = required_snr_db(mod, 1e-5);
+        EXPECT_NEAR(bit_error_rate(mod, snr), 1e-5, 2e-6);
+    }
+}
+
+// ---- Gilbert-Elliott -------------------------------------------------------
+
+TEST(GilbertElliottTest, StationaryFractionMatchesConfig) {
+    GilbertElliottConfig cfg;
+    cfg.mean_good = 400_ms;
+    cfg.mean_bad = 100_ms;
+    EXPECT_NEAR(cfg.stationary_good(), 0.8, 1e-12);
+    GilbertElliott ch(cfg, sim::Random(3));
+    // Advance far and check the observed fraction.
+    (void)ch.state_at(Time::from_seconds(2000));
+    EXPECT_NEAR(ch.observed_good_fraction(), 0.8, 0.03);
+}
+
+TEST(GilbertElliottTest, AverageBer) {
+    GilbertElliottConfig cfg;
+    cfg.mean_good = 300_ms;
+    cfg.mean_bad = 100_ms;
+    cfg.ber_good = 1e-6;
+    cfg.ber_bad = 1e-3;
+    EXPECT_NEAR(cfg.average_ber(), 0.75 * 1e-6 + 0.25 * 1e-3, 1e-12);
+}
+
+TEST(GilbertElliottTest, BerFollowsState) {
+    GilbertElliottConfig cfg;
+    GilbertElliott ch(cfg, sim::Random(5));
+    for (int i = 0; i < 50; ++i) {
+        const Time t = Time::from_ms(i * 20);
+        const auto s = ch.state_at(t);
+        EXPECT_DOUBLE_EQ(ch.ber_at(t), s == ChannelState::good ? cfg.ber_good : cfg.ber_bad);
+    }
+}
+
+TEST(GilbertElliottTest, OutOfOrderQueryThrows) {
+    GilbertElliott ch(GilbertElliottConfig{}, sim::Random(5));
+    (void)ch.state_at(1_s);
+    EXPECT_THROW((void)ch.state_at(500_ms), ContractViolation);
+}
+
+TEST(GilbertElliottTest, PerfectChannelAlwaysDelivers) {
+    GilbertElliottConfig cfg;
+    cfg.ber_good = 0.0;
+    cfg.ber_bad = 0.0;
+    GilbertElliott ch(cfg, sim::Random(7));
+    for (int i = 0; i < 200; ++i) {
+        EXPECT_TRUE(ch.transmit_success(Time::from_ms(i * 5), DataSize::from_bytes(1500),
+                                        Rate::from_mbps(11)));
+    }
+}
+
+TEST(GilbertElliottTest, DeliveryRateTracksAverageBer) {
+    GilbertElliottConfig cfg;
+    cfg.mean_good = 100_ms;
+    cfg.mean_bad = 100_ms;
+    cfg.ber_good = 1e-6;
+    cfg.ber_bad = 1e-4;
+    GilbertElliott ch(cfg, sim::Random(11));
+    const DataSize size = DataSize::from_bytes(1500);
+    const Rate rate = Rate::from_mbps(2);
+    int ok = 0;
+    const int n = 8000;
+    Time t = Time::zero();
+    for (int i = 0; i < n; ++i) {
+        if (ch.transmit_success(t, size, rate)) ++ok;
+        t += 10_ms;
+    }
+    // Expected success = mix of the two states' packet success rates.
+    const double ps_good = std::pow(1.0 - cfg.ber_good, 12000.0);
+    const double ps_bad = std::pow(1.0 - cfg.ber_bad, 12000.0);
+    const double expected = 0.5 * ps_good + 0.5 * ps_bad;
+    EXPECT_NEAR(ok / static_cast<double>(n), expected, 0.04);
+}
+
+TEST(GilbertElliottTest, SuccessProbabilityReflectsCurrentState) {
+    GilbertElliottConfig cfg;
+    cfg.ber_good = 0.0;
+    cfg.ber_bad = 1e-3;
+    GilbertElliott ch(cfg, sim::Random(13));
+    Time t = Time::zero();
+    // Find a moment in each state and compare estimates.
+    double p_good = -1.0, p_bad = -1.0;
+    for (int i = 0; i < 10000 && (p_good < 0 || p_bad < 0); ++i) {
+        t += 5_ms;
+        const auto s = ch.state_at(t);
+        const double p = ch.success_probability(t, DataSize::from_bytes(1500), Rate::from_mbps(2));
+        if (s == ChannelState::good) p_good = p;
+        else p_bad = p;
+    }
+    ASSERT_GE(p_good, 0.0);
+    ASSERT_GE(p_bad, 0.0);
+    EXPECT_DOUBLE_EQ(p_good, 1.0);
+    EXPECT_LT(p_bad, 1e-4);  // 12000 bits at 1e-3 BER
+}
+
+// ---- Path loss --------------------------------------------------------------
+
+TEST(PathLossTest, MeanSnrFallsWithDistance) {
+    PathLoss pl(PathLossConfig{}, sim::Random(17));
+    EXPECT_GT(pl.mean_snr_db(2.0), pl.mean_snr_db(10.0));
+    EXPECT_GT(pl.mean_snr_db(10.0), pl.mean_snr_db(50.0));
+}
+
+TEST(PathLossTest, LogDistanceSlope) {
+    PathLossConfig cfg;
+    cfg.exponent = 3.0;
+    PathLoss pl(cfg, sim::Random(17));
+    // 10x distance => 10*n dB more loss.
+    EXPECT_NEAR(pl.mean_snr_db(1.0) - pl.mean_snr_db(10.0), 30.0, 1e-9);
+}
+
+TEST(PathLossTest, ShadowingIsCorrelatedOverShortTimes) {
+    PathLossConfig cfg;
+    cfg.shadowing_sigma_db = 6.0;
+    cfg.shadowing_coherence = Time::from_seconds(10);
+    PathLoss pl(cfg, sim::Random(19));
+    const double first = pl.snr_db(Time::zero(), 10.0);
+    const double soon = pl.snr_db(1_ms, 10.0);
+    EXPECT_NEAR(soon, first, 1.0);  // barely decorrelated after 1 ms
+}
+
+TEST(PathLossTest, ShadowingVarianceMatchesSigma) {
+    PathLossConfig cfg;
+    cfg.shadowing_sigma_db = 4.0;
+    cfg.shadowing_coherence = 10_ms;
+    PathLoss pl(cfg, sim::Random(23));
+    const double mean = pl.mean_snr_db(10.0);
+    double sum = 0.0, sq = 0.0;
+    const int n = 5000;
+    for (int i = 1; i <= n; ++i) {
+        const double x = pl.snr_db(Time::from_ms(i * 100), 10.0) - mean;  // decorrelated samples
+        sum += x;
+        sq += x * x;
+    }
+    const double var = sq / n - (sum / n) * (sum / n);
+    EXPECT_NEAR(std::sqrt(var), 4.0, 0.4);
+}
+
+// ---- Scripted quality -------------------------------------------------------
+
+TEST(ScriptedQualityTest, DefaultIsPerfect) {
+    ScriptedQuality q;
+    EXPECT_DOUBLE_EQ(q.at(Time::zero()), 1.0);
+    EXPECT_DOUBLE_EQ(q.at(100_s), 1.0);
+}
+
+TEST(ScriptedQualityTest, InterpolatesAndClamps) {
+    ScriptedQuality q;
+    q.add_point(10_s, 1.0);
+    q.add_point(20_s, 0.2);
+    EXPECT_DOUBLE_EQ(q.at(5_s), 1.0);        // before first point
+    EXPECT_NEAR(q.at(15_s), 0.6, 1e-9);      // midpoint
+    EXPECT_DOUBLE_EQ(q.at(30_s), 0.2);       // after last point
+}
+
+TEST(ScriptedQualityTest, EnforcesMonotoneTime) {
+    ScriptedQuality q;
+    q.add_point(10_s, 1.0);
+    EXPECT_THROW(q.add_point(5_s, 0.5), ContractViolation);
+    EXPECT_THROW(q.add_point(20_s, 1.5), ContractViolation);
+}
+
+// ---- Composite link ----------------------------------------------------------
+
+TEST(WirelessLinkTest, ScriptedDropsDegradeDelivery) {
+    GilbertElliottConfig ge;
+    ge.ber_good = 0.0;
+    ge.ber_bad = 0.0;
+    WirelessLink link(ge, sim::Random(29));
+    ScriptedQuality script;
+    script.add_point(1_s, 1.0);
+    script.add_point(2_s, 0.0);
+    link.set_scripted_quality(script);
+
+    // Before degradation: all delivered.
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_TRUE(link.transmit(Time::from_ms(i), DataSize::from_bytes(100),
+                                  Rate::from_mbps(1)));
+    }
+    // Fully degraded: none delivered.
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(link.transmit(Time::from_seconds(3) + Time::from_ms(i),
+                                   DataSize::from_bytes(100), Rate::from_mbps(1)));
+    }
+    EXPECT_EQ(link.delivery_stats().total(), 200u);
+}
+
+TEST(WirelessLinkTest, QualityCombinesStationaryAndScript) {
+    GilbertElliottConfig ge;
+    ge.mean_good = 900_ms;
+    ge.mean_bad = 100_ms;
+    WirelessLink link(ge, sim::Random(31));
+    EXPECT_NEAR(link.quality(Time::zero()), 0.9, 1e-9);
+    ScriptedQuality script;
+    script.add_point(1_s, 0.5);
+    link.set_scripted_quality(script);
+    EXPECT_NEAR(link.quality(2_s), 0.45, 1e-9);
+}
+
+// ---- Predictors ----------------------------------------------------------------
+
+TEST(PredictorTest, LastValue) {
+    LastValuePredictor p;
+    EXPECT_TRUE(p.predict());  // optimistic default
+    p.observe(false);
+    EXPECT_FALSE(p.predict());
+    p.observe(true);
+    EXPECT_TRUE(p.predict());
+}
+
+TEST(PredictorTest, SlidingWindowMajority) {
+    SlidingWindowPredictor p(3);
+    p.observe(true);
+    p.observe(true);
+    p.observe(false);
+    EXPECT_TRUE(p.predict());  // 2/3 good
+    p.observe(false);
+    p.observe(false);
+    EXPECT_FALSE(p.predict());  // window now {false,false,false}... last 3
+    EXPECT_EQ(p.name(), "window-3");
+}
+
+TEST(PredictorTest, MarkovLearnsStickyChannel) {
+    MarkovPredictor p;
+    // Feed a perfectly sticky pattern: 50 good, 50 bad, 50 good...
+    for (int block = 0; block < 6; ++block) {
+        const bool good = block % 2 == 0;
+        for (int i = 0; i < 50; ++i) p.observe(good);
+    }
+    // Sticky channel: predict(next == last).
+    EXPECT_GT(p.stay_good_probability(), 0.9);
+    EXPECT_LT(p.leave_bad_probability(), 0.1);
+}
+
+TEST(PredictorTest, AccuracyScoring) {
+    LastValuePredictor p;
+    p.observe(true);
+    p.observe_and_score(true);   // predicted true, was true
+    p.observe_and_score(false);  // predicted true, was false
+    EXPECT_NEAR(p.accuracy(), 0.5, 1e-12);
+}
+
+TEST(PredictorTest, LastValueIsGoodOnStickyChannel) {
+    GilbertElliottConfig cfg;
+    cfg.mean_good = 500_ms;
+    cfg.mean_bad = 500_ms;
+    GilbertElliott ch(cfg, sim::Random(37));
+    LastValuePredictor p;
+    Time t = Time::zero();
+    for (int i = 0; i < 5000; ++i) {
+        t += 10_ms;  // much shorter than sojourn -> sticky observations
+        p.observe_and_score(ch.state_at(t) == ChannelState::good);
+    }
+    EXPECT_GT(p.accuracy(), 0.9);
+}
+
+TEST(PredictorTest, NoisyOracleFidelityOrdersAccuracy) {
+    GilbertElliottConfig cfg;
+    cfg.mean_good = 100_ms;
+    cfg.mean_bad = 100_ms;
+    double prev_accuracy = 0.0;
+    for (const double fidelity : {0.0, 0.5, 1.0}) {
+        GilbertElliott ch(cfg, sim::Random(41));
+        NoisyOraclePredictor p(fidelity, sim::Random(43));
+        Time t = Time::zero();
+        for (int i = 0; i < 4000; ++i) {
+            t += 60_ms;  // fast channel -> last-value is weak
+            const bool truth = ch.state_at(t) == ChannelState::good;
+            p.set_truth(truth);
+            p.observe_and_score(truth);
+        }
+        EXPECT_GE(p.accuracy(), prev_accuracy - 0.02);
+        prev_accuracy = p.accuracy();
+    }
+    EXPECT_GT(prev_accuracy, 0.99);  // full-fidelity oracle is near perfect
+}
+
+}  // namespace
+}  // namespace wlanps::channel

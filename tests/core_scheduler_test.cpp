@@ -1,0 +1,159 @@
+/// Tests for the Hotspot burst schedulers (EDF, WFQ, RR, FP, FIFO).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/scheduler.hpp"
+#include "sim/assert.hpp"
+#include "sim/random.hpp"
+
+namespace wlanps::core {
+namespace {
+
+using namespace time_literals;
+
+BurstRequest req(ClientId client, Time deadline, double weight = 1.0, int priority = 1,
+                 Time created = Time::zero(), DataSize size = DataSize::from_kilobytes(48)) {
+    BurstRequest r;
+    r.client = client;
+    r.size = size;
+    r.deadline = deadline;
+    r.weight = weight;
+    r.priority = priority;
+    r.created_at = created;
+    return r;
+}
+
+TEST(EdfTest, PicksEarliestDeadline) {
+    EdfScheduler edf;
+    std::vector<BurstRequest> pending = {req(1, 5_s), req(2, 2_s), req(3, 8_s)};
+    EXPECT_EQ(edf.pick(pending, Time::zero()), 1u);
+}
+
+TEST(EdfTest, TieBreaksFifo) {
+    EdfScheduler edf;
+    std::vector<BurstRequest> pending = {req(1, 5_s, 1.0, 1, 2_ms), req(2, 5_s, 1.0, 1, 1_ms)};
+    EXPECT_EQ(edf.pick(pending, Time::zero()), 1u);  // created earlier
+}
+
+TEST(FifoTest, PicksOldest) {
+    FifoScheduler fifo;
+    std::vector<BurstRequest> pending = {req(1, 1_s, 1.0, 1, 3_ms), req(2, 9_s, 1.0, 1, 1_ms),
+                                         req(3, 5_s, 1.0, 1, 2_ms)};
+    EXPECT_EQ(fifo.pick(pending, Time::zero()), 1u);
+}
+
+TEST(FixedPriorityTest, LowerValueWins) {
+    FixedPriorityScheduler fp;
+    std::vector<BurstRequest> pending = {req(1, 1_s, 1.0, 2), req(2, 9_s, 1.0, 0),
+                                         req(3, 5_s, 1.0, 1)};
+    EXPECT_EQ(fp.pick(pending, Time::zero()), 1u);
+}
+
+TEST(FixedPriorityTest, FifoWithinPriority) {
+    FixedPriorityScheduler fp;
+    std::vector<BurstRequest> pending = {req(1, 1_s, 1.0, 1, 5_ms), req(2, 1_s, 1.0, 1, 2_ms)};
+    EXPECT_EQ(fp.pick(pending, Time::zero()), 1u);
+}
+
+TEST(RoundRobinTest, CyclesThroughClients) {
+    RoundRobinScheduler rr;
+    std::vector<BurstRequest> pending = {req(1, 1_s), req(2, 1_s), req(3, 1_s)};
+    std::vector<ClientId> served;
+    for (int round = 0; round < 6; ++round) {
+        const std::size_t i = rr.pick(pending, Time::zero());
+        served.push_back(pending[i].client);
+        rr.on_dispatch(pending[i], 1_ms);
+    }
+    EXPECT_EQ(served, (std::vector<ClientId>{1, 2, 3, 1, 2, 3}));
+}
+
+TEST(RoundRobinTest, SkipsAbsentClients) {
+    RoundRobinScheduler rr;
+    std::vector<BurstRequest> pending = {req(1, 1_s), req(5, 1_s)};
+    rr.on_dispatch(req(1, 1_s), 1_ms);  // last served = 1
+    EXPECT_EQ(pending[rr.pick(pending, Time::zero())].client, 5u);
+    rr.on_dispatch(req(5, 1_s), 1_ms);
+    EXPECT_EQ(pending[rr.pick(pending, Time::zero())].client, 1u);  // wraps
+}
+
+TEST(WfqTest, EqualWeightsAlternate) {
+    WfqScheduler wfq;
+    std::vector<BurstRequest> a = {req(1, 1_s), req(2, 1_s)};
+    std::vector<ClientId> served;
+    for (int i = 0; i < 4; ++i) {
+        const std::size_t k = wfq.pick(a, Time::zero());
+        served.push_back(a[k].client);
+        wfq.on_dispatch(a[k], 1_ms);
+    }
+    // With equal weights no client is served twice more than the other.
+    const int c1 = static_cast<int>(std::count(served.begin(), served.end(), 1u));
+    EXPECT_EQ(c1, 2);
+}
+
+TEST(WfqTest, HigherWeightGetsMoreService) {
+    WfqScheduler wfq;
+    // Client 1 weight 3, client 2 weight 1; both always have a burst.
+    std::vector<ClientId> served;
+    for (int i = 0; i < 8; ++i) {
+        std::vector<BurstRequest> pending = {req(1, 1_s, 3.0), req(2, 1_s, 1.0)};
+        const std::size_t k = wfq.pick(pending, Time::zero());
+        served.push_back(pending[k].client);
+        wfq.on_dispatch(pending[k], 1_ms);
+    }
+    const auto c1 = std::count(served.begin(), served.end(), 1u);
+    EXPECT_EQ(c1, 6);  // 3:1 split of 8 dispatches
+}
+
+TEST(WfqTest, ZeroWeightThrows) {
+    WfqScheduler wfq;
+    std::vector<BurstRequest> pending = {req(1, 1_s, 0.0)};
+    EXPECT_THROW((void)wfq.pick(pending, Time::zero()), ContractViolation);
+}
+
+TEST(SchedulerFactoryTest, AllNamesResolve) {
+    for (const std::string name : {"edf", "wfq", "round-robin", "fixed-priority", "fifo"}) {
+        const auto s = make_scheduler(name);
+        ASSERT_NE(s, nullptr);
+        EXPECT_EQ(s->name(), name);
+    }
+    EXPECT_THROW((void)make_scheduler("lottery"), ContractViolation);
+}
+
+TEST(SchedulerTest, EmptyPendingThrows) {
+    EdfScheduler edf;
+    std::vector<BurstRequest> empty;
+    EXPECT_THROW((void)edf.pick(empty, Time::zero()), ContractViolation);
+}
+
+/// Property: every scheduler returns a valid index for arbitrary pendings.
+class SchedulerProperty : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(SchedulerProperty, AlwaysPicksValidIndex) {
+    const auto scheduler = make_scheduler(GetParam());
+    sim::Random rng(777);
+    for (int trial = 0; trial < 200; ++trial) {
+        std::vector<BurstRequest> pending;
+        const auto n = static_cast<std::size_t>(rng.uniform_int(1, 12));
+        for (std::size_t i = 0; i < n; ++i) {
+            pending.push_back(req(static_cast<ClientId>(rng.uniform_int(1, 6)),
+                                  Time::from_ms(rng.uniform_int(1, 10000)),
+                                  rng.uniform(0.1, 5.0), static_cast<int>(rng.uniform_int(0, 3)),
+                                  Time::from_ms(rng.uniform_int(0, 1000))));
+        }
+        const std::size_t k = scheduler->pick(pending, Time::from_seconds(1));
+        ASSERT_LT(k, pending.size());
+        scheduler->on_dispatch(pending[k], 10_ms);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSchedulers, SchedulerProperty,
+                         ::testing::Values("edf", "wfq", "round-robin", "fixed-priority",
+                                           "fifo"));
+
+}  // namespace
+}  // namespace wlanps::core

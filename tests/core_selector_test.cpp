@@ -1,0 +1,191 @@
+/// Tests for burst channels and the interface selector.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "bt/piconet.hpp"
+#include "core/burst_channel.hpp"
+#include "core/selector.hpp"
+#include "sim/assert.hpp"
+#include "sim/simulator.hpp"
+
+namespace wlanps::core {
+namespace {
+
+using namespace time_literals;
+using phy::calibration::kMp3Rate;
+
+struct ChannelFixture {
+    sim::Simulator sim;
+    sim::Random root{61};
+    phy::WlanNic wlan_nic{sim, phy::WlanNicConfig{}, phy::WlanNic::State::idle};
+    std::unique_ptr<channel::WirelessLink> wlan_link;
+    std::unique_ptr<WlanBurstChannel> wlan;
+
+    bt::Piconet piconet{sim, bt::PiconetConfig{}, sim::Random(62)};
+    bt::BtSlave slave{sim, phy::BtNicConfig{}, phy::BtNic::State::active};
+    bt::SlaveId sid;
+    std::unique_ptr<BtBurstChannel> bt;
+
+    ChannelFixture() {
+        wlan_link = std::make_unique<channel::WirelessLink>(channel::GilbertElliottConfig{},
+                                                            root.fork(1));
+        wlan = std::make_unique<WlanBurstChannel>(sim, wlan_nic, wlan_link.get());
+        sid = piconet.join(slave);
+        bt = std::make_unique<BtBurstChannel>(piconet, sid, slave);
+    }
+};
+
+TEST(BurstChannelTest, WlanTransferDeliversProgressively) {
+    ChannelFixture f;
+    DataSize seen;
+    f.wlan->set_delivery_sink([&](DataSize s) { seen += s; });
+    BurstChannel::Result result;
+    f.wlan->transfer(DataSize::from_kilobytes(16), [&](const BurstChannel::Result& r) {
+        result = r;
+    });
+    EXPECT_TRUE(f.wlan->busy());
+    f.sim.run();
+    EXPECT_TRUE(result.ok);
+    EXPECT_EQ(result.delivered, DataSize::from_kilobytes(16));
+    EXPECT_EQ(seen, DataSize::from_kilobytes(16));
+    EXPECT_FALSE(f.wlan->busy());
+    // Elapsed consistent with the channel's advertised goodput.
+    const double expected_s =
+        static_cast<double>(DataSize::from_kilobytes(16).bits()) / f.wlan->goodput().bps();
+    EXPECT_NEAR(result.elapsed.to_seconds(), expected_s, expected_s * 0.1);
+}
+
+TEST(BurstChannelTest, WlanGoodputAccountsOverheads) {
+    ChannelFixture f;
+    // Must be well below the 11 Mb/s PHY rate but above half of it.
+    EXPECT_LT(f.wlan->goodput().mbps(), 11.0);
+    EXPECT_GT(f.wlan->goodput().mbps(), 5.5);
+}
+
+TEST(BurstChannelTest, WlanRequiresAwakeNic) {
+    ChannelFixture f;
+    f.wlan_nic.deep_sleep();
+    f.sim.run();
+    EXPECT_THROW(f.wlan->transfer(DataSize::from_bytes(100), {}), ContractViolation);
+}
+
+TEST(BurstChannelTest, WlanRetriesExhaustIntoLoss) {
+    sim::Simulator sim;
+    phy::WlanNic nic(sim, phy::WlanNicConfig{}, phy::WlanNic::State::idle);
+    channel::GilbertElliottConfig dead;
+    dead.ber_good = dead.ber_bad = 0.01;  // everything fails
+    channel::WirelessLink link(dead, sim::Random(63));
+    WlanBurstChannel ch(sim, nic, &link);
+    BurstChannel::Result result;
+    ch.transfer(DataSize::from_bytes(1500), [&](const BurstChannel::Result& r) { result = r; });
+    sim.run();
+    EXPECT_FALSE(result.ok);
+    EXPECT_EQ(result.lost, DataSize::from_bytes(1500));
+}
+
+TEST(BurstChannelTest, BtTransferFeedsSink) {
+    ChannelFixture f;
+    DataSize seen;
+    f.bt->set_delivery_sink([&](DataSize s) { seen += s; });
+    BurstChannel::Result result;
+    f.bt->transfer(DataSize::from_kilobytes(8), [&](const BurstChannel::Result& r) {
+        result = r;
+    });
+    f.sim.run();
+    EXPECT_TRUE(result.ok);
+    EXPECT_EQ(seen, DataSize::from_kilobytes(8));
+    EXPECT_NEAR(f.bt->goodput().kbps(), 723.2, 0.1);
+}
+
+TEST(BurstChannelTest, InterfacesReportThemselves) {
+    ChannelFixture f;
+    EXPECT_EQ(f.wlan->interface(), phy::Interface::wlan);
+    EXPECT_EQ(f.bt->interface(), phy::Interface::bluetooth);
+    EXPECT_EQ(&f.wlan->wnic(), static_cast<phy::Wnic*>(&f.wlan_nic));
+}
+
+TEST(SelectorTest, PredictedPowerPrefersBtAtAudioRates) {
+    ChannelFixture f;
+    const DataSize burst = DataSize::from_kilobytes(48);
+    const auto p_wlan = InterfaceSelector::predicted_power(*f.wlan, kMp3Rate, burst);
+    const auto p_bt = InterfaceSelector::predicted_power(*f.bt, kMp3Rate, burst);
+    EXPECT_LT(p_bt, p_wlan);
+}
+
+TEST(SelectorTest, PredictedPowerPrefersWlanForHugeBursts) {
+    ChannelFixture f;
+    const DataSize burst = DataSize::from_kilobytes(384);
+    const auto p_wlan = InterfaceSelector::predicted_power(*f.wlan, kMp3Rate, burst);
+    const auto p_bt = InterfaceSelector::predicted_power(*f.bt, kMp3Rate, burst);
+    EXPECT_LT(p_wlan, p_bt);  // long off periods amortize the 300 ms resume
+}
+
+TEST(SelectorTest, InfeasibleRateFallsBackToUpperBound) {
+    ChannelFixture f;
+    // 2 Mb/s stream exceeds BT goodput: predicted power = active power.
+    const auto p = InterfaceSelector::predicted_power(*f.bt, Rate::from_mbps(2),
+                                                      DataSize::from_kilobytes(48));
+    EXPECT_EQ(p, f.bt->wnic().active_power());
+}
+
+TEST(SelectorTest, FeasibilityChecksQualityAndRate) {
+    ChannelFixture f;
+    InterfaceSelector selector(SelectorConfig{});
+    EXPECT_TRUE(selector.feasible(*f.bt, kMp3Rate, Time::zero()));
+    EXPECT_FALSE(selector.feasible(*f.bt, Rate::from_mbps(1), Time::zero()));  // rate margin
+    // Degrade the BT link below the quality threshold.
+    channel::ScriptedQuality script;
+    script.add_point(1_ms, 0.1);
+    f.piconet.set_link(f.sid, channel::GilbertElliottConfig{}, f.root.fork(9));
+    f.piconet.set_link_script(f.sid, script);
+    EXPECT_FALSE(selector.feasible(*f.bt, kMp3Rate, 1_s));
+}
+
+TEST(SelectorTest, SelectsBtThenSwitchesOnDegradation) {
+    ChannelFixture f;
+    f.piconet.set_link(f.sid, channel::GilbertElliottConfig{}, f.root.fork(9));
+    InterfaceSelector selector(SelectorConfig{});
+    std::vector<BurstChannel*> channels = {f.wlan.get(), f.bt.get()};
+    const DataSize burst = DataSize::from_kilobytes(48);
+
+    const std::size_t first = selector.select(channels, kMp3Rate, burst, Time::zero(),
+                                              channels.size());
+    EXPECT_EQ(first, 1u);  // BT
+
+    // Degrade BT: selection must move to WLAN.
+    channel::ScriptedQuality script;
+    script.add_point(1_s, 1.0);
+    script.add_point(2_s, 0.1);
+    f.piconet.set_link_script(f.sid, script);
+    const std::size_t after = selector.select(channels, kMp3Rate, burst, 3_s, first);
+    EXPECT_EQ(after, 0u);  // WLAN
+}
+
+TEST(SelectorTest, HysteresisPreventsFlapping) {
+    ChannelFixture f;
+    SelectorConfig cfg;
+    cfg.switch_gain = 100.0;  // absurdly sticky
+    InterfaceSelector selector(cfg);
+    std::vector<BurstChannel*> channels = {f.wlan.get(), f.bt.get()};
+    // Currently on WLAN; BT is cheaper but not 100x cheaper -> stay.
+    const std::size_t pick = selector.select(channels, kMp3Rate,
+                                             DataSize::from_kilobytes(48), Time::zero(), 0);
+    EXPECT_EQ(pick, 0u);
+}
+
+TEST(SelectorTest, NothingFeasiblePicksBestQuality) {
+    ChannelFixture f;
+    InterfaceSelector selector(SelectorConfig{});
+    std::vector<BurstChannel*> channels = {f.bt.get()};
+    // 2 Mb/s stream is infeasible on BT, but BT is all there is.
+    const std::size_t pick = selector.select(channels, Rate::from_mbps(2),
+                                             DataSize::from_kilobytes(48), Time::zero(),
+                                             channels.size());
+    EXPECT_EQ(pick, 0u);
+}
+
+}  // namespace
+}  // namespace wlanps::core

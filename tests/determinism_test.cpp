@@ -1,0 +1,65 @@
+/// Determinism tests: every scenario runner must be bit-reproducible for
+/// a fixed seed (the benches' tables regenerate exactly), and sensitive
+/// to the seed (we are not accidentally ignoring the RNG).
+
+#include <gtest/gtest.h>
+
+#include "core/scenarios.hpp"
+
+namespace wlanps::core::scenarios {
+namespace {
+
+StreamConfig quick(std::uint64_t seed) {
+    StreamConfig config;
+    config.clients = 2;
+    config.duration = Time::from_seconds(45);
+    config.seed = seed;
+    return config;
+}
+
+void expect_identical(const ScenarioResult& a, const ScenarioResult& b) {
+    ASSERT_EQ(a.clients.size(), b.clients.size()) << a.label;
+    for (std::size_t i = 0; i < a.clients.size(); ++i) {
+        EXPECT_DOUBLE_EQ(a.clients[i].wnic_average.watts(), b.clients[i].wnic_average.watts())
+            << a.label << " client " << i;
+        EXPECT_EQ(a.clients[i].received, b.clients[i].received) << a.label << " client " << i;
+        EXPECT_EQ(a.clients[i].underruns, b.clients[i].underruns) << a.label;
+    }
+}
+
+TEST(DeterminismTest, WlanCam) {
+    expect_identical(run_wlan_cam(quick(9)), run_wlan_cam(quick(9)));
+}
+
+TEST(DeterminismTest, WlanPsm) {
+    expect_identical(run_wlan_psm(quick(9)), run_wlan_psm(quick(9)));
+}
+
+TEST(DeterminismTest, EcMac) {
+    expect_identical(run_ecmac(quick(9)), run_ecmac(quick(9)));
+}
+
+TEST(DeterminismTest, BtActive) {
+    expect_identical(run_bt_active(quick(9)), run_bt_active(quick(9)));
+}
+
+TEST(DeterminismTest, Hotspot) {
+    expect_identical(run_hotspot(quick(9), HotspotOptions{}),
+                     run_hotspot(quick(9), HotspotOptions{}));
+}
+
+TEST(DeterminismTest, HotspotMixed) {
+    expect_identical(run_hotspot_mixed(quick(9), HotspotOptions{}, MixedWorkload{}),
+                     run_hotspot_mixed(quick(9), HotspotOptions{}, MixedWorkload{}));
+}
+
+TEST(DeterminismTest, SeedActuallyMatters) {
+    // The stochastic parts (backoffs, channel realizations) must differ
+    // across seeds in at least one scenario metric.
+    const auto a = run_wlan_psm(quick(1));
+    const auto b = run_wlan_psm(quick(2));
+    EXPECT_NE(a.clients[0].wnic_average.watts(), b.clients[0].wnic_average.watts());
+}
+
+}  // namespace
+}  // namespace wlanps::core::scenarios

@@ -1,0 +1,179 @@
+/// End-to-end integration tests: the paper's headline results must hold
+/// for the assembled system (these are the assertions behind Figure 2,
+/// Figure 1, and the switching scenario).
+
+#include <gtest/gtest.h>
+
+#include "core/scenarios.hpp"
+
+namespace wlanps::core::scenarios {
+namespace {
+
+/// Short-run config shared by the integration tests (we assert shapes,
+/// which already hold at 60-120 s).
+StreamConfig quick(int clients = 3) {
+    StreamConfig cfg;
+    cfg.clients = clients;
+    cfg.duration = Time::from_seconds(90);
+    return cfg;
+}
+
+TEST(Figure2Integration, PowerOrderingMatchesPaper) {
+    const auto cfg = quick();
+    const auto cam = run_wlan_cam(cfg);
+    const auto psm = run_wlan_psm(cfg);
+    const auto bt = run_bt_active(cfg);
+    const auto hotspot = run_hotspot(cfg, HotspotOptions{});
+
+    // The Figure 2 ordering: CAM >> PSM > BT-active > Hotspot.
+    EXPECT_GT(cam.mean_wnic().watts(), psm.mean_wnic().watts() * 2.5);
+    EXPECT_GT(psm.mean_wnic().watts(), bt.mean_wnic().watts());
+    EXPECT_GT(bt.mean_wnic().watts(), hotspot.mean_wnic().watts() * 2.0);
+}
+
+TEST(Figure2Integration, HotspotSavesAtLeast90PercentWnicPower) {
+    const auto cfg = quick();
+    const auto cam = run_wlan_cam(cfg);
+    const auto hotspot = run_hotspot(cfg, HotspotOptions{});
+    const double saving = 1.0 - hotspot.mean_wnic() / cam.mean_wnic();
+    EXPECT_GT(saving, 0.90);  // paper reports ~0.97
+    EXPECT_LT(saving, 1.00);
+}
+
+TEST(Figure2Integration, QosMaintainedEverywhere) {
+    const auto cfg = quick();
+    for (const auto& result :
+         {run_wlan_cam(cfg), run_wlan_psm(cfg), run_bt_active(cfg),
+          run_hotspot(cfg, HotspotOptions{})}) {
+        EXPECT_DOUBLE_EQ(result.min_qos(), 1.0) << result.label;
+        for (const auto& c : result.clients) EXPECT_EQ(c.underruns, 0u) << result.label;
+    }
+}
+
+TEST(Figure2Integration, AllClientsTreatedEqually) {
+    const auto hotspot = run_hotspot(quick(), HotspotOptions{});
+    ASSERT_EQ(hotspot.clients.size(), 3u);
+    const double p0 = hotspot.clients[0].wnic_average.watts();
+    for (const auto& c : hotspot.clients) {
+        EXPECT_NEAR(c.wnic_average.watts(), p0, p0 * 0.1);
+        EXPECT_GT(c.received.bytes(), DataSize::from_kilobytes(1000).bytes());
+    }
+}
+
+TEST(Figure2Integration, DevicePowerIncludesPlatformBase) {
+    const auto hotspot = run_hotspot(quick(1), HotspotOptions{});
+    const auto& c = hotspot.clients.front();
+    EXPECT_NEAR(c.device_average.watts(),
+                c.wnic_average.watts() + phy::calibration::kIpaqBase.watts(), 1e-9);
+}
+
+TEST(Figure1Integration, ScheduleTracesShowBurstsAndSleep) {
+    StreamConfig cfg = quick();
+    cfg.duration = Time::from_seconds(16);
+    HotspotOptions options;
+    bool checked = false;
+    options.inspect = [&](sim::Simulator& sim, HotspotServer& server,
+                          std::vector<HotspotClient*>& clients) {
+        checked = true;
+        EXPECT_GT(server.total_bursts(), 6u);
+        for (HotspotClient* c : clients) {
+            auto trace = c->transfer_trace();
+            trace.finish(sim.now());
+            // The client alternates: at least 2 bursts and 2 idle gaps.
+            std::size_t bursts = 0, idles = 0;
+            for (const auto& span : trace.spans()) {
+                if (span.label == "burst") ++bursts;
+                if (span.label == "idle") ++idles;
+            }
+            EXPECT_GE(bursts, 2u);
+            EXPECT_GE(idles, 2u);
+            // Bursts are a small fraction of the timeline (sleep dominates).
+            Time burst_time = Time::zero();
+            for (const auto& span : trace.spans()) {
+                if (span.label == "burst") burst_time += span.end - span.begin;
+            }
+            EXPECT_LT(burst_time / sim.now(), 0.4);
+        }
+    };
+    (void)run_hotspot(cfg, options);
+    EXPECT_TRUE(checked);
+}
+
+TEST(SwitchingIntegration, DegradedBtHandsOverToWlanSeamlessly) {
+    StreamConfig cfg = quick(1);
+    cfg.duration = Time::from_seconds(120);
+    channel::ScriptedQuality script;
+    script.add_point(Time::from_seconds(40), 1.0);
+    script.add_point(Time::from_seconds(50), 0.1);
+    script.add_point(Time::from_seconds(120), 0.1);
+    HotspotOptions options;
+    options.bt_quality_script = script;
+    std::uint64_t switches = 0;
+    std::size_t final_channel = 99;
+    options.inspect = [&](sim::Simulator&, HotspotServer& server,
+                          std::vector<HotspotClient*>&) {
+        switches = server.report(1).interface_switches;
+        final_channel = server.report(1).current_channel;
+    };
+    const auto result = run_hotspot(cfg, options);
+    EXPECT_GE(switches, 1u);
+    EXPECT_EQ(final_channel, 0u);  // WLAN (registration order)
+    EXPECT_DOUBLE_EQ(result.min_qos(), 1.0);  // seamless
+}
+
+TEST(BurstSizeIntegration, LargerBurstsDoNotHurtQos) {
+    for (const double kb : {16.0, 96.0}) {
+        StreamConfig cfg = quick();
+        HotspotOptions options;
+        options.target_burst = DataSize::from_kilobytes(kb);
+        const auto result = run_hotspot(cfg, options);
+        EXPECT_DOUBLE_EQ(result.min_qos(), 1.0) << kb << " KB bursts";
+    }
+}
+
+TEST(EcMacIntegration, SitsBetweenPsmAndHotspot) {
+    const auto cfg = quick();
+    const auto psm = run_wlan_psm(cfg);
+    const auto ecmac = run_ecmac(cfg);
+    EXPECT_LT(ecmac.mean_wnic().watts(), psm.mean_wnic().watts());
+    EXPECT_DOUBLE_EQ(ecmac.min_qos(), 1.0);
+}
+
+TEST(PsmIntegration, AggregationSavesEnergy) {
+    const auto cfg = quick();
+    PsmOptions plain;
+    PsmOptions agg;
+    agg.aggregate_limit = 8;
+    EXPECT_LT(run_wlan_psm(cfg, agg).mean_wnic().watts(),
+              run_wlan_psm(cfg, plain).mean_wnic().watts());
+}
+
+TEST(ReproducibilityIntegration, SameSeedSameResult) {
+    const auto a = run_hotspot(quick(), HotspotOptions{});
+    const auto b = run_hotspot(quick(), HotspotOptions{});
+    ASSERT_EQ(a.clients.size(), b.clients.size());
+    for (std::size_t i = 0; i < a.clients.size(); ++i) {
+        EXPECT_DOUBLE_EQ(a.clients[i].wnic_average.watts(), b.clients[i].wnic_average.watts());
+        EXPECT_EQ(a.clients[i].received, b.clients[i].received);
+    }
+}
+
+TEST(ReproducibilityIntegration, DifferentSeedDifferentRealization) {
+    auto cfg_a = quick();
+    auto cfg_b = quick();
+    cfg_b.seed = 4242;
+    const auto a = run_wlan_psm(cfg_a);
+    const auto b = run_wlan_psm(cfg_b);
+    // Different random realizations (backoffs, channel) -> different power.
+    EXPECT_NE(a.clients[0].wnic_average.watts(), b.clients[0].wnic_average.watts());
+}
+
+TEST(ScenarioValidation, InvalidOptionsThrow) {
+    HotspotOptions neither;
+    neither.wlan_available = false;
+    neither.bt_available = false;
+    EXPECT_THROW((void)run_hotspot(quick(), neither), ContractViolation);
+}
+
+}  // namespace
+}  // namespace wlanps::core::scenarios

@@ -1,0 +1,313 @@
+/// Tests for the link-layer protocols: ARQ variants, FEC, hybrid, adaptive.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <string>
+
+#include "channel/predictor.hpp"
+#include "link/adaptive_mtu.hpp"
+#include "link/arq.hpp"
+#include "link/fec.hpp"
+#include "sim/assert.hpp"
+
+namespace wlanps::link {
+namespace {
+
+using namespace time_literals;
+
+channel::GilbertElliottConfig clean_channel() {
+    channel::GilbertElliottConfig cfg;
+    cfg.ber_good = 0.0;
+    cfg.ber_bad = 0.0;
+    return cfg;
+}
+
+channel::GilbertElliottConfig noisy_channel(double bad_ber) {
+    channel::GilbertElliottConfig cfg;
+    cfg.mean_good = 100_ms;
+    cfg.mean_bad = 100_ms;
+    cfg.ber_good = bad_ber / 100.0;
+    cfg.ber_bad = bad_ber;
+    return cfg;
+}
+
+const DataSize kMessage = DataSize::from_kilobytes(32);
+
+TEST(ArqTest, CleanChannelOneTransmissionPerFrame) {
+    LinkConfig cfg;
+    StopAndWaitArq sw(cfg);
+    channel::GilbertElliott ch(clean_channel(), sim::Random(1));
+    const auto r = sw.transfer(ch, Time::zero(), kMessage);
+    EXPECT_TRUE(r.delivered);
+    EXPECT_EQ(r.useful, kMessage);
+    EXPECT_EQ(r.transmissions, 32);  // 32 KB / 1 KB MTU
+    // On-air = payload + headers + acks.
+    const DataSize expected = kMessage + DataSize::from_bytes(32 * (16 + 8));
+    EXPECT_EQ(r.on_air, expected);
+    EXPECT_GT(r.energy.joules(), 0.0);
+}
+
+TEST(ArqTest, EnergyPerBitFiniteOnlyWhenDelivered) {
+    LinkConfig cfg;
+    cfg.retry_limit = 1;
+    StopAndWaitArq sw(cfg);
+    channel::GilbertElliottConfig dead;
+    dead.ber_good = dead.ber_bad = 0.01;  // nothing survives
+    channel::GilbertElliott ch(dead, sim::Random(2));
+    const auto r = sw.transfer(ch, Time::zero(), kMessage);
+    EXPECT_FALSE(r.delivered);
+    EXPECT_TRUE(std::isinf(r.energy_per_useful_bit()));
+    EXPECT_DOUBLE_EQ(r.goodput_bps(), 0.0);
+}
+
+TEST(ArqTest, RetriesRaiseCostWithBer) {
+    LinkConfig cfg;
+    StopAndWaitArq sw(cfg);
+    channel::GilbertElliott low(noisy_channel(1e-5), sim::Random(3));
+    channel::GilbertElliott high(noisy_channel(5e-4), sim::Random(3));
+    const auto r_low = sw.transfer(low, Time::zero(), kMessage);
+    const auto r_high = sw.transfer(high, Time::zero(), kMessage);
+    ASSERT_TRUE(r_low.delivered);
+    ASSERT_TRUE(r_high.delivered);
+    EXPECT_GT(r_high.transmissions, r_low.transmissions);
+    EXPECT_GT(r_high.energy_per_useful_bit(), r_low.energy_per_useful_bit());
+}
+
+TEST(ArqTest, GoBackNPaysWindowPenalty) {
+    LinkConfig cfg;
+    cfg.window = 8;
+    GoBackNArq gbn(cfg);
+    SelectiveRepeatArq sr(cfg);
+    channel::GilbertElliott ch1(noisy_channel(3e-4), sim::Random(5));
+    channel::GilbertElliott ch2(noisy_channel(3e-4), sim::Random(5));  // same realization
+    const auto r_gbn = gbn.transfer(ch1, Time::zero(), kMessage);
+    const auto r_sr = sr.transfer(ch2, Time::zero(), kMessage);
+    ASSERT_TRUE(r_gbn.delivered);
+    ASSERT_TRUE(r_sr.delivered);
+    // GBN retransmits whole windows: strictly more on-air data.
+    EXPECT_GT(r_gbn.on_air, r_sr.on_air);
+}
+
+TEST(ArqTest, SelectiveRepeatBeatsStopAndWaitInTime) {
+    LinkConfig cfg;
+    SelectiveRepeatArq sr(cfg);
+    StopAndWaitArq sw(cfg);
+    channel::GilbertElliott ch1(clean_channel(), sim::Random(7));
+    channel::GilbertElliott ch2(clean_channel(), sim::Random(7));
+    const auto r_sr = sr.transfer(ch1, Time::zero(), kMessage);
+    const auto r_sw = sw.transfer(ch2, Time::zero(), kMessage);
+    // SW acks every frame with a turnaround; SR acks once per window.
+    EXPECT_LT(r_sr.elapsed, r_sw.elapsed);
+}
+
+TEST(FecCodeTest, BlockFailureProbabilityMonotone) {
+    const FecCode code{1023, 923, 10};
+    double prev = 0.0;
+    for (double ber : {1e-6, 1e-5, 1e-4, 1e-3, 1e-2}) {
+        const double p = code.block_failure_probability(ber);
+        EXPECT_GE(p, prev - 1e-12);  // tolerate round-off dust near zero
+        EXPECT_GE(p, 0.0);
+        EXPECT_LE(p, 1.0);
+        prev = p;
+    }
+}
+
+TEST(FecCodeTest, StrongerCodeFailsLess) {
+    const FecCode strong{1023, 923, 10};
+    const FecCode weak{255, 239, 2};
+    const double ber = 3e-3;
+    EXPECT_LT(strong.block_failure_probability(ber), weak.block_failure_probability(ber));
+}
+
+TEST(FecCodeTest, CorrectsUpToTErrorsInExpectation) {
+    // With n*ber << t the failure probability is negligible.
+    const FecCode code{1023, 923, 10};
+    EXPECT_LT(code.block_failure_probability(1e-4), 1e-6);  // ~0.1 errors/block
+    // With n*ber >> t it fails almost surely.
+    EXPECT_GT(code.block_failure_probability(5e-2), 0.999);  // ~51 errors/block
+}
+
+TEST(FecCodeTest, OverheadFactor) {
+    const FecCode code{1023, 923, 10};
+    EXPECT_NEAR(code.overhead_factor(), 1023.0 / 923.0, 1e-12);
+}
+
+TEST(FecOnlyTest, AddsOverheadButNoRetries) {
+    LinkConfig cfg;
+    const FecCode code{1023, 923, 10};
+    FecOnly fec(cfg, code, sim::Random(11));
+    channel::GilbertElliott ch(clean_channel(), sim::Random(12));
+    const auto r = fec.transfer(ch, Time::zero(), kMessage);
+    EXPECT_TRUE(r.delivered);
+    EXPECT_EQ(r.transmissions, 32);
+    // On-air exceeds the plain-ARQ payload by ~n/k.
+    EXPECT_GT(r.on_air, kMessage * code.overhead_factor() * 0.99);
+}
+
+TEST(FecOnlyTest, SurvivesBerThatKillsPlainArqFrames) {
+    LinkConfig cfg;
+    cfg.retry_limit = 1;
+    const double ber = 2e-4;  // ~80% frame loss for 8000-bit frames
+    StopAndWaitArq sw(cfg);
+    FecOnly fec(cfg, FecCode{1023, 923, 10}, sim::Random(13));
+    channel::GilbertElliottConfig flat;
+    flat.ber_good = flat.ber_bad = ber;
+    channel::GilbertElliott ch1(flat, sim::Random(14));
+    channel::GilbertElliott ch2(flat, sim::Random(14));
+    const auto r_sw = sw.transfer(ch1, Time::zero(), kMessage);
+    const auto r_fec = fec.transfer(ch2, Time::zero(), kMessage);
+    EXPECT_FALSE(r_sw.delivered);   // single-shot ARQ dies
+    EXPECT_TRUE(r_fec.delivered);   // the code absorbs ~1.6 errors/block
+}
+
+TEST(HybridArqTest, DeliversWhereBothPartsAreNeeded) {
+    LinkConfig cfg;
+    HybridArq hybrid(cfg, FecCode{255, 239, 2}, sim::Random(15));
+    channel::GilbertElliott ch(noisy_channel(1e-3), sim::Random(16));
+    const auto r = hybrid.transfer(ch, Time::zero(), kMessage);
+    EXPECT_TRUE(r.delivered);
+    EXPECT_GE(r.transmissions, 32);
+}
+
+TEST(AdaptiveArqTest, UsesFecOnlyWhenPredictedBad) {
+    LinkConfig cfg;
+    channel::LastValuePredictor predictor;
+    AdaptiveArq adaptive(cfg, FecCode{1023, 923, 10}, predictor, sim::Random(17));
+    channel::GilbertElliott clean(clean_channel(), sim::Random(18));
+    const auto r = adaptive.transfer(clean, Time::zero(), kMessage);
+    EXPECT_TRUE(r.delivered);
+    // Channel always good -> predictor always says good -> no coded frames.
+    EXPECT_EQ(adaptive.coded_frames(), 0u);
+    EXPECT_EQ(adaptive.plain_frames(), 32u);
+}
+
+TEST(AdaptiveArqTest, TracksEnvelopeOnBurstyChannel) {
+    LinkConfig cfg;
+    const FecCode code{1023, 923, 10};
+    // Long sojourns: prediction is easy, adaptation should pay off.
+    channel::GilbertElliottConfig bursty;
+    bursty.mean_good = 500_ms;
+    bursty.mean_bad = 200_ms;
+    bursty.ber_good = 1e-7;
+    bursty.ber_bad = 5e-4;
+
+    double e_sw = 0.0, e_fec = 0.0, e_adaptive = 0.0;
+    const int reps = 10;
+    sim::Random seeds(19);
+    for (int i = 0; i < reps; ++i) {
+        const auto seed = static_cast<std::uint64_t>(i);
+        StopAndWaitArq sw(cfg);
+        channel::GilbertElliott c1(bursty, seeds.fork(seed));
+        e_sw += sw.transfer(c1, Time::zero(), kMessage).energy_per_useful_bit();
+
+        FecOnly fec(cfg, code, sim::Random(20));
+        channel::GilbertElliott c2(bursty, seeds.fork(seed));
+        const auto rf = fec.transfer(c2, Time::zero(), kMessage);
+        e_fec += rf.energy.joules() / static_cast<double>(kMessage.bits());
+
+        channel::MarkovPredictor predictor;
+        AdaptiveArq adaptive(cfg, code, predictor, sim::Random(21));
+        channel::GilbertElliott c3(bursty, seeds.fork(seed));
+        e_adaptive += adaptive.transfer(c3, Time::zero(), kMessage).energy_per_useful_bit();
+    }
+    // Adaptive must not be much worse than the better of the two pure
+    // schemes (tracking the envelope within 15%).
+    EXPECT_LT(e_adaptive, std::min(e_sw, e_fec) * 1.15);
+}
+
+TEST(OptimalPayloadTest, MatchesNumericArgmax) {
+    const double h = 128.0;  // 16-byte header
+    for (const double ber : {1e-5, 1e-4, 1e-3}) {
+        const double analytic = optimal_payload_bits(ber, h);
+        // Numeric argmax of the throughput efficiency L·q^(L+h)/(L+h).
+        const double lnq = std::log1p(-ber);
+        double best_l = 1.0, best_eta = 0.0;
+        for (double l = 8.0; l < 1e6; l *= 1.02) {
+            const double eta = l * std::exp((l + h) * lnq) / (l + h);
+            if (eta > best_eta) {
+                best_eta = eta;
+                best_l = l;
+            }
+        }
+        EXPECT_NEAR(analytic, best_l, best_l * 0.03) << "ber " << ber;
+    }
+}
+
+TEST(OptimalPayloadTest, ShrinksWithBerGrowsWithHeader) {
+    EXPECT_GT(optimal_payload_bits(1e-5, 128.0), optimal_payload_bits(1e-3, 128.0));
+    EXPECT_GT(optimal_payload_bits(1e-4, 512.0), optimal_payload_bits(1e-4, 128.0));
+    // Rule of thumb sqrt(h/p) in the small-ber regime.
+    EXPECT_NEAR(optimal_payload_bits(1e-4, 128.0), std::sqrt(128.0 / 1e-4), 120.0);
+}
+
+TEST(OptimalPayloadTest, AdaptiveMtuHoversNearOptimum) {
+    // On a flat high-BER channel the MTU adapter should settle within a
+    // factor ~4 of the analytic optimum (it moves in powers of two).
+    LinkConfig cfg;
+    cfg.mtu = DataSize::from_bytes(4096);
+    AdaptiveMtuArq adaptive(cfg);
+    const double ber = 5e-4;
+    channel::GilbertElliottConfig flat;
+    flat.ber_good = flat.ber_bad = ber;
+    channel::GilbertElliott ch(flat, sim::Random(41));
+    (void)adaptive.transfer(ch, Time::zero(), DataSize::from_kilobytes(64));
+    const double optimum_bits = optimal_payload_bits(ber, 128.0);
+    const double mtu_bits = static_cast<double>(adaptive.current_mtu().bits());
+    EXPECT_GT(mtu_bits, optimum_bits / 4.0);
+    EXPECT_LT(mtu_bits, optimum_bits * 4.0);
+}
+
+TEST(TransferReportTest, GoodputComputation) {
+    TransferReport r;
+    r.delivered = true;
+    r.useful = DataSize::from_bits(1000);
+    r.elapsed = Time::from_ms(1);
+    EXPECT_NEAR(r.goodput_bps(), 1e6, 1.0);
+}
+
+TEST(LinkProtocolTest, RejectsEmptyMessage) {
+    LinkConfig cfg;
+    StopAndWaitArq sw(cfg);
+    channel::GilbertElliott ch(clean_channel(), sim::Random(23));
+    EXPECT_THROW((void)sw.transfer(ch, Time::zero(), DataSize::zero()), ContractViolation);
+}
+
+/// Property sweep: every protocol either delivers the full message or
+/// reports failure; accounting is internally consistent.
+class ProtocolInvariants : public ::testing::TestWithParam<std::string> {
+public:
+    static std::unique_ptr<LinkProtocol> make(const std::string& name, LinkConfig cfg) {
+        static channel::MarkovPredictor predictor;  // shared across cases
+        if (name == "stop-and-wait") return std::make_unique<StopAndWaitArq>(cfg);
+        if (name == "go-back-n") return std::make_unique<GoBackNArq>(cfg);
+        if (name == "selective-repeat") return std::make_unique<SelectiveRepeatArq>(cfg);
+        if (name == "fec") return std::make_unique<FecOnly>(cfg, FecCode{}, sim::Random(31));
+        if (name == "hybrid") return std::make_unique<HybridArq>(cfg, FecCode{}, sim::Random(32));
+        return std::make_unique<AdaptiveArq>(cfg, FecCode{}, predictor, sim::Random(33));
+    }
+};
+
+TEST_P(ProtocolInvariants, AccountingConsistent) {
+    LinkConfig cfg;
+    auto protocol = ProtocolInvariants::make(GetParam(), cfg);
+    channel::GilbertElliott ch(noisy_channel(2e-4), sim::Random(34));
+    const auto r = protocol->transfer(ch, Time::zero(), kMessage);
+    EXPECT_EQ(r.useful, kMessage);
+    EXPECT_GE(r.transmissions, 1);
+    EXPECT_GE(r.on_air.bits(), kMessage.bits());          // overhead only adds
+    EXPECT_GT(r.elapsed, Time::zero());
+    EXPECT_GT(r.energy.joules(), 0.0);
+    if (r.delivered) {
+        EXPECT_GT(r.goodput_bps(), 0.0);
+        EXPECT_LT(r.goodput_bps(), cfg.rate.bps());       // cannot beat the radio
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllProtocols, ProtocolInvariants,
+                         ::testing::Values("stop-and-wait", "go-back-n", "selective-repeat",
+                                           "fec", "hybrid", "adaptive"));
+
+}  // namespace
+}  // namespace wlanps::link

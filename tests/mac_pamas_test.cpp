@@ -1,0 +1,148 @@
+/// Tests for the PAMAS-style battery-aware sleeping station.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "mac/access_point.hpp"
+#include "mac/pamas.hpp"
+#include "sim/assert.hpp"
+#include "sim/simulator.hpp"
+#include "traffic/source.hpp"
+
+namespace wlanps::mac {
+namespace {
+
+using namespace time_literals;
+
+TEST(PamasStretchTest, FullBatteryNoStretch) {
+    PamasConfig cfg;
+    EXPECT_DOUBLE_EQ(pamas_stretch(cfg, 1.0), 1.0);
+}
+
+TEST(PamasStretchTest, SaturatesAtFloor) {
+    PamasConfig cfg;
+    cfg.max_stretch = 8.0;
+    cfg.floor_level = 0.10;
+    EXPECT_DOUBLE_EQ(pamas_stretch(cfg, 0.10), 8.0);
+    EXPECT_DOUBLE_EQ(pamas_stretch(cfg, 0.05), 8.0);  // below floor: clamped
+}
+
+TEST(PamasStretchTest, MonotoneInBatteryLevel) {
+    PamasConfig cfg;
+    double prev = pamas_stretch(cfg, 1.0);
+    for (double level = 0.9; level >= 0.1; level -= 0.1) {
+        const double s = pamas_stretch(cfg, level);
+        EXPECT_GT(s, prev);
+        prev = s;
+    }
+}
+
+struct PamasWorld {
+    sim::Simulator sim;
+    sim::Random root{5};
+    Bss bss{sim};
+    std::unique_ptr<AccessPoint> ap;
+    power::Battery battery;
+    std::unique_ptr<PamasStation> station;
+
+    explicit PamasWorld(power::Energy capacity = power::Energy::from_joules(200.0))
+        : battery([capacity] {
+              power::BatteryConfig b;
+              b.capacity = capacity;
+              b.rate_exponent = 0.0;
+              return b;
+          }()) {
+        AccessPointConfig cfg;
+        cfg.mode = ApMode::psm;
+        ap = std::make_unique<AccessPoint>(sim, bss, cfg, DcfConfig{}, root.fork(1));
+        station = std::make_unique<PamasStation>(sim, bss, 1, *ap, battery, PamasConfig{},
+                                                 phy::WlanNicConfig{});
+    }
+};
+
+TEST(PamasStationTest, RequiresBufferingAp) {
+    sim::Simulator sim;
+    sim::Random root(5);
+    Bss bss(sim);
+    AccessPointConfig cfg;
+    cfg.mode = ApMode::cam;
+    AccessPoint ap(sim, bss, cfg, DcfConfig{}, root.fork(1));
+    power::Battery battery(power::BatteryConfig{});
+    EXPECT_THROW(PamasStation(sim, bss, 1, ap, battery, PamasConfig{}, phy::WlanNicConfig{}),
+                 ContractViolation);
+}
+
+TEST(PamasStationTest, ReceivesBufferedTraffic) {
+    PamasWorld w;
+    w.ap->start();
+    w.station->start();
+    DataSize sent;
+    traffic::PoissonSource src(w.sim, [&](DataSize s) {
+        sent += s;
+        w.ap->send(1, s);
+    }, DataSize::from_bytes(1000), Rate::from_kbps(64), w.root.fork(2));
+    src.start();
+    w.sim.run_until(Time::from_seconds(30));
+    src.stop();
+    w.sim.run_until(Time::from_seconds(32));
+    EXPECT_GT(sent.bytes(), 0);
+    // Nearly all bytes must arrive (buffered, then flushed on wake; the
+    // flush aggregates several MSDUs per MPDU, so compare bytes).
+    EXPECT_GE(w.station->bytes_received().bytes(), sent.bytes() * 9 / 10);
+}
+
+TEST(PamasStationTest, SleepsWhenIdle) {
+    PamasWorld w;
+    w.ap->start();
+    w.station->start();
+    w.sim.run_until(Time::from_seconds(20));
+    // No traffic at all: the radio stays in doze, power ~ doze level.
+    EXPECT_LT(w.station->average_power().watts(), 0.06);
+}
+
+TEST(PamasStationTest, PeriodStretchesAsBatteryDrains) {
+    PamasWorld w(power::Energy::from_joules(50.0));  // small battery
+    w.ap->start();
+    w.station->start();
+    traffic::PoissonSource src(w.sim, [&](DataSize s) { w.ap->send(1, s); },
+                               DataSize::from_bytes(1400), Rate::from_kbps(128),
+                               w.root.fork(3));
+    src.start();
+    const Time initial_period = w.station->current_period();
+    w.sim.run_until(Time::from_seconds(120));
+    EXPECT_LT(w.battery.level(), 0.9);
+    EXPECT_GT(w.station->current_period(), initial_period);
+}
+
+TEST(PamasStationTest, DeadBatteryStopsTheRadio) {
+    PamasWorld w(power::Energy::from_joules(3.0));  // dies almost immediately
+    w.ap->start();
+    w.station->start();
+    traffic::PoissonSource src(w.sim, [&](DataSize s) { w.ap->send(1, s); },
+                               DataSize::from_bytes(1400), Rate::from_kbps(256),
+                               w.root.fork(3));
+    src.start();
+    w.sim.run_until(Time::from_seconds(300));
+    EXPECT_TRUE(w.battery.empty());
+    // Frames stop flowing once dead: buffer grows unboundedly at the AP.
+    EXPECT_GT(w.ap->buffered(1), 100u);
+}
+
+TEST(PamasStationTest, LatencyReflectsSleepCycle) {
+    PamasWorld w;
+    w.ap->start();
+    w.station->start();
+    traffic::PoissonSource src(w.sim, [&](DataSize s) { w.ap->send(1, s); },
+                               DataSize::from_bytes(1000), Rate::from_kbps(32),
+                               w.root.fork(4));
+    src.start();
+    w.sim.run_until(Time::from_seconds(60));
+    ASSERT_GT(w.station->delivery_latency().count(), 10u);
+    // Mean latency is of the order of half the base cycle period (250 ms).
+    EXPECT_GT(w.station->delivery_latency().mean(), 0.05);
+    EXPECT_LT(w.station->delivery_latency().mean(), 1.0);
+}
+
+}  // namespace
+}  // namespace wlanps::mac

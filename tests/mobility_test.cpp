@@ -1,0 +1,123 @@
+/// Tests for mobility-driven link quality.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "channel/link.hpp"
+#include "channel/mobility.hpp"
+#include "sim/assert.hpp"
+
+namespace wlanps::channel {
+namespace {
+
+using namespace time_literals;
+
+MobileLinkQuality::Config no_shadowing(PathLossConfig base, Modulation mod) {
+    MobileLinkQuality::Config cfg;
+    cfg.path_loss = base;
+    cfg.path_loss.shadowing_sigma_db = 0.0;  // deterministic for tests
+    cfg.modulation = mod;
+    return cfg;
+}
+
+TEST(TrajectoryTest, LinearWalkMovesAndClamps) {
+    const auto walk = linear_walk(10.0, 1.0);
+    EXPECT_DOUBLE_EQ(walk(Time::zero()), 10.0);
+    EXPECT_DOUBLE_EQ(walk(5_s), 15.0);
+    const auto approach = linear_walk(2.0, -1.0);
+    EXPECT_DOUBLE_EQ(approach(10_s), 0.5);  // clamped at 0.5 m
+}
+
+TEST(TrajectoryTest, DepartureDelaysMotion) {
+    const auto walk = linear_walk(10.0, 1.0, 5_s);
+    EXPECT_DOUBLE_EQ(walk(3_s), 10.0);
+    EXPECT_DOUBLE_EQ(walk(8_s), 13.0);
+}
+
+TEST(MobileLinkQualityTest, QualityFallsWithDistance) {
+    MobileLinkQuality q(no_shadowing(wlan_path_loss(), Modulation::cck11),
+                        linear_walk(5.0, 0.5), sim::Random(1));
+    const double near = q.at(Time::zero());      // 5 m
+    const double mid = q.at(Time::from_seconds(60));   // 35 m
+    const double far = q.at(Time::from_seconds(150));  // 80 m
+    EXPECT_DOUBLE_EQ(near, 1.0);
+    EXPECT_LT(far, mid);
+    EXPECT_DOUBLE_EQ(far, 0.0);
+}
+
+TEST(MobileLinkQualityTest, BluetoothRangeIsShorterThanWlan) {
+    // At the same distance, the 4 dBm BT link runs out of margin before
+    // the 15 dBm WLAN link.
+    MobileLinkQuality bt(no_shadowing(bt_path_loss(), Modulation::gfsk_bt),
+                         linear_walk(30.0, 0.0), sim::Random(2));
+    MobileLinkQuality wlan(no_shadowing(wlan_path_loss(), Modulation::cck11),
+                           linear_walk(30.0, 0.0), sim::Random(3));
+    EXPECT_LT(bt.at(Time::zero()), wlan.at(Time::zero()));
+
+    // Find each radio's quality-0 range along a slow walk outward.
+    auto range_of = [](MobileLinkQuality& q) {
+        for (int m = 1; m < 200; ++m) {
+            // Stateless here (sigma 0): rebuild time monotonic queries.
+            if (q.at(Time::from_seconds(m)) <= 0.0) return m;
+        }
+        return 200;
+    };
+    MobileLinkQuality bt_walk(no_shadowing(bt_path_loss(), Modulation::gfsk_bt),
+                              linear_walk(1.0, 1.0), sim::Random(4));
+    MobileLinkQuality wlan_walk(no_shadowing(wlan_path_loss(), Modulation::cck11),
+                                linear_walk(1.0, 1.0), sim::Random(5));
+    EXPECT_LT(range_of(bt_walk), range_of(wlan_walk));
+}
+
+TEST(MobileLinkQualityTest, DrivesWirelessLinkDelivery) {
+    GilbertElliottConfig ge;
+    ge.ber_good = ge.ber_bad = 0.0;  // isolate the quality effect
+    WirelessLink link(ge, sim::Random(6));
+    auto quality = std::make_shared<MobileLinkQuality>(
+        no_shadowing(bt_path_loss(), Modulation::gfsk_bt), linear_walk(2.0, 1.0),
+        sim::Random(7));
+    link.set_quality_function([quality](Time t) { return quality->at(t); });
+
+    // Near the AP: everything delivered.
+    int near_ok = 0;
+    for (int i = 0; i < 50; ++i) {
+        near_ok += link.transmit(Time::from_ms(i * 10), DataSize::from_bytes(339),
+                                 Rate::from_kbps(723));
+    }
+    EXPECT_EQ(near_ok, 50);
+    // 100 m out: the link is dead.
+    int far_ok = 0;
+    for (int i = 0; i < 50; ++i) {
+        far_ok += link.transmit(Time::from_seconds(100) + Time::from_ms(i * 10),
+                                DataSize::from_bytes(339), Rate::from_kbps(723));
+    }
+    EXPECT_EQ(far_ok, 0);
+    EXPECT_DOUBLE_EQ(link.quality(Time::from_seconds(200)), 0.0);
+}
+
+TEST(MobileLinkQualityTest, HeadroomScalesTheRamp) {
+    auto cfg_narrow = no_shadowing(wlan_path_loss(), Modulation::cck11);
+    cfg_narrow.headroom_db = 5.0;
+    auto cfg_wide = no_shadowing(wlan_path_loss(), Modulation::cck11);
+    cfg_wide.headroom_db = 20.0;
+    // Pick a distance inside both ramps.
+    MobileLinkQuality narrow(cfg_narrow, linear_walk(45.0, 0.0), sim::Random(8));
+    MobileLinkQuality wide(cfg_wide, linear_walk(45.0, 0.0), sim::Random(9));
+    const double qn = narrow.at(Time::zero());
+    const double qw = wide.at(Time::zero());
+    if (qn > 0.0 && qn < 1.0) {
+        EXPECT_LT(qw, qn);  // same margin is a smaller fraction of 20 dB
+    }
+}
+
+TEST(MobileLinkQualityTest, InvalidConfigThrows) {
+    EXPECT_THROW(linear_walk(0.0, 1.0), ContractViolation);
+    auto cfg = no_shadowing(wlan_path_loss(), Modulation::cck11);
+    cfg.headroom_db = 0.0;
+    EXPECT_THROW(MobileLinkQuality(cfg, linear_walk(1.0, 0.0), sim::Random(10)),
+                 ContractViolation);
+}
+
+}  // namespace
+}  // namespace wlanps::channel

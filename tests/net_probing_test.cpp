@@ -1,0 +1,108 @@
+/// Tests for TCP-Probing and the chip power model.
+
+#include <gtest/gtest.h>
+
+#include "net/probing.hpp"
+#include "power/chip_power.hpp"
+#include "sim/assert.hpp"
+
+namespace wlanps {
+namespace {
+
+using namespace time_literals;
+
+channel::GilbertElliottConfig bursty_channel() {
+    channel::GilbertElliottConfig cfg;
+    cfg.mean_good = Time::from_seconds(2);
+    cfg.mean_bad = Time::from_ms(400);
+    cfg.ber_good = 0.0;
+    cfg.ber_bad = 5e-4;  // MSS-sized segments nearly always die in bad
+    return cfg;
+}
+
+TEST(ProbingTcpTest, CleanChannelNoProbes) {
+    net::ProbingConfig cfg;
+    const net::ProbingTcpAgent agent(cfg);
+    channel::GilbertElliottConfig clean;
+    clean.ber_good = clean.ber_bad = 0.0;
+    channel::GilbertElliott ch(clean, sim::Random(1));
+    const auto r = agent.bulk_transfer(DataSize::from_kilobytes(1024), ch);
+    EXPECT_EQ(r.probe_cycles, 0);
+    EXPECT_EQ(r.probes_sent, 0);
+    EXPECT_GT(r.throughput_bps(DataSize::from_kilobytes(1024)), 1e6);
+}
+
+TEST(ProbingTcpTest, ProbesDuringBadBursts) {
+    net::ProbingConfig cfg;
+    const net::ProbingTcpAgent agent(cfg);
+    channel::GilbertElliott ch(bursty_channel(), sim::Random(2));
+    const auto r = agent.bulk_transfer(DataSize::from_kilobytes(4096), ch);
+    EXPECT_GT(r.probe_cycles, 0);
+    EXPECT_GT(r.probes_sent, r.probe_cycles);  // several probes per cycle
+}
+
+TEST(ProbingTcpTest, BeatsRenoOnBurstyChannel) {
+    net::ProbingConfig cfg;
+    const net::ProbingTcpAgent agent(cfg);
+    const DataSize payload = DataSize::from_kilobytes(4096);
+
+    channel::GilbertElliott ch1(bursty_channel(), sim::Random(3));
+    const auto probing = agent.bulk_transfer(payload, ch1);
+
+    channel::GilbertElliott ch2(bursty_channel(), sim::Random(3));
+    const auto reno = agent.reno_transfer(payload, ch2);
+
+    EXPECT_GT(probing.throughput_bps(payload), reno.throughput_bps(payload) * 1.5);
+}
+
+TEST(ProbingTcpTest, SaturatesLinkOnCleanChannel) {
+    // Probing adds nothing on a clean channel: after slow start the
+    // transfer runs at the wireless link rate (its pipe in this model).
+    net::ProbingConfig cfg;
+    const net::ProbingTcpAgent agent(cfg);
+    const DataSize payload = DataSize::from_kilobytes(4096);
+    channel::GilbertElliottConfig clean;
+    clean.ber_good = clean.ber_bad = 0.0;
+
+    channel::GilbertElliott ch(clean, sim::Random(4));
+    const auto probing = agent.bulk_transfer(payload, ch);
+    EXPECT_EQ(probing.probe_cycles, 0);
+    EXPECT_GT(probing.throughput_bps(payload), cfg.link_rate.bps() * 0.8);
+    EXPECT_LE(probing.throughput_bps(payload), cfg.link_rate.bps() * 1.01);
+}
+
+TEST(ChipPowerTest, DynamicScalesWithActivityAndCapacitance) {
+    power::ChipPowerModel chip(power::ChipPowerModel::Config{});
+    EXPECT_NEAR(chip.dynamic(0.5).watts(), chip.dynamic(1.0).watts() * 0.5, 1e-12);
+    const auto smaller = chip.with_capacitance_scaled(0.7);
+    EXPECT_NEAR(smaller.dynamic(1.0).watts(), chip.dynamic(1.0).watts() * 0.7, 1e-12);
+}
+
+TEST(ChipPowerTest, GatingSuppressesLeakage) {
+    power::ChipPowerModel chip(power::ChipPowerModel::Config{});
+    EXPECT_LT(chip.leakage(true).watts(), chip.leakage(false).watts() * 0.05);
+    // A gated chip draws only residual leakage.
+    EXPECT_EQ(chip.total(1.0, true), chip.leakage(true));
+}
+
+TEST(ChipPowerTest, TotalAddsUp) {
+    power::ChipPowerModel::Config cfg;
+    cfg.c_eff_nf = 1.0;
+    cfg.voltage = 2.0;
+    cfg.frequency_mhz = 10.0;
+    cfg.leak_current_ma = 5.0;
+    power::ChipPowerModel chip(cfg);
+    // Dynamic: 1e-9 * 4 * 1e7 = 0.04 W.  Leakage: 2 * 0.005 = 0.01 W.
+    EXPECT_NEAR(chip.dynamic().watts(), 0.04, 1e-9);
+    EXPECT_NEAR(chip.leakage().watts(), 0.01, 1e-9);
+    EXPECT_NEAR(chip.total(1.0).watts(), 0.05, 1e-9);
+}
+
+TEST(ChipPowerTest, InvalidConfigThrows) {
+    power::ChipPowerModel::Config cfg;
+    cfg.voltage = 0.0;
+    EXPECT_THROW(power::ChipPowerModel{cfg}, ContractViolation);
+}
+
+}  // namespace
+}  // namespace wlanps

@@ -1,0 +1,163 @@
+/// Tests for the transport models: TCP Reno rounds, UDP, split/snoop.
+
+#include <gtest/gtest.h>
+
+#include "net/proxy.hpp"
+#include "net/tcp.hpp"
+#include "net/udp.hpp"
+#include "sim/assert.hpp"
+
+namespace wlanps::net {
+namespace {
+
+const DataSize kPayload = DataSize::from_kilobytes(2048);
+
+TEST(TcpTest, LosslessTransferApproachesBottleneck) {
+    TcpConfig cfg;
+    const TcpAgent tcp(cfg);
+    const auto r = tcp.bulk_transfer(kPayload, [] { return true; });
+    EXPECT_EQ(r.timeouts, 0);
+    EXPECT_EQ(r.fast_retransmits, 0);
+    EXPECT_EQ(r.segments_sent, r.segments_delivered);
+    // Must reach a decent share of the 5 Mb/s bottleneck.
+    EXPECT_GT(r.throughput_bps(kPayload), 2e6);
+    EXPECT_LE(r.throughput_bps(kPayload), cfg.bottleneck.bps() * 1.01);
+}
+
+TEST(TcpTest, SlowStartDoublesWindow) {
+    TcpConfig cfg;
+    const TcpAgent tcp(cfg);
+    // Small transfer: lives entirely in slow start; rounds ~ log2(segments).
+    const DataSize small = cfg.mss * 63.0;  // 63 segments
+    const auto r = tcp.bulk_transfer(small, [] { return true; });
+    EXPECT_LE(r.rounds, 7);  // 1+2+4+8+16+32 covers 63
+}
+
+TEST(TcpTest, ThroughputMonotoneInLoss) {
+    const TcpAgent tcp(TcpConfig{});
+    double prev = 1e12;
+    for (const double loss : {0.001, 0.01, 0.05, 0.2}) {
+        const auto r = tcp.bulk_transfer(kPayload, bernoulli_loss(loss, 42));
+        const double tput = r.throughput_bps(kPayload);
+        EXPECT_LT(tput, prev);
+        prev = tput;
+    }
+}
+
+TEST(TcpTest, RandomLossTriggersCongestionReaction) {
+    const TcpAgent tcp(TcpConfig{});
+    const auto r = tcp.bulk_transfer(kPayload, bernoulli_loss(0.01, 43));
+    EXPECT_GT(r.fast_retransmits + r.timeouts, 0);
+    EXPECT_GT(r.retransmission_ratio(), 0.0);
+}
+
+TEST(TcpTest, BurstLossCausesTimeouts) {
+    // 30% loss: multiple losses per window -> RTOs dominate.
+    const TcpAgent tcp(TcpConfig{});
+    const auto r = tcp.bulk_transfer(DataSize::from_kilobytes(256), bernoulli_loss(0.3, 44));
+    EXPECT_GT(r.timeouts, 0);
+}
+
+TEST(TcpTest, InvalidConfigThrows) {
+    TcpConfig cfg;
+    cfg.rto = Time::from_ms(10);  // < rtt
+    EXPECT_THROW(TcpAgent{cfg}, ContractViolation);
+}
+
+TEST(UdpTest, DeliveryRatioMatchesLossRate) {
+    UdpConfig cfg;
+    cfg.send_rate = Rate::from_mbps(1);
+    const UdpAgent udp(cfg);
+    const auto r = udp.stream(Time::from_seconds(120), bernoulli_loss(0.1, 45));
+    EXPECT_GT(r.sent, 1000);
+    EXPECT_NEAR(r.delivery_ratio(), 0.9, 0.02);
+    EXPECT_NEAR(r.goodput_bps(cfg.datagram), 0.9e6, 0.05e6);
+}
+
+TEST(UdpTest, SendRateHonored) {
+    UdpConfig cfg;
+    cfg.send_rate = Rate::from_kbps(128);
+    cfg.datagram = DataSize::from_bytes(1472);
+    const UdpAgent udp(cfg);
+    const auto r = udp.stream(Time::from_seconds(60), [] { return true; });
+    const double sent_bps = static_cast<double>(r.sent * cfg.datagram.bits()) / 60.0;
+    EXPECT_NEAR(sent_bps, 128e3, 2e3);
+}
+
+TEST(SplitConnectionTest, LosslessMatchesWirelessStage) {
+    SplitConnectionConfig cfg;
+    const SplitConnectionProxy proxy(cfg);
+    const auto r = proxy.transfer(kPayload, [] { return true; });
+    EXPECT_TRUE(r.delivered);
+    // Pipeline bound: min(wired TCP, wireless rate) = 2 Mb/s wireless.
+    EXPECT_NEAR(r.throughput_bps(kPayload), 2e6, 0.3e6);
+}
+
+TEST(SplitConnectionTest, DegradesGracefullyVsEndToEnd) {
+    const double loss = 0.05;
+    const TcpAgent tcp(TcpConfig{});
+    const auto raw = tcp.bulk_transfer(kPayload, bernoulli_loss(loss, 46));
+    const SplitConnectionProxy proxy(SplitConnectionConfig{});
+    const auto split = proxy.transfer(kPayload, bernoulli_loss(loss, 47));
+    EXPECT_TRUE(split.delivered);
+    EXPECT_GT(split.throughput_bps(kPayload), raw.throughput_bps(kPayload) * 2.0);
+    EXPECT_GT(split.wireless_transmissions, 0);
+}
+
+TEST(SnoopTest, FilterHidesLossFromTcp) {
+    const double loss = 0.1;
+    SnoopFilter snoop(bernoulli_loss(loss, 48), /*local_retries=*/3,
+                      /*local_retry_delay=*/Time::from_ms(20));
+    auto filtered = snoop.filtered();
+    int delivered = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) delivered += filtered();
+    // Residual loss ~ p^4 = 1e-4.
+    EXPECT_GT(delivered, n - 30);
+    EXPECT_GT(snoop.local_retransmissions(), 0);
+    EXPECT_GT(snoop.local_delay(), Time::zero());
+}
+
+TEST(SnoopTest, RecoversTcpThroughput) {
+    const double loss = 0.05;
+    const TcpAgent tcp(TcpConfig{});
+    const auto raw = tcp.bulk_transfer(kPayload, bernoulli_loss(loss, 49));
+    SnoopFilter snoop(bernoulli_loss(loss, 50), 3, Time::from_ms(20));
+    auto filtered = snoop.filtered();
+    auto snooped = tcp.bulk_transfer(kPayload, filtered);
+    snooped.elapsed += snoop.local_delay();
+    EXPECT_GT(snooped.throughput_bps(kPayload), raw.throughput_bps(kPayload) * 3.0);
+}
+
+TEST(BernoulliLossTest, ExtremesAndReproducibility) {
+    auto never = bernoulli_loss(0.0, 51);
+    auto always = bernoulli_loss(1.0, 52);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_TRUE(never());
+        EXPECT_FALSE(always());
+    }
+    auto a = bernoulli_loss(0.5, 53);
+    auto b = bernoulli_loss(0.5, 53);
+    for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+/// Property sweep: split connection throughput is monotone in loss and
+/// always at least the end-to-end TCP throughput under the same loss.
+class SplitVsRaw : public ::testing::TestWithParam<double> {};
+
+TEST_P(SplitVsRaw, SplitNeverWorse) {
+    const double loss = GetParam();
+    const TcpAgent tcp(TcpConfig{});
+    const auto raw = tcp.bulk_transfer(kPayload, bernoulli_loss(loss, 54));
+    const SplitConnectionProxy proxy(SplitConnectionConfig{});
+    const auto split = proxy.transfer(kPayload, bernoulli_loss(loss, 55));
+    if (loss > 0.002) {
+        EXPECT_GE(split.throughput_bps(kPayload), raw.throughput_bps(kPayload) * 0.95);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(LossSweep, SplitVsRaw,
+                         ::testing::Values(0.005, 0.01, 0.02, 0.05, 0.1));
+
+}  // namespace
+}  // namespace wlanps::net

@@ -1,0 +1,209 @@
+/// Tests for OS-level power management: shutdown policies, idle traces,
+/// DVFS.
+
+#include <gtest/gtest.h>
+
+#include "os/dvfs.hpp"
+#include "os/idle_trace.hpp"
+#include "os/shutdown_policy.hpp"
+#include "sim/assert.hpp"
+
+namespace wlanps::os {
+namespace {
+
+using namespace time_literals;
+using power::Energy;
+using power::Power;
+
+TEST(DeviceParamsTest, BreakEvenMatchesHandMath) {
+    DeviceParams d;
+    d.idle = Power::from_watts(1.0);
+    d.sleep = Power::zero();
+    d.transition_energy = Energy::from_joules(0.5);
+    EXPECT_NEAR(d.break_even().to_seconds(), 0.5, 1e-9);
+}
+
+TEST(PolicyTest, AlwaysOnNeverSleeps) {
+    AlwaysOnPolicy p;
+    DeviceParams d;
+    const auto eval = evaluate_policy(p, d, {1_s, 10_s, 100_ms});
+    EXPECT_EQ(eval.sleeps, 0u);
+    EXPECT_EQ(eval.added_latency, Time::zero());
+    // Energy = idle power over total idle.
+    EXPECT_NEAR(eval.energy.joules(), d.idle.over(eval.total_idle).joules(), 1e-9);
+}
+
+TEST(PolicyTest, TimeoutSleepsOnlyOnLongIdles) {
+    TimeoutPolicy p(500_ms);
+    DeviceParams d;
+    const auto eval = evaluate_policy(p, d, {100_ms, 1_s, 200_ms, 2_s});
+    EXPECT_EQ(eval.sleeps, 2u);  // only the 1 s and 2 s idles
+    EXPECT_EQ(eval.added_latency, d.wake_latency * 2.0);
+}
+
+TEST(PolicyTest, TimeoutEnergyAccounting) {
+    DeviceParams d;
+    d.idle = Power::from_watts(1.0);
+    d.sleep = Power::zero();
+    d.transition_energy = Energy::from_joules(0.1);
+    TimeoutPolicy p(1_s);
+    const auto eval = evaluate_policy(p, d, {3_s});
+    // 1 s on (1 J) + transition (0.1 J) + 2 s sleeping (0 J).
+    EXPECT_NEAR(eval.energy.joules(), 1.1, 1e-9);
+}
+
+TEST(PolicyTest, OracleNeverWrong) {
+    DeviceParams d;
+    sim::Random rng(5);
+    const auto trace = bimodal_idle_trace(rng, 500, 0.7, 50_ms, 5_s);
+    OraclePolicy oracle(d);
+    const auto eval = evaluate_policy(oracle, d, trace);
+    EXPECT_EQ(eval.wrong_sleeps, 0u);
+}
+
+TEST(PolicyTest, OracleIsLowerBoundOnEnergy) {
+    DeviceParams d;
+    sim::Random rng(7);
+    const auto trace = bimodal_idle_trace(rng, 1000, 0.7, 50_ms, 5_s);
+
+    OraclePolicy oracle(d);
+    const double e_oracle = evaluate_policy(oracle, d, trace).energy.joules();
+
+    AlwaysOnPolicy always;
+    TimeoutPolicy timeout(d.break_even());
+    AdaptivePolicy adaptive(d);
+    HistoryPolicy history(d);
+    for (ShutdownPolicy* p :
+         std::initializer_list<ShutdownPolicy*>{&always, &timeout, &adaptive, &history}) {
+        EXPECT_GE(evaluate_policy(*p, d, trace).energy.joules(), e_oracle * 0.999)
+            << p->name();
+    }
+}
+
+TEST(PolicyTest, PredictivePoliciesBeatAlwaysOnOnBimodal) {
+    DeviceParams d;
+    sim::Random rng(11);
+    const auto trace = bimodal_idle_trace(rng, 1000, 0.8, 50_ms, 5_s);
+    AlwaysOnPolicy always;
+    AdaptivePolicy adaptive(d);
+    HistoryPolicy history(d);
+    const double e_always = evaluate_policy(always, d, trace).energy.joules();
+    EXPECT_LT(evaluate_policy(adaptive, d, trace).energy.joules(), e_always);
+    EXPECT_LT(evaluate_policy(history, d, trace).energy.joules(), e_always);
+}
+
+TEST(PolicyTest, AdaptiveSeedsFromFirstObservation) {
+    DeviceParams d;
+    AdaptivePolicy p(d, 0.5, 2_s);
+    EXPECT_EQ(p.decide(), 2_s);  // unseeded -> fallback
+    p.observe(10_s);
+    EXPECT_EQ(p.predicted(), 10_s);
+    EXPECT_EQ(p.decide(), Time::zero());  // predicted >> break-even
+}
+
+TEST(PolicyTest, AdaptiveEwmaConverges) {
+    DeviceParams d;
+    AdaptivePolicy p(d, 0.5, 2_s);
+    for (int i = 0; i < 20; ++i) p.observe(100_ms);
+    EXPECT_NEAR(p.predicted().to_seconds(), 0.1, 0.01);
+}
+
+TEST(PolicyTest, EvaluatorRejectsNonPositiveIdle) {
+    DeviceParams d;
+    TimeoutPolicy p(1_s);
+    EXPECT_THROW((void)evaluate_policy(p, d, {Time::zero()}), ContractViolation);
+}
+
+TEST(IdleTraceTest, ExponentialMean) {
+    sim::Random rng(13);
+    const auto trace = exponential_idle_trace(rng, 20000, 500_ms);
+    double sum = 0.0;
+    for (const Time t : trace) sum += t.to_seconds();
+    EXPECT_NEAR(sum / static_cast<double>(trace.size()), 0.5, 0.02);
+}
+
+TEST(IdleTraceTest, ParetoRespectsMinimum) {
+    sim::Random rng(17);
+    const auto trace = pareto_idle_trace(rng, 5000, 1.5, 100_ms);
+    for (const Time t : trace) EXPECT_GE(t, 100_ms);
+}
+
+TEST(IdleTraceTest, BimodalHasTwoModes) {
+    sim::Random rng(19);
+    const auto trace = bimodal_idle_trace(rng, 20000, 0.8, 50_ms, 5_s);
+    int shortish = 0, longish = 0;
+    for (const Time t : trace) {
+        if (t < 500_ms) ++shortish;
+        if (t > 2_s) ++longish;
+    }
+    EXPECT_GT(shortish, 10000);
+    EXPECT_GT(longish, 1000);
+}
+
+TEST(DvfsTest, UtilizationScalesWithFrequency) {
+    const auto cpu = DvfsCpu::xscale();
+    std::vector<PeriodicTask> tasks = {{"t", 10.0, 100_ms}};  // 10 Mcycles / 100 ms
+    // At 100 MHz: 0.1 s of work per 0.1 s -> U = 1.0.
+    EXPECT_NEAR(DvfsCpu::utilization(tasks, cpu.points().front()), 1.0, 1e-9);
+    // At 400 MHz: U = 0.25.
+    EXPECT_NEAR(DvfsCpu::utilization(tasks, cpu.points().back()), 0.25, 1e-9);
+}
+
+TEST(DvfsTest, SelectPicksLowestFeasible) {
+    const auto cpu = DvfsCpu::xscale();
+    std::vector<PeriodicTask> light = {{"t", 4.0, 100_ms}};   // U=0.4 @100MHz
+    EXPECT_DOUBLE_EQ(cpu.select(light).frequency_mhz, 100.0);
+    std::vector<PeriodicTask> medium = {{"t", 15.0, 100_ms}};  // U=1.5 @100, 0.75 @200
+    EXPECT_DOUBLE_EQ(cpu.select(medium).frequency_mhz, 200.0);
+}
+
+TEST(DvfsTest, InfeasibleTaskSetThrows) {
+    const auto cpu = DvfsCpu::xscale();
+    std::vector<PeriodicTask> heavy = {{"t", 50.0, 100_ms}};  // U=1.25 @400MHz
+    EXPECT_THROW((void)cpu.select(heavy), ContractViolation);
+}
+
+TEST(DvfsTest, PowerSuperlinearInFrequency) {
+    const auto cpu = DvfsCpu::xscale();
+    const auto& lo = cpu.points().front();   // 100 MHz @ 0.85 V
+    const auto& hi = cpu.points().back();    // 400 MHz @ 1.30 V
+    const double ratio = hi.dynamic_power(1.2) / lo.dynamic_power(1.2);
+    EXPECT_GT(ratio, 4.0);  // 4x frequency, > 4x power (voltage squared)
+    EXPECT_NEAR(ratio, 4.0 * (1.3 * 1.3) / (0.85 * 0.85), 0.01);
+}
+
+TEST(DvfsTest, ScalingSavesEnergyOnLightLoad) {
+    const auto cpu = DvfsCpu::xscale();
+    std::vector<PeriodicTask> light = {{"t", 2.0, 100_ms}};
+    const auto& best = cpu.select(light);
+    const auto& maxed = cpu.points().back();
+    EXPECT_LT(cpu.energy(light, best, 10_s).joules(),
+              cpu.energy(light, maxed, 10_s).joules() * 0.5);
+}
+
+TEST(DvfsTest, OverloadedPointRejectedInPowerQuery) {
+    const auto cpu = DvfsCpu::xscale();
+    std::vector<PeriodicTask> heavy = {{"t", 20.0, 100_ms}};  // U=2.0 @100MHz
+    EXPECT_THROW((void)cpu.average_power(heavy, cpu.points().front()), ContractViolation);
+}
+
+/// Property: for any load, the selected point's energy is no worse than
+/// any other feasible point's energy.
+class DvfsSelection : public ::testing::TestWithParam<double> {};
+
+TEST_P(DvfsSelection, SelectionIsEnergyOptimal) {
+    const auto cpu = DvfsCpu::xscale();
+    std::vector<PeriodicTask> tasks = {{"t", GetParam(), 100_ms}};
+    const auto& chosen = cpu.select(tasks);
+    for (const auto& p : cpu.points()) {
+        if (DvfsCpu::utilization(tasks, p) <= 0.95) {
+            EXPECT_LE(cpu.average_power(tasks, chosen).watts(),
+                      cpu.average_power(tasks, p).watts() + 1e-12);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Loads, DvfsSelection, ::testing::Values(2.0, 5.0, 10.0, 18.0, 28.0));
+
+}  // namespace
+}  // namespace wlanps::os

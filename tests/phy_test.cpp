@@ -1,0 +1,204 @@
+/// Unit tests for the WLAN and Bluetooth NIC device models.
+
+#include <gtest/gtest.h>
+
+#include "phy/bt_nic.hpp"
+#include "phy/calibration.hpp"
+#include "phy/wlan_nic.hpp"
+#include "sim/assert.hpp"
+#include "sim/simulator.hpp"
+
+namespace wlanps::phy {
+namespace {
+
+using namespace time_literals;
+
+TEST(WlanNicTest, InitialStateAndPower) {
+    sim::Simulator sim;
+    WlanNic nic(sim, WlanNicConfig{}, WlanNic::State::idle);
+    EXPECT_EQ(nic.state(), WlanNic::State::idle);
+    EXPECT_TRUE(nic.awake());
+    sim.run_until(1_s);
+    EXPECT_NEAR(nic.average_power().watts(), calibration::kWlanIdle.watts(), 1e-9);
+}
+
+TEST(WlanNicTest, DozePowerAndWakeLatency) {
+    sim::Simulator sim;
+    WlanNic nic(sim, WlanNicConfig{}, WlanNic::State::idle);
+    nic.doze();
+    sim.run_until(1_s);
+    EXPECT_EQ(nic.state(), WlanNic::State::doze);
+    EXPECT_FALSE(nic.awake());
+
+    Time woke_at = Time::zero();
+    nic.wake([&] { woke_at = sim.now(); });
+    sim.run_until(2_s);
+    EXPECT_EQ(woke_at - 1_s, calibration::kWlanDozeWakeLatency);
+    EXPECT_TRUE(nic.awake());
+}
+
+TEST(WlanNicTest, DeepSleepIsOffWithResumeCost) {
+    sim::Simulator sim;
+    WlanNic nic(sim, WlanNicConfig{}, WlanNic::State::idle);
+    nic.deep_sleep();
+    sim.run_until(1_s);
+    EXPECT_EQ(nic.state(), WlanNic::State::off);
+    const power::Energy at_off = nic.energy_consumed();
+    Time woke_at = Time::zero();
+    nic.wake([&] { woke_at = sim.now(); });
+    sim.run_until(2_s);
+    EXPECT_EQ(woke_at - 1_s, calibration::kWlanResumeLatency);  // 300 ms resume
+    // Resume energy = resume draw over resume latency.
+    const power::Energy resume = nic.energy_consumed() - at_off -
+                                 calibration::kWlanIdle.over(2_s - woke_at);
+    EXPECT_NEAR(resume.joules(),
+                calibration::kWlanResumeDraw.over(calibration::kWlanResumeLatency).joules(),
+                1e-6);
+}
+
+TEST(WlanNicTest, OccupyAccountsTxRxEnergy) {
+    sim::Simulator sim;
+    WlanNic nic(sim, WlanNicConfig{}, WlanNic::State::idle);
+    nic.occupy(WlanNic::State::tx, 100_ms);
+    sim.run_until(100_ms);
+    EXPECT_EQ(nic.state(), WlanNic::State::idle);  // released
+    EXPECT_EQ(nic.residency(WlanNic::State::tx), 100_ms);
+    EXPECT_NEAR(nic.energy_consumed().joules(), calibration::kWlanTx.over(100_ms).joules(),
+                1e-9);
+}
+
+TEST(WlanNicTest, OccupyReleaseYieldsToResourceManager) {
+    // If a resource manager requests off at the exact end of an occupancy,
+    // the release must not yank the NIC back to idle.
+    sim::Simulator sim;
+    WlanNic nic(sim, WlanNicConfig{}, WlanNic::State::idle);
+    nic.occupy(WlanNic::State::rx, 100_ms);
+    // Same-timestamp, earlier-seq event (scheduled first) requesting off.
+    sim.schedule_at(100_ms, [&] { nic.deep_sleep(); });
+    sim.run_until(2_s);
+    EXPECT_EQ(nic.state(), WlanNic::State::off);
+}
+
+TEST(WlanNicTest, OccupyRequiresAwake) {
+    sim::Simulator sim;
+    WlanNic nic(sim, WlanNicConfig{}, WlanNic::State::off);
+    EXPECT_THROW(nic.occupy(WlanNic::State::rx, 1_ms), ContractViolation);
+}
+
+TEST(WlanNicTest, OccupyRejectsNonRadioStates) {
+    sim::Simulator sim;
+    WlanNic nic(sim, WlanNicConfig{}, WlanNic::State::idle);
+    EXPECT_THROW(nic.occupy(WlanNic::State::doze, 1_ms), ContractViolation);
+}
+
+TEST(WlanNicTest, FrameAirtimeIncludesPlcp) {
+    sim::Simulator sim;
+    WlanNic nic(sim, WlanNicConfig{}, WlanNic::State::idle);
+    const Time air = nic.frame_airtime(DataSize::from_bytes(1500), calibration::kWlanRate11);
+    const Time expected = calibration::kWlanPlcpOverhead +
+                          calibration::kWlanRate11.transmit_time(DataSize::from_bytes(1500));
+    EXPECT_EQ(air, expected);
+    // ~1.28 ms for a 1500 B frame at 11 Mb/s with the 192 us preamble.
+    EXPECT_NEAR(air.to_us(), 192.0 + 1090.9, 2.0);
+}
+
+TEST(WlanNicTest, SustainedRateAppliesEfficiency) {
+    sim::Simulator sim;
+    WlanNicConfig cfg;
+    cfg.goodput_efficiency = 0.5;
+    WlanNic nic(sim, cfg, WlanNic::State::idle);
+    EXPECT_NEAR(nic.sustained_rate().mbps(), 5.5, 1e-9);
+}
+
+TEST(WlanNicTest, WnicInterfaceViewsAreConsistent) {
+    sim::Simulator sim;
+    WlanNic nic(sim, WlanNicConfig{}, WlanNic::State::idle);
+    Wnic& wnic = nic;
+    EXPECT_EQ(wnic.interface(), Interface::wlan);
+    EXPECT_EQ(wnic.wake_latency(), calibration::kWlanResumeLatency);
+    EXPECT_EQ(wnic.active_power(), calibration::kWlanRx);
+    EXPECT_TRUE(wnic.sleep_power().is_zero());  // deep sleep = off
+    EXPECT_EQ(std::string(to_string(wnic.interface())), "WLAN");
+}
+
+TEST(BtNicTest, ParkPowerAndUnparkLatency) {
+    sim::Simulator sim;
+    BtNic nic(sim, BtNicConfig{}, BtNic::State::active);
+    nic.deep_sleep();
+    sim.run_until(1_s);
+    EXPECT_EQ(nic.state(), BtNic::State::park);
+    EXPECT_FALSE(nic.awake());
+
+    Time woke_at = Time::zero();
+    nic.wake([&] { woke_at = sim.now(); });
+    sim.run_until(2_s);
+    EXPECT_EQ(woke_at - 1_s, calibration::kBtUnparkLatency);
+    EXPECT_TRUE(nic.awake());
+}
+
+TEST(BtNicTest, ParkDrawsMilliwatts) {
+    sim::Simulator sim;
+    BtNic nic(sim, BtNicConfig{}, BtNic::State::park);
+    sim.run_until(10_s);
+    EXPECT_NEAR(nic.average_power().watts(), calibration::kBtPark.watts(), 1e-9);
+}
+
+TEST(BtNicTest, ConnectFromOffTakesSeconds) {
+    sim::Simulator sim;
+    BtNic nic(sim, BtNicConfig{}, BtNic::State::off);
+    Time woke_at = Time::zero();
+    nic.wake([&] { woke_at = sim.now(); });
+    sim.run_until(10_s);
+    EXPECT_EQ(woke_at, calibration::kBtConnectLatency);
+}
+
+TEST(BtNicTest, SniffStateAndReturn) {
+    sim::Simulator sim;
+    BtNic nic(sim, BtNicConfig{}, BtNic::State::active);
+    nic.request_state(BtNic::State::sniff);
+    sim.run_until(1_s);
+    EXPECT_EQ(nic.state(), BtNic::State::sniff);
+    nic.request_state(BtNic::State::active);
+    sim.run_until(2_s);
+    EXPECT_EQ(nic.state(), BtNic::State::active);
+    EXPECT_EQ(nic.entries(BtNic::State::sniff), 1u);
+}
+
+TEST(BtNicTest, OccupyReleaseYieldsToPark) {
+    sim::Simulator sim;
+    BtNic nic(sim, BtNicConfig{}, BtNic::State::active);
+    nic.occupy(BtNic::State::rx, 10_ms);
+    sim.schedule_at(10_ms, [&] { nic.deep_sleep(); });
+    sim.run_until(1_s);
+    EXPECT_EQ(nic.state(), BtNic::State::park);
+}
+
+TEST(BtNicTest, WnicInterfaceViews) {
+    sim::Simulator sim;
+    BtNic nic(sim, BtNicConfig{}, BtNic::State::active);
+    Wnic& wnic = nic;
+    EXPECT_EQ(wnic.interface(), Interface::bluetooth);
+    EXPECT_EQ(wnic.sleep_power(), calibration::kBtPark);
+    EXPECT_NEAR(wnic.sustained_rate().kbps(), 723.2 * 0.8, 0.1);
+}
+
+TEST(CalibrationTest, PaperFactsHold) {
+    // TX and RX draw similar power; idle listening is nearly as expensive
+    // as RX (the paper's §1 premise).
+    EXPECT_NEAR(calibration::kWlanTx / calibration::kWlanRx, 1.47, 0.05);
+    EXPECT_GT(calibration::kWlanIdle / calibration::kWlanRx, 0.8);
+    // Doze is an order of magnitude below idle; BT park below BT active.
+    EXPECT_LT(calibration::kWlanDoze.watts() * 10, calibration::kWlanIdle.watts());
+    EXPECT_LT(calibration::kBtPark.watts() * 5, calibration::kBtActive.watts());
+    // DH5 peak rate sanity: 339 B / 6 slots.
+    EXPECT_NEAR(static_cast<double>(calibration::kBtDh5Payload.bits()) /
+                    (6.0 * calibration::kBtSlot.to_seconds()),
+                calibration::kBtAclPeak.bps(), 1000.0);
+    // MP3: frame size/interval consistent with 128 kb/s.
+    EXPECT_NEAR(static_cast<double>(calibration::kMp3FrameSize.bits()) /
+                    calibration::kMp3FrameInterval.to_seconds(),
+                calibration::kMp3Rate.bps(), 1000.0);
+}
+
+}  // namespace
+}  // namespace wlanps::phy

@@ -1,0 +1,281 @@
+/// Unit tests for power units, state machines, meters, batteries, and the
+/// analytic duty-cycle model.
+
+#include <gtest/gtest.h>
+
+#include "power/battery.hpp"
+#include "power/duty_cycle.hpp"
+#include "power/energy_meter.hpp"
+#include "power/state_machine.hpp"
+#include "power/units.hpp"
+#include "sim/assert.hpp"
+#include "sim/simulator.hpp"
+
+namespace wlanps::power {
+namespace {
+
+using namespace time_literals;
+
+TEST(PowerUnitsTest, Conversions) {
+    EXPECT_DOUBLE_EQ(Power::from_milliwatts(1500).watts(), 1.5);
+    EXPECT_DOUBLE_EQ(Power::from_watts(0.045).milliwatts(), 45.0);
+    EXPECT_DOUBLE_EQ(Energy::from_millijoules(2500).joules(), 2.5);
+}
+
+TEST(PowerUnitsTest, PowerOverTimeIsEnergy) {
+    const Energy e = Power::from_watts(2.0).over(3_s);
+    EXPECT_DOUBLE_EQ(e.joules(), 6.0);
+    EXPECT_DOUBLE_EQ(e.average_over(3_s).watts(), 2.0);
+}
+
+TEST(PowerUnitsTest, BatteryCapacityFromMah) {
+    // 1400 mAh at 3.7 V = 1.4 * 3600 * 3.7 J = 18648 J.
+    EXPECT_NEAR(Energy::from_mah(1400, 3.7).joules(), 18648.0, 1.0);
+}
+
+TEST(PowerModelTest, StateRegistration) {
+    PowerModel m;
+    const StateId off = m.add_state("off", Power::zero());
+    const StateId on = m.add_state("on", Power::from_watts(1.0));
+    EXPECT_EQ(m.state_count(), 2u);
+    EXPECT_EQ(m.state_name(on), "on");
+    EXPECT_EQ(m.state_by_name("off"), off);
+    EXPECT_THROW((void)m.state_by_name("bogus"), ContractViolation);
+}
+
+TEST(PowerModelTest, UnregisteredTransitionIsFree) {
+    PowerModel m;
+    const StateId a = m.add_state("a", Power::zero());
+    const StateId b = m.add_state("b", Power::zero());
+    const auto t = m.transition(a, b);
+    EXPECT_TRUE(t.latency.is_zero());
+    EXPECT_TRUE(t.energy.is_zero());
+}
+
+TEST(PowerModelTest, TransitionOverwrite) {
+    PowerModel m;
+    const StateId a = m.add_state("a", Power::zero());
+    const StateId b = m.add_state("b", Power::zero());
+    m.add_transition(a, b, 1_ms, Energy::from_joules(1.0));
+    m.add_transition(a, b, 2_ms, Energy::from_joules(2.0));
+    EXPECT_EQ(m.transition(a, b).latency, 2_ms);
+}
+
+namespace {
+/// A 2-state device: off (0 W) <-> on (1 W), 100 ms / 0.05 J transitions.
+struct TwoState {
+    PowerModel model;
+    StateId off, on;
+    TwoState() {
+        off = model.add_state("off", Power::zero());
+        on = model.add_state("on", Power::from_watts(1.0));
+        model.add_transition(off, on, 100_ms, Energy::from_joules(0.05));
+        model.add_transition(on, off, 100_ms, Energy::from_joules(0.05));
+    }
+};
+}  // namespace
+
+TEST(PowerStateMachineTest, StableStateEnergy) {
+    sim::Simulator sim;
+    TwoState d;
+    PowerStateMachine machine(sim, d.model, d.on);
+    sim.run_until(10_s);
+    EXPECT_NEAR(machine.energy_consumed().joules(), 10.0, 1e-9);
+    EXPECT_NEAR(machine.average_power().watts(), 1.0, 1e-9);
+    EXPECT_EQ(machine.residency(d.on), 10_s);
+}
+
+TEST(PowerStateMachineTest, TimedTransitionCompletesWithLatencyAndEnergy) {
+    sim::Simulator sim;
+    TwoState d;
+    PowerStateMachine machine(sim, d.model, d.off);
+    bool done = false;
+    machine.request(d.on, [&] { done = true; });
+    EXPECT_TRUE(machine.transitioning());
+    EXPECT_EQ(machine.transition_target(), d.on);
+    sim.run_until(100_ms);
+    EXPECT_TRUE(done);
+    EXPECT_FALSE(machine.transitioning());
+    EXPECT_EQ(machine.state(), d.on);
+    // Exactly the transition energy so far.
+    EXPECT_NEAR(machine.energy_consumed().joules(), 0.05, 1e-9);
+}
+
+TEST(PowerStateMachineTest, RequestCurrentStateFiresImmediately) {
+    sim::Simulator sim;
+    TwoState d;
+    PowerStateMachine machine(sim, d.model, d.on);
+    bool done = false;
+    machine.request(d.on, [&] { done = true; });
+    EXPECT_TRUE(done);
+}
+
+TEST(PowerStateMachineTest, QueuedRequestRunsAfterInFlight) {
+    sim::Simulator sim;
+    TwoState d;
+    PowerStateMachine machine(sim, d.model, d.off);
+    machine.request(d.on);
+    bool back_off = false;
+    machine.request(d.off, [&] { back_off = true; });  // queued
+    sim.run_until(100_ms);
+    EXPECT_EQ(machine.state(), d.on);  // reached on first
+    sim.run_until(200_ms);
+    EXPECT_TRUE(back_off);
+    EXPECT_EQ(machine.state(), d.off);
+    EXPECT_EQ(machine.entries(d.on), 1u);
+    EXPECT_EQ(machine.entries(d.off), 2u);  // initial + return
+}
+
+TEST(PowerStateMachineTest, LatestQueuedRequestWins) {
+    sim::Simulator sim;
+    TwoState d;
+    PowerStateMachine machine(sim, d.model, d.off);
+    machine.request(d.on);
+    machine.request(d.off);
+    machine.request(d.on);  // supersedes the queued off
+    sim.run_until(1_s);
+    EXPECT_EQ(machine.state(), d.on);
+}
+
+TEST(PowerStateMachineTest, DutyCycleAveragePower) {
+    sim::Simulator sim;
+    TwoState d;
+    PowerStateMachine machine(sim, d.model, d.off);
+    // 1 s on, 1 s off, repeated; transitions 100 ms / 0.05 J each.
+    std::function<void()> cycle = [&] {
+        machine.request(d.on, [&] {
+            sim.schedule_in(1_s, [&] {
+                machine.request(d.off, [&] { sim.schedule_in(1_s, cycle); });
+            });
+        });
+    };
+    cycle();
+    sim.run_until(22_s);
+    // Analytic check via DutyCycleModel: period 2.2 s = 0.1 (rise) + 1.0 (on)
+    // + 0.1 (fall) + 1.0 (off), energy 0.05 + 1.0 + 0.05.
+    DutyCycleModel analytic;
+    analytic.add_phase(Power::from_watts(1.0), 1_s);
+    analytic.add_phase(Power::zero(), 1_s);
+    analytic.add_phase(Power::zero(), 200_ms);  // transition time, energy below
+    analytic.add_fixed_energy(Energy::from_joules(0.10));
+    EXPECT_NEAR(machine.average_power().watts(), analytic.average_power().watts(), 0.01);
+}
+
+TEST(PowerStateMachineTest, TraceMirrorsTransitions) {
+    sim::Simulator sim;
+    TwoState d;
+    PowerStateMachine machine(sim, d.model, d.off);
+    sim::TimelineTrace trace;
+    machine.attach_trace(&trace);
+    machine.request(d.on);
+    sim.run_until(1_s);
+    trace.finish(sim.now());
+    // Expect: off->on transition span, then "on" span.
+    ASSERT_GE(trace.spans().size(), 2u);
+    EXPECT_EQ(trace.spans().back().label, "on");
+    EXPECT_DOUBLE_EQ(trace.spans().back().level, 1.0);
+}
+
+TEST(EnergyMeterTest, ConstantAndMachineSources) {
+    sim::Simulator sim;
+    EnergyMeter meter(sim);
+    meter.add_constant("base", Power::from_watts(1.3));
+    TwoState d;
+    PowerStateMachine machine(sim, d.model, d.on);
+    meter.add_machine("nic", machine);
+    sim.run_until(10_s);
+    EXPECT_NEAR(meter.energy("base").joules(), 13.0, 1e-9);
+    EXPECT_NEAR(meter.energy("nic").joules(), 10.0, 1e-9);
+    EXPECT_NEAR(meter.total_energy().joules(), 23.0, 1e-9);
+    EXPECT_NEAR(meter.average_power().watts(), 2.3, 1e-9);
+    EXPECT_NEAR(meter.average_power("base").watts(), 1.3, 1e-9);
+}
+
+TEST(EnergyMeterTest, BreakdownOrderAndDuplicates) {
+    sim::Simulator sim;
+    EnergyMeter meter(sim);
+    meter.add_constant("a", Power::from_watts(1.0));
+    meter.add_constant("b", Power::from_watts(2.0));
+    EXPECT_THROW(meter.add_constant("a", Power::zero()), ContractViolation);
+    sim.run_until(1_s);
+    const auto rows = meter.breakdown();
+    ASSERT_EQ(rows.size(), 2u);
+    EXPECT_EQ(rows[0].name, "a");
+    EXPECT_EQ(rows[1].name, "b");
+    EXPECT_THROW((void)meter.energy("zzz"), ContractViolation);
+}
+
+TEST(BatteryTest, LinearDrainAndLevel) {
+    BatteryConfig cfg;
+    cfg.capacity = Energy::from_joules(100.0);
+    cfg.rate_exponent = 0.0;
+    Battery battery(cfg);
+    battery.drain(Energy::from_joules(25.0), Power::from_watts(1.0));
+    EXPECT_NEAR(battery.level(), 0.75, 1e-9);
+    EXPECT_FALSE(battery.empty());
+}
+
+TEST(BatteryTest, ClampsAtEmpty) {
+    BatteryConfig cfg;
+    cfg.capacity = Energy::from_joules(10.0);
+    Battery battery(cfg);
+    battery.drain(Energy::from_joules(1000.0), Power::from_watts(1.0));
+    EXPECT_TRUE(battery.empty());
+    EXPECT_DOUBLE_EQ(battery.level(), 0.0);
+}
+
+TEST(BatteryTest, RateCapacityEffectPenalizesHighDraw) {
+    BatteryConfig cfg;
+    cfg.capacity = Energy::from_joules(100.0);
+    cfg.nominal_draw = Power::from_watts(1.0);
+    cfg.rate_exponent = 0.2;
+    Battery slow(cfg), fast(cfg);
+    slow.drain(Energy::from_joules(10.0), Power::from_watts(1.0));
+    fast.drain(Energy::from_joules(10.0), Power::from_watts(4.0));
+    EXPECT_GT(slow.level(), fast.level());
+    // Below nominal draw there is no penalty.
+    Battery gentle(cfg);
+    gentle.drain(Energy::from_joules(10.0), Power::from_watts(0.5));
+    EXPECT_DOUBLE_EQ(gentle.level(), slow.level());
+}
+
+TEST(BatteryTest, LowLevelWatcherFiresOnce) {
+    BatteryConfig cfg;
+    cfg.capacity = Energy::from_joules(100.0);
+    cfg.rate_exponent = 0.0;
+    Battery battery(cfg);
+    int fires = 0;
+    battery.on_level_below(0.5, [&] { ++fires; });
+    battery.drain(Energy::from_joules(40.0), Power::from_watts(1.0));
+    EXPECT_EQ(fires, 0);
+    battery.drain(Energy::from_joules(20.0), Power::from_watts(1.0));
+    EXPECT_EQ(fires, 1);
+    battery.drain(Energy::from_joules(20.0), Power::from_watts(1.0));
+    EXPECT_EQ(fires, 1);  // fired once only
+}
+
+TEST(BatteryTest, LifetimeProjection) {
+    BatteryConfig cfg;
+    cfg.capacity = Energy::from_joules(3600.0);
+    cfg.rate_exponent = 0.0;
+    Battery battery(cfg);
+    EXPECT_NEAR(battery.lifetime_at(Power::from_watts(1.0)).to_seconds(), 3600.0, 1.0);
+}
+
+TEST(DutyCycleModelTest, MatchesHandComputation) {
+    DutyCycleModel m;
+    m.add_phase(Power::from_watts(1.0), 100_ms);  // burst
+    m.add_phase(Power::from_milliwatts(10), 900_ms);  // sleep
+    m.add_fixed_energy(Energy::from_millijoules(5));
+    EXPECT_EQ(m.period(), 1_s);
+    // E = 0.1 + 0.009 + 0.005 = 0.114 J per 1 s.
+    EXPECT_NEAR(m.average_power().watts(), 0.114, 1e-9);
+}
+
+TEST(DutyCycleModelTest, EmptyThrows) {
+    DutyCycleModel m;
+    EXPECT_THROW((void)m.average_power(), ContractViolation);
+}
+
+}  // namespace
+}  // namespace wlanps::power

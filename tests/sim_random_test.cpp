@@ -1,0 +1,147 @@
+/// Unit and statistical tests for the reproducible RNG.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/assert.hpp"
+#include "sim/random.hpp"
+#include "sim/stats.hpp"
+
+namespace wlanps::sim {
+namespace {
+
+TEST(RandomTest, SameSeedSameStream) {
+    Random a(123), b(123);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_DOUBLE_EQ(a.uniform(), b.uniform());
+    }
+}
+
+TEST(RandomTest, DifferentSeedsDiffer) {
+    Random a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i) {
+        if (a.uniform() == b.uniform()) ++same;
+    }
+    EXPECT_LT(same, 5);
+}
+
+TEST(RandomTest, ForkIsDeterministicAndDecorrelated) {
+    Random root(42);
+    Random c1 = root.fork(1);
+    Random c1_again = Random(42).fork(1);
+    EXPECT_EQ(c1.seed(), c1_again.seed());
+    EXPECT_NE(root.fork(1).seed(), root.fork(2).seed());
+}
+
+TEST(RandomTest, UniformRange) {
+    Random rng(7);
+    for (int i = 0; i < 1000; ++i) {
+        const double x = rng.uniform(2.0, 5.0);
+        EXPECT_GE(x, 2.0);
+        EXPECT_LT(x, 5.0);
+    }
+}
+
+TEST(RandomTest, UniformIntInclusive) {
+    Random rng(7);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 1000; ++i) {
+        const auto v = rng.uniform_int(0, 3);
+        EXPECT_GE(v, 0);
+        EXPECT_LE(v, 3);
+        saw_lo |= v == 0;
+        saw_hi |= v == 3;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(RandomTest, ChanceExtremes) {
+    Random rng(7);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(rng.chance(0.0));
+        EXPECT_TRUE(rng.chance(1.0));
+    }
+    EXPECT_THROW((void)rng.chance(1.5), ContractViolation);
+}
+
+TEST(RandomTest, ExponentialMean) {
+    Random rng(11);
+    Accumulator acc;
+    for (int i = 0; i < 20000; ++i) acc.add(rng.exponential(3.0));
+    EXPECT_NEAR(acc.mean(), 3.0, 0.1);
+}
+
+TEST(RandomTest, ExponentialTimeMean) {
+    Random rng(11);
+    Accumulator acc;
+    for (int i = 0; i < 20000; ++i) {
+        acc.add(rng.exponential_time(Time::from_ms(10)).to_seconds());
+    }
+    EXPECT_NEAR(acc.mean(), 0.010, 0.0005);
+}
+
+TEST(RandomTest, NormalMoments) {
+    Random rng(13);
+    Accumulator acc;
+    for (int i = 0; i < 20000; ++i) acc.add(rng.normal(5.0, 2.0));
+    EXPECT_NEAR(acc.mean(), 5.0, 0.1);
+    EXPECT_NEAR(acc.stddev(), 2.0, 0.1);
+}
+
+TEST(RandomTest, NormalZeroSigmaIsDeterministic) {
+    Random rng(13);
+    EXPECT_DOUBLE_EQ(rng.normal(7.0, 0.0), 7.0);
+}
+
+TEST(RandomTest, ParetoMinimumAndMean) {
+    Random rng(17);
+    Accumulator acc;
+    const double alpha = 2.5, xm = 1.0;
+    for (int i = 0; i < 20000; ++i) {
+        const double x = rng.pareto(alpha, xm);
+        EXPECT_GE(x, xm);
+        acc.add(x);
+    }
+    // E[X] = alpha*xm/(alpha-1) for alpha > 1.
+    EXPECT_NEAR(acc.mean(), alpha * xm / (alpha - 1.0), 0.05);
+}
+
+TEST(RandomTest, GeometricMean) {
+    Random rng(19);
+    Accumulator acc;
+    const double p = 0.25;
+    for (int i = 0; i < 20000; ++i) acc.add(static_cast<double>(rng.geometric(p)));
+    // Mean failures before success = (1-p)/p = 3.
+    EXPECT_NEAR(acc.mean(), 3.0, 0.1);
+}
+
+TEST(RandomTest, WeightedIndexProportions) {
+    Random rng(23);
+    const std::vector<double> weights = {1.0, 3.0, 6.0};
+    std::vector<int> counts(3, 0);
+    const int n = 30000;
+    for (int i = 0; i < n; ++i) ++counts[rng.weighted_index(weights)];
+    EXPECT_NEAR(counts[0] / static_cast<double>(n), 0.1, 0.01);
+    EXPECT_NEAR(counts[1] / static_cast<double>(n), 0.3, 0.015);
+    EXPECT_NEAR(counts[2] / static_cast<double>(n), 0.6, 0.015);
+}
+
+TEST(RandomTest, WeightedIndexContractViolations) {
+    Random rng(29);
+    EXPECT_THROW((void)rng.weighted_index({}), ContractViolation);
+    EXPECT_THROW((void)rng.weighted_index({0.0, 0.0}), ContractViolation);
+    EXPECT_THROW((void)rng.weighted_index({1.0, -1.0}), ContractViolation);
+}
+
+TEST(RandomTest, ZeroWeightNeverPicked) {
+    Random rng(31);
+    for (int i = 0; i < 1000; ++i) {
+        EXPECT_NE(rng.weighted_index({1.0, 0.0, 1.0}), 1u);
+    }
+}
+
+}  // namespace
+}  // namespace wlanps::sim

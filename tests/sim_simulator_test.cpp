@@ -1,0 +1,217 @@
+/// Unit tests for the discrete-event kernel.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/assert.hpp"
+#include "sim/simulator.hpp"
+
+namespace wlanps::sim {
+namespace {
+
+using namespace time_literals;
+
+TEST(SimulatorTest, StartsAtZero) {
+    Simulator sim;
+    EXPECT_EQ(sim.now(), Time::zero());
+    EXPECT_EQ(sim.events_dispatched(), 0u);
+}
+
+TEST(SimulatorTest, DispatchesInTimeOrder) {
+    Simulator sim;
+    std::vector<int> order;
+    sim.schedule_at(3_ms, [&] { order.push_back(3); });
+    sim.schedule_at(1_ms, [&] { order.push_back(1); });
+    sim.schedule_at(2_ms, [&] { order.push_back(2); });
+    sim.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(sim.now(), 3_ms);
+}
+
+TEST(SimulatorTest, SimultaneousEventsAreFifo) {
+    Simulator sim;
+    std::vector<int> order;
+    for (int i = 0; i < 10; ++i) {
+        sim.schedule_at(1_ms, [&order, i] { order.push_back(i); });
+    }
+    sim.run();
+    for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(SimulatorTest, ScheduleInIsRelative) {
+    Simulator sim;
+    Time fired = Time::zero();
+    sim.schedule_at(5_ms, [&] {
+        sim.schedule_in(2_ms, [&] { fired = sim.now(); });
+    });
+    sim.run();
+    EXPECT_EQ(fired, 7_ms);
+}
+
+TEST(SimulatorTest, SchedulingInThePastThrows) {
+    Simulator sim;
+    sim.schedule_at(5_ms, [&] {
+        EXPECT_THROW(sim.schedule_at(1_ms, [] {}), ContractViolation);
+    });
+    sim.run();
+}
+
+TEST(SimulatorTest, NegativeDelayThrows) {
+    Simulator sim;
+    EXPECT_THROW(sim.schedule_in(Time::from_ns(-1), [] {}), ContractViolation);
+}
+
+TEST(SimulatorTest, NullCallbackThrows) {
+    Simulator sim;
+    EXPECT_THROW(sim.schedule_at(1_ms, nullptr), ContractViolation);
+}
+
+TEST(SimulatorTest, CancelPreventsDispatch) {
+    Simulator sim;
+    bool fired = false;
+    EventHandle h = sim.schedule_at(1_ms, [&] { fired = true; });
+    EXPECT_TRUE(h.pending());
+    h.cancel();
+    EXPECT_FALSE(h.pending());
+    sim.run();
+    EXPECT_FALSE(fired);
+}
+
+TEST(SimulatorTest, CancelAfterFireIsNoop) {
+    Simulator sim;
+    EventHandle h = sim.schedule_at(1_ms, [] {});
+    sim.run();
+    EXPECT_FALSE(h.pending());
+    h.cancel();  // must not crash
+}
+
+TEST(SimulatorTest, RunUntilStopsAtHorizonAndAdvancesClock) {
+    Simulator sim;
+    int count = 0;
+    sim.schedule_at(1_ms, [&] { ++count; });
+    sim.schedule_at(10_ms, [&] { ++count; });
+    sim.run_until(5_ms);
+    EXPECT_EQ(count, 1);
+    EXPECT_EQ(sim.now(), 5_ms);
+    sim.run_until(20_ms);
+    EXPECT_EQ(count, 2);
+    EXPECT_EQ(sim.now(), 20_ms);
+}
+
+TEST(SimulatorTest, RunUntilExecutesEventExactlyAtHorizon) {
+    Simulator sim;
+    bool fired = false;
+    sim.schedule_at(5_ms, [&] { fired = true; });
+    sim.run_until(5_ms);
+    EXPECT_TRUE(fired);
+}
+
+TEST(SimulatorTest, StopBreaksRunLoop) {
+    Simulator sim;
+    int count = 0;
+    sim.schedule_at(1_ms, [&] {
+        ++count;
+        sim.stop();
+    });
+    sim.schedule_at(2_ms, [&] { ++count; });
+    sim.run();
+    EXPECT_EQ(count, 1);
+    sim.run();  // resumes
+    EXPECT_EQ(count, 2);
+}
+
+TEST(SimulatorTest, StepExecutesOneEvent) {
+    Simulator sim;
+    int count = 0;
+    sim.schedule_at(1_ms, [&] { ++count; });
+    sim.schedule_at(2_ms, [&] { ++count; });
+    EXPECT_TRUE(sim.step());
+    EXPECT_EQ(count, 1);
+    EXPECT_TRUE(sim.step());
+    EXPECT_FALSE(sim.step());
+    EXPECT_EQ(count, 2);
+}
+
+TEST(SimulatorTest, SelfReschedulingCallbackWorks) {
+    Simulator sim;
+    int ticks = 0;
+    std::function<void()> tick = [&] {
+        if (++ticks < 5) sim.schedule_in(1_ms, tick);
+    };
+    sim.schedule_in(1_ms, tick);
+    sim.run();
+    EXPECT_EQ(ticks, 5);
+    EXPECT_EQ(sim.now(), 5_ms);
+}
+
+TEST(SimulatorTest, DispatchCountExcludesCancelled) {
+    Simulator sim;
+    auto h = sim.schedule_at(1_ms, [] {});
+    sim.schedule_at(2_ms, [] {});
+    h.cancel();
+    sim.run();
+    EXPECT_EQ(sim.events_dispatched(), 1u);
+}
+
+TEST(PeriodicEventTest, FiresAtPeriod) {
+    Simulator sim;
+    int ticks = 0;
+    PeriodicEvent periodic(sim, 10_ms, [&] { ++ticks; });
+    periodic.start();
+    sim.run_until(35_ms);
+    EXPECT_EQ(ticks, 3);  // at 10, 20, 30
+}
+
+TEST(PeriodicEventTest, StartAtControlsPhase) {
+    Simulator sim;
+    std::vector<Time> fire_times;
+    PeriodicEvent periodic(sim, 10_ms, [&] { fire_times.push_back(sim.now()); });
+    periodic.start_at(5_ms);
+    sim.run_until(26_ms);
+    ASSERT_EQ(fire_times.size(), 3u);
+    EXPECT_EQ(fire_times[0], 5_ms);
+    EXPECT_EQ(fire_times[1], 15_ms);
+    EXPECT_EQ(fire_times[2], 25_ms);
+}
+
+TEST(PeriodicEventTest, CancelStopsTicks) {
+    Simulator sim;
+    int ticks = 0;
+    PeriodicEvent periodic(sim, 10_ms, [&] { ++ticks; });
+    periodic.start();
+    sim.schedule_at(25_ms, [&] { periodic.cancel(); });
+    sim.run_until(100_ms);
+    EXPECT_EQ(ticks, 2);
+}
+
+TEST(PeriodicEventTest, TickMayCancelItself) {
+    Simulator sim;
+    int ticks = 0;
+    PeriodicEvent periodic(sim, 10_ms, [&] {
+        if (++ticks == 2) periodic.cancel();
+    });
+    periodic.start();
+    sim.run_until(100_ms);
+    EXPECT_EQ(ticks, 2);
+}
+
+TEST(PeriodicEventTest, DestructorCancels) {
+    Simulator sim;
+    int ticks = 0;
+    {
+        PeriodicEvent periodic(sim, 10_ms, [&] { ++ticks; });
+        periodic.start();
+        sim.run_until(15_ms);
+    }
+    sim.run_until(100_ms);
+    EXPECT_EQ(ticks, 1);
+}
+
+TEST(PeriodicEventTest, ZeroPeriodThrows) {
+    Simulator sim;
+    EXPECT_THROW(PeriodicEvent(sim, Time::zero(), [] {}), ContractViolation);
+}
+
+}  // namespace
+}  // namespace wlanps::sim

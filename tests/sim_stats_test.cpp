@@ -1,0 +1,147 @@
+/// Unit tests for the statistics accumulators.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/assert.hpp"
+#include "sim/stats.hpp"
+
+namespace wlanps::sim {
+namespace {
+
+using namespace time_literals;
+
+TEST(AccumulatorTest, EmptyQueriesThrow) {
+    Accumulator acc;
+    EXPECT_TRUE(acc.empty());
+    EXPECT_THROW((void)acc.mean(), ContractViolation);
+    EXPECT_THROW((void)acc.min(), ContractViolation);
+    EXPECT_THROW((void)acc.max(), ContractViolation);
+}
+
+TEST(AccumulatorTest, SingleSample) {
+    Accumulator acc;
+    acc.add(42.0);
+    EXPECT_EQ(acc.count(), 1u);
+    EXPECT_DOUBLE_EQ(acc.mean(), 42.0);
+    EXPECT_DOUBLE_EQ(acc.min(), 42.0);
+    EXPECT_DOUBLE_EQ(acc.max(), 42.0);
+    EXPECT_THROW((void)acc.variance(), ContractViolation);  // needs >= 2
+}
+
+TEST(AccumulatorTest, KnownMoments) {
+    Accumulator acc;
+    for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) acc.add(x);
+    EXPECT_DOUBLE_EQ(acc.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(acc.sum(), 40.0);
+    // Sample variance of this classic set is 32/7.
+    EXPECT_NEAR(acc.variance(), 32.0 / 7.0, 1e-12);
+    EXPECT_NEAR(acc.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+    EXPECT_DOUBLE_EQ(acc.min(), 2.0);
+    EXPECT_DOUBLE_EQ(acc.max(), 9.0);
+}
+
+TEST(AccumulatorTest, WelfordIsStableForLargeOffsets) {
+    Accumulator acc;
+    const double offset = 1e9;
+    for (double x : {offset + 1.0, offset + 2.0, offset + 3.0}) acc.add(x);
+    EXPECT_NEAR(acc.variance(), 1.0, 1e-6);
+}
+
+TEST(AccumulatorTest, ResetClears) {
+    Accumulator acc;
+    acc.add(1.0);
+    acc.reset();
+    EXPECT_TRUE(acc.empty());
+}
+
+TEST(TimeWeightedTest, ConstantSignal) {
+    TimeWeighted tw;
+    tw.set(Time::zero(), 2.0);
+    EXPECT_DOUBLE_EQ(tw.average(10_s), 2.0);
+    EXPECT_DOUBLE_EQ(tw.integral(10_s), 20.0);
+}
+
+TEST(TimeWeightedTest, StepSignal) {
+    TimeWeighted tw;
+    tw.set(Time::zero(), 1.0);
+    tw.set(4_s, 3.0);
+    // Integral over 10 s = 1*4 + 3*6 = 22.
+    EXPECT_DOUBLE_EQ(tw.integral(10_s), 22.0);
+    EXPECT_DOUBLE_EQ(tw.average(10_s), 2.2);
+}
+
+TEST(TimeWeightedTest, OutOfOrderUpdateThrows) {
+    TimeWeighted tw;
+    tw.set(5_s, 1.0);
+    EXPECT_THROW(tw.set(4_s, 2.0), ContractViolation);
+}
+
+TEST(TimeWeightedTest, AverageBeforeStartReturnsCurrent) {
+    TimeWeighted tw;
+    EXPECT_DOUBLE_EQ(tw.average(Time::zero()), 0.0);
+    tw.set(1_s, 5.0);
+    EXPECT_DOUBLE_EQ(tw.average(1_s), 5.0);
+}
+
+TEST(TimeWeightedTest, ZeroWidthUpdateKeepsIntegral) {
+    TimeWeighted tw;
+    tw.set(Time::zero(), 1.0);
+    tw.set(2_s, 7.0);
+    tw.set(2_s, 3.0);  // immediate overwrite
+    EXPECT_DOUBLE_EQ(tw.integral(4_s), 1.0 * 2 + 3.0 * 2);
+}
+
+TEST(HistogramTest, CountsAndClamping) {
+    Histogram h(0.0, 10.0, 10);
+    h.add(0.5);
+    h.add(5.5);
+    h.add(-3.0);   // clamps into bin 0
+    h.add(100.0);  // clamps into last bin
+    EXPECT_EQ(h.count(), 4u);
+    EXPECT_EQ(h.bin_count(0), 2u);
+    EXPECT_EQ(h.bin_count(5), 1u);
+    EXPECT_EQ(h.bin_count(9), 1u);
+}
+
+TEST(HistogramTest, PercentileOfUniformFill) {
+    Histogram h(0.0, 100.0, 100);
+    for (int i = 0; i < 100; ++i) h.add(i + 0.5);
+    EXPECT_NEAR(h.percentile(50.0), 50.0, 1.5);
+    EXPECT_NEAR(h.percentile(90.0), 90.0, 1.5);
+    EXPECT_NEAR(h.percentile(99.0), 99.0, 1.5);
+}
+
+TEST(HistogramTest, EmptyPercentileThrows) {
+    Histogram h(0.0, 1.0, 4);
+    EXPECT_THROW((void)h.percentile(50.0), ContractViolation);
+}
+
+TEST(HistogramTest, BadConstructionThrows) {
+    EXPECT_THROW(Histogram(1.0, 1.0, 4), ContractViolation);
+    EXPECT_THROW(Histogram(0.0, 1.0, 0), ContractViolation);
+}
+
+TEST(RatioCounterTest, Basics) {
+    RatioCounter rc;
+    EXPECT_DOUBLE_EQ(rc.ratio(), 0.0);
+    rc.hit();
+    rc.hit();
+    rc.miss();
+    EXPECT_EQ(rc.hits(), 2u);
+    EXPECT_EQ(rc.misses(), 1u);
+    EXPECT_EQ(rc.total(), 3u);
+    EXPECT_NEAR(rc.ratio(), 2.0 / 3.0, 1e-12);
+}
+
+TEST(RatioCounterTest, AddBool) {
+    RatioCounter rc;
+    rc.add(true);
+    rc.add(false);
+    rc.add(true);
+    EXPECT_NEAR(rc.ratio(), 2.0 / 3.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace wlanps::sim

@@ -1,0 +1,113 @@
+/// Unit tests for timeline tracing and Gantt rendering.
+
+#include <gtest/gtest.h>
+
+#include "sim/assert.hpp"
+#include "sim/trace.hpp"
+
+namespace wlanps::sim {
+namespace {
+
+using namespace time_literals;
+
+TEST(TimelineTraceTest, SpansCloseOnTransition) {
+    TimelineTrace t;
+    t.set_state(0_ms, "a", 1.0);
+    t.set_state(10_ms, "b", 2.0);
+    t.finish(30_ms);
+    ASSERT_EQ(t.spans().size(), 2u);
+    EXPECT_EQ(t.spans()[0].label, "a");
+    EXPECT_EQ(t.spans()[0].begin, 0_ms);
+    EXPECT_EQ(t.spans()[0].end, 10_ms);
+    EXPECT_EQ(t.spans()[1].label, "b");
+    EXPECT_EQ(t.spans()[1].end, 30_ms);
+}
+
+TEST(TimelineTraceTest, ZeroLengthSpansDropped) {
+    TimelineTrace t;
+    t.set_state(5_ms, "a", 1.0);
+    t.set_state(5_ms, "b", 2.0);  // overwrites immediately
+    t.finish(10_ms);
+    ASSERT_EQ(t.spans().size(), 1u);
+    EXPECT_EQ(t.spans()[0].label, "b");
+}
+
+TEST(TimelineTraceTest, LevelAtSamplesCorrectSpan) {
+    TimelineTrace t;
+    t.set_state(0_ms, "low", 1.0);
+    t.set_state(10_ms, "high", 5.0);
+    t.finish(20_ms);
+    EXPECT_DOUBLE_EQ(t.level_at(5_ms), 1.0);
+    EXPECT_DOUBLE_EQ(t.level_at(15_ms), 5.0);
+    EXPECT_DOUBLE_EQ(t.level_at(25_ms), 0.0);  // after finish
+    EXPECT_EQ(t.label_at(5_ms), "low");
+    EXPECT_EQ(t.label_at(15_ms), "high");
+}
+
+TEST(TimelineTraceTest, OpenSpanIsVisible) {
+    TimelineTrace t;
+    t.set_state(0_ms, "open", 3.0);
+    EXPECT_DOUBLE_EQ(t.level_at(100_ms), 3.0);
+    EXPECT_EQ(t.label_at(100_ms), "open");
+    EXPECT_DOUBLE_EQ(t.max_level(), 3.0);
+}
+
+TEST(TimelineTraceTest, TimeOrderEnforced) {
+    TimelineTrace t;
+    t.set_state(10_ms, "a", 1.0);
+    EXPECT_THROW(t.set_state(5_ms, "b", 2.0), ContractViolation);
+}
+
+TEST(TimelineTraceTest, FinishIdempotent) {
+    TimelineTrace t;
+    t.set_state(0_ms, "a", 1.0);
+    t.finish(10_ms);
+    t.finish(20_ms);  // no open span: no-op
+    EXPECT_EQ(t.spans().size(), 1u);
+}
+
+TEST(TimelineTraceTest, MaxLevel) {
+    TimelineTrace t;
+    EXPECT_DOUBLE_EQ(t.max_level(), 0.0);
+    t.set_state(0_ms, "a", 2.0);
+    t.set_state(5_ms, "b", 7.0);
+    t.finish(10_ms);
+    EXPECT_DOUBLE_EQ(t.max_level(), 7.0);
+}
+
+TEST(GanttChartTest, RendersLanesWithGlyphs) {
+    TimelineTrace t;
+    t.set_state(0_ms, "on", 1.0);
+    t.set_state(50_ms, "off", 0.0);
+    t.finish(100_ms);
+
+    GanttChart chart;
+    chart.add_lane("nic", t);
+    const std::string out = chart.render(0_ms, 100_ms, 10);
+
+    // Lane line: name, separator, 5 full glyphs then 5 blanks.
+    EXPECT_NE(out.find("nic |#####     |"), std::string::npos);
+    // Axis labels present.
+    EXPECT_NE(out.find("0ns"), std::string::npos);
+    EXPECT_NE(out.find("100ms"), std::string::npos);
+}
+
+TEST(GanttChartTest, NormalizesPerLane) {
+    TimelineTrace t;
+    t.set_state(0_ms, "half", 0.35);  // 70% of its own peak 0.5 -> '='
+    t.set_state(50_ms, "full", 0.5);
+    t.finish(100_ms);
+    GanttChart chart;
+    chart.add_lane("x", t);
+    const std::string out = chart.render(0_ms, 100_ms, 4);
+    EXPECT_NE(out.find("x |==##|"), std::string::npos);
+}
+
+TEST(GanttChartTest, InvalidRangeThrows) {
+    GanttChart chart;
+    EXPECT_THROW((void)chart.render(10_ms, 10_ms, 10), ContractViolation);
+    EXPECT_THROW((void)chart.render(0_ms, 10_ms, 0), ContractViolation);
+}
+
+}  // namespace
+}  // namespace wlanps::sim

@@ -1,0 +1,213 @@
+/// Tests for workload generators and the playout buffer.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "sim/simulator.hpp"
+#include "traffic/playout.hpp"
+#include "traffic/source.hpp"
+
+namespace wlanps::traffic {
+namespace {
+
+using namespace time_literals;
+
+TEST(Mp3SourceTest, CbrRateMatchesCalibration) {
+    sim::Simulator sim;
+    DataSize total;
+    Mp3Source src(sim, [&](DataSize s) { total += s; });
+    src.start();
+    sim.run_until(Time::from_seconds(60));
+    src.stop();
+    // 128 kb/s for 60 s ~ 937 KB.
+    EXPECT_NEAR(static_cast<double>(total.bits()) / 60.0, 128e3, 2e3);
+    EXPECT_NEAR(src.average_rate().kbps(), 128.0, 2.0);
+}
+
+TEST(Mp3SourceTest, StopsCleanly) {
+    sim::Simulator sim;
+    int packets = 0;
+    Mp3Source src(sim, [&](DataSize) { ++packets; });
+    src.start();
+    sim.run_until(Time::from_seconds(1));
+    src.stop();
+    const int at_stop = packets;
+    sim.run_until(Time::from_seconds(2));
+    EXPECT_EQ(packets, at_stop);
+}
+
+TEST(VideoSourceTest, GopPatternAndRate) {
+    sim::Simulator sim;
+    std::vector<DataSize> frames;
+    VideoSource src(sim, [&](DataSize s) { frames.push_back(s); },
+                    VideoSource::Config{}, sim::Random(3));
+    src.start();
+    sim.run_until(Time::from_seconds(10));
+    // 25 fps for 10 s.
+    EXPECT_NEAR(static_cast<double>(frames.size()), 250.0, 2.0);
+    // I frames (every 12th) are on average much larger than B frames.
+    double i_sum = 0.0, b_sum = 0.0;
+    int i_n = 0, b_n = 0;
+    for (std::size_t k = 0; k < frames.size(); ++k) {
+        if (k % 12 == 0) {
+            i_sum += static_cast<double>(frames[k].bytes());
+            ++i_n;
+        } else if (k % 3 != 0) {
+            b_sum += static_cast<double>(frames[k].bytes());
+            ++b_n;
+        }
+    }
+    EXPECT_GT(i_sum / i_n, 3.0 * b_sum / b_n);
+}
+
+TEST(WebSourceTest, OnOffStructure) {
+    sim::Simulator sim;
+    std::vector<Time> arrivals;
+    WebSource src(sim, [&](DataSize) { arrivals.push_back(sim.now()); },
+                  WebSource::Config{}, sim::Random(5));
+    src.start();
+    sim.run_until(Time::from_seconds(120));
+    ASSERT_GT(arrivals.size(), 100u);
+    // There must be OFF gaps far exceeding the ON-rate packet spacing.
+    Time max_gap = Time::zero();
+    for (std::size_t i = 1; i < arrivals.size(); ++i) {
+        max_gap = std::max(max_gap, arrivals[i] - arrivals[i - 1]);
+    }
+    EXPECT_GT(max_gap, Time::from_seconds(1));
+}
+
+TEST(PoissonSourceTest, MeanRate) {
+    sim::Simulator sim;
+    DataSize total;
+    PoissonSource src(sim, [&](DataSize s) { total += s; }, DataSize::from_bytes(1000),
+                      Rate::from_kbps(400), sim::Random(7));
+    src.start();
+    sim.run_until(Time::from_seconds(120));
+    EXPECT_NEAR(static_cast<double>(total.bits()) / 120.0, 400e3, 30e3);
+}
+
+TEST(TraceSourceTest, ReplaysExactly) {
+    sim::Simulator sim;
+    std::vector<std::pair<Time, DataSize>> got;
+    TraceSource src(sim,
+                    [&](DataSize s) { got.emplace_back(sim.now(), s); },
+                    {{10_ms, DataSize::from_bytes(1)}, {20_ms, DataSize::from_bytes(2)}});
+    src.start();
+    sim.run();
+    ASSERT_EQ(got.size(), 2u);
+    EXPECT_EQ(got[0].first, 10_ms);
+    EXPECT_EQ(got[0].second, DataSize::from_bytes(1));
+    EXPECT_EQ(got[1].first, 20_ms);
+}
+
+TEST(SourceTest, CountsPacketsAndBytes) {
+    sim::Simulator sim;
+    Mp3Source src(sim, [](DataSize) {});
+    src.start();
+    sim.run_until(Time::from_seconds(1));
+    EXPECT_GT(src.packets_generated(), 30u);
+    EXPECT_EQ(src.bytes_generated().bytes(),
+              static_cast<std::int64_t>(src.packets_generated()) * 418);
+    EXPECT_EQ(src.name(), "mp3-cbr");
+}
+
+// ---- PlayoutBuffer ------------------------------------------------------------
+
+PlayoutBuffer::Config small_playout() {
+    PlayoutBuffer::Config c;
+    c.frame_size = DataSize::from_bytes(400);
+    c.frame_interval = 25_ms;
+    c.preroll = 100_ms;
+    c.capacity = DataSize::from_bytes(4000);
+    return c;
+}
+
+TEST(PlayoutBufferTest, PlaysWhenFed) {
+    sim::Simulator sim;
+    PlayoutBuffer buf(sim, small_playout());
+    buf.start();
+    // Feed generously before and during playback.
+    for (int i = 0; i < 40; ++i) {
+        sim.schedule_at(Time::from_ms(i * 25), [&] { buf.on_data(DataSize::from_bytes(400)); });
+    }
+    sim.run_until(Time::from_seconds(1));
+    EXPECT_GT(buf.frames_played(), 30u);
+    EXPECT_EQ(buf.underruns(), 0u);
+    EXPECT_DOUBLE_EQ(buf.qos(), 1.0);
+}
+
+TEST(PlayoutBufferTest, StarvedBufferUnderruns) {
+    sim::Simulator sim;
+    PlayoutBuffer buf(sim, small_playout());
+    buf.start();
+    buf.on_data(DataSize::from_bytes(800));  // only 2 frames
+    sim.run_until(Time::from_seconds(1));
+    EXPECT_EQ(buf.frames_played(), 2u);
+    EXPECT_GT(buf.underruns(), 20u);
+    EXPECT_LT(buf.qos(), 0.2);
+}
+
+TEST(PlayoutBufferTest, OverflowDropsAreCounted) {
+    sim::Simulator sim;
+    PlayoutBuffer buf(sim, small_playout());  // 4000 B capacity
+    buf.on_data(DataSize::from_bytes(3900));
+    buf.on_data(DataSize::from_bytes(500));   // would exceed capacity
+    EXPECT_EQ(buf.overflow_drops(), 1u);
+    EXPECT_EQ(buf.level(), buf.config().capacity);
+    EXPECT_TRUE(buf.headroom().is_zero());
+}
+
+TEST(PlayoutBufferTest, StartThresholdDelaysPlayback) {
+    sim::Simulator sim;
+    auto cfg = small_playout();
+    cfg.start_threshold_frames = 4;  // needs 1600 B buffered
+    PlayoutBuffer buf(sim, cfg);
+    buf.start();
+    // First data arrives late, at 500 ms (10 frames worth).
+    sim.schedule_at(500_ms, [&] { buf.on_data(DataSize::from_bytes(4000)); });
+    // Stop before the 10 delivered frames are exhausted (~500 + 10*25 ms).
+    sim.run_until(730_ms);
+    EXPECT_TRUE(buf.playing());
+    EXPECT_GE(buf.playback_started_at(), 500_ms);
+    // Crucially: the late start is not punished with underruns.
+    EXPECT_EQ(buf.underruns(), 0u);
+    EXPECT_GE(buf.frames_played(), 9u);
+}
+
+TEST(PlayoutBufferTest, UnderrunsCountAfterPlaybackStarts) {
+    sim::Simulator sim;
+    auto cfg = small_playout();
+    cfg.start_threshold_frames = 2;
+    PlayoutBuffer buf(sim, cfg);
+    buf.start();
+    buf.on_data(DataSize::from_bytes(800));  // exactly the threshold
+    sim.run_until(Time::from_seconds(1));
+    EXPECT_EQ(buf.frames_played(), 2u);
+    EXPECT_GT(buf.underruns(), 0u);  // starved after the initial frames
+}
+
+TEST(PlayoutBufferTest, StopHaltsConsumption) {
+    sim::Simulator sim;
+    PlayoutBuffer buf(sim, small_playout());
+    buf.start();
+    buf.on_data(DataSize::from_bytes(4000));
+    sim.run_until(300_ms);
+    buf.stop();
+    const auto played = buf.frames_played();
+    sim.run_until(Time::from_seconds(2));
+    EXPECT_EQ(buf.frames_played(), played);
+}
+
+TEST(PlayoutBufferTest, OccupancySampled) {
+    sim::Simulator sim;
+    PlayoutBuffer buf(sim, small_playout());
+    buf.start();
+    buf.on_data(DataSize::from_bytes(4000));
+    sim.run_until(Time::from_seconds(1));
+    EXPECT_GT(buf.occupancy_stats().count(), 10u);
+}
+
+}  // namespace
+}  // namespace wlanps::traffic
