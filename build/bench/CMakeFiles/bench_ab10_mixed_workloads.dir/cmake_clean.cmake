@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ab10_mixed_workloads.dir/bench_ab10_mixed_workloads.cpp.o"
+  "CMakeFiles/bench_ab10_mixed_workloads.dir/bench_ab10_mixed_workloads.cpp.o.d"
+  "bench_ab10_mixed_workloads"
+  "bench_ab10_mixed_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ab10_mixed_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

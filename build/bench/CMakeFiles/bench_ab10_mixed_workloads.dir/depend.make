@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_ab10_mixed_workloads.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ab11_app_level.dir/bench_ab11_app_level.cpp.o"
+  "CMakeFiles/bench_ab11_app_level.dir/bench_ab11_app_level.cpp.o.d"
+  "bench_ab11_app_level"
+  "bench_ab11_app_level.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ab11_app_level.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_ab11_app_level.
+# This may be replaced when dependencies are built.

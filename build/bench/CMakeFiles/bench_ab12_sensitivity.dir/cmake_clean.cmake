@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ab12_sensitivity.dir/bench_ab12_sensitivity.cpp.o"
+  "CMakeFiles/bench_ab12_sensitivity.dir/bench_ab12_sensitivity.cpp.o.d"
+  "bench_ab12_sensitivity"
+  "bench_ab12_sensitivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ab12_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

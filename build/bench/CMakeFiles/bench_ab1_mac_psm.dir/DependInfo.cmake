@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_ab1_mac_psm.cpp" "bench/CMakeFiles/bench_ab1_mac_psm.dir/bench_ab1_mac_psm.cpp.o" "gcc" "bench/CMakeFiles/bench_ab1_mac_psm.dir/bench_ab1_mac_psm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/wlanps_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/wlanps_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/os/CMakeFiles/wlanps_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/link/CMakeFiles/wlanps_link.dir/DependInfo.cmake"
+  "/root/repo/build/src/bt/CMakeFiles/wlanps_bt.dir/DependInfo.cmake"
+  "/root/repo/build/src/mac/CMakeFiles/wlanps_mac.dir/DependInfo.cmake"
+  "/root/repo/build/src/traffic/CMakeFiles/wlanps_traffic.dir/DependInfo.cmake"
+  "/root/repo/build/src/phy/CMakeFiles/wlanps_phy.dir/DependInfo.cmake"
+  "/root/repo/build/src/channel/CMakeFiles/wlanps_channel.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/wlanps_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/wlanps_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ab1_mac_psm.dir/bench_ab1_mac_psm.cpp.o"
+  "CMakeFiles/bench_ab1_mac_psm.dir/bench_ab1_mac_psm.cpp.o.d"
+  "bench_ab1_mac_psm"
+  "bench_ab1_mac_psm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ab1_mac_psm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_ab1_mac_psm.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ab2_arq_fec.dir/bench_ab2_arq_fec.cpp.o"
+  "CMakeFiles/bench_ab2_arq_fec.dir/bench_ab2_arq_fec.cpp.o.d"
+  "bench_ab2_arq_fec"
+  "bench_ab2_arq_fec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ab2_arq_fec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_ab2_arq_fec.
+# This may be replaced when dependencies are built.

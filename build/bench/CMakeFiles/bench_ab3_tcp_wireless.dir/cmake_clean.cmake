@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ab3_tcp_wireless.dir/bench_ab3_tcp_wireless.cpp.o"
+  "CMakeFiles/bench_ab3_tcp_wireless.dir/bench_ab3_tcp_wireless.cpp.o.d"
+  "bench_ab3_tcp_wireless"
+  "bench_ab3_tcp_wireless.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ab3_tcp_wireless.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

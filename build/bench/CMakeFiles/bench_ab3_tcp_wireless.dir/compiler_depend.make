@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_ab3_tcp_wireless.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ab4_os_policies.dir/bench_ab4_os_policies.cpp.o"
+  "CMakeFiles/bench_ab4_os_policies.dir/bench_ab4_os_policies.cpp.o.d"
+  "bench_ab4_os_policies"
+  "bench_ab4_os_policies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ab4_os_policies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

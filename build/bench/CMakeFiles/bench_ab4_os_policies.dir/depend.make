@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_ab4_os_policies.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ab5_burst_sched.dir/bench_ab5_burst_sched.cpp.o"
+  "CMakeFiles/bench_ab5_burst_sched.dir/bench_ab5_burst_sched.cpp.o.d"
+  "bench_ab5_burst_sched"
+  "bench_ab5_burst_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ab5_burst_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

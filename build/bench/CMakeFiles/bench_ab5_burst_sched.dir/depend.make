@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_ab5_burst_sched.
+# This may be replaced when dependencies are built.

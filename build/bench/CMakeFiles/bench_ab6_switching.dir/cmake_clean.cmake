@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ab6_switching.dir/bench_ab6_switching.cpp.o"
+  "CMakeFiles/bench_ab6_switching.dir/bench_ab6_switching.cpp.o.d"
+  "bench_ab6_switching"
+  "bench_ab6_switching.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ab6_switching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

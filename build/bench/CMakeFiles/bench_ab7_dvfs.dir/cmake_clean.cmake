@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ab7_dvfs.dir/bench_ab7_dvfs.cpp.o"
+  "CMakeFiles/bench_ab7_dvfs.dir/bench_ab7_dvfs.cpp.o.d"
+  "bench_ab7_dvfs"
+  "bench_ab7_dvfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ab7_dvfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

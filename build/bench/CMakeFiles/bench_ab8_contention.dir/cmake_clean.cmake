@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ab8_contention.dir/bench_ab8_contention.cpp.o"
+  "CMakeFiles/bench_ab8_contention.dir/bench_ab8_contention.cpp.o.d"
+  "bench_ab8_contention"
+  "bench_ab8_contention.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ab8_contention.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ab9_rate_adaptation.dir/bench_ab9_rate_adaptation.cpp.o"
+  "CMakeFiles/bench_ab9_rate_adaptation.dir/bench_ab9_rate_adaptation.cpp.o.d"
+  "bench_ab9_rate_adaptation"
+  "bench_ab9_rate_adaptation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ab9_rate_adaptation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

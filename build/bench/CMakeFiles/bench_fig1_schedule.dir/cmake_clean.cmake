@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_schedule.dir/bench_fig1_schedule.cpp.o"
+  "CMakeFiles/bench_fig1_schedule.dir/bench_fig1_schedule.cpp.o.d"
+  "bench_fig1_schedule"
+  "bench_fig1_schedule.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_schedule.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

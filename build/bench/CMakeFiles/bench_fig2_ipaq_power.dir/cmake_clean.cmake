@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_ipaq_power.dir/bench_fig2_ipaq_power.cpp.o"
+  "CMakeFiles/bench_fig2_ipaq_power.dir/bench_fig2_ipaq_power.cpp.o.d"
+  "bench_fig2_ipaq_power"
+  "bench_fig2_ipaq_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_ipaq_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_perf_kernel.dir/bench_perf_kernel.cpp.o"
+  "CMakeFiles/bench_perf_kernel.dir/bench_perf_kernel.cpp.o.d"
+  "bench_perf_kernel"
+  "bench_perf_kernel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_perf_kernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/battery_lifetime.dir/battery_lifetime.cpp.o"
+  "CMakeFiles/battery_lifetime.dir/battery_lifetime.cpp.o.d"
+  "battery_lifetime"
+  "battery_lifetime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/battery_lifetime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hotspot_cli.dir/hotspot_cli.cpp.o"
+  "CMakeFiles/hotspot_cli.dir/hotspot_cli.cpp.o.d"
+  "hotspot_cli"
+  "hotspot_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hotspot_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

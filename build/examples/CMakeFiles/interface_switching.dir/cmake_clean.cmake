@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interface_switching.dir/interface_switching.cpp.o"
+  "CMakeFiles/interface_switching.dir/interface_switching.cpp.o.d"
+  "interface_switching"
+  "interface_switching.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interface_switching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mp3_streaming.dir/mp3_streaming.cpp.o"
+  "CMakeFiles/mp3_streaming.dir/mp3_streaming.cpp.o.d"
+  "mp3_streaming"
+  "mp3_streaming.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mp3_streaming.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

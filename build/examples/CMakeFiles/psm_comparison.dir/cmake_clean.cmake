@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psm_comparison.dir/psm_comparison.cpp.o"
+  "CMakeFiles/psm_comparison.dir/psm_comparison.cpp.o.d"
+  "psm_comparison"
+  "psm_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psm_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/walk_away.dir/walk_away.cpp.o"
+  "CMakeFiles/walk_away.dir/walk_away.cpp.o.d"
+  "walk_away"
+  "walk_away.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/walk_away.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

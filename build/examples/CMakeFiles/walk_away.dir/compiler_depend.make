@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for walk_away.
+# This may be replaced when dependencies are built.

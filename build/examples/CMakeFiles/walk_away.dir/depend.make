@@ -1,0 +1,2 @@
+# Empty dependencies file for walk_away.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wlanps_bt.dir/piconet.cpp.o"
+  "CMakeFiles/wlanps_bt.dir/piconet.cpp.o.d"
+  "libwlanps_bt.a"
+  "libwlanps_bt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wlanps_bt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

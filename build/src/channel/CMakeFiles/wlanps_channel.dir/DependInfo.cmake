@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/channel/ber.cpp" "src/channel/CMakeFiles/wlanps_channel.dir/ber.cpp.o" "gcc" "src/channel/CMakeFiles/wlanps_channel.dir/ber.cpp.o.d"
+  "/root/repo/src/channel/gilbert_elliott.cpp" "src/channel/CMakeFiles/wlanps_channel.dir/gilbert_elliott.cpp.o" "gcc" "src/channel/CMakeFiles/wlanps_channel.dir/gilbert_elliott.cpp.o.d"
+  "/root/repo/src/channel/link.cpp" "src/channel/CMakeFiles/wlanps_channel.dir/link.cpp.o" "gcc" "src/channel/CMakeFiles/wlanps_channel.dir/link.cpp.o.d"
+  "/root/repo/src/channel/path_loss.cpp" "src/channel/CMakeFiles/wlanps_channel.dir/path_loss.cpp.o" "gcc" "src/channel/CMakeFiles/wlanps_channel.dir/path_loss.cpp.o.d"
+  "/root/repo/src/channel/predictor.cpp" "src/channel/CMakeFiles/wlanps_channel.dir/predictor.cpp.o" "gcc" "src/channel/CMakeFiles/wlanps_channel.dir/predictor.cpp.o.d"
+  "/root/repo/src/channel/rate_control.cpp" "src/channel/CMakeFiles/wlanps_channel.dir/rate_control.cpp.o" "gcc" "src/channel/CMakeFiles/wlanps_channel.dir/rate_control.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/wlanps_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wlanps_channel.dir/ber.cpp.o"
+  "CMakeFiles/wlanps_channel.dir/ber.cpp.o.d"
+  "CMakeFiles/wlanps_channel.dir/gilbert_elliott.cpp.o"
+  "CMakeFiles/wlanps_channel.dir/gilbert_elliott.cpp.o.d"
+  "CMakeFiles/wlanps_channel.dir/link.cpp.o"
+  "CMakeFiles/wlanps_channel.dir/link.cpp.o.d"
+  "CMakeFiles/wlanps_channel.dir/path_loss.cpp.o"
+  "CMakeFiles/wlanps_channel.dir/path_loss.cpp.o.d"
+  "CMakeFiles/wlanps_channel.dir/predictor.cpp.o"
+  "CMakeFiles/wlanps_channel.dir/predictor.cpp.o.d"
+  "CMakeFiles/wlanps_channel.dir/rate_control.cpp.o"
+  "CMakeFiles/wlanps_channel.dir/rate_control.cpp.o.d"
+  "libwlanps_channel.a"
+  "libwlanps_channel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wlanps_channel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

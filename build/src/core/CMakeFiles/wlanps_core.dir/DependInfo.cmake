@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/burst_channel.cpp" "src/core/CMakeFiles/wlanps_core.dir/burst_channel.cpp.o" "gcc" "src/core/CMakeFiles/wlanps_core.dir/burst_channel.cpp.o.d"
+  "/root/repo/src/core/client.cpp" "src/core/CMakeFiles/wlanps_core.dir/client.cpp.o" "gcc" "src/core/CMakeFiles/wlanps_core.dir/client.cpp.o.d"
+  "/root/repo/src/core/media_proxy.cpp" "src/core/CMakeFiles/wlanps_core.dir/media_proxy.cpp.o" "gcc" "src/core/CMakeFiles/wlanps_core.dir/media_proxy.cpp.o.d"
+  "/root/repo/src/core/scenarios.cpp" "src/core/CMakeFiles/wlanps_core.dir/scenarios.cpp.o" "gcc" "src/core/CMakeFiles/wlanps_core.dir/scenarios.cpp.o.d"
+  "/root/repo/src/core/scheduler.cpp" "src/core/CMakeFiles/wlanps_core.dir/scheduler.cpp.o" "gcc" "src/core/CMakeFiles/wlanps_core.dir/scheduler.cpp.o.d"
+  "/root/repo/src/core/selector.cpp" "src/core/CMakeFiles/wlanps_core.dir/selector.cpp.o" "gcc" "src/core/CMakeFiles/wlanps_core.dir/selector.cpp.o.d"
+  "/root/repo/src/core/server.cpp" "src/core/CMakeFiles/wlanps_core.dir/server.cpp.o" "gcc" "src/core/CMakeFiles/wlanps_core.dir/server.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/bt/CMakeFiles/wlanps_bt.dir/DependInfo.cmake"
+  "/root/repo/build/src/mac/CMakeFiles/wlanps_mac.dir/DependInfo.cmake"
+  "/root/repo/build/src/traffic/CMakeFiles/wlanps_traffic.dir/DependInfo.cmake"
+  "/root/repo/build/src/channel/CMakeFiles/wlanps_channel.dir/DependInfo.cmake"
+  "/root/repo/build/src/phy/CMakeFiles/wlanps_phy.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/wlanps_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/wlanps_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wlanps_core.dir/burst_channel.cpp.o"
+  "CMakeFiles/wlanps_core.dir/burst_channel.cpp.o.d"
+  "CMakeFiles/wlanps_core.dir/client.cpp.o"
+  "CMakeFiles/wlanps_core.dir/client.cpp.o.d"
+  "CMakeFiles/wlanps_core.dir/media_proxy.cpp.o"
+  "CMakeFiles/wlanps_core.dir/media_proxy.cpp.o.d"
+  "CMakeFiles/wlanps_core.dir/scenarios.cpp.o"
+  "CMakeFiles/wlanps_core.dir/scenarios.cpp.o.d"
+  "CMakeFiles/wlanps_core.dir/scheduler.cpp.o"
+  "CMakeFiles/wlanps_core.dir/scheduler.cpp.o.d"
+  "CMakeFiles/wlanps_core.dir/selector.cpp.o"
+  "CMakeFiles/wlanps_core.dir/selector.cpp.o.d"
+  "CMakeFiles/wlanps_core.dir/server.cpp.o"
+  "CMakeFiles/wlanps_core.dir/server.cpp.o.d"
+  "libwlanps_core.a"
+  "libwlanps_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wlanps_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/link/adaptive_mtu.cpp" "src/link/CMakeFiles/wlanps_link.dir/adaptive_mtu.cpp.o" "gcc" "src/link/CMakeFiles/wlanps_link.dir/adaptive_mtu.cpp.o.d"
+  "/root/repo/src/link/arq.cpp" "src/link/CMakeFiles/wlanps_link.dir/arq.cpp.o" "gcc" "src/link/CMakeFiles/wlanps_link.dir/arq.cpp.o.d"
+  "/root/repo/src/link/fec.cpp" "src/link/CMakeFiles/wlanps_link.dir/fec.cpp.o" "gcc" "src/link/CMakeFiles/wlanps_link.dir/fec.cpp.o.d"
+  "/root/repo/src/link/protocol.cpp" "src/link/CMakeFiles/wlanps_link.dir/protocol.cpp.o" "gcc" "src/link/CMakeFiles/wlanps_link.dir/protocol.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/channel/CMakeFiles/wlanps_channel.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/wlanps_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/wlanps_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wlanps_link.dir/adaptive_mtu.cpp.o"
+  "CMakeFiles/wlanps_link.dir/adaptive_mtu.cpp.o.d"
+  "CMakeFiles/wlanps_link.dir/arq.cpp.o"
+  "CMakeFiles/wlanps_link.dir/arq.cpp.o.d"
+  "CMakeFiles/wlanps_link.dir/fec.cpp.o"
+  "CMakeFiles/wlanps_link.dir/fec.cpp.o.d"
+  "CMakeFiles/wlanps_link.dir/protocol.cpp.o"
+  "CMakeFiles/wlanps_link.dir/protocol.cpp.o.d"
+  "libwlanps_link.a"
+  "libwlanps_link.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wlanps_link.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

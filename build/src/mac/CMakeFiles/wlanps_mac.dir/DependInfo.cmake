@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mac/access_point.cpp" "src/mac/CMakeFiles/wlanps_mac.dir/access_point.cpp.o" "gcc" "src/mac/CMakeFiles/wlanps_mac.dir/access_point.cpp.o.d"
+  "/root/repo/src/mac/bss.cpp" "src/mac/CMakeFiles/wlanps_mac.dir/bss.cpp.o" "gcc" "src/mac/CMakeFiles/wlanps_mac.dir/bss.cpp.o.d"
+  "/root/repo/src/mac/dcf.cpp" "src/mac/CMakeFiles/wlanps_mac.dir/dcf.cpp.o" "gcc" "src/mac/CMakeFiles/wlanps_mac.dir/dcf.cpp.o.d"
+  "/root/repo/src/mac/ecmac.cpp" "src/mac/CMakeFiles/wlanps_mac.dir/ecmac.cpp.o" "gcc" "src/mac/CMakeFiles/wlanps_mac.dir/ecmac.cpp.o.d"
+  "/root/repo/src/mac/medium.cpp" "src/mac/CMakeFiles/wlanps_mac.dir/medium.cpp.o" "gcc" "src/mac/CMakeFiles/wlanps_mac.dir/medium.cpp.o.d"
+  "/root/repo/src/mac/pamas.cpp" "src/mac/CMakeFiles/wlanps_mac.dir/pamas.cpp.o" "gcc" "src/mac/CMakeFiles/wlanps_mac.dir/pamas.cpp.o.d"
+  "/root/repo/src/mac/station.cpp" "src/mac/CMakeFiles/wlanps_mac.dir/station.cpp.o" "gcc" "src/mac/CMakeFiles/wlanps_mac.dir/station.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/phy/CMakeFiles/wlanps_phy.dir/DependInfo.cmake"
+  "/root/repo/build/src/channel/CMakeFiles/wlanps_channel.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/wlanps_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/wlanps_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wlanps_mac.dir/access_point.cpp.o"
+  "CMakeFiles/wlanps_mac.dir/access_point.cpp.o.d"
+  "CMakeFiles/wlanps_mac.dir/bss.cpp.o"
+  "CMakeFiles/wlanps_mac.dir/bss.cpp.o.d"
+  "CMakeFiles/wlanps_mac.dir/dcf.cpp.o"
+  "CMakeFiles/wlanps_mac.dir/dcf.cpp.o.d"
+  "CMakeFiles/wlanps_mac.dir/ecmac.cpp.o"
+  "CMakeFiles/wlanps_mac.dir/ecmac.cpp.o.d"
+  "CMakeFiles/wlanps_mac.dir/medium.cpp.o"
+  "CMakeFiles/wlanps_mac.dir/medium.cpp.o.d"
+  "CMakeFiles/wlanps_mac.dir/pamas.cpp.o"
+  "CMakeFiles/wlanps_mac.dir/pamas.cpp.o.d"
+  "CMakeFiles/wlanps_mac.dir/station.cpp.o"
+  "CMakeFiles/wlanps_mac.dir/station.cpp.o.d"
+  "libwlanps_mac.a"
+  "libwlanps_mac.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wlanps_mac.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

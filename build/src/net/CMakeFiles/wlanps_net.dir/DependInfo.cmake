@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/probing.cpp" "src/net/CMakeFiles/wlanps_net.dir/probing.cpp.o" "gcc" "src/net/CMakeFiles/wlanps_net.dir/probing.cpp.o.d"
+  "/root/repo/src/net/proxy.cpp" "src/net/CMakeFiles/wlanps_net.dir/proxy.cpp.o" "gcc" "src/net/CMakeFiles/wlanps_net.dir/proxy.cpp.o.d"
+  "/root/repo/src/net/tcp.cpp" "src/net/CMakeFiles/wlanps_net.dir/tcp.cpp.o" "gcc" "src/net/CMakeFiles/wlanps_net.dir/tcp.cpp.o.d"
+  "/root/repo/src/net/udp.cpp" "src/net/CMakeFiles/wlanps_net.dir/udp.cpp.o" "gcc" "src/net/CMakeFiles/wlanps_net.dir/udp.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/channel/CMakeFiles/wlanps_channel.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/wlanps_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

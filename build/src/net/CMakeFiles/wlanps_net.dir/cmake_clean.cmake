@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wlanps_net.dir/probing.cpp.o"
+  "CMakeFiles/wlanps_net.dir/probing.cpp.o.d"
+  "CMakeFiles/wlanps_net.dir/proxy.cpp.o"
+  "CMakeFiles/wlanps_net.dir/proxy.cpp.o.d"
+  "CMakeFiles/wlanps_net.dir/tcp.cpp.o"
+  "CMakeFiles/wlanps_net.dir/tcp.cpp.o.d"
+  "CMakeFiles/wlanps_net.dir/udp.cpp.o"
+  "CMakeFiles/wlanps_net.dir/udp.cpp.o.d"
+  "libwlanps_net.a"
+  "libwlanps_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wlanps_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/os/device_manager.cpp" "src/os/CMakeFiles/wlanps_os.dir/device_manager.cpp.o" "gcc" "src/os/CMakeFiles/wlanps_os.dir/device_manager.cpp.o.d"
+  "/root/repo/src/os/dvfs.cpp" "src/os/CMakeFiles/wlanps_os.dir/dvfs.cpp.o" "gcc" "src/os/CMakeFiles/wlanps_os.dir/dvfs.cpp.o.d"
+  "/root/repo/src/os/idle_trace.cpp" "src/os/CMakeFiles/wlanps_os.dir/idle_trace.cpp.o" "gcc" "src/os/CMakeFiles/wlanps_os.dir/idle_trace.cpp.o.d"
+  "/root/repo/src/os/offload.cpp" "src/os/CMakeFiles/wlanps_os.dir/offload.cpp.o" "gcc" "src/os/CMakeFiles/wlanps_os.dir/offload.cpp.o.d"
+  "/root/repo/src/os/shutdown_policy.cpp" "src/os/CMakeFiles/wlanps_os.dir/shutdown_policy.cpp.o" "gcc" "src/os/CMakeFiles/wlanps_os.dir/shutdown_policy.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/phy/CMakeFiles/wlanps_phy.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/wlanps_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/wlanps_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wlanps_os.dir/device_manager.cpp.o"
+  "CMakeFiles/wlanps_os.dir/device_manager.cpp.o.d"
+  "CMakeFiles/wlanps_os.dir/dvfs.cpp.o"
+  "CMakeFiles/wlanps_os.dir/dvfs.cpp.o.d"
+  "CMakeFiles/wlanps_os.dir/idle_trace.cpp.o"
+  "CMakeFiles/wlanps_os.dir/idle_trace.cpp.o.d"
+  "CMakeFiles/wlanps_os.dir/offload.cpp.o"
+  "CMakeFiles/wlanps_os.dir/offload.cpp.o.d"
+  "CMakeFiles/wlanps_os.dir/shutdown_policy.cpp.o"
+  "CMakeFiles/wlanps_os.dir/shutdown_policy.cpp.o.d"
+  "libwlanps_os.a"
+  "libwlanps_os.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wlanps_os.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

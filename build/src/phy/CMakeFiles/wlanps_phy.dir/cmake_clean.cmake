@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wlanps_phy.dir/bt_nic.cpp.o"
+  "CMakeFiles/wlanps_phy.dir/bt_nic.cpp.o.d"
+  "CMakeFiles/wlanps_phy.dir/wlan_nic.cpp.o"
+  "CMakeFiles/wlanps_phy.dir/wlan_nic.cpp.o.d"
+  "libwlanps_phy.a"
+  "libwlanps_phy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wlanps_phy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

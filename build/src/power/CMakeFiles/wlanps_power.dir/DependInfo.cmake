@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/power/battery.cpp" "src/power/CMakeFiles/wlanps_power.dir/battery.cpp.o" "gcc" "src/power/CMakeFiles/wlanps_power.dir/battery.cpp.o.d"
+  "/root/repo/src/power/energy_meter.cpp" "src/power/CMakeFiles/wlanps_power.dir/energy_meter.cpp.o" "gcc" "src/power/CMakeFiles/wlanps_power.dir/energy_meter.cpp.o.d"
+  "/root/repo/src/power/state_machine.cpp" "src/power/CMakeFiles/wlanps_power.dir/state_machine.cpp.o" "gcc" "src/power/CMakeFiles/wlanps_power.dir/state_machine.cpp.o.d"
+  "/root/repo/src/power/units.cpp" "src/power/CMakeFiles/wlanps_power.dir/units.cpp.o" "gcc" "src/power/CMakeFiles/wlanps_power.dir/units.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/wlanps_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

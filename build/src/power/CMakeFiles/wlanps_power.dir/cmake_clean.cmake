@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wlanps_power.dir/battery.cpp.o"
+  "CMakeFiles/wlanps_power.dir/battery.cpp.o.d"
+  "CMakeFiles/wlanps_power.dir/energy_meter.cpp.o"
+  "CMakeFiles/wlanps_power.dir/energy_meter.cpp.o.d"
+  "CMakeFiles/wlanps_power.dir/state_machine.cpp.o"
+  "CMakeFiles/wlanps_power.dir/state_machine.cpp.o.d"
+  "CMakeFiles/wlanps_power.dir/units.cpp.o"
+  "CMakeFiles/wlanps_power.dir/units.cpp.o.d"
+  "libwlanps_power.a"
+  "libwlanps_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wlanps_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wlanps_sim.dir/random.cpp.o"
+  "CMakeFiles/wlanps_sim.dir/random.cpp.o.d"
+  "CMakeFiles/wlanps_sim.dir/simulator.cpp.o"
+  "CMakeFiles/wlanps_sim.dir/simulator.cpp.o.d"
+  "CMakeFiles/wlanps_sim.dir/stats.cpp.o"
+  "CMakeFiles/wlanps_sim.dir/stats.cpp.o.d"
+  "CMakeFiles/wlanps_sim.dir/trace.cpp.o"
+  "CMakeFiles/wlanps_sim.dir/trace.cpp.o.d"
+  "CMakeFiles/wlanps_sim.dir/units.cpp.o"
+  "CMakeFiles/wlanps_sim.dir/units.cpp.o.d"
+  "libwlanps_sim.a"
+  "libwlanps_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wlanps_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

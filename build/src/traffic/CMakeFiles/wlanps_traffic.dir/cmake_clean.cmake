@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wlanps_traffic.dir/playout.cpp.o"
+  "CMakeFiles/wlanps_traffic.dir/playout.cpp.o.d"
+  "CMakeFiles/wlanps_traffic.dir/source.cpp.o"
+  "CMakeFiles/wlanps_traffic.dir/source.cpp.o.d"
+  "libwlanps_traffic.a"
+  "libwlanps_traffic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wlanps_traffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libwlanps_traffic.a"
+)

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptation_test.dir/adaptation_test.cpp.o"
+  "CMakeFiles/adaptation_test.dir/adaptation_test.cpp.o.d"
+  "adaptation_test"
+  "adaptation_test.pdb"
+  "adaptation_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bt_test.dir/bt_test.cpp.o"
+  "CMakeFiles/bt_test.dir/bt_test.cpp.o.d"
+  "bt_test"
+  "bt_test.pdb"
+  "bt_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bt_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_admission_test.dir/core_admission_test.cpp.o"
+  "CMakeFiles/core_admission_test.dir/core_admission_test.cpp.o.d"
+  "core_admission_test"
+  "core_admission_test.pdb"
+  "core_admission_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_admission_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_lifecycle_test.dir/core_lifecycle_test.cpp.o"
+  "CMakeFiles/core_lifecycle_test.dir/core_lifecycle_test.cpp.o.d"
+  "core_lifecycle_test"
+  "core_lifecycle_test.pdb"
+  "core_lifecycle_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_lifecycle_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_scheduler_test.dir/core_scheduler_test.cpp.o"
+  "CMakeFiles/core_scheduler_test.dir/core_scheduler_test.cpp.o.d"
+  "core_scheduler_test"
+  "core_scheduler_test.pdb"
+  "core_scheduler_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_scheduler_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

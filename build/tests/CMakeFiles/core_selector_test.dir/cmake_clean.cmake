@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_selector_test.dir/core_selector_test.cpp.o"
+  "CMakeFiles/core_selector_test.dir/core_selector_test.cpp.o.d"
+  "core_selector_test"
+  "core_selector_test.pdb"
+  "core_selector_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_selector_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

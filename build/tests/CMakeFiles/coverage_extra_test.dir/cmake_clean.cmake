@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coverage_extra_test.dir/coverage_extra_test.cpp.o"
+  "CMakeFiles/coverage_extra_test.dir/coverage_extra_test.cpp.o.d"
+  "coverage_extra_test"
+  "coverage_extra_test.pdb"
+  "coverage_extra_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coverage_extra_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fairness_test.dir/fairness_test.cpp.o"
+  "CMakeFiles/fairness_test.dir/fairness_test.cpp.o.d"
+  "fairness_test"
+  "fairness_test.pdb"
+  "fairness_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fairness_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fuzz_invariants_test.dir/fuzz_invariants_test.cpp.o"
+  "CMakeFiles/fuzz_invariants_test.dir/fuzz_invariants_test.cpp.o.d"
+  "fuzz_invariants_test"
+  "fuzz_invariants_test.pdb"
+  "fuzz_invariants_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fuzz_invariants_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mac_dcf_test.dir/mac_dcf_test.cpp.o"
+  "CMakeFiles/mac_dcf_test.dir/mac_dcf_test.cpp.o.d"
+  "mac_dcf_test"
+  "mac_dcf_test.pdb"
+  "mac_dcf_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mac_dcf_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mac_ecmac_test.dir/mac_ecmac_test.cpp.o"
+  "CMakeFiles/mac_ecmac_test.dir/mac_ecmac_test.cpp.o.d"
+  "mac_ecmac_test"
+  "mac_ecmac_test.pdb"
+  "mac_ecmac_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mac_ecmac_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

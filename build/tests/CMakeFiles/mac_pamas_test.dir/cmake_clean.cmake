@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mac_pamas_test.dir/mac_pamas_test.cpp.o"
+  "CMakeFiles/mac_pamas_test.dir/mac_pamas_test.cpp.o.d"
+  "mac_pamas_test"
+  "mac_pamas_test.pdb"
+  "mac_pamas_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mac_pamas_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mac_psm_test.dir/mac_psm_test.cpp.o"
+  "CMakeFiles/mac_psm_test.dir/mac_psm_test.cpp.o.d"
+  "mac_psm_test"
+  "mac_psm_test.pdb"
+  "mac_psm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mac_psm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mac_rts_uplink_test.dir/mac_rts_uplink_test.cpp.o"
+  "CMakeFiles/mac_rts_uplink_test.dir/mac_rts_uplink_test.cpp.o.d"
+  "mac_rts_uplink_test"
+  "mac_rts_uplink_test.pdb"
+  "mac_rts_uplink_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mac_rts_uplink_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/net_probing_test.dir/net_probing_test.cpp.o"
+  "CMakeFiles/net_probing_test.dir/net_probing_test.cpp.o.d"
+  "net_probing_test"
+  "net_probing_test.pdb"
+  "net_probing_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/net_probing_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_stats_test.dir/sim_stats_test.cpp.o"
+  "CMakeFiles/sim_stats_test.dir/sim_stats_test.cpp.o.d"
+  "sim_stats_test"
+  "sim_stats_test.pdb"
+  "sim_stats_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_stats_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

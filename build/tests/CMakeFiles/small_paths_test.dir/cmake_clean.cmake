@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/small_paths_test.dir/small_paths_test.cpp.o"
+  "CMakeFiles/small_paths_test.dir/small_paths_test.cpp.o.d"
+  "small_paths_test"
+  "small_paths_test.pdb"
+  "small_paths_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/small_paths_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for small_paths_test.
+# This may be replaced when dependencies are built.
