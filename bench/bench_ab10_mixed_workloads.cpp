@@ -13,6 +13,7 @@
 
 #include "bench_util.hpp"
 #include "core/scenarios.hpp"
+#include "exp/runner.hpp"
 
 using namespace wlanps;
 namespace sc = core::scenarios;
@@ -49,6 +50,7 @@ int main() {
     const auto result = sc::run_hotspot_mixed(config, options, mix);
 
     const char* kind[] = {"mp3", "mp3", "video", "web"};
+    const std::size_t n_clients = result.clients.size();
     std::printf("%-8s %-7s %12s %9s %10s %12s %10s\n", "client", "kind", "WNIC power", "QoS",
                 "bursts", "received", "interface");
     for (std::size_t i = 0; i < result.clients.size(); ++i) {
@@ -69,5 +71,26 @@ int main() {
     }
     bu::note("expected shape: audio on BT (~35 mW), video on WLAN (~0.13 W, rate-scaled");
     bu::note("bursts), web cheapest (~20 mW, bursty); QoS ~100% for all streams");
+
+    // Robustness across seeds: the same spec swept over 4 seeds on the
+    // parallel experiment runner (the inspect snapshot above stays on the
+    // single detailed run — its callback is not thread-safe).
+    const auto sweep = exp::ExperimentRunner{}.run(
+        exp::ExperimentSpec{}
+            .with_run([&](const exp::ParamPoint&, std::uint64_t seed) {
+                return sc::to_metrics(sc::hotspot_mixed_factory(config, {}, mix)(seed));
+            })
+            .with_point("mixed")
+            .with_seed_range(42, 4));
+
+    std::printf("\nAcross 4 seeds (mean +/- sd):\n");
+    for (std::size_t i = 0; i < n_clients; ++i) {
+        const std::string prefix = "c" + std::to_string(i + 1) + ".";
+        const auto& wnic = sweep.aggregate.metric(0, prefix + "wnic_w");
+        const auto& qos = sweep.aggregate.metric(0, prefix + "qos");
+        std::printf("  C%zu %-6s WNIC %7.1f +/- %4.1f mW   QoS %6.2f%% +/- %.2f\n", i + 1,
+                    kind[i], 1e3 * wnic.mean(), 1e3 * wnic.stddev(), 100.0 * qos.mean(),
+                    100.0 * qos.stddev());
+    }
     return 0;
 }

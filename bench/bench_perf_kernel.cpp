@@ -10,6 +10,7 @@
 #include "channel/gilbert_elliott.hpp"
 #include "core/scenarios.hpp"
 #include "core/scheduler.hpp"
+#include "exp/runner.hpp"
 #include "sim/random.hpp"
 #include "sim/simulator.hpp"
 
@@ -30,6 +31,22 @@ void BM_EventScheduleDispatch(benchmark::State& state) {
     benchmark::DoNotOptimize(counter);
 }
 BENCHMARK(BM_EventScheduleDispatch);
+
+void BM_EventPostDispatch(benchmark::State& state) {
+    // The no-handle fast path: slab nodes only, no shared cancellation
+    // state per event.
+    sim::Simulator sim;
+    std::uint64_t counter = 0;
+    for (auto _ : state) {
+        for (int i = 0; i < 1000; ++i) {
+            sim.post_in(Time::from_us(i), [&counter] { ++counter; });
+        }
+        sim.run();
+    }
+    state.SetItemsProcessed(state.iterations() * 1000);
+    benchmark::DoNotOptimize(counter);
+}
+BENCHMARK(BM_EventPostDispatch);
 
 void BM_RandomExponential(benchmark::State& state) {
     sim::Random rng(1);
@@ -81,5 +98,27 @@ void BM_HotspotScenarioSecond(benchmark::State& state) {
     state.SetItemsProcessed(state.iterations() * 10);  // simulated seconds
 }
 BENCHMARK(BM_HotspotScenarioSecond);
+
+void BM_ExperimentSweep(benchmark::State& state) {
+    // An 8-run Hotspot sweep through the experiment runner at 1..N worker
+    // threads — the multi-core scaling path every sweep bench rides on.
+    namespace sc = core::scenarios;
+    sc::StreamConfig config;
+    config.clients = 1;
+    config.duration = Time::from_seconds(5);
+    auto spec = exp::ExperimentSpec{}
+                    .with_run([config](const exp::ParamPoint&, std::uint64_t seed) {
+                        return sc::to_metrics(sc::hotspot_factory(config)(seed));
+                    })
+                    .with_points({"a", "b"})
+                    .with_seed_range(42, 4);
+    exp::ExperimentRunner runner(static_cast<unsigned>(state.range(0)));
+    for (auto _ : state) {
+        auto result = runner.run(spec);
+        benchmark::DoNotOptimize(result);
+    }
+    state.SetItemsProcessed(state.iterations() * spec.total_runs());
+}
+BENCHMARK(BM_ExperimentSweep)->Arg(1)->Arg(2)->Arg(4);
 
 }  // namespace

@@ -5,7 +5,7 @@
 #include <cstdio>
 #include <string>
 
-#include "power/units.hpp"
+#include "sim/units.hpp"
 
 namespace wlanps::benchutil {
 

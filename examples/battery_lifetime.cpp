@@ -3,11 +3,17 @@
 /// experiment translates into hours of MP3 playback on the IPAQ 3970's
 /// 1400 mAh pack, plus a PAMAS-style battery-adaptive MAC demo.
 ///
+/// The four configurations run as one experiment grid on the parallel
+/// ExperimentRunner — each grid point is one scenario factory.
+///
 /// Build & run:  ./build/examples/battery_lifetime
 
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "core/scenarios.hpp"
+#include "exp/runner.hpp"
 #include "power/battery.hpp"
 
 int main() {
@@ -18,19 +24,33 @@ int main() {
     config.clients = 1;
     config.duration = Time::from_seconds(120);
 
-    const sc::ScenarioResult cam = sc::run_wlan_cam(config);
-    const sc::ScenarioResult psm = sc::run_wlan_psm(config);
-    const sc::ScenarioResult bt = sc::run_bt_active(config);
-    const sc::ScenarioResult hotspot = sc::run_hotspot(config, sc::HotspotOptions{});
+    // One grid point per Figure 2 configuration; the factory switches on
+    // the point index.
+    const std::vector<std::string> labels = {"wlan-cam", "wlan-psm", "bt-active", "hotspot-edf"};
+    const std::vector<sc::ScenarioFactory> factories = {
+        sc::wlan_cam_factory(config),
+        sc::wlan_psm_factory(config),
+        sc::bt_active_factory(config),
+        sc::hotspot_factory(config),
+    };
+    const auto result = exp::ExperimentRunner{}.run(
+        exp::ExperimentSpec{}
+            .with_run([&factories](const exp::ParamPoint& point, std::uint64_t seed) {
+                return sc::to_metrics(factories[point.index](seed));
+            })
+            .with_points(labels)
+            .with_seeds({config.seed}));
 
     std::printf("Projected MP3 playback on a %s pack (device = WNIC + %.2f W platform):\n\n",
                 phy::calibration::kIpaqBattery.str().c_str(),
                 phy::calibration::kIpaqBase.watts());
     std::printf("%-26s %14s %12s\n", "configuration", "device power", "lifetime");
-    for (const auto* r : {&cam, &psm, &bt, &hotspot}) {
+    for (std::size_t p = 0; p < factories.size(); ++p) {
+        const auto device =
+            power::Power::from_watts(result.aggregate.metric(p, "device_w").mean());
         power::Battery battery(power::BatteryConfig{});
-        const Time life = battery.lifetime_at(r->mean_device());
-        std::printf("%-26s %14s %9.1f h\n", r->label.c_str(), r->mean_device().str().c_str(),
+        const Time life = battery.lifetime_at(device);
+        std::printf("%-26s %14s %9.1f h\n", labels[p].c_str(), device.str().c_str(),
                     life.to_seconds() / 3600.0);
     }
 

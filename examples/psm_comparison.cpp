@@ -2,14 +2,18 @@
 /// MAC-level power saving on a bursty web workload: always-awake (CAM)
 /// versus 802.11 PSM at several listen intervals, built directly on the
 /// mac:: substrate API (AccessPoint / WlanStation / Bss) rather than the
-/// scenario helpers — shows how to assemble a BSS by hand.
+/// scenario helpers — shows how to assemble a BSS by hand, and how to put
+/// a hand-rolled world on the parallel ExperimentRunner (each listen
+/// interval is one grid point).
 ///
 /// Build & run:  ./build/examples/psm_comparison
 
 #include <cstdio>
 #include <memory>
+#include <string>
 #include <vector>
 
+#include "exp/runner.hpp"
 #include "mac/access_point.hpp"
 #include "mac/station.hpp"
 #include "traffic/source.hpp"
@@ -24,9 +28,9 @@ struct Outcome {
     std::uint64_t frames;
 };
 
-Outcome run(mac::StationMode mode, int listen_interval) {
+Outcome run(mac::StationMode mode, int listen_interval, std::uint64_t seed) {
     sim::Simulator sim;
-    sim::Random root(1234);
+    sim::Random root(seed);
 
     mac::Bss bss(sim);
     mac::AccessPointConfig ap_cfg;
@@ -63,15 +67,40 @@ int main() {
     std::printf("Web browsing over 802.11: CAM vs PSM (120 s, one station)\n\n");
     std::printf("%-24s %12s %16s %10s\n", "mode", "NIC power", "mean MAC delay", "frames");
 
-    const Outcome cam = run(mac::StationMode::cam, 1);
-    std::printf("%-24s %12s %13.1f ms %10llu\n", "CAM (always awake)", cam.nic_power.str().c_str(),
-                cam.mean_delay_ms, static_cast<unsigned long long>(cam.frames));
+    // Grid: CAM plus one point per PSM listen interval; one seed.
+    struct Cell {
+        std::string label;
+        mac::StationMode mode;
+        int listen_interval;
+    };
+    const std::vector<Cell> grid = {
+        {"CAM (always awake)", mac::StationMode::cam, 1},
+        {"PSM, listen interval 1", mac::StationMode::psm, 1},
+        {"PSM, listen interval 2", mac::StationMode::psm, 2},
+        {"PSM, listen interval 5", mac::StationMode::psm, 5},
+        {"PSM, listen interval 10", mac::StationMode::psm, 10},
+    };
 
-    for (const int li : {1, 2, 5, 10}) {
-        const Outcome psm = run(mac::StationMode::psm, li);
-        std::printf("PSM, listen interval %-3d %12s %13.1f ms %10llu\n", li,
-                    psm.nic_power.str().c_str(), psm.mean_delay_ms,
-                    static_cast<unsigned long long>(psm.frames));
+    exp::ExperimentSpec spec;
+    spec.with_run([&grid](const exp::ParamPoint& point, std::uint64_t seed) {
+            const Cell& cell = grid[point.index];
+            const Outcome out = run(cell.mode, cell.listen_interval, seed);
+            return exp::Metrics{{"nic_w", out.nic_power.watts()},
+                                {"delay_ms", out.mean_delay_ms},
+                                {"frames", static_cast<double>(out.frames)}};
+        })
+        .with_seeds({1234});
+    for (const Cell& cell : grid) spec.with_point(cell.label);
+
+    const auto result = exp::ExperimentRunner{}.run(spec);
+    for (std::size_t p = 0; p < grid.size(); ++p) {
+        std::printf("%-24s %12s %13.1f ms %10llu\n", grid[p].label.c_str(),
+                    power::Power::from_watts(result.aggregate.metric(p, "nic_w").mean())
+                        .str()
+                        .c_str(),
+                    result.aggregate.metric(p, "delay_ms").mean(),
+                    static_cast<unsigned long long>(
+                        result.aggregate.metric(p, "frames").mean()));
     }
 
     std::printf("\nThe latency/energy knob the paper describes: longer listen intervals\n"

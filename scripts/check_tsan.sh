@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# Build the experiment-runner test under ThreadSanitizer and run it.
+# The runner's only cross-thread traffic is the atomic task counter and
+# disjoint result slots; TSan vets exactly that.
+#
+# Usage: scripts/check_tsan.sh [build-dir]   (default: build-tsan)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${1:-build-tsan}"
+
+cmake -B "$BUILD_DIR" -S . -DWLANPS_SANITIZE=thread
+cmake --build "$BUILD_DIR" -j "$(nproc)" --target exp_runner_test
+"./$BUILD_DIR/tests/exp_runner_test"
+echo "TSan check passed."

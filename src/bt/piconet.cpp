@@ -75,7 +75,7 @@ void Piconet::activate(SlaveId id, std::function<void()> done) {
         // Must wait for the next sniff anchor before the slave listens.
         Time anchor = s.next_sniff_anchor;
         while (anchor < sim_.now()) anchor += config_.sniff_interval;
-        sim_.schedule_at(anchor, [&s, done = std::move(done)]() mutable {
+        sim_.post_at(anchor, [&s, done = std::move(done)]() mutable {
             s.device->nic().request_state(phy::BtNic::State::active, std::move(done));
         });
         return;
@@ -132,11 +132,11 @@ void Piconet::send_packet() {
 
     // Slave radio: receives for the forward slots, transmits the return.
     s.device->nic().occupy(phy::BtNic::State::rx, forward);
-    sim_.schedule_in(forward, [&s, this] {
+    sim_.post_in(forward, [&s, this] {
         if (s.device->nic().awake()) s.device->nic().occupy(phy::BtNic::State::tx, config_.slot);
     });
 
-    sim_.schedule_in(exchange, [this, chunk, ok] {
+    sim_.post_in(exchange, [this, chunk, ok] {
         Slave& sl = slave(current_.id);
         if (ok) {
             current_.packet_retries = 0;

@@ -58,16 +58,16 @@ void WlanBurstChannel::next_chunk() {
 
     // Client radio: listens through DIFS (idle), receives the data frame,
     // transmits the ACK.
-    sim_.schedule_in(phy::calibration::kWlanDifs, [this, data_air, ack_air] {
+    sim_.post_in(phy::calibration::kWlanDifs, [this, data_air, ack_air] {
         if (nic_.awake()) {
             nic_.occupy(phy::WlanNic::State::rx, data_air);
-            sim_.schedule_in(data_air + phy::calibration::kWlanSifs, [this, ack_air] {
+            sim_.post_in(data_air + phy::calibration::kWlanSifs, [this, ack_air] {
                 if (nic_.awake()) nic_.occupy(phy::WlanNic::State::tx, ack_air);
             });
         }
     });
 
-    sim_.schedule_in(exchange, [this, chunk, ok] {
+    sim_.post_in(exchange, [this, chunk, ok] {
         if (ok) {
             progress_.remaining -= chunk;
             progress_.result.delivered += chunk;

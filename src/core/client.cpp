@@ -64,7 +64,7 @@ void HotspotClient::execute_burst(std::size_t index, DataSize size, Time start,
     const Time wake_at = start - ch.wnic().wake_latency();
     WLANPS_REQUIRE_MSG(wake_at >= sim_.now(), "burst scheduled too soon to wake the NIC");
 
-    sim_.schedule_at(wake_at, [this, &ch, size, done = std::move(done)]() mutable {
+    sim_.post_at(wake_at, [this, &ch, size, done = std::move(done)]() mutable {
         ch.wnic().wake([this, &ch, size, done = std::move(done)]() mutable {
             transfer_trace_.set_state(sim_.now(), "burst", 1.0);
             ch.transfer(size, [this, &ch, done = std::move(done)](const BurstChannel::Result& r) {

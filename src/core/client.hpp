@@ -17,7 +17,7 @@
 #include "core/burst_channel.hpp"
 #include "core/qos.hpp"
 #include "power/battery.hpp"
-#include "power/units.hpp"
+#include "sim/units.hpp"
 #include "sim/simulator.hpp"
 #include "sim/stats.hpp"
 #include "sim/trace.hpp"

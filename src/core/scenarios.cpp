@@ -261,11 +261,12 @@ ScenarioResult run_hotspot(const StreamConfig& config, HotspotOptions options) {
     std::vector<std::unique_ptr<channel::WirelessLink>> wlan_links;
     std::vector<std::unique_ptr<bt::BtSlave>> slaves;
 
-    ServerConfig server_cfg;
-    server_cfg.target_burst = options.target_burst;
-    server_cfg.utilization_cap = options.utilization_cap;
-    server_cfg.target_burst_period = options.target_burst_period;
-    HotspotServer server(sim, server_cfg, make_scheduler(options.scheduler));
+    HotspotServer server(sim,
+                         ServerConfig{}
+                             .with_target_burst(options.target_burst)
+                             .with_utilization_cap(options.utilization_cap)
+                             .with_target_burst_period(options.target_burst_period),
+                         make_scheduler(options.scheduler));
 
     for (int i = 0; i < config.clients; ++i) {
         const auto id = static_cast<ClientId>(i + 1);
@@ -345,11 +346,12 @@ ScenarioResult run_hotspot_mixed(const StreamConfig& config, HotspotOptions opti
     enum class Kind { mp3, video, web };
     std::vector<Kind> kinds;
 
-    ServerConfig server_cfg;
-    server_cfg.target_burst = options.target_burst;
-    server_cfg.utilization_cap = options.utilization_cap;
-    server_cfg.target_burst_period = options.target_burst_period;
-    HotspotServer server(sim, server_cfg, make_scheduler(options.scheduler));
+    HotspotServer server(sim,
+                         ServerConfig{}
+                             .with_target_burst(options.target_burst)
+                             .with_utilization_cap(options.utilization_cap)
+                             .with_target_burst_period(options.target_burst_period),
+                         make_scheduler(options.scheduler));
 
     // Mean rate of the default VBR video pattern (GOP of 12 at 25 fps).
     const traffic::VideoSource::Config video_cfg;
@@ -455,6 +457,63 @@ ScenarioResult run_hotspot_mixed(const StreamConfig& config, HotspotOptions opti
         result.clients.push_back(m);
     }
     return result;
+}
+
+ScenarioFactory wlan_cam_factory(StreamConfig config) {
+    return [config](std::uint64_t seed) mutable {
+        config.seed = seed;
+        return run_wlan_cam(config);
+    };
+}
+
+ScenarioFactory wlan_psm_factory(StreamConfig config, PsmOptions options) {
+    return [config, options](std::uint64_t seed) mutable {
+        config.seed = seed;
+        return run_wlan_psm(config, options);
+    };
+}
+
+ScenarioFactory ecmac_factory(StreamConfig config, Time superframe) {
+    return [config, superframe](std::uint64_t seed) mutable {
+        config.seed = seed;
+        return run_ecmac(config, superframe);
+    };
+}
+
+ScenarioFactory bt_active_factory(StreamConfig config) {
+    return [config](std::uint64_t seed) mutable {
+        config.seed = seed;
+        return run_bt_active(config);
+    };
+}
+
+ScenarioFactory hotspot_factory(StreamConfig config, HotspotOptions options) {
+    return [config, options](std::uint64_t seed) mutable {
+        config.seed = seed;
+        return run_hotspot(config, options);
+    };
+}
+
+ScenarioFactory hotspot_mixed_factory(StreamConfig config, HotspotOptions options,
+                                      MixedWorkload mix) {
+    return [config, options, mix](std::uint64_t seed) mutable {
+        config.seed = seed;
+        return run_hotspot_mixed(config, options, mix);
+    };
+}
+
+exp::Metrics to_metrics(const ScenarioResult& result) {
+    exp::Metrics metrics;
+    metrics.reserve(3 + 2 * result.clients.size());
+    metrics.emplace_back("wnic_w", result.mean_wnic().watts());
+    metrics.emplace_back("device_w", result.mean_device().watts());
+    metrics.emplace_back("qos_min", result.min_qos());
+    for (std::size_t i = 0; i < result.clients.size(); ++i) {
+        const std::string prefix = "c" + std::to_string(i + 1) + ".";
+        metrics.emplace_back(prefix + "wnic_w", result.clients[i].wnic_average.watts());
+        metrics.emplace_back(prefix + "qos", result.clients[i].qos);
+    }
+    return metrics;
 }
 
 }  // namespace wlanps::core::scenarios

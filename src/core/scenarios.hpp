@@ -21,7 +21,7 @@
 #include "channel/scripted.hpp"
 #include "core/client.hpp"
 #include "core/server.hpp"
-#include "power/units.hpp"
+#include "exp/experiment.hpp"
 #include "sim/time.hpp"
 #include "sim/units.hpp"
 
@@ -122,5 +122,29 @@ struct MixedWorkload {
 };
 [[nodiscard]] ScenarioResult run_hotspot_mixed(const StreamConfig& config,
                                                HotspotOptions options, MixedWorkload mix);
+
+// --- Experiment-runner integration ------------------------------------
+// A scenario bound to its configuration, awaiting only a seed: the unit
+// of work an exp::ExperimentRunner executes.  Each invocation builds a
+// fresh world (own Simulator, own Random), so a factory may be called
+// from several worker threads at once — provided any callbacks inside
+// the captured HotspotOptions (on_start / inspect / contract_tweak) are
+// themselves safe to run concurrently.
+
+using ScenarioFactory = std::function<ScenarioResult(std::uint64_t seed)>;
+
+[[nodiscard]] ScenarioFactory wlan_cam_factory(StreamConfig config);
+[[nodiscard]] ScenarioFactory wlan_psm_factory(StreamConfig config, PsmOptions options = {});
+[[nodiscard]] ScenarioFactory ecmac_factory(StreamConfig config,
+                                            Time superframe = Time::from_ms(100));
+[[nodiscard]] ScenarioFactory bt_active_factory(StreamConfig config);
+[[nodiscard]] ScenarioFactory hotspot_factory(StreamConfig config, HotspotOptions options = {});
+[[nodiscard]] ScenarioFactory hotspot_mixed_factory(StreamConfig config, HotspotOptions options,
+                                                    MixedWorkload mix);
+
+/// Flatten a ScenarioResult into experiment metrics: the scenario-level
+/// aggregates ("wnic_w", "device_w", "qos_min") followed by per-client
+/// power/QoS ("c1.wnic_w", "c1.qos", ...).
+[[nodiscard]] exp::Metrics to_metrics(const ScenarioResult& result);
 
 }  // namespace wlanps::core::scenarios

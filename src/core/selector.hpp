@@ -14,9 +14,8 @@
 #include <vector>
 
 #include "core/burst_channel.hpp"
-#include "power/units.hpp"
-#include "sim/time.hpp"
 #include "sim/units.hpp"
+#include "sim/time.hpp"
 
 namespace wlanps::core {
 

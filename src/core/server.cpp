@@ -8,6 +8,27 @@
 
 namespace wlanps::core {
 
+void ServerConfig::validate() const {
+    WLANPS_REQUIRE_MSG(min_burst > DataSize::zero(),
+                       "min_burst must be positive (got " + min_burst.str() + ")");
+    WLANPS_REQUIRE_MSG(min_burst <= target_burst,
+                       "min_burst (" + min_burst.str() + ") exceeds target_burst (" +
+                           target_burst.str() + ")");
+    WLANPS_REQUIRE_MSG(plan_interval > Time::zero(),
+                       "plan_interval must be positive (got " + plan_interval.str() + ")");
+    WLANPS_REQUIRE_MSG(target_burst_period > Time::zero(),
+                       "target_burst_period must be positive (got " +
+                           target_burst_period.str() + ")");
+    WLANPS_REQUIRE_MSG(!underrun_lead.is_negative(),
+                       "underrun_lead must not be negative (got " + underrun_lead.str() + ")");
+    WLANPS_REQUIRE_MSG(utilization_cap > 0.0,
+                       "utilization_cap must be positive (got " +
+                           std::to_string(utilization_cap) + ")");
+    WLANPS_REQUIRE_MSG(reservation_margin >= 1.0,
+                       "reservation_margin below 1.0 under-reserves every stream (got " +
+                           std::to_string(reservation_margin) + ")");
+}
+
 HotspotServer::HotspotServer(sim::Simulator& sim, ServerConfig config,
                              std::unique_ptr<Scheduler> scheduler)
     : sim_(sim),
@@ -15,9 +36,7 @@ HotspotServer::HotspotServer(sim::Simulator& sim, ServerConfig config,
       scheduler_(std::move(scheduler)),
       selector_(config.selector) {
     WLANPS_REQUIRE(scheduler_ != nullptr);
-    WLANPS_REQUIRE(config_.target_burst >= config_.min_burst);
-    WLANPS_REQUIRE(config_.min_burst > DataSize::zero());
-    WLANPS_REQUIRE(config_.plan_interval > Time::zero());
+    config_.validate();
 }
 
 bool HotspotServer::try_register(HotspotClient& client) {

@@ -58,6 +58,23 @@ struct ServerConfig {
     /// Battery-aware scheduling: grow a low-battery client's bursts (up to
     /// 2x at empty) so its radio wakes less often.  0 disables.
     bool battery_aware = false;
+
+    // Fluent setters, chainable:
+    //   ServerConfig{}.with_target_burst(...).with_plan_interval(...)
+    ServerConfig& with_target_burst(DataSize v) { target_burst = v; return *this; }
+    ServerConfig& with_target_burst_period(Time v) { target_burst_period = v; return *this; }
+    ServerConfig& with_min_burst(DataSize v) { min_burst = v; return *this; }
+    ServerConfig& with_plan_interval(Time v) { plan_interval = v; return *this; }
+    ServerConfig& with_underrun_lead(Time v) { underrun_lead = v; return *this; }
+    ServerConfig& with_selector(SelectorConfig v) { selector = v; return *this; }
+    ServerConfig& with_utilization_cap(double v) { utilization_cap = v; return *this; }
+    ServerConfig& with_reservation_margin(double v) { reservation_margin = v; return *this; }
+    ServerConfig& with_battery_aware(bool v) { battery_aware = v; return *this; }
+
+    /// Reject inconsistent configurations (min_burst above target_burst,
+    /// non-positive plan_interval, ...) with a ContractViolation naming
+    /// the offending field.  HotspotServer construction calls this.
+    void validate() const;
 };
 
 /// Per-client accounting the server exposes.

@@ -1,0 +1,19 @@
+#include "exp/experiment.hpp"
+
+#include <unordered_set>
+
+#include "sim/assert.hpp"
+
+namespace wlanps::exp {
+
+void ExperimentSpec::validate() const {
+    WLANPS_REQUIRE_MSG(run_ != nullptr, "ExperimentSpec has no scenario factory (with_run)");
+    WLANPS_REQUIRE_MSG(!points_.empty(), "ExperimentSpec has an empty parameter grid (with_point)");
+    WLANPS_REQUIRE_MSG(!seeds_.empty(), "ExperimentSpec has an empty seed list (with_seeds)");
+    std::unordered_set<std::uint64_t> unique(seeds_.begin(), seeds_.end());
+    WLANPS_REQUIRE_MSG(unique.size() == seeds_.size(),
+                       "ExperimentSpec seed list contains duplicates — each seed is one "
+                       "independent run, listing one twice double-counts it");
+}
+
+}  // namespace wlanps::exp

@@ -1,0 +1,80 @@
+#pragma once
+/// \file runner.hpp
+/// Parallel experiment execution with a deterministic reduction.
+///
+/// The runner executes every (point, seed) run of an ExperimentSpec on a
+/// pool of worker threads.  Each run owns a fresh Simulator (the factory
+/// builds it), so runs share nothing and the per-run results are the same
+/// doubles regardless of which thread computed them.  The reduction into
+/// per-point Accumulators happens *after* the pool drains, serially, in
+/// (point, seed) order — so a 16-thread run is bit-identical to a
+/// 1-thread run of the same spec.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "exp/experiment.hpp"
+#include "sim/stats.hpp"
+
+namespace wlanps::exp {
+
+/// The metrics one run produced, tagged with its grid cell and seed.
+struct RunRecord {
+    std::size_t point = 0;
+    std::uint64_t seed = 0;
+    Metrics metrics;
+};
+
+/// Per-point, per-metric statistics over the seed list, reduced in seed
+/// order.  Metric names keep the order the factory emitted them in.
+class Aggregate {
+public:
+    /// Statistics for \p metric at grid cell \p point; throws
+    /// ContractViolation if the metric was never recorded there.
+    [[nodiscard]] const sim::Accumulator& metric(std::size_t point, std::string_view name) const;
+
+    /// Like metric(), but nullptr instead of throwing.
+    [[nodiscard]] const sim::Accumulator* find(std::size_t point, std::string_view name) const;
+
+    /// Metric names recorded at \p point, in emission order.
+    [[nodiscard]] std::vector<std::string> metric_names(std::size_t point) const;
+
+    [[nodiscard]] std::size_t point_count() const { return points_.size(); }
+
+private:
+    friend class ExperimentRunner;
+    using PointStats = std::vector<std::pair<std::string, sim::Accumulator>>;
+    std::vector<PointStats> points_;
+};
+
+/// Everything a run() call produced.
+struct ExperimentResult {
+    /// One record per run, point-major, seeds in spec order within a point.
+    std::vector<RunRecord> runs;
+    Aggregate aggregate;
+};
+
+/// Executes ExperimentSpecs.  Stateless between runs; reusable.
+class ExperimentRunner {
+public:
+    /// \p threads worker threads; 0 means default_threads().
+    explicit ExperimentRunner(unsigned threads = 0);
+
+    /// Validate \p spec, execute every run, and reduce.  If any run threw,
+    /// the remaining runs still finish, the pool is joined, and the first
+    /// failure in (point, seed) order is rethrown — the pool never
+    /// deadlocks on a throwing worker.
+    [[nodiscard]] ExperimentResult run(const ExperimentSpec& spec) const;
+
+    [[nodiscard]] unsigned threads() const { return threads_; }
+
+    /// WLANPS_EXP_THREADS if set (>=1), else std::thread::hardware_concurrency.
+    [[nodiscard]] static unsigned default_threads();
+
+private:
+    unsigned threads_;
+};
+
+}  // namespace wlanps::exp

@@ -17,10 +17,9 @@
 #include <string>
 
 #include "channel/gilbert_elliott.hpp"
-#include "power/units.hpp"
+#include "sim/units.hpp"
 #include "sim/random.hpp"
 #include "sim/time.hpp"
-#include "sim/units.hpp"
 
 namespace wlanps::link {
 

@@ -100,14 +100,14 @@ void DcfTransmitter::rts_exchange() {
             return;
         }
         // CTS after SIFS; then the protected data frame.
-        sim_.schedule_in(config_.sifs, [this, cts_air] {
+        sim_.post_in(config_.sifs, [this, cts_air] {
             env_.cts_begins(current_, cts_air);
             medium_.transmit(cts_air, [this](bool cts_collided) {
                 if (cts_collided) {
                     fail_attempt();
                     return;
                 }
-                sim_.schedule_in(config_.sifs, [this] { data_exchange(); });
+                sim_.post_in(config_.sifs, [this] { data_exchange(); });
             });
         });
     });
@@ -147,7 +147,7 @@ void DcfTransmitter::transmission_ended(bool collided, bool channel_ok, bool lis
     // Receiver returns an ACK after SIFS.  ACKs are short, sent at the
     // basic rate right after the medium freed, and modeled error-free.
     const Time ack_air = nic_.ack_airtime();
-    sim_.schedule_in(config_.sifs, [this, ack_air] {
+    sim_.post_in(config_.sifs, [this, ack_air] {
         env_.ack_begins(current_, ack_air);
         medium_.transmit(ack_air, [this](bool ack_collided) {
             // SIFS < DIFS protects the ACK from data transmissions; the

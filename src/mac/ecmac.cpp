@@ -30,7 +30,7 @@ EcMacController::EcMacController(sim::Simulator& sim, Bss& bss, EcMacConfig conf
 
 void EcMacController::start() {
     anchor_ = sim_.now() + config_.superframe;
-    sim_.schedule_at(anchor_, [this] { superframe_boundary(); });
+    sim_.post_at(anchor_, [this] { superframe_boundary(); });
 }
 
 void EcMacController::send(StationId dst, DataSize payload, SendCallback done) {
@@ -51,7 +51,7 @@ std::size_t EcMacController::buffered(StationId dst) const {
 void EcMacController::superframe_boundary() {
     ++superframes_;
     anchor_ += config_.superframe;
-    sim_.schedule_at(anchor_, [this] { superframe_boundary(); });
+    sim_.post_at(anchor_, [this] { superframe_boundary(); });
 
     // Build this superframe's schedule.
     Frame sched;
@@ -104,7 +104,7 @@ void EcMacController::superframe_boundary() {
         const Time slot_start = sched_end + sched.schedule[i].offset;
         const StationId dst = plans[i].dst;
         const std::size_t frames = plans[i].frames;
-        sim_.schedule_at(slot_start, [this, dst, frames] { transmit_slot(dst, frames); });
+        sim_.post_at(slot_start, [this, dst, frames] { transmit_slot(dst, frames); });
     }
 }
 
@@ -148,19 +148,19 @@ void EcMacController::transmit_one(StationId dst, std::vector<Buffered> batch, s
             // Re-buffer for the next superframe; continue the slot so the
             // remaining frames still use their reserved airtime.
             buffers_[dst].push_front(std::move(batch[index]));
-            sim_.schedule_in(config_.sifs, [this, dst, batch = std::move(batch), index]() mutable {
+            sim_.post_in(config_.sifs, [this, dst, batch = std::move(batch), index]() mutable {
                 transmit_one(dst, std::move(batch), index + 1);
             });
             return;
         }
-        sim_.schedule_in(config_.sifs, [this, dst, batch = std::move(batch), index, f,
+        sim_.post_in(config_.sifs, [this, dst, batch = std::move(batch), index, f,
                                         ack_air]() mutable {
             bss_.ack_begins(f, ack_air);
             bss_.medium().transmit(ack_air, [this, dst, batch = std::move(batch), index,
                                              f](bool) mutable {
                 bss_.deliver(f);
                 if (batch[index].done) batch[index].done(true);
-                sim_.schedule_in(config_.sifs, [this, dst, batch = std::move(batch),
+                sim_.post_in(config_.sifs, [this, dst, batch = std::move(batch),
                                                 index]() mutable {
                     transmit_one(dst, std::move(batch), index + 1);
                 });
@@ -191,13 +191,13 @@ void EcMacStation::wake_for_boundary() {
     if (wake_at < sim_.now()) wake_at = sim_.now();
     const Time boundary = next_boundary_;
     next_boundary_ += config_.superframe;
-    sim_.schedule_at(wake_at, [this, boundary] {
+    sim_.post_at(wake_at, [this, boundary] {
         nic_.wake([this, boundary] {
             // If no schedule frame names us shortly after the boundary,
             // doze until the next one (on_frame cancels nothing — dozing
             // is decided when the schedule frame is processed, and this
             // timeout only fires if we heard no schedule at all).
-            sim_.schedule_at(boundary + Time::from_ms(10), [this, boundary] {
+            sim_.post_at(boundary + Time::from_ms(10), [this, boundary] {
                 if (last_schedule_at_ < boundary) {
                     nic_.doze();
                     wake_for_boundary();
@@ -222,9 +222,9 @@ void EcMacStation::on_frame(const Frame& frame) {
             // transition; otherwise stay idle.
             if (e.offset > margin + Time::from_ms(5)) {
                 nic_.doze();
-                sim_.schedule_at(slot_start - margin, [this] { nic_.wake({}); });
+                sim_.post_at(slot_start - margin, [this] { nic_.wake({}); });
             }
-            sim_.schedule_at(slot_end + Time::from_us(100), [this] {
+            sim_.post_at(slot_end + Time::from_us(100), [this] {
                 nic_.doze();
                 wake_for_boundary();
             });

@@ -20,7 +20,7 @@ void Medium::transmit(Time airtime, std::function<void(bool)> on_end) {
     // Snapshot whether *this* transmission overlapped at start; overlap can
     // also arise later if another tx starts before we end, so re-check at
     // end via the shared flag covering our interval.
-    sim_.schedule_in(airtime, [this, on_end = std::move(on_end)] {
+    sim_.post_in(airtime, [this, on_end = std::move(on_end)] {
         const bool collided = overlap_;
         end_transmission(collided);
         on_end(collided);

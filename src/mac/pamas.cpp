@@ -36,7 +36,7 @@ Time PamasStation::current_period() const {
 }
 
 void PamasStation::start() {
-    sim_.schedule_in(current_period(), [this] { cycle(); });
+    sim_.post_in(current_period(), [this] { cycle(); });
 }
 
 void PamasStation::cycle() {
@@ -47,14 +47,14 @@ void PamasStation::cycle() {
     }
     // Probe (free, signaling channel): anything buffered for us?
     if (ap_.buffered(id_) == 0) {
-        sim_.schedule_in(current_period(), [this] { cycle(); });
+        sim_.post_in(current_period(), [this] { cycle(); });
         return;
     }
     nic_.wake([this] {
         ap_.flush_to(id_, [this] {
             nic_.doze();
             drain_battery();
-            sim_.schedule_in(current_period(), [this] { cycle(); });
+            sim_.post_in(current_period(), [this] { cycle(); });
         });
     });
 }

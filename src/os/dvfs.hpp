@@ -12,7 +12,7 @@
 #include <string>
 #include <vector>
 
-#include "power/units.hpp"
+#include "sim/units.hpp"
 #include "sim/time.hpp"
 
 namespace wlanps::os {

@@ -15,9 +15,8 @@
 #include <vector>
 
 #include "os/dvfs.hpp"
-#include "power/units.hpp"
-#include "sim/assert.hpp"
 #include "sim/units.hpp"
+#include "sim/assert.hpp"
 
 namespace wlanps::os {
 

@@ -84,7 +84,7 @@ void BtNic::occupy(State s, Time airtime, std::function<void()> done) {
     WLANPS_REQUIRE_MSG(awake(), "NIC must be awake to occupy the radio");
     WLANPS_REQUIRE(airtime >= Time::zero());
     machine_.request(id_of(s));
-    sim_.schedule_in(airtime, [this, s, done = std::move(done)] {
+    sim_.post_in(airtime, [this, s, done = std::move(done)] {
         // Release the radio back to active only if this occupancy still
         // owns it (see WlanNic::occupy).
         if (!machine_.transitioning() && state() == s) {

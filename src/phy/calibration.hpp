@@ -10,9 +10,8 @@
 /// two orders of magnitude cheaper.  Bluetooth is an order of magnitude
 /// cheaper when active, with sniff/park low-power modes.
 
-#include "power/units.hpp"
-#include "sim/time.hpp"
 #include "sim/units.hpp"
+#include "sim/time.hpp"
 
 namespace wlanps::phy::calibration {
 

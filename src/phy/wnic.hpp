@@ -11,10 +11,9 @@
 #include <functional>
 #include <string>
 
-#include "power/units.hpp"
+#include "sim/units.hpp"
 #include "sim/time.hpp"
 #include "sim/trace.hpp"
-#include "sim/units.hpp"
 
 namespace wlanps::phy {
 

@@ -10,7 +10,7 @@
 #include <functional>
 #include <vector>
 
-#include "power/units.hpp"
+#include "sim/units.hpp"
 #include "sim/assert.hpp"
 
 namespace wlanps::power {

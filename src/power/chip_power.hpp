@@ -10,7 +10,7 @@
 ///   P_leakage = V · I_leak            (suppressed by power gating)
 /// and quantifies both knobs: capacitance reduction and supply gating.
 
-#include "power/units.hpp"
+#include "sim/units.hpp"
 #include "sim/assert.hpp"
 
 namespace wlanps::power {

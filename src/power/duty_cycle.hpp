@@ -9,7 +9,7 @@
 
 #include <vector>
 
-#include "power/units.hpp"
+#include "sim/units.hpp"
 #include "sim/assert.hpp"
 #include "sim/time.hpp"
 

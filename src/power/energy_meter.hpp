@@ -12,7 +12,7 @@
 #include <vector>
 
 #include "power/state_machine.hpp"
-#include "power/units.hpp"
+#include "sim/units.hpp"
 #include "sim/simulator.hpp"
 
 namespace wlanps::power {

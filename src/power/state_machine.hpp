@@ -15,7 +15,7 @@
 #include <string>
 #include <vector>
 
-#include "power/units.hpp"
+#include "sim/units.hpp"
 #include "sim/simulator.hpp"
 #include "sim/stats.hpp"
 #include "sim/trace.hpp"

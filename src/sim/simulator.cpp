@@ -12,12 +12,42 @@ void EventHandle::cancel() {
     if (state_) state_->cancelled = true;
 }
 
+Simulator::Node* Simulator::acquire_node() {
+    if (free_list_ == nullptr) {
+        slabs_.push_back(std::make_unique<Node[]>(kSlabSize));
+        Node* slab = slabs_.back().get();
+        // Chain the fresh slab onto the free list, preserving index order
+        // (cosmetic: keeps node reuse patterns predictable in a debugger).
+        for (std::size_t i = kSlabSize; i-- > 0;) {
+            slab[i].next_free = free_list_;
+            free_list_ = &slab[i];
+        }
+    }
+    Node* node = free_list_;
+    free_list_ = node->next_free;
+    node->next_free = nullptr;
+    return node;
+}
+
+void Simulator::release_node(Node* node) {
+    node->callback = nullptr;
+    node->state.reset();
+    node->next_free = free_list_;
+    free_list_ = node;
+}
+
+void Simulator::push_entry(Time when, Node* node) {
+    queue_.push(Entry{when, next_seq_++, node});
+}
+
 EventHandle Simulator::schedule_at(Time when, std::function<void()> callback) {
     WLANPS_REQUIRE_MSG(when >= now_, "cannot schedule into the past");
     WLANPS_REQUIRE(callback != nullptr);
     auto state = std::make_shared<EventHandle::State>();
     state->callback = std::move(callback);
-    queue_.push(Entry{when, next_seq_++, state});
+    Node* node = acquire_node();
+    node->state = state;
+    push_entry(when, node);
     return EventHandle(std::move(state));
 }
 
@@ -26,17 +56,44 @@ EventHandle Simulator::schedule_in(Time delay, std::function<void()> callback) {
     return schedule_at(now_ + delay, std::move(callback));
 }
 
+void Simulator::post_at(Time when, std::function<void()> callback) {
+    WLANPS_REQUIRE_MSG(when >= now_, "cannot schedule into the past");
+    WLANPS_REQUIRE(callback != nullptr);
+    Node* node = acquire_node();
+    node->callback = std::move(callback);
+    push_entry(when, node);
+}
+
+void Simulator::post_in(Time delay, std::function<void()> callback) {
+    WLANPS_REQUIRE_MSG(!delay.is_negative(), "negative delay");
+    post_at(now_ + delay, std::move(callback));
+}
+
 bool Simulator::dispatch_next(Time horizon) {
     while (!queue_.empty()) {
         Entry top = queue_.top();
         if (top.when > horizon) return false;
         queue_.pop();
-        if (top.state->cancelled) continue;
+        Node* node = top.node;
+        if (node->state != nullptr) {
+            // Handle path: honour cancellation, and move the callback out
+            // of the shared state so the handle reads as no-longer-pending
+            // while it runs, and self-rescheduling callbacks work.
+            auto state = std::move(node->state);
+            release_node(node);
+            if (state->cancelled) continue;
+            now_ = top.when;
+            auto cb = std::move(state->callback);
+            state->callback = nullptr;
+            ++dispatched_;
+            cb();
+            return true;
+        }
+        // Fast path: the callback lives in the node itself; recycle the
+        // node before invoking so self-posting callbacks reuse it.
         now_ = top.when;
-        // Move the callback out so the handle reads as no-longer-pending
-        // while it runs, and self-rescheduling callbacks work.
-        auto cb = std::move(top.state->callback);
-        top.state->callback = nullptr;
+        auto cb = std::move(node->callback);
+        release_node(node);
         ++dispatched_;
         cb();
         return true;

@@ -39,6 +39,14 @@ private:
 };
 
 /// The simulation kernel.  Not copyable; components hold references to it.
+///
+/// Event nodes come from an internal slab allocator (fixed-size chunks,
+/// free-list recycling), so steady-state scheduling does one queue push
+/// and no per-event heap allocation beyond what the callback's own
+/// closure needs.  Two scheduling families exist:
+///   * post_at / post_in    — fire-and-forget, no handle, fastest path;
+///   * schedule_at / schedule_in — return an EventHandle for cancellation
+///     (allocates a small shared cancellation state, as before).
 class Simulator {
 public:
     Simulator() = default;
@@ -53,6 +61,13 @@ public:
 
     /// Schedule \p callback \p delay after now() (delay must be >= 0).
     EventHandle schedule_in(Time delay, std::function<void()> callback);
+
+    /// Fire-and-forget variant of schedule_at: no EventHandle, no shared
+    /// cancellation state.  Use when the event is never cancelled.
+    void post_at(Time when, std::function<void()> callback);
+
+    /// Fire-and-forget variant of schedule_in.
+    void post_in(Time delay, std::function<void()> callback);
 
     /// Run until the queue is empty or stop() is called.
     void run();
@@ -75,18 +90,33 @@ public:
     [[nodiscard]] std::size_t queue_size() const { return queue_.size(); }
 
 private:
+    /// Slab-allocated event node.  Fast-path events store their callback
+    /// inline; handle-path events store it in the shared State instead so
+    /// the handle can cancel it.
+    struct Node {
+        std::function<void()> callback;
+        std::shared_ptr<EventHandle::State> state;
+        Node* next_free = nullptr;
+    };
+
     struct Entry {
         Time when;
         std::uint64_t seq;  // tie-break: FIFO among simultaneous events
-        std::shared_ptr<EventHandle::State> state;
+        Node* node;
         bool operator>(const Entry& rhs) const {
             if (when != rhs.when) return when > rhs.when;
             return seq > rhs.seq;
         }
     };
 
+    [[nodiscard]] Node* acquire_node();
+    void release_node(Node* node);
+    void push_entry(Time when, Node* node);
     bool dispatch_next(Time horizon);
 
+    static constexpr std::size_t kSlabSize = 256;  // nodes per slab
+    std::vector<std::unique_ptr<Node[]>> slabs_;
+    Node* free_list_ = nullptr;
     std::priority_queue<Entry, std::vector<Entry>, std::greater<>> queue_;
     Time now_ = Time::zero();
     std::uint64_t next_seq_ = 0;

@@ -43,4 +43,21 @@ std::string Rate::str() const {
 
 std::ostream& operator<<(std::ostream& os, Rate r) { return os << r.str(); }
 
+namespace power {
+
+std::string Power::str() const {
+    if (watts_ != 0.0 && watts_ < 0.1) return format(milliwatts(), "mW");
+    return format(watts_, "W");
+}
+
+std::string Energy::str() const {
+    if (joules_ != 0.0 && joules_ < 0.1) return format(millijoules(), "mJ");
+    return format(joules_, "J");
+}
+
+std::ostream& operator<<(std::ostream& os, Power p) { return os << p.str(); }
+std::ostream& operator<<(std::ostream& os, Energy e) { return os << e.str(); }
+
+}  // namespace power
+
 }  // namespace wlanps

@@ -1,10 +1,12 @@
 #pragma once
 /// \file units.hpp
-/// Strong types for data size and data rate.
+/// Strong types for data size, data rate, power, and energy.
 ///
-/// Interfaces across the library exchange DataSize and Rate instead of raw
-/// integers, so "bits vs. bytes" and "kb/s vs. kB/s" mistakes become type
-/// errors (C++ Core Guidelines P.1/I.4).
+/// Interfaces across the library exchange DataSize/Rate/Power/Energy
+/// instead of raw numbers, so "bits vs. bytes", "kb/s vs. kB/s", and
+/// "watts vs. joules" mistakes become type errors (C++ Core Guidelines
+/// P.1/I.4).  The power/energy types live in namespace wlanps::power to
+/// keep existing call sites (power::Power, power::Energy) unchanged.
 
 #include <compare>
 #include <cstdint>
@@ -97,5 +99,88 @@ private:
 };
 
 std::ostream& operator<<(std::ostream& os, Rate r);
+
+namespace power {
+
+class Energy;
+
+/// Electrical power in watts.
+class Power {
+public:
+    constexpr Power() = default;
+
+    [[nodiscard]] static constexpr Power from_watts(double w) { return Power(w); }
+    [[nodiscard]] static constexpr Power from_milliwatts(double mw) { return Power(mw / 1e3); }
+    [[nodiscard]] static constexpr Power zero() { return Power(0.0); }
+
+    [[nodiscard]] constexpr double watts() const { return watts_; }
+    [[nodiscard]] constexpr double milliwatts() const { return watts_ * 1e3; }
+    [[nodiscard]] constexpr bool is_zero() const { return watts_ == 0.0; }
+
+    constexpr auto operator<=>(const Power&) const = default;
+
+    constexpr Power& operator+=(Power rhs) { watts_ += rhs.watts_; return *this; }
+    friend constexpr Power operator+(Power a, Power b) { return Power(a.watts_ + b.watts_); }
+    friend constexpr Power operator-(Power a, Power b) { return Power(a.watts_ - b.watts_); }
+    friend constexpr Power operator*(Power p, double k) { return Power(p.watts_ * k); }
+    friend constexpr Power operator*(double k, Power p) { return p * k; }
+    friend constexpr double operator/(Power a, Power b) { return a.watts_ / b.watts_; }
+
+    /// Energy consumed drawing this power for \p duration.
+    [[nodiscard]] constexpr Energy over(Time duration) const;
+
+    [[nodiscard]] std::string str() const;
+
+private:
+    constexpr explicit Power(double w) : watts_(w) {}
+    double watts_ = 0.0;
+};
+
+/// Energy in joules.
+class Energy {
+public:
+    constexpr Energy() = default;
+
+    [[nodiscard]] static constexpr Energy from_joules(double j) { return Energy(j); }
+    [[nodiscard]] static constexpr Energy from_millijoules(double mj) { return Energy(mj / 1e3); }
+    /// Battery-style capacity: milliamp-hours at a nominal voltage.
+    [[nodiscard]] static constexpr Energy from_mah(double mah, double volts) {
+        return Energy(mah * 3.6 * volts);
+    }
+    [[nodiscard]] static constexpr Energy zero() { return Energy(0.0); }
+
+    [[nodiscard]] constexpr double joules() const { return joules_; }
+    [[nodiscard]] constexpr double millijoules() const { return joules_ * 1e3; }
+    [[nodiscard]] constexpr bool is_zero() const { return joules_ == 0.0; }
+
+    constexpr auto operator<=>(const Energy&) const = default;
+
+    constexpr Energy& operator+=(Energy rhs) { joules_ += rhs.joules_; return *this; }
+    constexpr Energy& operator-=(Energy rhs) { joules_ -= rhs.joules_; return *this; }
+    friend constexpr Energy operator+(Energy a, Energy b) { return Energy(a.joules_ + b.joules_); }
+    friend constexpr Energy operator-(Energy a, Energy b) { return Energy(a.joules_ - b.joules_); }
+    friend constexpr Energy operator*(Energy e, double k) { return Energy(e.joules_ * k); }
+    friend constexpr double operator/(Energy a, Energy b) { return a.joules_ / b.joules_; }
+
+    /// Average power when spread over \p duration (> 0).
+    [[nodiscard]] Power average_over(Time duration) const {
+        return Power::from_watts(joules_ / duration.to_seconds());
+    }
+
+    [[nodiscard]] std::string str() const;
+
+private:
+    constexpr explicit Energy(double j) : joules_(j) {}
+    double joules_ = 0.0;
+};
+
+constexpr Energy Power::over(Time duration) const {
+    return Energy::from_joules(watts_ * duration.to_seconds());
+}
+
+std::ostream& operator<<(std::ostream& os, Power p);
+std::ostream& operator<<(std::ostream& os, Energy e);
+
+}  // namespace power
 
 }  // namespace wlanps

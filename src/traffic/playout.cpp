@@ -10,7 +10,7 @@ PlayoutBuffer::PlayoutBuffer(sim::Simulator& sim, Config config) : sim_(sim), co
 
 void PlayoutBuffer::start() {
     running_ = true;
-    sim_.schedule_in(config_.preroll, [this] { consume(); });
+    sim_.post_in(config_.preroll, [this] { consume(); });
 }
 
 void PlayoutBuffer::on_data(DataSize size) {
@@ -29,7 +29,7 @@ void PlayoutBuffer::consume() {
         const DataSize threshold = config_.frame_size *
                                    static_cast<double>(config_.start_threshold_frames);
         if (level_ < threshold) {
-            sim_.schedule_in(config_.frame_interval, [this] { consume(); });
+            sim_.post_in(config_.frame_interval, [this] { consume(); });
             return;
         }
         playing_ = true;
@@ -42,7 +42,7 @@ void PlayoutBuffer::consume() {
     } else {
         played_.miss();  // underrun: glitch, frame skipped
     }
-    sim_.schedule_in(config_.frame_interval, [this] { consume(); });
+    sim_.post_in(config_.frame_interval, [this] { consume(); });
 }
 
 }  // namespace wlanps::traffic

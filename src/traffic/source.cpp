@@ -33,13 +33,13 @@ Mp3Source::Mp3Source(sim::Simulator& sim, Sink sink, Config config)
 
 void Mp3Source::start() {
     set_running(true);
-    sim_.schedule_in(config_.frame_interval, [this] { tick(); });
+    sim_.post_in(config_.frame_interval, [this] { tick(); });
 }
 
 void Mp3Source::tick() {
     if (!running()) return;
     emit(config_.frame_size);
-    sim_.schedule_in(config_.frame_interval, [this] { tick(); });
+    sim_.post_in(config_.frame_interval, [this] { tick(); });
 }
 
 VideoSource::VideoSource(sim::Simulator& sim, Sink sink, Config config, sim::Random rng)
@@ -51,7 +51,7 @@ VideoSource::VideoSource(sim::Simulator& sim, Sink sink, Config config, sim::Ran
 
 void VideoSource::start() {
     set_running(true);
-    sim_.schedule_in(Time::from_seconds(1.0 / config_.fps), [this] { tick(); });
+    sim_.post_in(Time::from_seconds(1.0 / config_.fps), [this] { tick(); });
 }
 
 void VideoSource::tick() {
@@ -68,7 +68,7 @@ void VideoSource::tick() {
     const double factor = std::max(0.2, rng_.normal(1.0, config_.jitter));
     emit(base * factor);
     ++frame_index_;
-    sim_.schedule_in(Time::from_seconds(1.0 / config_.fps), [this] { tick(); });
+    sim_.post_in(Time::from_seconds(1.0 / config_.fps), [this] { tick(); });
 }
 
 WebSource::WebSource(sim::Simulator& sim, Sink sink, Config config, sim::Random rng)
@@ -93,11 +93,11 @@ void WebSource::on_tick() {
     if (!running()) return;
     if (sim_.now() >= on_until_) {
         const double off_s = rng_.pareto(config_.off_alpha, config_.off_min.to_seconds());
-        sim_.schedule_in(Time::from_seconds(off_s), [this] { begin_on(); });
+        sim_.post_in(Time::from_seconds(off_s), [this] { begin_on(); });
         return;
     }
     emit(config_.packet);
-    sim_.schedule_in(config_.on_rate.transmit_time(config_.packet), [this] { on_tick(); });
+    sim_.post_in(config_.on_rate.transmit_time(config_.packet), [this] { on_tick(); });
 }
 
 PoissonSource::PoissonSource(sim::Simulator& sim, Sink sink, DataSize packet, Rate mean_rate,
@@ -110,13 +110,13 @@ PoissonSource::PoissonSource(sim::Simulator& sim, Sink sink, DataSize packet, Ra
 
 void PoissonSource::start() {
     set_running(true);
-    sim_.schedule_in(rng_.exponential_time(mean_interarrival_), [this] { tick(); });
+    sim_.post_in(rng_.exponential_time(mean_interarrival_), [this] { tick(); });
 }
 
 void PoissonSource::tick() {
     if (!running()) return;
     emit(packet_);
-    sim_.schedule_in(rng_.exponential_time(mean_interarrival_), [this] { tick(); });
+    sim_.post_in(rng_.exponential_time(mean_interarrival_), [this] { tick(); });
 }
 
 TraceSource::TraceSource(sim::Simulator& sim, Sink sink, std::vector<Entry> entries)
@@ -126,7 +126,7 @@ void TraceSource::start() {
     set_running(true);
     for (const Entry& e : entries_) {
         WLANPS_REQUIRE_MSG(e.at >= sim_.now(), "trace entry in the past");
-        sim_.schedule_at(e.at, [this, size = e.size] {
+        sim_.post_at(e.at, [this, size = e.size] {
             if (running()) emit(size);
         });
     }

@@ -7,7 +7,7 @@
 #include "power/duty_cycle.hpp"
 #include "power/energy_meter.hpp"
 #include "power/state_machine.hpp"
-#include "power/units.hpp"
+#include "sim/units.hpp"
 #include "sim/assert.hpp"
 #include "sim/simulator.hpp"
 

@@ -154,6 +154,43 @@ TEST(SimulatorTest, DispatchCountExcludesCancelled) {
     EXPECT_EQ(sim.events_dispatched(), 1u);
 }
 
+TEST(SimulatorTest, PostInterleavesWithScheduleInFifoOrder) {
+    // Fast-path (post_*) and handle-path (schedule_*) events at the same
+    // timestamp dispatch in insertion order regardless of which path each
+    // one took.
+    Simulator sim;
+    std::vector<int> order;
+    sim.post_at(1_ms, [&] { order.push_back(0); });
+    sim.schedule_at(1_ms, [&] { order.push_back(1); });
+    sim.post_at(1_ms, [&] { order.push_back(2); });
+    sim.run();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+    EXPECT_EQ(sim.events_dispatched(), 3u);
+}
+
+TEST(SimulatorTest, PostRejectsPastAndNull) {
+    Simulator sim;
+    sim.post_at(5_ms, [] {});
+    sim.run();
+    EXPECT_THROW(sim.post_at(1_ms, [] {}), ContractViolation);
+    EXPECT_THROW(sim.post_in(Time::from_ns(-1), [] {}), ContractViolation);
+    EXPECT_THROW(sim.post_at(10_ms, nullptr), ContractViolation);
+}
+
+TEST(SimulatorTest, SelfPostingCallbackRecyclesNodes) {
+    // Exercises slab-node recycling through many more events than one
+    // slab holds, from a callback that re-posts itself.
+    Simulator sim;
+    int ticks = 0;
+    std::function<void()> tick = [&] {
+        if (++ticks < 10000) sim.post_in(1_us, tick);
+    };
+    sim.post_in(1_us, tick);
+    sim.run();
+    EXPECT_EQ(ticks, 10000);
+    EXPECT_EQ(sim.events_dispatched(), 10000u);
+}
+
 TEST(PeriodicEventTest, FiresAtPeriod) {
     Simulator sim;
     int ticks = 0;
