@@ -46,8 +46,10 @@ Outcome run(double distance_m, channel::ArfRateController* arf, Rate fixed_rate,
         clock += Time::from_ms(2);  // inter-frame pacing
         const Rate rate = arf != nullptr ? arf->current() : fixed_rate;
         const double snr = path.snr_db(clock, distance_m);
-        const double ber = channel::bit_error_rate(channel::modulation_for_rate(rate), snr);
-        const double per = channel::packet_error_rate(ber, kFrame);
+        // Precomputed BER→PER curve: the per-frame snr→ber→per math folds
+        // into one interpolated table read per frame.
+        const double per =
+            channel::PerTable::lookup(channel::modulation_for_rate(rate), kFrame).per(snr);
         const bool ok = !rng.chance(per);
         const Time air = phy::calibration::kWlanPlcpOverhead + rate.transmit_time(kFrame);
         airtime_total += air;

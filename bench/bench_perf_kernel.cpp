@@ -7,6 +7,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "channel/ber.hpp"
 #include "channel/gilbert_elliott.hpp"
 #include "core/scenarios.hpp"
 #include "core/scheduler.hpp"
@@ -48,6 +49,42 @@ void BM_EventPostDispatch(benchmark::State& state) {
 }
 BENCHMARK(BM_EventPostDispatch);
 
+void BM_PeriodicTick(benchmark::State& state) {
+    // The self-rearming periodic path: one queue push per tick, no
+    // allocation, no callback relocation.
+    sim::Simulator sim;
+    std::uint64_t ticks = 0;
+    sim::PeriodicEvent beacon(sim, Time::from_us(100), [&ticks] { ++ticks; });
+    beacon.start();
+    Time horizon = sim.now();
+    for (auto _ : state) {
+        horizon += Time::from_ms(100);  // 1000 ticks per iteration
+        sim.run_until(horizon);
+    }
+    state.SetItemsProcessed(state.iterations() * 1000);
+    benchmark::DoNotOptimize(ticks);
+}
+BENCHMARK(BM_PeriodicTick);
+
+void BM_EventCancel(benchmark::State& state) {
+    // Schedule + cancel churn: tombstones must be reaped without letting
+    // pending_events() drift.
+    sim::Simulator sim;
+    for (auto _ : state) {
+        std::vector<sim::EventHandle> handles;
+        handles.reserve(1000);
+        std::uint64_t counter = 0;
+        for (int i = 0; i < 1000; ++i) {
+            handles.push_back(sim.schedule_in(Time::from_us(i), [&counter] { ++counter; }));
+        }
+        for (std::size_t i = 0; i < handles.size(); i += 2) handles[i].cancel();
+        sim.run();
+        benchmark::DoNotOptimize(counter);
+    }
+    state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_EventCancel);
+
 void BM_RandomExponential(benchmark::State& state) {
     sim::Random rng(1);
     double acc = 0.0;
@@ -68,6 +105,36 @@ void BM_GilbertElliottTransmit(benchmark::State& state) {
     benchmark::DoNotOptimize(ok);
 }
 BENCHMARK(BM_GilbertElliottTransmit);
+
+void BM_PerTableLookup(benchmark::State& state) {
+    // Interpolated BER→PER table vs the transcendental math it replaces.
+    const auto& table =
+        channel::PerTable::lookup(channel::Modulation::cck11, DataSize::from_bytes(1500));
+    double snr = -10.0;
+    double acc = 0.0;
+    for (auto _ : state) {
+        acc += table.per(snr);
+        snr += 0.1;
+        if (snr > 40.0) snr = -10.0;
+    }
+    benchmark::DoNotOptimize(acc);
+}
+BENCHMARK(BM_PerTableLookup);
+
+void BM_BerPerExact(benchmark::State& state) {
+    // The uncached snr→ber→per math, for comparison with BM_PerTableLookup.
+    double snr = -10.0;
+    double acc = 0.0;
+    for (auto _ : state) {
+        acc += channel::packet_error_rate(
+            channel::bit_error_rate(channel::Modulation::cck11, snr),
+            DataSize::from_bytes(1500));
+        snr += 0.1;
+        if (snr > 40.0) snr = -10.0;
+    }
+    benchmark::DoNotOptimize(acc);
+}
+BENCHMARK(BM_BerPerExact);
 
 void BM_SchedulerPick(benchmark::State& state) {
     core::WfqScheduler scheduler;

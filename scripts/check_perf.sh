@@ -1,0 +1,64 @@
+#!/usr/bin/env bash
+# Perf regression gate for the event kernel.
+#
+# Builds Release, runs bench_perf_kernel, and fails if the CPU time of
+# BM_EventPostDispatch regresses more than 15% against the checked-in
+# baseline (scripts/perf_baseline.json).  Machines differ, so the baseline
+# is a guard rail against order-of-magnitude slips (an accidental
+# allocation or a lost fast path), not a laboratory instrument.
+#
+# Usage: scripts/check_perf.sh [--update-baseline] [build-dir]
+#   (default build dir: build-perf)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+UPDATE=0
+if [[ "${1:-}" == "--update-baseline" ]]; then
+    UPDATE=1
+    shift
+fi
+BUILD_DIR="${1:-build-perf}"
+BASELINE="scripts/perf_baseline.json"
+
+cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
+cmake --build "$BUILD_DIR" -j "$(nproc)" --target bench_perf_kernel >/dev/null
+
+RESULT_JSON="$BUILD_DIR/check_perf_result.json"
+"./$BUILD_DIR/bench/bench_perf_kernel" \
+    --benchmark_filter='^BM_EventPostDispatch$' \
+    --benchmark_repetitions=5 \
+    --benchmark_report_aggregates_only=true \
+    --benchmark_format=json >"$RESULT_JSON"
+
+python3 - "$RESULT_JSON" "$BASELINE" "$UPDATE" <<'PY'
+import json
+import sys
+
+result_json, baseline_path, update = sys.argv[1], sys.argv[2], sys.argv[3] == "1"
+
+with open(result_json) as f:
+    result = json.load(f)
+
+median = next(
+    b for b in result["benchmarks"] if b["name"] == "BM_EventPostDispatch_median"
+)
+cpu_ns = median["cpu_time"]
+
+if update:
+    with open(baseline_path, "w") as f:
+        json.dump({"BM_EventPostDispatch": {"cpu_ns": cpu_ns}}, f, indent=2)
+        f.write("\n")
+    print(f"baseline updated: BM_EventPostDispatch = {cpu_ns:.0f} ns CPU (median of 5)")
+    sys.exit(0)
+
+with open(baseline_path) as f:
+    baseline = json.load(f)["BM_EventPostDispatch"]["cpu_ns"]
+
+limit = baseline * 1.15
+print(f"BM_EventPostDispatch: {cpu_ns:.0f} ns CPU "
+      f"(baseline {baseline:.0f} ns, limit {limit:.0f} ns)")
+if cpu_ns > limit:
+    print("FAIL: event kernel regressed more than 15% against the baseline")
+    sys.exit(1)
+print("perf check passed")
+PY

@@ -1,7 +1,10 @@
 #!/usr/bin/env bash
-# Build the experiment-runner test under ThreadSanitizer and run it.
-# The runner's only cross-thread traffic is the atomic task counter and
-# disjoint result slots; TSan vets exactly that.
+# Build the concurrency-sensitive tests under ThreadSanitizer and run them.
+# The experiment runner's only cross-thread traffic is the atomic task
+# counter and disjoint result slots; the event-kernel tests (calendar
+# queue, slab nodes, InlineCallback) are single-threaded per Simulator but
+# run here too, because the runner executes one Simulator per worker
+# thread and TSan vets that nothing in the kernel shares hidden state.
 #
 # Usage: scripts/check_tsan.sh [build-dir]   (default: build-tsan)
 set -euo pipefail
@@ -10,6 +13,9 @@ cd "$(dirname "$0")/.."
 BUILD_DIR="${1:-build-tsan}"
 
 cmake -B "$BUILD_DIR" -S . -DWLANPS_SANITIZE=thread
-cmake --build "$BUILD_DIR" -j "$(nproc)" --target exp_runner_test
+cmake --build "$BUILD_DIR" -j "$(nproc)" \
+    --target exp_runner_test sim_simulator_test sim_calendar_queue_test
 "./$BUILD_DIR/tests/exp_runner_test"
+"./$BUILD_DIR/tests/sim_simulator_test"
+"./$BUILD_DIR/tests/sim_calendar_queue_test"
 echo "TSan check passed."

@@ -1,0 +1,86 @@
+#!/usr/bin/env bash
+# Run the benchmark suite and merge everything into BENCH_<PR>.json at the
+# repo root, so the perf trajectory accumulates PR over PR.
+#
+#   * bench_perf_kernel (google-benchmark) runs with
+#     --benchmark_format=json and is embedded verbatim under
+#     "google_benchmark".
+#   * Every artifact bench (bench_fig*, bench_ab*) is timed end-to-end;
+#     wall-clock seconds land under "wall_clock_seconds".
+#   * The PR-1 (pre-calendar-queue) reference numbers are embedded under
+#     "baseline_pr1" so before/after lives in one file.
+#
+# The output format is documented in EXPERIMENTS.md ("Benchmark JSON").
+#
+# Usage: scripts/run_bench.sh [build-dir] [output.json]
+#   (defaults: build, BENCH_2.json)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${1:-build}"
+OUT="${2:-BENCH_2.json}"
+
+cmake --build "$BUILD_DIR" -j "$(nproc)" >/dev/null
+
+KERNEL_JSON="$BUILD_DIR/bench_perf_kernel.json"
+"./$BUILD_DIR/bench/bench_perf_kernel" \
+    --benchmark_format=json \
+    --benchmark_repetitions=3 \
+    --benchmark_report_aggregates_only=true >"$KERNEL_JSON"
+
+WALL_TSV="$BUILD_DIR/bench_wall_clock.tsv"
+: >"$WALL_TSV"
+for bin in "$BUILD_DIR"/bench/bench_fig* "$BUILD_DIR"/bench/bench_ab*; do
+    name="$(basename "$bin")"
+    start="$(date +%s.%N)"
+    "$bin" >/dev/null
+    end="$(date +%s.%N)"
+    printf '%s\t%s\n' "$name" "$(python3 -c "print(f'{$end - $start:.3f}')")" >>"$WALL_TSV"
+done
+
+python3 - "$KERNEL_JSON" "$WALL_TSV" "$OUT" <<'PY'
+import json
+import sys
+
+kernel_json, wall_tsv, out = sys.argv[1:4]
+
+with open(kernel_json) as f:
+    kernel = json.load(f)
+
+wall = {}
+with open(wall_tsv) as f:
+    for line in f:
+        name, seconds = line.split("\t")
+        wall[name] = float(seconds)
+
+merged = {
+    "generated_by": "scripts/run_bench.sh",
+    "schema": "see EXPERIMENTS.md, section 'Benchmark JSON'",
+    # PR-1 reference numbers (std::priority_queue + std::function kernel,
+    # uncached channel math), measured on the same container class.
+    "baseline_pr1": {
+        "BM_EventScheduleDispatch_ns": 76137,
+        "BM_EventPostDispatch_ns": 58706,
+        "BM_EventPostDispatch_cpu_ns": 57851,
+        "BM_GilbertElliottTransmit_ns": 34.5,
+        "bench_fig2_ipaq_power_seconds": 0.19,
+    },
+    "google_benchmark": kernel,
+    "wall_clock_seconds": wall,
+}
+
+with open(out, "w") as f:
+    json.dump(merged, f, indent=2)
+    f.write("\n")
+
+post = next(
+    (b for b in kernel.get("benchmarks", [])
+     if b.get("name") == "BM_EventPostDispatch_median"),
+    None,
+)
+if post is not None:
+    base = merged["baseline_pr1"]["BM_EventPostDispatch_ns"]
+    print(f"BM_EventPostDispatch: {post['real_time']:.0f} ns "
+          f"(PR-1 baseline {base} ns, {base / post['real_time']:.2f}x)")
+print(f"wrote {out}")
+PY

@@ -1,6 +1,11 @@
 #include "channel/ber.hpp"
 
 #include <cmath>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <utility>
 
 #include "sim/assert.hpp"
 
@@ -54,6 +59,30 @@ Modulation modulation_for_rate(wlanps::Rate rate) {
     if (mbps <= 2.0) return Modulation::dqpsk;
     if (mbps <= 5.5) return Modulation::cck55;
     return Modulation::cck11;
+}
+
+PerTable::PerTable(Modulation mod, wlanps::DataSize size) : mod_(mod), size_(size) {
+    const auto n =
+        static_cast<std::size_t>((kMaxSnrDb - kMinSnrDb) * kStepsPerDb) + 1;
+    table_.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        const double snr = kMinSnrDb + static_cast<double>(i) / kStepsPerDb;
+        table_[i] = packet_error_rate(bit_error_rate(mod, snr), size);
+    }
+}
+
+const PerTable& PerTable::lookup(Modulation mod, wlanps::DataSize size) {
+    // Entries are never evicted, so the returned reference stays valid for
+    // the life of the process; unique_ptr keeps addresses stable across
+    // rehash-free map growth.  The lock guards concurrent first builds
+    // (the experiment runner sweeps scenarios from worker threads).
+    static std::mutex mu;
+    static std::map<std::pair<int, std::int64_t>, std::unique_ptr<PerTable>> cache;
+    const std::pair<int, std::int64_t> key{static_cast<int>(mod), size.bits()};
+    const std::lock_guard<std::mutex> lock(mu);
+    auto& slot = cache[key];
+    if (slot == nullptr) slot = std::make_unique<PerTable>(mod, size);
+    return *slot;
 }
 
 double required_snr_db(Modulation mod, double target_ber) {

@@ -16,6 +16,8 @@ GilbertElliott::GilbertElliott(GilbertElliottConfig config, sim::Random rng)
     state_ = rng_.chance(config_.stationary_good()) ? ChannelState::good : ChannelState::bad;
     state_until_ = rng_.exponential_time(state_ == ChannelState::good ? config_.mean_good
                                                                       : config_.mean_bad);
+    log1p_m_ber_[static_cast<std::size_t>(ChannelState::good)] = std::log1p(-config_.ber_good);
+    log1p_m_ber_[static_cast<std::size_t>(ChannelState::bad)] = std::log1p(-config_.ber_bad);
 }
 
 void GilbertElliott::flip() {
@@ -53,13 +55,29 @@ bool GilbertElliott::transmit_success(Time start, DataSize size, Rate rate) {
     WLANPS_REQUIRE(rate > Rate::zero());
     advance(start);
     const Time end = start + rate.transmit_time(size);
-    // Walk the chain segment by segment; accumulate log-success.
+    // Fast path: the whole packet fits inside the current sojourn (the
+    // overwhelmingly common case — sojourns are tens to hundreds of ms,
+    // packets are ~ a millisecond).  Strictly greater, because when the
+    // flip lands exactly on `end` the segment walk below consumes the next
+    // sojourn's exponential draw before the uniform — the memo must not
+    // reorder the RNG stream.
+    if (state_until_ > end) {
+        const double bits = rate.bps() * (end - start).to_seconds();
+        const auto s = static_cast<std::size_t>(state_);
+        if (memo_bits_[s] != bits) {
+            memo_bits_[s] = bits;
+            memo_success_[s] = std::exp(bits * log1p_m_ber_[s]);
+        }
+        advance(end);
+        return rng_.uniform() < memo_success_[s];
+    }
+    // Slow path: walk the chain segment by segment; accumulate log-success.
     double log_success = 0.0;
     Time cursor = start;
     while (cursor < end) {
         const Time seg_end = state_until_ < end ? state_until_ : end;
         const double bits = rate.bps() * (seg_end - cursor).to_seconds();
-        log_success += bits * std::log1p(-ber_of(state_));
+        log_success += bits * log1p_m_ber_[static_cast<std::size_t>(state_)];
         cursor = seg_end;
         advance(cursor);  // flips when cursor lands on state_until_
     }
@@ -70,7 +88,7 @@ bool GilbertElliott::transmit_success(Time start, DataSize size, Rate rate) {
 double GilbertElliott::success_probability(Time now, DataSize size, Rate /*rate*/) {
     advance(now);
     const double bits = static_cast<double>(size.bits());
-    return std::exp(bits * std::log1p(-ber_of(state_)));
+    return std::exp(bits * log1p_m_ber_[static_cast<std::size_t>(state_)]);
 }
 
 double GilbertElliott::observed_good_fraction() const {

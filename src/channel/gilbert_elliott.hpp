@@ -39,6 +39,14 @@ struct GilbertElliottConfig {
 
 /// A live Gilbert–Elliott channel.  All queries must be called with
 /// non-decreasing times (the chain is advanced lazily).
+///
+/// Dwell-time sampling: sojourn lengths are drawn once per state visit
+/// (exponential), so the RNG is consulted once per sojourn plus one
+/// uniform per transmitted packet — never once per bit or per segment.
+/// The per-packet math is cached: log1p(-ber) is precomputed per state,
+/// and the success probability for the common single-sojourn case is
+/// memoised per (state, packet-bits), so a scenario streaming fixed-MTU
+/// frames pays one exp() per state change, not one per frame.
 class GilbertElliott {
 public:
     GilbertElliott(GilbertElliottConfig config, sim::Random rng);
@@ -78,6 +86,13 @@ private:
     Time clock_;             // last time the chain was advanced to
     Time good_time_;         // accumulated GOOD residency
     Time total_time_;        // accumulated advanced time
+
+    // Hot-path caches (pure memoisation: results are bit-identical to the
+    // uncached math).  log1p_m_ber_ is log1p(-ber) per state; memo_* hold
+    // the last single-sojourn success probability per (state, bits).
+    double log1p_m_ber_[2] = {0.0, 0.0};
+    double memo_bits_[2] = {-1.0, -1.0};
+    double memo_success_[2] = {0.0, 0.0};
 };
 
 }  // namespace wlanps::channel

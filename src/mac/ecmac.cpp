@@ -141,28 +141,37 @@ void EcMacController::transmit_one(StationId dst, std::vector<Buffered> batch, s
     const bool channel = bss_.channel_ok(f, sim_.now(), f.payload + phy::calibration::kWlanMacHeader,
                                          config_.data_rate);
     nic_.occupy(phy::WlanNic::State::tx, data_air);
-    bss_.medium().transmit(data_air, [this, dst, batch = std::move(batch), index, f, listening,
-                                      channel, ack_air](bool collided) mutable {
+    // The DATA→SIFS→ACK→SIFS continuation chain shares one boxed context
+    // (the batch, the in-flight frame, the ACK airtime), so each hop only
+    // captures `this` plus the shared_ptr and fits the kernel's inline
+    // callback storage.
+    struct TxContext {
+        StationId dst;
+        std::vector<Buffered> batch;
+        std::size_t index;
+        Frame f;
+        Time ack_air;
+    };
+    auto ctx = std::make_shared<TxContext>(
+        TxContext{dst, std::move(batch), index, f, ack_air});
+    bss_.medium().transmit(data_air, [this, ctx, listening, channel](bool collided) {
         const bool ok = !collided && listening && channel;
         if (!ok) {
             // Re-buffer for the next superframe; continue the slot so the
             // remaining frames still use their reserved airtime.
-            buffers_[dst].push_front(std::move(batch[index]));
-            sim_.post_in(config_.sifs, [this, dst, batch = std::move(batch), index]() mutable {
-                transmit_one(dst, std::move(batch), index + 1);
+            buffers_[ctx->dst].push_front(std::move(ctx->batch[ctx->index]));
+            sim_.post_in(config_.sifs, [this, ctx] {
+                transmit_one(ctx->dst, std::move(ctx->batch), ctx->index + 1);
             });
             return;
         }
-        sim_.post_in(config_.sifs, [this, dst, batch = std::move(batch), index, f,
-                                        ack_air]() mutable {
-            bss_.ack_begins(f, ack_air);
-            bss_.medium().transmit(ack_air, [this, dst, batch = std::move(batch), index,
-                                             f](bool) mutable {
-                bss_.deliver(f);
-                if (batch[index].done) batch[index].done(true);
-                sim_.post_in(config_.sifs, [this, dst, batch = std::move(batch),
-                                                index]() mutable {
-                    transmit_one(dst, std::move(batch), index + 1);
+        sim_.post_in(config_.sifs, [this, ctx] {
+            bss_.ack_begins(ctx->f, ctx->ack_air);
+            bss_.medium().transmit(ctx->ack_air, [this, ctx](bool) {
+                bss_.deliver(ctx->f);
+                if (ctx->batch[ctx->index].done) ctx->batch[ctx->index].done(true);
+                sim_.post_in(config_.sifs, [this, ctx] {
+                    transmit_one(ctx->dst, std::move(ctx->batch), ctx->index + 1);
                 });
             });
         });

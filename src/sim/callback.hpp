@@ -1,0 +1,116 @@
+#pragma once
+/// \file callback.hpp
+/// Non-allocating event callback.
+///
+/// InlineCallback is the kernel's replacement for std::function<void()>:
+/// the callable lives in a fixed 64-byte in-place buffer, so scheduling an
+/// event never heap-allocates no matter what the capture list looks like.
+/// Oversized captures fail at the call site with a static_assert instead
+/// of silently degrading to a heap allocation; box large state in a
+/// shared_ptr/unique_ptr (16 bytes inline) if you genuinely need more.
+///
+/// Move-only: moving transfers the callable between buffers via a per-type
+/// manager function, so the event queue can shuffle callbacks without
+/// knowing their concrete types.
+
+#include <cstddef>
+#include <cstring>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace wlanps::sim {
+
+class InlineCallback {
+public:
+    /// In-place storage for the callable (captures included).
+    static constexpr std::size_t kStorageBytes = 64;
+
+    InlineCallback() = default;
+    InlineCallback(std::nullptr_t) {}  // NOLINT(google-explicit-constructor)
+
+    /// Wrap any void() callable.  Implicit, so lambdas flow into
+    /// post_at(when, [..]{..}) exactly as they did with std::function.
+    template <typename F,
+              typename = std::enable_if_t<!std::is_same_v<std::decay_t<F>, InlineCallback> &&
+                                          std::is_invocable_r_v<void, std::decay_t<F>&>>>
+    InlineCallback(F&& f) {  // NOLINT(google-explicit-constructor)
+        using Fn = std::decay_t<F>;
+        static_assert(sizeof(Fn) <= kStorageBytes,
+                      "callback capture exceeds InlineCallback's 64-byte inline storage; "
+                      "capture fewer values or box large state in a shared_ptr/unique_ptr");
+        static_assert(alignof(Fn) <= alignof(std::max_align_t),
+                      "callback requires stricter alignment than InlineCallback provides");
+        static_assert(std::is_nothrow_move_constructible_v<Fn>,
+                      "callback must be nothrow-move-constructible (the queue relocates it)");
+        ::new (static_cast<void*>(storage_)) Fn(std::forward<F>(f));
+        invoke_ = [](void* s) { (*static_cast<Fn*>(s))(); };
+        // Trivially copyable callables (the vast majority of captures:
+        // pointers, references, PODs) need no manager: moves are a plain
+        // buffer copy and destruction is a no-op.
+        if constexpr (std::is_trivially_copyable_v<Fn> && std::is_trivially_destructible_v<Fn>) {
+            manager_ = nullptr;
+        } else {
+            manager_ = &manage<Fn>;
+        }
+    }
+
+    InlineCallback(InlineCallback&& other) noexcept { move_from(other); }
+    InlineCallback& operator=(InlineCallback&& other) noexcept {
+        if (this != &other) {
+            reset();
+            move_from(other);
+        }
+        return *this;
+    }
+    InlineCallback& operator=(std::nullptr_t) {
+        reset();
+        return *this;
+    }
+    InlineCallback(const InlineCallback&) = delete;
+    InlineCallback& operator=(const InlineCallback&) = delete;
+    ~InlineCallback() { reset(); }
+
+    /// True if a callable is stored.
+    explicit operator bool() const { return invoke_ != nullptr; }
+
+    /// Invoke the stored callable.  Precondition: bool(*this).
+    void operator()() { invoke_(storage_); }
+
+    /// Destroy the stored callable (if any) and become null.
+    void reset() {
+        if (manager_ != nullptr) manager_(Op::destroy, storage_, nullptr);
+        invoke_ = nullptr;
+        manager_ = nullptr;
+    }
+
+private:
+    enum class Op { destroy, relocate };
+    using Invoke = void (*)(void*);
+    using Manager = void (*)(Op, void* self, void* dst);
+
+    template <typename Fn>
+    static void manage(Op op, void* self, void* dst) {
+        auto* fn = static_cast<Fn*>(self);
+        if (op == Op::relocate) ::new (dst) Fn(std::move(*fn));
+        fn->~Fn();
+    }
+
+    void move_from(InlineCallback& other) noexcept {
+        if (other.manager_ != nullptr) {
+            other.manager_(Op::relocate, other.storage_, storage_);
+        } else if (other.invoke_ != nullptr) {
+            std::memcpy(storage_, other.storage_, kStorageBytes);
+        }
+        invoke_ = other.invoke_;
+        manager_ = other.manager_;
+        other.invoke_ = nullptr;
+        other.manager_ = nullptr;
+    }
+
+    alignas(std::max_align_t) unsigned char storage_[kStorageBytes];
+    Invoke invoke_ = nullptr;
+    Manager manager_ = nullptr;
+};
+
+}  // namespace wlanps::sim

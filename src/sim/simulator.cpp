@@ -1,128 +1,124 @@
 #include "sim/simulator.hpp"
 
+#include <bit>
 #include <utility>
 
 #include "sim/assert.hpp"
 
 namespace wlanps::sim {
 
-bool EventHandle::pending() const { return state_ && !state_->cancelled && state_->callback; }
+bool EventHandle::pending() const {
+    return state_ && !state_->cancelled && static_cast<bool>(state_->callback);
+}
 
 void EventHandle::cancel() {
-    if (state_) state_->cancelled = true;
+    if (!state_ || state_->cancelled) return;
+    state_->cancelled = true;
+    // Only count a tombstone if the event is still queued (the callback is
+    // moved out of the state right before it runs).
+    if (state_->callback && state_->owner != nullptr) state_->owner->note_handle_cancelled();
 }
 
-Simulator::Node* Simulator::acquire_node() {
-    if (free_list_ == nullptr) {
-        slabs_.push_back(std::make_unique<Node[]>(kSlabSize));
-        Node* slab = slabs_.back().get();
-        // Chain the fresh slab onto the free list, preserving index order
-        // (cosmetic: keeps node reuse patterns predictable in a debugger).
-        for (std::size_t i = kSlabSize; i-- > 0;) {
-            slab[i].next_free = free_list_;
-            free_list_ = &slab[i];
-        }
+void Simulator::grow_slab() {
+    slabs_.push_back(std::make_unique<Node[]>(kSlabSize));
+    Node* slab = slabs_.back().get();
+    // Chain the fresh slab onto the free list, preserving index order
+    // (cosmetic: keeps node reuse patterns predictable in a debugger).
+    for (std::size_t i = kSlabSize; i-- > 0;) {
+        slab[i].next_free = free_list_;
+        free_list_ = &slab[i];
     }
-    Node* node = free_list_;
-    free_list_ = node->next_free;
-    node->next_free = nullptr;
-    return node;
 }
 
-void Simulator::release_node(Node* node) {
-    node->callback = nullptr;
-    node->state.reset();
-    node->next_free = free_list_;
-    free_list_ = node;
+void Simulator::spill_wheel_to_overflow() {
+    for (Bucket& b : buckets_) {
+        for (std::size_t i = b.head; i < b.entries.size(); ++i) overflow_.push(b.entries[i]);
+        b.entries.clear();
+        b.head = 0;
+        b.sorted = false;
+    }
+    occupied_.fill(0);
+    wheel_count_ = 0;
 }
 
-void Simulator::push_entry(Time when, Node* node) {
-    queue_.push(Entry{when, next_seq_++, node});
+void Simulator::migrate_overflow() {
+    const std::uint64_t end = cur_bucket_id_ + kNumBuckets;
+    while (!overflow_.empty()) {
+        const Entry& top = overflow_.top();
+        const std::uint64_t id = bucket_id(top.when);
+        if (id >= end) break;
+        wheel_insert(id, top);
+        overflow_.pop();
+    }
 }
 
-EventHandle Simulator::schedule_at(Time when, std::function<void()> callback) {
+void Simulator::rebuild_window(std::uint64_t id, const Entry& entry) {
+    spill_wheel_to_overflow();
+    cur_bucket_id_ = id;
+    wheel_insert(id, entry);
+    migrate_overflow();
+}
+
+void Simulator::advance_cursor() {
+    cur_bucket_id_ += next_occupied_delta();
+    migrate_overflow();
+}
+
+std::size_t Simulator::next_occupied_delta() const {
+    // Distance (in buckets, >= 1) from the cursor to the next nonempty
+    // bucket, scanning the occupancy bitmap circularly word by word.
+    const std::size_t base = static_cast<std::size_t>(cur_bucket_id_) & kBucketMask;
+    const std::size_t first = (base + 1) & kBucketMask;
+    std::uint64_t mask = ~std::uint64_t{0} << (first & 63);
+    std::size_t word = first >> 6;
+    for (std::size_t i = 0; i <= kBitmapWords; ++i) {
+        const std::uint64_t bits = occupied_[word] & mask;
+        if (bits != 0) {
+            const std::size_t found =
+                (word << 6) | static_cast<std::size_t>(std::countr_zero(bits));
+            const std::size_t delta = (found - base) & kBucketMask;
+            if (delta != 0) return delta;
+        }
+        mask = ~std::uint64_t{0};
+        word = (word + 1) & (kBitmapWords - 1);
+    }
+    return kNumBuckets;  // unreachable while wheel_count_ > 0
+}
+
+EventHandle Simulator::schedule_at(Time when, InlineCallback callback) {
     WLANPS_REQUIRE_MSG(when >= now_, "cannot schedule into the past");
-    WLANPS_REQUIRE(callback != nullptr);
+    WLANPS_REQUIRE_MSG(static_cast<bool>(callback), "null callback");
     auto state = std::make_shared<EventHandle::State>();
     state->callback = std::move(callback);
+    state->owner = this;
     Node* node = acquire_node();
     node->state = state;
     push_entry(when, node);
     return EventHandle(std::move(state));
 }
 
-EventHandle Simulator::schedule_in(Time delay, std::function<void()> callback) {
+EventHandle Simulator::schedule_in(Time delay, InlineCallback callback) {
     WLANPS_REQUIRE_MSG(!delay.is_negative(), "negative delay");
     return schedule_at(now_ + delay, std::move(callback));
 }
 
-void Simulator::post_at(Time when, std::function<void()> callback) {
+Simulator::Node* Simulator::arm_periodic(Time when, PeriodicEvent* owner) {
     WLANPS_REQUIRE_MSG(when >= now_, "cannot schedule into the past");
-    WLANPS_REQUIRE(callback != nullptr);
     Node* node = acquire_node();
-    node->callback = std::move(callback);
+    node->periodic = owner;
     push_entry(when, node);
+    return node;
 }
 
-void Simulator::post_in(Time delay, std::function<void()> callback) {
-    WLANPS_REQUIRE_MSG(!delay.is_negative(), "negative delay");
-    post_at(now_ + delay, std::move(callback));
+void Simulator::cancel_periodic(Node* node) {
+    node->periodic = nullptr;
+    ++cancelled_pending_;
 }
 
-bool Simulator::dispatch_next(Time horizon) {
-    while (!queue_.empty()) {
-        Entry top = queue_.top();
-        if (top.when > horizon) return false;
-        queue_.pop();
-        Node* node = top.node;
-        if (node->state != nullptr) {
-            // Handle path: honour cancellation, and move the callback out
-            // of the shared state so the handle reads as no-longer-pending
-            // while it runs, and self-rescheduling callbacks work.
-            auto state = std::move(node->state);
-            release_node(node);
-            if (state->cancelled) continue;
-            now_ = top.when;
-            auto cb = std::move(state->callback);
-            state->callback = nullptr;
-            ++dispatched_;
-            cb();
-            return true;
-        }
-        // Fast path: the callback lives in the node itself; recycle the
-        // node before invoking so self-posting callbacks reuse it.
-        now_ = top.when;
-        auto cb = std::move(node->callback);
-        release_node(node);
-        ++dispatched_;
-        cb();
-        return true;
-    }
-    return false;
-}
-
-void Simulator::run() {
-    stop_requested_ = false;
-    while (!stop_requested_ && dispatch_next(Time::max())) {
-    }
-}
-
-void Simulator::run_until(Time horizon) {
-    WLANPS_REQUIRE_MSG(horizon >= now_, "horizon in the past");
-    stop_requested_ = false;
-    while (!stop_requested_ && dispatch_next(horizon)) {
-    }
-    if (!stop_requested_ && now_ < horizon) now_ = horizon;
-}
-
-bool Simulator::step() {
-    return dispatch_next(Time::max());
-}
-
-PeriodicEvent::PeriodicEvent(Simulator& sim, Time period, std::function<void()> tick)
+PeriodicEvent::PeriodicEvent(Simulator& sim, Time period, InlineCallback tick)
     : sim_(sim), period_(period), tick_(std::move(tick)) {
     WLANPS_REQUIRE_MSG(period_ > Time::zero(), "period must be positive");
-    WLANPS_REQUIRE(tick_ != nullptr);
+    WLANPS_REQUIRE(static_cast<bool>(tick_));
 }
 
 PeriodicEvent::~PeriodicEvent() { cancel(); }
@@ -131,15 +127,20 @@ void PeriodicEvent::start() { start_at(sim_.now() + period_); }
 
 void PeriodicEvent::start_at(Time first_tick) {
     cancel();
-    handle_ = sim_.schedule_at(first_tick, [this] { fire(); });
+    node_ = sim_.arm_periodic(first_tick, this);
 }
 
-void PeriodicEvent::cancel() { handle_.cancel(); }
+void PeriodicEvent::cancel() {
+    if (node_ != nullptr) {
+        sim_.cancel_periodic(node_);
+        node_ = nullptr;
+    }
+}
 
-void PeriodicEvent::fire() {
-    // Reschedule before invoking the tick, so a tick that cancels the
-    // periodic activity wins over the automatic rescheduling.
-    handle_ = sim_.schedule_in(period_, [this] { fire(); });
+void PeriodicEvent::fire(Simulator::Node* node) {
+    // Re-arm before invoking the tick, so a tick that cancels the periodic
+    // activity wins over the automatic rescheduling.
+    sim_.rearm_periodic(node, sim_.now() + period_);
     tick_();
 }
 

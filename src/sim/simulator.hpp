@@ -7,16 +7,22 @@
 /// (time, insertion-order) order, so simultaneous events execute FIFO and
 /// every run with the same seed is bit-reproducible.
 
+#include <algorithm>
+#include <array>
 #include <cstdint>
-#include <functional>
 #include <memory>
 #include <queue>
 #include <string>
 #include <vector>
 
+#include "sim/assert.hpp"
+#include "sim/callback.hpp"
 #include "sim/time.hpp"
 
 namespace wlanps::sim {
+
+class Simulator;
+class PeriodicEvent;
 
 /// Handle to a scheduled event; used to cancel it before it fires.
 class EventHandle {
@@ -31,7 +37,8 @@ public:
 private:
     friend class Simulator;
     struct State {
-        std::function<void()> callback;
+        InlineCallback callback;
+        Simulator* owner = nullptr;  // for tombstone accounting on cancel
         bool cancelled = false;
     };
     explicit EventHandle(std::shared_ptr<State> state) : state_(std::move(state)) {}
@@ -40,13 +47,21 @@ private:
 
 /// The simulation kernel.  Not copyable; components hold references to it.
 ///
-/// Event nodes come from an internal slab allocator (fixed-size chunks,
-/// free-list recycling), so steady-state scheduling does one queue push
-/// and no per-event heap allocation beyond what the callback's own
-/// closure needs.  Two scheduling families exist:
+/// Storage: event nodes come from an internal slab allocator (fixed-size
+/// chunks, free-list recycling) and callbacks live in-place in the node
+/// (InlineCallback, 64-byte buffer), so steady-state scheduling performs
+/// no heap allocation at all.  Two scheduling families exist:
 ///   * post_at / post_in    — fire-and-forget, no handle, fastest path;
 ///   * schedule_at / schedule_in — return an EventHandle for cancellation
 ///     (allocates a small shared cancellation state, as before).
+///
+/// Ordering: the queue is a two-level calendar queue — a 256-bucket wheel
+/// covering the near future (4096 ns per bucket, ~1 ms of horizon) plus a
+/// binary-heap overflow ladder for everything beyond it.  Wheel buckets
+/// are sorted lazily when the dispatch cursor reaches them; ties at equal
+/// times break on a global insertion sequence number, so dispatch order is
+/// exactly the (time, seq) FIFO order the old binary heap produced — same
+/// events, same order, same metrics to the last bit.
 class Simulator {
 public:
     Simulator() = default;
@@ -57,17 +72,17 @@ public:
     [[nodiscard]] Time now() const { return now_; }
 
     /// Schedule \p callback at absolute time \p when (must be >= now()).
-    EventHandle schedule_at(Time when, std::function<void()> callback);
+    EventHandle schedule_at(Time when, InlineCallback callback);
 
     /// Schedule \p callback \p delay after now() (delay must be >= 0).
-    EventHandle schedule_in(Time delay, std::function<void()> callback);
+    EventHandle schedule_in(Time delay, InlineCallback callback);
 
     /// Fire-and-forget variant of schedule_at: no EventHandle, no shared
     /// cancellation state.  Use when the event is never cancelled.
-    void post_at(Time when, std::function<void()> callback);
+    void post_at(Time when, InlineCallback callback);
 
     /// Fire-and-forget variant of schedule_in.
-    void post_in(Time delay, std::function<void()> callback);
+    void post_in(Time delay, InlineCallback callback);
 
     /// Run until the queue is empty or stop() is called.
     void run();
@@ -86,16 +101,30 @@ public:
     /// Number of events dispatched so far (cancelled events excluded).
     [[nodiscard]] std::uint64_t events_dispatched() const { return dispatched_; }
 
-    /// Number of events currently queued (including cancelled tombstones).
-    [[nodiscard]] std::size_t queue_size() const { return queue_.size(); }
+    /// Number of entries currently queued, *including* cancelled tombstones
+    /// that have not been reaped yet.  Use pending_events() to ask "how
+    /// many events will still fire".
+    [[nodiscard]] std::size_t queue_size() const { return size_; }
+
+    /// Number of queued events that are still live (cancelled tombstones
+    /// excluded) — the count that reaches zero exactly when run() would
+    /// dispatch nothing more.
+    [[nodiscard]] std::size_t pending_events() const {
+        return size_ - static_cast<std::size_t>(cancelled_pending_);
+    }
 
 private:
+    friend class EventHandle;
+    friend class PeriodicEvent;
+
     /// Slab-allocated event node.  Fast-path events store their callback
-    /// inline; handle-path events store it in the shared State instead so
-    /// the handle can cancel it.
+    /// in-place; handle-path events store it in the shared State instead
+    /// (so the handle can cancel it); periodic events carry a back-pointer
+    /// to their PeriodicEvent and are re-armed without re-allocation.
     struct Node {
-        std::function<void()> callback;
+        InlineCallback callback;
         std::shared_ptr<EventHandle::State> state;
+        PeriodicEvent* periodic = nullptr;
         Node* next_free = nullptr;
     };
 
@@ -109,15 +138,62 @@ private:
         }
     };
 
-    [[nodiscard]] Node* acquire_node();
-    void release_node(Node* node);
-    void push_entry(Time when, Node* node);
-    bool dispatch_next(Time horizon);
+    /// One wheel bucket: unsorted until the cursor reaches it, then kept
+    /// ascending by (when, seq) and drained through `head`, so in-order
+    /// insertions (the common case) append without shifting anything.
+    struct Bucket {
+        std::vector<Entry> entries;
+        std::size_t head = 0;  // index of the next entry to dispatch
+        bool sorted = false;
+
+        [[nodiscard]] std::size_t live() const { return entries.size() - head; }
+    };
 
     static constexpr std::size_t kSlabSize = 256;  // nodes per slab
+    static constexpr std::size_t kNumBuckets = 256;
+    static constexpr std::size_t kBucketMask = kNumBuckets - 1;
+    static constexpr std::size_t kBitmapWords = kNumBuckets / 64;
+    static constexpr std::int64_t kBucketWidthNs = 4096;  // ~4 us per bucket
+
+    [[nodiscard]] static std::uint64_t bucket_id(Time t) {
+        return static_cast<std::uint64_t>(t.ns()) / static_cast<std::uint64_t>(kBucketWidthNs);
+    }
+
+    /// Ascending (when, seq) — the dispatch order.
+    [[nodiscard]] static bool entry_less(const Entry& a, const Entry& b) { return b > a; }
+
+    [[nodiscard]] Node* acquire_node();
+    void grow_slab();
+    void release_node(Node* node);
+    void emplace_post(Time when, InlineCallback&& callback);
+    void push_entry(Time when, Node* node);
+    void wheel_insert(std::uint64_t id, const Entry& entry);
+    void rebuild_window(std::uint64_t id, const Entry& entry);
+    void spill_wheel_to_overflow();
+    void migrate_overflow();
+    void advance_cursor();
+    [[nodiscard]] std::size_t next_occupied_delta() const;
+    [[nodiscard]] Entry* find_min();
+    void pop_min();
+    bool dispatch_next(Time horizon);
+
+    // Periodic fast path (used by PeriodicEvent).
+    Node* arm_periodic(Time when, PeriodicEvent* owner);
+    void rearm_periodic(Node* node, Time when);
+    void cancel_periodic(Node* node);
+    void note_handle_cancelled() { ++cancelled_pending_; }
+
     std::vector<std::unique_ptr<Node[]>> slabs_;
     Node* free_list_ = nullptr;
-    std::priority_queue<Entry, std::vector<Entry>, std::greater<>> queue_;
+
+    std::array<Bucket, kNumBuckets> buckets_;
+    std::array<std::uint64_t, kBitmapWords> occupied_{};  // nonempty-bucket bitmap
+    std::uint64_t cur_bucket_id_ = 0;  // absolute id of the drain cursor's bucket
+    std::size_t wheel_count_ = 0;      // entries resident in the wheel
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<>> overflow_;
+
+    std::size_t size_ = 0;  // total queued entries (wheel + overflow)
+    std::uint64_t cancelled_pending_ = 0;
     Time now_ = Time::zero();
     std::uint64_t next_seq_ = 0;
     std::uint64_t dispatched_ = 0;
@@ -126,9 +202,14 @@ private:
 
 /// Scoped periodic activity: reschedules itself every `period` until
 /// cancelled or its owner is destroyed.  Used for beacons, polls, meters.
+///
+/// Periodic ticks ride a dedicated kernel path: the slab node is armed
+/// once and re-armed in place on every fire, so a beacon or energy meter
+/// costs one queue push per tick — no handle, no allocation, no callback
+/// relocation.
 class PeriodicEvent {
 public:
-    PeriodicEvent(Simulator& sim, Time period, std::function<void()> tick);
+    PeriodicEvent(Simulator& sim, Time period, InlineCallback tick);
     ~PeriodicEvent();
     PeriodicEvent(const PeriodicEvent&) = delete;
     PeriodicEvent& operator=(const PeriodicEvent&) = delete;
@@ -136,16 +217,200 @@ public:
     void start();
     void start_at(Time first_tick);
     void cancel();
-    [[nodiscard]] bool running() const { return handle_.pending(); }
+    [[nodiscard]] bool running() const { return node_ != nullptr; }
     [[nodiscard]] Time period() const { return period_; }
 
 private:
-    void fire();
+    friend class Simulator;
+    void fire(Simulator::Node* node);
 
     Simulator& sim_;
     Time period_;
-    std::function<void()> tick_;
-    EventHandle handle_;
+    InlineCallback tick_;
+    Simulator::Node* node_ = nullptr;  // armed queue node, owned by sim_
 };
+
+// ---------------------------------------------------------------------------
+// Inline hot path.  Everything executed once per event (node pool, push,
+// find/pop, dispatch, run loop) lives here so the compiler can flatten the
+// whole schedule→dispatch cycle; the cold paths (slab growth, window
+// rebuilds, overflow migration, bitmap scans) stay in simulator.cpp.
+// ---------------------------------------------------------------------------
+
+inline Simulator::Node* Simulator::acquire_node() {
+    if (free_list_ == nullptr) grow_slab();
+    Node* node = free_list_;
+    free_list_ = node->next_free;
+    node->next_free = nullptr;
+    return node;
+}
+
+inline void Simulator::release_node(Node* node) {
+    node->callback.reset();
+    node->state.reset();
+    node->periodic = nullptr;
+    node->next_free = free_list_;
+    free_list_ = node;
+}
+
+inline void Simulator::wheel_insert(std::uint64_t id, const Entry& entry) {
+    const std::size_t idx = static_cast<std::size_t>(id) & kBucketMask;
+    Bucket& b = buckets_[idx];
+    if (b.entries.empty()) {
+        occupied_[idx >> 6] |= std::uint64_t{1} << (idx & 63);
+        b.sorted = true;
+        b.entries.push_back(entry);
+    } else if (b.sorted) {
+        // Keep ascending (when, seq) order.  New events carry the highest
+        // seq so far, so unless an earlier-than-tail time arrives this is
+        // a plain append.
+        if (entry_less(b.entries.back(), entry)) {
+            b.entries.push_back(entry);
+        } else {
+            auto it = std::upper_bound(b.entries.begin() + static_cast<std::ptrdiff_t>(b.head),
+                                       b.entries.end(), entry, &entry_less);
+            b.entries.insert(it, entry);
+        }
+    } else {
+        b.entries.push_back(entry);
+    }
+    ++wheel_count_;
+}
+
+inline void Simulator::push_entry(Time when, Node* node) {
+    const Entry entry{when, next_seq_++, node};
+    if (size_ == 0) cur_bucket_id_ = bucket_id(now_);  // wheel is empty: re-anchor
+    ++size_;
+    const std::uint64_t id = bucket_id(when);
+    if (id - cur_bucket_id_ < kNumBuckets) {  // unsigned: also false when id < cursor
+        wheel_insert(id, entry);
+    } else if (id >= cur_bucket_id_) {
+        overflow_.push(entry);
+    } else {
+        // The cursor ran ahead (the previous minimum was far in the
+        // future); rebuild the window around the new earliest event.
+        rebuild_window(id, entry);
+    }
+}
+
+inline void Simulator::emplace_post(Time when, InlineCallback&& callback) {
+    WLANPS_REQUIRE_MSG(when >= now_, "cannot schedule into the past");
+    WLANPS_REQUIRE_MSG(static_cast<bool>(callback), "null callback");
+    Node* node = acquire_node();
+    node->callback = std::move(callback);
+    push_entry(when, node);
+}
+
+inline void Simulator::post_at(Time when, InlineCallback callback) {
+    emplace_post(when, std::move(callback));
+}
+
+inline void Simulator::post_in(Time delay, InlineCallback callback) {
+    WLANPS_REQUIRE_MSG(!delay.is_negative(), "negative delay");
+    emplace_post(now_ + delay, std::move(callback));
+}
+
+inline Simulator::Entry* Simulator::find_min() {
+    for (;;) {
+        if (wheel_count_ == 0) {
+            // Everything queued sits in the overflow ladder: jump the
+            // window to its minimum and migrate what now fits.
+            cur_bucket_id_ = bucket_id(overflow_.top().when);
+            migrate_overflow();
+            continue;
+        }
+        Bucket& b = buckets_[static_cast<std::size_t>(cur_bucket_id_) & kBucketMask];
+        if (b.head < b.entries.size()) {
+            if (!b.sorted) {
+                std::sort(b.entries.begin(), b.entries.end(), &entry_less);
+                b.sorted = true;
+            }
+            return &b.entries[b.head];
+        }
+        advance_cursor();
+    }
+}
+
+inline void Simulator::pop_min() {
+    const std::size_t idx = static_cast<std::size_t>(cur_bucket_id_) & kBucketMask;
+    Bucket& b = buckets_[idx];
+    ++b.head;
+    --wheel_count_;
+    --size_;
+    if (b.head == b.entries.size()) {
+        b.entries.clear();
+        b.head = 0;
+        b.sorted = false;
+        occupied_[idx >> 6] &= ~(std::uint64_t{1} << (idx & 63));
+    }
+}
+
+inline bool Simulator::dispatch_next(Time horizon) {
+    while (size_ > 0) {
+        Entry* min = find_min();
+        if (min->when > horizon) return false;
+        Node* node = min->node;
+        const Time when = min->when;
+        pop_min();
+        if (node->periodic != nullptr) {
+            // Periodic path: the node is re-armed in place by fire(); no
+            // release, no re-acquire, no callback relocation.
+            PeriodicEvent* periodic = node->periodic;
+            now_ = when;
+            ++dispatched_;
+            periodic->fire(node);
+            return true;
+        }
+        if (node->state != nullptr) {
+            // Handle path: honour cancellation, and move the callback out
+            // of the shared state so the handle reads as no-longer-pending
+            // while it runs, and self-rescheduling callbacks work.
+            auto state = std::move(node->state);
+            release_node(node);
+            if (state->cancelled) {
+                --cancelled_pending_;
+                continue;
+            }
+            now_ = when;
+            InlineCallback cb = std::move(state->callback);
+            ++dispatched_;
+            cb();
+            return true;
+        }
+        if (!node->callback) {
+            // Tombstone of a cancelled periodic event: reap and move on.
+            release_node(node);
+            --cancelled_pending_;
+            continue;
+        }
+        // Fast path: invoke in place — the node is off the free list while
+        // the callback runs, so self-posting callbacks are safe, and the
+        // callable is never relocated.
+        now_ = when;
+        ++dispatched_;
+        node->callback();
+        release_node(node);
+        return true;
+    }
+    return false;
+}
+
+inline void Simulator::rearm_periodic(Node* node, Time when) { push_entry(when, node); }
+
+inline void Simulator::run() {
+    stop_requested_ = false;
+    while (!stop_requested_ && dispatch_next(Time::max())) {
+    }
+}
+
+inline void Simulator::run_until(Time horizon) {
+    WLANPS_REQUIRE_MSG(horizon >= now_, "horizon in the past");
+    stop_requested_ = false;
+    while (!stop_requested_ && dispatch_next(horizon)) {
+    }
+    if (!stop_requested_ && now_ < horizon) now_ = horizon;
+}
+
+inline bool Simulator::step() { return dispatch_next(Time::max()); }
 
 }  // namespace wlanps::sim
