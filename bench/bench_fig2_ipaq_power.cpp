@@ -12,9 +12,19 @@
 /// approach improves on.
 
 #include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
 
 #include "bench_util.hpp"
+#include "core/burst_channel.hpp"
+#include "core/client.hpp"
 #include "core/scenarios.hpp"
+#include "obs/hooks.hpp"
+#include "obs/json.hpp"
+#include "obs/trace_export.hpp"
+#include "sim/trace.hpp"
 
 int main() {
     using namespace wlanps;
@@ -25,6 +35,15 @@ int main() {
     config.clients = 3;
     config.duration = Time::from_seconds(300);
 
+    // Observability taps (off the measurement path): the registry always
+    // collects, and WLANPS_TRACE_OUT / WLANPS_METRICS_OUT name files to
+    // export a Perfetto-loadable power-state trace of the hotspot run and
+    // the flat metrics snapshot.
+    const char* trace_out = std::getenv("WLANPS_TRACE_OUT");
+    const char* metrics_out = std::getenv("WLANPS_METRICS_OUT");
+    obs::MetricsRegistry registry;
+    obs::ScopedRegistry obs_scope(registry);
+
     bu::heading("FIG2", "Average IPAQ power, 3 clients x 128 kb/s MP3, 300 s");
 
     const sc::ScenarioResult cam = sc::run_wlan_cam(config);
@@ -32,7 +51,40 @@ int main() {
     const sc::ScenarioResult bt = sc::run_bt_active(config);
     sc::HotspotOptions hs;
     hs.scheduler = "edf";
+    std::vector<std::unique_ptr<sim::TimelineTrace>> lanes;
+    std::vector<std::string> lane_names;
+    if (trace_out != nullptr) {
+        hs.on_start = [&](sim::Simulator&, core::HotspotServer&,
+                          std::vector<core::HotspotClient*>& clients) {
+            for (std::size_t i = 0; i < clients.size(); ++i) {
+                for (core::BurstChannel* ch : clients[i]->channels()) {
+                    auto trace = std::make_unique<sim::TimelineTrace>();
+                    ch->wnic().attach_trace(trace.get());
+                    lane_names.push_back("C" + std::to_string(i + 1) + " " +
+                                         ch->wnic().name());
+                    lanes.push_back(std::move(trace));
+                }
+            }
+        };
+        hs.inspect = [&](sim::Simulator& s, core::HotspotServer&,
+                         std::vector<core::HotspotClient*>&) {
+            for (auto& lane : lanes) lane->finish(s.now());
+        };
+    }
     const sc::ScenarioResult hotspot = sc::run_hotspot(config, hs);
+
+    if (trace_out != nullptr) {
+        obs::ChromeTraceWriter writer;
+        for (std::size_t i = 0; i < lanes.size(); ++i) {
+            writer.add_lane(lane_names[i], *lanes[i]);
+        }
+        writer.write_file(trace_out);
+        bu::note(std::string("chrome trace written to ") + trace_out);
+    }
+    if (metrics_out != nullptr) {
+        obs::write_json_file(registry.snapshot(), metrics_out);
+        bu::note(std::string("metrics snapshot written to ") + metrics_out);
+    }
 
     std::printf("%-26s %12s %14s %8s %12s\n", "configuration", "WNIC power", "device power",
                 "QoS", "WNIC saving");

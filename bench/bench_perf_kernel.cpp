@@ -12,8 +12,13 @@
 #include "core/scenarios.hpp"
 #include "core/scheduler.hpp"
 #include "exp/runner.hpp"
+#include "obs/metrics.hpp"
 #include "sim/random.hpp"
 #include "sim/simulator.hpp"
+
+#if defined(WLANPS_OBS_ENABLED)
+#include "obs/kernel_profile.hpp"
+#endif
 
 using namespace wlanps;
 
@@ -48,6 +53,42 @@ void BM_EventPostDispatch(benchmark::State& state) {
     benchmark::DoNotOptimize(counter);
 }
 BENCHMARK(BM_EventPostDispatch);
+
+#if defined(WLANPS_OBS_ENABLED)
+void BM_EventPostDispatchProfiled(benchmark::State& state) {
+    // Same workload as BM_EventPostDispatch with a KernelProfile attached:
+    // every dispatch is counted and wall-clock timed.  The scripts/
+    // check_perf.sh overhead gate compares the *unattached* obs build
+    // against the baseline; this variant quantifies the attached cost.
+    sim::Simulator sim;
+    obs::MetricsRegistry registry;
+    obs::KernelProfile profile(registry);
+    sim.attach_profile(&profile);
+    std::uint64_t counter = 0;
+    for (auto _ : state) {
+        for (int i = 0; i < 1000; ++i) {
+            sim.post_in(Time::from_us(i), [&counter] { ++counter; });
+        }
+        sim.run();
+    }
+    state.SetItemsProcessed(state.iterations() * 1000);
+    benchmark::DoNotOptimize(counter);
+}
+BENCHMARK(BM_EventPostDispatchProfiled);
+#endif  // WLANPS_OBS_ENABLED
+
+void BM_HistogramRecord(benchmark::State& state) {
+    // The obs histogram's O(1) record path (frexp + increment) — the cost
+    // every WLANPS_OBS_RECORD site pays when observability is on.
+    obs::Histogram h;
+    double x = 1.0;
+    for (auto _ : state) {
+        h.record(x);
+        x = x < 1e9 ? x * 1.618 : 1.0;
+    }
+    benchmark::DoNotOptimize(h);
+}
+BENCHMARK(BM_HistogramRecord);
 
 void BM_PeriodicTick(benchmark::State& state) {
     // The self-rearming periodic path: one queue push per tick, no

@@ -5,22 +5,35 @@
 /// Usage:
 ///   hotspot_cli [--clients N] [--duration SECONDS] [--scheduler NAME]
 ///               [--burst KB] [--config NAME] [--seed N] [--no-bt] [--no-wlan]
+///               [--trace FILE] [--metrics FILE]
 ///
 ///   --config: hotspot (default) | wlan-cam | wlan-psm | bt | ecmac | mixed
 ///   --scheduler: edf | wfq | round-robin | fixed-priority | fifo
+///   --trace: write a Chrome trace_event JSON of the NIC power-state lanes
+///            (hotspot/mixed configs) — open it at https://ui.perfetto.dev
+///   --metrics: write the run's obs metrics snapshot as flat JSON
 ///
 /// Examples:
 ///   hotspot_cli                               # the Figure 2 hotspot row
 ///   hotspot_cli --config wlan-cam             # the baseline row
 ///   hotspot_cli --clients 5 --scheduler wfq --burst 96
 ///   hotspot_cli --config mixed --duration 120
+///   hotspot_cli --trace hotspot_trace.json --metrics metrics.json
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
+#include <vector>
 
+#include "core/burst_channel.hpp"
+#include "core/client.hpp"
 #include "core/scenarios.hpp"
+#include "obs/hooks.hpp"
+#include "obs/json.hpp"
+#include "obs/trace_export.hpp"
+#include "sim/trace.hpp"
 
 using namespace wlanps;
 namespace sc = core::scenarios;
@@ -31,7 +44,8 @@ namespace {
     std::fprintf(stderr,
                  "usage: %s [--clients N] [--duration S] [--scheduler NAME] [--burst KB]\n"
                  "          [--config hotspot|wlan-cam|wlan-psm|bt|ecmac|mixed]\n"
-                 "          [--seed N] [--no-bt] [--no-wlan]\n",
+                 "          [--seed N] [--no-bt] [--no-wlan]\n"
+                 "          [--trace FILE] [--metrics FILE]\n",
                  argv0);
     std::exit(2);
 }
@@ -57,6 +71,8 @@ int main(int argc, char** argv) {
     sc::StreamConfig config;
     sc::HotspotOptions options;
     std::string kind = "hotspot";
+    std::string trace_path;
+    std::string metrics_path;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -81,9 +97,43 @@ int main(int argc, char** argv) {
             options.bt_available = false;
         } else if (arg == "--no-wlan") {
             options.wlan_available = false;
+        } else if (arg == "--trace") {
+            trace_path = next();
+        } else if (arg == "--metrics") {
+            metrics_path = next();
         } else {
             usage(argv[0]);
         }
+    }
+
+    // The obs registry collects whatever the run records; --metrics dumps
+    // it.  --trace additionally mirrors every NIC's power states into
+    // timeline lanes (hotspot/mixed configs own their NICs through
+    // HotspotClient channels; other configs have no lane hook here).
+    obs::MetricsRegistry registry;
+    obs::ScopedRegistry obs_scope(registry);
+    std::vector<std::unique_ptr<sim::TimelineTrace>> lanes;
+    std::vector<std::string> lane_names;
+    if (!trace_path.empty()) {
+        if (kind != "hotspot" && kind != "mixed") {
+            std::fprintf(stderr, "note: --trace lanes are wired for hotspot/mixed only\n");
+        }
+        options.on_start = [&](sim::Simulator&, core::HotspotServer&,
+                               std::vector<core::HotspotClient*>& clients) {
+            for (std::size_t i = 0; i < clients.size(); ++i) {
+                for (core::BurstChannel* ch : clients[i]->channels()) {
+                    auto trace = std::make_unique<sim::TimelineTrace>();
+                    ch->wnic().attach_trace(trace.get());
+                    lane_names.push_back("C" + std::to_string(i + 1) + " " +
+                                         ch->wnic().name());
+                    lanes.push_back(std::move(trace));
+                }
+            }
+        };
+        options.inspect = [&](sim::Simulator& s, core::HotspotServer&,
+                              std::vector<core::HotspotClient*>&) {
+            for (auto& lane : lanes) lane->finish(s.now());
+        };
     }
 
     std::printf("%d client(s), %.0f s, seed %llu\n\n", config.clients,
@@ -104,6 +154,19 @@ int main(int argc, char** argv) {
             print(sc::run_hotspot_mixed(config, options, sc::MixedWorkload{}));
         } else {
             usage(argv[0]);
+        }
+        if (!trace_path.empty()) {
+            obs::ChromeTraceWriter writer;
+            for (std::size_t i = 0; i < lanes.size(); ++i) {
+                writer.add_lane(lane_names[i], *lanes[i]);
+            }
+            writer.write_file(trace_path);
+            std::printf("chrome trace written to %s (open at https://ui.perfetto.dev)\n",
+                        trace_path.c_str());
+        }
+        if (!metrics_path.empty()) {
+            obs::write_json_file(registry.snapshot(), metrics_path);
+            std::printf("metrics snapshot written to %s\n", metrics_path.c_str());
         }
     } catch (const ContractViolation& e) {
         std::fprintf(stderr, "error: %s\n", e.what());

@@ -5,6 +5,9 @@
 # queue, slab nodes, InlineCallback) are single-threaded per Simulator but
 # run here too, because the runner executes one Simulator per worker
 # thread and TSan vets that nothing in the kernel shares hidden state.
+# The build compiles with -DWLANPS_OBS=ON so the obs hot-path hooks, the
+# synchronized log sink, and the per-run ScopedRegistry run under TSan
+# (obs_test hammers the logger from 8 threads and the runner merge from 4).
 #
 # Usage: scripts/check_tsan.sh [build-dir]   (default: build-tsan)
 set -euo pipefail
@@ -12,10 +15,11 @@ cd "$(dirname "$0")/.."
 
 BUILD_DIR="${1:-build-tsan}"
 
-cmake -B "$BUILD_DIR" -S . -DWLANPS_SANITIZE=thread
+cmake -B "$BUILD_DIR" -S . -DWLANPS_SANITIZE=thread -DWLANPS_OBS=ON
 cmake --build "$BUILD_DIR" -j "$(nproc)" \
-    --target exp_runner_test sim_simulator_test sim_calendar_queue_test
+    --target exp_runner_test sim_simulator_test sim_calendar_queue_test obs_test
 "./$BUILD_DIR/tests/exp_runner_test"
 "./$BUILD_DIR/tests/sim_simulator_test"
 "./$BUILD_DIR/tests/sim_calendar_queue_test"
+"./$BUILD_DIR/tests/obs_test"
 echo "TSan check passed."

@@ -12,13 +12,18 @@
 #
 # The output format is documented in EXPERIMENTS.md ("Benchmark JSON").
 #
+#   * bench_fig2 additionally exports its obs metrics snapshot to
+#     metrics.json next to the output file (percentiles, NIC residencies;
+#     see EXPERIMENTS.md, "Observability").
+#
 # Usage: scripts/run_bench.sh [build-dir] [output.json]
-#   (defaults: build, BENCH_2.json)
+#   (defaults: build, BENCH_3.json)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BUILD_DIR="${1:-build}"
-OUT="${2:-BENCH_2.json}"
+OUT="${2:-BENCH_3.json}"
+METRICS_OUT="$(dirname "$OUT")/metrics.json"
 
 cmake --build "$BUILD_DIR" -j "$(nproc)" >/dev/null
 
@@ -33,10 +38,17 @@ WALL_TSV="$BUILD_DIR/bench_wall_clock.tsv"
 for bin in "$BUILD_DIR"/bench/bench_fig* "$BUILD_DIR"/bench/bench_ab*; do
     name="$(basename "$bin")"
     start="$(date +%s.%N)"
-    "$bin" >/dev/null
+    if [[ "$name" == "bench_fig2_ipaq_power" ]]; then
+        # The fig2 run doubles as the metrics exporter: flat JSON snapshot
+        # of everything the scenarios recorded, next to the bench output.
+        WLANPS_METRICS_OUT="$METRICS_OUT" "$bin" >/dev/null
+    else
+        "$bin" >/dev/null
+    fi
     end="$(date +%s.%N)"
     printf '%s\t%s\n' "$name" "$(python3 -c "print(f'{$end - $start:.3f}')")" >>"$WALL_TSV"
 done
+echo "wrote $METRICS_OUT"
 
 python3 - "$KERNEL_JSON" "$WALL_TSV" "$OUT" <<'PY'
 import json

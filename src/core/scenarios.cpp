@@ -8,6 +8,7 @@
 #include "mac/access_point.hpp"
 #include "mac/ecmac.hpp"
 #include "mac/station.hpp"
+#include "obs/hooks.hpp"
 #include "sim/assert.hpp"
 #include "traffic/playout.hpp"
 #include "traffic/source.hpp"
@@ -40,6 +41,35 @@ ClientMetrics make_metrics(power::Power wnic_avg, power::Energy wnic_energy,
     m.underruns = playout.underruns();
     m.received = received;
     return m;
+}
+
+/// Fold the run's per-client results into the active obs registry (if
+/// any): power/QoS/energy histograms accumulate percentiles across
+/// clients and — via the runner's snapshot merge — across seeds.
+void record_client_obs(const ScenarioResult& result) {
+    obs::MetricsRegistry* reg = obs::current();
+    if (reg == nullptr) return;
+    for (const ClientMetrics& c : result.clients) {
+        reg->histogram("scenario.client.wnic_mw").record(c.wnic_average.milliwatts());
+        reg->histogram("scenario.client.device_mw").record(c.device_average.milliwatts());
+        reg->histogram("scenario.client.energy_j").record(c.wnic_energy.joules());
+        reg->histogram("scenario.client.qos").record(c.qos);
+        reg->counter("scenario.client.underruns").add(c.underruns);
+        reg->counter("scenario.client.received_bytes")
+            .add(static_cast<std::uint64_t>(c.received.bytes()));
+    }
+}
+
+/// End-of-run kernel accounting, under names that keep the tombstone
+/// distinction explicit: queue_size() includes cancelled-but-unreaped
+/// entries, pending_events() does not.
+void record_kernel_obs(const sim::Simulator& sim) {
+    obs::MetricsRegistry* reg = obs::current();
+    if (reg == nullptr) return;
+    reg->counter("sim.kernel.events_dispatched").add(sim.events_dispatched());
+    reg->gauge("sim.queue.entries_incl_tombstones")
+        .set(static_cast<double>(sim.queue_size()));
+    reg->gauge("sim.queue.pending_live").set(static_cast<double>(sim.pending_events()));
 }
 
 }  // namespace
@@ -109,6 +139,11 @@ ScenarioResult run_wlan_cam(const StreamConfig& config) {
                                               *playouts[static_cast<std::size_t>(i)],
                                               stations[static_cast<std::size_t>(i)]->bytes_received()));
     }
+    if (obs::MetricsRegistry* reg = obs::current()) {
+        for (auto& st : stations) st->wlan_nic().publish_metrics(*reg, "phy.wlan");
+    }
+    record_client_obs(result);
+    record_kernel_obs(sim);
     return result;
 }
 
@@ -160,6 +195,11 @@ ScenarioResult run_wlan_psm(const StreamConfig& config, PsmOptions options) {
                                               stations[i]->energy_consumed(), *playouts[i],
                                               stations[i]->bytes_received()));
     }
+    if (obs::MetricsRegistry* reg = obs::current()) {
+        for (auto& st : stations) st->wlan_nic().publish_metrics(*reg, "phy.wlan");
+    }
+    record_client_obs(result);
+    record_kernel_obs(sim);
     return result;
 }
 
@@ -203,6 +243,11 @@ ScenarioResult run_ecmac(const StreamConfig& config, Time superframe) {
                                               stations[i]->energy_consumed(), *playouts[i],
                                               stations[i]->bytes_received()));
     }
+    if (obs::MetricsRegistry* reg = obs::current()) {
+        for (auto& st : stations) st->wlan_nic().publish_metrics(*reg, "phy.wlan");
+    }
+    record_client_obs(result);
+    record_kernel_obs(sim);
     return result;
 }
 
@@ -243,6 +288,11 @@ ScenarioResult run_bt_active(const StreamConfig& config) {
                                               slaves[i]->energy_consumed(), *playouts[i],
                                               slaves[i]->bytes_received()));
     }
+    if (obs::MetricsRegistry* reg = obs::current()) {
+        for (auto& s : slaves) s->nic().publish_metrics(*reg, "phy.bt");
+    }
+    record_client_obs(result);
+    record_kernel_obs(sim);
     return result;
 }
 
@@ -323,6 +373,12 @@ ScenarioResult run_hotspot(const StreamConfig& config, HotspotOptions options) {
         result.clients.push_back(make_metrics(c->wnic_average_power(), c->wnic_energy(),
                                               c->playout(), c->bytes_received()));
     }
+    if (obs::MetricsRegistry* reg = obs::current()) {
+        for (auto& nic : wlan_nics) nic->publish_metrics(*reg, "phy.wlan");
+        for (auto& s : slaves) s->nic().publish_metrics(*reg, "phy.bt");
+    }
+    record_client_obs(result);
+    record_kernel_obs(sim);
     return result;
 }
 
@@ -456,6 +512,12 @@ ScenarioResult run_hotspot_mixed(const StreamConfig& config, HotspotOptions opti
         }
         result.clients.push_back(m);
     }
+    if (obs::MetricsRegistry* reg = obs::current()) {
+        for (auto& nic : wlan_nics) nic->publish_metrics(*reg, "phy.wlan");
+        for (auto& s : slaves) s->nic().publish_metrics(*reg, "phy.bt");
+    }
+    record_client_obs(result);
+    record_kernel_obs(sim);
     return result;
 }
 

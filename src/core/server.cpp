@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "obs/hooks.hpp"
 #include "sim/assert.hpp"
 #include "sim/logger.hpp"
 
@@ -212,9 +213,10 @@ void HotspotServer::plan_client(ClientId id, ClientRecord& rec) {
         rec.has_channel ? rec.current_channel : channels.size());
     if (rec.has_channel && chosen != rec.current_channel) {
         ++rec.interface_switches;
-        sim::Logger::log(sim::LogLevel::info, sim_.now(), "hotspot",
-                         "client " + std::to_string(id) + " switches to " +
-                             phy::to_string(channels[chosen]->interface()));
+        WLANPS_OBS_COUNT("core.interface_switches", 1);
+        WLANPS_LOG(sim::LogLevel::info, sim_.now(), "hotspot",
+                   "client " << id << " switches to "
+                             << phy::to_string(channels[chosen]->interface()));
     }
     rec.current_channel = chosen;
     rec.has_channel = true;
@@ -231,12 +233,14 @@ void HotspotServer::plan_client(ClientId id, ClientRecord& rec) {
 
     if (!rec.stored_content) rec.server_buffer -= size;  // reserve
     rec.burst_outstanding = true;
+    WLANPS_OBS_COUNT("core.bursts_planned", 1);
+    WLANPS_OBS_RECORD("core.burst_bytes", size.bytes());
     const phy::Interface itf = channels[chosen]->interface();
     decisions_.push_back(BurstDecision{sim_.now(), id, size, itf, request.deadline});
     if (decisions_.size() > kDecisionLogCapacity) decisions_.pop_front();
-    sim::Logger::log(sim::LogLevel::debug, sim_.now(), "hotspot",
-                     "burst " + size.str() + " for client " + std::to_string(id) + " on " +
-                         phy::to_string(itf) + ", deadline " + request.deadline.str());
+    WLANPS_LOG(sim::LogLevel::debug, sim_.now(), "hotspot",
+               "burst " << size.str() << " for client " << id << " on "
+                        << phy::to_string(itf) << ", deadline " << request.deadline.str());
     pending_[itf].emplace_back(request, chosen);
     dispatch(itf);
 }
@@ -245,6 +249,7 @@ void HotspotServer::dispatch(phy::Interface itf) {
     if (interface_busy_[itf]) return;
     auto& queue = pending_[itf];
     if (queue.empty()) return;
+    WLANPS_OBS_RECORD("core.sched_queue_depth", queue.size());
 
     std::vector<BurstRequest> requests;
     requests.reserve(queue.size());
@@ -287,7 +292,11 @@ void HotspotServer::execute(phy::Interface itf, BurstRequest request, std::size_
             r.modeled_delivered += result.delivered;
             ++r.bursts;
             ++total_bursts_;
-            if (sim_.now() > request.deadline) ++r.deadline_misses;
+            WLANPS_OBS_COUNT("core.bursts_completed", 1);
+            if (sim_.now() > request.deadline) {
+                ++r.deadline_misses;
+                WLANPS_OBS_COUNT("core.deadline_misses", 1);
+            }
             // Undelivered bytes go back to the server buffer for a retry.
             if (!result.lost.is_zero() && !r.stored_content) r.server_buffer += result.lost;
             dispatch(itf);

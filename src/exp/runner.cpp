@@ -7,6 +7,7 @@
 #include <thread>
 #include <utility>
 
+#include "obs/hooks.hpp"
 #include "sim/assert.hpp"
 
 namespace wlanps::exp {
@@ -33,6 +34,11 @@ std::vector<std::string> Aggregate::metric_names(std::size_t point) const {
     names.reserve(points_[point].size());
     for (const auto& [name, acc] : points_[point]) names.push_back(name);
     return names;
+}
+
+const obs::MetricsSnapshot& Aggregate::observed(std::size_t point) const {
+    WLANPS_REQUIRE_MSG(point < observed_.size(), "grid point out of range");
+    return observed_[point];
 }
 
 ExperimentRunner::ExperimentRunner(unsigned threads)
@@ -66,7 +72,13 @@ ExperimentResult ExperimentRunner::run(const ExperimentSpec& spec) const {
         rec.point = point_index;
         rec.seed = seed;
         try {
+            // One registry per run, installed thread-locally so anything
+            // the run touches (kernel, MACs, NICs, TCP) records into it
+            // without plumbing; snapshotted for the serial reduction.
+            obs::MetricsRegistry registry;
+            obs::ScopedRegistry scope(registry);
             rec.metrics = spec.run()(points[point_index], seed);
+            rec.obs = registry.snapshot();
         } catch (...) {
             errors[task] = std::current_exception();
         }
@@ -102,7 +114,9 @@ ExperimentResult ExperimentRunner::run(const ExperimentSpec& spec) const {
     // identical arithmetic whatever the thread count was.
     ExperimentResult result;
     result.aggregate.points_.resize(points.size());
+    result.aggregate.observed_.resize(points.size());
     for (const RunRecord& rec : records) {
+        result.aggregate.observed_[rec.point].merge_from(rec.obs);
         auto& stats = result.aggregate.points_[rec.point];
         for (const auto& [name, value] : rec.metrics) {
             sim::Accumulator* acc = nullptr;

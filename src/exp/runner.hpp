@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "exp/experiment.hpp"
+#include "obs/metrics.hpp"
 #include "sim/stats.hpp"
 
 namespace wlanps::exp {
@@ -25,6 +26,9 @@ struct RunRecord {
     std::size_t point = 0;
     std::uint64_t seed = 0;
     Metrics metrics;
+    /// Everything the run recorded through the obs registry (the runner
+    /// scopes one registry per run; empty when the run recorded nothing).
+    obs::MetricsSnapshot obs;
 };
 
 /// Per-point, per-metric statistics over the seed list, reduced in seed
@@ -43,10 +47,16 @@ public:
 
     [[nodiscard]] std::size_t point_count() const { return points_.size(); }
 
+    /// The merged obs instruments at \p point: every run's snapshot folded
+    /// together in (point, seed) order, so histograms carry cross-seed
+    /// percentiles and the result is bit-identical at any thread count.
+    [[nodiscard]] const obs::MetricsSnapshot& observed(std::size_t point) const;
+
 private:
     friend class ExperimentRunner;
     using PointStats = std::vector<std::pair<std::string, sim::Accumulator>>;
     std::vector<PointStats> points_;
+    std::vector<obs::MetricsSnapshot> observed_;
 };
 
 /// Everything a run() call produced.

@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "obs/hooks.hpp"
 #include "sim/assert.hpp"
 
 namespace wlanps::mac {
@@ -50,6 +51,7 @@ std::size_t EcMacController::buffered(StationId dst) const {
 
 void EcMacController::superframe_boundary() {
     ++superframes_;
+    WLANPS_OBS_COUNT("mac.ecmac.superframes", 1);
     anchor_ += config_.superframe;
     sim_.post_at(anchor_, [this] { superframe_boundary(); });
 
@@ -82,6 +84,8 @@ void EcMacController::superframe_boundary() {
         }
         const Time offset = cursor + config_.slot_guard;
         sched.schedule.push_back(ScheduleEntry{dst, offset, duration});
+        WLANPS_OBS_COUNT("mac.ecmac.slots_scheduled", 1);
+        WLANPS_OBS_RECORD("mac.ecmac.slot_frames", frames);
         plans.push_back(Plan{dst, frames, Time::zero()});
         cursor = offset + duration;
         sched_size += config_.schedule_entry_size;

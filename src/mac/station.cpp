@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <utility>
 
+#include "obs/hooks.hpp"
 #include "sim/assert.hpp"
+#include "sim/logger.hpp"
 
 namespace wlanps::mac {
 
@@ -43,6 +45,9 @@ void WlanStation::schedule_wake_for_next_beacon() {
 
     wake_event_ = sim_.schedule_at(wake_at, [this, target] {
         nic_.wake([this, target] {
+            WLANPS_OBS_COUNT("mac.psm.beacon_wakes", 1);
+            WLANPS_LOG(sim::LogLevel::debug, sim_.now(), "psm",
+                       "station " << id_ << " awake for beacon at " << target.str());
             awaiting_beacon_ = true;
             // If the beacon never arrives (collision/loss), doze again.
             timeout_event_ = sim_.schedule_at(target + config_.beacon_timeout, [this] {
@@ -60,6 +65,7 @@ void WlanStation::on_frame(const Frame& frame) {
     switch (frame.kind) {
         case FrameKind::beacon:
             ++beacons_heard_;
+            WLANPS_OBS_COUNT("mac.psm.beacons_heard", 1);
             if (config_.mode == StationMode::psm && awaiting_beacon_) {
                 awaiting_beacon_ = false;
                 timeout_event_.cancel();
@@ -111,6 +117,7 @@ void WlanStation::send_poll() {
     poll.dst = kApId;
     poll.payload = config_.ps_poll_size;
     ++polls_sent_;
+    WLANPS_OBS_COUNT("mac.psm.ps_polls", 1);
     dcf_.enqueue(std::move(poll), [this](const DcfTransmitter::Result& r) {
         if (!retrieving_) {
             // Stale poll (retrieval already ended): doze if nothing else
@@ -131,6 +138,9 @@ void WlanStation::send_poll() {
 
 void WlanStation::poll_timed_out() {
     ++poll_retries_;
+    WLANPS_OBS_COUNT("mac.psm.poll_timeouts", 1);
+    WLANPS_LOG(sim::LogLevel::debug, sim_.now(), "psm",
+               "station " << id_ << " poll timeout, retry " << poll_retries_);
     if (poll_retries_ >= config_.poll_retry_limit) {
         retrieving_ = false;
         back_to_doze();  // give up until the next beacon re-advertises
@@ -171,7 +181,10 @@ void WlanStation::back_to_doze() {
     // Never doze under an in-flight DCF transmission (e.g. a stale re-poll
     // racing a late AP response): the pending frame's completion calls
     // maybe_doze() once the transmitter drains.
-    if (dcf_.idle() && uplink_in_flight_ == 0) nic_.doze();
+    if (dcf_.idle() && uplink_in_flight_ == 0) {
+        nic_.doze();
+        WLANPS_OBS_COUNT("mac.psm.doze_enters", 1);
+    }
     schedule_wake_for_next_beacon();
 }
 
@@ -180,6 +193,7 @@ void WlanStation::maybe_doze() {
     if (retrieving_ || awaiting_beacon_) return;
     if (!dcf_.idle() || uplink_in_flight_ > 0) return;
     nic_.doze();
+    WLANPS_OBS_COUNT("mac.psm.doze_enters", 1);
 }
 
 }  // namespace wlanps::mac

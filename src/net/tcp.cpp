@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <memory>
 
+#include "obs/hooks.hpp"
 #include "sim/assert.hpp"
 #include "sim/random.hpp"
 
@@ -77,6 +78,11 @@ TcpResult TcpAgent::bulk_transfer(DataSize payload, const LossProcess& delivered
             cwnd = 1.0;
         }
     }
+    WLANPS_OBS_COUNT("net.tcp.segments_sent", result.segments_sent);
+    WLANPS_OBS_COUNT("net.tcp.segments_delivered", result.segments_delivered);
+    WLANPS_OBS_COUNT("net.tcp.fast_retransmits", result.fast_retransmits);
+    WLANPS_OBS_COUNT("net.tcp.timeouts", result.timeouts);
+    WLANPS_OBS_COUNT("net.tcp.transfers", 1);
     return result;
 }
 

@@ -1,0 +1,47 @@
+#include "obs/hooks.hpp"
+
+#include <iostream>
+#include <mutex>
+#include <utility>
+
+namespace wlanps::obs {
+
+namespace {
+
+thread_local MetricsRegistry* t_current = nullptr;
+
+std::mutex& log_mutex() {
+    static std::mutex m;
+    return m;
+}
+
+LogSink& sink_ref() {
+    static LogSink sink;
+    return sink;
+}
+
+}  // namespace
+
+MetricsRegistry* current() noexcept { return t_current; }
+
+ScopedRegistry::ScopedRegistry(MetricsRegistry& registry) : previous_(t_current) {
+    t_current = &registry;
+}
+
+ScopedRegistry::~ScopedRegistry() { t_current = previous_; }
+
+void log_write(std::string_view line) {
+    std::lock_guard<std::mutex> lock(log_mutex());
+    if (sink_ref()) {
+        sink_ref()(line);
+        return;
+    }
+    std::clog.write(line.data(), static_cast<std::streamsize>(line.size()));
+}
+
+void set_log_sink(LogSink sink) {
+    std::lock_guard<std::mutex> lock(log_mutex());
+    sink_ref() = std::move(sink);
+}
+
+}  // namespace wlanps::obs

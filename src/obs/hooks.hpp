@@ -1,0 +1,88 @@
+#pragma once
+/// \file hooks.hpp
+/// Low-overhead instrumentation hooks: the thread-local "current registry"
+/// that deep components record into without constructor plumbing, and the
+/// WLANPS_OBS_* macro layer that compiles to nothing unless the build sets
+/// WLANPS_OBS_ENABLED (cmake -DWLANPS_OBS=ON).
+///
+/// Also home of the synchronized log sink (obs::log_write) that Logger and
+/// any other line-oriented output funnel through — one write per line under
+/// one mutex, so concurrent ExperimentRunner workers cannot tear lines.
+
+#include <functional>
+#include <string_view>
+
+#include "obs/metrics.hpp"
+
+namespace wlanps::obs {
+
+/// The registry instrumentation macros record into, or nullptr when no
+/// scope is active.  Thread-local: each ExperimentRunner worker scopes its
+/// own registry, so runs never share instruments.
+[[nodiscard]] MetricsRegistry* current() noexcept;
+
+/// RAII scope installing \p registry as the thread's current registry;
+/// restores the previous one (scopes nest) on destruction.
+class ScopedRegistry {
+public:
+    explicit ScopedRegistry(MetricsRegistry& registry);
+    ~ScopedRegistry();
+    ScopedRegistry(const ScopedRegistry&) = delete;
+    ScopedRegistry& operator=(const ScopedRegistry&) = delete;
+
+private:
+    MetricsRegistry* previous_;
+};
+
+/// Emit one complete line (terminator included by the caller) with a single
+/// synchronized write.  Goes to the installed sink, or std::clog when none.
+void log_write(std::string_view line);
+
+/// Replace the log sink (empty function restores std::clog).  The sink is
+/// invoked under the log mutex — keep it cheap and non-reentrant.
+using LogSink = std::function<void(std::string_view)>;
+void set_log_sink(LogSink sink);
+
+}  // namespace wlanps::obs
+
+// ---------------------------------------------------------------------------
+// Macro layer: statements that vanish entirely (arguments unevaluated) when
+// observability is compiled out.
+// ---------------------------------------------------------------------------
+#if defined(WLANPS_OBS_ENABLED)
+
+/// Bump counter `key` by `delta` in the current registry, if any.
+#define WLANPS_OBS_COUNT(key, delta)                                            \
+    do {                                                                        \
+        if (::wlanps::obs::MetricsRegistry* wlanps_obs_reg_ =                   \
+                ::wlanps::obs::current()) {                                     \
+            wlanps_obs_reg_->counter(key).add(                                  \
+                static_cast<std::uint64_t>(delta));                             \
+        }                                                                       \
+    } while (0)
+
+/// Set gauge `key` to `value` in the current registry, if any.
+#define WLANPS_OBS_GAUGE_SET(key, value)                                        \
+    do {                                                                        \
+        if (::wlanps::obs::MetricsRegistry* wlanps_obs_reg_ =                   \
+                ::wlanps::obs::current()) {                                     \
+            wlanps_obs_reg_->gauge(key).set(static_cast<double>(value));        \
+        }                                                                       \
+    } while (0)
+
+/// Record `value` into histogram `key` in the current registry, if any.
+#define WLANPS_OBS_RECORD(key, value)                                           \
+    do {                                                                        \
+        if (::wlanps::obs::MetricsRegistry* wlanps_obs_reg_ =                   \
+                ::wlanps::obs::current()) {                                     \
+            wlanps_obs_reg_->histogram(key).record(static_cast<double>(value)); \
+        }                                                                       \
+    } while (0)
+
+#else
+
+#define WLANPS_OBS_COUNT(key, delta) ((void)0)
+#define WLANPS_OBS_GAUGE_SET(key, value) ((void)0)
+#define WLANPS_OBS_RECORD(key, value) ((void)0)
+
+#endif  // WLANPS_OBS_ENABLED

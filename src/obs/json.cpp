@@ -1,0 +1,103 @@
+#include "obs/json.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "sim/assert.hpp"
+
+namespace wlanps::obs {
+
+std::string json_escape(std::string_view text) {
+    std::string out;
+    out.reserve(text.size());
+    for (char c : text) {
+        switch (c) {
+            case '"': out += "\\\""; break;
+            case '\\': out += "\\\\"; break;
+            case '\n': out += "\\n"; break;
+            case '\r': out += "\\r"; break;
+            case '\t': out += "\\t"; break;
+            default:
+                if (static_cast<unsigned char>(c) < 0x20) {
+                    char buf[8];
+                    std::snprintf(buf, sizeof(buf), "\\u%04x",
+                                  static_cast<unsigned>(static_cast<unsigned char>(c)));
+                    out += buf;
+                } else {
+                    out += c;
+                }
+        }
+    }
+    return out;
+}
+
+std::string json_number(double value) {
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.12g", value);
+    return buf;
+}
+
+namespace {
+
+void append_gauge(std::ostringstream& out, const Gauge& g) {
+    out << "{\"last\":" << json_number(g.last()) << ",\"min\":" << json_number(g.min())
+        << ",\"max\":" << json_number(g.max()) << ",\"mean\":" << json_number(g.mean())
+        << ",\"count\":" << g.count() << "}";
+}
+
+void append_histogram(std::ostringstream& out, const Histogram& h) {
+    out << "{\"count\":" << h.count() << ",\"sum\":" << json_number(h.sum())
+        << ",\"min\":" << json_number(h.min()) << ",\"max\":" << json_number(h.max())
+        << ",\"mean\":" << json_number(h.mean())
+        << ",\"p50\":" << json_number(h.percentile(50.0))
+        << ",\"p90\":" << json_number(h.percentile(90.0))
+        << ",\"p99\":" << json_number(h.percentile(99.0)) << "}";
+}
+
+void append_section(std::ostringstream& out, const MetricsSnapshot& snapshot,
+                    const char* name, InstrumentKind kind) {
+    out << "\"" << name << "\":{";
+    bool first = true;
+    for (const auto& entry : snapshot.entries()) {
+        if (entry.kind() != kind) continue;
+        if (!first) out << ",";
+        first = false;
+        out << "\"" << json_escape(entry.key) << "\":";
+        switch (kind) {
+            case InstrumentKind::counter:
+                out << std::get<Counter>(entry.value).value();
+                break;
+            case InstrumentKind::gauge:
+                append_gauge(out, std::get<Gauge>(entry.value));
+                break;
+            case InstrumentKind::histogram:
+                append_histogram(out, std::get<Histogram>(entry.value));
+                break;
+        }
+    }
+    out << "}";
+}
+
+}  // namespace
+
+std::string to_json(const MetricsSnapshot& snapshot) {
+    std::ostringstream out;
+    out << "{";
+    append_section(out, snapshot, "counters", InstrumentKind::counter);
+    out << ",";
+    append_section(out, snapshot, "gauges", InstrumentKind::gauge);
+    out << ",";
+    append_section(out, snapshot, "histograms", InstrumentKind::histogram);
+    out << "}";
+    return out.str();
+}
+
+void write_json_file(const MetricsSnapshot& snapshot, const std::string& path) {
+    std::ofstream file(path);
+    WLANPS_REQUIRE_MSG(file.good(), "cannot open metrics json output file");
+    file << to_json(snapshot) << '\n';
+    WLANPS_REQUIRE_MSG(file.good(), "failed writing metrics json output file");
+}
+
+}  // namespace wlanps::obs

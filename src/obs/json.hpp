@@ -1,0 +1,34 @@
+#pragma once
+/// \file json.hpp
+/// Flat metrics.json snapshot writer.  Deterministic output: entries in
+/// registration/merge order, doubles formatted with %.12g, so two
+/// bit-identical snapshots serialize to byte-identical JSON (the
+/// determinism tests compare these strings).
+
+#include <string>
+
+#include "obs/metrics.hpp"
+
+namespace wlanps::obs {
+
+/// Serialize one snapshot:
+/// {
+///   "counters":   { "key": 123, ... },
+///   "gauges":     { "key": {"last":..,"min":..,"max":..,"mean":..,"count":..} },
+///   "histograms": { "key": {"count":..,"sum":..,"min":..,"max":..,"mean":..,
+///                            "p50":..,"p90":..,"p99":..} }
+/// }
+[[nodiscard]] std::string to_json(const MetricsSnapshot& snapshot);
+
+/// Write to_json(snapshot) to \p path (trailing newline added); throws
+/// ContractViolation when the file cannot be written.
+void write_json_file(const MetricsSnapshot& snapshot, const std::string& path);
+
+/// Minimal JSON string escaping (quotes, backslash, control chars) shared
+/// by the metrics and trace writers.
+[[nodiscard]] std::string json_escape(std::string_view text);
+
+/// Shortest-round-trip-ish deterministic double formatting ("%.12g").
+[[nodiscard]] std::string json_number(double value);
+
+}  // namespace wlanps::obs

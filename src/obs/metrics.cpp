@@ -1,0 +1,204 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/assert.hpp"
+
+namespace wlanps::obs {
+
+// ---------------------------------------------------------------------------
+// Histogram
+// ---------------------------------------------------------------------------
+
+std::size_t Histogram::bucket_index(double x) {
+    int exp = 0;
+    const double frac = std::frexp(x, &exp);  // frac in [0.5, 1), x = frac * 2^exp
+    if (exp < kMinExp) return 0;
+    if (exp >= kMaxExp) return kBuckets - 1;
+    // Linear sub-division of [0.5, 1): sub in [0, kSubBuckets).
+    auto sub = static_cast<int>((frac - 0.5) * 2.0 * kSubBuckets);
+    sub = std::clamp(sub, 0, kSubBuckets - 1);
+    return static_cast<std::size_t>(exp - kMinExp) * kSubBuckets +
+           static_cast<std::size_t>(sub);
+}
+
+double Histogram::bucket_lower(std::size_t i) {
+    WLANPS_REQUIRE(i < kBuckets);
+    const int exp = kMinExp + static_cast<int>(i / kSubBuckets);
+    const auto sub = static_cast<double>(i % kSubBuckets);
+    return std::ldexp(0.5 + sub * (0.5 / kSubBuckets), exp);
+}
+
+double Histogram::bucket_upper(std::size_t i) {
+    WLANPS_REQUIRE(i < kBuckets);
+    const int exp = kMinExp + static_cast<int>(i / kSubBuckets);
+    const auto sub = static_cast<double>(i % kSubBuckets) + 1.0;
+    return std::ldexp(0.5 + sub * (0.5 / kSubBuckets), exp);
+}
+
+void Histogram::record(double x) {
+    if (std::isnan(x)) return;
+    if (x <= 0.0) {
+        ++underflow_;
+    } else {
+        ++counts_[bucket_index(x)];
+    }
+    ++count_;
+    sum_ += x;
+    if (x < min_) min_ = x;
+    if (x > max_) max_ = x;
+}
+
+double Histogram::percentile(double p) const {
+    WLANPS_REQUIRE_MSG(p >= 0.0 && p <= 100.0, "percentile p outside [0, 100]");
+    if (count_ == 0) return 0.0;
+    const double rank = p / 100.0 * static_cast<double>(count_);
+    double cumulative = static_cast<double>(underflow_);
+    if (cumulative >= rank && underflow_ > 0) return min_;
+    for (std::size_t i = 0; i < kBuckets; ++i) {
+        if (counts_[i] == 0) continue;
+        const auto in_bucket = static_cast<double>(counts_[i]);
+        if (cumulative + in_bucket >= rank) {
+            const double fraction = std::clamp((rank - cumulative) / in_bucket, 0.0, 1.0);
+            const double lo = bucket_lower(i);
+            const double hi = bucket_upper(i);
+            return std::clamp(lo + (hi - lo) * fraction, min_, max_);
+        }
+        cumulative += in_bucket;
+    }
+    return max_;
+}
+
+void Histogram::merge_from(const Histogram& other) {
+    for (std::size_t i = 0; i < kBuckets; ++i) counts_[i] += other.counts_[i];
+    underflow_ += other.underflow_;
+    count_ += other.count_;
+    sum_ += other.sum_;
+    if (other.count_ > 0) {
+        if (other.min_ < min_) min_ = other.min_;
+        if (other.max_ > max_) max_ = other.max_;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// MetricsSnapshot
+// ---------------------------------------------------------------------------
+
+const char* to_string(InstrumentKind kind) {
+    switch (kind) {
+        case InstrumentKind::counter: return "counter";
+        case InstrumentKind::gauge: return "gauge";
+        case InstrumentKind::histogram: return "histogram";
+    }
+    return "?";
+}
+
+void MetricsSnapshot::add(std::string key, Value value) {
+    entries_.push_back(Entry{std::move(key), std::move(value)});
+}
+
+void MetricsSnapshot::merge_from(const MetricsSnapshot& other) {
+    for (const Entry& theirs : other.entries_) {
+        auto it = std::find_if(entries_.begin(), entries_.end(),
+                               [&](const Entry& e) { return e.key == theirs.key; });
+        if (it == entries_.end()) {
+            entries_.push_back(theirs);
+            continue;
+        }
+        WLANPS_REQUIRE_MSG(it->kind() == theirs.kind(),
+                           "metrics snapshot merge: key registered as two kinds");
+        std::visit(
+            [&](auto& mine) {
+                using T = std::decay_t<decltype(mine)>;
+                mine.merge_from(std::get<T>(theirs.value));
+            },
+            it->value);
+    }
+}
+
+const MetricsSnapshot::Entry* MetricsSnapshot::find(std::string_view key) const {
+    for (const Entry& e : entries_) {
+        if (e.key == key) return &e;
+    }
+    return nullptr;
+}
+
+const Counter* MetricsSnapshot::counter(std::string_view key) const {
+    const Entry* e = find(key);
+    return e != nullptr ? std::get_if<Counter>(&e->value) : nullptr;
+}
+
+const Gauge* MetricsSnapshot::gauge(std::string_view key) const {
+    const Entry* e = find(key);
+    return e != nullptr ? std::get_if<Gauge>(&e->value) : nullptr;
+}
+
+const Histogram* MetricsSnapshot::histogram(std::string_view key) const {
+    const Entry* e = find(key);
+    return e != nullptr ? std::get_if<Histogram>(&e->value) : nullptr;
+}
+
+// ---------------------------------------------------------------------------
+// MetricsRegistry
+// ---------------------------------------------------------------------------
+
+MetricsRegistry::Slot& MetricsRegistry::resolve(std::string_view key, InstrumentKind kind) {
+    auto it = by_key_.find(std::string(key));
+    if (it != by_key_.end()) {
+        Slot& slot = order_[it->second];
+        WLANPS_REQUIRE_MSG(slot.kind == kind,
+                           "metrics key already registered as a different kind");
+        return slot;
+    }
+    std::size_t index = 0;
+    switch (kind) {
+        case InstrumentKind::counter:
+            index = counters_.size();
+            counters_.emplace_back();
+            break;
+        case InstrumentKind::gauge:
+            index = gauges_.size();
+            gauges_.emplace_back();
+            break;
+        case InstrumentKind::histogram:
+            index = histograms_.size();
+            histograms_.emplace_back();
+            break;
+    }
+    order_.push_back(Slot{std::string(key), kind, index});
+    by_key_.emplace(std::string(key), order_.size() - 1);
+    return order_.back();
+}
+
+Counter& MetricsRegistry::counter(std::string_view key) {
+    return counters_[resolve(key, InstrumentKind::counter).index];
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view key) {
+    return gauges_[resolve(key, InstrumentKind::gauge).index];
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view key) {
+    return histograms_[resolve(key, InstrumentKind::histogram).index];
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+    MetricsSnapshot out;
+    for (const Slot& slot : order_) {
+        switch (slot.kind) {
+            case InstrumentKind::counter:
+                out.add(slot.key, counters_[slot.index]);
+                break;
+            case InstrumentKind::gauge:
+                out.add(slot.key, gauges_[slot.index]);
+                break;
+            case InstrumentKind::histogram:
+                out.add(slot.key, histograms_[slot.index]);
+                break;
+        }
+    }
+    return out;
+}
+
+}  // namespace wlanps::obs

@@ -1,0 +1,205 @@
+#pragma once
+/// \file metrics.hpp
+/// Observability instruments: Counter, Gauge, log-bucketed Histogram, and
+/// the MetricsRegistry that names them.
+///
+/// Components register instruments against a registry by stable string key
+/// ("core.burst_bytes", "sim.kernel.dispatch_ns.fast", ...).  Instruments
+/// are value types with O(1) record paths and exact, order-independent
+/// count merging, so one registry per experiment run can be snapshotted
+/// and reduced deterministically across (point, seed) grids — see
+/// exp::ExperimentRunner.  This header depends on nothing but the standard
+/// library (the simulation kernel links against it).
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <limits>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <variant>
+#include <vector>
+
+namespace wlanps::obs {
+
+/// Monotonic event count.
+class Counter {
+public:
+    void add(std::uint64_t delta = 1) { value_ += delta; }
+    [[nodiscard]] std::uint64_t value() const { return value_; }
+
+    /// Merge: counts are exactly associative and commutative.
+    void merge_from(const Counter& other) { value_ += other.value_; }
+
+private:
+    std::uint64_t value_ = 0;
+};
+
+/// Last-value instrument with running min/max/mean over the set() calls.
+class Gauge {
+public:
+    void set(double value) {
+        last_ = value;
+        if (count_ == 0 || value < min_) min_ = value;
+        if (count_ == 0 || value > max_) max_ = value;
+        sum_ += value;
+        ++count_;
+    }
+
+    [[nodiscard]] std::uint64_t count() const { return count_; }
+    [[nodiscard]] double last() const { return last_; }
+    [[nodiscard]] double min() const { return count_ == 0 ? 0.0 : min_; }
+    [[nodiscard]] double max() const { return count_ == 0 ? 0.0 : max_; }
+    [[nodiscard]] double mean() const {
+        return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+    }
+
+    /// Merge in reduction order: `last` is the other side's last (the
+    /// merged value reads as "the most recently merged run's value"), the
+    /// extrema and mean cover both sides.
+    void merge_from(const Gauge& other) {
+        if (other.count_ == 0) return;
+        if (count_ == 0 || other.min_ < min_) min_ = other.min_;
+        if (count_ == 0 || other.max_ > max_) max_ = other.max_;
+        sum_ += other.sum_;
+        count_ += other.count_;
+        last_ = other.last_;
+    }
+
+private:
+    std::uint64_t count_ = 0;
+    double last_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+    double sum_ = 0.0;
+};
+
+/// Fixed-size log-bucketed histogram: 8 sub-buckets per power of two over
+/// 2^-64 .. 2^64, so any positive double lands in a bucket whose width is
+/// ~9% of its value.  record() is O(1) (one frexp + one increment); two
+/// histograms with the same (always identical) layout merge by adding
+/// bucket counts, which is exact and associative.  Values <= 0 are kept in
+/// a dedicated underflow bucket and reported through min().
+class Histogram {
+public:
+    static constexpr int kSubBits = 3;
+    static constexpr int kSubBuckets = 1 << kSubBits;  // per power of two
+    static constexpr int kMinExp = -64;                // frexp exponent floor
+    static constexpr int kMaxExp = 64;                 // frexp exponent ceiling
+    static constexpr std::size_t kBuckets =
+        static_cast<std::size_t>(kMaxExp - kMinExp) * kSubBuckets;
+
+    /// Record one sample.  NaN samples are dropped.
+    void record(double x);
+
+    [[nodiscard]] std::uint64_t count() const { return count_; }
+    [[nodiscard]] double sum() const { return sum_; }
+    [[nodiscard]] double mean() const {
+        return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+    }
+    [[nodiscard]] double min() const { return count_ == 0 ? 0.0 : min_; }
+    [[nodiscard]] double max() const { return count_ == 0 ? 0.0 : max_; }
+
+    /// Approximate p-th percentile (p in [0, 100]): linear interpolation
+    /// within the covering bucket, clamped to the observed [min, max].
+    [[nodiscard]] double percentile(double p) const;
+
+    /// Merge: bucket counts add exactly; the double `sum` adds in call
+    /// order (bit-identical whenever merges happen in a fixed order, as
+    /// the experiment runner's serial reduction does).
+    void merge_from(const Histogram& other);
+
+    // --- bucket geometry (exposed for boundary tests) ---------------------
+    /// Bucket index of a sample x > 0.
+    [[nodiscard]] static std::size_t bucket_index(double x);
+    /// Inclusive lower / exclusive upper value edge of bucket \p i.
+    [[nodiscard]] static double bucket_lower(std::size_t i);
+    [[nodiscard]] static double bucket_upper(std::size_t i);
+    /// Samples recorded into bucket \p i (underflow excluded).
+    [[nodiscard]] std::uint64_t bucket_count(std::size_t i) const { return counts_[i]; }
+    /// Samples <= 0 (kept out of the log buckets).
+    [[nodiscard]] std::uint64_t underflow_count() const { return underflow_; }
+
+private:
+    std::array<std::uint64_t, kBuckets> counts_{};
+    std::uint64_t underflow_ = 0;
+    std::uint64_t count_ = 0;
+    double sum_ = 0.0;
+    double min_ = std::numeric_limits<double>::infinity();
+    double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Instrument kinds, used by snapshots and exporters.
+enum class InstrumentKind { counter, gauge, histogram };
+
+[[nodiscard]] const char* to_string(InstrumentKind kind);
+
+/// A value-type copy of a registry's instruments, in registration order.
+/// Snapshots are what experiment runs hand back for merging: merge_from()
+/// combines same-key instruments (kind-checked) and appends unseen keys,
+/// so reducing run snapshots in a fixed order is bit-reproducible.
+class MetricsSnapshot {
+public:
+    using Value = std::variant<Counter, Gauge, Histogram>;
+    struct Entry {
+        std::string key;
+        Value value;
+        [[nodiscard]] InstrumentKind kind() const {
+            return static_cast<InstrumentKind>(value.index());
+        }
+    };
+
+    void add(std::string key, Value value);
+
+    /// Merge same-key instruments; a kind mismatch for a key throws
+    /// ContractViolation.  Keys only in \p other are appended in order.
+    void merge_from(const MetricsSnapshot& other);
+
+    [[nodiscard]] const std::vector<Entry>& entries() const { return entries_; }
+    [[nodiscard]] bool empty() const { return entries_.empty(); }
+    [[nodiscard]] std::size_t size() const { return entries_.size(); }
+
+    /// Typed lookup by key; nullptr when absent or of another kind.
+    [[nodiscard]] const Counter* counter(std::string_view key) const;
+    [[nodiscard]] const Gauge* gauge(std::string_view key) const;
+    [[nodiscard]] const Histogram* histogram(std::string_view key) const;
+
+private:
+    [[nodiscard]] const Entry* find(std::string_view key) const;
+    std::vector<Entry> entries_;
+};
+
+/// Named instrument store.  Requesting a key registers it on first use and
+/// returns the same instrument thereafter; requesting an existing key as a
+/// different kind throws ContractViolation (stable keys are the contract
+/// that makes cross-run merging meaningful).  Not thread-safe: each
+/// experiment run owns its registry (see obs::ScopedRegistry).
+class MetricsRegistry {
+public:
+    Counter& counter(std::string_view key);
+    Gauge& gauge(std::string_view key);
+    Histogram& histogram(std::string_view key);
+
+    [[nodiscard]] std::size_t instrument_count() const { return order_.size(); }
+
+    /// Value-type copy of every instrument, in registration order.
+    [[nodiscard]] MetricsSnapshot snapshot() const;
+
+private:
+    struct Slot {
+        std::string key;
+        InstrumentKind kind;
+        std::size_t index;  // into the deque of its kind
+    };
+    Slot& resolve(std::string_view key, InstrumentKind kind);
+
+    std::vector<Slot> order_;
+    std::unordered_map<std::string, std::size_t> by_key_;  // -> order_ index
+    std::deque<Counter> counters_;
+    std::deque<Gauge> gauges_;
+    std::deque<Histogram> histograms_;
+};
+
+}  // namespace wlanps::obs

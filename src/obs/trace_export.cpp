@@ -1,0 +1,87 @@
+#include "obs/trace_export.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "obs/json.hpp"
+#include "sim/assert.hpp"
+
+namespace wlanps::obs {
+
+namespace {
+
+/// Microsecond timestamps with sub-µs (ns) precision, Chrome's native unit.
+std::string format_us(Time t) {
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.3f", static_cast<double>(t.ns()) / 1000.0);
+    return buf;
+}
+
+std::string format_level(double level) {
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.6g", level);
+    return buf;
+}
+
+}  // namespace
+
+int ChromeTraceWriter::lane_tid(const std::string& name) {
+    for (const Lane& lane : lanes_) {
+        if (lane.name == name) return lane.tid;
+    }
+    const int tid = static_cast<int>(lanes_.size()) + 1;
+    lanes_.push_back(Lane{name, tid});
+    // Metadata event naming the Chrome "thread" so Perfetto shows the lane
+    // under a human-readable label instead of a bare tid.
+    std::ostringstream meta;
+    meta << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":" << tid
+         << ",\"args\":{\"name\":\"" << json_escape(name) << "\"}}";
+    events_.push_back(Event{meta.str()});
+    return tid;
+}
+
+int ChromeTraceWriter::add_lane(const std::string& name, const sim::TimelineTrace& trace) {
+    const int tid = lane_tid(name);
+    for (const auto& span : trace.spans()) {
+        add_span(tid, span.label, span.begin, span.end, span.level);
+    }
+    return tid;
+}
+
+void ChromeTraceWriter::add_span(int tid, const std::string& name, Time begin, Time end,
+                                 double level_mw) {
+    WLANPS_REQUIRE_MSG(end.ns() >= begin.ns(), "trace span ends before it begins");
+    std::ostringstream ev;
+    ev << "{\"name\":\"" << json_escape(name) << "\",\"ph\":\"X\",\"pid\":1,\"tid\":" << tid
+       << ",\"ts\":" << format_us(begin) << ",\"dur\":" << format_us(end - begin)
+       << ",\"args\":{\"level_mw\":" << format_level(level_mw) << "}}";
+    events_.push_back(Event{ev.str()});
+}
+
+void ChromeTraceWriter::add_counter(const std::string& name, Time at, double value) {
+    std::ostringstream ev;
+    ev << "{\"name\":\"" << json_escape(name) << "\",\"ph\":\"C\",\"pid\":1,\"ts\":"
+       << format_us(at) << ",\"args\":{\"value\":" << format_level(value) << "}}";
+    events_.push_back(Event{ev.str()});
+}
+
+std::string ChromeTraceWriter::str() const {
+    std::ostringstream out;
+    out << "{\"traceEvents\":[";
+    for (std::size_t i = 0; i < events_.size(); ++i) {
+        if (i != 0) out << ",\n";
+        out << events_[i].json;
+    }
+    out << "],\"displayTimeUnit\":\"ms\"}";
+    return out.str();
+}
+
+void ChromeTraceWriter::write_file(const std::string& path) const {
+    std::ofstream file(path);
+    WLANPS_REQUIRE_MSG(file.good(), "cannot open chrome trace output file");
+    file << str() << '\n';
+    WLANPS_REQUIRE_MSG(file.good(), "failed writing chrome trace output file");
+}
+
+}  // namespace wlanps::obs

@@ -1,0 +1,56 @@
+#pragma once
+/// \file trace_export.hpp
+/// Chrome trace_event JSON exporter: turns sim::TimelineTrace lanes (NIC
+/// power states, scheduler activity, ...) and counter series into a file
+/// loadable in Perfetto (https://ui.perfetto.dev) or chrome://tracing.
+///
+/// Mapping: one process (pid 1), one Chrome "thread" per lane; each
+/// TimelineTrace span becomes a complete ("X") event with its power level
+/// attached as an argument; counter samples become "C" events.  Timestamps
+/// are simulated microseconds, so the Perfetto timeline reads directly in
+/// sim time.  Output is deterministic (fixed ordering and formatting) to
+/// support golden-file tests.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/time.hpp"
+#include "sim/trace.hpp"
+
+namespace wlanps::obs {
+
+class ChromeTraceWriter {
+public:
+    /// Add one lane: every span of \p trace becomes an "X" event named by
+    /// the span label, with args {"level_mw": span.level}.  Returns the
+    /// lane's tid for add_span/add_counter follow-ups.
+    int add_lane(const std::string& name, const sim::TimelineTrace& trace);
+
+    /// Add a single complete event to lane \p tid.
+    void add_span(int tid, const std::string& name, Time begin, Time end, double level_mw);
+
+    /// Add one counter sample ("C" event) on its own named track.
+    void add_counter(const std::string& name, Time at, double value);
+
+    /// Serialized {"traceEvents":[...]} document.
+    [[nodiscard]] std::string str() const;
+
+    /// Write str() to \p path; throws ContractViolation on I/O failure.
+    void write_file(const std::string& path) const;
+
+private:
+    struct Lane {
+        std::string name;
+        int tid;
+    };
+    struct Event {
+        std::string json;  // pre-rendered object
+    };
+    int lane_tid(const std::string& name);
+
+    std::vector<Lane> lanes_;
+    std::vector<Event> events_;
+};
+
+}  // namespace wlanps::obs

@@ -1,5 +1,6 @@
 #include "phy/bt_nic.hpp"
 
+#include <iterator>
 #include <utility>
 
 #include "sim/assert.hpp"
@@ -97,5 +98,18 @@ void BtNic::occupy(State s, Time airtime, std::function<void()> done) {
 Time BtNic::residency(State s) const { return machine_.residency(id_of(s)); }
 
 std::size_t BtNic::entries(State s) const { return machine_.entries(id_of(s)); }
+
+void BtNic::publish_metrics(obs::MetricsRegistry& registry,
+                            const std::string& prefix) const {
+    static constexpr State kStates[] = {State::off, State::park, State::sniff,
+                                        State::active, State::rx, State::tx};
+    static constexpr const char* kNames[] = {"off", "park", "sniff", "active", "rx", "tx"};
+    for (std::size_t i = 0; i < std::size(kStates); ++i) {
+        registry.histogram(prefix + ".residency_s." + kNames[i])
+            .record(residency(kStates[i]).to_seconds());
+        registry.counter(prefix + ".entries." + kNames[i]).add(entries(kStates[i]));
+    }
+    registry.histogram(prefix + ".energy_j").record(energy_consumed().joules());
+}
 
 }  // namespace wlanps::phy

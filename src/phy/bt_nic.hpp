@@ -70,6 +70,8 @@ public:
     [[nodiscard]] power::Power average_power() const { return machine_.average_power(); }
     [[nodiscard]] Time residency(State s) const;
     [[nodiscard]] std::size_t entries(State s) const;
+    void publish_metrics(obs::MetricsRegistry& registry,
+                         const std::string& prefix) const override;
     void attach_trace(sim::TimelineTrace* trace) { machine_.attach_trace(trace); }
     [[nodiscard]] const BtNicConfig& config() const { return config_; }
     [[nodiscard]] sim::Simulator& simulator() const { return sim_; }

@@ -1,5 +1,6 @@
 #include "phy/wlan_nic.hpp"
 
+#include <iterator>
 #include <utility>
 
 #include "sim/assert.hpp"
@@ -109,5 +110,18 @@ Time WlanNic::ack_airtime() const {
 Time WlanNic::residency(State s) const { return machine_.residency(id_of(s)); }
 
 std::size_t WlanNic::entries(State s) const { return machine_.entries(id_of(s)); }
+
+void WlanNic::publish_metrics(obs::MetricsRegistry& registry,
+                              const std::string& prefix) const {
+    static constexpr State kStates[] = {State::off, State::doze, State::idle, State::rx,
+                                        State::tx};
+    static constexpr const char* kNames[] = {"off", "doze", "idle", "rx", "tx"};
+    for (std::size_t i = 0; i < std::size(kStates); ++i) {
+        registry.histogram(prefix + ".residency_s." + kNames[i])
+            .record(residency(kStates[i]).to_seconds());
+        registry.counter(prefix + ".entries." + kNames[i]).add(entries(kStates[i]));
+    }
+    registry.histogram(prefix + ".energy_j").record(energy_consumed().joules());
+}
 
 }  // namespace wlanps::phy

@@ -11,6 +11,7 @@
 #include <functional>
 #include <string>
 
+#include "obs/metrics.hpp"
 #include "sim/units.hpp"
 #include "sim/time.hpp"
 #include "sim/trace.hpp"
@@ -60,6 +61,18 @@ public:
     /// Mirror power-state changes into \p trace (level = watts); nullptr
     /// detaches.  The trace must outlive the NIC's use of it.
     virtual void attach_trace(sim::TimelineTrace* trace) = 0;
+
+    /// Record this NIC's end-of-run power accounting into \p registry:
+    /// per-state residency histograms ("<prefix>.residency_s.<state>"),
+    /// state-entry counters ("<prefix>.entries.<state>") and an energy
+    /// histogram ("<prefix>.energy_j").  One call per NIC per run; the
+    /// histograms aggregate across clients and seeds when runs merge.
+    /// Default: no-op for radios without per-state metering.
+    virtual void publish_metrics(obs::MetricsRegistry& registry,
+                                 const std::string& prefix) const {
+        (void)registry;
+        (void)prefix;
+    }
 
     [[nodiscard]] virtual std::string name() const = 0;
 };

@@ -4,27 +4,49 @@
 ///
 /// Logging is off by default (benches and tests want clean stdout); enable
 /// per-run with Logger::set_level.
+///
+/// Concurrency: each line is composed in a local buffer and emitted with a
+/// single synchronized write through obs::log_write, so lines from
+/// concurrent ExperimentRunner workers interleave whole — never torn
+/// mid-line.  Tests (and embedders) can capture output by installing a
+/// sink with obs::set_log_sink.
+///
+/// Hot paths should use WLANPS_LOG(level, now, tag, expr) below: the
+/// stream expression is not evaluated — no string is built — unless the
+/// level is enabled.
 
-#include <iostream>
 #include <sstream>
 #include <string>
 
+#include "obs/hooks.hpp"
 #include "sim/time.hpp"
 
 namespace wlanps::sim {
 
 enum class LogLevel { off = 0, error, info, debug };
 
-/// Process-global log sink.
+/// Process-global log front-end; output goes through the obs log sink.
 class Logger {
 public:
     static void set_level(LogLevel level) { level_ref() = level; }
     [[nodiscard]] static LogLevel level() { return level_ref(); }
 
+    /// True when a message at \p level would be emitted — the guard
+    /// WLANPS_LOG uses to skip message construction entirely.
+    [[nodiscard]] static bool enabled(LogLevel level) {
+        return level != LogLevel::off &&
+               static_cast<int>(level) <= static_cast<int>(level_ref());
+    }
+
     /// Emit a line at \p level, prefixed with sim time and component tag.
-    static void log(LogLevel level, Time now, const std::string& tag, const std::string& message) {
-        if (static_cast<int>(level) > static_cast<int>(level_ref())) return;
-        std::clog << "[" << now.str() << "] " << tag << ": " << message << '\n';
+    /// The full line is built locally and handed to the synchronized sink
+    /// in one write.
+    static void log(LogLevel level, Time now, const std::string& tag,
+                    const std::string& message) {
+        if (!enabled(level)) return;
+        std::ostringstream line;
+        line << "[" << now.str() << "] " << tag << ": " << message << '\n';
+        obs::log_write(line.str());
     }
 
 private:
@@ -35,3 +57,19 @@ private:
 };
 
 }  // namespace wlanps::sim
+
+/// Lazy leveled logging: `expr` is a stream expression (a << b << ...)
+/// evaluated only when the level is enabled, so disabled-level call sites
+/// on hot paths cost one branch and build no strings.
+///
+///   WLANPS_LOG(sim::LogLevel::debug, sim.now(), "server",
+///              "burst " << bytes << " B to client " << id);
+#define WLANPS_LOG(level, now, tag, expr)                              \
+    do {                                                               \
+        if (::wlanps::sim::Logger::enabled(level)) {                   \
+            std::ostringstream wlanps_log_oss_;                        \
+            wlanps_log_oss_ << expr;                                   \
+            ::wlanps::sim::Logger::log(level, now, tag,                \
+                                       wlanps_log_oss_.str());         \
+        }                                                              \
+    } while (0)

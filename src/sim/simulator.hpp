@@ -19,6 +19,14 @@
 #include "sim/callback.hpp"
 #include "sim/time.hpp"
 
+#if defined(WLANPS_OBS_ENABLED)
+#include "obs/kernel_profile.hpp"
+#else
+namespace wlanps::obs {
+class KernelProfile;  // attach_profile() compiles in every build
+}
+#endif
+
 namespace wlanps::sim {
 
 class Simulator;
@@ -113,6 +121,13 @@ public:
         return size_ - static_cast<std::size_t>(cancelled_pending_);
     }
 
+    /// Attach a kernel profiling sink (obs/kernel_profile.hpp), or nullptr
+    /// to detach.  Only WLANPS_OBS builds record into it — the attached
+    /// path times every dispatched callback and tracks calendar-queue
+    /// maintenance; the unattached path costs one branch per dispatch.
+    void attach_profile(obs::KernelProfile* profile) { profile_ = profile; }
+    [[nodiscard]] obs::KernelProfile* profile() const { return profile_; }
+
 private:
     friend class EventHandle;
     friend class PeriodicEvent;
@@ -198,6 +213,7 @@ private:
     std::uint64_t next_seq_ = 0;
     std::uint64_t dispatched_ = 0;
     bool stop_requested_ = false;
+    obs::KernelProfile* profile_ = nullptr;  // recorded into in WLANPS_OBS builds
 };
 
 /// Scoped periodic activity: reschedules itself every `period` until
@@ -324,6 +340,9 @@ inline Simulator::Entry* Simulator::find_min() {
             if (!b.sorted) {
                 std::sort(b.entries.begin(), b.entries.end(), &entry_less);
                 b.sorted = true;
+#if defined(WLANPS_OBS_ENABLED)
+                if (profile_ != nullptr) profile_->on_bucket_sorted(b.entries.size());
+#endif
             }
             return &b.entries[b.head];
         }
@@ -358,6 +377,15 @@ inline bool Simulator::dispatch_next(Time horizon) {
             PeriodicEvent* periodic = node->periodic;
             now_ = when;
             ++dispatched_;
+#if defined(WLANPS_OBS_ENABLED)
+            if (profile_ != nullptr) {
+                const std::uint64_t t0 = obs::KernelProfile::clock_ns();
+                periodic->fire(node);
+                profile_->on_dispatch(obs::DispatchTag::periodic,
+                                      obs::KernelProfile::clock_ns() - t0);
+                return true;
+            }
+#endif
             periodic->fire(node);
             return true;
         }
@@ -369,11 +397,23 @@ inline bool Simulator::dispatch_next(Time horizon) {
             release_node(node);
             if (state->cancelled) {
                 --cancelled_pending_;
+#if defined(WLANPS_OBS_ENABLED)
+                if (profile_ != nullptr) profile_->on_cancelled_reaped();
+#endif
                 continue;
             }
             now_ = when;
             InlineCallback cb = std::move(state->callback);
             ++dispatched_;
+#if defined(WLANPS_OBS_ENABLED)
+            if (profile_ != nullptr) {
+                const std::uint64_t t0 = obs::KernelProfile::clock_ns();
+                cb();
+                profile_->on_dispatch(obs::DispatchTag::handle,
+                                      obs::KernelProfile::clock_ns() - t0);
+                return true;
+            }
+#endif
             cb();
             return true;
         }
@@ -381,6 +421,9 @@ inline bool Simulator::dispatch_next(Time horizon) {
             // Tombstone of a cancelled periodic event: reap and move on.
             release_node(node);
             --cancelled_pending_;
+#if defined(WLANPS_OBS_ENABLED)
+            if (profile_ != nullptr) profile_->on_cancelled_reaped();
+#endif
             continue;
         }
         // Fast path: invoke in place — the node is off the free list while
@@ -388,6 +431,16 @@ inline bool Simulator::dispatch_next(Time horizon) {
         // callable is never relocated.
         now_ = when;
         ++dispatched_;
+#if defined(WLANPS_OBS_ENABLED)
+        if (profile_ != nullptr) {
+            const std::uint64_t t0 = obs::KernelProfile::clock_ns();
+            node->callback();
+            profile_->on_dispatch(obs::DispatchTag::fast,
+                                  obs::KernelProfile::clock_ns() - t0);
+            release_node(node);
+            return true;
+        }
+#endif
         node->callback();
         release_node(node);
         return true;
