@@ -1,0 +1,126 @@
+/// \file bench_ab13_fault_resilience.cpp
+/// AB13 — Fault resilience: energy and QoS under injected failures.
+///
+/// The paper's techniques are evaluated on clean channels; this ablation
+/// asks what the Hotspot costs and saves when things break.  A grid of
+/// deterministic fault plans (fault intensity axis) is crossed with four
+/// recovery policies (what the resource manager does about it):
+///   * none           — seed behaviour, no recovery machinery
+///   * timeout-reclaim— liveness sweep + burst-schedule repair watchdog
+///   * backoff-rejoin — reclaim + per-client re-registration with
+///                      exponential backoff + jitter
+///   * proxy-degrade  — rejoin + MediaProxy A/V degradation (note: the
+///                      workload becomes a 600 kb/s A/V stream, so energy
+///                      is comparable within the row, not across policies)
+///
+/// Every cell runs through the ExperimentRunner (3 seeds), so the grid is
+/// also the determinism fixture: the same plans + seeds reproduce these
+/// numbers bit-for-bit at any worker-thread count.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "core/scenarios.hpp"
+#include "exp/runner.hpp"
+#include "fault/fault.hpp"
+
+using namespace wlanps;
+namespace bu = benchutil;
+namespace sc = core::scenarios;
+
+namespace {
+
+struct Policy {
+    const char* name;
+    sc::HotspotOptions options;
+};
+
+std::vector<Policy> policies() {
+    std::vector<Policy> out;
+    out.push_back({"none", sc::HotspotOptions{}});
+
+    sc::HotspotOptions reclaim;
+    reclaim.resilience = core::ResilienceConfig{}
+                             .with_liveness_timeout(Time::from_seconds(5))
+                             .with_burst_repair(true);
+    out.push_back({"timeout-reclaim", reclaim});
+
+    sc::HotspotOptions rejoin = reclaim;
+    rejoin.rejoin_enabled = true;
+    out.push_back({"backoff-rejoin", rejoin});
+
+    sc::HotspotOptions degrade = rejoin;
+    degrade.media_proxy = true;
+    out.push_back({"proxy-degrade", degrade});
+    return out;
+}
+
+/// Fault-intensity axis: 180 s run, client 1 takes the brunt.
+std::vector<std::pair<std::string, fault::FaultPlan>> intensities() {
+    std::vector<std::pair<std::string, fault::FaultPlan>> out;
+    out.emplace_back("clean", fault::FaultPlan{});
+
+    fault::FaultPlan mild;
+    mild.client_crash(Time::from_seconds(60), Time::from_seconds(10), 1)
+        .schedule_drop(Time::from_seconds(30), Time::from_seconds(60), 0.2);
+    out.emplace_back("mild", mild);
+
+    fault::FaultPlan harsh;
+    harsh.client_crash(Time::from_seconds(60), Time::from_seconds(20), 1)
+        .blackout(Time::from_seconds(100), Time::from_seconds(8), 0,
+                  fault::FaultSpec::Itf::wlan)
+        .schedule_drop(Time::from_seconds(30), Time::from_seconds(120), 0.4)
+        .nic_lockup(Time::from_seconds(140), Time::from_seconds(10), 2);
+    out.emplace_back("harsh", harsh);
+    return out;
+}
+
+}  // namespace
+
+int main() {
+    bu::heading("AB13", "Fault resilience: fault intensity x recovery policy");
+    std::printf("3 clients, 180 s, 3 seeds per cell; faults target client 1 hardest\n\n");
+
+    sc::StreamConfig config;
+    config.clients = 3;
+    config.duration = Time::from_seconds(180);
+
+    const auto axis = intensities();
+    std::vector<fault::FaultPlan> plans;
+    std::vector<std::string> labels;
+    for (const auto& [label, plan] : axis) {
+        plans.push_back(plan);
+        labels.push_back(label);
+    }
+
+    std::printf("%-16s %-7s %10s %8s %9s %8s %8s %10s %8s\n", "policy", "faults",
+                "WNIC mW", "min QoS", "reclaims", "repairs", "rejoins", "recover s",
+                "audio-s");
+    const exp::ExperimentRunner runner;
+    for (const auto& policy : policies()) {
+        const auto spec = exp::ExperimentSpec{}
+                              .with_run(sc::fault_grid_run(config, policy.options, plans))
+                              .with_points(labels)
+                              .with_seed_range(42, 3);
+        const auto result = runner.run(spec);
+        for (std::size_t p = 0; p < labels.size(); ++p) {
+            const auto mean = [&](const char* name) {
+                return result.aggregate.metric(p, name).mean();
+            };
+            std::printf("%-16s %-7s %10.2f %7.1f%% %9.1f %8.1f %8.1f %10.2f %8.1f\n",
+                        policy.name, labels[p].c_str(), 1e3 * mean("wnic_w"),
+                        100.0 * mean("qos_min"), mean("liveness_reclaims"),
+                        mean("burst_repairs"), mean("rejoins"), mean("mean_recover_s"),
+                        mean("time_audio_only_s"));
+        }
+    }
+
+    bu::note("expected shape: with no recovery, a crash wedges an interface and QoS");
+    bu::note("collapses; timeout-reclaim restores the survivors, backoff-rejoin also");
+    bu::note("brings the crashed client back (recover ~ downtime + backoff), and");
+    bu::note("proxy-degrade additionally trades video for audio during the blackout.");
+    bu::note("Energy stays within ~2x of the clean hotspot row in every policy cell.");
+    return 0;
+}

@@ -5,19 +5,29 @@
 /// Usage:
 ///   hotspot_cli [--clients N] [--duration SECONDS] [--scheduler NAME]
 ///               [--burst KB] [--config NAME] [--seed N] [--no-bt] [--no-wlan]
+///               [--fault-plan SPEC] [--recovery PRESET]
 ///               [--trace FILE] [--metrics FILE]
 ///
 ///   --config: hotspot (default) | wlan-cam | wlan-psm | bt | ecmac | mixed
 ///   --scheduler: edf | wfq | round-robin | fixed-priority | fifo
+///   --fault-plan: semicolon-separated deterministic fault schedule,
+///            kind@START[+DUR][:cN|wlan|bt][%PROB][xCOUNT~PERIOD], e.g.
+///            "crash@30+10:c1;blackout@60+5:wlan;poll-drop@90+20%0.5"
+///            (kinds: nic-lockup wake-stuck beacon-loss poll-drop blackout
+///             corruption crash silent-leave late-join schedule-drop)
+///   --recovery: none (default) | reclaim | rejoin | degrade — what the
+///            hotspot does about injected faults (liveness reclamation +
+///            burst repair; + rejoin backoff; + media-proxy degradation)
 ///   --trace: write a Chrome trace_event JSON of the NIC power-state lanes
-///            (hotspot/mixed configs) — open it at https://ui.perfetto.dev
+///            plus a fault lane when a plan is active (hotspot/mixed
+///            configs) — open it at https://ui.perfetto.dev
 ///   --metrics: write the run's obs metrics snapshot as flat JSON
 ///
 /// Examples:
 ///   hotspot_cli                               # the Figure 2 hotspot row
 ///   hotspot_cli --config wlan-cam             # the baseline row
 ///   hotspot_cli --clients 5 --scheduler wfq --burst 96
-///   hotspot_cli --config mixed --duration 120
+///   hotspot_cli --fault-plan "crash@30+15:c1" --recovery rejoin
 ///   hotspot_cli --trace hotspot_trace.json --metrics metrics.json
 
 #include <cstdio>
@@ -30,6 +40,7 @@
 #include "core/burst_channel.hpp"
 #include "core/client.hpp"
 #include "core/scenarios.hpp"
+#include "fault/fault.hpp"
 #include "obs/hooks.hpp"
 #include "obs/json.hpp"
 #include "obs/trace_export.hpp"
@@ -45,6 +56,7 @@ namespace {
                  "usage: %s [--clients N] [--duration S] [--scheduler NAME] [--burst KB]\n"
                  "          [--config hotspot|wlan-cam|wlan-psm|bt|ecmac|mixed]\n"
                  "          [--seed N] [--no-bt] [--no-wlan]\n"
+                 "          [--fault-plan SPEC] [--recovery none|reclaim|rejoin|degrade]\n"
                  "          [--trace FILE] [--metrics FILE]\n",
                  argv0);
     std::exit(2);
@@ -65,6 +77,39 @@ void print(const sc::ScenarioResult& result) {
                 100.0 * result.min_qos());
 }
 
+void print_recovery(const sc::ScenarioResult& result) {
+    const auto& r = result.recovery;
+    if (result.faults_injected == 0 && r.total_recoveries() == 0 &&
+        result.degradation.empty()) {
+        return;
+    }
+    std::printf("\nfaults injected %llu | reclaims %llu, burst repairs %llu, "
+                "schedule drops %llu, rejoins %llu/%llu\n",
+                static_cast<unsigned long long>(result.faults_injected),
+                static_cast<unsigned long long>(r.liveness_reclaims),
+                static_cast<unsigned long long>(r.burst_repairs),
+                static_cast<unsigned long long>(r.schedule_drops),
+                static_cast<unsigned long long>(r.rejoins),
+                static_cast<unsigned long long>(r.rejoin_attempts));
+    if (!r.recover_times_s.empty()) {
+        double sum = 0.0;
+        for (double t : r.recover_times_s) sum += t;
+        std::printf("time to recover: mean %.2f s over %zu recoveries\n",
+                    sum / static_cast<double>(r.recover_times_s.size()),
+                    r.recover_times_s.size());
+    }
+    for (std::size_t i = 0; i < result.degradation.size(); ++i) {
+        const auto& d = result.degradation[i];
+        if (d.adaptations == 0) continue;
+        std::printf("proxy C%zu: %llu adaptations, %llu video drops, %llu pauses, "
+                    "%.1f s audio-only, %.1f s paused\n",
+                    i + 1, static_cast<unsigned long long>(d.adaptations),
+                    static_cast<unsigned long long>(d.video_drops),
+                    static_cast<unsigned long long>(d.pauses), d.time_audio_only_s,
+                    d.time_paused_s);
+    }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -73,6 +118,7 @@ int main(int argc, char** argv) {
     std::string kind = "hotspot";
     std::string trace_path;
     std::string metrics_path;
+    std::string recovery = "none";
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -97,6 +143,15 @@ int main(int argc, char** argv) {
             options.bt_available = false;
         } else if (arg == "--no-wlan") {
             options.wlan_available = false;
+        } else if (arg == "--fault-plan") {
+            try {
+                config.fault_plan = fault::FaultPlan::parse(next());
+            } catch (const ContractViolation& e) {
+                std::fprintf(stderr, "error: %s\n", e.what());
+                return 2;
+            }
+        } else if (arg == "--recovery") {
+            recovery = next();
         } else if (arg == "--trace") {
             trace_path = next();
         } else if (arg == "--metrics") {
@@ -106,18 +161,32 @@ int main(int argc, char** argv) {
         }
     }
 
+    // Recovery presets stack: reclaim < rejoin < degrade.
+    if (recovery == "reclaim" || recovery == "rejoin" || recovery == "degrade") {
+        options.resilience = core::ResilienceConfig{}
+                                 .with_liveness_timeout(Time::from_seconds(5))
+                                 .with_burst_repair(true);
+        options.rejoin_enabled = recovery != "reclaim";
+        options.media_proxy = recovery == "degrade";
+    } else if (recovery != "none") {
+        usage(argv[0]);
+    }
+
     // The obs registry collects whatever the run records; --metrics dumps
     // it.  --trace additionally mirrors every NIC's power states into
     // timeline lanes (hotspot/mixed configs own their NICs through
-    // HotspotClient channels; other configs have no lane hook here).
+    // HotspotClient channels; other configs have no lane hook here), plus
+    // one lane for the fault injector when a plan is active.
     obs::MetricsRegistry registry;
     obs::ScopedRegistry obs_scope(registry);
     std::vector<std::unique_ptr<sim::TimelineTrace>> lanes;
     std::vector<std::string> lane_names;
+    sim::TimelineTrace fault_lane;
     if (!trace_path.empty()) {
         if (kind != "hotspot" && kind != "mixed") {
             std::fprintf(stderr, "note: --trace lanes are wired for hotspot/mixed only\n");
         }
+        if (!config.fault_plan.empty()) options.fault_trace = &fault_lane;
         options.on_start = [&](sim::Simulator&, core::HotspotServer&,
                                std::vector<core::HotspotClient*>& clients) {
             for (std::size_t i = 0; i < clients.size(); ++i) {
@@ -133,33 +202,43 @@ int main(int argc, char** argv) {
         options.inspect = [&](sim::Simulator& s, core::HotspotServer&,
                               std::vector<core::HotspotClient*>&) {
             for (auto& lane : lanes) lane->finish(s.now());
+            fault_lane.finish(s.now());
         };
     }
 
-    std::printf("%d client(s), %.0f s, seed %llu\n\n", config.clients,
+    std::printf("%d client(s), %.0f s, seed %llu\n", config.clients,
                 config.duration.to_seconds(),
                 static_cast<unsigned long long>(config.seed));
+    if (!config.fault_plan.empty()) {
+        std::printf("fault plan: %s (recovery: %s)\n", config.fault_plan.str().c_str(),
+                    recovery.c_str());
+    }
+    std::printf("\n");
     try {
+        sc::ScenarioResult result;
         if (kind == "hotspot") {
-            print(sc::run_hotspot(config, options));
+            result = sc::run_hotspot(config, options);
         } else if (kind == "wlan-cam") {
-            print(sc::run_wlan_cam(config));
+            result = sc::run_wlan_cam(config);
         } else if (kind == "wlan-psm") {
-            print(sc::run_wlan_psm(config));
+            result = sc::run_wlan_psm(config);
         } else if (kind == "bt") {
-            print(sc::run_bt_active(config));
+            result = sc::run_bt_active(config);
         } else if (kind == "ecmac") {
-            print(sc::run_ecmac(config));
+            result = sc::run_ecmac(config);
         } else if (kind == "mixed") {
-            print(sc::run_hotspot_mixed(config, options, sc::MixedWorkload{}));
+            result = sc::run_hotspot_mixed(config, options, sc::MixedWorkload{});
         } else {
             usage(argv[0]);
         }
+        print(result);
+        print_recovery(result);
         if (!trace_path.empty()) {
             obs::ChromeTraceWriter writer;
             for (std::size_t i = 0; i < lanes.size(); ++i) {
                 writer.add_lane(lane_names[i], *lanes[i]);
             }
+            if (!config.fault_plan.empty()) writer.add_lane("faults", fault_lane);
             writer.write_file(trace_path);
             std::printf("chrome trace written to %s (open at https://ui.perfetto.dev)\n",
                         trace_path.c_str());

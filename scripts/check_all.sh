@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# The whole gate, one command: tier-1 tests, the ThreadSanitizer pass, and
+# the event-kernel perf regression check — exactly what CI runs
+# (.github/workflows/ci.yml) and what a PR must keep green.
+#
+#   1. tier-1: configure + build the default tree, run the full ctest suite
+#   2. scripts/check_tsan.sh: concurrency-sensitive tests under TSan
+#   3. scripts/check_perf.sh: BM_EventPostDispatch within 15% of baseline,
+#      obs-enabled null-check overhead within 5%
+#
+# Usage: scripts/check_all.sh [build-dir]   (default: build)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${1:-build}"
+
+echo "=== [1/3] tier-1: build + ctest ==="
+cmake -B "$BUILD_DIR" -S . >/dev/null
+cmake --build "$BUILD_DIR" -j "$(nproc)"
+(cd "$BUILD_DIR" && ctest --output-on-failure -j "$(nproc)")
+
+echo "=== [2/3] ThreadSanitizer ==="
+scripts/check_tsan.sh
+
+echo "=== [3/3] perf regression gate ==="
+scripts/check_perf.sh
+
+echo "All checks passed."

@@ -1,27 +1,54 @@
 #include "channel/link.hpp"
 
+#include <algorithm>
+
+#include "sim/assert.hpp"
+
 namespace wlanps::channel {
 
 WirelessLink::WirelessLink(GilbertElliottConfig ge, sim::Random rng)
     : chain_(ge, rng.fork(1)), drop_rng_(rng.fork(2)) {}
 
+void WirelessLink::add_fault_window(Time begin, Time end, double drop) {
+    WLANPS_REQUIRE_MSG(begin <= end, "fault window ends before it begins");
+    WLANPS_REQUIRE_MSG(drop >= 0.0 && drop <= 1.0, "fault drop outside [0, 1]");
+    fault_windows_.push_back(FaultWindow{begin, end, drop});
+}
+
+double WirelessLink::fault_drop(Time t) const {
+    double worst = 0.0;
+    for (const FaultWindow& w : fault_windows_) {
+        if (t >= w.begin && t < w.end) worst = std::max(worst, w.drop);
+    }
+    return worst;
+}
+
 bool WirelessLink::transmit(Time start, DataSize size, Rate rate) {
+    // A blackout fails without touching the chain or the RNG, so fault
+    // windows never perturb the stochastic stream of later transmissions.
+    const double fault = fault_drop(start);
+    if (fault >= 1.0) {
+        deliveries_.add(false);
+        return false;
+    }
     const double q = quality_signal(start);
     bool ok = chain_.transmit_success(start, size, rate);
     if (ok && q < 1.0) ok = !drop_rng_.chance(1.0 - q);
+    if (ok && fault > 0.0) ok = !drop_rng_.chance(fault);
     deliveries_.add(ok);
     return ok;
 }
 
 double WirelessLink::success_estimate(Time now, DataSize size, Rate rate) {
-    return chain_.success_probability(now, size, rate) * quality_signal(now);
+    return chain_.success_probability(now, size, rate) * quality_signal(now) *
+           (1.0 - fault_drop(now));
 }
 
 double WirelessLink::quality(Time now) {
     // Stationary GOOD probability is the long-run usability of the chain;
     // the quality signal (scripted or mobility-driven) scales it down
     // during deterministic degradation.
-    return chain_.config().stationary_good() * quality_signal(now);
+    return chain_.config().stationary_good() * quality_signal(now) * (1.0 - fault_drop(now));
 }
 
 }  // namespace wlanps::channel

@@ -10,6 +10,7 @@
 
 #include <functional>
 #include <utility>
+#include <vector>
 
 #include "channel/gilbert_elliott.hpp"
 #include "channel/scripted.hpp"
@@ -32,6 +33,16 @@ public:
     /// [0, 1] and tolerate non-decreasing query times.
     void set_quality_function(std::function<double(Time)> fn) { quality_fn_ = std::move(fn); }
 
+    /// Open a fault window: between \p begin and \p end every transmission
+    /// additionally fails with probability \p drop (1.0 = blackout).
+    /// Windows stack; the worst active drop probability applies.  Used by
+    /// the fault injector for deterministic outages on top of the
+    /// stochastic Gilbert–Elliott behaviour.
+    void add_fault_window(Time begin, Time end, double drop);
+
+    /// Extra drop probability from fault windows active at \p t.
+    [[nodiscard]] double fault_drop(Time t) const;
+
     /// Simulate one transmission attempt.  Returns true iff delivered.
     /// Counts attempts/deliveries for diagnostics.
     [[nodiscard]] bool transmit(Time start, DataSize size, Rate rate);
@@ -53,11 +64,18 @@ private:
         return quality_fn_ ? quality_fn_(t) : script_.at(t);
     }
 
+    struct FaultWindow {
+        Time begin;
+        Time end;
+        double drop;
+    };
+
     GilbertElliott chain_;
     sim::Random drop_rng_;
     ScriptedQuality script_;
     std::function<double(Time)> quality_fn_;
     sim::RatioCounter deliveries_;
+    std::vector<FaultWindow> fault_windows_;
 };
 
 }  // namespace wlanps::channel

@@ -27,6 +27,9 @@ Rate WlanBurstChannel::goodput() const {
 }
 
 double WlanBurstChannel::quality(Time now) {
+    // A locked-up NIC reports a dead channel so the selector routes around
+    // it (the client RM can still observe the lockup, just not fix it).
+    if (nic_.locked(now)) return 0.0;
     return link_ == nullptr ? 1.0 : link_->quality(now);
 }
 
@@ -54,7 +57,12 @@ void WlanBurstChannel::next_chunk() {
     const Time exchange = phy::calibration::kWlanDifs + data_air +
                           phy::calibration::kWlanSifs + ack_air;
 
-    const bool ok = link_ == nullptr || link_->transmit(sim_.now(), on_air, config_.rate);
+    // Forced failures (crashed client, locked-up NIC firmware) bypass the
+    // link entirely so the Gilbert–Elliott chain and its RNG see exactly
+    // the same sequence as a fault-free run — the determinism contract.
+    const bool forced_fail = forced_outage() || nic_.locked(sim_.now());
+    const bool ok =
+        !forced_fail && (link_ == nullptr || link_->transmit(sim_.now(), on_air, config_.rate));
 
     // Client radio: listens through DIFS (idle), receives the data frame,
     // transmits the ACK.
@@ -102,6 +110,9 @@ void BtBurstChannel::transfer(DataSize size, Completion done) {
     const Time started = slave_.nic().simulator().now();
     piconet_.send(id_, size, [this, size, started, done = std::move(done)](bool ok) {
         busy_ = false;
+        // The baseband streams at the piconet's pace either way; a crashed
+        // slave simply never ACKs at L2CAP level, so the burst is lost.
+        if (forced_outage()) ok = false;
         Result r;
         r.ok = ok;
         r.delivered = ok ? size : DataSize::zero();

@@ -59,13 +59,21 @@ public:
 
     void set_delivery_sink(DeliverySink sink) { sink_ = std::move(sink); }
 
+    /// Fault surface: while the predicate returns true the channel's chunks
+    /// fail deterministically (no link RNG is consumed — see DESIGN.md §9).
+    /// Models the far end not ACKing (crashed client, wedged NIC).
+    using OutageFn = std::function<bool()>;
+    void set_outage_fn(OutageFn fn) { outage_ = std::move(fn); }
+
 protected:
     void deliver(DataSize size) {
         if (sink_) sink_(size);
     }
+    [[nodiscard]] bool forced_outage() const { return outage_ && outage_(); }
 
 private:
     DeliverySink sink_;
+    OutageFn outage_;
 };
 
 /// Scheduled WLAN burst path.

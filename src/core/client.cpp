@@ -29,11 +29,35 @@ HotspotClient::HotspotClient(sim::Simulator& sim, ClientId id, QosContract contr
 std::size_t HotspotClient::add_channel(std::unique_ptr<BurstChannel> channel) {
     WLANPS_REQUIRE(channel != nullptr);
     channel->set_delivery_sink([this](DataSize chunk) {
+        if (crashed_) return;  // a dead device receives nothing
         bytes_received_ += chunk;
         playout_.on_data(chunk);
     });
+    // A crashed device stops ACKing: in-flight chunks through its channels
+    // fail rather than silently succeed.
+    channel->set_outage_fn([this] { return crashed_; });
     channels_.push_back(std::move(channel));
     return channels_.size() - 1;
+}
+
+void HotspotClient::crash() {
+    if (crashed_) return;
+    crashed_ = true;
+    burst_pending_ = false;  // a pending wake will be swallowed
+    transfer_trace_.set_state(sim_.now(), "crashed", 0.0);
+    // Power truth of a dead device: everything off.  A channel that is
+    // mid-transfer keeps its NIC until the (now failing) burst winds down —
+    // the transfer machinery owns the radio and deep-sleeps it at the end.
+    for (auto& ch : channels_) {
+        if (!ch->busy()) ch->wnic().deep_sleep();
+    }
+}
+
+void HotspotClient::revive() {
+    if (!crashed_) return;
+    crashed_ = false;
+    transfer_trace_.set_state(sim_.now(), "idle", 0.0);
+    // NICs stay deep asleep until the next scheduled burst wakes them.
 }
 
 void HotspotClient::start(bool start_playout) {
@@ -64,8 +88,17 @@ void HotspotClient::execute_burst(std::size_t index, DataSize size, Time start,
     const Time wake_at = start - ch.wnic().wake_latency();
     WLANPS_REQUIRE_MSG(wake_at >= sim_.now(), "burst scheduled too soon to wake the NIC");
 
+    burst_pending_ = true;
     sim_.post_at(wake_at, [this, &ch, size, done = std::move(done)]() mutable {
+        if (crashed_) {
+            // The schedule message reached a corpse: nothing wakes, the
+            // burst never starts, and no completion ever fires — exactly
+            // the wedge the server's repair watchdog exists for.
+            burst_pending_ = false;
+            return;
+        }
         ch.wnic().wake([this, &ch, size, done = std::move(done)]() mutable {
+            burst_pending_ = false;
             transfer_trace_.set_state(sim_.now(), "burst", 1.0);
             ch.transfer(size, [this, &ch, done = std::move(done)](const BurstChannel::Result& r) {
                 transfer_trace_.set_state(sim_.now(), "idle", 0.0);

@@ -58,6 +58,20 @@ public:
     /// tests compare the two).
     [[nodiscard]] DataSize buffer_headroom() const { return playout_.headroom(); }
 
+    // --- fault surface ------------------------------------------------------
+    /// The device dies silently: NICs power off, received data is dropped,
+    /// scheduled bursts through its channels fail.  The server is not told
+    /// (that's the point — its liveness machinery has to notice).
+    void crash();
+    /// The device comes back (cold: NICs deep asleep, not registered).
+    void revive();
+    [[nodiscard]] bool crashed() const { return crashed_; }
+    /// A server-scheduled burst has been issued but its transfer has not
+    /// begun yet (the wake is in flight).  The burst-repair watchdog
+    /// checks this to avoid reclaiming an interface a late wake is about
+    /// to use.
+    [[nodiscard]] bool burst_pending() const { return burst_pending_; }
+
     /// Attach the device battery (non-owning; must outlive the client).
     /// WNIC energy is charged to it lazily on each battery_level() query.
     void attach_battery(power::Battery& battery) { battery_ = &battery; }
@@ -95,7 +109,8 @@ private:
     sim::TimelineTrace transfer_trace_;
     power::Battery* battery_ = nullptr;
     power::Energy battery_charged_;  // WNIC energy already drained
-
+    bool crashed_ = false;
+    bool burst_pending_ = false;
 };
 
 }  // namespace wlanps::core

@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "obs/hooks.hpp"
 #include "sim/assert.hpp"
 
 namespace wlanps::core {
@@ -12,11 +13,14 @@ MediaProxy::MediaProxy(sim::Simulator& sim, HotspotClient& client, traffic::Sink
       client_(client),
       downstream_(std::move(downstream)),
       config_(config),
-      selector_(config.selector) {
+      selector_(config.selector),
+      mode_since_(sim.now()) {
     WLANPS_REQUIRE(downstream_ != nullptr);
     WLANPS_REQUIRE(config_.audio_rate > Rate::zero());
     WLANPS_REQUIRE(config_.av_rate > config_.audio_rate);
     WLANPS_REQUIRE(config_.check_interval > Time::zero());
+    WLANPS_REQUIRE_MSG(!config_.recovery_dwell.is_negative(),
+                       "recovery_dwell must not be negative");
 }
 
 void MediaProxy::start() {
@@ -26,32 +30,95 @@ void MediaProxy::start() {
 }
 
 void MediaProxy::check() {
-    // Can any of the client's channels sustain the full A/V rate?
-    bool av_feasible = false;
+    const Time now = sim_.now();
+    bool av_ok = false;
+    bool audio_ok = false;
     for (BurstChannel* ch : client_.channels()) {
-        if (selector_.feasible(*ch, config_.av_rate, sim_.now())) {
-            av_feasible = true;
-            break;
-        }
+        if (selector_.feasible(*ch, config_.av_rate, now)) av_ok = true;
+        if (selector_.feasible(*ch, config_.audio_rate, now)) audio_ok = true;
     }
-    if (av_feasible != video_enabled_) {
-        video_enabled_ = av_feasible;
-        ++adaptations_;
+    if (av_ok) {
+        if (!av_ok_since_) av_ok_since_ = now;
+    } else {
+        av_ok_since_.reset();
     }
+
+    Mode next = mode_;
+    if (!audio_ok) {
+        next = Mode::paused;  // not even audio fits: stop feeding the buffer
+    } else if (av_ok && (mode_ == Mode::av ||
+                         now - *av_ok_since_ >= config_.recovery_dwell)) {
+        next = Mode::av;
+    } else {
+        // Audio fits; video either doesn't or hasn't been good long enough.
+        next = Mode::audio_only;
+    }
+    set_mode(next);
+}
+
+void MediaProxy::set_mode(Mode next) {
+    if (next == mode_) return;
+    const Time now = sim_.now();
+    if (mode_ == Mode::audio_only) {
+        report_.time_audio_only_s += (now - mode_since_).to_seconds();
+    } else if (mode_ == Mode::paused) {
+        report_.time_paused_s += (now - mode_since_).to_seconds();
+    }
+    ++report_.adaptations;
+    if (mode_ == Mode::av) {
+        ++report_.video_drops;
+        video_off_at_ = now;
+        WLANPS_OBS_COUNT("core.recovery.video_drops", 1);
+    }
+    if (next == Mode::paused) {
+        ++report_.pauses;
+        WLANPS_OBS_COUNT("core.recovery.pauses", 1);
+    }
+    if (next == Mode::av && video_off_at_) {
+        ++report_.video_resumes;
+        const double outage = (now - *video_off_at_).to_seconds();
+        report_.recover_times_s.push_back(outage);
+        video_off_at_.reset();
+        WLANPS_OBS_COUNT("core.recovery.video_resumes", 1);
+        WLANPS_OBS_RECORD("core.recovery.video_outage_s", outage);
+    }
+    mode_ = next;
+    mode_since_ = now;
+}
+
+MediaProxy::DegradationReport MediaProxy::report() const {
+    DegradationReport out = report_;
+    const Time now = sim_.now();
+    if (mode_ == Mode::audio_only) {
+        out.time_audio_only_s += (now - mode_since_).to_seconds();
+    } else if (mode_ == Mode::paused) {
+        out.time_paused_s += (now - mode_since_).to_seconds();
+    }
+    out.bytes_dropped = dropped_.bytes();
+    return out;
 }
 
 traffic::Sink MediaProxy::ingest_sink() {
     return [this](DataSize chunk) {
-        if (video_enabled_) {
-            forwarded_ += chunk;
-            downstream_(chunk);
-            return;
+        switch (mode_) {
+            case Mode::av:
+                forwarded_ += chunk;
+                downstream_(chunk);
+                return;
+            case Mode::audio_only: {
+                // Adverse conditions: forward only the audio share.
+                const DataSize audio = chunk * (config_.audio_rate / config_.av_rate);
+                forwarded_ += audio;
+                dropped_ += chunk - audio;
+                downstream_(audio);
+                return;
+            }
+            case Mode::paused:
+                // The stream is paused at the proxy: nothing goes down, the
+                // viewer waits instead of burning the radio on a dead link.
+                dropped_ += chunk;
+                return;
         }
-        // Adverse conditions: forward only the audio share of the chunk.
-        const DataSize audio = chunk * (config_.audio_rate / config_.av_rate);
-        forwarded_ += audio;
-        dropped_ += chunk - audio;
-        downstream_(audio);
     };
 }
 

@@ -5,13 +5,18 @@
 /// "Most proxy adaptations to date have been relatively simple, such as
 /// dropping video content and delivering only audio in adverse
 /// conditions."  MediaProxy sits between an A/V source and the Hotspot
-/// server's ingest: it watches the client's channels and, when no channel
-/// can sustain the full A/V rate, forwards only the audio share of each
-/// chunk; when conditions recover, video resumes.
+/// server's ingest: it watches the client's channels and degrades
+/// gracefully — full A/V while some channel sustains the A/V rate, audio
+/// only when it does not, fully paused when not even the audio share
+/// fits.  Recovery is hysteretic: video resumes only after conditions
+/// have stayed good for a configurable dwell, so a flapping link does not
+/// whipsaw the stream.
 
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <optional>
+#include <vector>
 
 #include "core/client.hpp"
 #include "core/selector.hpp"
@@ -30,6 +35,28 @@ public:
         /// How often the proxy re-evaluates the channels.
         Time check_interval = Time::from_seconds(1);
         SelectorConfig selector;
+        /// Recovery hysteresis: the A/V rate must be continuously feasible
+        /// for this long before video is re-enabled.  Downgrades (and the
+        /// pause -> audio upgrade) are immediate; only the expensive
+        /// re-enable waits.  Zero restores the old flappy behavior.
+        Time recovery_dwell = Time::from_seconds(2);
+    };
+
+    /// What the proxy is currently forwarding.
+    enum class Mode { av, audio_only, paused };
+
+    /// Per-run degradation accounting (scenario results carry one per
+    /// proxied client).
+    struct DegradationReport {
+        std::uint64_t adaptations = 0;    ///< every mode change
+        std::uint64_t video_drops = 0;    ///< av -> lower
+        std::uint64_t pauses = 0;         ///< entries into paused
+        std::uint64_t video_resumes = 0;  ///< lower -> av
+        double time_audio_only_s = 0.0;
+        double time_paused_s = 0.0;
+        std::uint64_t bytes_dropped = 0;
+        /// Video off -> video back on, seconds, one entry per recovery.
+        std::vector<double> recover_times_s;
     };
 
     /// Forwards (possibly thinned) traffic into \p downstream for
@@ -46,25 +73,45 @@ public:
     /// The sink to connect the full A/V source to.
     [[nodiscard]] traffic::Sink ingest_sink();
 
+    [[nodiscard]] Mode mode() const { return mode_; }
     /// Is the proxy currently delivering video?
-    [[nodiscard]] bool video_enabled() const { return video_enabled_; }
-    [[nodiscard]] std::uint64_t adaptations() const { return adaptations_; }
+    [[nodiscard]] bool video_enabled() const { return mode_ == Mode::av; }
+    [[nodiscard]] std::uint64_t adaptations() const { return report_.adaptations; }
     [[nodiscard]] DataSize bytes_forwarded() const { return forwarded_; }
     [[nodiscard]] DataSize bytes_dropped() const { return dropped_; }
+    /// Accounting up to now (mode residencies closed out at call time).
+    [[nodiscard]] DegradationReport report() const;
 
 private:
     void check();
+    void set_mode(Mode next);
 
     sim::Simulator& sim_;
     HotspotClient& client_;
     traffic::Sink downstream_;
     Config config_;
     InterfaceSelector selector_;
-    bool video_enabled_ = true;
-    std::uint64_t adaptations_ = 0;
+    Mode mode_ = Mode::av;
+    Time mode_since_ = Time::zero();
+    /// Since when the A/V rate has been continuously feasible (the
+    /// recovery-dwell clock); empty while infeasible.
+    std::optional<Time> av_ok_since_;
+    /// When video was last switched off (recover_times_s measures from
+    /// here); empty while video is on.
+    std::optional<Time> video_off_at_;
+    DegradationReport report_;
     DataSize forwarded_;
     DataSize dropped_;
     std::unique_ptr<sim::PeriodicEvent> checker_;
 };
+
+[[nodiscard]] inline const char* to_string(MediaProxy::Mode m) {
+    switch (m) {
+        case MediaProxy::Mode::av: return "av";
+        case MediaProxy::Mode::audio_only: return "audio-only";
+        case MediaProxy::Mode::paused: return "paused";
+    }
+    return "?";
+}
 
 }  // namespace wlanps::core

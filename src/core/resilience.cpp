@@ -1,0 +1,114 @@
+#include "core/resilience.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "core/client.hpp"
+#include "core/server.hpp"
+#include "obs/hooks.hpp"
+#include "sim/assert.hpp"
+#include "sim/logger.hpp"
+
+namespace wlanps::core {
+
+void ResilienceConfig::validate() const {
+    WLANPS_REQUIRE_MSG(!liveness_timeout.is_negative(),
+                       "liveness_timeout must not be negative");
+    WLANPS_REQUIRE_MSG(!repair_margin.is_negative() && !repair_margin.is_zero(),
+                       "repair_margin must be positive");
+    WLANPS_REQUIRE_MSG(repair_slack_factor >= 1.0,
+                       "repair_slack_factor below 1.0 repairs healthy bursts");
+}
+
+void RejoinPolicy::validate() const {
+    WLANPS_REQUIRE_MSG(initial_backoff > Time::zero(), "initial_backoff must be positive");
+    WLANPS_REQUIRE_MSG(multiplier >= 1.0, "backoff multiplier must be >= 1");
+    WLANPS_REQUIRE_MSG(max_backoff >= initial_backoff,
+                       "max_backoff below initial_backoff");
+    WLANPS_REQUIRE_MSG(jitter >= 0.0, "jitter must not be negative");
+    WLANPS_REQUIRE_MSG(max_attempts >= 1, "max_attempts must be at least 1");
+}
+
+void RecoveryReport::merge_from(const RecoveryReport& other) {
+    liveness_reclaims += other.liveness_reclaims;
+    burst_repairs += other.burst_repairs;
+    schedule_drops += other.schedule_drops;
+    rejoin_attempts += other.rejoin_attempts;
+    rejoins += other.rejoins;
+    recover_times_s.insert(recover_times_s.end(), other.recover_times_s.begin(),
+                           other.recover_times_s.end());
+}
+
+RejoinAgent::RejoinAgent(sim::Simulator& sim, HotspotServer& server, HotspotClient& client,
+                         RejoinPolicy policy, sim::Random rng)
+    : sim_(sim), server_(server), client_(client), policy_(policy), rng_(rng) {
+    policy_.validate();
+}
+
+void RejoinAgent::begin_outage() {
+    if (!outage_start_) {
+        outage_start_ = sim_.now();
+        round_ = 0;
+    }
+}
+
+void RejoinAgent::on_crashed() { begin_outage(); }
+
+void RejoinAgent::on_lost() {
+    begin_outage();
+    // A dead device cannot re-register; on_revived() resumes the attempts.
+    if (!client_.crashed() && !attempt_pending_) schedule_attempt();
+}
+
+void RejoinAgent::on_revived() {
+    if (server_.has_client(client_.id())) {
+        // Short blip: the server never noticed; no rejoin needed.
+        outage_start_.reset();
+        return;
+    }
+    begin_outage();
+    if (!attempt_pending_) schedule_attempt();
+}
+
+Time RejoinAgent::backoff(int round) {
+    const double grown = policy_.initial_backoff.to_seconds() *
+                         std::pow(policy_.multiplier, static_cast<double>(round));
+    const Time base = std::min(Time::from_seconds(grown), policy_.max_backoff);
+    if (policy_.jitter <= 0.0) return base;
+    return base * (1.0 + policy_.jitter * rng_.uniform());
+}
+
+void RejoinAgent::schedule_attempt() {
+    attempt_pending_ = true;
+    sim_.post_in(backoff(round_++), [this] { attempt(); });
+}
+
+void RejoinAgent::attempt() {
+    attempt_pending_ = false;
+    if (!outage_start_) return;           // recovered some other way
+    if (client_.crashed()) return;        // still dead; on_revived() resumes
+    if (server_.has_client(client_.id())) {
+        outage_start_.reset();
+        return;
+    }
+    ++attempts_;
+    attempt_times_.push_back(sim_.now());
+    WLANPS_OBS_COUNT("core.recovery.rejoin_attempts", 1);
+    if (server_.try_register(client_)) {
+        ++rejoins_;
+        const double took = (sim_.now() - *outage_start_).to_seconds();
+        recover_times_s_.push_back(took);
+        outage_start_.reset();
+        round_ = 0;
+        WLANPS_OBS_COUNT("core.recovery.rejoins", 1);
+        WLANPS_OBS_RECORD("core.recovery.time_to_recover_s", took);
+        WLANPS_LOG(sim::LogLevel::info, sim_.now(), "rejoin",
+                   "client " << client_.id() << " rejoined after " << took << " s");
+        if (on_rejoined_) on_rejoined_(client_.id());
+        return;
+    }
+    if (round_ < policy_.max_attempts) schedule_attempt();
+}
+
+}  // namespace wlanps::core

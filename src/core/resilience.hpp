@@ -1,0 +1,137 @@
+#pragma once
+/// \file resilience.hpp
+/// Hotspot recovery machinery: what the resource manager does when a
+/// client breaks (fault/ injects the breakage; this layer heals it).
+///
+/// Three mechanisms, all off by default so a fault-free configuration is
+/// bit-identical to the pre-resilience code path:
+///   * liveness timeouts — a client that makes no progress for too long is
+///     unregistered and its bandwidth reservation reclaimed;
+///   * burst-schedule repair — a watchdog per dispatched burst reclaims
+///     the interface when the burst never starts (lost schedule message,
+///     crashed client) instead of wedging the queue;
+///   * re-registration with exponential backoff + jitter (RejoinAgent) —
+///     a revived or reclaimed client rejoins the hotspot, deterministic
+///     per seed because the jitter draws from a forked stream.
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "sim/random.hpp"
+#include "sim/simulator.hpp"
+#include "sim/time.hpp"
+
+namespace wlanps::core {
+
+class HotspotServer;
+class HotspotClient;
+using ClientId = std::uint32_t;
+
+/// Server-side recovery knobs (part of ServerConfig).
+struct ResilienceConfig {
+    /// Unregister a client that makes no progress for this long while the
+    /// planner keeps trying to serve it.  Zero disables the sweep.
+    Time liveness_timeout = Time::zero();
+    /// Repair wedged bursts: when a dispatched burst has not started by
+    /// its watchdog deadline, free the interface and replan.
+    bool burst_repair = false;
+    /// Watchdog fires at burst start + service estimate * slack + margin;
+    /// while the transfer is merely late the watchdog re-arms by margin.
+    Time repair_margin = Time::from_ms(250);
+    double repair_slack_factor = 3.0;
+
+    ResilienceConfig& with_liveness_timeout(Time v) { liveness_timeout = v; return *this; }
+    ResilienceConfig& with_burst_repair(bool v) { burst_repair = v; return *this; }
+    ResilienceConfig& with_repair_margin(Time v) { repair_margin = v; return *this; }
+    ResilienceConfig& with_repair_slack_factor(double v) { repair_slack_factor = v; return *this; }
+
+    void validate() const;
+};
+
+/// Per-run recovery accounting (scenario results carry one, merged from
+/// the server and every RejoinAgent).
+struct RecoveryReport {
+    std::uint64_t liveness_reclaims = 0;  ///< registrations reclaimed by timeout
+    std::uint64_t burst_repairs = 0;      ///< wedged bursts repaired
+    std::uint64_t schedule_drops = 0;     ///< schedule messages lost (injected)
+    std::uint64_t rejoin_attempts = 0;
+    std::uint64_t rejoins = 0;            ///< successful re-registrations
+    /// Outage begin -> successful rejoin, seconds, one entry per recovery.
+    std::vector<double> recover_times_s;
+
+    void merge_from(const RecoveryReport& other);
+    [[nodiscard]] std::uint64_t total_recoveries() const {
+        return liveness_reclaims + burst_repairs + rejoins;
+    }
+};
+
+/// Client-side rejoin policy.
+struct RejoinPolicy {
+    Time initial_backoff = Time::from_ms(500);
+    double multiplier = 2.0;
+    Time max_backoff = Time::from_seconds(16);
+    /// Each backoff is stretched by up to this fraction, uniformly drawn —
+    /// decorrelates a thundering herd of rejoining clients.
+    double jitter = 0.5;
+    /// Give up after this many attempts per outage.
+    int max_attempts = 32;
+
+    void validate() const;
+};
+
+/// Drives one client's re-registration after a crash/reclaim.  The world
+/// builder wires it to the injector's crash/revive hooks and the server's
+/// client-lost callback; everything else is autonomous.
+class RejoinAgent {
+public:
+    /// \p rng should be a dedicated fork (910 + client index by
+    /// convention).  Server and client must outlive the agent.
+    RejoinAgent(sim::Simulator& sim, HotspotServer& server, HotspotClient& client,
+                RejoinPolicy policy, sim::Random rng);
+    RejoinAgent(const RejoinAgent&) = delete;
+    RejoinAgent& operator=(const RejoinAgent&) = delete;
+
+    /// The device died (injected crash).  Starts the outage clock; rejoin
+    /// attempts wait for on_revived().
+    void on_crashed();
+    /// The device is back: start rejoin attempts if the server dropped us.
+    void on_revived();
+    /// The server reclaimed our registration (liveness timeout).  Starts
+    /// attempts immediately when the device is alive.
+    void on_lost();
+
+    /// Fired on successful re-registration (re-apply stored-content flags,
+    /// reconnect sources, ...).
+    void set_on_rejoined(std::function<void(ClientId)> cb) { on_rejoined_ = std::move(cb); }
+
+    [[nodiscard]] std::uint64_t attempts() const { return attempts_; }
+    [[nodiscard]] std::uint64_t rejoins() const { return rejoins_; }
+    /// When each attempt fired (jitter determinism is asserted on these).
+    [[nodiscard]] const std::vector<Time>& attempt_times() const { return attempt_times_; }
+    [[nodiscard]] const std::vector<double>& recover_times_s() const { return recover_times_s_; }
+    [[nodiscard]] bool in_outage() const { return outage_start_.has_value(); }
+
+private:
+    void begin_outage();
+    void schedule_attempt();
+    void attempt();
+    [[nodiscard]] Time backoff(int round);
+
+    sim::Simulator& sim_;
+    HotspotServer& server_;
+    HotspotClient& client_;
+    RejoinPolicy policy_;
+    sim::Random rng_;
+    std::function<void(ClientId)> on_rejoined_;
+    std::optional<Time> outage_start_;
+    bool attempt_pending_ = false;
+    int round_ = 0;
+    std::uint64_t attempts_ = 0;
+    std::uint64_t rejoins_ = 0;
+    std::vector<Time> attempt_times_;
+    std::vector<double> recover_times_s_;
+};
+
+}  // namespace wlanps::core

@@ -5,6 +5,7 @@
 
 #include "bt/piconet.hpp"
 #include "core/burst_channel.hpp"
+#include "fault/injector.hpp"
 #include "mac/access_point.hpp"
 #include "mac/ecmac.hpp"
 #include "mac/station.hpp"
@@ -182,14 +183,43 @@ ScenarioResult run_wlan_psm(const StreamConfig& config, PsmOptions options) {
         sources.push_back(std::move(src));
     }
 
+    // Fault injection: MAC faults exercise the stations' existing beacon-
+    // and poll-timeout recovery; link faults ride the per-station links.
+    std::unique_ptr<fault::FaultInjector> injector;
+    if (!config.fault_plan.empty()) {
+        injector = std::make_unique<fault::FaultInjector>(sim, config.fault_plan,
+                                                          root.fork(900));
+        injector->mac().beacon_loss = [&ap](Time until) { ap.suppress_beacons(until); };
+        injector->mac().poll_drop = [&ap, &root](double p, Time until) {
+            ap.inject_poll_drop(p, until, root.fork(901));
+        };
+        injector->net().fault_window = [&bss, &sim, &config](std::uint32_t client,
+                                                             fault::FaultSpec::Itf itf,
+                                                             double p, Time until) {
+            if (itf == fault::FaultSpec::Itf::bt) return;  // no BT in this scenario
+            auto apply = [&](mac::StationId id) {
+                if (auto* link = bss.link(id)) link->add_fault_window(sim.now(), until, p);
+            };
+            if (client == 0) {
+                for (int i = 0; i < config.clients; ++i) {
+                    apply(static_cast<mac::StationId>(i + 1));
+                }
+            } else {
+                apply(static_cast<mac::StationId>(client));
+            }
+        };
+    }
+
     ap.start();
     for (auto& st : stations) st->start(ap.config().beacon_interval, ap.config().beacon_interval);
     for (auto& p : playouts) p->start();
     for (auto& s : sources) s->start();
+    if (injector) injector->arm();
     sim.run_until(config.duration);
 
     ScenarioResult result;
     result.label = "wlan-psm";
+    if (injector) result.faults_injected = injector->injected_total();
     for (std::size_t i = 0; i < stations.size(); ++i) {
         result.clients.push_back(make_metrics(stations[i]->average_power(),
                                               stations[i]->energy_consumed(), *playouts[i],
@@ -300,6 +330,8 @@ ScenarioResult run_hotspot(const StreamConfig& config, HotspotOptions options) {
     WLANPS_REQUIRE(config.clients >= 1);
     WLANPS_REQUIRE_MSG(options.wlan_available || options.bt_available,
                        "at least one interface must be available");
+    const fault::FaultPlan& plan = config.fault_plan;
+    plan.validate();
     sim::Simulator sim;
     sim::Random root(config.seed);
 
@@ -310,18 +342,35 @@ ScenarioResult run_hotspot(const StreamConfig& config, HotspotOptions options) {
     std::vector<std::unique_ptr<phy::WlanNic>> wlan_nics;
     std::vector<std::unique_ptr<channel::WirelessLink>> wlan_links;
     std::vector<std::unique_ptr<bt::BtSlave>> slaves;
+    std::vector<std::unique_ptr<MediaProxy>> proxies;
+    std::vector<std::unique_ptr<traffic::Source>> sources;
+    std::vector<std::unique_ptr<RejoinAgent>> agents;  // index = client id - 1
+    std::vector<Time> join_at;                         // zero = at scenario start
+    // Fault-hook routing tables (client id -> the injectable surface).
+    std::map<ClientId, phy::WlanNic*> nic_of;
+    std::map<ClientId, channel::WirelessLink*> wlink_of;
+    std::map<ClientId, bt::SlaveId> sid_of;
 
     HotspotServer server(sim,
                          ServerConfig{}
                              .with_target_burst(options.target_burst)
                              .with_utilization_cap(options.utilization_cap)
-                             .with_target_burst_period(options.target_burst_period),
+                             .with_target_burst_period(options.target_burst_period)
+                             .with_resilience(options.resilience),
                          make_scheduler(options.scheduler));
+    const bool stored = !options.media_proxy;
 
     for (int i = 0; i < config.clients; ++i) {
         const auto id = static_cast<ClientId>(i + 1);
         QosContract contract;
-        contract.stream_rate = phy::calibration::kMp3Rate;
+        if (options.media_proxy) {
+            // Live A/V through the proxy (thinned under adversity).
+            contract.stream_rate = options.proxy_config.av_rate;
+            contract.client_buffer = DataSize::from_kilobytes(4096);
+            contract.preroll = Time::from_seconds(6);
+        } else {
+            contract.stream_rate = phy::calibration::kMp3Rate;
+        }
         if (options.contract_tweak) options.contract_tweak(id, contract);
         auto client = std::make_unique<HotspotClient>(sim, id, contract);
 
@@ -332,6 +381,8 @@ ScenarioResult run_hotspot(const StreamConfig& config, HotspotOptions options) {
                                                                 root.fork(300 + i));
             client->add_channel(
                 std::make_unique<WlanBurstChannel>(sim, *nic, link.get()));
+            nic_of[id] = nic.get();
+            wlink_of[id] = link.get();
             wlan_nics.push_back(std::move(nic));
             wlan_links.push_back(std::move(link));
         }
@@ -344,13 +395,32 @@ ScenarioResult run_hotspot(const StreamConfig& config, HotspotOptions options) {
                 piconet.set_link_script(sid, options.bt_quality_script);
             }
             client->add_channel(std::make_unique<BtBurstChannel>(piconet, sid, *slave));
+            sid_of[id] = sid;
             slaves.push_back(std::move(slave));
         }
 
-        server.register_client(*client);
-        // The Hotspot proxy streams stored/prefetched media: bursts are
-        // sized by the client buffer, not real-time arrival (paper §2).
-        server.set_stored_content(id, true);
+        join_at.push_back(plan.registration_at(id));
+        if (join_at.back().is_zero()) {
+            server.register_client(*client);
+            // The Hotspot proxy streams stored/prefetched media: bursts are
+            // sized by the client buffer, not real-time arrival (paper §2).
+            if (stored) server.set_stored_content(id, true);
+        }
+        if (options.media_proxy) {
+            // The downstream sink tolerates the client being unregistered
+            // (crashed/reclaimed): live content it misses is simply lost.
+            auto proxy = std::make_unique<MediaProxy>(
+                sim, *client,
+                [&server, id](DataSize s) {
+                    if (server.has_client(id)) server.ingest_sink(id)(s);
+                },
+                options.proxy_config);
+            // 600 kb/s-class A/V feed: ~3 KB chunks at the A/V rate.
+            sources.push_back(std::make_unique<traffic::PoissonSource>(
+                sim, proxy->ingest_sink(), DataSize::from_bytes(3000),
+                options.proxy_config.av_rate, root.fork(500 + i)));
+            proxies.push_back(std::move(proxy));
+        }
         clients.push_back(std::move(client));
     }
 
@@ -360,9 +430,97 @@ ScenarioResult run_hotspot(const StreamConfig& config, HotspotOptions options) {
     raw.reserve(clients.size());
     for (auto& c : clients) raw.push_back(c.get());
 
+    if (options.rejoin_enabled) {
+        for (std::size_t i = 0; i < clients.size(); ++i) {
+            agents.push_back(std::make_unique<RejoinAgent>(
+                sim, server, *clients[i], options.rejoin,
+                root.fork(910 + static_cast<std::uint64_t>(i))));
+            agents.back()->set_on_rejoined([&server, stored](ClientId cid) {
+                if (stored) server.set_stored_content(cid, true);
+            });
+        }
+        server.set_on_client_lost([&agents](ClientId cid) {
+            if (cid >= 1 && cid <= agents.size()) agents[cid - 1]->on_lost();
+        });
+    }
+
+    // Late joiners: the device shows up mid-run and asks for admission.
+    for (std::size_t i = 0; i < clients.size(); ++i) {
+        if (join_at[i].is_zero()) continue;
+        sim.post_at(join_at[i], [&server, &agents, stored, c = clients[i].get()] {
+            if (server.try_register(*c)) {
+                if (stored) server.set_stored_content(c->id(), true);
+                c->playout().start();
+            } else if (c->id() >= 1 && c->id() <= agents.size()) {
+                agents[c->id() - 1]->on_lost();  // keep trying with backoff
+            }
+        });
+    }
+
+    // The injector is built only when the plan is non-empty: a faults-off
+    // run schedules nothing extra and consumes no extra randomness.
+    std::unique_ptr<fault::FaultInjector> injector;
+    if (!plan.empty()) {
+        injector = std::make_unique<fault::FaultInjector>(sim, plan, root.fork(900));
+        if (options.wlan_available) {
+            injector->phy().nic_lockup = [&nic_of](std::uint32_t target, Time until) {
+                for (auto& [id, nic] : nic_of) {
+                    if (target == 0 || id == target) nic->inject_lockup(until);
+                }
+            };
+            injector->phy().wake_stuck = [&nic_of](std::uint32_t target, Time extra) {
+                for (auto& [id, nic] : nic_of) {
+                    if (target == 0 || id == target) nic->inject_wake_stuck(extra);
+                }
+            };
+        }
+        injector->net().fault_window = [&sim, &wlink_of, &sid_of, &piconet](
+                                           std::uint32_t target, fault::FaultSpec::Itf itf,
+                                           double p, Time until) {
+            if (itf != fault::FaultSpec::Itf::bt) {
+                for (auto& [id, link] : wlink_of) {
+                    if (target == 0 || id == target) {
+                        link->add_fault_window(sim.now(), until, p);
+                    }
+                }
+            }
+            if (itf != fault::FaultSpec::Itf::wlan) {
+                for (auto& [id, sid] : sid_of) {
+                    if (target != 0 && id != target) continue;
+                    if (auto* link = piconet.link(sid)) {
+                        link->add_fault_window(sim.now(), until, p);
+                    }
+                }
+            }
+        };
+        injector->core().crash = [&clients, &agents](std::uint32_t target) {
+            for (auto& c : clients) {
+                if (target != 0 && c->id() != target) continue;
+                c->crash();
+                if (c->id() >= 1 && c->id() <= agents.size()) agents[c->id() - 1]->on_crashed();
+            }
+        };
+        injector->core().revive = [&clients, &agents](std::uint32_t target) {
+            for (auto& c : clients) {
+                if (target != 0 && c->id() != target) continue;
+                c->revive();
+                if (c->id() >= 1 && c->id() <= agents.size()) agents[c->id() - 1]->on_revived();
+            }
+        };
+        injector->core().schedule_drop = [&server, &root](double p, Time until) {
+            server.inject_schedule_drop(p, until, root.fork(902));
+        };
+        injector->attach_trace(options.fault_trace);
+    }
+
     if (options.on_start) options.on_start(sim, server, raw);
-    for (auto& c : clients) c->start();
+    for (std::size_t i = 0; i < clients.size(); ++i) {
+        clients[i]->start(/*start_playout=*/join_at[i].is_zero());
+    }
+    for (auto& p : proxies) p->start();
+    for (auto& s : sources) s->start();
     server.start();
+    if (injector) injector->arm();
     sim.run_until(config.duration);
 
     if (options.inspect) options.inspect(sim, server, raw);
@@ -373,6 +531,14 @@ ScenarioResult run_hotspot(const StreamConfig& config, HotspotOptions options) {
         result.clients.push_back(make_metrics(c->wnic_average_power(), c->wnic_energy(),
                                               c->playout(), c->bytes_received()));
     }
+    result.recovery = server.recovery_report();
+    for (auto& a : agents) {
+        result.recovery.rejoin_attempts += a->attempts();
+        result.recovery.rejoins += a->rejoins();
+        for (double t : a->recover_times_s()) result.recovery.recover_times_s.push_back(t);
+    }
+    for (auto& p : proxies) result.degradation.push_back(p->report());
+    if (injector) result.faults_injected = injector->injected_total();
     if (obs::MetricsRegistry* reg = obs::current()) {
         for (auto& nic : wlan_nics) nic->publish_metrics(*reg, "phy.wlan");
         for (auto& s : slaves) s->nic().publish_metrics(*reg, "phy.bt");
@@ -576,6 +742,53 @@ exp::Metrics to_metrics(const ScenarioResult& result) {
         metrics.emplace_back(prefix + "qos", result.clients[i].qos);
     }
     return metrics;
+}
+
+exp::Metrics to_recovery_metrics(const ScenarioResult& result) {
+    exp::Metrics metrics = to_metrics(result);
+    const RecoveryReport& r = result.recovery;
+    metrics.emplace_back("faults_injected", static_cast<double>(result.faults_injected));
+    metrics.emplace_back("liveness_reclaims", static_cast<double>(r.liveness_reclaims));
+    metrics.emplace_back("burst_repairs", static_cast<double>(r.burst_repairs));
+    metrics.emplace_back("schedule_drops", static_cast<double>(r.schedule_drops));
+    metrics.emplace_back("rejoin_attempts", static_cast<double>(r.rejoin_attempts));
+    metrics.emplace_back("rejoins", static_cast<double>(r.rejoins));
+    double recover_sum = 0.0;
+    for (double t : r.recover_times_s) recover_sum += t;
+    metrics.emplace_back("mean_recover_s", r.recover_times_s.empty()
+                                               ? 0.0
+                                               : recover_sum / static_cast<double>(
+                                                                   r.recover_times_s.size()));
+    std::uint64_t video_drops = 0;
+    std::uint64_t pauses = 0;
+    double audio_only_s = 0.0;
+    double paused_s = 0.0;
+    for (const auto& d : result.degradation) {
+        video_drops += d.video_drops;
+        pauses += d.pauses;
+        audio_only_s += d.time_audio_only_s;
+        paused_s += d.time_paused_s;
+    }
+    metrics.emplace_back("video_drops", static_cast<double>(video_drops));
+    metrics.emplace_back("pauses", static_cast<double>(pauses));
+    metrics.emplace_back("time_audio_only_s", audio_only_s);
+    metrics.emplace_back("time_paused_s", paused_s);
+    return metrics;
+}
+
+exp::RunFn fault_grid_run(StreamConfig config, HotspotOptions options,
+                          std::vector<fault::FaultPlan> plans) {
+    WLANPS_REQUIRE_MSG(!plans.empty(), "fault grid needs at least one plan");
+    return [config, options, plans](const exp::ParamPoint& point,
+                                    std::uint64_t seed) mutable {
+        WLANPS_REQUIRE_MSG(point.index < plans.size(),
+                           "grid point " + std::to_string(point.index) + " has no fault plan (" +
+                               std::to_string(plans.size()) + " provided)");
+        StreamConfig run_config = config;
+        run_config.seed = seed;
+        run_config.fault_plan = plans[point.index];
+        return to_recovery_metrics(run_hotspot(run_config, options));
+    };
 }
 
 }  // namespace wlanps::core::scenarios

@@ -20,9 +20,13 @@
 #include "channel/gilbert_elliott.hpp"
 #include "channel/scripted.hpp"
 #include "core/client.hpp"
+#include "core/media_proxy.hpp"
+#include "core/resilience.hpp"
 #include "core/server.hpp"
 #include "exp/experiment.hpp"
+#include "fault/fault.hpp"
 #include "sim/time.hpp"
+#include "sim/trace.hpp"
 #include "sim/units.hpp"
 
 namespace wlanps::core::scenarios {
@@ -39,6 +43,10 @@ struct StreamConfig {
     /// sensitivity ablation sweeps these.
     phy::WlanNicConfig wlan_nic;
     phy::BtNicConfig bt_nic;
+    /// Deterministic fault schedule replayed into the run (run_hotspot and
+    /// run_wlan_psm).  Empty = no injector is built at all, so the run is
+    /// bit-identical to one before the fault subsystem existed.
+    fault::FaultPlan fault_plan;
 };
 
 /// Ground-truth per-client results.
@@ -55,6 +63,12 @@ struct ClientMetrics {
 struct ScenarioResult {
     std::string label;
     std::vector<ClientMetrics> clients;
+    /// Recovery actions taken (server sweep/repair + every RejoinAgent).
+    RecoveryReport recovery;
+    /// Per-proxied-client degradation accounting (empty without a proxy).
+    std::vector<MediaProxy::DegradationReport> degradation;
+    /// Faults the injector actually fired (0 without a plan).
+    std::uint64_t faults_injected = 0;
 
     [[nodiscard]] power::Power mean_wnic() const;
     [[nodiscard]] power::Power mean_device() const;
@@ -96,6 +110,21 @@ struct HotspotOptions {
     /// Optional scripted BT degradation (per client) — the paper's
     /// "conditions in the link change" switching scenario.
     channel::ScriptedQuality bt_quality_script;
+    /// Recovery machinery (liveness reclamation, burst repair) — all off
+    /// by default.
+    ResilienceConfig resilience;
+    /// Build a RejoinAgent per client (re-registration with exponential
+    /// backoff + jitter after a crash or liveness reclaim).
+    bool rejoin_enabled = false;
+    RejoinPolicy rejoin;
+    /// Feed each client through a MediaProxy (graceful A/V degradation)
+    /// instead of the stored-content path: a PoissonSource generates the
+    /// A/V stream at proxy_config.av_rate and the proxy thins it.
+    bool media_proxy = false;
+    MediaProxy::Config proxy_config;
+    /// Mirror injected faults into this trace as a Perfetto lane (must
+    /// outlive the run).
+    sim::TimelineTrace* fault_trace = nullptr;
     /// Per-client QoS contract adjustment (weights, priorities, rates)
     /// applied before the client is built.
     std::function<void(ClientId, QosContract&)> contract_tweak;
@@ -146,5 +175,17 @@ using ScenarioFactory = std::function<ScenarioResult(std::uint64_t seed)>;
 /// aggregates ("wnic_w", "device_w", "qos_min") followed by per-client
 /// power/QoS ("c1.wnic_w", "c1.qos", ...).
 [[nodiscard]] exp::Metrics to_metrics(const ScenarioResult& result);
+
+/// to_metrics plus the recovery/fault columns ("faults_injected",
+/// "liveness_reclaims", "burst_repairs", "rejoins", "mean_recover_s",
+/// ...).  Column names are constant across points and seeds so the runner
+/// can aggregate a fault grid.
+[[nodiscard]] exp::Metrics to_recovery_metrics(const ScenarioResult& result);
+
+/// Bind a hotspot scenario to a grid of fault plans: point.index selects
+/// the plan (so each plan is one sweep axis cell), the returned metrics
+/// are to_recovery_metrics.  \p plans must have one entry per grid point.
+[[nodiscard]] exp::RunFn fault_grid_run(StreamConfig config, HotspotOptions options,
+                                        std::vector<fault::FaultPlan> plans);
 
 }  // namespace wlanps::core::scenarios

@@ -28,6 +28,7 @@ void ServerConfig::validate() const {
     WLANPS_REQUIRE_MSG(reservation_margin >= 1.0,
                        "reservation_margin below 1.0 under-reserves every stream (got " +
                            std::to_string(reservation_margin) + ")");
+    resilience.validate();
 }
 
 HotspotServer::HotspotServer(sim::Simulator& sim, ServerConfig config,
@@ -75,6 +76,7 @@ bool HotspotServer::try_register(HotspotClient& client) {
     ClientRecord rec;
     rec.client = &client;
     rec.playback_start = sim_.now() + client.contract().preroll;
+    rec.last_progress = sim_.now();
     rec.reserved_on = admitted_on->interface();
     rec.reservation = need;
     reserved_[rec.reserved_on] += need;
@@ -170,14 +172,41 @@ Time HotspotServer::projected_underrun(const ClientRecord& rec) const {
 }
 
 void HotspotServer::plan() {
+    if (config_.resilience.liveness_timeout > Time::zero()) sweep_liveness();
     for (auto& [id, rec] : clients_) plan_client(id, rec);
+}
+
+void HotspotServer::sweep_liveness() {
+    // Collect first: unregister_client mutates clients_.
+    std::vector<ClientId> stale;
+    for (const auto& [id, rec] : clients_) {
+        if (sim_.now() - rec.last_progress > config_.resilience.liveness_timeout) {
+            stale.push_back(id);
+        }
+    }
+    for (ClientId id : stale) {
+        ++recovery_.liveness_reclaims;
+        WLANPS_OBS_COUNT("core.recovery.liveness_reclaims", 1);
+        WLANPS_LOG(sim::LogLevel::info, sim_.now(), "hotspot",
+                   "client " << id << " made no progress for "
+                             << config_.resilience.liveness_timeout.str()
+                             << ": reclaiming its reservation");
+        unregister_client(id);
+        if (on_client_lost_) on_client_lost_(id);
+    }
 }
 
 void HotspotServer::plan_client(ClientId id, ClientRecord& rec) {
     if (rec.burst_outstanding) return;
     const DataSize target = effective_target(rec);
     const DataSize available = rec.stored_content ? target : rec.server_buffer;
-    if (available < config_.min_burst) return;
+    // The early returns below are *healthy* idleness (nothing to send, or
+    // the client's buffer is comfortably full) — refresh the liveness
+    // clock so only clients the server is actively failing to serve age.
+    if (available < config_.min_burst) {
+        rec.last_progress = sim_.now();
+        return;
+    }
 
     const Time underrun = projected_underrun(rec);
     const bool buffer_full = !rec.stored_content && rec.server_buffer >= target;
@@ -196,7 +225,10 @@ void HotspotServer::plan_client(ClientId id, ClientRecord& rec) {
     // Prefill: a client that has received nothing yet is served eagerly so
     // its preroll completes even when several first bursts serialize.
     const bool prefill = rec.stored_content && rec.modeled_delivered.is_zero();
-    if (!buffer_full && !deadline_near && !prefill) return;
+    if (!buffer_full && !deadline_near && !prefill) {
+        rec.last_progress = sim_.now();
+        return;
+    }
 
     const QosContract& contract = rec.client->contract();
     // Headroom in the client's buffer (server-side model).
@@ -204,7 +236,10 @@ void HotspotServer::plan_client(ClientId id, ClientRecord& rec) {
     const DataSize headroom =
         contract.client_buffer > level ? contract.client_buffer - level : DataSize::zero();
     DataSize size = std::min({available, target, headroom});
-    if (size < config_.min_burst) return;  // client buffer nearly full: wait
+    if (size < config_.min_burst) {  // client buffer nearly full: wait
+        rec.last_progress = sim_.now();
+        return;
+    }
 
     // Select the interface for this burst.
     auto channels = rec.client->channels();
@@ -277,19 +312,56 @@ void HotspotServer::execute(phy::Interface itf, BurstRequest request, std::size_
     // (control plane), the wake latency is not.
     const Time start = sim_.now() + channel.wnic().wake_latency() + Time::from_ms(1);
 
+    // Ownership of the interface for the lifetime of this burst.  The
+    // watchdog and the completion race benignly: whoever still matches
+    // (client, epoch) releases; the loser recognizes the stale epoch and
+    // backs off.
+    const std::uint64_t epoch = ++next_epoch_;
+    rec.epoch = epoch;
+    inflight_[itf] = Inflight{request.client, epoch};
+
+    if (config_.resilience.burst_repair) {
+        const Time estimate = channel.goodput().transmit_time(request.size);
+        const Time deadline = start + estimate * config_.resilience.repair_slack_factor +
+                              config_.resilience.repair_margin;
+        arm_repair(itf, request.client, epoch, rec.client, channel_index, request.size, deadline);
+    }
+
+    // Injected schedule-message loss: the burst was planned and the
+    // interface claimed, but the wake command never reaches the client.
+    // Without burst repair this wedges the interface — which is the point.
+    if (sim_.now() < schedule_drop_until_ && schedule_drop_rng_ &&
+        schedule_drop_rng_->chance(schedule_drop_p_)) {
+        ++recovery_.schedule_drops;
+        WLANPS_OBS_COUNT("fault.injected.schedule_drop_msgs", 1);
+        WLANPS_LOG(sim::LogLevel::info, sim_.now(), "hotspot",
+                   "schedule message for client " << request.client << " lost ("
+                                                  << request.size.str() << " burst)");
+        return;
+    }
+
     rec.client->execute_burst(
         channel_index, request.size, start,
-        [this, itf, request](const BurstChannel::Result& result) {
-            interface_busy_[itf] = false;
+        [this, itf, request, epoch](const BurstChannel::Result& result) {
+            const auto inf = inflight_.find(itf);
+            const bool owns = inf != inflight_.end() && inf->second.client == request.client &&
+                              inf->second.epoch == epoch;
+            if (owns) {
+                inflight_.erase(inf);
+                interface_busy_[itf] = false;
+            }
             auto it = clients_.find(request.client);
-            if (it == clients_.end()) {
-                // The client left mid-burst; just free the interface.
-                dispatch(itf);
+            if (it == clients_.end() || it->second.epoch != epoch) {
+                // The client left mid-burst, or the watchdog already
+                // repaired this burst: the completion is stale.  Free the
+                // interface if this burst still held it, account nothing.
+                if (owns) dispatch(itf);
                 return;
             }
             ClientRecord& r = it->second;
             r.burst_outstanding = false;
             r.modeled_delivered += result.delivered;
+            if (!result.delivered.is_zero()) r.last_progress = sim_.now();
             ++r.bursts;
             ++total_bursts_;
             WLANPS_OBS_COUNT("core.bursts_completed", 1);
@@ -299,9 +371,61 @@ void HotspotServer::execute(phy::Interface itf, BurstRequest request, std::size_
             }
             // Undelivered bytes go back to the server buffer for a retry.
             if (!result.lost.is_zero() && !r.stored_content) r.server_buffer += result.lost;
-            dispatch(itf);
+            if (owns) dispatch(itf);
             plan_client(request.client, r);
         });
+}
+
+void HotspotServer::inject_schedule_drop(double p, Time until, sim::Random rng) {
+    WLANPS_REQUIRE_MSG(p >= 0.0 && p <= 1.0, "drop probability out of [0, 1]");
+    schedule_drop_p_ = p;
+    schedule_drop_until_ = std::max(schedule_drop_until_, until);
+    schedule_drop_rng_ = rng;
+}
+
+void HotspotServer::arm_repair(phy::Interface itf, ClientId id, std::uint64_t epoch,
+                               HotspotClient* device, std::size_t channel_index, DataSize size,
+                               Time at) {
+    sim_.post_at(at, [this, itf, id, epoch, device, channel_index, size] {
+        repair_check(itf, id, epoch, device, channel_index, size);
+    });
+}
+
+void HotspotServer::repair_check(phy::Interface itf, ClientId id, std::uint64_t epoch,
+                                 HotspotClient* device, std::size_t channel_index,
+                                 DataSize size) {
+    const auto inf = inflight_.find(itf);
+    if (inf == inflight_.end() || inf->second.client != id || inf->second.epoch != epoch) {
+        return;  // the burst completed (or was already repaired)
+    }
+    // Merely late (slow link, retry tail, wake still in flight): the burst
+    // is provably alive, so keep waiting rather than double-booking the
+    // interface.  `device` outlives the server per registration contract,
+    // so this is safe even after a liveness reclaim.
+    if (device->channel(channel_index).busy() || device->burst_pending()) {
+        arm_repair(itf, id, epoch, device, channel_index, size,
+                   sim_.now() + config_.resilience.repair_margin);
+        return;
+    }
+    // The burst never started: schedule message lost, or the device died
+    // before waking.  Reclaim the interface and replan.
+    inflight_.erase(inf);
+    interface_busy_[itf] = false;
+    ++recovery_.burst_repairs;
+    WLANPS_OBS_COUNT("core.recovery.burst_repairs", 1);
+    WLANPS_LOG(sim::LogLevel::info, sim_.now(), "hotspot",
+               "burst for client " << id << " on " << phy::to_string(itf)
+                                   << " never started: repairing the schedule");
+    auto it = clients_.find(id);
+    if (it != clients_.end() && it->second.epoch == epoch) {
+        ClientRecord& r = it->second;
+        r.burst_outstanding = false;
+        r.epoch = ++next_epoch_;  // a zombie completion must not account
+        // The planner debited these bytes when it planned the burst; the
+        // client never saw them, so they go back for a retry.
+        if (!r.stored_content) r.server_buffer += size;
+    }
+    dispatch(itf);
 }
 
 ClientReport HotspotServer::report(ClientId id) const {

@@ -18,13 +18,16 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "core/client.hpp"
 #include "core/qos.hpp"
+#include "core/resilience.hpp"
 #include "core/scheduler.hpp"
 #include "core/selector.hpp"
+#include "sim/random.hpp"
 #include "sim/simulator.hpp"
 #include "sim/stats.hpp"
 #include "traffic/source.hpp"
@@ -58,6 +61,10 @@ struct ServerConfig {
     /// Battery-aware scheduling: grow a low-battery client's bursts (up to
     /// 2x at empty) so its radio wakes less often.  0 disables.
     bool battery_aware = false;
+    /// Recovery machinery (liveness reclamation, burst repair).  All off by
+    /// default: a default-configured server is bit-identical to one built
+    /// before the resilience layer existed.
+    ResilienceConfig resilience;
 
     // Fluent setters, chainable:
     //   ServerConfig{}.with_target_burst(...).with_plan_interval(...)
@@ -70,6 +77,7 @@ struct ServerConfig {
     ServerConfig& with_utilization_cap(double v) { utilization_cap = v; return *this; }
     ServerConfig& with_reservation_margin(double v) { reservation_margin = v; return *this; }
     ServerConfig& with_battery_aware(bool v) { battery_aware = v; return *this; }
+    ServerConfig& with_resilience(ResilienceConfig v) { resilience = v; return *this; }
 
     /// Reject inconsistent configurations (min_burst above target_burst,
     /// non-positive plan_interval, ...) with a ContractViolation naming
@@ -108,6 +116,26 @@ public:
     void unregister_client(ClientId id);
 
     [[nodiscard]] std::size_t client_count() const { return clients_.size(); }
+    [[nodiscard]] bool has_client(ClientId id) const {
+        return clients_.find(id) != clients_.end();
+    }
+
+    /// Fired after a client is dropped by the liveness sweep (not by an
+    /// explicit unregister_client call) — wire a RejoinAgent's on_lost here.
+    void set_on_client_lost(std::function<void(ClientId)> cb) {
+        on_client_lost_ = std::move(cb);
+    }
+
+    /// Fault surface: until \p until, each dispatched burst's schedule
+    /// message is lost with probability \p p — the interface is claimed
+    /// but the client never hears about the burst.  \p rng must be a
+    /// dedicated fork (stream 902 by convention) so the faulty run's other
+    /// random streams are untouched.
+    void inject_schedule_drop(double p, Time until, sim::Random rng);
+
+    /// Recovery actions taken this run (liveness reclaims, burst repairs,
+    /// schedule-message drops observed).
+    [[nodiscard]] const RecoveryReport& recovery_report() const { return recovery_; }
 
     /// Bandwidth currently reserved on \p itf.
     [[nodiscard]] Rate reserved(phy::Interface itf) const;
@@ -165,12 +193,32 @@ private:
         std::uint64_t bursts = 0;
         std::uint64_t deadline_misses = 0;
         std::uint64_t interface_switches = 0;
+        /// Last time this client demonstrably received bytes (or was
+        /// healthy-idle with nothing to send) — the liveness sweep's clock.
+        Time last_progress = Time::zero();
+        /// Bumped whenever the burst pipeline is reset for this client;
+        /// a completion carrying a stale epoch is ignored (the watchdog
+        /// already repaired that burst).
+        std::uint64_t epoch = 0;
+    };
+
+    /// Which burst currently owns an interface (client + epoch); absent
+    /// when the interface is free.  The repair watchdog and late burst
+    /// completions use this to decide who gets to release the interface.
+    struct Inflight {
+        ClientId client = 0;
+        std::uint64_t epoch = 0;
     };
 
     void plan();
     void plan_client(ClientId id, ClientRecord& rec);
     void dispatch(phy::Interface itf);
     void execute(phy::Interface itf, BurstRequest request, std::size_t channel_index);
+    void sweep_liveness();
+    void arm_repair(phy::Interface itf, ClientId id, std::uint64_t epoch, HotspotClient* device,
+                    std::size_t channel_index, DataSize size, Time at);
+    void repair_check(phy::Interface itf, ClientId id, std::uint64_t epoch, HotspotClient* device,
+                      std::size_t channel_index, DataSize size);
     [[nodiscard]] DataSize modeled_buffer(const ClientRecord& rec, Time at) const;
     [[nodiscard]] Time projected_underrun(const ClientRecord& rec) const;
     [[nodiscard]] DataSize effective_target(const ClientRecord& rec) const;
@@ -190,6 +238,15 @@ private:
     static constexpr std::size_t kDecisionLogCapacity = 256;
     std::uint64_t total_bursts_ = 0;
     std::unique_ptr<sim::PeriodicEvent> plan_timer_;
+
+    // --- resilience / fault state -------------------------------------------
+    std::map<phy::Interface, Inflight> inflight_;
+    std::uint64_t next_epoch_ = 0;
+    RecoveryReport recovery_;
+    std::function<void(ClientId)> on_client_lost_;
+    Time schedule_drop_until_ = Time::zero();
+    double schedule_drop_p_ = 0.0;
+    std::optional<sim::Random> schedule_drop_rng_;
 };
 
 }  // namespace wlanps::core

@@ -1,0 +1,232 @@
+#include "fault/fault.hpp"
+
+#include <cstdlib>
+#include <sstream>
+#include <utility>
+
+#include "sim/assert.hpp"
+
+namespace wlanps::fault {
+
+const char* to_string(FaultKind kind) {
+    switch (kind) {
+        case FaultKind::nic_lockup: return "nic-lockup";
+        case FaultKind::wake_stuck: return "wake-stuck";
+        case FaultKind::beacon_loss: return "beacon-loss";
+        case FaultKind::poll_drop: return "poll-drop";
+        case FaultKind::blackout: return "blackout";
+        case FaultKind::corruption: return "corruption";
+        case FaultKind::client_crash: return "crash";
+        case FaultKind::silent_leave: return "silent-leave";
+        case FaultKind::delayed_registration: return "late-join";
+        case FaultKind::schedule_drop: return "schedule-drop";
+    }
+    WLANPS_REQUIRE_MSG(false, "bad fault kind");
+    return "?";
+}
+
+namespace {
+
+bool parse_kind(const std::string& name, FaultKind& out) {
+    static constexpr FaultKind kAll[] = {
+        FaultKind::nic_lockup,   FaultKind::wake_stuck,   FaultKind::beacon_loss,
+        FaultKind::poll_drop,    FaultKind::blackout,     FaultKind::corruption,
+        FaultKind::client_crash, FaultKind::silent_leave, FaultKind::delayed_registration,
+        FaultKind::schedule_drop,
+    };
+    for (FaultKind k : kAll) {
+        if (name == to_string(k)) {
+            out = k;
+            return true;
+        }
+    }
+    return false;
+}
+
+/// Window kinds interpret `probability` as a per-event drop probability;
+/// one-shot kinds interpret it as the chance the fault fires at all.
+bool is_window_kind(FaultKind kind) {
+    return kind == FaultKind::poll_drop || kind == FaultKind::corruption ||
+           kind == FaultKind::schedule_drop;
+}
+
+bool needs_client(FaultKind kind) {
+    return kind == FaultKind::client_crash || kind == FaultKind::silent_leave ||
+           kind == FaultKind::delayed_registration;
+}
+
+double parse_number(const std::string& text, const std::string& what) {
+    char* end = nullptr;
+    const double v = std::strtod(text.c_str(), &end);
+    WLANPS_REQUIRE_MSG(end != nullptr && *end == '\0' && !text.empty(),
+                       "fault plan: bad " + what + " '" + text + "'");
+    return v;
+}
+
+}  // namespace
+
+FaultPlan& FaultPlan::add(FaultSpec spec) {
+    specs_.push_back(spec);
+    return *this;
+}
+
+FaultPlan& FaultPlan::nic_lockup(Time at, Time duration, std::uint32_t client) {
+    return add({FaultKind::nic_lockup, at, duration, 1.0, client, FaultSpec::Itf::wlan});
+}
+
+FaultPlan& FaultPlan::wake_stuck(Time at, Time extra, std::uint32_t client) {
+    return add({FaultKind::wake_stuck, at, extra, 1.0, client, FaultSpec::Itf::wlan});
+}
+
+FaultPlan& FaultPlan::beacon_loss(Time at, Time duration) {
+    return add({FaultKind::beacon_loss, at, duration, 1.0, 0, FaultSpec::Itf::wlan});
+}
+
+FaultPlan& FaultPlan::poll_drop(Time at, Time duration, double probability) {
+    return add({FaultKind::poll_drop, at, duration, probability, 0, FaultSpec::Itf::wlan});
+}
+
+FaultPlan& FaultPlan::blackout(Time at, Time duration, std::uint32_t client,
+                               FaultSpec::Itf itf) {
+    return add({FaultKind::blackout, at, duration, 1.0, client, itf});
+}
+
+FaultPlan& FaultPlan::corruption(Time at, Time duration, double probability,
+                                 std::uint32_t client, FaultSpec::Itf itf) {
+    return add({FaultKind::corruption, at, duration, probability, client, itf});
+}
+
+FaultPlan& FaultPlan::client_crash(Time at, Time down_for, std::uint32_t client) {
+    return add({FaultKind::client_crash, at, down_for, 1.0, client, FaultSpec::Itf::any});
+}
+
+FaultPlan& FaultPlan::silent_leave(Time at, std::uint32_t client) {
+    return add({FaultKind::silent_leave, at, Time::zero(), 1.0, client, FaultSpec::Itf::any});
+}
+
+FaultPlan& FaultPlan::delayed_registration(Time at, std::uint32_t client) {
+    return add(
+        {FaultKind::delayed_registration, at, Time::zero(), 1.0, client, FaultSpec::Itf::any});
+}
+
+FaultPlan& FaultPlan::schedule_drop(Time at, Time duration, double probability) {
+    return add({FaultKind::schedule_drop, at, duration, probability, 0, FaultSpec::Itf::any});
+}
+
+FaultPlan FaultPlan::parse(const std::string& text) {
+    FaultPlan plan;
+    std::stringstream stream(text);
+    std::string entry;
+    while (std::getline(stream, entry, ';')) {
+        // Trim whitespace.
+        const auto first = entry.find_first_not_of(" \t");
+        if (first == std::string::npos) continue;
+        entry = entry.substr(first, entry.find_last_not_of(" \t") - first + 1);
+
+        FaultSpec spec;
+        // kind@START[+DUR][:TARGET][%PROB][xCOUNT~PERIOD] — split off the
+        // suffixes right-to-left so the kind name may contain dashes.
+        const auto at_pos = entry.find('@');
+        WLANPS_REQUIRE_MSG(at_pos != std::string::npos,
+                           "fault plan entry '" + entry + "' is missing '@START'");
+        const std::string kind_name = entry.substr(0, at_pos);
+        WLANPS_REQUIRE_MSG(parse_kind(kind_name, spec.kind),
+                           "fault plan: unknown fault kind '" + kind_name + "'");
+        std::string rest = entry.substr(at_pos + 1);
+
+        if (const auto x_pos = rest.find('x'); x_pos != std::string::npos) {
+            const std::string rep = rest.substr(x_pos + 1);
+            rest = rest.substr(0, x_pos);
+            const auto tilde = rep.find('~');
+            WLANPS_REQUIRE_MSG(tilde != std::string::npos,
+                               "fault plan: repeat needs 'xCOUNT~PERIOD' in '" + entry + "'");
+            spec.repeat = static_cast<int>(parse_number(rep.substr(0, tilde), "repeat count"));
+            spec.period =
+                Time::from_seconds(parse_number(rep.substr(tilde + 1), "repeat period"));
+        }
+        if (const auto pct_pos = rest.find('%'); pct_pos != std::string::npos) {
+            spec.probability = parse_number(rest.substr(pct_pos + 1), "probability");
+            rest = rest.substr(0, pct_pos);
+        }
+        if (const auto colon_pos = rest.find(':'); colon_pos != std::string::npos) {
+            const std::string target = rest.substr(colon_pos + 1);
+            rest = rest.substr(0, colon_pos);
+            if (target == "wlan") {
+                spec.itf = FaultSpec::Itf::wlan;
+            } else if (target == "bt") {
+                spec.itf = FaultSpec::Itf::bt;
+            } else {
+                WLANPS_REQUIRE_MSG(target.size() >= 2 && target[0] == 'c',
+                                   "fault plan: bad target '" + target +
+                                       "' (expected cN, wlan, or bt)");
+                spec.client = static_cast<std::uint32_t>(
+                    parse_number(target.substr(1), "client id"));
+            }
+        }
+        if (const auto plus_pos = rest.find('+'); plus_pos != std::string::npos) {
+            spec.duration =
+                Time::from_seconds(parse_number(rest.substr(plus_pos + 1), "duration"));
+            rest = rest.substr(0, plus_pos);
+        }
+        spec.at = Time::from_seconds(parse_number(rest, "start time"));
+        plan.add(spec);
+    }
+    plan.validate();
+    return plan;
+}
+
+void FaultPlan::validate() const {
+    for (const FaultSpec& spec : specs_) {
+        const std::string name = to_string(spec.kind);
+        WLANPS_REQUIRE_MSG(!spec.at.is_negative(), "fault plan: " + name + " starts before 0");
+        WLANPS_REQUIRE_MSG(!spec.duration.is_negative(),
+                           "fault plan: " + name + " has negative duration");
+        WLANPS_REQUIRE_MSG(spec.probability >= 0.0 && spec.probability <= 1.0,
+                           "fault plan: " + name + " probability outside [0, 1]");
+        WLANPS_REQUIRE_MSG(!needs_client(spec.kind) || spec.client != 0,
+                           "fault plan: " + name + " needs a target client (':cN')");
+        WLANPS_REQUIRE_MSG(spec.repeat >= 1, "fault plan: " + name + " repeat below 1");
+        WLANPS_REQUIRE_MSG(spec.repeat == 1 || spec.period > Time::zero(),
+                           "fault plan: " + name + " repeats need a positive period");
+        WLANPS_REQUIRE_MSG(!is_window_kind(spec.kind) || spec.probability > 0.0,
+                           "fault plan: " + name + " with zero probability does nothing");
+    }
+}
+
+Time FaultPlan::registration_at(std::uint32_t client) const {
+    for (const FaultSpec& spec : specs_) {
+        if (spec.kind == FaultKind::delayed_registration && spec.client == client) {
+            return spec.at;
+        }
+    }
+    return Time::zero();
+}
+
+bool FaultPlan::has(FaultKind kind) const {
+    for (const FaultSpec& spec : specs_) {
+        if (spec.kind == kind) return true;
+    }
+    return false;
+}
+
+std::string FaultPlan::str() const {
+    std::ostringstream out;
+    for (std::size_t i = 0; i < specs_.size(); ++i) {
+        const FaultSpec& s = specs_[i];
+        if (i > 0) out << ';';
+        out << to_string(s.kind) << '@' << s.at.to_seconds();
+        if (!s.duration.is_zero()) out << '+' << s.duration.to_seconds();
+        if (s.client != 0) {
+            out << ":c" << s.client;
+        } else if (s.itf == FaultSpec::Itf::wlan) {
+            out << ":wlan";
+        } else if (s.itf == FaultSpec::Itf::bt) {
+            out << ":bt";
+        }
+        if (s.probability != 1.0) out << '%' << s.probability;
+        if (s.repeat > 1) out << 'x' << s.repeat << '~' << s.period.to_seconds();
+    }
+    return out.str();
+}
+
+}  // namespace wlanps::fault

@@ -1,0 +1,117 @@
+#pragma once
+/// \file fault.hpp
+/// Deterministic fault plans (what goes wrong, when, to whom).
+///
+/// The paper's premise is operating under adversity: lossy links, clients
+/// walking out of range, a proxy that degrades video to audio.  A
+/// FaultPlan is a declarative schedule of component failures — NIC
+/// lockups, beacon loss, link blackouts, client crashes, lost schedule
+/// messages — that a FaultInjector (injector.hpp) replays into a running
+/// scenario through typed per-layer hooks.  Plans are plain data: two runs
+/// with the same plan and seed are bit-identical, and a plan can be swept
+/// as an experiment axis or passed on the hotspot_cli command line.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace wlanps::fault {
+
+/// What breaks.  Grouped by the layer whose hook delivers it.
+enum class FaultKind {
+    // phy
+    nic_lockup,   ///< WLAN radio wedges: frames fail, suspend is deferred
+    wake_stuck,   ///< next power-state wake takes extra time (one shot)
+    // mac
+    beacon_loss,  ///< AP transmits no beacons (TIM lost) for a window
+    poll_drop,    ///< AP drops PS-Polls with a probability for a window
+    // net
+    blackout,     ///< link delivers nothing for a window
+    corruption,   ///< link drops extra packets with a probability
+    // core
+    client_crash,          ///< device dies at `at`, revives after `duration`
+    silent_leave,          ///< device dies and never comes back
+    delayed_registration,  ///< client joins the hotspot only at `at`
+    schedule_drop,         ///< server->client schedule messages lost w.p. p
+};
+
+[[nodiscard]] const char* to_string(FaultKind kind);
+
+/// One scheduled fault.
+struct FaultSpec {
+    /// Interface scope for phy/net faults.
+    enum class Itf { any, wlan, bt };
+
+    FaultKind kind = FaultKind::blackout;
+    Time at = Time::zero();        ///< when the fault fires
+    Time duration = Time::zero();  ///< window length / revive delay / wake delay
+    double probability = 1.0;      ///< per-event drop prob (window kinds) or
+                                   ///< chance the fault fires at all (one-shots)
+    std::uint32_t client = 0;      ///< target client id; 0 = every client
+    Itf itf = Itf::any;
+    /// Flapping: repeat the fault `repeat` times, `period` apart (repeat=1
+    /// means a single occurrence).
+    int repeat = 1;
+    Time period = Time::zero();
+
+    /// End of the fault window; duration 0 means "until the end of the run".
+    [[nodiscard]] Time until() const {
+        return duration.is_zero() ? Time::max() : at + duration;
+    }
+};
+
+/// A deterministic schedule of faults.  Fluent adders, or parse() from the
+/// CLI grammar.
+class FaultPlan {
+public:
+    // --- fluent builders (times are absolute simulation time) -----------
+    FaultPlan& nic_lockup(Time at, Time duration, std::uint32_t client = 0);
+    FaultPlan& wake_stuck(Time at, Time extra, std::uint32_t client = 0);
+    FaultPlan& beacon_loss(Time at, Time duration);
+    FaultPlan& poll_drop(Time at, Time duration, double probability);
+    FaultPlan& blackout(Time at, Time duration, std::uint32_t client = 0,
+                        FaultSpec::Itf itf = FaultSpec::Itf::any);
+    FaultPlan& corruption(Time at, Time duration, double probability,
+                          std::uint32_t client = 0,
+                          FaultSpec::Itf itf = FaultSpec::Itf::any);
+    FaultPlan& client_crash(Time at, Time down_for, std::uint32_t client);
+    FaultPlan& silent_leave(Time at, std::uint32_t client);
+    FaultPlan& delayed_registration(Time at, std::uint32_t client);
+    FaultPlan& schedule_drop(Time at, Time duration, double probability);
+    /// Append a fully specified fault (repeat/period flapping etc.).
+    FaultPlan& add(FaultSpec spec);
+
+    /// Parse the CLI grammar: semicolon-separated entries of
+    ///   kind@START[+DURATION][:TARGET][%PROB][xCOUNT~PERIOD]
+    /// with times in seconds and TARGET one of cN / wlan / bt, e.g.
+    ///   "crash@30+10:c1;blackout@60+5:wlan;poll-drop@90+20%0.5".
+    /// Kinds: nic-lockup wake-stuck beacon-loss poll-drop blackout
+    ///        corruption crash silent-leave late-join schedule-drop.
+    /// Throws ContractViolation on malformed input.
+    [[nodiscard]] static FaultPlan parse(const std::string& text);
+
+    /// Reject nonsense (negative times, probabilities outside [0,1],
+    /// crash without a target client, ...) naming the offending entry.
+    void validate() const;
+
+    [[nodiscard]] bool empty() const { return specs_.empty(); }
+    [[nodiscard]] std::size_t size() const { return specs_.size(); }
+    [[nodiscard]] const std::vector<FaultSpec>& specs() const { return specs_; }
+
+    /// Registration time for \p client if the plan delays it (zero = join
+    /// at scenario start).  World builders consult this before start.
+    [[nodiscard]] Time registration_at(std::uint32_t client) const;
+
+    /// Does the plan contain a fault of \p kind?
+    [[nodiscard]] bool has(FaultKind kind) const;
+
+    /// Canonical string form (round-trips through parse()).
+    [[nodiscard]] std::string str() const;
+
+private:
+    std::vector<FaultSpec> specs_;
+};
+
+}  // namespace wlanps::fault

@@ -1,0 +1,125 @@
+#include "fault/injector.hpp"
+
+#include <string>
+#include <utility>
+
+#include "obs/hooks.hpp"
+#include "sim/assert.hpp"
+#include "sim/logger.hpp"
+
+namespace wlanps::fault {
+
+FaultInjector::FaultInjector(sim::Simulator& sim, FaultPlan plan, sim::Random rng)
+    : sim_(sim), plan_(std::move(plan)), rng_(rng) {
+    plan_.validate();
+}
+
+void FaultInjector::require_hook(const FaultSpec& spec) const {
+    const auto missing = [&](bool bound) {
+        WLANPS_REQUIRE_MSG(bound, std::string("fault plan needs a '") + to_string(spec.kind) +
+                                      "' hook this scenario does not bind");
+    };
+    switch (spec.kind) {
+        case FaultKind::nic_lockup: missing(static_cast<bool>(phy_.nic_lockup)); break;
+        case FaultKind::wake_stuck: missing(static_cast<bool>(phy_.wake_stuck)); break;
+        case FaultKind::beacon_loss: missing(static_cast<bool>(mac_.beacon_loss)); break;
+        case FaultKind::poll_drop: missing(static_cast<bool>(mac_.poll_drop)); break;
+        case FaultKind::blackout:
+        case FaultKind::corruption: missing(static_cast<bool>(net_.fault_window)); break;
+        case FaultKind::client_crash:
+        case FaultKind::silent_leave: missing(static_cast<bool>(core_.crash)); break;
+        case FaultKind::schedule_drop: missing(static_cast<bool>(core_.schedule_drop)); break;
+        case FaultKind::delayed_registration: break;  // consumed at build time
+    }
+    if (spec.kind == FaultKind::client_crash && !spec.duration.is_zero()) {
+        WLANPS_REQUIRE_MSG(static_cast<bool>(core_.revive),
+                           "fault plan: crash with a revive delay needs a 'revive' hook");
+    }
+}
+
+void FaultInjector::arm() {
+    for (const FaultSpec& spec : plan_.specs()) {
+        require_hook(spec);
+        for (int k = 0; k < spec.repeat; ++k) {
+            FaultSpec occurrence = spec;
+            occurrence.at = spec.at + spec.period * static_cast<double>(k);
+            occurrence.repeat = 1;
+            sim_.post_at(occurrence.at, [this, occurrence] { fire(occurrence); });
+        }
+    }
+}
+
+void FaultInjector::note(const FaultSpec& spec) {
+    ++injected_total_;
+    ++injected_[spec.kind];
+    WLANPS_OBS_COUNT(std::string("fault.injected.") + to_string(spec.kind), 1);
+    WLANPS_LOG(sim::LogLevel::info, sim_.now(), "fault",
+               "inject " << to_string(spec.kind) << (spec.client != 0 ? " client " : "")
+                         << (spec.client != 0 ? std::to_string(spec.client) : std::string()));
+    if (trace_ != nullptr) {
+        if (active_faults_++ == 0) trace_->set_state(sim_.now(), to_string(spec.kind), 1.0);
+        // Close the lane when the last active fault window ends.  Windows
+        // open to the end of the run stay open (finish() closes them).
+        const Time until = spec.until();
+        if (until != Time::max()) {
+            sim_.post_at(until, [this] {
+                if (--active_faults_ == 0) trace_->set_state(sim_.now(), "none", 0.0);
+            });
+        }
+    }
+}
+
+void FaultInjector::fire(const FaultSpec& spec) {
+    // One-shots fire with `probability`; window kinds always open their
+    // window and apply the probability per event inside it.
+    const bool window_kind = spec.kind == FaultKind::poll_drop ||
+                             spec.kind == FaultKind::corruption ||
+                             spec.kind == FaultKind::schedule_drop;
+    if (!window_kind && spec.probability < 1.0 && !rng_.chance(spec.probability)) return;
+
+    switch (spec.kind) {
+        case FaultKind::nic_lockup:
+            phy_.nic_lockup(spec.client, spec.until());
+            break;
+        case FaultKind::wake_stuck:
+            phy_.wake_stuck(spec.client, spec.duration);
+            break;
+        case FaultKind::beacon_loss:
+            mac_.beacon_loss(spec.until());
+            break;
+        case FaultKind::poll_drop:
+            mac_.poll_drop(spec.probability, spec.until());
+            break;
+        case FaultKind::blackout:
+            net_.fault_window(spec.client, spec.itf, 1.0, spec.until());
+            break;
+        case FaultKind::corruption:
+            net_.fault_window(spec.client, spec.itf, spec.probability, spec.until());
+            break;
+        case FaultKind::client_crash:
+            core_.crash(spec.client);
+            if (!spec.duration.is_zero()) {
+                sim_.post_at(spec.until(), [this, client = spec.client] {
+                    core_.revive(client);
+                    WLANPS_OBS_COUNT("fault.revived", 1);
+                });
+            }
+            break;
+        case FaultKind::silent_leave:
+            core_.crash(spec.client);
+            break;
+        case FaultKind::schedule_drop:
+            core_.schedule_drop(spec.probability, spec.until());
+            break;
+        case FaultKind::delayed_registration:
+            break;  // the world builder already delayed the registration
+    }
+    note(spec);
+}
+
+std::uint64_t FaultInjector::injected(FaultKind kind) const {
+    const auto it = injected_.find(kind);
+    return it == injected_.end() ? 0 : it->second;
+}
+
+}  // namespace wlanps::fault

@@ -1,0 +1,105 @@
+#pragma once
+/// \file injector.hpp
+/// Replays a FaultPlan into a running scenario through typed hooks.
+///
+/// The injector owns no layer objects: a world builder binds one hook per
+/// fault surface it exposes (the WLAN NIC's lockup control, the AP's
+/// beacon suppression, a link's fault window, the server's schedule-drop
+/// gate, ...) and arm() schedules every planned fault as an ordinary
+/// simulator event.  Determinism contract: the injector draws only from
+/// its own forked Random stream, and an empty plan schedules nothing and
+/// consumes nothing — a run with faults disabled is bit-identical to a
+/// run without an injector at all (DESIGN.md §9).
+
+#include <cstdint>
+#include <functional>
+#include <map>
+
+#include "fault/fault.hpp"
+#include "sim/random.hpp"
+#include "sim/simulator.hpp"
+#include "sim/trace.hpp"
+
+namespace wlanps::fault {
+
+/// Per-layer hook points.  A world builder binds what its scenario has;
+/// arm() rejects plans that need an unbound hook, so a plan never fails
+/// silently.
+struct PhyHooks {
+    /// Wedge the target clients' WLAN radio until \p until.
+    std::function<void(std::uint32_t client, Time until)> nic_lockup;
+    /// The target clients' next WLAN wake takes \p extra longer.
+    std::function<void(std::uint32_t client, Time extra)> wake_stuck;
+};
+
+struct MacHooks {
+    /// AP transmits no beacons until \p until.
+    std::function<void(Time until)> beacon_loss;
+    /// AP drops PS-Polls with probability \p p until \p until.
+    std::function<void(double p, Time until)> poll_drop;
+};
+
+struct NetHooks {
+    /// Open a drop window on the target clients' links: probability 1.0 is
+    /// a blackout, below 1.0 burst corruption.
+    std::function<void(std::uint32_t client, FaultSpec::Itf itf, double p, Time until)>
+        fault_window;
+};
+
+struct CoreHooks {
+    /// Device dies (silent — the server is not told).
+    std::function<void(std::uint32_t client)> crash;
+    /// Device comes back after a crash.
+    std::function<void(std::uint32_t client)> revive;
+    /// Server->client schedule messages are lost w.p. \p p until \p until.
+    std::function<void(double p, Time until)> schedule_drop;
+};
+
+/// Schedules a FaultPlan's entries as simulator events.
+class FaultInjector {
+public:
+    /// \p rng should be a dedicated fork of the scenario's root stream
+    /// (fork ids 900+ by convention) so fault draws never perturb the
+    /// workload's randomness.
+    FaultInjector(sim::Simulator& sim, FaultPlan plan, sim::Random rng);
+    FaultInjector(const FaultInjector&) = delete;
+    FaultInjector& operator=(const FaultInjector&) = delete;
+
+    [[nodiscard]] PhyHooks& phy() { return phy_; }
+    [[nodiscard]] MacHooks& mac() { return mac_; }
+    [[nodiscard]] NetHooks& net() { return net_; }
+    [[nodiscard]] CoreHooks& core() { return core_; }
+
+    /// Mirror injected faults into \p trace as a Perfetto-loadable lane
+    /// (level 1 while any fault is active).  Must outlive the injector.
+    void attach_trace(sim::TimelineTrace* trace) { trace_ = trace; }
+
+    /// Schedule every planned fault.  Call after binding hooks and before
+    /// the simulation runs.  Throws if the plan needs an unbound hook.
+    void arm();
+
+    /// Faults actually injected so far (one-shots skipped by their
+    /// probability draw don't count).
+    [[nodiscard]] std::uint64_t injected_total() const { return injected_total_; }
+    [[nodiscard]] std::uint64_t injected(FaultKind kind) const;
+    [[nodiscard]] const FaultPlan& plan() const { return plan_; }
+
+private:
+    void require_hook(const FaultSpec& spec) const;
+    void fire(const FaultSpec& spec);
+    void note(const FaultSpec& spec);
+
+    sim::Simulator& sim_;
+    FaultPlan plan_;
+    sim::Random rng_;
+    PhyHooks phy_;
+    MacHooks mac_;
+    NetHooks net_;
+    CoreHooks core_;
+    sim::TimelineTrace* trace_ = nullptr;
+    int active_faults_ = 0;
+    std::uint64_t injected_total_ = 0;
+    std::map<FaultKind, std::uint64_t> injected_;
+};
+
+}  // namespace wlanps::fault

@@ -1,5 +1,6 @@
 #include "mac/access_point.hpp"
 
+#include <algorithm>
 #include <utility>
 
 #include "sim/assert.hpp"
@@ -26,6 +27,13 @@ void AccessPoint::send_beacon() {
     // Schedule the next beacon on the nominal grid regardless of how long
     // this beacon contends (target beacon transmission time semantics).
     beacon_event_ = sim_.schedule_in(config_.beacon_interval, [this] { send_beacon(); });
+
+    if (sim_.now() < beacon_suppressed_until_) {
+        // Injected beacon loss: the TBTT passes silently.  Stations that
+        // woke for the TIM miss it and fall back on their beacon timeout.
+        ++beacons_suppressed_;
+        return;
+    }
 
     std::set<StationId> tim;
     for (const auto& [dst, q] : buffers_) {
@@ -125,8 +133,26 @@ std::size_t AccessPoint::buffered(StationId dst) const {
     return it == buffers_.end() ? 0 : it->second.size();
 }
 
+void AccessPoint::suppress_beacons(Time until) {
+    beacon_suppressed_until_ = std::max(beacon_suppressed_until_, until);
+}
+
+void AccessPoint::inject_poll_drop(double p, Time until, sim::Random rng) {
+    WLANPS_REQUIRE(p >= 0.0 && p <= 1.0);
+    poll_drop_p_ = p;
+    poll_drop_until_ = until;
+    poll_drop_rng_ = rng;
+}
+
 void AccessPoint::on_frame(const Frame& frame) {
     if (frame.kind == FrameKind::ps_poll) {
+        if (sim_.now() < poll_drop_until_ && poll_drop_rng_ &&
+            poll_drop_rng_->chance(poll_drop_p_)) {
+            // Injected poll loss: the station's poll-timeout machinery
+            // re-polls or gives up until the next beacon.
+            ++polls_dropped_;
+            return;
+        }
         serve_poll(frame.src);
         return;
     }

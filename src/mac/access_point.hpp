@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <optional>
 #include <set>
 #include <unordered_map>
 
@@ -74,6 +75,17 @@ public:
     /// Observe each beacon's TIM (tests / station wake logic).
     void on_beacon(BeaconObserver observer) { beacon_observers_.push_back(std::move(observer)); }
 
+    // --- fault injection ----------------------------------------------------
+    /// Transmit no beacons until \p until (the TBTT grid keeps ticking, so
+    /// beaconing resumes on schedule).  Stations ride their beacon-timeout
+    /// recovery in the meantime.
+    void suppress_beacons(Time until);
+    /// Drop received PS-Polls with probability \p p until \p until, using
+    /// \p rng (a dedicated fault stream).  Stations retry via poll timeout.
+    void inject_poll_drop(double p, Time until, sim::Random rng);
+    [[nodiscard]] std::uint64_t beacons_suppressed() const { return beacons_suppressed_; }
+    [[nodiscard]] std::uint64_t polls_dropped() const { return polls_dropped_; }
+
     // --- MacEntity ----------------------------------------------------------
     [[nodiscard]] phy::WlanNic& nic() override { return nic_; }
     [[nodiscard]] bool listening() const override { return nic_.awake(); }
@@ -104,6 +116,12 @@ private:
     std::uint64_t uplink_frames_ = 0;
     std::vector<BeaconObserver> beacon_observers_;
     sim::EventHandle beacon_event_;
+    Time beacon_suppressed_until_ = Time::zero();
+    std::uint64_t beacons_suppressed_ = 0;
+    Time poll_drop_until_ = Time::zero();
+    double poll_drop_p_ = 0.0;
+    std::optional<sim::Random> poll_drop_rng_;
+    std::uint64_t polls_dropped_ = 0;
 };
 
 }  // namespace wlanps::mac

@@ -1,5 +1,6 @@
 #include "phy/wlan_nic.hpp"
 
+#include <algorithm>
 #include <iterator>
 #include <utility>
 
@@ -59,11 +60,38 @@ WlanNic::State WlanNic::state() const {
 }
 
 void WlanNic::wake(std::function<void()> ready) {
+    if (!wake_stuck_extra_.is_zero()) {
+        // Stuck power-state transition: the card sits in its current state
+        // for the injected extra delay before the real wake begins.
+        const Time extra = wake_stuck_extra_;
+        wake_stuck_extra_ = Time::zero();
+        sim_.post_in(extra, [this, ready = std::move(ready)]() mutable {
+            machine_.request(id_of(State::idle), std::move(ready));
+        });
+        return;
+    }
     machine_.request(id_of(State::idle), std::move(ready));
 }
 
 void WlanNic::deep_sleep(std::function<void()> done) {
+    if (locked(sim_.now())) {
+        // Wedged firmware ignores the suspend request until the lockup
+        // clears — the host keeps paying the current state's power.
+        sim_.post_at(locked_until_, [this, done = std::move(done)]() mutable {
+            machine_.request(id_of(State::off), std::move(done));
+        });
+        return;
+    }
     machine_.request(id_of(State::off), std::move(done));
+}
+
+void WlanNic::inject_lockup(Time until) {
+    locked_until_ = std::max(locked_until_, until);
+}
+
+void WlanNic::inject_wake_stuck(Time extra) {
+    WLANPS_REQUIRE(extra >= Time::zero());
+    wake_stuck_extra_ = std::max(wake_stuck_extra_, extra);
 }
 
 bool WlanNic::awake() const {

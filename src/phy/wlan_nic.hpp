@@ -78,6 +78,17 @@ public:
     /// Airtime of an ACK at the base rate.
     [[nodiscard]] Time ack_airtime() const;
 
+    // --- fault injection ---------------------------------------------------
+    /// Firmware lockup until \p until: the radio keeps drawing whatever its
+    /// current state costs, scheduled transfers through it fail, and
+    /// deep_sleep requests are deferred to the lockup's end (the wedge's
+    /// power penalty).  Wake still works — the host can reset the card.
+    void inject_lockup(Time until);
+    /// The next wake() takes \p extra longer (one shot) — a stuck
+    /// power-state transition.
+    void inject_wake_stuck(Time extra);
+    [[nodiscard]] bool locked(Time now) const { return now < locked_until_; }
+
     // --- accounting -------------------------------------------------------
     [[nodiscard]] power::Power average_power() const { return machine_.average_power(); }
     [[nodiscard]] Time residency(State s) const;
@@ -94,6 +105,8 @@ private:
     sim::Simulator& sim_;
     WlanNicConfig config_;
     power::PowerStateMachine machine_;
+    Time locked_until_ = Time::zero();
+    Time wake_stuck_extra_ = Time::zero();
 };
 
 }  // namespace wlanps::phy

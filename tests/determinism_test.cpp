@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "core/scenarios.hpp"
+#include "exp/runner.hpp"
 #include "sim/random.hpp"
 #include "sim/simulator.hpp"
 
@@ -127,6 +128,74 @@ TEST(DeterminismTest, CalendarQueueMetricsMatchReferenceHeap) {
     const double reference_metric = workload(reference);
     // Exact equality on purpose: "same metrics to the last bit".
     EXPECT_EQ(calendar_metric, reference_metric);
+}
+
+// ---- Fault plans and the experiment runner ---------------------------------------
+
+TEST(DeterminismTest, FaultPlanRunsAreReproducible) {
+    // A crash + schedule-drop plan with the full recovery stack exercises
+    // every extra RNG stream (injector 900, schedule-drop 902, rejoin 910+)
+    // — two runs must still agree to the last bit, counters included.
+    StreamConfig config = quick(11);
+    config.clients = 3;
+    config.duration = Time::from_seconds(90);
+    config.fault_plan.client_crash(Time::from_seconds(20), Time::from_seconds(10), 1)
+        .schedule_drop(Time::from_seconds(5), Time::from_seconds(60), 0.4);
+    HotspotOptions options;
+    options.resilience = ResilienceConfig{}
+                             .with_liveness_timeout(Time::from_seconds(4))
+                             .with_burst_repair(true);
+    options.rejoin_enabled = true;
+
+    const auto a = run_hotspot(config, options);
+    const auto b = run_hotspot(config, options);
+    expect_identical(a, b);
+    EXPECT_EQ(a.faults_injected, b.faults_injected);
+    EXPECT_EQ(a.recovery.liveness_reclaims, b.recovery.liveness_reclaims);
+    EXPECT_EQ(a.recovery.burst_repairs, b.recovery.burst_repairs);
+    EXPECT_EQ(a.recovery.schedule_drops, b.recovery.schedule_drops);
+    EXPECT_EQ(a.recovery.rejoin_attempts, b.recovery.rejoin_attempts);
+    EXPECT_EQ(a.recovery.recover_times_s, b.recovery.recover_times_s);
+    EXPECT_GT(a.faults_injected, 0u);
+}
+
+TEST(DeterminismTest, FaultGridIdenticalAtAnyThreadCount) {
+    // ISSUE acceptance: a fixed plan + seed grid run at different worker
+    // thread counts produces identical metrics (the runner reduces in
+    // (point, seed) order after the pool drains).
+    std::vector<fault::FaultPlan> plans(3);
+    plans[1].blackout(Time::from_seconds(10), Time::from_seconds(5), 1);
+    plans[2].client_crash(Time::from_seconds(12), Time::from_seconds(8), 1);
+
+    StreamConfig config = quick(0);
+    HotspotOptions options;
+    options.resilience = ResilienceConfig{}
+                             .with_liveness_timeout(Time::from_seconds(4))
+                             .with_burst_repair(true);
+    options.rejoin_enabled = true;
+
+    const auto spec = exp::ExperimentSpec{}
+                          .with_run(fault_grid_run(config, options, plans))
+                          .with_points({"clean", "blackout", "crash"})
+                          .with_seeds({42, 43});
+    const auto serial = exp::ExperimentRunner(1).run(spec);
+    const auto pooled = exp::ExperimentRunner(4).run(spec);
+
+    ASSERT_EQ(serial.runs.size(), pooled.runs.size());
+    for (std::size_t i = 0; i < serial.runs.size(); ++i) {
+        EXPECT_EQ(serial.runs[i].point, pooled.runs[i].point);
+        EXPECT_EQ(serial.runs[i].seed, pooled.runs[i].seed);
+        ASSERT_EQ(serial.runs[i].metrics.size(), pooled.runs[i].metrics.size());
+        for (std::size_t m = 0; m < serial.runs[i].metrics.size(); ++m) {
+            EXPECT_EQ(serial.runs[i].metrics[m].first, pooled.runs[i].metrics[m].first);
+            // Exact comparison on purpose: bit-identical at any thread count.
+            EXPECT_EQ(serial.runs[i].metrics[m].second, pooled.runs[i].metrics[m].second)
+                << serial.runs[i].metrics[m].first << " run " << i;
+        }
+    }
+    // The faulty cells really did inject something.
+    EXPECT_GT(serial.aggregate.metric(1, "faults_injected").mean(), 0.0);
+    EXPECT_GT(serial.aggregate.metric(2, "faults_injected").mean(), 0.0);
 }
 
 TEST(DeterminismTest, SeedActuallyMatters) {

@@ -4,8 +4,12 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
 #include <memory>
 
+#include "bt/piconet.hpp"
+#include "core/burst_channel.hpp"
 #include "core/scenarios.hpp"
 #include "mac/access_point.hpp"
 #include "mac/station.hpp"
@@ -134,6 +138,112 @@ TEST(BadChannelTest, CamSurvivesNearDeadLink) {
     // the always-on level (retries don't change the NIC duty much).
     EXPECT_GT(result.mean_wnic().watts(), 0.80);
     EXPECT_LT(result.min_qos(), 1.0);  // the stream does suffer
+}
+
+// ---- Fault recovery --------------------------------------------------------------
+
+TEST(RecoveryTest, CrashMidBurstReclaimsReservationAndRejoins) {
+    // Client 1 dies at 30 s (mid-stream, bursts in flight) and revives at
+    // 45 s.  The liveness sweep must reclaim its reservation while it is
+    // down, and the rejoin agent must get it re-registered after revival.
+    sc::StreamConfig config;
+    config.clients = 3;
+    config.duration = Time::from_seconds(120);
+    config.fault_plan.client_crash(30_s, 15_s, 1);
+    sc::HotspotOptions options;
+    options.resilience =
+        core::ResilienceConfig{}.with_liveness_timeout(5_s).with_burst_repair(true);
+    options.rejoin_enabled = true;
+    const auto result = sc::run_hotspot(config, options);
+
+    EXPECT_GE(result.recovery.liveness_reclaims, 1u);
+    EXPECT_GE(result.recovery.rejoins, 1u);
+    ASSERT_FALSE(result.recovery.recover_times_s.empty());
+    // The outage clock starts at the crash; rejoin can't beat the revival.
+    EXPECT_GE(result.recovery.recover_times_s.front(), 15.0);
+    EXPECT_LT(result.recovery.recover_times_s.front(), 40.0);
+    // The survivors never notice.
+    EXPECT_DOUBLE_EQ(result.clients[1].qos, 1.0);
+    EXPECT_DOUBLE_EQ(result.clients[2].qos, 1.0);
+    // The crashed client resumes streaming after the rejoin.
+    EXPECT_GT(result.clients[0].received.bytes(),
+              DataSize::from_kilobytes(800).bytes());
+}
+
+TEST(RecoveryTest, RejoinBackoffJitteredButSeedDeterministic) {
+    // Drive a RejoinAgent against a server whose admission always refuses
+    // (utilization cap ~0): every attempt fails, so attempt_times exposes
+    // the full backoff ladder.
+    const auto attempt_times = [](std::uint64_t seed) {
+        sim::Simulator sim;
+        sim::Random root(321);
+        bt::Piconet piconet(sim, bt::PiconetConfig{}, root.fork(1));
+        core::ServerConfig cfg;
+        cfg.utilization_cap = 1e-9;  // nothing is admissible
+        core::HotspotServer server(sim, cfg, core::make_scheduler("edf"));
+        core::QosContract contract;
+        contract.stream_rate = phy::calibration::kMp3Rate;
+        core::HotspotClient client(sim, 1, contract);
+        bt::BtSlave slave(sim, phy::BtNicConfig{}, phy::BtNic::State::active);
+        const auto sid = piconet.join(slave);
+        client.add_channel(std::make_unique<core::BtBurstChannel>(piconet, sid, slave));
+
+        core::RejoinPolicy policy;
+        policy.max_attempts = 6;
+        core::RejoinAgent agent(sim, server, client, policy, sim::Random(seed));
+        agent.on_lost();
+        sim.run();
+        EXPECT_EQ(agent.attempts(), 6u);
+        EXPECT_EQ(agent.rejoins(), 0u);
+        EXPECT_TRUE(agent.in_outage());  // gave up, still out
+        return agent.attempt_times();
+    };
+
+    const auto a = attempt_times(910);
+    const auto b = attempt_times(910);
+    const auto c = attempt_times(911);
+    EXPECT_EQ(a, b);  // bit-identical per seed
+    EXPECT_NE(a, c);  // ...but genuinely random across seeds
+
+    // Each gap is the exponential base stretched by jitter in [0, 50%).
+    core::RejoinPolicy policy;
+    bool any_jittered = false;
+    for (std::size_t i = 1; i < a.size(); ++i) {
+        const double gap = (a[i] - a[i - 1]).to_seconds();
+        const double base =
+            std::min(policy.initial_backoff.to_seconds() *
+                         std::pow(policy.multiplier, static_cast<double>(i)),
+                     policy.max_backoff.to_seconds());
+        EXPECT_GE(gap, base * 0.999) << "attempt " << i;
+        EXPECT_LE(gap, base * (1.0 + policy.jitter) * 1.001) << "attempt " << i;
+        if (gap > base * 1.01) any_jittered = true;
+    }
+    EXPECT_TRUE(any_jittered);
+}
+
+TEST(RecoveryTest, ScheduleRepairNeverDoubleBooksWakeWindows) {
+    // Aggressive schedule-message loss with the repair watchdog on.  Every
+    // repair must hand the interface to exactly one successor: a double
+    // booking would wake two clients into the same window and trip the
+    // NIC-occupancy contracts (ContractViolation aborts the run).
+    sc::StreamConfig config;
+    config.clients = 3;
+    config.duration = Time::from_seconds(120);
+    config.fault_plan.schedule_drop(5_s, 100_s, 0.5);
+    sc::HotspotOptions options;
+    options.resilience = core::ResilienceConfig{}.with_burst_repair(true);
+    const auto result = sc::run_hotspot(config, options);
+
+    EXPECT_GE(result.recovery.schedule_drops, 3u);
+    EXPECT_GE(result.recovery.burst_repairs, 3u);
+    // A drop wedges the interface until its watchdog fires, so repairs
+    // can't outnumber drops (each repair corresponds to one lost message).
+    EXPECT_LE(result.recovery.burst_repairs, result.recovery.schedule_drops);
+    // Despite losing half the schedule messages for 100 s, every client
+    // keeps streaming — the planner replans the repaired bursts.
+    for (const auto& c : result.clients) {
+        EXPECT_GT(c.received.bytes(), DataSize::from_kilobytes(900).bytes());
+    }
 }
 
 // ---- Long-run stability ----------------------------------------------------------
