@@ -21,6 +21,7 @@
 #include "core/burst_channel.hpp"
 #include "core/client.hpp"
 #include "core/scenarios.hpp"
+#include "obs/energy_ledger.hpp"
 #include "obs/hooks.hpp"
 #include "obs/json.hpp"
 #include "obs/trace_export.hpp"
@@ -43,6 +44,11 @@ int main() {
     const char* metrics_out = std::getenv("WLANPS_METRICS_OUT");
     obs::MetricsRegistry registry;
     obs::ScopedRegistry obs_scope(registry);
+    // Scoped unconditionally: attribution is plain accounting on NIC state
+    // transitions (no events, no randomness), so the run is bit-identical
+    // with or without it and the ledger rides into the metrics snapshot.
+    obs::EnergyLedger ledger;
+    obs::ScopedEnergyLedger ledger_scope(ledger);
 
     bu::heading("FIG2", "Average IPAQ power, 3 clients x 128 kb/s MP3, 300 s");
 
@@ -82,7 +88,7 @@ int main() {
         bu::note(std::string("chrome trace written to ") + trace_out);
     }
     if (metrics_out != nullptr) {
-        obs::write_json_file(registry.snapshot(), metrics_out);
+        obs::write_json_file(registry.snapshot(), &ledger, metrics_out);
         bu::note(std::string("metrics snapshot written to ") + metrics_out);
     }
 

@@ -6,7 +6,8 @@
 ///   hotspot_cli [--clients N] [--duration SECONDS] [--scheduler NAME]
 ///               [--burst KB] [--config NAME] [--seed N] [--no-bt] [--no-wlan]
 ///               [--fault-plan SPEC] [--recovery PRESET]
-///               [--trace FILE] [--metrics FILE]
+///               [--trace FILE] [--metrics FILE] [--sample-interval S]
+///               [--flight N] [--post-mortem PREFIX] [--post-mortem-threshold S]
 ///
 ///   --config: hotspot (default) | wlan-cam | wlan-psm | bt | ecmac | mixed
 ///   --scheduler: edf | wfq | round-robin | fixed-priority | fifo
@@ -21,7 +22,18 @@
 ///   --trace: write a Chrome trace_event JSON of the NIC power-state lanes
 ///            plus a fault lane when a plan is active (hotspot/mixed
 ///            configs) — open it at https://ui.perfetto.dev
-///   --metrics: write the run's obs metrics snapshot as flat JSON
+///   --metrics: write the run's obs metrics snapshot as flat JSON; always
+///            includes the per-client energy-attribution ledger
+///   --sample-interval: poll queue depth / live clients / per-client
+///            energy every S sim-seconds and export them as counter
+///            tracks in the --trace file (hotspot/mixed configs)
+///   --flight: keep a flight recorder of the last N causal hops
+///            (enqueued/scheduled/polled/tx/retx/rx/doze-wakeup); hops
+///            are recorded only in a -DWLANPS_OBS=ON build and exported
+///            into the --trace file as flow-arrow lanes
+///   --post-mortem: when a fault recovery takes longer than the
+///            threshold, dump the flight recorder's tail to
+///            PREFIX.c<id>.<n>.flight.json (implies --flight 1024)
 ///
 /// Examples:
 ///   hotspot_cli                               # the Figure 2 hotspot row
@@ -41,9 +53,12 @@
 #include "core/client.hpp"
 #include "core/scenarios.hpp"
 #include "fault/fault.hpp"
+#include "obs/energy_ledger.hpp"
+#include "obs/flight.hpp"
 #include "obs/hooks.hpp"
 #include "obs/json.hpp"
 #include "obs/trace_export.hpp"
+#include "sim/sampler.hpp"
 #include "sim/trace.hpp"
 
 using namespace wlanps;
@@ -57,7 +72,8 @@ namespace {
                  "          [--config hotspot|wlan-cam|wlan-psm|bt|ecmac|mixed]\n"
                  "          [--seed N] [--no-bt] [--no-wlan]\n"
                  "          [--fault-plan SPEC] [--recovery none|reclaim|rejoin|degrade]\n"
-                 "          [--trace FILE] [--metrics FILE]\n",
+                 "          [--trace FILE] [--metrics FILE] [--sample-interval S]\n"
+                 "          [--flight N] [--post-mortem PREFIX] [--post-mortem-threshold S]\n",
                  argv0);
     std::exit(2);
 }
@@ -119,6 +135,10 @@ int main(int argc, char** argv) {
     std::string trace_path;
     std::string metrics_path;
     std::string recovery = "none";
+    double sample_interval_s = 0.0;
+    std::size_t flight_capacity = 0;
+    std::string postmortem_prefix;
+    double postmortem_threshold_s = 1.0;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -156,6 +176,16 @@ int main(int argc, char** argv) {
             trace_path = next();
         } else if (arg == "--metrics") {
             metrics_path = next();
+        } else if (arg == "--sample-interval") {
+            sample_interval_s = std::atof(next());
+            if (sample_interval_s <= 0.0) usage(argv[0]);
+        } else if (arg == "--flight") {
+            flight_capacity = static_cast<std::size_t>(std::atoll(next()));
+            if (flight_capacity < 1) usage(argv[0]);
+        } else if (arg == "--post-mortem") {
+            postmortem_prefix = next();
+        } else if (arg == "--post-mortem-threshold") {
+            postmortem_threshold_s = std::atof(next());
         } else {
             usage(argv[0]);
         }
@@ -179,30 +209,94 @@ int main(int argc, char** argv) {
     // one lane for the fault injector when a plan is active.
     obs::MetricsRegistry registry;
     obs::ScopedRegistry obs_scope(registry);
+
+    // The energy ledger is always scoped: every config attaches its NICs,
+    // so --metrics carries the per-client, per-cause breakdown for free.
+    obs::EnergyLedger ledger;
+    obs::ScopedEnergyLedger ledger_scope(ledger);
+
+    // Flight recorder + post-mortem dumper (--post-mortem implies a
+    // recorder).  Hops are recorded only in a -DWLANPS_OBS=ON build; in
+    // other builds the recorder simply stays empty.
+    std::unique_ptr<obs::FlightRecorder> flight;
+    std::unique_ptr<obs::ScopedFlightRecorder> flight_scope;
+    std::unique_ptr<obs::PostMortem> postmortem;
+    std::unique_ptr<obs::ScopedPostMortem> postmortem_scope;
+    if (flight_capacity > 0 || !postmortem_prefix.empty()) {
+        flight = std::make_unique<obs::FlightRecorder>(
+            flight_capacity > 0 ? flight_capacity : std::size_t{1024});
+        flight_scope = std::make_unique<obs::ScopedFlightRecorder>(*flight);
+        if (!postmortem_prefix.empty()) {
+            obs::PostMortemConfig pm_cfg;
+            pm_cfg.threshold_s = postmortem_threshold_s;
+            pm_cfg.path_prefix = postmortem_prefix;
+            postmortem = std::make_unique<obs::PostMortem>(*flight, pm_cfg);
+            postmortem_scope = std::make_unique<obs::ScopedPostMortem>(*postmortem);
+        }
+    }
+
     std::vector<std::unique_ptr<sim::TimelineTrace>> lanes;
     std::vector<std::string> lane_names;
     sim::TimelineTrace fault_lane;
-    if (!trace_path.empty()) {
+    // The sampler's periodic tick lives inside the scenario's simulator,
+    // so it is built in on_start and torn down in inspect (its series are
+    // copied out first) — it must not outlive the sim.
+    std::unique_ptr<sim::SimSampler> sampler;
+    std::vector<sim::SimSampler::Series> sampled;
+    if (!trace_path.empty() || sample_interval_s > 0.0) {
         if (kind != "hotspot" && kind != "mixed") {
-            std::fprintf(stderr, "note: --trace lanes are wired for hotspot/mixed only\n");
+            std::fprintf(stderr,
+                         "note: --trace/--sample-interval are wired for hotspot/mixed only\n");
         }
-        if (!config.fault_plan.empty()) options.fault_trace = &fault_lane;
-        options.on_start = [&](sim::Simulator&, core::HotspotServer&,
+        if (sample_interval_s > 0.0 && trace_path.empty()) {
+            std::fprintf(stderr,
+                         "note: --sample-interval tracks are exported via --trace\n");
+        }
+        if (!config.fault_plan.empty() && !trace_path.empty()) {
+            options.fault_trace = &fault_lane;
+        }
+        options.on_start = [&](sim::Simulator& s, core::HotspotServer& server,
                                std::vector<core::HotspotClient*>& clients) {
-            for (std::size_t i = 0; i < clients.size(); ++i) {
-                for (core::BurstChannel* ch : clients[i]->channels()) {
-                    auto trace = std::make_unique<sim::TimelineTrace>();
-                    ch->wnic().attach_trace(trace.get());
-                    lane_names.push_back("C" + std::to_string(i + 1) + " " +
-                                         ch->wnic().name());
-                    lanes.push_back(std::move(trace));
+            if (!trace_path.empty()) {
+                for (std::size_t i = 0; i < clients.size(); ++i) {
+                    for (core::BurstChannel* ch : clients[i]->channels()) {
+                        auto trace = std::make_unique<sim::TimelineTrace>();
+                        ch->wnic().attach_trace(trace.get());
+                        lane_names.push_back("C" + std::to_string(i + 1) + " " +
+                                             ch->wnic().name());
+                        lanes.push_back(std::move(trace));
+                    }
                 }
+            }
+            if (sample_interval_s > 0.0) {
+                sampler = std::make_unique<sim::SimSampler>(
+                    s, Time::from_seconds(sample_interval_s));
+                core::HotspotServer* srv = &server;
+                sampler->add_track("server pending bursts", [srv] {
+                    return static_cast<double>(srv->pending_bursts());
+                });
+                sampler->add_track("live clients", [srv] {
+                    return static_cast<double>(srv->client_count());
+                });
+                for (std::size_t i = 0; i < clients.size(); ++i) {
+                    core::HotspotClient* c = clients[i];
+                    sampler->add_track("C" + std::to_string(i + 1) + " energy J",
+                                       [c] { return c->wnic_energy().joules(); });
+                    sampler->add_track("C" + std::to_string(i + 1) + " battery",
+                                       [c] { return c->battery_level(); });
+                }
+                sampler->start();
             }
         };
         options.inspect = [&](sim::Simulator& s, core::HotspotServer&,
                               std::vector<core::HotspotClient*>&) {
             for (auto& lane : lanes) lane->finish(s.now());
             fault_lane.finish(s.now());
+            if (sampler) {
+                sampler->stop();
+                sampled = sampler->series();
+                sampler.reset();  // its periodic event must die with the sim
+            }
         };
     }
 
@@ -239,12 +333,28 @@ int main(int argc, char** argv) {
                 writer.add_lane(lane_names[i], *lanes[i]);
             }
             if (!config.fault_plan.empty()) writer.add_lane("faults", fault_lane);
+            for (const auto& series : sampled) {
+                for (const auto& [at, value] : series.samples) {
+                    writer.add_counter(series.name, at, value);
+                }
+            }
+            if (flight) obs::export_flight(writer, *flight);
             writer.write_file(trace_path);
             std::printf("chrome trace written to %s (open at https://ui.perfetto.dev)\n",
                         trace_path.c_str());
         }
+        if (flight) {
+            std::printf("flight recorder: %llu hops recorded, %zu held, %llu dropped\n",
+                        static_cast<unsigned long long>(flight->total()), flight->size(),
+                        static_cast<unsigned long long>(flight->dropped()));
+        }
+        if (postmortem) {
+            for (const std::string& f : postmortem->files()) {
+                std::printf("post-mortem flight dump written to %s\n", f.c_str());
+            }
+        }
         if (!metrics_path.empty()) {
-            obs::write_json_file(registry.snapshot(), metrics_path);
+            obs::write_json_file(registry.snapshot(), &ledger, metrics_path);
             std::printf("metrics snapshot written to %s\n", metrics_path.c_str());
         }
     } catch (const ContractViolation& e) {

@@ -1,0 +1,122 @@
+#!/usr/bin/env python3
+"""Compare two benchmark/metrics JSON files metric by metric.
+
+Works on any pair of files sharing the repo's JSON shapes:
+
+  * BENCH_<PR>.json from scripts/run_bench.sh (google-benchmark medians,
+    wall-clock seconds), and
+  * metrics.json snapshots from the obs exporter (counters, gauges,
+    histograms, energy ledger).
+
+Both documents are flattened to dot-separated paths of numeric leaves;
+every path present in both files is reported with its old value, new
+value, and relative delta.  Noisy bookkeeping (google-benchmark's
+"context" block: date, host, load average, ...) is excluded.
+
+By default the diff is informational and always exits 0.  With
+--threshold PCT the exit status turns into a gate: any shared metric
+whose magnitude changed by more than PCT percent fails the run (exit 1).
+
+Usage:
+  scripts/bench_diff.py OLD.json NEW.json [--threshold PCT] [--top N]
+"""
+
+import argparse
+import json
+import sys
+
+# Subtrees that never carry comparable measurements.
+EXCLUDE_PREFIXES = (
+    "google_benchmark.context",
+)
+
+
+def flatten(node, prefix=""):
+    """Yield (dot.path, value) for every numeric leaf under node."""
+    if isinstance(node, dict):
+        for key, value in node.items():
+            path = f"{prefix}.{key}" if prefix else str(key)
+            yield from flatten(value, path)
+    elif isinstance(node, list):
+        for index, value in enumerate(node):
+            yield from flatten(value, f"{prefix}[{index}]")
+    elif isinstance(node, bool):
+        return  # bool is an int in Python; never a metric
+    elif isinstance(node, (int, float)):
+        yield prefix, float(node)
+
+
+def load_metrics(path):
+    with open(path) as f:
+        doc = json.load(f)
+    metrics = {}
+    for key, value in flatten(doc):
+        if any(key.startswith(p) for p in EXCLUDE_PREFIXES):
+            continue
+        metrics[key] = value
+    return metrics
+
+
+def relative_delta(old, new):
+    if old == new:
+        return 0.0
+    if old == 0.0:
+        return float("inf")
+    return (new - old) / abs(old)
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Per-metric diff of two benchmark/metrics JSON files.")
+    parser.add_argument("old", help="baseline JSON file")
+    parser.add_argument("new", help="candidate JSON file")
+    parser.add_argument("--threshold", type=float, default=None, metavar="PCT",
+                        help="fail (exit 1) if any metric moved more than PCT%%")
+    parser.add_argument("--top", type=int, default=25, metavar="N",
+                        help="show the N largest movers (default 25; 0 = all)")
+    args = parser.parse_args()
+
+    old = load_metrics(args.old)
+    new = load_metrics(args.new)
+
+    shared = sorted(set(old) & set(new))
+    if not shared:
+        print("bench_diff: no shared numeric metrics between the two files",
+              file=sys.stderr)
+        return 2
+
+    rows = [(key, old[key], new[key], relative_delta(old[key], new[key]))
+            for key in shared]
+    rows.sort(key=lambda r: (abs(r[3]) != float("inf"), -abs(r[3]), r[0]))
+
+    shown = rows if args.top == 0 else rows[:args.top]
+    width = max(len(r[0]) for r in shown) if shown else 0
+    print(f"{'metric':<{width}}  {'old':>14}  {'new':>14}  {'delta':>9}")
+    for key, old_v, new_v, delta in shown:
+        pct = "new-vs-0" if delta == float("inf") else f"{100.0 * delta:+8.2f}%"
+        print(f"{key:<{width}}  {old_v:>14.6g}  {new_v:>14.6g}  {pct:>9}")
+
+    changed = sum(1 for r in rows if r[3] != 0.0)
+    only_old = sorted(set(old) - set(new))
+    only_new = sorted(set(new) - set(old))
+    print(f"\n{len(shared)} shared metrics, {changed} changed, "
+          f"{len(only_old)} only in {args.old}, {len(only_new)} only in {args.new}")
+
+    if args.threshold is not None:
+        limit = args.threshold / 100.0
+        offenders = [r for r in rows
+                     if abs(r[3]) > limit or r[3] == float("inf")]
+        if offenders:
+            print(f"\nFAIL: {len(offenders)} metric(s) moved more than "
+                  f"{args.threshold}%:", file=sys.stderr)
+            for key, old_v, new_v, delta in offenders[:10]:
+                pct = "inf" if delta == float("inf") else f"{100.0 * delta:+.2f}%"
+                print(f"  {key}: {old_v:.6g} -> {new_v:.6g} ({pct})",
+                      file=sys.stderr)
+            return 1
+        print(f"OK: every shared metric within {args.threshold}%")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

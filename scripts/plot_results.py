@@ -10,13 +10,29 @@ Every `=== ID — title ===` section becomes results/<id>.txt; sections whose
 body contains an aligned table additionally get results/<id>.csv.  With
 matplotlib installed, the Figure 2 bar chart and the AB3 loss sweep are
 rendered as PNGs.
+
+With --metrics metrics.json (the obs snapshot written by run_bench.sh or
+hotspot_cli --metrics), the per-client energy-attribution ledger is
+rendered as a stacked per-cause bar chart (energy_breakdown.png) and
+dumped to energy_breakdown.csv.
 """
 
 import argparse
 import csv
+import json
 import os
 import re
 import sys
+
+# Stable stacking order, matching the obs::EnergyCause taxonomy.
+ENERGY_CAUSES = [
+    "idle_listen",
+    "beacon_wake",
+    "burst_rx",
+    "retransmission",
+    "mode_switch",
+    "tx",
+]
 
 
 def split_sections(text):
@@ -111,11 +127,69 @@ def try_plots(sections, outdir):
             print("wrote ab3.png")
 
 
+def energy_breakdown(metrics_path, outdir):
+    """CSV + stacked bar chart of the per-client energy ledger."""
+    with open(metrics_path) as f:
+        doc = json.load(f)
+    ledger = doc.get("energy_ledger")
+    if not ledger:
+        print(f"{metrics_path} has no energy_ledger section (run with the "
+              "ledger scoped, e.g. hotspot_cli --metrics)", file=sys.stderr)
+        return
+    clients = ledger.get("clients", {})
+    if not clients:
+        print("energy ledger is empty; nothing to plot", file=sys.stderr)
+        return
+    ids = sorted(clients, key=int)
+
+    os.makedirs(outdir, exist_ok=True)
+    csv_path = os.path.join(outdir, "energy_breakdown.csv")
+    with open(csv_path, "w", newline="") as f:
+        writer = csv.writer(f)
+        writer.writerow(["client", "total_j"] + ENERGY_CAUSES)
+        for cid in ids:
+            row = clients[cid]
+            writer.writerow([cid, row.get("total_j", 0.0)]
+                            + [row.get(c, 0.0) for c in ENERGY_CAUSES])
+    print(f"wrote energy_breakdown.csv ({len(ids)} clients)")
+
+    try:
+        import matplotlib
+        matplotlib.use("Agg")
+        import matplotlib.pyplot as plt
+    except ImportError:
+        print("matplotlib not available; skipping energy plot", file=sys.stderr)
+        return
+    fig, ax = plt.subplots(figsize=(6, 3.6))
+    bottoms = [0.0] * len(ids)
+    for cause in ENERGY_CAUSES:
+        values = [clients[cid].get(cause, 0.0) for cid in ids]
+        ax.bar([f"C{cid}" for cid in ids], values, bottom=bottoms, label=cause)
+        bottoms = [b + v for b, v in zip(bottoms, values)]
+    ax.set_ylabel("WNIC energy [J]")
+    ax.set_title("Per-client energy by cause (attribution ledger)")
+    ax.legend(fontsize=8)
+    fig.tight_layout()
+    fig.savefig(os.path.join(outdir, "energy_breakdown.png"), dpi=150)
+    print("wrote energy_breakdown.png")
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("input", help="bench output transcript")
+    parser.add_argument("input", nargs="?", help="bench output transcript")
     parser.add_argument("--outdir", default="results")
+    parser.add_argument("--metrics", metavar="JSON",
+                        help="obs metrics snapshot; plots the per-client "
+                             "energy ledger as a stacked bar chart")
     args = parser.parse_args()
+    if args.metrics:
+        energy_breakdown(args.metrics, args.outdir)
+    if args.input is None:
+        if not args.metrics:
+            print("nothing to do: pass a bench transcript and/or --metrics",
+                  file=sys.stderr)
+            return 1
+        return 0
     with open(args.input) as f:
         text = f.read()
     sections = list(split_sections(text))

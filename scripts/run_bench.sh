@@ -17,12 +17,12 @@
 #     see EXPERIMENTS.md, "Observability").
 #
 # Usage: scripts/run_bench.sh [build-dir] [output.json]
-#   (defaults: build, BENCH_4.json)
+#   (defaults: build, BENCH_5.json)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BUILD_DIR="${1:-build}"
-OUT="${2:-BENCH_4.json}"
+OUT="${2:-BENCH_5.json}"
 METRICS_OUT="$(dirname "$OUT")/metrics.json"
 
 cmake --build "$BUILD_DIR" -j "$(nproc)" >/dev/null

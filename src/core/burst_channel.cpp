@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "obs/flight.hpp"
 #include "sim/assert.hpp"
 
 namespace wlanps::core {
@@ -68,9 +69,23 @@ void WlanBurstChannel::next_chunk() {
     // transmits the ACK.
     sim_.post_in(phy::calibration::kWlanDifs, [this, data_air, ack_air] {
         if (nic_.awake()) {
+            const obs::TraceContext ctx = trace_context();
+            // A retry re-receives the same chunk: its airtime is energy the
+            // first attempt should not have cost.
+            nic_.set_energy_cause(progress_.retries > 0
+                                      ? obs::EnergyCause::retransmission
+                                      : obs::EnergyCause::burst_rx);
+            WLANPS_OBS_FLIGHT(sim_.now().ns(), rx, ctx.flow, ctx.client,
+                              obs::kFlightItfWlan, data_air.ns());
             nic_.occupy(phy::WlanNic::State::rx, data_air);
             sim_.post_in(data_air + phy::calibration::kWlanSifs, [this, ack_air] {
-                if (nic_.awake()) nic_.occupy(phy::WlanNic::State::tx, ack_air);
+                if (nic_.awake()) {
+                    const obs::TraceContext actx = trace_context();
+                    nic_.set_energy_cause(obs::EnergyCause::tx);
+                    WLANPS_OBS_FLIGHT(sim_.now().ns(), tx, actx.flow, actx.client,
+                                      obs::kFlightItfWlan, ack_air.ns());
+                    nic_.occupy(phy::WlanNic::State::tx, ack_air);
+                }
             });
         }
     });
@@ -83,6 +98,9 @@ void WlanBurstChannel::next_chunk() {
             deliver(chunk);
         } else {
             ++progress_.retries;
+            WLANPS_OBS_FLIGHT(sim_.now().ns(), retx, trace_context().flow,
+                              trace_context().client, obs::kFlightItfWlan,
+                              progress_.retries);
             if (progress_.retries >= config_.retry_limit) {
                 progress_.remaining -= chunk;
                 progress_.result.lost += chunk;
@@ -107,9 +125,13 @@ void BtBurstChannel::transfer(DataSize size, Completion done) {
     WLANPS_REQUIRE_MSG(!busy_, "burst channel already transferring");
     WLANPS_REQUIRE(size > DataSize::zero());
     busy_ = true;
+    slave_.nic().set_energy_cause(obs::EnergyCause::burst_rx);
     const Time started = slave_.nic().simulator().now();
     piconet_.send(id_, size, [this, size, started, done = std::move(done)](bool ok) {
         busy_ = false;
+        WLANPS_OBS_FLIGHT(slave_.nic().simulator().now().ns(), rx, trace_context().flow,
+                          trace_context().client, obs::kFlightItfBt,
+                          (slave_.nic().simulator().now() - started).ns());
         // The baseband streams at the piconet's pace either way; a crashed
         // slave simply never ACKs at L2CAP level, so the burst is lost.
         if (forced_outage()) ok = false;

@@ -65,6 +65,14 @@ public:
     using OutageFn = std::function<bool()>;
     void set_outage_fn(OutageFn fn) { outage_ = std::move(fn); }
 
+    /// Causal identity of the burst currently (or about to be) served;
+    /// mirrored into the NIC so phy-level hops share the flow.
+    void set_trace_context(obs::TraceContext ctx) {
+        ctx_ = ctx;
+        wnic().set_trace_context(ctx);
+    }
+    [[nodiscard]] obs::TraceContext trace_context() const { return ctx_; }
+
 protected:
     void deliver(DataSize size) {
         if (sink_) sink_(size);
@@ -74,6 +82,7 @@ protected:
 private:
     DeliverySink sink_;
     OutageFn outage_;
+    obs::TraceContext ctx_;
 };
 
 /// Scheduled WLAN burst path.

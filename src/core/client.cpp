@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "obs/flight.hpp"
 #include "sim/assert.hpp"
 
 namespace wlanps::core {
@@ -81,12 +82,17 @@ BurstChannel& HotspotClient::channel(std::size_t index) {
 }
 
 void HotspotClient::execute_burst(std::size_t index, DataSize size, Time start,
-                                  BurstChannel::Completion done) {
+                                  BurstChannel::Completion done, obs::TraceContext ctx) {
     WLANPS_REQUIRE(index < channels_.size());
     BurstChannel& ch = *channels_[index];
     WLANPS_REQUIRE_MSG(!ch.busy(), "channel busy");
     const Time wake_at = start - ch.wnic().wake_latency();
     WLANPS_REQUIRE_MSG(wake_at >= sim_.now(), "burst scheduled too soon to wake the NIC");
+
+    // Stamp the channel with this burst's causal identity up front: it is
+    // plain data, and keeping it out of the wake lambdas below keeps their
+    // captures inside InlineCallback's 64-byte budget.
+    ch.set_trace_context(ctx);
 
     burst_pending_ = true;
     sim_.post_at(wake_at, [this, &ch, size, done = std::move(done)]() mutable {
@@ -97,15 +103,27 @@ void HotspotClient::execute_burst(std::size_t index, DataSize size, Time start,
             burst_pending_ = false;
             return;
         }
-        ch.wnic().wake([this, &ch, size, done = std::move(done)]() mutable {
+        // The wake transition's energy belongs to this burst's flow: close
+        // the idle span and open a mode_switch span before the radio moves.
+        ch.wnic().set_energy_cause(obs::EnergyCause::mode_switch);
+        const Time wake_issued = sim_.now();
+        ch.wnic().wake([this, &ch, size, wake_issued, done = std::move(done)]() mutable {
             burst_pending_ = false;
+            WLANPS_OBS_FLIGHT(sim_.now().ns(), doze_wakeup, ch.trace_context().flow,
+                              ch.trace_context().client,
+                              phy::flight_itf(ch.interface()),
+                              (sim_.now() - wake_issued).ns());
+            ch.wnic().set_energy_cause(obs::EnergyCause::burst_rx);
             transfer_trace_.set_state(sim_.now(), "burst", 1.0);
             ch.transfer(size, [this, &ch, done = std::move(done)](const BurstChannel::Result& r) {
                 transfer_trace_.set_state(sim_.now(), "idle", 0.0);
                 ++bursts_executed_;
                 // Client RM: straight back to the deepest sleep — it knows
                 // the schedule, nothing arrives until the next burst.
-                ch.wnic().deep_sleep();
+                ch.wnic().set_energy_cause(obs::EnergyCause::mode_switch);
+                ch.wnic().deep_sleep([&ch] {
+                    ch.wnic().set_energy_cause(obs::EnergyCause::idle_listen);
+                });
                 if (done) done(r);
             });
         });

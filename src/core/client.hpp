@@ -44,9 +44,12 @@ public:
 
     /// Execute a server-scheduled burst: wake channel \p index's NIC just
     /// in time for \p start, transfer \p size, then deep-sleep the NIC.
-    /// \p start must be at least the NIC's wake latency away.
+    /// \p start must be at least the NIC's wake latency away.  \p ctx is
+    /// the burst's causal trace identity (server flow id); it rides down
+    /// into the channel and NIC so flight-recorder hops and energy-cause
+    /// boundaries land on the right flow.
     void execute_burst(std::size_t index, DataSize size, Time start,
-                       BurstChannel::Completion done);
+                       BurstChannel::Completion done, obs::TraceContext ctx = {});
 
     // --- client-aggregated information the server reads -------------------
     [[nodiscard]] const QosContract& contract() const { return contract_; }

@@ -6,6 +6,7 @@
 
 #include "core/client.hpp"
 #include "core/server.hpp"
+#include "obs/flight.hpp"
 #include "obs/hooks.hpp"
 #include "sim/assert.hpp"
 #include "sim/logger.hpp"
@@ -103,6 +104,11 @@ void RejoinAgent::attempt() {
         round_ = 0;
         WLANPS_OBS_COUNT("core.recovery.rejoins", 1);
         WLANPS_OBS_RECORD("core.recovery.time_to_recover_s", took);
+        // Slow recoveries trigger the flight-recorder post-mortem: the last
+        // ring events around the outage are dumped for offline diagnosis.
+        if (obs::PostMortem* pm = obs::current_postmortem()) {
+            pm->on_recovery(took, static_cast<std::uint32_t>(client_.id()));
+        }
         WLANPS_LOG(sim::LogLevel::info, sim_.now(), "rejoin",
                    "client " << client_.id() << " rejoined after " << took << " s");
         if (on_rejoined_) on_rejoined_(client_.id());

@@ -9,6 +9,7 @@
 #include "mac/access_point.hpp"
 #include "mac/ecmac.hpp"
 #include "mac/station.hpp"
+#include "obs/energy_ledger.hpp"
 #include "obs/hooks.hpp"
 #include "sim/assert.hpp"
 #include "traffic/playout.hpp"
@@ -115,6 +116,9 @@ ScenarioResult run_wlan_cam(const StreamConfig& config) {
         st_cfg.mode = mac::StationMode::cam;
         auto st = std::make_unique<mac::WlanStation>(sim, bss, id, st_cfg, mac::DcfConfig{},
                                                      config.wlan_nic, root.fork(200 + i));
+        if (obs::EnergyLedger* led = obs::current_ledger()) {
+            st->wlan_nic().attach_ledger(led, static_cast<std::uint32_t>(id));
+        }
         bss.set_link(id, config.wlan_link, root.fork(300 + i));
         auto playout = std::make_unique<traffic::PlayoutBuffer>(sim, mp3_playout());
         st->set_receive_callback(
@@ -131,6 +135,7 @@ ScenarioResult run_wlan_cam(const StreamConfig& config) {
     for (auto& p : playouts) p->start();
     for (auto& s : sources) s->start();
     sim.run_until(config.duration);
+    for (auto& st : stations) st->wlan_nic().settle_ledger();
 
     ScenarioResult result;
     result.label = "wlan-cam";
@@ -172,6 +177,9 @@ ScenarioResult run_wlan_psm(const StreamConfig& config, PsmOptions options) {
         st_cfg.listen_interval = options.listen_interval;
         auto st = std::make_unique<mac::WlanStation>(sim, bss, id, st_cfg, mac::DcfConfig{},
                                                      config.wlan_nic, root.fork(200 + i));
+        if (obs::EnergyLedger* led = obs::current_ledger()) {
+            st->wlan_nic().attach_ledger(led, static_cast<std::uint32_t>(id));
+        }
         bss.set_link(id, config.wlan_link, root.fork(300 + i));
         auto playout = std::make_unique<traffic::PlayoutBuffer>(sim, mp3_playout());
         st->set_receive_callback(
@@ -216,6 +224,7 @@ ScenarioResult run_wlan_psm(const StreamConfig& config, PsmOptions options) {
     for (auto& s : sources) s->start();
     if (injector) injector->arm();
     sim.run_until(config.duration);
+    for (auto& st : stations) st->wlan_nic().settle_ledger();
 
     ScenarioResult result;
     result.label = "wlan-psm";
@@ -249,6 +258,9 @@ ScenarioResult run_ecmac(const StreamConfig& config, Time superframe) {
     for (int i = 0; i < config.clients; ++i) {
         const auto id = static_cast<mac::StationId>(i + 1);
         auto st = std::make_unique<mac::EcMacStation>(sim, bss, id, ec_cfg, config.wlan_nic);
+        if (obs::EnergyLedger* led = obs::current_ledger()) {
+            st->wlan_nic().attach_ledger(led, static_cast<std::uint32_t>(id));
+        }
         bss.set_link(id, config.wlan_link, root.fork(300 + i));
         auto playout = std::make_unique<traffic::PlayoutBuffer>(sim, mp3_playout());
         st->set_receive_callback(
@@ -265,6 +277,7 @@ ScenarioResult run_ecmac(const StreamConfig& config, Time superframe) {
     for (auto& p : playouts) p->start();
     for (auto& s : sources) s->start();
     sim.run_until(config.duration);
+    for (auto& st : stations) st->wlan_nic().settle_ledger();
 
     ScenarioResult result;
     result.label = "ec-mac";
@@ -296,6 +309,9 @@ ScenarioResult run_bt_active(const StreamConfig& config) {
         auto slave = std::make_unique<bt::BtSlave>(sim, config.bt_nic,
                                                    phy::BtNic::State::active);
         const bt::SlaveId id = piconet.join(*slave);
+        if (obs::EnergyLedger* led = obs::current_ledger()) {
+            slave->nic().attach_ledger(led, static_cast<std::uint32_t>(i + 1));
+        }
         piconet.set_link(id, config.bt_link, root.fork(300 + i));
         auto playout = std::make_unique<traffic::PlayoutBuffer>(sim, mp3_playout());
         slave->set_receive_callback([p = playout.get()](DataSize size) { p->on_data(size); });
@@ -310,6 +326,7 @@ ScenarioResult run_bt_active(const StreamConfig& config) {
     for (auto& p : playouts) p->start();
     for (auto& s : sources) s->start();
     sim.run_until(config.duration);
+    for (auto& s : slaves) s->nic().settle_ledger();
 
     ScenarioResult result;
     result.label = "bt-active";
@@ -430,6 +447,14 @@ ScenarioResult run_hotspot(const StreamConfig& config, HotspotOptions options) {
     raw.reserve(clients.size());
     for (auto& c : clients) raw.push_back(c.get());
 
+    if (obs::EnergyLedger* led = obs::current_ledger()) {
+        for (auto& c : clients) {
+            for (BurstChannel* ch : c->channels()) {
+                ch->wnic().attach_ledger(led, static_cast<std::uint32_t>(c->id()));
+            }
+        }
+    }
+
     if (options.rejoin_enabled) {
         for (std::size_t i = 0; i < clients.size(); ++i) {
             agents.push_back(std::make_unique<RejoinAgent>(
@@ -522,6 +547,9 @@ ScenarioResult run_hotspot(const StreamConfig& config, HotspotOptions options) {
     server.start();
     if (injector) injector->arm();
     sim.run_until(config.duration);
+    for (auto& c : clients) {
+        for (BurstChannel* ch : c->channels()) ch->wnic().settle_ledger();
+    }
 
     if (options.inspect) options.inspect(sim, server, raw);
 
@@ -647,6 +675,14 @@ ScenarioResult run_hotspot_mixed(const StreamConfig& config, HotspotOptions opti
     raw.reserve(clients.size());
     for (auto& c : clients) raw.push_back(c.get());
 
+    if (obs::EnergyLedger* led = obs::current_ledger()) {
+        for (auto& c : clients) {
+            for (BurstChannel* ch : c->channels()) {
+                ch->wnic().attach_ledger(led, static_cast<std::uint32_t>(c->id()));
+            }
+        }
+    }
+
     if (options.on_start) options.on_start(sim, server, raw);
     for (std::size_t i = 0; i < clients.size(); ++i) {
         clients[i]->start(/*start_playout=*/kinds[i] != Kind::web);
@@ -654,6 +690,9 @@ ScenarioResult run_hotspot_mixed(const StreamConfig& config, HotspotOptions opti
     for (auto& s : sources) s->start();
     server.start();
     sim.run_until(config.duration);
+    for (auto& c : clients) {
+        for (BurstChannel* ch : c->channels()) ch->wnic().settle_ledger();
+    }
 
     if (options.inspect) options.inspect(sim, server, raw);
 

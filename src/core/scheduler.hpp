@@ -30,6 +30,10 @@ struct BurstRequest {
     int priority = 1;
     /// When the request was created (FIFO tie-breaks).
     Time created_at = Time::zero();
+    /// Causal trace id stamped by the server at planning time; propagated
+    /// down the stack (client -> channel -> phy) so every hop of this
+    /// burst lands on one flow in the flight recorder.  0 = unstamped.
+    std::uint64_t flow = 0;
 };
 
 /// Picks the next burst to serve from the pending set.

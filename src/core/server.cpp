@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "obs/flight.hpp"
 #include "obs/hooks.hpp"
 #include "sim/assert.hpp"
 #include "sim/logger.hpp"
@@ -265,6 +266,7 @@ void HotspotServer::plan_client(ClientId id, ClientRecord& rec) {
     request.weight = contract.weight;
     request.priority = contract.priority;
     request.created_at = sim_.now();
+    request.flow = ++next_flow_;
 
     if (!rec.stored_content) rec.server_buffer -= size;  // reserve
     rec.burst_outstanding = true;
@@ -276,6 +278,8 @@ void HotspotServer::plan_client(ClientId id, ClientRecord& rec) {
     WLANPS_LOG(sim::LogLevel::debug, sim_.now(), "hotspot",
                "burst " << size.str() << " for client " << id << " on "
                         << phy::to_string(itf) << ", deadline " << request.deadline.str());
+    WLANPS_OBS_FLIGHT(sim_.now().ns(), enqueued, request.flow, id, phy::flight_itf(itf),
+                      size.bytes());
     pending_[itf].emplace_back(request, chosen);
     dispatch(itf);
 }
@@ -319,6 +323,8 @@ void HotspotServer::execute(phy::Interface itf, BurstRequest request, std::size_
     const std::uint64_t epoch = ++next_epoch_;
     rec.epoch = epoch;
     inflight_[itf] = Inflight{request.client, epoch};
+    WLANPS_OBS_FLIGHT(sim_.now().ns(), scheduled, request.flow, request.client,
+                      phy::flight_itf(itf), request.size.bytes());
 
     if (config_.resilience.burst_repair) {
         const Time estimate = channel.goodput().transmit_time(request.size);
@@ -373,7 +379,8 @@ void HotspotServer::execute(phy::Interface itf, BurstRequest request, std::size_
             if (!result.lost.is_zero() && !r.stored_content) r.server_buffer += result.lost;
             if (owns) dispatch(itf);
             plan_client(request.client, r);
-        });
+        },
+        obs::TraceContext{request.flow, static_cast<std::uint32_t>(request.client)});
 }
 
 void HotspotServer::inject_schedule_drop(double p, Time until, sim::Random rng) {

@@ -116,6 +116,13 @@ public:
     void unregister_client(ClientId id);
 
     [[nodiscard]] std::size_t client_count() const { return clients_.size(); }
+    /// Bursts planned but not yet dispatched, across all interfaces — a
+    /// read-only probe for the sim-time sampler's queue-depth track.
+    [[nodiscard]] std::size_t pending_bursts() const {
+        std::size_t n = 0;
+        for (const auto& [itf, queue] : pending_) n += queue.size();
+        return n;
+    }
     [[nodiscard]] bool has_client(ClientId id) const {
         return clients_.find(id) != clients_.end();
     }
@@ -237,6 +244,7 @@ private:
     std::deque<BurstDecision> decisions_;
     static constexpr std::size_t kDecisionLogCapacity = 256;
     std::uint64_t total_bursts_ = 0;
+    std::uint64_t next_flow_ = 0;  ///< trace-flow id mint (1-based)
     std::unique_ptr<sim::PeriodicEvent> plan_timer_;
 
     // --- resilience / fault state -------------------------------------------

@@ -3,6 +3,7 @@
 #include <string>
 #include <utility>
 
+#include "obs/flight.hpp"
 #include "obs/hooks.hpp"
 #include "sim/assert.hpp"
 #include "sim/logger.hpp"
@@ -53,6 +54,8 @@ void FaultInjector::note(const FaultSpec& spec) {
     ++injected_total_;
     ++injected_[spec.kind];
     WLANPS_OBS_COUNT(std::string("fault.injected.") + to_string(spec.kind), 1);
+    WLANPS_OBS_FLIGHT(sim_.now().ns(), fault, 0, spec.client, obs::kFlightItfNone,
+                      static_cast<int>(spec.kind));
     WLANPS_LOG(sim::LogLevel::info, sim_.now(), "fault",
                "inject " << to_string(spec.kind) << (spec.client != 0 ? " client " : "")
                          << (spec.client != 0 ? std::to_string(spec.client) : std::string()));

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "obs/flight.hpp"
 #include "obs/hooks.hpp"
 #include "sim/assert.hpp"
 #include "sim/logger.hpp"
@@ -44,8 +45,14 @@ void WlanStation::schedule_wake_for_next_beacon() {
     if (wake_at < sim_.now()) wake_at = sim_.now();
 
     wake_event_ = sim_.schedule_at(wake_at, [this, target] {
-        nic_.wake([this, target] {
+        // The doze span ends here; the wake transition and the listen for
+        // the beacon are the price of the PSM listen cycle.
+        nic_.set_energy_cause(obs::EnergyCause::beacon_wake);
+        const Time wake_issued = sim_.now();
+        nic_.wake([this, target, wake_issued] {
             WLANPS_OBS_COUNT("mac.psm.beacon_wakes", 1);
+            WLANPS_OBS_FLIGHT(sim_.now().ns(), doze_wakeup, 0, id_, obs::kFlightItfWlan,
+                              (sim_.now() - wake_issued).ns());
             WLANPS_LOG(sim::LogLevel::debug, sim_.now(), "psm",
                        "station " << id_ << " awake for beacon at " << target.str());
             awaiting_beacon_ = true;
@@ -80,6 +87,7 @@ void WlanStation::on_frame(const Frame& frame) {
                 if (on_receive_) on_receive_(frame.payload, sim_.now() - frame.enqueued_at);
             }
             if (config_.mode == StationMode::psm && retrieving_) {
+                nic_.set_energy_cause(obs::EnergyCause::burst_rx);
                 timeout_event_.cancel();
                 if (frame.more_data) {
                     poll_retries_ = 0;
@@ -107,6 +115,13 @@ void WlanStation::on_beacon(const Frame& beacon) {
     }
     retrieving_ = true;
     poll_retries_ = 0;
+    // Mint a causal flow for this retrieval: every poll, data frame, and
+    // doze of the cycle shares it in the flight recorder.
+    ++flow_seq_;
+    current_flow_ = obs::TraceContext{
+        (static_cast<std::uint64_t>(id_) << 32) | flow_seq_,
+        static_cast<std::uint32_t>(id_)};
+    nic_.set_trace_context(current_flow_);
     send_poll();
 }
 
@@ -118,6 +133,9 @@ void WlanStation::send_poll() {
     poll.payload = config_.ps_poll_size;
     ++polls_sent_;
     WLANPS_OBS_COUNT("mac.psm.ps_polls", 1);
+    WLANPS_OBS_FLIGHT(sim_.now().ns(), polled, current_flow_.flow, id_,
+                      obs::kFlightItfWlan, poll_retries_);
+    nic_.set_energy_cause(obs::EnergyCause::tx);
     dcf_.enqueue(std::move(poll), [this](const DcfTransmitter::Result& r) {
         if (!retrieving_) {
             // Stale poll (retrieval already ended): doze if nothing else
@@ -169,6 +187,8 @@ void WlanStation::send_up(DataSize payload, std::function<void(bool)> done) {
             maybe_doze();
         });
     };
+    // Uplink airtime (and any wake it forces) is transmission energy.
+    nic_.set_energy_cause(obs::EnergyCause::tx);
     if (config_.mode == StationMode::psm && !nic_.awake()) {
         nic_.wake(std::move(transmit));
     } else {
@@ -183,6 +203,7 @@ void WlanStation::back_to_doze() {
     // maybe_doze() once the transmitter drains.
     if (dcf_.idle() && uplink_in_flight_ == 0) {
         nic_.doze();
+        nic_.set_energy_cause(obs::EnergyCause::idle_listen);
         WLANPS_OBS_COUNT("mac.psm.doze_enters", 1);
     }
     schedule_wake_for_next_beacon();
@@ -193,6 +214,7 @@ void WlanStation::maybe_doze() {
     if (retrieving_ || awaiting_beacon_) return;
     if (!dcf_.idle() || uplink_in_flight_ > 0) return;
     nic_.doze();
+    nic_.set_energy_cause(obs::EnergyCause::idle_listen);
     WLANPS_OBS_COUNT("mac.psm.doze_enters", 1);
 }
 

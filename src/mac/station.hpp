@@ -100,6 +100,10 @@ private:
     bool awaiting_beacon_ = false;
     bool retrieving_ = false;
     int poll_retries_ = 0;
+    /// One causal flow per TIM-flagged retrieval: (station id << 32 | seq),
+    /// so PSM flows never collide with the hotspot server's 1-based mint.
+    std::uint64_t flow_seq_ = 0;
+    obs::TraceContext current_flow_;
     sim::EventHandle wake_event_;
     sim::EventHandle timeout_event_;
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <memory>
 
+#include "obs/flight.hpp"
 #include "obs/hooks.hpp"
 #include "sim/assert.hpp"
 #include "sim/random.hpp"
@@ -16,9 +17,11 @@ TcpAgent::TcpAgent(TcpConfig config) : config_(config) {
     WLANPS_REQUIRE(config_.rto >= config_.rtt);
 }
 
-TcpResult TcpAgent::bulk_transfer(DataSize payload, const LossProcess& delivered) const {
+TcpResult TcpAgent::bulk_transfer(DataSize payload, const LossProcess& delivered,
+                                  obs::TraceContext ctx) const {
     WLANPS_REQUIRE(payload > DataSize::zero());
     WLANPS_REQUIRE(delivered != nullptr);
+    (void)ctx;  // consumed only when WLANPS_OBS is compiled in
 
     TcpResult result;
     const std::int64_t total_segments =
@@ -68,12 +71,16 @@ TcpResult TcpAgent::bulk_transfer(DataSize payload, const LossProcess& delivered
         if (losses == 1 && to_send >= 4) {
             // Enough dup acks for fast retransmit: halve the window.
             ++result.fast_retransmits;
+            WLANPS_OBS_FLIGHT(result.elapsed.ns(), retx, ctx.flow, ctx.client,
+                              obs::kFlightItfNone, result.fast_retransmits);
             ssthresh = std::max(2.0, cwnd / 2.0);
             cwnd = ssthresh;
         } else {
             // Burst loss -> retransmission timeout.
             ++result.timeouts;
             result.elapsed += config_.rto;
+            WLANPS_OBS_FLIGHT(result.elapsed.ns(), retx, ctx.flow, ctx.client,
+                              obs::kFlightItfNone, result.timeouts);
             ssthresh = std::max(2.0, cwnd / 2.0);
             cwnd = 1.0;
         }

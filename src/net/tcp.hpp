@@ -14,6 +14,7 @@
 #include <functional>
 #include <string>
 
+#include "obs/flight.hpp"
 #include "sim/time.hpp"
 #include "sim/units.hpp"
 
@@ -58,8 +59,12 @@ public:
     explicit TcpAgent(TcpConfig config);
 
     /// Transfer \p payload over a path whose per-segment delivery is
-    /// sampled from \p delivered.
-    [[nodiscard]] TcpResult bulk_transfer(DataSize payload, const LossProcess& delivered) const;
+    /// sampled from \p delivered.  \p ctx optionally tags the transfer's
+    /// loss-recovery events (fast retransmits, timeouts) in the flight
+    /// recorder; timestamps are model-relative (result.elapsed so far),
+    /// since the Reno model runs outside the event loop.
+    [[nodiscard]] TcpResult bulk_transfer(DataSize payload, const LossProcess& delivered,
+                                          obs::TraceContext ctx = {}) const;
 
     [[nodiscard]] const TcpConfig& config() const { return config_; }
 

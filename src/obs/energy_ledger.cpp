@@ -1,0 +1,120 @@
+#include "obs/energy_ledger.hpp"
+
+#include <cstdio>
+
+namespace wlanps::obs {
+
+namespace {
+
+thread_local EnergyLedger* t_ledger = nullptr;
+
+void append_number(std::string& out, double value) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.12g", value);
+    out += buf;
+}
+
+}  // namespace
+
+const char* to_string(EnergyCause cause) {
+    switch (cause) {
+        case EnergyCause::idle_listen: return "idle_listen";
+        case EnergyCause::beacon_wake: return "beacon_wake";
+        case EnergyCause::burst_rx: return "burst_rx";
+        case EnergyCause::retransmission: return "retransmission";
+        case EnergyCause::mode_switch: return "mode_switch";
+        case EnergyCause::tx: return "tx";
+    }
+    return "?";
+}
+
+void EnergyLedger::charge(std::uint32_t client, EnergyCause cause, double joules) {
+    CauseArray& row = accounts_[client];  // value-initialised to zeros on insert
+    row[static_cast<std::size_t>(cause)] += joules;
+}
+
+double EnergyLedger::charged(std::uint32_t client, EnergyCause cause) const {
+    auto it = accounts_.find(client);
+    if (it == accounts_.end()) return 0.0;
+    return it->second[static_cast<std::size_t>(cause)];
+}
+
+double EnergyLedger::client_total(std::uint32_t client) const {
+    auto it = accounts_.find(client);
+    if (it == accounts_.end()) return 0.0;
+    double sum = 0.0;
+    for (double j : it->second) sum += j;
+    return sum;
+}
+
+double EnergyLedger::cause_total(EnergyCause cause) const {
+    double sum = 0.0;
+    for (const auto& [client, row] : accounts_) {
+        (void)client;
+        sum += row[static_cast<std::size_t>(cause)];
+    }
+    return sum;
+}
+
+double EnergyLedger::total() const {
+    double sum = 0.0;
+    for (const auto& [client, row] : accounts_) {
+        (void)client;
+        for (double j : row) sum += j;
+    }
+    return sum;
+}
+
+std::vector<std::uint32_t> EnergyLedger::clients() const {
+    std::vector<std::uint32_t> out;
+    out.reserve(accounts_.size());
+    for (const auto& [client, row] : accounts_) {
+        (void)row;
+        out.push_back(client);
+    }
+    return out;
+}
+
+std::string EnergyLedger::to_json() const {
+    std::string out = "{\"total_j\":";
+    append_number(out, total());
+    out += ",\"causes\":{";
+    for (std::size_t c = 0; c < kEnergyCauseCount; ++c) {
+        if (c != 0) out += ',';
+        out += '"';
+        out += to_string(static_cast<EnergyCause>(c));
+        out += "\":";
+        append_number(out, cause_total(static_cast<EnergyCause>(c)));
+    }
+    out += "},\"clients\":{";
+    bool first = true;
+    for (const auto& [client, row] : accounts_) {
+        if (!first) out += ',';
+        first = false;
+        out += '"';
+        out += std::to_string(client);
+        out += "\":{\"total_j\":";
+        double sum = 0.0;
+        for (double j : row) sum += j;
+        append_number(out, sum);
+        for (std::size_t c = 0; c < kEnergyCauseCount; ++c) {
+            out += ",\"";
+            out += to_string(static_cast<EnergyCause>(c));
+            out += "\":";
+            append_number(out, row[c]);
+        }
+        out += '}';
+    }
+    out += "}}";
+    return out;
+}
+
+EnergyLedger* current_ledger() noexcept { return t_ledger; }
+
+ScopedEnergyLedger::ScopedEnergyLedger(EnergyLedger& ledger) : previous_(t_ledger) {
+    t_ledger = &ledger;
+}
+
+ScopedEnergyLedger::~ScopedEnergyLedger() { t_ledger = previous_; }
+
+}  // namespace wlanps::obs

@@ -1,0 +1,133 @@
+#include "obs/flight.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "sim/assert.hpp"
+
+namespace wlanps::obs {
+
+namespace {
+
+thread_local FlightRecorder* t_flight = nullptr;
+thread_local PostMortem* t_postmortem = nullptr;
+
+/// Shortest round-trippable representation, matching json.cpp.
+void append_number(std::string& out, double value) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.12g", value);
+    out += buf;
+}
+
+}  // namespace
+
+const char* to_string(Hop hop) {
+    switch (hop) {
+        case Hop::enqueued: return "enqueued";
+        case Hop::scheduled: return "scheduled";
+        case Hop::polled: return "polled";
+        case Hop::tx: return "tx";
+        case Hop::retx: return "retx";
+        case Hop::rx: return "rx";
+        case Hop::doze_wakeup: return "doze_wakeup";
+        case Hop::fault: return "fault";
+    }
+    return "?";
+}
+
+FlightRecorder::FlightRecorder(std::size_t capacity) {
+    WLANPS_REQUIRE_MSG(capacity > 0, "flight recorder capacity must be positive");
+    ring_.resize(capacity);
+}
+
+void FlightRecorder::record(const FlightEvent& event) noexcept {
+    ring_[static_cast<std::size_t>(total_ % ring_.size())] = event;
+    ++total_;
+}
+
+std::size_t FlightRecorder::size() const {
+    return total_ < ring_.size() ? static_cast<std::size_t>(total_) : ring_.size();
+}
+
+const FlightEvent& FlightRecorder::at(std::size_t i) const {
+    WLANPS_REQUIRE_MSG(i < size(), "flight recorder index out of range");
+    // Oldest surviving event sits at total_ % capacity once wrapped.
+    const std::size_t first =
+        total_ <= ring_.size() ? 0 : static_cast<std::size_t>(total_ % ring_.size());
+    return ring_[(first + i) % ring_.size()];
+}
+
+std::vector<FlightEvent> FlightRecorder::events() const {
+    std::vector<FlightEvent> out;
+    out.reserve(size());
+    for (std::size_t i = 0; i < size(); ++i) out.push_back(at(i));
+    return out;
+}
+
+void FlightRecorder::clear() { total_ = 0; }
+
+std::string FlightRecorder::dump_json(std::size_t last_n) const {
+    const std::size_t count = size();
+    const std::size_t n = (last_n == 0 || last_n > count) ? count : last_n;
+    const std::size_t first = count - n;
+
+    std::string out;
+    out.reserve(128 + n * 96);
+    char buf[128];
+    std::snprintf(buf, sizeof(buf),
+                  "{\"capacity\":%zu,\"total\":%" PRIu64 ",\"dropped\":%" PRIu64
+                  ",\"events\":[",
+                  capacity(), total(), dropped());
+    out += buf;
+    for (std::size_t i = first; i < count; ++i) {
+        const FlightEvent& e = at(i);
+        if (i != first) out += ',';
+        std::snprintf(buf, sizeof(buf),
+                      "{\"t_ns\":%" PRId64 ",\"hop\":\"%s\",\"flow\":%" PRIu64
+                      ",\"client\":%" PRIu32 ",\"itf\":%u,\"value\":",
+                      e.t_ns, to_string(e.hop), e.flow, e.client,
+                      static_cast<unsigned>(e.itf));
+        out += buf;
+        append_number(out, e.value);
+        out += '}';
+    }
+    out += "]}";
+    return out;
+}
+
+FlightRecorder* current_flight() noexcept { return t_flight; }
+
+ScopedFlightRecorder::ScopedFlightRecorder(FlightRecorder& recorder)
+    : previous_(t_flight) {
+    t_flight = &recorder;
+}
+
+ScopedFlightRecorder::~ScopedFlightRecorder() { t_flight = previous_; }
+
+PostMortem::PostMortem(const FlightRecorder& recorder, PostMortemConfig config)
+    : recorder_(recorder), config_(std::move(config)) {}
+
+void PostMortem::on_recovery(double time_to_recover_s, std::uint32_t client) {
+    if (time_to_recover_s <= config_.threshold_s) return;
+    if (dumps_ >= config_.max_dumps) return;
+    std::string path = config_.path_prefix + ".c" + std::to_string(client) + "." +
+                       std::to_string(dumps_) + ".flight.json";
+    const std::string body = recorder_.dump_json(config_.last_n);
+    if (std::FILE* f = std::fopen(path.c_str(), "wb")) {
+        std::fwrite(body.data(), 1, body.size(), f);
+        std::fputc('\n', f);
+        std::fclose(f);
+        ++dumps_;
+        files_.push_back(std::move(path));
+    }
+}
+
+PostMortem* current_postmortem() noexcept { return t_postmortem; }
+
+ScopedPostMortem::ScopedPostMortem(PostMortem& pm) : previous_(t_postmortem) {
+    t_postmortem = &pm;
+}
+
+ScopedPostMortem::~ScopedPostMortem() { t_postmortem = previous_; }
+
+}  // namespace wlanps::obs

@@ -1,0 +1,185 @@
+#pragma once
+/// \file flight.hpp
+/// Causal tracing: flow-stamped trace contexts, the per-hop flight-recorder
+/// ring buffer, and the fault post-mortem dumper.
+///
+/// The core scheduler stamps every downstream burst with a flow id
+/// (TraceContext) that propagates through net -> mac -> phy -> channel.
+/// Each layer records its hop (enqueued, scheduled, polled, tx, retx, rx,
+/// dozing-wakeup) into the thread-local FlightRecorder: a fixed-capacity,
+/// overwrite-oldest ring with zero allocation on the hot path.  The
+/// recording macro at the bottom compiles out entirely unless the build
+/// sets WLANPS_OBS_ENABLED (cmake -DWLANPS_OBS=ON); the classes themselves
+/// are always available so tests and exporters work in any build.
+///
+/// Everything here is std-only (no sim dependency): timestamps travel as
+/// raw nanoseconds so the recorder can live in the wlanps_obs core.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace wlanps::obs {
+
+/// Causal identity of one scheduled transfer, stamped at the core
+/// scheduler and carried down the stack.  flow 0 means "unstamped".
+struct TraceContext {
+    std::uint64_t flow = 0;
+    std::uint32_t client = 0;
+};
+
+/// Where in the stack a flight event was recorded.
+enum class Hop : std::uint8_t {
+    enqueued,     ///< core: burst planned into the interface queue
+    scheduled,    ///< core: burst dispatched to the client
+    polled,       ///< mac: PS-Poll sent to retrieve buffered traffic
+    tx,           ///< phy/channel: radio transmitting (value = airtime ns)
+    retx,         ///< channel/net: retransmission (value = retry count)
+    rx,           ///< phy/channel: radio receiving (value = airtime ns)
+    doze_wakeup,  ///< phy: wake from doze/off (value = latency ns)
+    fault,        ///< fault: injector fired (value = fault kind index)
+};
+
+[[nodiscard]] const char* to_string(Hop hop);
+
+/// Interface tag for a flight event (obs is std-only, so it cannot see
+/// phy::Interface; callers map to these).
+inline constexpr std::uint8_t kFlightItfWlan = 0;
+inline constexpr std::uint8_t kFlightItfBt = 1;
+inline constexpr std::uint8_t kFlightItfNone = 2;
+
+/// One recorded hop.  POD: the ring stores these by value, no allocation.
+struct FlightEvent {
+    std::int64_t t_ns = 0;
+    std::uint64_t flow = 0;
+    double value = 0.0;
+    std::uint32_t client = 0;
+    Hop hop = Hop::enqueued;
+    std::uint8_t itf = kFlightItfNone;
+};
+
+/// Bounded flight recorder: fixed capacity, overwrite-oldest, count
+/// monotone.  record() is noexcept and allocation-free (the ring is
+/// preallocated at construction).
+class FlightRecorder {
+public:
+    explicit FlightRecorder(std::size_t capacity = 1024);
+
+    void record(const FlightEvent& event) noexcept;
+
+    [[nodiscard]] std::size_t capacity() const { return ring_.size(); }
+    /// Events currently held: min(total(), capacity()).
+    [[nodiscard]] std::size_t size() const;
+    /// Events ever recorded (monotone; never decreases on overwrite).
+    [[nodiscard]] std::uint64_t total() const { return total_; }
+    /// Events lost to overwrite-oldest.
+    [[nodiscard]] std::uint64_t dropped() const { return total_ - size(); }
+
+    /// i-th surviving event, oldest first (0 <= i < size()).
+    [[nodiscard]] const FlightEvent& at(std::size_t i) const;
+    /// All surviving events, oldest first.
+    [[nodiscard]] std::vector<FlightEvent> events() const;
+
+    void clear();
+
+    /// Deterministic JSON dump of the last \p last_n surviving events
+    /// (0 = all), oldest first:
+    ///   {"capacity":N,"total":M,"dropped":D,"events":[{...},...]}
+    [[nodiscard]] std::string dump_json(std::size_t last_n = 0) const;
+
+private:
+    std::vector<FlightEvent> ring_;
+    std::uint64_t total_ = 0;
+};
+
+/// The recorder WLANPS_OBS_FLIGHT records into, or nullptr when no scope
+/// is active.  Thread-local, like obs::current().
+[[nodiscard]] FlightRecorder* current_flight() noexcept;
+
+/// RAII scope installing \p recorder as the thread's flight recorder;
+/// restores the previous one (scopes nest) on destruction.
+class ScopedFlightRecorder {
+public:
+    explicit ScopedFlightRecorder(FlightRecorder& recorder);
+    ~ScopedFlightRecorder();
+    ScopedFlightRecorder(const ScopedFlightRecorder&) = delete;
+    ScopedFlightRecorder& operator=(const ScopedFlightRecorder&) = delete;
+
+private:
+    FlightRecorder* previous_;
+};
+
+/// Post-mortem dump policy: when a fault's time-to-recover exceeds the
+/// threshold, the last-N ring events are dumped as deterministic JSON
+/// named "<path_prefix>.c<client>.<n>.flight.json".
+struct PostMortemConfig {
+    double threshold_s = 1.0;
+    std::string path_prefix = "postmortem";
+    std::size_t last_n = 256;  ///< events per dump (0 = whole ring)
+    std::size_t max_dumps = 8;
+};
+
+/// Watches recovery reports and dumps the flight recorder for offline
+/// diagnosis of slow recoveries.
+class PostMortem {
+public:
+    PostMortem(const FlightRecorder& recorder, PostMortemConfig config);
+
+    /// Called by the resilience layer when a client recovers; dumps when
+    /// \p time_to_recover_s exceeds the threshold (up to max_dumps).
+    void on_recovery(double time_to_recover_s, std::uint32_t client);
+
+    [[nodiscard]] std::uint64_t dumps() const { return dumps_; }
+    [[nodiscard]] const std::vector<std::string>& files() const { return files_; }
+
+private:
+    const FlightRecorder& recorder_;
+    PostMortemConfig config_;
+    std::uint64_t dumps_ = 0;
+    std::vector<std::string> files_;
+};
+
+/// The post-mortem hook the resilience layer notifies, or nullptr.
+[[nodiscard]] PostMortem* current_postmortem() noexcept;
+
+/// RAII scope installing \p pm as the thread's post-mortem hook.
+class ScopedPostMortem {
+public:
+    explicit ScopedPostMortem(PostMortem& pm);
+    ~ScopedPostMortem();
+    ScopedPostMortem(const ScopedPostMortem&) = delete;
+    ScopedPostMortem& operator=(const ScopedPostMortem&) = delete;
+
+private:
+    PostMortem* previous_;
+};
+
+}  // namespace wlanps::obs
+
+// ---------------------------------------------------------------------------
+// Hot-path recording macro: vanishes entirely (arguments unevaluated) when
+// observability is compiled out, mirroring WLANPS_OBS_COUNT.
+// ---------------------------------------------------------------------------
+#if defined(WLANPS_OBS_ENABLED)
+
+/// Record one hop into the current flight recorder, if any.  `hop` is a
+/// bare Hop enumerator name (rx, retx, scheduled, ...).
+#define WLANPS_OBS_FLIGHT(t_ns, hop, flow, client, itf, value)                  \
+    do {                                                                        \
+        if (::wlanps::obs::FlightRecorder* wlanps_obs_fr_ =                     \
+                ::wlanps::obs::current_flight()) {                              \
+            wlanps_obs_fr_->record(::wlanps::obs::FlightEvent{                  \
+                static_cast<std::int64_t>(t_ns),                                \
+                static_cast<std::uint64_t>(flow),                               \
+                static_cast<double>(value),                                     \
+                static_cast<std::uint32_t>(client),                             \
+                ::wlanps::obs::Hop::hop,                                        \
+                static_cast<std::uint8_t>(itf)});                               \
+        }                                                                       \
+    } while (0)
+
+#else
+
+#define WLANPS_OBS_FLIGHT(t_ns, hop, flow, client, itf, value) ((void)0)
+
+#endif  // WLANPS_OBS_ENABLED

@@ -81,7 +81,9 @@ void append_section(std::ostringstream& out, const MetricsSnapshot& snapshot,
 
 }  // namespace
 
-std::string to_json(const MetricsSnapshot& snapshot) {
+std::string to_json(const MetricsSnapshot& snapshot) { return to_json(snapshot, nullptr); }
+
+std::string to_json(const MetricsSnapshot& snapshot, const EnergyLedger* ledger) {
     std::ostringstream out;
     out << "{";
     append_section(out, snapshot, "counters", InstrumentKind::counter);
@@ -89,14 +91,22 @@ std::string to_json(const MetricsSnapshot& snapshot) {
     append_section(out, snapshot, "gauges", InstrumentKind::gauge);
     out << ",";
     append_section(out, snapshot, "histograms", InstrumentKind::histogram);
+    if (ledger != nullptr) {
+        out << ",\"energy_ledger\":" << ledger->to_json();
+    }
     out << "}";
     return out.str();
 }
 
 void write_json_file(const MetricsSnapshot& snapshot, const std::string& path) {
+    write_json_file(snapshot, nullptr, path);
+}
+
+void write_json_file(const MetricsSnapshot& snapshot, const EnergyLedger* ledger,
+                     const std::string& path) {
     std::ofstream file(path);
     WLANPS_REQUIRE_MSG(file.good(), "cannot open metrics json output file");
-    file << to_json(snapshot) << '\n';
+    file << to_json(snapshot, ledger) << '\n';
     WLANPS_REQUIRE_MSG(file.good(), "failed writing metrics json output file");
 }
 

@@ -7,6 +7,7 @@
 
 #include <string>
 
+#include "obs/energy_ledger.hpp"
 #include "obs/metrics.hpp"
 
 namespace wlanps::obs {
@@ -20,9 +21,17 @@ namespace wlanps::obs {
 /// }
 [[nodiscard]] std::string to_json(const MetricsSnapshot& snapshot);
 
+/// As above, plus an "energy_ledger" section (EnergyLedger::to_json) when
+/// \p ledger is non-null.
+[[nodiscard]] std::string to_json(const MetricsSnapshot& snapshot, const EnergyLedger* ledger);
+
 /// Write to_json(snapshot) to \p path (trailing newline added); throws
 /// ContractViolation when the file cannot be written.
 void write_json_file(const MetricsSnapshot& snapshot, const std::string& path);
+
+/// As above with the ledger section appended when \p ledger is non-null.
+void write_json_file(const MetricsSnapshot& snapshot, const EnergyLedger* ledger,
+                     const std::string& path);
 
 /// Minimal JSON string escaping (quotes, backslash, control chars) shared
 /// by the metrics and trace writers.

@@ -66,6 +66,20 @@ void ChromeTraceWriter::add_counter(const std::string& name, Time at, double val
     events_.push_back(Event{ev.str()});
 }
 
+void ChromeTraceWriter::add_flow(std::uint64_t flow_id, int tid, const std::string& name,
+                                 Time at, FlowPhase phase) {
+    const char ph = phase == FlowPhase::start ? 's' : phase == FlowPhase::step ? 't' : 'f';
+    std::ostringstream ev;
+    ev << "{\"name\":\"" << json_escape(name) << "\",\"cat\":\"flow\",\"ph\":\"" << ph
+       << "\",\"id\":" << flow_id << ",\"pid\":1,\"tid\":" << tid
+       << ",\"ts\":" << format_us(at);
+    // Finish events bind to the enclosing slice, matching the start/step
+    // binding point, so the arrow lands on the hop slice itself.
+    if (phase == FlowPhase::finish) ev << ",\"bp\":\"e\"";
+    ev << "}";
+    events_.push_back(Event{ev.str()});
+}
+
 std::string ChromeTraceWriter::str() const {
     std::ostringstream out;
     out << "{\"traceEvents\":[";
@@ -75,6 +89,57 @@ std::string ChromeTraceWriter::str() const {
     }
     out << "],\"displayTimeUnit\":\"ms\"}";
     return out.str();
+}
+
+void export_flight(ChromeTraceWriter& writer, const FlightRecorder& recorder) {
+    const std::size_t count = recorder.size();
+    // Pass 1: occurrence counts per flow id decide start/step/finish.
+    std::vector<std::pair<std::uint64_t, std::size_t>> remaining;  // (flow, hops left)
+    auto left = [&](std::uint64_t flow) -> std::size_t& {
+        for (auto& entry : remaining) {
+            if (entry.first == flow) return entry.second;
+        }
+        remaining.emplace_back(flow, 0);
+        return remaining.back().second;
+    };
+    for (std::size_t i = 0; i < count; ++i) {
+        const FlightEvent& e = recorder.at(i);
+        if (e.flow != 0) ++left(e.flow);
+    }
+    std::vector<std::uint64_t> seen;
+    auto first_occurrence = [&](std::uint64_t flow) {
+        for (std::uint64_t f : seen) {
+            if (f == flow) return false;
+        }
+        seen.push_back(flow);
+        return true;
+    };
+    // Pass 2: a slice per hop, flow arrows chaining non-zero flows.
+    for (std::size_t i = 0; i < count; ++i) {
+        const FlightEvent& e = recorder.at(i);
+        const std::string lane =
+            e.client == 0 ? "server flow" : "C" + std::to_string(e.client) + " flow";
+        const int tid = writer.lane(lane);
+        const Time begin = Time::from_ns(e.t_ns);
+        // Airtime/latency hops carry their duration in value (ns); the
+        // bookkeeping hops (enqueued, scheduled, polled, retx, fault) are
+        // instants.
+        const bool timed =
+            e.hop == Hop::tx || e.hop == Hop::rx || e.hop == Hop::doze_wakeup;
+        const Time end = timed ? begin + Time::from_ns(static_cast<std::int64_t>(e.value))
+                               : begin;
+        writer.add_span(tid, to_string(e.hop), begin, end, e.value);
+        if (e.flow == 0) continue;
+        std::size_t& hops_left = left(e.flow);
+        ChromeTraceWriter::FlowPhase phase = ChromeTraceWriter::FlowPhase::step;
+        if (first_occurrence(e.flow)) {
+            phase = ChromeTraceWriter::FlowPhase::start;
+        } else if (hops_left == 1) {
+            phase = ChromeTraceWriter::FlowPhase::finish;
+        }
+        --hops_left;
+        writer.add_flow(e.flow, tid, "burst", begin, phase);
+    }
 }
 
 void ChromeTraceWriter::write_file(const std::string& path) const {

@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/flight.hpp"
 #include "sim/time.hpp"
 #include "sim/trace.hpp"
 
@@ -27,11 +28,23 @@ public:
     /// lane's tid for add_span/add_counter follow-ups.
     int add_lane(const std::string& name, const sim::TimelineTrace& trace);
 
+    /// Lookup-or-create an empty lane by name (emits the thread_name
+    /// metadata on first use) and return its tid.
+    int lane(const std::string& name) { return lane_tid(name); }
+
     /// Add a single complete event to lane \p tid.
     void add_span(int tid, const std::string& name, Time begin, Time end, double level_mw);
 
     /// Add one counter sample ("C" event) on its own named track.
     void add_counter(const std::string& name, Time at, double value);
+
+    /// Perfetto flow link phase: start, step, or finish of one arrow chain.
+    enum class FlowPhase { start, step, finish };
+
+    /// Add a flow event binding to the slice at (tid, at).  Events sharing
+    /// \p flow_id draw one arrow chain across lanes in Perfetto.
+    void add_flow(std::uint64_t flow_id, int tid, const std::string& name, Time at,
+                  FlowPhase phase);
 
     /// Serialized {"traceEvents":[...]} document.
     [[nodiscard]] std::string str() const;
@@ -52,5 +65,12 @@ private:
     std::vector<Lane> lanes_;
     std::vector<Event> events_;
 };
+
+/// Render a flight recorder into \p writer: one lane per recorded client
+/// ("C<n> flow"; client 0 gets "server flow"), one slice per hop (duration
+/// = the event value for airtime/latency hops), and Perfetto flow arrows
+/// chaining the hops of each non-zero flow id across lanes in record
+/// order.  Deterministic for golden tests.
+void export_flight(ChromeTraceWriter& writer, const FlightRecorder& recorder);
 
 }  // namespace wlanps::obs

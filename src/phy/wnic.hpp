@@ -11,6 +11,8 @@
 #include <functional>
 #include <string>
 
+#include "obs/energy_ledger.hpp"
+#include "obs/flight.hpp"
 #include "obs/metrics.hpp"
 #include "sim/units.hpp"
 #include "sim/time.hpp"
@@ -23,6 +25,12 @@ enum class Interface { wlan, bluetooth };
 
 [[nodiscard]] inline const char* to_string(Interface i) {
     return i == Interface::wlan ? "WLAN" : "BT";
+}
+
+/// Interface tag for flight-recorder events (obs is std-only and cannot
+/// see phy::Interface).
+[[nodiscard]] inline std::uint8_t flight_itf(Interface i) {
+    return i == Interface::wlan ? obs::kFlightItfWlan : obs::kFlightItfBt;
 }
 
 /// Resource-manager-facing NIC interface.
@@ -75,6 +83,60 @@ public:
     }
 
     [[nodiscard]] virtual std::string name() const = 0;
+
+    // --- Energy attribution (obs::EnergyLedger) ------------------------
+    // The NIC charges its own energy integral to (client, cause) pairs:
+    // each cause change samples energy_consumed() and charges the delta
+    // since the previous boundary to the *outgoing* cause.  Because the
+    // charges telescope over one monotone integral, the ledger reconciles
+    // exactly with the aggregate total once settle_ledger() flushes the
+    // tail.  Plain pointer checks, not macros: attribution is available
+    // in every build and is read-only with respect to simulation state.
+
+    /// Start charging this NIC's energy to \p ledger under \p client.
+    /// Any ledger attached before is settled first; nullptr detaches.
+    void attach_ledger(obs::EnergyLedger* ledger, std::uint32_t client) {
+        settle_ledger();
+        ledger_ = ledger;
+        ledger_client_ = client;
+        cause_ = obs::EnergyCause::idle_listen;
+        charged_mark_j_ = ledger_ != nullptr ? energy_consumed().joules() : 0.0;
+    }
+
+    /// Close the span of the current cause and open \p cause.  Charging
+    /// the outgoing cause with energy accrued since the last boundary.
+    void set_energy_cause(obs::EnergyCause cause) {
+        if (ledger_ == nullptr) return;
+        const double now_j = energy_consumed().joules();
+        ledger_->charge(ledger_client_, cause_, now_j - charged_mark_j_);
+        charged_mark_j_ = now_j;
+        cause_ = cause;
+    }
+
+    /// Charge the tail span (attach/boundary -> now) without changing the
+    /// current cause.  Call at end of run before reading the ledger.
+    void settle_ledger() {
+        if (ledger_ == nullptr) return;
+        const double now_j = energy_consumed().joules();
+        ledger_->charge(ledger_client_, cause_, now_j - charged_mark_j_);
+        charged_mark_j_ = now_j;
+    }
+
+    [[nodiscard]] obs::EnergyCause energy_cause() const { return cause_; }
+
+    // --- Causal tracing ------------------------------------------------
+
+    /// Flow context of the transfer currently using this NIC; the channel
+    /// stamps it so phy-level hops (doze wakeups) land on the right flow.
+    void set_trace_context(obs::TraceContext ctx) { trace_ctx_ = ctx; }
+    [[nodiscard]] obs::TraceContext trace_context() const { return trace_ctx_; }
+
+private:
+    obs::EnergyLedger* ledger_ = nullptr;
+    std::uint32_t ledger_client_ = 0;
+    obs::EnergyCause cause_ = obs::EnergyCause::idle_listen;
+    double charged_mark_j_ = 0.0;
+    obs::TraceContext trace_ctx_;
 };
 
 }  // namespace wlanps::phy

@@ -1,0 +1,33 @@
+#include "sim/sampler.hpp"
+
+#include "sim/assert.hpp"
+
+namespace wlanps::sim {
+
+SimSampler::SimSampler(Simulator& sim, Time interval)
+    : sim_(sim), ticker_(sim, interval, [this] { sample(); }) {
+    WLANPS_REQUIRE_MSG(interval.ns() > 0, "sampler interval must be positive");
+}
+
+void SimSampler::add_track(std::string name, std::function<double()> probe) {
+    WLANPS_REQUIRE_MSG(!ticker_.running(), "cannot add tracks while sampling");
+    WLANPS_REQUIRE_MSG(static_cast<bool>(probe), "null sampler probe");
+    series_.push_back(Series{std::move(name), {}});
+    probes_.push_back(std::move(probe));
+}
+
+void SimSampler::start() {
+    sample();
+    ticker_.start();
+}
+
+void SimSampler::stop() { ticker_.cancel(); }
+
+void SimSampler::sample() {
+    const Time now = sim_.now();
+    for (std::size_t i = 0; i < probes_.size(); ++i) {
+        series_[i].samples.emplace_back(now, probes_[i]());
+    }
+}
+
+}  // namespace wlanps::sim

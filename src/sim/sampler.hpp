@@ -1,0 +1,52 @@
+#pragma once
+/// \file sampler.hpp
+/// Sim-time gauge sampler: polls a set of read-only probes at a fixed
+/// simulated interval and accumulates (time, value) series suitable for
+/// Chrome-trace counter tracks (queue depth, per-client battery, energy
+/// rate, live clients, ...).
+///
+/// Probes must be pure observers of simulation state — they run inside
+/// the event loop, so a probe that mutates the world or draws randomness
+/// would perturb the run.  The sampler itself only appends to its own
+/// series; scheduling rides a PeriodicEvent, so relative ordering of the
+/// workload's own events is preserved and results stay deterministic.
+
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/simulator.hpp"
+#include "sim/time.hpp"
+
+namespace wlanps::sim {
+
+class SimSampler {
+public:
+    struct Series {
+        std::string name;
+        std::vector<std::pair<Time, double>> samples;
+    };
+
+    SimSampler(Simulator& sim, Time interval);
+
+    /// Register a probe before start(); sampled in registration order.
+    void add_track(std::string name, std::function<double()> probe);
+
+    /// Take an immediate sample, then one every interval.
+    void start();
+    void stop();
+
+    [[nodiscard]] const std::vector<Series>& series() const { return series_; }
+    [[nodiscard]] Time interval() const { return ticker_.period(); }
+
+private:
+    void sample();
+
+    Simulator& sim_;
+    std::vector<std::function<double()>> probes_;
+    std::vector<Series> series_;
+    PeriodicEvent ticker_;
+};
+
+}  // namespace wlanps::sim
