@@ -10,22 +10,27 @@
 /// admission control reports the per-interface bandwidth ledger.
 
 #include <cstdio>
+#include <memory>
 
 #include "bench_util.hpp"
+#include "core/backend.hpp"
+#include "core/client.hpp"
+#include "core/scenario_spec.hpp"
 #include "core/scenarios.hpp"
+#include "core/server.hpp"
 #include "exp/runner.hpp"
 
 using namespace wlanps;
-namespace sc = core::scenarios;
+const core::SimBackend backend;
 namespace bu = benchutil;
 
 int main() {
     bu::heading("AB10", "Mixed workloads: 2x MP3 + 1x VBR video + 1x web, one Hotspot, 180 s");
 
-    sc::StreamConfig config;
+    core::StreamConfig config;
     config.duration = Time::from_seconds(180);
 
-    sc::MixedWorkload mix;
+    core::MixedWorkload mix;
     mix.mp3_clients = 2;
     mix.video_clients = 1;
     mix.web_clients = 1;
@@ -36,7 +41,7 @@ int main() {
         std::vector<core::HotspotServer::BurstDecision> recent;
     } snap;
 
-    sc::HotspotOptions options;
+    core::HotspotConfig options;
     options.inspect = [&](sim::Simulator&, core::HotspotServer& server,
                           std::vector<core::HotspotClient*>&) {
         snap.bt_reserved = server.reserved(phy::Interface::bluetooth);
@@ -47,7 +52,7 @@ int main() {
                            server.decisions().end());
     };
 
-    const auto result = sc::run_hotspot_mixed(config, options, mix);
+    const auto result = backend.run(core::ScenarioSpec::hotspot_mixed().with_stream(config).with_hotspot(options).with_mix(mix));
 
     const char* kind[] = {"mp3", "mp3", "video", "web"};
     const std::size_t n_clients = result.clients.size();
@@ -77,9 +82,10 @@ int main() {
     // single detailed run — its callback is not thread-safe).
     const auto sweep = exp::ExperimentRunner{}.run(
         exp::ExperimentSpec{}
-            .with_run([&](const exp::ParamPoint&, std::uint64_t seed) {
-                return sc::to_metrics(sc::hotspot_mixed_factory(config, {}, mix)(seed));
-            })
+            .with_run(core::scenarios::spec_grid_run(
+                std::make_shared<core::SimBackend>(),
+                {core::ScenarioSpec::hotspot_mixed().with_stream(config).with_mix(mix)}))
+            .with_backend("sim")
             .with_point("mixed")
             .with_seed_range(42, 4));
 

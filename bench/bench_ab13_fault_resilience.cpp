@@ -34,24 +34,24 @@ namespace {
 
 struct Policy {
     const char* name;
-    sc::HotspotOptions options;
+    core::HotspotConfig options;
 };
 
 std::vector<Policy> policies() {
     std::vector<Policy> out;
-    out.push_back({"none", sc::HotspotOptions{}});
+    out.push_back({"none", core::HotspotConfig{}});
 
-    sc::HotspotOptions reclaim;
+    core::HotspotConfig reclaim;
     reclaim.resilience = core::ResilienceConfig{}
                              .with_liveness_timeout(Time::from_seconds(5))
                              .with_burst_repair(true);
     out.push_back({"timeout-reclaim", reclaim});
 
-    sc::HotspotOptions rejoin = reclaim;
+    core::HotspotConfig rejoin = reclaim;
     rejoin.rejoin_enabled = true;
     out.push_back({"backoff-rejoin", rejoin});
 
-    sc::HotspotOptions degrade = rejoin;
+    core::HotspotConfig degrade = rejoin;
     degrade.media_proxy = true;
     out.push_back({"proxy-degrade", degrade});
     return out;
@@ -83,7 +83,7 @@ int main() {
     bu::heading("AB13", "Fault resilience: fault intensity x recovery policy");
     std::printf("3 clients, 180 s, 3 seeds per cell; faults target client 1 hardest\n\n");
 
-    sc::StreamConfig config;
+    core::StreamConfig config;
     config.clients = 3;
     config.duration = Time::from_seconds(180);
 

@@ -15,7 +15,8 @@
 #include <memory>
 
 #include "bench_util.hpp"
-#include "core/scenarios.hpp"
+#include "core/backend.hpp"
+#include "core/scenario_spec.hpp"
 #include "mac/access_point.hpp"
 #include "mac/pamas.hpp"
 #include "mac/station.hpp"
@@ -23,7 +24,6 @@
 #include "traffic/source.hpp"
 
 using namespace wlanps;
-namespace sc = core::scenarios;
 namespace bu = benchutil;
 
 namespace {
@@ -95,31 +95,32 @@ int main() {
 
     listening_fraction();
 
-    sc::StreamConfig config;
+    const core::SimBackend backend;
+    core::StreamConfig config;
     config.clients = 3;
     config.duration = Time::from_seconds(120);
 
     std::printf("\n%-34s %12s %9s  %s\n", "technique (3 MP3 clients)", "WNIC power", "QoS",
                 "notes");
-    const auto cam = sc::run_wlan_cam(config);
+    const auto cam = backend.run(core::ScenarioSpec::cam().with_stream(config));
     row("cam (always listening)", cam.mean_wnic(), cam.min_qos(), "baseline");
 
     for (const int listen : {1, 2, 5}) {
-        sc::PsmOptions p;
+        core::PsmConfig p;
         p.listen_interval = listen;
-        const auto r = sc::run_wlan_psm(config, p);
+        const auto r = backend.run(core::ScenarioSpec::psm().with_stream(config).with_psm(p));
         row("psm, listen-interval " + std::to_string(listen), r.mean_wnic(), r.min_qos(),
             "wake every " + std::to_string(listen) + " beacon(s)");
     }
     {
-        sc::PsmOptions p;
+        core::PsmConfig p;
         p.aggregate_limit = 8;
-        const auto r = sc::run_wlan_psm(config, p);
+        const auto r = backend.run(core::ScenarioSpec::psm().with_stream(config).with_psm(p));
         row("psm + aggregation (8 MSDUs)", r.mean_wnic(), r.min_qos(),
             "fewer polls, longer doze");
     }
     for (const int sf_ms : {100, 250}) {
-        const auto r = sc::run_ecmac(config, Time::from_ms(sf_ms));
+        const auto r = backend.run(core::ScenarioSpec::ecmac().with_stream(config).with_superframe(Time::from_ms(sf_ms)));
         row("ec-mac, superframe " + std::to_string(sf_ms) + " ms", r.mean_wnic(), r.min_qos(),
             "collision-free schedule");
     }

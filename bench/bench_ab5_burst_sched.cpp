@@ -16,10 +16,13 @@
 #include <string>
 
 #include "bench_util.hpp"
-#include "core/scenarios.hpp"
+#include "core/backend.hpp"
+#include "core/client.hpp"
+#include "core/server.hpp"
+#include "core/scenario_spec.hpp"
 
 using namespace wlanps;
-namespace sc = core::scenarios;
+const core::SimBackend backend;
 namespace bu = benchutil;
 
 int main() {
@@ -29,10 +32,10 @@ int main() {
     std::printf("%-12s %12s %8s %10s %12s\n", "burst", "WNIC power", "QoS", "bursts",
                 "interface");
     for (const double kb : {8.0, 16.0, 32.0, 48.0, 96.0, 192.0, 384.0}) {
-        sc::StreamConfig config;
+        core::StreamConfig config;
         config.clients = 3;
         config.duration = Time::from_seconds(120);
-        sc::HotspotOptions options;
+        core::HotspotConfig options;
         options.target_burst = DataSize::from_kilobytes(kb);
         // Sweep true burst sizes: disable the rate-proportional floor.
         options.target_burst_period = Time::from_ms(1);
@@ -43,7 +46,7 @@ int main() {
             bursts = server.total_bursts();
             channel = server.report(1).current_channel;
         };
-        const auto r = sc::run_hotspot(config, options);
+        const auto r = backend.run(core::ScenarioSpec::hotspot().with_stream(config).with_hotspot(options));
         // Channel 0 is WLAN, channel 1 is Bluetooth (registration order).
         std::printf("%-12s %12s %7.2f%% %10llu %12s\n",
                     DataSize::from_kilobytes(kb).str().c_str(), r.mean_wnic().str().c_str(),
@@ -64,10 +67,10 @@ int main() {
                     "QoS(min)", "deadline miss");
         for (const std::string scheduler :
              {"edf", "wfq", "round-robin", "fixed-priority", "fifo"}) {
-            sc::StreamConfig config;
+            core::StreamConfig config;
             config.clients = clients;
             config.duration = Time::from_seconds(120);
-            sc::HotspotOptions options;
+            core::HotspotConfig options;
             options.scheduler = scheduler;
             options.wlan_available = false;  // one shared resource -> contention
             // The overload case deliberately oversubscribes the piconet;
@@ -84,7 +87,7 @@ int main() {
                                   std::vector<core::HotspotClient*>&) {
                 misses = server.total_deadline_misses();
             };
-            const auto r = sc::run_hotspot(config, options);
+            const auto r = backend.run(core::ScenarioSpec::hotspot().with_stream(config).with_hotspot(options));
             std::printf("%-16s %12s %8.2f%% %8.2f%% %14llu\n", scheduler.c_str(),
                         r.mean_wnic().str().c_str(), 100.0 * r.clients.front().qos,
                         100.0 * r.min_qos(), static_cast<unsigned long long>(misses));

@@ -11,16 +11,19 @@
 #include <vector>
 
 #include "bench_util.hpp"
-#include "core/scenarios.hpp"
+#include "core/backend.hpp"
+#include "core/client.hpp"
+#include "core/server.hpp"
+#include "core/scenario_spec.hpp"
 
 using namespace wlanps;
-namespace sc = core::scenarios;
+const core::SimBackend backend;
 namespace bu = benchutil;
 
 int main() {
     bu::heading("AB6", "BT -> WLAN handover under link degradation (1 client, 180 s)");
 
-    sc::StreamConfig config;
+    core::StreamConfig config;
     config.clients = 1;
     config.duration = Time::from_seconds(180);
 
@@ -38,7 +41,7 @@ int main() {
     };
     std::vector<Window> windows;
 
-    sc::HotspotOptions options;
+    core::HotspotConfig options;
     options.bt_quality_script = script;
     options.on_start = [&](sim::Simulator& sim, core::HotspotServer& server,
                            std::vector<core::HotspotClient*>& clients) {
@@ -57,7 +60,7 @@ int main() {
         switches = server.report(1).interface_switches;
     };
 
-    const auto result = sc::run_hotspot(config, options);
+    const auto result = backend.run(core::ScenarioSpec::hotspot().with_stream(config).with_hotspot(options));
 
     std::printf("%-10s %12s %16s %10s\n", "t", "interface", "window power", "underruns");
     power::Energy prev;

@@ -13,15 +13,18 @@
 #include <vector>
 
 #include "bench_util.hpp"
-#include "core/scenarios.hpp"
+#include "core/backend.hpp"
+#include "core/burst_channel.hpp"
+#include "core/client.hpp"
+#include "core/scenario_spec.hpp"
 #include "sim/trace.hpp"
 
 int main() {
     using namespace wlanps;
-    namespace sc = core::scenarios;
+    const core::SimBackend backend;
     namespace bu = benchutil;
 
-    sc::StreamConfig config;
+    core::StreamConfig config;
     config.clients = 3;
     config.duration = Time::from_seconds(16);
 
@@ -30,7 +33,7 @@ int main() {
     std::vector<sim::TimelineTrace> bt_power(static_cast<std::size_t>(config.clients));
     std::vector<sim::TimelineTrace> transfer(static_cast<std::size_t>(config.clients));
 
-    sc::HotspotOptions options;
+    core::HotspotConfig options;
     options.scheduler = "edf";
     options.target_burst = DataSize::from_kilobytes(48);
     options.on_start = [&](sim::Simulator&, core::HotspotServer&,
@@ -53,7 +56,7 @@ int main() {
     };
 
     bu::heading("FIG1", "Sample Hotspot schedule, 3 MP3 clients (EDF, 48 KB bursts)");
-    const sc::ScenarioResult result = sc::run_hotspot(config, options);
+    const core::ScenarioResult result = backend.run(core::ScenarioSpec::hotspot().with_stream(config).with_hotspot(options));
 
     sim::GanttChart chart;
     for (std::size_t i = 0; i < transfer.size(); ++i) {

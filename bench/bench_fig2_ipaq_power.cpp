@@ -20,7 +20,8 @@
 #include "bench_util.hpp"
 #include "core/burst_channel.hpp"
 #include "core/client.hpp"
-#include "core/scenarios.hpp"
+#include "core/backend.hpp"
+#include "core/scenario_spec.hpp"
 #include "obs/energy_ledger.hpp"
 #include "obs/hooks.hpp"
 #include "obs/json.hpp"
@@ -29,10 +30,9 @@
 
 int main() {
     using namespace wlanps;
-    namespace sc = core::scenarios;
     namespace bu = benchutil;
 
-    sc::StreamConfig config;
+    core::StreamConfig config;
     config.clients = 3;
     config.duration = Time::from_seconds(300);
 
@@ -52,10 +52,11 @@ int main() {
 
     bu::heading("FIG2", "Average IPAQ power, 3 clients x 128 kb/s MP3, 300 s");
 
-    const sc::ScenarioResult cam = sc::run_wlan_cam(config);
-    const sc::ScenarioResult psm = sc::run_wlan_psm(config);
-    const sc::ScenarioResult bt = sc::run_bt_active(config);
-    sc::HotspotOptions hs;
+    const core::SimBackend backend;
+    const core::ScenarioResult cam = backend.run(core::ScenarioSpec::cam().with_stream(config));
+    const core::ScenarioResult psm = backend.run(core::ScenarioSpec::psm().with_stream(config));
+    const core::ScenarioResult bt = backend.run(core::ScenarioSpec::bt().with_stream(config));
+    core::HotspotConfig hs;
     hs.scheduler = "edf";
     std::vector<std::unique_ptr<sim::TimelineTrace>> lanes;
     std::vector<std::string> lane_names;
@@ -77,7 +78,8 @@ int main() {
             for (auto& lane : lanes) lane->finish(s.now());
         };
     }
-    const sc::ScenarioResult hotspot = sc::run_hotspot(config, hs);
+    const core::ScenarioResult hotspot = backend.run(
+        core::ScenarioSpec::hotspot().with_stream(config).with_hotspot(hs));
 
     if (trace_out != nullptr) {
         obs::ChromeTraceWriter writer;
@@ -95,7 +97,7 @@ int main() {
     std::printf("%-26s %12s %14s %8s %12s\n", "configuration", "WNIC power", "device power",
                 "QoS", "WNIC saving");
     const power::Power base = cam.mean_wnic();
-    for (const sc::ScenarioResult* r : {&cam, &psm, &bt, &hotspot}) {
+    for (const core::ScenarioResult* r : {&cam, &psm, &bt, &hotspot}) {
         std::printf("%-26s %12s %14s %7.2f%% %11.1f%%\n", r->label.c_str(),
                     r->mean_wnic().str().c_str(), r->mean_device().str().c_str(),
                     100.0 * r->min_qos(), bu::saving_pct(base, r->mean_wnic()));

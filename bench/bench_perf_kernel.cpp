@@ -7,6 +7,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include <memory>
+
 #include "channel/ber.hpp"
 #include "channel/gilbert_elliott.hpp"
 #include "core/scenarios.hpp"
@@ -197,10 +199,10 @@ BENCHMARK(BM_SchedulerPick);
 void BM_HotspotScenarioSecond(benchmark::State& state) {
     // Cost of one simulated second of the full 3-client Hotspot world.
     for (auto _ : state) {
-        core::scenarios::StreamConfig config;
+        core::StreamConfig config;
         config.clients = 3;
         config.duration = Time::from_seconds(10);
-        auto result = core::scenarios::run_hotspot(config, core::scenarios::HotspotOptions{});
+        auto result = core::SimBackend{}.run(core::ScenarioSpec::hotspot().with_stream(config));
         benchmark::DoNotOptimize(result);
     }
     state.SetItemsProcessed(state.iterations() * 10);  // simulated seconds
@@ -215,9 +217,11 @@ void BM_ExperimentSweep(benchmark::State& state) {
     config.clients = 1;
     config.duration = Time::from_seconds(5);
     auto spec = exp::ExperimentSpec{}
-                    .with_run([config](const exp::ParamPoint&, std::uint64_t seed) {
-                        return sc::to_metrics(sc::hotspot_factory(config)(seed));
-                    })
+                    .with_run(sc::spec_grid_run(
+                        std::make_shared<core::SimBackend>(),
+                        {core::ScenarioSpec::hotspot().with_stream(config),
+                         core::ScenarioSpec::hotspot().with_stream(config)}))
+                    .with_backend("sim")
                     .with_points({"a", "b"})
                     .with_seed_range(42, 4);
     exp::ExperimentRunner runner(static_cast<unsigned>(state.range(0)));

@@ -4,12 +4,16 @@
 ///
 /// Usage:
 ///   hotspot_cli [--clients N] [--duration SECONDS] [--scheduler NAME]
-///               [--burst KB] [--config NAME] [--seed N] [--no-bt] [--no-wlan]
+///               [--burst KB] [--config NAME] [--backend NAME] [--seed N]
+///               [--no-bt] [--no-wlan]
 ///               [--fault-plan SPEC] [--recovery PRESET]
 ///               [--trace FILE] [--metrics FILE] [--sample-interval S]
 ///               [--flight N] [--post-mortem PREFIX] [--post-mortem-threshold S]
 ///
 ///   --config: hotspot (default) | wlan-cam | wlan-psm | bt | ecmac | mixed
+///   --backend: sim (default, discrete-event) | analytic (closed-form
+///            steady-state models — microseconds per run; rejects faults,
+///            ecmac, mixed, and tracing with a message naming the fix)
 ///   --scheduler: edf | wfq | round-robin | fixed-priority | fifo
 ///   --fault-plan: semicolon-separated deterministic fault schedule,
 ///            kind@START[+DUR][:cN|wlan|bt][%PROB][xCOUNT~PERIOD], e.g.
@@ -49,9 +53,12 @@
 #include <string>
 #include <vector>
 
+#include "analytic/backend.hpp"
+#include "core/backend.hpp"
 #include "core/burst_channel.hpp"
 #include "core/client.hpp"
-#include "core/scenarios.hpp"
+#include "core/scenario_spec.hpp"
+#include "core/server.hpp"
 #include "fault/fault.hpp"
 #include "obs/energy_ledger.hpp"
 #include "obs/flight.hpp"
@@ -62,7 +69,6 @@
 #include "sim/trace.hpp"
 
 using namespace wlanps;
-namespace sc = core::scenarios;
 
 namespace {
 
@@ -70,7 +76,7 @@ namespace {
     std::fprintf(stderr,
                  "usage: %s [--clients N] [--duration S] [--scheduler NAME] [--burst KB]\n"
                  "          [--config hotspot|wlan-cam|wlan-psm|bt|ecmac|mixed]\n"
-                 "          [--seed N] [--no-bt] [--no-wlan]\n"
+                 "          [--backend sim|analytic] [--seed N] [--no-bt] [--no-wlan]\n"
                  "          [--fault-plan SPEC] [--recovery none|reclaim|rejoin|degrade]\n"
                  "          [--trace FILE] [--metrics FILE] [--sample-interval S]\n"
                  "          [--flight N] [--post-mortem PREFIX] [--post-mortem-threshold S]\n",
@@ -78,7 +84,7 @@ namespace {
     std::exit(2);
 }
 
-void print(const sc::ScenarioResult& result) {
+void print(const core::ScenarioResult& result) {
     std::printf("%-22s %12s %14s %8s %10s %12s\n", "configuration", "WNIC power",
                 "device power", "QoS", "underruns", "received");
     for (std::size_t i = 0; i < result.clients.size(); ++i) {
@@ -93,7 +99,7 @@ void print(const sc::ScenarioResult& result) {
                 100.0 * result.min_qos());
 }
 
-void print_recovery(const sc::ScenarioResult& result) {
+void print_recovery(const core::ScenarioResult& result) {
     const auto& r = result.recovery;
     if (result.faults_injected == 0 && r.total_recoveries() == 0 &&
         result.degradation.empty()) {
@@ -129,9 +135,10 @@ void print_recovery(const sc::ScenarioResult& result) {
 }  // namespace
 
 int main(int argc, char** argv) {
-    sc::StreamConfig config;
-    sc::HotspotOptions options;
+    core::StreamConfig config;
+    core::HotspotConfig options;
     std::string kind = "hotspot";
+    std::string backend_name = "sim";
     std::string trace_path;
     std::string metrics_path;
     std::string recovery = "none";
@@ -157,6 +164,8 @@ int main(int argc, char** argv) {
             options.target_burst = DataSize::from_kilobytes(std::atof(next()));
         } else if (arg == "--config") {
             kind = next();
+        } else if (arg == "--backend") {
+            backend_name = next();
         } else if (arg == "--seed") {
             config.seed = static_cast<std::uint64_t>(std::atoll(next()));
         } else if (arg == "--no-bt") {
@@ -309,22 +318,24 @@ int main(int argc, char** argv) {
     }
     std::printf("\n");
     try {
-        sc::ScenarioResult result;
-        if (kind == "hotspot") {
-            result = sc::run_hotspot(config, options);
-        } else if (kind == "wlan-cam") {
-            result = sc::run_wlan_cam(config);
-        } else if (kind == "wlan-psm") {
-            result = sc::run_wlan_psm(config);
-        } else if (kind == "bt") {
-            result = sc::run_bt_active(config);
-        } else if (kind == "ecmac") {
-            result = sc::run_ecmac(config);
-        } else if (kind == "mixed") {
-            result = sc::run_hotspot_mixed(config, options, sc::MixedWorkload{});
-        } else {
+        // --config picks the spec shape, --backend picks the engine; the
+        // spec itself is engine-agnostic (Backend::run rejects unsupported
+        // combinations, e.g. analytic + fault plan, with the reason).
+        core::ScenarioSpec spec = [&]() -> core::ScenarioSpec {
+            if (kind == "hotspot") return core::ScenarioSpec::hotspot().with_hotspot(options);
+            if (kind == "wlan-cam") return core::ScenarioSpec::cam();
+            if (kind == "wlan-psm") return core::ScenarioSpec::psm();
+            if (kind == "bt") return core::ScenarioSpec::bt();
+            if (kind == "ecmac") return core::ScenarioSpec::ecmac();
+            if (kind == "mixed") {
+                return core::ScenarioSpec::hotspot_mixed().with_hotspot(options).with_mix(
+                    core::MixedWorkload{});
+            }
             usage(argv[0]);
-        }
+        }();
+        spec.with_stream(config);
+        const auto backend = analytic::make_backend(backend_name);
+        const auto result = backend->run(spec);
         print(result);
         print_recovery(result);
         if (!trace_path.empty()) {

@@ -10,13 +10,16 @@
 #include <cstdio>
 #include <vector>
 
-#include "core/scenarios.hpp"
+#include "core/backend.hpp"
+#include "core/client.hpp"
+#include "core/scenario_spec.hpp"
+#include "core/server.hpp"
 
 int main() {
     using namespace wlanps;
-    namespace sc = core::scenarios;
+    const core::SimBackend backend;
 
-    sc::StreamConfig config;
+    core::StreamConfig config;
     config.clients = 1;
     config.duration = Time::from_seconds(120);
 
@@ -26,7 +29,7 @@ int main() {
     script.add_point(Time::from_seconds(50), 0.1);
     script.add_point(Time::from_seconds(120), 0.1);
 
-    sc::HotspotOptions options;
+    core::HotspotConfig options;
     options.bt_quality_script = script;
 
     struct Sample {
@@ -48,7 +51,7 @@ int main() {
         }
     };
 
-    const sc::ScenarioResult result = sc::run_hotspot(config, options);
+    const core::ScenarioResult result = backend.run(core::ScenarioSpec::hotspot().with_stream(config).with_hotspot(options));
 
     std::printf("%-8s %-10s %s\n", "t", "serving", "BT link quality");
     for (const Sample& s : samples) {

@@ -8,13 +8,16 @@
 
 #include <cstdio>
 
-#include "core/scenarios.hpp"
+#include "core/backend.hpp"
+#include "core/client.hpp"
+#include "core/server.hpp"
+#include "core/scenario_spec.hpp"
 
 int main() {
     using namespace wlanps;
-    namespace sc = core::scenarios;
+    const core::SimBackend backend;
 
-    sc::StreamConfig config;
+    core::StreamConfig config;
     config.clients = 3;
     config.duration = Time::from_seconds(300);
 
@@ -23,11 +26,11 @@ int main() {
 
     // Baselines the paper measures first: standard WLAN and standard
     // Bluetooth, both without any additional scheduling.
-    const sc::ScenarioResult wlan = sc::run_wlan_cam(config);
-    const sc::ScenarioResult bt = sc::run_bt_active(config);
+    const core::ScenarioResult wlan = backend.run(core::ScenarioSpec::cam().with_stream(config));
+    const core::ScenarioResult bt = backend.run(core::ScenarioSpec::bt().with_stream(config));
 
     // Hotspot scheduling: EDF bursts, BT parked / WLAN off between bursts.
-    sc::HotspotOptions options;
+    core::HotspotConfig options;
     options.scheduler = "edf";
     options.target_burst = DataSize::from_kilobytes(48);
 
@@ -52,7 +55,7 @@ int main() {
         }
         std::printf("\n");
     };
-    const sc::ScenarioResult hotspot = sc::run_hotspot(config, options);
+    const core::ScenarioResult hotspot = backend.run(core::ScenarioSpec::hotspot().with_stream(config).with_hotspot(options));
 
     std::printf("%-24s %12s %14s %8s\n", "configuration", "WNIC power", "device power", "QoS");
     for (const auto* r : {&wlan, &bt, &hotspot}) {

@@ -7,24 +7,25 @@
 
 #include <cstdio>
 
-#include "core/scenarios.hpp"
+#include "core/backend.hpp"
+#include "core/scenario_spec.hpp"
 
 int main() {
     using namespace wlanps;
-    namespace sc = core::scenarios;
+    const core::SimBackend backend;
 
-    sc::StreamConfig config;
+    core::StreamConfig config;
     config.clients = 1;
     config.duration = Time::from_seconds(120);
 
     // Baseline: standard WLAN, no power management at all.
-    const sc::ScenarioResult baseline = sc::run_wlan_cam(config);
+    const core::ScenarioResult baseline = backend.run(core::ScenarioSpec::cam().with_stream(config));
 
     // The paper's system: Hotspot resource manager, EDF burst scheduling,
     // Bluetooth + WLAN both available, deep sleep between bursts.
-    sc::HotspotOptions options;
+    core::HotspotConfig options;
     options.scheduler = "edf";
-    const sc::ScenarioResult hotspot = sc::run_hotspot(config, options);
+    const core::ScenarioResult hotspot = backend.run(core::ScenarioSpec::hotspot().with_stream(config).with_hotspot(options));
 
     const auto& b = baseline.clients.front();
     const auto& h = hotspot.clients.front();

@@ -1,12 +1,15 @@
 #!/usr/bin/env bash
-# The whole gate, one command: tier-1 tests, the ThreadSanitizer pass, and
-# the event-kernel perf regression check — exactly what CI runs
-# (.github/workflows/ci.yml) and what a PR must keep green.
+# The whole gate, one command: tier-1 tests, the ThreadSanitizer pass,
+# the event-kernel perf regression check, and the backend cross-validation
+# gate — exactly what CI runs (.github/workflows/ci.yml) and what a PR
+# must keep green.
 #
 #   1. tier-1: configure + build the default tree, run the full ctest suite
 #   2. scripts/check_tsan.sh: concurrency-sensitive tests under TSan
 #   3. scripts/check_perf.sh: BM_EventPostDispatch within 15% of baseline,
 #      obs-enabled null-check overhead within 5%
+#   4. scripts/check_xval.sh: analytic backend agrees with the simulator
+#      on the AB12 calibration grid (per-point saving within 5%)
 #
 # Usage: scripts/check_all.sh [build-dir]   (default: build)
 set -euo pipefail
@@ -14,15 +17,18 @@ cd "$(dirname "$0")/.."
 
 BUILD_DIR="${1:-build}"
 
-echo "=== [1/3] tier-1: build + ctest ==="
+echo "=== [1/4] tier-1: build + ctest ==="
 cmake -B "$BUILD_DIR" -S . >/dev/null
 cmake --build "$BUILD_DIR" -j "$(nproc)"
 (cd "$BUILD_DIR" && ctest --output-on-failure -j "$(nproc)")
 
-echo "=== [2/3] ThreadSanitizer ==="
+echo "=== [2/4] ThreadSanitizer ==="
 scripts/check_tsan.sh
 
-echo "=== [3/3] perf regression gate ==="
+echo "=== [3/4] perf regression gate ==="
 scripts/check_perf.sh
+
+echo "=== [4/4] backend cross-validation gate ==="
+scripts/check_xval.sh "$BUILD_DIR"
 
 echo "All checks passed."

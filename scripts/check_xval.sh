@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Backend cross-validation gate: the closed-form analytic backend must
+# agree with the discrete-event simulator on the AB12 calibration grid.
+#
+# Runs bench_ab12_sensitivity once per backend with WLANPS_GRID_OUT set,
+# then gates the per-point saving_pct agreement with bench_diff.py.  The
+# threshold is relative error in percent (default 5, i.e. the analytic
+# saving may deviate by at most 5% of the sim value per grid point —
+# the measured deviation is ~0.05%, so a trip means a real model or
+# simulator regression, not noise; both engines are deterministic).
+#
+# Usage: scripts/check_xval.sh [build-dir] [threshold-pct]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${1:-build}"
+THRESHOLD="${2:-5}"
+
+cmake --build "$BUILD_DIR" -j "$(nproc)" --target bench_ab12_sensitivity >/dev/null
+
+SIM_JSON="$BUILD_DIR/xval_grid_sim.json"
+ANA_JSON="$BUILD_DIR/xval_grid_analytic.json"
+WLANPS_GRID_OUT="$SIM_JSON" \
+    "./$BUILD_DIR/bench/bench_ab12_sensitivity" --backend=sim >/dev/null
+WLANPS_GRID_OUT="$ANA_JSON" \
+    "./$BUILD_DIR/bench/bench_ab12_sensitivity" --backend=analytic >/dev/null
+
+python3 scripts/bench_diff.py "$SIM_JSON" "$ANA_JSON" --threshold "$THRESHOLD"
+echo "backend cross-validation OK (threshold ${THRESHOLD}%)"

@@ -16,13 +16,18 @@
 #     metrics.json next to the output file (percentiles, NIC residencies;
 #     see EXPERIMENTS.md, "Observability").
 #
+#   * bench_ab12_sensitivity runs a second time with --backend=both and
+#     WLANPS_XVAL_OUT set; the sim-vs-analytic comparison (grid size,
+#     per-backend seconds, speedup, max saving delta) is embedded under
+#     "backend_xval".
+#
 # Usage: scripts/run_bench.sh [build-dir] [output.json]
-#   (defaults: build, BENCH_5.json)
+#   (defaults: build, BENCH_6.json)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BUILD_DIR="${1:-build}"
-OUT="${2:-BENCH_5.json}"
+OUT="${2:-BENCH_6.json}"
 METRICS_OUT="$(dirname "$OUT")/metrics.json"
 
 cmake --build "$BUILD_DIR" -j "$(nproc)" >/dev/null
@@ -50,11 +55,15 @@ for bin in "$BUILD_DIR"/bench/bench_fig* "$BUILD_DIR"/bench/bench_ab*; do
 done
 echo "wrote $METRICS_OUT"
 
-python3 - "$KERNEL_JSON" "$WALL_TSV" "$OUT" <<'PY'
+XVAL_JSON="$BUILD_DIR/bench_backend_xval.json"
+WLANPS_XVAL_OUT="$XVAL_JSON" \
+    "./$BUILD_DIR/bench/bench_ab12_sensitivity" --backend=both >/dev/null
+
+python3 - "$KERNEL_JSON" "$WALL_TSV" "$XVAL_JSON" "$OUT" <<'PY'
 import json
 import sys
 
-kernel_json, wall_tsv, out = sys.argv[1:4]
+kernel_json, wall_tsv, xval_json, out = sys.argv[1:5]
 
 with open(kernel_json) as f:
     kernel = json.load(f)
@@ -81,6 +90,9 @@ merged = {
     "wall_clock_seconds": wall,
 }
 
+with open(xval_json) as f:
+    merged["backend_xval"] = json.load(f)
+
 with open(out, "w") as f:
     json.dump(merged, f, indent=2)
     f.write("\n")
@@ -94,5 +106,9 @@ if post is not None:
     base = merged["baseline_pr1"]["BM_EventPostDispatch_ns"]
     print(f"BM_EventPostDispatch: {post['real_time']:.0f} ns "
           f"(PR-1 baseline {base} ns, {base / post['real_time']:.2f}x)")
+xval = merged["backend_xval"]
+print(f"backend_xval: {xval['grid_points']} points, "
+      f"speedup {xval['speedup']:.0f}x, "
+      f"max saving delta {xval['max_abs_saving_delta_pp']:.3f} pp")
 print(f"wrote {out}")
 PY

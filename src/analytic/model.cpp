@@ -1,0 +1,259 @@
+#include "analytic/model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/assert.hpp"
+
+namespace wlanps::analytic {
+
+namespace cal = phy::calibration;
+
+double bad_state_fraction(const GilbertElliottConfig& link) {
+    return 1.0 - link.stationary_good();
+}
+
+double frame_error_prob(const GilbertElliottConfig& link, DataSize on_air) {
+    const double bits = static_cast<double>(on_air.bits());
+    // P[frame survives | state] = (1 - ber)^bits, computed in log space.
+    const double ok_good = std::exp(bits * std::log1p(-link.ber_good));
+    const double ok_bad = std::exp(bits * std::log1p(-link.ber_bad));
+    const double pg = link.stationary_good();
+    return pg * (1.0 - ok_good) + (1.0 - pg) * (1.0 - ok_bad);
+}
+
+double expected_attempts(double p, int retry_limit) {
+    WLANPS_REQUIRE(p >= 0.0 && p < 1.0);
+    WLANPS_REQUIRE(retry_limit >= 1);
+    return (1.0 - std::pow(p, retry_limit)) / (1.0 - p);
+}
+
+Time dcf_access_time() {
+    return cal::kWlanDifs + cal::kWlanSlot * (static_cast<double>(cal::kWlanCwMin) / 2.0);
+}
+
+Time wlan_frame_airtime(DataSize payload, Rate rate) {
+    return cal::kWlanPlcpOverhead + rate.transmit_time(payload + cal::kWlanMacHeader);
+}
+
+Time wlan_ack_airtime() {
+    return cal::kWlanPlcpOverhead + cal::kWlanRate2.transmit_time(cal::kWlanAckFrame);
+}
+
+namespace {
+
+/// AP beacon frame airtime (management payload at the basic rate).
+Time beacon_airtime() {
+    // The AP's 60-byte beacon body + MAC header at 2 Mb/s.
+    return wlan_frame_airtime(DataSize::from_bytes(60), cal::kWlanRate2);
+}
+
+/// PS-Poll airtime (20-byte control body + MAC header at the PHY rate).
+Time poll_airtime(Rate rate) { return wlan_frame_airtime(DataSize::from_bytes(20), rate); }
+
+}  // namespace
+
+power::Power cam_station_power(const phy::WlanNicConfig& nic,
+                               const GilbertElliottConfig& link,
+                               const WlanWorkload& workload) {
+    const double lambda = 1.0 / workload.frame_interval.to_seconds();  // frames/s
+    const Time data_air = wlan_frame_airtime(workload.frame_size, nic.phy_rate);
+    const double p = frame_error_prob(link, workload.frame_size + cal::kWlanMacHeader);
+    const double attempts = expected_attempts(p, cal::kWlanRetryLimit);
+    const double delivered = 1.0 - std::pow(p, cal::kWlanRetryLimit);
+    const double beacon_rate = 1.0 / cal::kWlanBeaconInterval.to_seconds();
+
+    // Fractions of wall-clock time in rx/tx; the rest idles.
+    const double f_rx = lambda * attempts * data_air.to_seconds() +
+                        beacon_rate * beacon_airtime().to_seconds();
+    const double f_tx = lambda * delivered * wlan_ack_airtime().to_seconds();
+    return nic.idle + (nic.rx - nic.idle) * f_rx + (nic.tx - nic.idle) * f_tx;
+}
+
+power::Power psm_station_power(const PsmModelParams& params, const phy::WlanNicConfig& nic,
+                               const GilbertElliottConfig& link,
+                               const WlanWorkload& workload) {
+    WLANPS_REQUIRE(params.stations >= 1);
+    WLANPS_REQUIRE(params.listen_interval >= 1);
+    WLANPS_REQUIRE(params.aggregate_limit >= 1);
+    const Time cycle = params.beacon_interval * static_cast<double>(params.listen_interval);
+    // Frames buffered at the AP per wake cycle, folded into polls of
+    // aggregate_limit MSDUs each.
+    const double frames = cycle.to_seconds() / workload.frame_interval.to_seconds();
+    const double polls = frames / static_cast<double>(params.aggregate_limit);
+
+    // One retrieval exchange, station-centric.  The poll and the (possibly
+    // aggregated) data frame each pay a DCF access; errors inflate both
+    // sides' attempts.
+    const DataSize agg_payload = workload.frame_size * params.aggregate_limit;
+    const Time data_air = wlan_frame_airtime(agg_payload, nic.phy_rate);
+    const Time poll_air = poll_airtime(nic.phy_rate);
+    const double p_data = frame_error_prob(link, agg_payload + cal::kWlanMacHeader);
+    const double p_poll = frame_error_prob(link, DataSize::from_bytes(20) + cal::kWlanMacHeader);
+    const double a_data = expected_attempts(p_data, cal::kWlanRetryLimit);
+    const double a_poll = expected_attempts(p_poll, cal::kWlanRetryLimit);
+
+    const Time access = dcf_access_time();
+    const Time ack = wlan_ack_airtime();
+    // First-order collision stretch (same form as the saturation model):
+    // every access re-runs with probability p_col when N-1 peers contend.
+    const double p_col =
+        1.0 - std::pow(1.0 - 1.0 / static_cast<double>(cal::kWlanCwMin + 1),
+                       static_cast<double>(params.stations - 1));
+    const double stretch = 1.0 / (1.0 - p_col);
+    // Station-side occupancy per exchange.
+    const Time ex_idle =
+        (access * a_poll + access * a_data) * stretch + cal::kWlanSifs * 2.0;
+    const Time ex_tx = poll_air * a_poll + ack;          // PS-Poll + data ACK
+    const Time ex_rx = ack * a_poll + data_air * a_data;  // AP's poll-ACK + data
+    const Time ex_wall = ex_idle + ex_tx + ex_rx;
+
+    // Contention: while the other N-1 stations drain their queues on the
+    // shared medium, this station idles through a calibrated share of
+    // their exchanges before its own last frame arrives.
+    const double others = static_cast<double>(params.stations - 1);
+    const Time contention = ex_wall * (params.contention_overlap * others * polls);
+
+    const Time wake = nic.doze_wake_latency;          // doze -> idle transition
+    const Time guard = Time::from_ms(1);              // station wake_guard
+    const Time beacon = beacon_airtime();
+    const Time enter = nic.doze_enter_latency;        // idle -> doze transition
+
+    Time awake = wake + guard + beacon + ex_wall * polls + contention + enter;
+    double clamp = 1.0;
+    if (awake > cycle) {
+        // Saturated: the station never dozes; scale occupancies into the
+        // cycle (the always-awake limit).
+        clamp = cycle.to_seconds() / awake.to_seconds();
+        awake = cycle;
+    }
+    const Time doze_time = cycle - awake;
+
+    power::Energy e;
+    e += nic.idle.over(wake) * clamp;       // transition charged at idle
+    e += nic.idle.over(guard) * clamp;
+    e += nic.rx.over(beacon) * clamp;
+    e += nic.idle.over(ex_idle * polls) * clamp;
+    e += nic.tx.over(ex_tx * polls) * clamp;
+    e += nic.rx.over(ex_rx * polls) * clamp;
+    e += nic.idle.over(contention) * clamp;
+    e += nic.doze.over(enter) * clamp;      // transition charged at doze
+    e += nic.doze.over(doze_time);
+    return e.average_over(cycle);
+}
+
+Rate psm_saturation_throughput(int stations, const phy::WlanNicConfig& nic, DataSize msdu) {
+    WLANPS_REQUIRE(stations >= 1);
+    // Collision probability of one access attempt when each of the other
+    // stations independently lands on the same slot of a cw_min window.
+    const double p_col =
+        1.0 - std::pow(1.0 - 1.0 / static_cast<double>(cal::kWlanCwMin + 1),
+                       static_cast<double>(stations - 1));
+    // Mean access cost, geometrically inflated by collisions (each
+    // collision re-runs the access + poll and doubles nothing — the
+    // sim's approximate-freeze backoff keeps cw near cw_min for control
+    // frames, so a first-order 1/(1-p) stretch matches it better than a
+    // full Bianchi fixed point).
+    const Time access = dcf_access_time();
+    const Time poll_air = poll_airtime(nic.phy_rate);
+    const Time data_air = wlan_frame_airtime(msdu, nic.phy_rate);
+    const Time ack = wlan_ack_airtime();
+    const Time exchange = (access + poll_air + cal::kWlanSifs + ack) *
+                              (1.0 / (1.0 - p_col)) +
+                          access + data_air + cal::kWlanSifs + ack;
+    return Rate::from_bps(static_cast<double>(msdu.bits()) / exchange.to_seconds());
+}
+
+power::Power bt_active_power(const phy::BtNicConfig& nic, const GilbertElliottConfig& link,
+                             const WlanWorkload& workload) {
+    const Time forward = cal::kBtSlot * static_cast<double>(cal::kBtDh5Slots);
+    // Per MP3 frame: full DH5 chunks plus one partial, each occupying the
+    // full 5+1 slot exchange; retries repeat the whole exchange.
+    double rx_s = 0.0;
+    double tx_s = 0.0;
+    DataSize remaining = workload.frame_size;
+    while (!remaining.is_zero()) {
+        const DataSize chunk = std::min(remaining, cal::kBtDh5Payload);
+        const double p = frame_error_prob(link, chunk);
+        const double attempts = expected_attempts(p, 32);  // PiconetConfig default
+        rx_s += attempts * forward.to_seconds();
+        tx_s += attempts * cal::kBtSlot.to_seconds();
+        remaining -= chunk;
+    }
+    const double f_rx = rx_s / workload.frame_interval.to_seconds();
+    const double f_tx = tx_s / workload.frame_interval.to_seconds();
+    return nic.active + (nic.rx - nic.active) * f_rx + (nic.tx - nic.active) * f_tx;
+}
+
+power::Power hotspot_client_power(const HotspotModelParams& params,
+                                  const phy::WlanNicConfig& wlan,
+                                  const phy::BtNicConfig& bt,
+                                  const GilbertElliottConfig& wlan_link,
+                                  const GilbertElliottConfig& bt_link) {
+    WLANPS_REQUIRE(params.bt_available || params.wlan_available);
+    WLANPS_REQUIRE(!params.stream_rate.is_zero());
+    // Server burst sizing: never below target_burst, never starving the
+    // stream longer than target_burst_period.
+    const DataSize by_period = params.stream_rate.data_in(params.target_burst_period);
+    const DataSize burst = std::max(params.target_burst, by_period);
+    const Time period =
+        Time::from_seconds(static_cast<double>(burst.bits()) / params.stream_rate.bps());
+
+    power::Energy e;
+    // The selector prefers the cheaper adequate interface: BT sustains the
+    // MP3 rate, so when present it carries the bursts and WLAN sleeps.
+    if (params.bt_available) {
+        const Time forward = cal::kBtSlot * static_cast<double>(cal::kBtDh5Slots);
+        const double full_chunks =
+            std::floor(static_cast<double>(burst.bytes()) /
+                       static_cast<double>(cal::kBtDh5Payload.bytes()));
+        const DataSize tail =
+            burst - cal::kBtDh5Payload * static_cast<std::int64_t>(full_chunks);
+        const double a_full =
+            expected_attempts(frame_error_prob(bt_link, cal::kBtDh5Payload), 32);
+        double rx_s = full_chunks * a_full * forward.to_seconds();
+        double tx_s = full_chunks * a_full * cal::kBtSlot.to_seconds();
+        if (!tail.is_zero()) {
+            const double a_tail = expected_attempts(frame_error_prob(bt_link, tail), 32);
+            rx_s += a_tail * forward.to_seconds();
+            tx_s += a_tail * cal::kBtSlot.to_seconds();
+        }
+        const Time transfer = Time::from_seconds(rx_s + tx_s);
+        e += bt.rx.over(Time::from_seconds(rx_s));
+        e += bt.tx.over(Time::from_seconds(tx_s));
+        // park -> active ahead of the burst, back to park after.
+        e += bt.active.over(bt.unpark_latency);
+        e += bt.park.over(bt.park_enter_latency);
+        const Time parked =
+            period - transfer - bt.unpark_latency - bt.park_enter_latency;
+        e += bt.park.over(std::max(parked, Time::zero()));
+        if (params.wlan_available) {
+            // The WLAN NIC suspends at client start and stays off; its
+            // one-shot suspend energy amortizes over the whole run.
+            if (!params.duration.is_zero()) {
+                e += wlan.idle.over(wlan.suspend_latency) *
+                     (period.to_seconds() / params.duration.to_seconds());
+            }
+        }
+    } else {
+        // WLAN-only: deep sleep between bursts costs a full resume each
+        // cycle (the 300 ms / 0.40 W ramp) — the paper's reason bursts
+        // must be large.
+        const double chunks = std::ceil(static_cast<double>(burst.bytes()) /
+                                        static_cast<double>(params.wlan_mpdu.bytes()));
+        const Time data_air = wlan_frame_airtime(params.wlan_mpdu, wlan.phy_rate);
+        const Time ack = wlan_ack_airtime();
+        const double p = frame_error_prob(wlan_link, params.wlan_mpdu + cal::kWlanMacHeader);
+        const double attempts = expected_attempts(p, 7);  // channel retry_limit
+        const Time gaps = (cal::kWlanDifs + cal::kWlanSifs) * (chunks * attempts);
+        e += wlan.resume_draw.over(wlan.resume_latency);
+        e += wlan.rx.over(data_air * (chunks * attempts));
+        e += wlan.tx.over(ack * chunks);
+        e += wlan.idle.over(gaps);
+        e += wlan.idle.over(wlan.suspend_latency);
+        // Remaining time is off at zero draw.
+    }
+    return e.average_over(period);
+}
+
+}  // namespace wlanps::analytic

@@ -1,0 +1,148 @@
+#pragma once
+/// \file model.hpp
+/// Closed-form steady-state energy/throughput models.
+///
+/// Mean-value analyses in the style of Agrawal & Kumar et al. ("Analytical
+/// Models for Energy Consumption in Infrastructure WLAN STAs Carrying TCP
+/// Traffic", arXiv:0909.3717; "Analytical Modeling of Saturation
+/// Throughput in Power Save Mode of an IEEE 802.11 Infrastructure WLAN",
+/// arXiv:1012.4815), instantiated for this repo's simulator semantics: the
+/// same calibration constants (phy/calibration.hpp), the same MAC timing
+/// (DIFS + uniform backoff, PLCP preamble per frame, basic-rate ACKs), the
+/// same Gilbert–Elliott link mixture.  Every function is pure — no RNG, no
+/// simulator — so an AnalyticBackend run is seed-invariant and costs
+/// microseconds instead of seconds.
+///
+/// Valid regimes (documented per function, asserted by the cross-
+/// validation suite in tests/analytic_test.cpp):
+///   * steady-state periodic traffic (the Figure 2 MP3 workload) — no
+///     transients, no fault injection, no recovery;
+///   * per-client means: the sim's per-client values scatter around the
+///     closed form, so mean-over-clients error shrinks as 1/sqrt(N).
+
+#include "channel/gilbert_elliott.hpp"
+#include "phy/bt_nic.hpp"
+#include "phy/wlan_nic.hpp"
+#include "sim/time.hpp"
+#include "sim/units.hpp"
+
+namespace wlanps::analytic {
+
+using channel::GilbertElliottConfig;
+
+// --- Link-layer building blocks -----------------------------------------
+
+/// Stationary probability of the Gilbert–Elliott BAD state.
+[[nodiscard]] double bad_state_fraction(const GilbertElliottConfig& link);
+
+/// Probability that a frame of \p on_air bytes suffers at least one bit
+/// error, averaging the per-state error over the stationary distribution
+/// (valid when sojourn times are long against one frame's airtime, as in
+/// the default 800 ms / 40 ms channel).
+[[nodiscard]] double frame_error_prob(const GilbertElliottConfig& link, DataSize on_air);
+
+/// Expected transmission attempts per frame under ARQ with error
+/// probability \p p and \p retry_limit attempts: (1 - p^R) / (1 - p).
+[[nodiscard]] double expected_attempts(double p, int retry_limit);
+
+/// Mean DCF channel-access time: DIFS + E[backoff] slots drawn uniformly
+/// from [0, cw_min].
+[[nodiscard]] Time dcf_access_time();
+
+/// Airtime of a frame carrying \p payload MAC-payload bytes (MAC header
+/// added here) at \p rate, including PLCP preamble/header.
+[[nodiscard]] Time wlan_frame_airtime(DataSize payload, Rate rate);
+
+/// Airtime of an 802.11 ACK at the basic rate.
+[[nodiscard]] Time wlan_ack_airtime();
+
+// --- 802.11 station energy models (Figure 2 rows 1-2) -------------------
+
+/// Periodic downlink workload: one \p frame_size MSDU every
+/// \p frame_interval (defaults = the MP3 stream).
+struct WlanWorkload {
+    DataSize frame_size = phy::calibration::kMp3FrameSize;
+    Time frame_interval = phy::calibration::kMp3FrameInterval;
+};
+
+/// Mean WNIC draw of a CAM station: idle listening plus the rx/tx
+/// excursions for its own frames (retries included), broadcast beacons,
+/// and ACKs.  Exact in steady state — CAM stations don't contend for
+/// sleep windows, so there is no N dependence beyond the AP's queue
+/// (negligible at MP3 rates).
+[[nodiscard]] power::Power cam_station_power(const phy::WlanNicConfig& nic,
+                                             const GilbertElliottConfig& link,
+                                             const WlanWorkload& workload = {});
+
+/// PSM model parameters beyond the NIC/link.
+struct PsmModelParams {
+    int stations = 1;
+    int listen_interval = 1;
+    int aggregate_limit = 1;
+    Time beacon_interval = phy::calibration::kWlanBeaconInterval;
+    /// Fraction of the other stations' retrieval exchanges a station
+    /// idles through (awake, listening) before its own queue drains.
+    /// 0 = perfect scheduling (each station sleeps the instant its own
+    /// frames arrive), 1 = full serialization (every station waits out
+    /// everyone's exchanges).  Calibrated against the simulator.
+    double contention_overlap = kDefaultContentionOverlap;
+
+    static constexpr double kDefaultContentionOverlap = 0.72;
+};
+
+/// Mean WNIC draw of a PSM station: per beacon cycle, the wake
+/// transition + guard, the TIM beacon, k = cycle/frame_interval PS-Poll
+/// retrievals (aggregate_limit MSDUs per poll), the contention share of
+/// the other N-1 stations' retrievals, and doze for the remainder.
+/// Valid while the cycle is not saturated (all retrievals fit in one
+/// beacon interval); beyond that the model clamps to always-awake.
+[[nodiscard]] power::Power psm_station_power(const PsmModelParams& params,
+                                             const phy::WlanNicConfig& nic,
+                                             const GilbertElliottConfig& link,
+                                             const WlanWorkload& workload = {});
+
+/// Aggregate saturation goodput of \p stations PSM stations whose AP
+/// queue never empties (arXiv:1012.4815 regime): retrieval exchanges
+/// serialize on the medium, with the mean backoff stretched by the
+/// collision probability 1 - (1 - 1/cw_min)^(N-1).  Monotonically
+/// decreasing in N; independent of the seed and the beacon interval
+/// (every interval is fully busy).
+[[nodiscard]] Rate psm_saturation_throughput(int stations, const phy::WlanNicConfig& nic,
+                                             DataSize msdu = phy::calibration::kMp3FrameSize);
+
+// --- Bluetooth energy models (Figure 2 rows 3-4) -------------------------
+
+/// Mean NIC draw of an always-active BT slave receiving the periodic
+/// workload: per frame, ceil(frame/DH5) packet exchanges of 5 rx slots +
+/// 1 tx slot each, attempts inflated by the link error probability.
+[[nodiscard]] power::Power bt_active_power(const phy::BtNicConfig& nic,
+                                           const GilbertElliottConfig& link,
+                                           const WlanWorkload& workload = {});
+
+// --- Hotspot burst-scheduling model (Figure 2 row 5) ----------------------
+
+struct HotspotModelParams {
+    DataSize target_burst = DataSize::from_kilobytes(48);
+    Time target_burst_period = Time::from_seconds(3);
+    Rate stream_rate = phy::calibration::kMp3Rate;
+    bool wlan_available = true;
+    bool bt_available = true;
+    /// WlanBurstChannel MPDU size (burst_channel.hpp default).
+    DataSize wlan_mpdu = DataSize::from_bytes(1500);
+    /// Amortize one-shot costs (the initial WLAN suspend) over this run
+    /// length; zero drops them (the infinite-horizon limit).
+    Time duration = Time::from_seconds(300);
+};
+
+/// Mean WNIC draw (all interfaces) of one Hotspot client under burst
+/// scheduling: bursts of max(target_burst, rate * period) every
+/// burst/rate seconds on the cheaper adequate interface (BT when
+/// available), the radio parked (BT) or off (WLAN) in between.  Steady
+/// state only — no faults, proxies, rejoin, or scripted link decay.
+[[nodiscard]] power::Power hotspot_client_power(const HotspotModelParams& params,
+                                                const phy::WlanNicConfig& wlan,
+                                                const phy::BtNicConfig& bt,
+                                                const GilbertElliottConfig& wlan_link,
+                                                const GilbertElliottConfig& bt_link);
+
+}  // namespace wlanps::analytic

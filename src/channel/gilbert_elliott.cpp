@@ -53,6 +53,12 @@ double GilbertElliott::ber_at(Time t) {
 
 bool GilbertElliott::transmit_success(Time start, DataSize size, Rate rate) {
     WLANPS_REQUIRE(rate > Rate::zero());
+    // Colliding transmissions can overlap: both ends of an AP<->station
+    // pair query the same chain, and the second query starts while the
+    // first frame's airtime still holds the clock.  The MAC discards a
+    // collided frame's channel outcome anyway, so shift the window to the
+    // chain's committed clock instead of rejecting the query.
+    if (start < clock_) start = clock_;
     advance(start);
     const Time end = start + rate.transmit_time(size);
     // Fast path: the whole packet fits inside the current sojourn (the

@@ -1,0 +1,15 @@
+#include "core/backend.hpp"
+
+#include "sim/assert.hpp"
+
+namespace wlanps::core {
+
+ScenarioResult Backend::run(const ScenarioSpec& spec, std::uint64_t seed) const {
+    spec.validate();
+    const std::string reason = unsupported_reason(spec);
+    WLANPS_REQUIRE_MSG(reason.empty(),
+                       "backend '" + name() + "' cannot run this scenario: " + reason);
+    return do_run(spec, seed);
+}
+
+}  // namespace wlanps::core

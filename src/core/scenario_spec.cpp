@@ -1,0 +1,228 @@
+#include "core/scenario_spec.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "sim/assert.hpp"
+
+namespace wlanps::core {
+
+namespace {
+
+/// Shortest decimal representation ("3", "0.9", "102.4") for describe().
+std::string fmt(double v) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%g", v);
+    return buf;
+}
+
+bool known_scheduler(const std::string& name) {
+    static constexpr const char* kNames[] = {"edf", "wfq", "round-robin",
+                                             "fixed-priority", "fifo"};
+    return std::any_of(std::begin(kNames), std::end(kNames),
+                       [&](const char* n) { return name == n; });
+}
+
+}  // namespace
+
+power::Power ScenarioResult::mean_wnic() const {
+    WLANPS_REQUIRE(!clients.empty());
+    power::Power sum;
+    for (const ClientMetrics& c : clients) sum += c.wnic_average;
+    return sum * (1.0 / static_cast<double>(clients.size()));
+}
+
+power::Power ScenarioResult::mean_device() const {
+    WLANPS_REQUIRE(!clients.empty());
+    power::Power sum;
+    for (const ClientMetrics& c : clients) sum += c.device_average;
+    return sum * (1.0 / static_cast<double>(clients.size()));
+}
+
+double ScenarioResult::min_qos() const {
+    WLANPS_REQUIRE(!clients.empty());
+    double q = 1.0;
+    for (const ClientMetrics& c : clients) q = std::min(q, c.qos);
+    return q;
+}
+
+void PsmConfig::validate() const {
+    WLANPS_REQUIRE_MSG(listen_interval >= 1,
+                       "PsmConfig.listen_interval must be >= 1 (got " +
+                           std::to_string(listen_interval) + ")");
+    WLANPS_REQUIRE_MSG(aggregate_limit >= 1,
+                       "PsmConfig.aggregate_limit must be >= 1 (got " +
+                           std::to_string(aggregate_limit) + ")");
+    WLANPS_REQUIRE_MSG(beacon_interval > Time::zero(),
+                       "PsmConfig.beacon_interval must be positive");
+}
+
+void EcmacConfig::validate() const {
+    WLANPS_REQUIRE_MSG(superframe > Time::zero(),
+                       "EcmacConfig.superframe must be positive");
+}
+
+void HotspotConfig::validate() const {
+    WLANPS_REQUIRE_MSG(known_scheduler(scheduler),
+                       "HotspotConfig.scheduler '" + scheduler +
+                           "' is unknown (edf, wfq, round-robin, fixed-priority, fifo)");
+    WLANPS_REQUIRE_MSG(!target_burst.is_zero(),
+                       "HotspotConfig.target_burst must be positive");
+    WLANPS_REQUIRE_MSG(target_burst_period > Time::zero(),
+                       "HotspotConfig.target_burst_period must be positive");
+    WLANPS_REQUIRE_MSG(wlan_available || bt_available,
+                       "at least one interface must be available "
+                       "(set wlan_available or bt_available)");
+    WLANPS_REQUIRE_MSG(utilization_cap > 0.0,
+                       "HotspotConfig.utilization_cap must be positive (got " +
+                           fmt(utilization_cap) + ")");
+    resilience.validate();
+    if (rejoin_enabled) rejoin.validate();
+    if (media_proxy) {
+        WLANPS_REQUIRE_MSG(!proxy_config.av_rate.is_zero(),
+                           "HotspotConfig.proxy_config.av_rate must be positive");
+        WLANPS_REQUIRE_MSG(proxy_config.audio_rate <= proxy_config.av_rate,
+                           "HotspotConfig.proxy_config.audio_rate cannot exceed av_rate");
+    }
+}
+
+void MixedWorkload::validate() const {
+    WLANPS_REQUIRE_MSG(mp3_clients >= 0 && video_clients >= 0 && web_clients >= 0,
+                       "MixedWorkload client counts must be non-negative");
+    WLANPS_REQUIRE_MSG(total() >= 1, "MixedWorkload needs at least one client");
+    WLANPS_REQUIRE_MSG(total() <= 7, "one piconet supports at most 7 active slaves (got " +
+                                         std::to_string(total()) + ")");
+}
+
+std::string_view to_string(Policy policy) {
+    switch (policy) {
+        case Policy::cam: return "cam";
+        case Policy::psm: return "psm";
+        case Policy::ecmac: return "ecmac";
+        case Policy::bt: return "bt";
+        case Policy::hotspot: return "hotspot";
+        case Policy::hotspot_mixed: return "hotspot-mixed";
+    }
+    WLANPS_REQUIRE_MSG(false, "bad policy");
+    return "";
+}
+
+Policy parse_policy(std::string_view name) {
+    if (name == "cam" || name == "wlan-cam") return Policy::cam;
+    if (name == "psm" || name == "wlan-psm") return Policy::psm;
+    if (name == "ecmac" || name == "ec-mac") return Policy::ecmac;
+    if (name == "bt" || name == "bt-active") return Policy::bt;
+    if (name == "hotspot") return Policy::hotspot;
+    if (name == "hotspot-mixed" || name == "hotspot_mixed" || name == "mixed") {
+        return Policy::hotspot_mixed;
+    }
+    WLANPS_REQUIRE_MSG(false, "unknown policy '" + std::string(name) +
+                                  "' (cam, psm, ecmac, bt, hotspot, hotspot-mixed)");
+    return Policy::cam;  // unreachable
+}
+
+std::string ScenarioSpec::label() const {
+    switch (policy_) {
+        case Policy::cam: return "wlan-cam";
+        case Policy::psm: return "wlan-psm";
+        case Policy::ecmac: return "ec-mac";
+        case Policy::bt: return "bt-active";
+        case Policy::hotspot: return "hotspot-" + hotspot_.scheduler;
+        case Policy::hotspot_mixed: return "hotspot-mixed-" + hotspot_.scheduler;
+    }
+    return "?";
+}
+
+std::string ScenarioSpec::describe() const {
+    std::string out = "policy=";
+    out += to_string(policy_);
+    out += " clients=" + std::to_string(clients());
+    out += " duration_s=" + fmt(stream_.duration.to_seconds());
+    if (!stream_.fault_plan.empty()) {
+        out += " faults=" + std::to_string(stream_.fault_plan.size());
+    }
+    switch (policy_) {
+        case Policy::cam:
+        case Policy::bt:
+            break;
+        case Policy::psm:
+            out += " listen_interval=" + std::to_string(psm_.listen_interval);
+            out += " aggregate_limit=" + std::to_string(psm_.aggregate_limit);
+            out += " beacon_ms=" + fmt(psm_.beacon_interval.to_seconds() * 1e3);
+            break;
+        case Policy::ecmac:
+            out += " superframe_ms=" + fmt(ecmac_.superframe.to_seconds() * 1e3);
+            break;
+        case Policy::hotspot_mixed:
+            out += " mp3=" + std::to_string(mix_.mp3_clients);
+            out += " video=" + std::to_string(mix_.video_clients);
+            out += " web=" + std::to_string(mix_.web_clients);
+            [[fallthrough]];
+        case Policy::hotspot:
+            out += " scheduler=" + hotspot_.scheduler;
+            out += " burst_kb=" + fmt(hotspot_.target_burst.kilobytes());
+            out += " burst_period_s=" + fmt(hotspot_.target_burst_period.to_seconds());
+            out += " wlan=" + std::to_string(hotspot_.wlan_available ? 1 : 0);
+            out += " bt=" + std::to_string(hotspot_.bt_available ? 1 : 0);
+            out += " cap=" + fmt(hotspot_.utilization_cap);
+            if (hotspot_.media_proxy) out += " media_proxy=1";
+            if (hotspot_.rejoin_enabled) out += " rejoin=1";
+            break;
+    }
+    return out;
+}
+
+void ScenarioSpec::validate() const {
+    WLANPS_REQUIRE_MSG(stream_.duration > Time::zero(),
+                       "ScenarioSpec duration must be positive");
+    if (policy_ == Policy::hotspot_mixed) {
+        mix_.validate();
+    } else {
+        WLANPS_REQUIRE_MSG(stream_.clients >= 1,
+                           "ScenarioSpec needs at least one client (got " +
+                               std::to_string(stream_.clients) + ")");
+    }
+    // Sub-configs only make sense on their own policy: reject the
+    // incoherent combinations loudly instead of silently ignoring them.
+    const std::string policy_name(to_string(policy_));
+    WLANPS_REQUIRE_MSG(!psm_set_ || policy_ == Policy::psm,
+                       "PsmConfig set on a '" + policy_name +
+                           "' scenario — use ScenarioSpec::psm()");
+    WLANPS_REQUIRE_MSG(!ecmac_set_ || policy_ == Policy::ecmac,
+                       "EcmacConfig (superframe) set on a '" + policy_name +
+                           "' scenario — use ScenarioSpec::ecmac()");
+    WLANPS_REQUIRE_MSG(
+        !hotspot_set_ ||
+            policy_ == Policy::hotspot || policy_ == Policy::hotspot_mixed,
+        "HotspotConfig set on a '" + policy_name +
+            "' scenario — use ScenarioSpec::hotspot() or hotspot_mixed()");
+    WLANPS_REQUIRE_MSG(!mix_set_ || policy_ == Policy::hotspot_mixed,
+                       "MixedWorkload set on a '" + policy_name +
+                           "' scenario — use ScenarioSpec::hotspot_mixed()");
+    // Only the psm and hotspot worlds route fault hooks.
+    WLANPS_REQUIRE_MSG(
+        stream_.fault_plan.empty() ||
+            policy_ == Policy::psm || policy_ == Policy::hotspot,
+        "fault plans are only injectable into psm and hotspot scenarios, not '" +
+            policy_name + "'");
+    stream_.fault_plan.validate();
+    switch (policy_) {
+        case Policy::cam:
+        case Policy::bt:
+            break;
+        case Policy::psm:
+            psm_.validate();
+            break;
+        case Policy::ecmac:
+            ecmac_.validate();
+            break;
+        case Policy::hotspot:
+            hotspot_.validate();
+            break;
+        case Policy::hotspot_mixed:
+            hotspot_.validate();
+            break;
+    }
+}
+
+}  // namespace wlanps::core

@@ -1,5 +1,10 @@
+// This translation unit defines the legacy shims, so it opts out of their
+// deprecation warnings.
+#define WLANPS_ALLOW_LEGACY_SCENARIOS
+
 #include "core/scenarios.hpp"
 
+#include <map>
 #include <memory>
 #include <utility>
 
@@ -15,7 +20,7 @@
 #include "traffic/playout.hpp"
 #include "traffic/source.hpp"
 
-namespace wlanps::core::scenarios {
+namespace wlanps::core {
 
 namespace {
 
@@ -74,30 +79,7 @@ void record_kernel_obs(const sim::Simulator& sim) {
     reg->gauge("sim.queue.pending_live").set(static_cast<double>(sim.pending_events()));
 }
 
-}  // namespace
-
-power::Power ScenarioResult::mean_wnic() const {
-    WLANPS_REQUIRE(!clients.empty());
-    power::Power sum;
-    for (const ClientMetrics& c : clients) sum += c.wnic_average;
-    return sum * (1.0 / static_cast<double>(clients.size()));
-}
-
-power::Power ScenarioResult::mean_device() const {
-    WLANPS_REQUIRE(!clients.empty());
-    power::Power sum;
-    for (const ClientMetrics& c : clients) sum += c.device_average;
-    return sum * (1.0 / static_cast<double>(clients.size()));
-}
-
-double ScenarioResult::min_qos() const {
-    WLANPS_REQUIRE(!clients.empty());
-    double q = 1.0;
-    for (const ClientMetrics& c : clients) q = std::min(q, c.qos);
-    return q;
-}
-
-ScenarioResult run_wlan_cam(const StreamConfig& config) {
+ScenarioResult sim_wlan_cam(const StreamConfig& config) {
     WLANPS_REQUIRE(config.clients >= 1);
     sim::Simulator sim;
     sim::Random root(config.seed);
@@ -153,7 +135,7 @@ ScenarioResult run_wlan_cam(const StreamConfig& config) {
     return result;
 }
 
-ScenarioResult run_wlan_psm(const StreamConfig& config, PsmOptions options) {
+ScenarioResult sim_wlan_psm(const StreamConfig& config, const PsmConfig& options) {
     WLANPS_REQUIRE(config.clients >= 1);
     WLANPS_REQUIRE(options.listen_interval >= 1);
     WLANPS_REQUIRE(options.aggregate_limit >= 1);
@@ -242,7 +224,7 @@ ScenarioResult run_wlan_psm(const StreamConfig& config, PsmOptions options) {
     return result;
 }
 
-ScenarioResult run_ecmac(const StreamConfig& config, Time superframe) {
+ScenarioResult sim_ecmac(const StreamConfig& config, Time superframe) {
     WLANPS_REQUIRE(config.clients >= 1);
     sim::Simulator sim;
     sim::Random root(config.seed);
@@ -294,7 +276,7 @@ ScenarioResult run_ecmac(const StreamConfig& config, Time superframe) {
     return result;
 }
 
-ScenarioResult run_bt_active(const StreamConfig& config) {
+ScenarioResult sim_bt_active(const StreamConfig& config) {
     WLANPS_REQUIRE(config.clients >= 1);
     sim::Simulator sim;
     sim::Random root(config.seed);
@@ -343,7 +325,7 @@ ScenarioResult run_bt_active(const StreamConfig& config) {
     return result;
 }
 
-ScenarioResult run_hotspot(const StreamConfig& config, HotspotOptions options) {
+ScenarioResult sim_hotspot(const StreamConfig& config, const HotspotConfig& options) {
     WLANPS_REQUIRE(config.clients >= 1);
     WLANPS_REQUIRE_MSG(options.wlan_available || options.bt_available,
                        "at least one interface must be available");
@@ -576,7 +558,7 @@ ScenarioResult run_hotspot(const StreamConfig& config, HotspotOptions options) {
     return result;
 }
 
-ScenarioResult run_hotspot_mixed(const StreamConfig& config, HotspotOptions options,
+ScenarioResult sim_hotspot_mixed(const StreamConfig& config, const HotspotConfig& options,
                                  MixedWorkload mix) {
     WLANPS_REQUIRE(mix.mp3_clients >= 0 && mix.video_clients >= 0 && mix.web_clients >= 0);
     const int total = mix.mp3_clients + mix.video_clients + mix.web_clients;
@@ -726,47 +708,96 @@ ScenarioResult run_hotspot_mixed(const StreamConfig& config, HotspotOptions opti
     return result;
 }
 
-ScenarioFactory wlan_cam_factory(StreamConfig config) {
-    return [config](std::uint64_t seed) mutable {
-        config.seed = seed;
-        return run_wlan_cam(config);
+}  // namespace
+
+ScenarioResult SimBackend::do_run(const ScenarioSpec& spec, std::uint64_t seed) const {
+    StreamConfig config = spec.stream();
+    config.seed = seed;
+    switch (spec.policy()) {
+        case Policy::cam: return sim_wlan_cam(config);
+        case Policy::psm: return sim_wlan_psm(config, spec.psm_config());
+        case Policy::ecmac: return sim_ecmac(config, spec.ecmac_config().superframe);
+        case Policy::bt: return sim_bt_active(config);
+        case Policy::hotspot: return sim_hotspot(config, spec.hotspot_config());
+        case Policy::hotspot_mixed:
+            return sim_hotspot_mixed(config, spec.hotspot_config(), spec.mix());
+    }
+    WLANPS_REQUIRE_MSG(false, "bad policy");
+    return {};
+}
+
+}  // namespace wlanps::core
+
+namespace wlanps::core::scenarios {
+
+ScenarioResult run_wlan_cam(const StreamConfig& config) {
+    return SimBackend{}.run(ScenarioSpec::cam().with_stream(config), config.seed);
+}
+
+ScenarioResult run_wlan_psm(const StreamConfig& config, PsmOptions options) {
+    return SimBackend{}.run(ScenarioSpec::psm().with_stream(config).with_psm(options),
+                            config.seed);
+}
+
+ScenarioResult run_ecmac(const StreamConfig& config, Time superframe) {
+    return SimBackend{}.run(ScenarioSpec::ecmac().with_stream(config).with_superframe(superframe),
+                            config.seed);
+}
+
+ScenarioResult run_bt_active(const StreamConfig& config) {
+    return SimBackend{}.run(ScenarioSpec::bt().with_stream(config), config.seed);
+}
+
+ScenarioResult run_hotspot(const StreamConfig& config, HotspotOptions options) {
+    return SimBackend{}.run(
+        ScenarioSpec::hotspot().with_stream(config).with_hotspot(std::move(options)),
+        config.seed);
+}
+
+ScenarioResult run_hotspot_mixed(const StreamConfig& config, HotspotOptions options,
+                                 MixedWorkload mix) {
+    return SimBackend{}.run(ScenarioSpec::hotspot_mixed()
+                                .with_stream(config)
+                                .with_hotspot(std::move(options))
+                                .with_mix(mix),
+                            config.seed);
+}
+
+ScenarioFactory spec_factory(ScenarioSpec spec, std::shared_ptr<const Backend> backend) {
+    if (!backend) backend = std::make_shared<SimBackend>();
+    return [spec = std::move(spec), backend = std::move(backend)](std::uint64_t seed) {
+        return backend->run(spec, seed);
     };
 }
 
-ScenarioFactory wlan_psm_factory(StreamConfig config, PsmOptions options) {
-    return [config, options](std::uint64_t seed) mutable {
-        config.seed = seed;
-        return run_wlan_psm(config, options);
-    };
+ScenarioFactory wlan_cam_factory(StreamConfig config) {
+    return spec_factory(ScenarioSpec::cam().with_stream(std::move(config)));
+}
+
+ScenarioFactory wlan_psm_factory(StreamConfig config, core::PsmConfig options) {
+    return spec_factory(ScenarioSpec::psm().with_stream(std::move(config)).with_psm(options));
 }
 
 ScenarioFactory ecmac_factory(StreamConfig config, Time superframe) {
-    return [config, superframe](std::uint64_t seed) mutable {
-        config.seed = seed;
-        return run_ecmac(config, superframe);
-    };
+    return spec_factory(
+        ScenarioSpec::ecmac().with_stream(std::move(config)).with_superframe(superframe));
 }
 
 ScenarioFactory bt_active_factory(StreamConfig config) {
-    return [config](std::uint64_t seed) mutable {
-        config.seed = seed;
-        return run_bt_active(config);
-    };
+    return spec_factory(ScenarioSpec::bt().with_stream(std::move(config)));
 }
 
-ScenarioFactory hotspot_factory(StreamConfig config, HotspotOptions options) {
-    return [config, options](std::uint64_t seed) mutable {
-        config.seed = seed;
-        return run_hotspot(config, options);
-    };
+ScenarioFactory hotspot_factory(StreamConfig config, core::HotspotConfig options) {
+    return spec_factory(
+        ScenarioSpec::hotspot().with_stream(std::move(config)).with_hotspot(std::move(options)));
 }
 
-ScenarioFactory hotspot_mixed_factory(StreamConfig config, HotspotOptions options,
+ScenarioFactory hotspot_mixed_factory(StreamConfig config, core::HotspotConfig options,
                                       MixedWorkload mix) {
-    return [config, options, mix](std::uint64_t seed) mutable {
-        config.seed = seed;
-        return run_hotspot_mixed(config, options, mix);
-    };
+    return spec_factory(ScenarioSpec::hotspot_mixed()
+                            .with_stream(std::move(config))
+                            .with_hotspot(std::move(options))
+                            .with_mix(mix));
 }
 
 exp::Metrics to_metrics(const ScenarioResult& result) {
@@ -815,18 +846,32 @@ exp::Metrics to_recovery_metrics(const ScenarioResult& result) {
     return metrics;
 }
 
-exp::RunFn fault_grid_run(StreamConfig config, HotspotOptions options,
+exp::RunFn spec_grid_run(std::shared_ptr<const Backend> backend,
+                         std::vector<ScenarioSpec> specs) {
+    WLANPS_REQUIRE_MSG(backend != nullptr, "spec_grid_run needs a backend");
+    WLANPS_REQUIRE_MSG(!specs.empty(), "spec_grid_run needs at least one spec");
+    for (const ScenarioSpec& spec : specs) spec.validate();
+    return [backend = std::move(backend), specs = std::move(specs)](
+               const exp::ParamPoint& point, std::uint64_t seed) {
+        WLANPS_REQUIRE_MSG(point.index < specs.size(),
+                           "grid point " + std::to_string(point.index) + " has no spec (" +
+                               std::to_string(specs.size()) + " provided)");
+        return to_metrics(backend->run(specs[point.index], seed));
+    };
+}
+
+exp::RunFn fault_grid_run(StreamConfig config, core::HotspotConfig options,
                           std::vector<fault::FaultPlan> plans) {
     WLANPS_REQUIRE_MSG(!plans.empty(), "fault grid needs at least one plan");
-    return [config, options, plans](const exp::ParamPoint& point,
-                                    std::uint64_t seed) mutable {
+    auto spec = ScenarioSpec::hotspot().with_stream(std::move(config)).with_hotspot(
+        std::move(options));
+    return [spec = std::move(spec), plans = std::move(plans)](const exp::ParamPoint& point,
+                                                              std::uint64_t seed) mutable {
         WLANPS_REQUIRE_MSG(point.index < plans.size(),
                            "grid point " + std::to_string(point.index) + " has no fault plan (" +
                                std::to_string(plans.size()) + " provided)");
-        StreamConfig run_config = config;
-        run_config.seed = seed;
-        run_config.fault_plan = plans[point.index];
-        return to_recovery_metrics(run_hotspot(run_config, options));
+        spec.with_fault_plan(plans[point.index]);
+        return to_recovery_metrics(SimBackend{}.run(spec, seed));
     };
 }
 

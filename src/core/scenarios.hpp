@@ -1,174 +1,100 @@
 #pragma once
 /// \file scenarios.hpp
-/// End-to-end scenario builders for the paper's evaluation.
+/// Scenario entry points and experiment-runner integration.
 ///
-/// Each function builds a full world (simulator, traffic, MAC/PHY
-/// substrates, meters), runs it, and returns per-client power and QoS —
-/// the rows of Figure 2 and the ablation benches.  The four configurations
-/// of the Figure 2 experiment:
-///   * WLAN, no scheduling  (CAM: NIC idle-listening throughout)
-///   * WLAN standard 802.11 PSM (TIM + PS-Poll)
-///   * Bluetooth, no scheduling (ACL active the whole session)
-///   * Hotspot scheduling (paper §2: bursts + interface selection +
-///     park/off between bursts)
+/// The scenario description itself lives in core/scenario_spec.hpp
+/// (ScenarioSpec) and execution engines in core/backend.hpp (SimBackend)
+/// and analytic/backend.hpp (AnalyticBackend).  This header keeps:
+///   * the legacy free-function entry points (run_wlan_cam, ...) as thin
+///     deprecated shims over Backend::run(ScenarioSpec) — define
+///     WLANPS_ALLOW_LEGACY_SCENARIOS before including to silence the
+///     deprecation during migration;
+///   * the exp::ExperimentRunner integration (factories, to_metrics,
+///     spec_grid_run, fault_grid_run).
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
-#include "channel/gilbert_elliott.hpp"
-#include "channel/scripted.hpp"
+#include "core/backend.hpp"
 #include "core/client.hpp"
-#include "core/media_proxy.hpp"
-#include "core/resilience.hpp"
+#include "core/scenario_spec.hpp"
 #include "core/server.hpp"
 #include "exp/experiment.hpp"
 #include "fault/fault.hpp"
-#include "sim/time.hpp"
-#include "sim/trace.hpp"
-#include "sim/units.hpp"
+
+#if defined(WLANPS_ALLOW_LEGACY_SCENARIOS)
+#define WLANPS_LEGACY_SCENARIO
+#else
+#define WLANPS_LEGACY_SCENARIO [[deprecated("use Backend::run(ScenarioSpec)")]]
+#endif
 
 namespace wlanps::core::scenarios {
 
-/// Common workload/world parameters (defaults = the Figure 2 experiment).
-struct StreamConfig {
-    int clients = 3;
-    Time duration = Time::from_seconds(300);
-    std::uint64_t seed = 42;
-    /// Per-client link behaviour (mild burst errors by default).
-    channel::GilbertElliottConfig wlan_link{Time::from_ms(800), Time::from_ms(40), 1e-7, 1e-4};
-    channel::GilbertElliottConfig bt_link{Time::from_ms(800), Time::from_ms(40), 1e-7, 1e-4};
-    /// NIC calibration overrides (defaults = IPAQ measurements) — the
-    /// sensitivity ablation sweeps these.
-    phy::WlanNicConfig wlan_nic;
-    phy::BtNicConfig bt_nic;
-    /// Deterministic fault schedule replayed into the run (run_hotspot and
-    /// run_wlan_psm).  Empty = no injector is built at all, so the run is
-    /// bit-identical to one before the fault subsystem existed.
-    fault::FaultPlan fault_plan;
-};
+// The scenario vocabulary moved to wlanps::core (scenario_spec.hpp);
+// re-export here so historical scenarios::X spellings keep working.
+using core::ClientMetrics;
+using core::MixedWorkload;
+using core::Policy;
+using core::ScenarioResult;
+using core::ScenarioSpec;
+using core::StreamConfig;
 
-/// Ground-truth per-client results.
-struct ClientMetrics {
-    power::Power wnic_average;     ///< all wireless interfaces
-    power::Energy wnic_energy;
-    power::Power device_average;   ///< wnic + IPAQ base platform
-    double qos = 0.0;              ///< fraction of playout deadlines met
-    std::uint64_t underruns = 0;
-    DataSize received;
-};
-
-/// Result of one scenario run.
-struct ScenarioResult {
-    std::string label;
-    std::vector<ClientMetrics> clients;
-    /// Recovery actions taken (server sweep/repair + every RejoinAgent).
-    RecoveryReport recovery;
-    /// Per-proxied-client degradation accounting (empty without a proxy).
-    std::vector<MediaProxy::DegradationReport> degradation;
-    /// Faults the injector actually fired (0 without a plan).
-    std::uint64_t faults_injected = 0;
-
-    [[nodiscard]] power::Power mean_wnic() const;
-    [[nodiscard]] power::Power mean_device() const;
-    [[nodiscard]] double min_qos() const;
-};
+/// Deprecated spellings of the policy sub-configs (the option-struct
+/// sprawl this API replaced).  Field-compatible with the originals.
+using PsmOptions = core::PsmConfig;
+using HotspotOptions = core::HotspotConfig;
 
 /// WLAN baseline, no power management: stations constantly awake.
-[[nodiscard]] ScenarioResult run_wlan_cam(const StreamConfig& config);
+WLANPS_LEGACY_SCENARIO [[nodiscard]] ScenarioResult run_wlan_cam(const StreamConfig& config);
 
 /// Standard 802.11 PSM: TIM beacons + PS-Polls.
-struct PsmOptions {
-    int listen_interval = 1;
-    /// >1 enables MAC-level aggregation (multiple MSDUs per poll).
-    int aggregate_limit = 1;
-    Time beacon_interval = phy::calibration::kWlanBeaconInterval;
-};
-[[nodiscard]] ScenarioResult run_wlan_psm(const StreamConfig& config, PsmOptions options = {});
+WLANPS_LEGACY_SCENARIO [[nodiscard]] ScenarioResult run_wlan_psm(const StreamConfig& config,
+                                                                 PsmOptions options = {});
 
 /// EC-MAC: centrally broadcast schedule, collision-free slots.
-[[nodiscard]] ScenarioResult run_ecmac(const StreamConfig& config,
-                                       Time superframe = Time::from_ms(100));
+WLANPS_LEGACY_SCENARIO [[nodiscard]] ScenarioResult run_ecmac(
+    const StreamConfig& config, Time superframe = Time::from_ms(100));
 
 /// Bluetooth baseline, no scheduling: slaves active for the whole session,
 /// frames forwarded as they are generated.
-[[nodiscard]] ScenarioResult run_bt_active(const StreamConfig& config);
+WLANPS_LEGACY_SCENARIO [[nodiscard]] ScenarioResult run_bt_active(const StreamConfig& config);
 
-/// Hotspot scheduling options.
-struct HotspotOptions {
-    std::string scheduler = "edf";
-    DataSize target_burst = DataSize::from_kilobytes(48);
-    /// Per-client bursts are max(target_burst, rate * target_burst_period)
-    /// — set this below target_burst/rate to sweep small bursts.
-    Time target_burst_period = Time::from_seconds(3);
-    bool wlan_available = true;
-    bool bt_available = true;
-    /// Admission-control utilization cap (>1 effectively disables
-    /// admission — used by the overload ablation).
-    double utilization_cap = 0.90;
-    /// Optional scripted BT degradation (per client) — the paper's
-    /// "conditions in the link change" switching scenario.
-    channel::ScriptedQuality bt_quality_script;
-    /// Recovery machinery (liveness reclamation, burst repair) — all off
-    /// by default.
-    ResilienceConfig resilience;
-    /// Build a RejoinAgent per client (re-registration with exponential
-    /// backoff + jitter after a crash or liveness reclaim).
-    bool rejoin_enabled = false;
-    RejoinPolicy rejoin;
-    /// Feed each client through a MediaProxy (graceful A/V degradation)
-    /// instead of the stored-content path: a PoissonSource generates the
-    /// A/V stream at proxy_config.av_rate and the proxy thins it.
-    bool media_proxy = false;
-    MediaProxy::Config proxy_config;
-    /// Mirror injected faults into this trace as a Perfetto lane (must
-    /// outlive the run).
-    sim::TimelineTrace* fault_trace = nullptr;
-    /// Per-client QoS contract adjustment (weights, priorities, rates)
-    /// applied before the client is built.
-    std::function<void(ClientId, QosContract&)> contract_tweak;
-    /// Invoked after the world is built, before the run starts — attach
-    /// power traces, schedule mid-run probes, tweak contracts, etc.
-    std::function<void(sim::Simulator&, HotspotServer&, std::vector<HotspotClient*>&)> on_start;
-    /// Invoked just before teardown for inspection (traces, reports).
-    std::function<void(sim::Simulator&, HotspotServer&, std::vector<HotspotClient*>&)> inspect;
-};
 /// The paper's system: server resource manager + client resource managers.
-[[nodiscard]] ScenarioResult run_hotspot(const StreamConfig& config, HotspotOptions options);
+WLANPS_LEGACY_SCENARIO [[nodiscard]] ScenarioResult run_hotspot(const StreamConfig& config,
+                                                                HotspotOptions options);
 
-/// Mixed heterogeneous workload through one Hotspot (paper intro: "most
-/// of wireless data traffic is targeted at the infrastructure"):
-///   * stored MP3 audio clients (as in Figure 2),
-///   * live VBR video clients (~600 kb/s mean — too fast for Bluetooth,
-///     the selector must put them on WLAN),
-///   * bursty web-browsing clients (live ingest, no playout QoS — their
-///     qos field reports the delivery ratio instead).
-struct MixedWorkload {
-    int mp3_clients = 2;
-    int video_clients = 1;
-    int web_clients = 1;
-};
-[[nodiscard]] ScenarioResult run_hotspot_mixed(const StreamConfig& config,
-                                               HotspotOptions options, MixedWorkload mix);
+/// Mixed heterogeneous workload through one Hotspot.
+WLANPS_LEGACY_SCENARIO [[nodiscard]] ScenarioResult run_hotspot_mixed(
+    const StreamConfig& config, HotspotOptions options, MixedWorkload mix);
 
 // --- Experiment-runner integration ------------------------------------
 // A scenario bound to its configuration, awaiting only a seed: the unit
 // of work an exp::ExperimentRunner executes.  Each invocation builds a
 // fresh world (own Simulator, own Random), so a factory may be called
 // from several worker threads at once — provided any callbacks inside
-// the captured HotspotOptions (on_start / inspect / contract_tweak) are
+// the captured HotspotConfig (on_start / inspect / contract_tweak) are
 // themselves safe to run concurrently.
 
 using ScenarioFactory = std::function<ScenarioResult(std::uint64_t seed)>;
 
+/// Bind \p spec to \p backend (SimBackend when null): the general form
+/// every policy-specific factory below reduces to.
+[[nodiscard]] ScenarioFactory spec_factory(ScenarioSpec spec,
+                                           std::shared_ptr<const Backend> backend = nullptr);
+
 [[nodiscard]] ScenarioFactory wlan_cam_factory(StreamConfig config);
-[[nodiscard]] ScenarioFactory wlan_psm_factory(StreamConfig config, PsmOptions options = {});
+[[nodiscard]] ScenarioFactory wlan_psm_factory(StreamConfig config,
+                                               core::PsmConfig options = {});
 [[nodiscard]] ScenarioFactory ecmac_factory(StreamConfig config,
                                             Time superframe = Time::from_ms(100));
 [[nodiscard]] ScenarioFactory bt_active_factory(StreamConfig config);
-[[nodiscard]] ScenarioFactory hotspot_factory(StreamConfig config, HotspotOptions options = {});
-[[nodiscard]] ScenarioFactory hotspot_mixed_factory(StreamConfig config, HotspotOptions options,
+[[nodiscard]] ScenarioFactory hotspot_factory(StreamConfig config,
+                                              core::HotspotConfig options = {});
+[[nodiscard]] ScenarioFactory hotspot_mixed_factory(StreamConfig config,
+                                                    core::HotspotConfig options,
                                                     MixedWorkload mix);
 
 /// Flatten a ScenarioResult into experiment metrics: the scenario-level
@@ -182,10 +108,17 @@ using ScenarioFactory = std::function<ScenarioResult(std::uint64_t seed)>;
 /// can aggregate a fault grid.
 [[nodiscard]] exp::Metrics to_recovery_metrics(const ScenarioResult& result);
 
+/// Bind a backend + per-point specs into an exp::RunFn: point.index
+/// selects the spec, the metrics are to_metrics(backend->run(spec, seed)).
+/// This is how an ExperimentSpec's backend axis (with_backend) is
+/// realised: build the same specs, pick the engine, run the same grid.
+[[nodiscard]] exp::RunFn spec_grid_run(std::shared_ptr<const Backend> backend,
+                                       std::vector<ScenarioSpec> specs);
+
 /// Bind a hotspot scenario to a grid of fault plans: point.index selects
 /// the plan (so each plan is one sweep axis cell), the returned metrics
 /// are to_recovery_metrics.  \p plans must have one entry per grid point.
-[[nodiscard]] exp::RunFn fault_grid_run(StreamConfig config, HotspotOptions options,
+[[nodiscard]] exp::RunFn fault_grid_run(StreamConfig config, core::HotspotConfig options,
                                         std::vector<fault::FaultPlan> plans);
 
 }  // namespace wlanps::core::scenarios

@@ -14,6 +14,8 @@ void ExperimentSpec::validate() const {
     WLANPS_REQUIRE_MSG(unique.size() == seeds_.size(),
                        "ExperimentSpec seed list contains duplicates — each seed is one "
                        "independent run, listing one twice double-counts it");
+    WLANPS_REQUIRE_MSG(!backend_.empty(),
+                       "ExperimentSpec backend name is empty (with_backend)");
 }
 
 }  // namespace wlanps::exp

@@ -78,7 +78,17 @@ public:
         return *this;
     }
 
+    /// Name the evaluation engine this spec's RunFn is bound to ("sim",
+    /// "analytic").  Metadata for reports and BENCH json: the factory is
+    /// what actually routes work to a core::Backend (e.g. via
+    /// scenarios::spec_grid_run), so keep the two in sync.
+    ExperimentSpec& with_backend(std::string backend) {
+        backend_ = std::move(backend);
+        return *this;
+    }
+
     [[nodiscard]] const RunFn& run() const { return run_; }
+    [[nodiscard]] const std::string& backend() const { return backend_; }
     [[nodiscard]] const std::vector<ParamPoint>& points() const { return points_; }
     [[nodiscard]] const std::vector<std::uint64_t>& seeds() const { return seeds_; }
     /// Total number of simulation runs the spec describes.
@@ -92,6 +102,7 @@ private:
     RunFn run_;
     std::vector<ParamPoint> points_;
     std::vector<std::uint64_t> seeds_;
+    std::string backend_ = "sim";
 };
 
 }  // namespace wlanps::exp

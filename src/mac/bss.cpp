@@ -59,8 +59,12 @@ bool Bss::channel_ok(const Frame& frame, Time start, DataSize on_air, Rate rate)
 
 void Bss::ack_begins(const Frame& frame, Time airtime) {
     // The data receiver transmits the ACK; the data sender receives it.
+    // A PSM receiver can doze between the data airtime and the SIFS-spaced
+    // ACK (a poll timeout firing mid-exchange) — it then sends no ACK.
     if (MacEntity* receiver = find(frame.dst)) {
-        receiver->nic().occupy(phy::WlanNic::State::tx, airtime);
+        if (receiver->listening()) {
+            receiver->nic().occupy(phy::WlanNic::State::tx, airtime);
+        }
     }
     if (MacEntity* sender = find(frame.src)) {
         if (sender->listening()) sender->nic().occupy(phy::WlanNic::State::rx, airtime);
@@ -76,8 +80,12 @@ bool Bss::rts_begins(const Frame& frame, Time airtime) {
 
 void Bss::cts_begins(const Frame& frame, Time airtime) {
     // The data receiver transmits the CTS; the data sender receives it.
+    // Same doze race as ack_begins: a receiver that slept since the RTS
+    // stays silent.
     if (MacEntity* receiver = find(frame.dst)) {
-        receiver->nic().occupy(phy::WlanNic::State::tx, airtime);
+        if (receiver->listening()) {
+            receiver->nic().occupy(phy::WlanNic::State::tx, airtime);
+        }
     }
     if (MacEntity* sender = find(frame.src)) {
         if (sender->listening()) sender->nic().occupy(phy::WlanNic::State::rx, airtime);

@@ -7,9 +7,10 @@
 #include <vector>
 
 #include "bt/piconet.hpp"
+#include "core/backend.hpp"
 #include "core/burst_channel.hpp"
 #include "core/client.hpp"
-#include "core/scenarios.hpp"
+#include "core/scenario_spec.hpp"
 #include "core/server.hpp"
 #include "sim/assert.hpp"
 #include "sim/simulator.hpp"
@@ -135,22 +136,25 @@ TEST(DecisionLogTest, RecordsPlannedBursts) {
 }
 
 TEST(MixedWorkloadTest, VideoGoesToWlanAudioToBt) {
-    scenarios::StreamConfig config;
+    StreamConfig config;
     config.clients = 0;  // ignored by the mixed runner
     config.duration = Time::from_seconds(60);
-    scenarios::MixedWorkload mix;
+    MixedWorkload mix;
     mix.mp3_clients = 2;
     mix.video_clients = 1;
     mix.web_clients = 1;
 
     std::size_t video_channel = 99, mp3_channel = 99;
-    scenarios::HotspotOptions options;
+    HotspotConfig options;
     options.inspect = [&](sim::Simulator&, HotspotServer& server,
                           std::vector<HotspotClient*>&) {
         mp3_channel = server.report(1).current_channel;     // first MP3 client
         video_channel = server.report(3).current_channel;   // the video client
     };
-    const auto result = scenarios::run_hotspot_mixed(config, options, mix);
+    const auto result = SimBackend{}.run(ScenarioSpec::hotspot_mixed()
+                                             .with_stream(config)
+                                             .with_hotspot(options)
+                                             .with_mix(mix));
 
     ASSERT_EQ(result.clients.size(), 4u);
     // Channel 0 = WLAN, channel 1 = BT (registration order in the builder).
@@ -170,10 +174,10 @@ TEST(MixedWorkloadTest, VideoGoesToWlanAudioToBt) {
 }
 
 TEST(MixedWorkloadTest, AllClientsFarBelowAlwaysOn) {
-    scenarios::StreamConfig config;
+    StreamConfig config;
     config.duration = Time::from_seconds(60);
     const auto result =
-        scenarios::run_hotspot_mixed(config, scenarios::HotspotOptions{}, {});
+        SimBackend{}.run(ScenarioSpec::hotspot_mixed().with_stream(config));
     for (const auto& c : result.clients) {
         EXPECT_LT(c.wnic_average.watts(), 0.45);  // vs 0.84 W always-on WLAN
     }

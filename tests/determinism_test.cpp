@@ -10,6 +10,8 @@
 #include <utility>
 #include <vector>
 
+#include "core/backend.hpp"
+#include "core/scenario_spec.hpp"
 #include "core/scenarios.hpp"
 #include "exp/runner.hpp"
 #include "sim/random.hpp"
@@ -17,6 +19,8 @@
 
 namespace wlanps::core::scenarios {
 namespace {
+
+const SimBackend backend;
 
 StreamConfig quick(std::uint64_t seed) {
     StreamConfig config;
@@ -37,29 +41,34 @@ void expect_identical(const ScenarioResult& a, const ScenarioResult& b) {
 }
 
 TEST(DeterminismTest, WlanCam) {
-    expect_identical(run_wlan_cam(quick(9)), run_wlan_cam(quick(9)));
+    const auto spec = ScenarioSpec::cam().with_stream(quick(9));
+    expect_identical(backend.run(spec), backend.run(spec));
 }
 
 TEST(DeterminismTest, WlanPsm) {
-    expect_identical(run_wlan_psm(quick(9)), run_wlan_psm(quick(9)));
+    const auto spec = ScenarioSpec::psm().with_stream(quick(9));
+    expect_identical(backend.run(spec), backend.run(spec));
 }
 
 TEST(DeterminismTest, EcMac) {
-    expect_identical(run_ecmac(quick(9)), run_ecmac(quick(9)));
+    const auto spec = ScenarioSpec::ecmac().with_stream(quick(9));
+    expect_identical(backend.run(spec), backend.run(spec));
 }
 
 TEST(DeterminismTest, BtActive) {
-    expect_identical(run_bt_active(quick(9)), run_bt_active(quick(9)));
+    const auto spec = ScenarioSpec::bt().with_stream(quick(9));
+    expect_identical(backend.run(spec), backend.run(spec));
 }
 
 TEST(DeterminismTest, Hotspot) {
-    expect_identical(run_hotspot(quick(9), HotspotOptions{}),
-                     run_hotspot(quick(9), HotspotOptions{}));
+    const auto spec = ScenarioSpec::hotspot().with_stream(quick(9));
+    expect_identical(backend.run(spec), backend.run(spec));
 }
 
 TEST(DeterminismTest, HotspotMixed) {
-    expect_identical(run_hotspot_mixed(quick(9), HotspotOptions{}, MixedWorkload{}),
-                     run_hotspot_mixed(quick(9), HotspotOptions{}, MixedWorkload{}));
+    const auto spec =
+        ScenarioSpec::hotspot_mixed().with_stream(quick(9)).with_mix(MixedWorkload{});
+    expect_identical(backend.run(spec), backend.run(spec));
 }
 
 // Minimal reference kernel: the std::priority_queue dispatch loop the
@@ -141,14 +150,15 @@ TEST(DeterminismTest, FaultPlanRunsAreReproducible) {
     config.duration = Time::from_seconds(90);
     config.fault_plan.client_crash(Time::from_seconds(20), Time::from_seconds(10), 1)
         .schedule_drop(Time::from_seconds(5), Time::from_seconds(60), 0.4);
-    HotspotOptions options;
+    HotspotConfig options;
     options.resilience = ResilienceConfig{}
                              .with_liveness_timeout(Time::from_seconds(4))
                              .with_burst_repair(true);
     options.rejoin_enabled = true;
 
-    const auto a = run_hotspot(config, options);
-    const auto b = run_hotspot(config, options);
+    const auto spec = ScenarioSpec::hotspot().with_stream(config).with_hotspot(options);
+    const auto a = backend.run(spec);
+    const auto b = backend.run(spec);
     expect_identical(a, b);
     EXPECT_EQ(a.faults_injected, b.faults_injected);
     EXPECT_EQ(a.recovery.liveness_reclaims, b.recovery.liveness_reclaims);
@@ -168,7 +178,7 @@ TEST(DeterminismTest, FaultGridIdenticalAtAnyThreadCount) {
     plans[2].client_crash(Time::from_seconds(12), Time::from_seconds(8), 1);
 
     StreamConfig config = quick(0);
-    HotspotOptions options;
+    HotspotConfig options;
     options.resilience = ResilienceConfig{}
                              .with_liveness_timeout(Time::from_seconds(4))
                              .with_burst_repair(true);
@@ -201,8 +211,8 @@ TEST(DeterminismTest, FaultGridIdenticalAtAnyThreadCount) {
 TEST(DeterminismTest, SeedActuallyMatters) {
     // The stochastic parts (backoffs, channel realizations) must differ
     // across seeds in at least one scenario metric.
-    const auto a = run_wlan_psm(quick(1));
-    const auto b = run_wlan_psm(quick(2));
+    const auto a = backend.run(ScenarioSpec::psm().with_stream(quick(1)));
+    const auto b = backend.run(ScenarioSpec::psm().with_stream(quick(2)));
     EXPECT_NE(a.clients[0].wnic_average.watts(), b.clients[0].wnic_average.watts());
 }
 

@@ -9,7 +9,8 @@
 #include <vector>
 
 #include "channel/link.hpp"
-#include "core/scenarios.hpp"
+#include "core/backend.hpp"
+#include "core/scenario_spec.hpp"
 #include "fault/fault.hpp"
 #include "fault/injector.hpp"
 #include "mac/access_point.hpp"
@@ -23,7 +24,8 @@ namespace wlanps {
 namespace {
 
 using namespace time_literals;
-namespace sc = core::scenarios;
+
+const core::SimBackend backend;
 
 // ---- FaultPlan: builders, grammar, validation -----------------------------------
 
@@ -284,14 +286,14 @@ TEST(FaultScenarioTest, FarFutureFaultLeavesRunUntouched) {
     // The determinism contract at scenario level: a plan whose only fault
     // fires beyond the horizon must not perturb a single metric (the
     // injector draws from its own forked stream and never consumed it).
-    sc::StreamConfig base;
+    core::StreamConfig base;
     base.clients = 2;
     base.duration = Time::from_seconds(45);
-    sc::StreamConfig planned = base;
+    core::StreamConfig planned = base;
     planned.fault_plan.beacon_loss(Time::from_seconds(1e6), 1_s);
 
-    const auto a = sc::run_wlan_psm(base);
-    const auto b = sc::run_wlan_psm(planned);
+    const auto a = backend.run(core::ScenarioSpec::psm().with_stream(base));
+    const auto b = backend.run(core::ScenarioSpec::psm().with_stream(planned));
     ASSERT_EQ(a.clients.size(), b.clients.size());
     for (std::size_t i = 0; i < a.clients.size(); ++i) {
         EXPECT_DOUBLE_EQ(a.clients[i].wnic_average.watts(), b.clients[i].wnic_average.watts());
@@ -302,11 +304,11 @@ TEST(FaultScenarioTest, FarFutureFaultLeavesRunUntouched) {
 }
 
 TEST(FaultScenarioTest, PsmRidesOutBeaconLoss) {
-    sc::StreamConfig config;
+    core::StreamConfig config;
     config.clients = 2;
     config.duration = Time::from_seconds(60);
     config.fault_plan.beacon_loss(20_s, 3_s);
-    const auto result = sc::run_wlan_psm(config);
+    const auto result = backend.run(core::ScenarioSpec::psm().with_stream(config));
     EXPECT_EQ(result.faults_injected, 1u);
     // Deep playout buffers ride out the 3 s TIM outage.
     EXPECT_GT(result.min_qos(), 0.9);
@@ -318,27 +320,28 @@ TEST(FaultScenarioTest, PsmRidesOutBeaconLoss) {
 TEST(FaultScenarioTest, NicLockupForcesBtFallback) {
     // WLAN radio wedges for 15 s: the selector sees quality 0 on the locked
     // channel and carries the stream on Bluetooth instead.
-    sc::StreamConfig config;
+    core::StreamConfig config;
     config.clients = 2;
     config.duration = Time::from_seconds(60);
     config.fault_plan.nic_lockup(20_s, 15_s, 1);
-    const auto result = sc::run_hotspot(config, sc::HotspotOptions{});
+    const auto result = backend.run(core::ScenarioSpec::hotspot().with_stream(config));
     EXPECT_EQ(result.faults_injected, 1u);
     EXPECT_DOUBLE_EQ(result.min_qos(), 1.0);
     EXPECT_GT(result.clients[0].received.bytes(), DataSize::from_kilobytes(800).bytes());
 }
 
 TEST(FaultScenarioTest, SilentLeaveReclaimedByLivenessSweep) {
-    sc::StreamConfig config;
+    core::StreamConfig config;
     config.clients = 3;
     config.duration = Time::from_seconds(90);
     config.fault_plan.silent_leave(30_s, 1);
-    sc::HotspotOptions options;
+    core::HotspotConfig options;
     // Liveness reclaim frees the reservation; the repair watchdog frees the
     // interface a burst to the dead client would otherwise wedge forever.
     options.resilience =
         core::ResilienceConfig{}.with_liveness_timeout(8_s).with_burst_repair(true);
-    const auto result = sc::run_hotspot(config, options);
+    const auto result = backend.run(
+        core::ScenarioSpec::hotspot().with_stream(config).with_hotspot(options));
     EXPECT_EQ(result.faults_injected, 1u);
     EXPECT_GE(result.recovery.liveness_reclaims, 1u);
     EXPECT_GE(result.recovery.burst_repairs, 1u);
@@ -349,13 +352,14 @@ TEST(FaultScenarioTest, SilentLeaveReclaimedByLivenessSweep) {
 }
 
 TEST(FaultScenarioTest, BurstRepairFreesInterfaceAfterScheduleDrop) {
-    sc::StreamConfig config;
+    core::StreamConfig config;
     config.clients = 2;
     config.duration = Time::from_seconds(90);
     config.fault_plan.schedule_drop(10_s, 60_s, 0.3);
-    sc::HotspotOptions options;
+    core::HotspotConfig options;
     options.resilience = core::ResilienceConfig{}.with_burst_repair(true);
-    const auto result = sc::run_hotspot(config, options);
+    const auto result = backend.run(
+        core::ScenarioSpec::hotspot().with_stream(config).with_hotspot(options));
     EXPECT_GE(result.recovery.schedule_drops, 1u);
     // Every lost schedule message wedged an interface; the watchdog freed it.
     EXPECT_GE(result.recovery.burst_repairs, 1u);
@@ -368,13 +372,14 @@ TEST(FaultScenarioTest, ProxyDegradesAndRecoversWithDwell) {
     // Total blackout on both interfaces: the proxy pauses the stream, then
     // climbs back through audio-only, and re-enables video only after the
     // recovery dwell has elapsed.
-    sc::StreamConfig config;
+    core::StreamConfig config;
     config.clients = 1;
     config.duration = Time::from_seconds(90);
     config.fault_plan.blackout(30_s, 10_s, 1);
-    sc::HotspotOptions options;
+    core::HotspotConfig options;
     options.media_proxy = true;
-    const auto result = sc::run_hotspot(config, options);
+    const auto result = backend.run(
+        core::ScenarioSpec::hotspot().with_stream(config).with_hotspot(options));
     ASSERT_EQ(result.degradation.size(), 1u);
     const auto& report = result.degradation[0];
     EXPECT_GE(report.video_drops, 1u);

@@ -4,10 +4,15 @@
 
 #include <gtest/gtest.h>
 
-#include "core/scenarios.hpp"
+#include "core/backend.hpp"
+#include "core/client.hpp"
+#include "core/scenario_spec.hpp"
+#include "core/server.hpp"
 
-namespace wlanps::core::scenarios {
+namespace wlanps::core {
 namespace {
+
+const SimBackend backend;
 
 /// Short-run config shared by the integration tests (we assert shapes,
 /// which already hold at 60-120 s).
@@ -20,10 +25,10 @@ StreamConfig quick(int clients = 3) {
 
 TEST(Figure2Integration, PowerOrderingMatchesPaper) {
     const auto cfg = quick();
-    const auto cam = run_wlan_cam(cfg);
-    const auto psm = run_wlan_psm(cfg);
-    const auto bt = run_bt_active(cfg);
-    const auto hotspot = run_hotspot(cfg, HotspotOptions{});
+    const auto cam = backend.run(ScenarioSpec::cam().with_stream(cfg));
+    const auto psm = backend.run(ScenarioSpec::psm().with_stream(cfg));
+    const auto bt = backend.run(ScenarioSpec::bt().with_stream(cfg));
+    const auto hotspot = backend.run(ScenarioSpec::hotspot().with_stream(cfg));
 
     // The Figure 2 ordering: CAM >> PSM > BT-active > Hotspot.
     EXPECT_GT(cam.mean_wnic().watts(), psm.mean_wnic().watts() * 2.5);
@@ -33,8 +38,8 @@ TEST(Figure2Integration, PowerOrderingMatchesPaper) {
 
 TEST(Figure2Integration, HotspotSavesAtLeast90PercentWnicPower) {
     const auto cfg = quick();
-    const auto cam = run_wlan_cam(cfg);
-    const auto hotspot = run_hotspot(cfg, HotspotOptions{});
+    const auto cam = backend.run(ScenarioSpec::cam().with_stream(cfg));
+    const auto hotspot = backend.run(ScenarioSpec::hotspot().with_stream(cfg));
     const double saving = 1.0 - hotspot.mean_wnic() / cam.mean_wnic();
     EXPECT_GT(saving, 0.90);  // paper reports ~0.97
     EXPECT_LT(saving, 1.00);
@@ -43,15 +48,17 @@ TEST(Figure2Integration, HotspotSavesAtLeast90PercentWnicPower) {
 TEST(Figure2Integration, QosMaintainedEverywhere) {
     const auto cfg = quick();
     for (const auto& result :
-         {run_wlan_cam(cfg), run_wlan_psm(cfg), run_bt_active(cfg),
-          run_hotspot(cfg, HotspotOptions{})}) {
+         {backend.run(ScenarioSpec::cam().with_stream(cfg)),
+          backend.run(ScenarioSpec::psm().with_stream(cfg)),
+          backend.run(ScenarioSpec::bt().with_stream(cfg)),
+          backend.run(ScenarioSpec::hotspot().with_stream(cfg))}) {
         EXPECT_DOUBLE_EQ(result.min_qos(), 1.0) << result.label;
         for (const auto& c : result.clients) EXPECT_EQ(c.underruns, 0u) << result.label;
     }
 }
 
 TEST(Figure2Integration, AllClientsTreatedEqually) {
-    const auto hotspot = run_hotspot(quick(), HotspotOptions{});
+    const auto hotspot = backend.run(ScenarioSpec::hotspot().with_stream(quick()));
     ASSERT_EQ(hotspot.clients.size(), 3u);
     const double p0 = hotspot.clients[0].wnic_average.watts();
     for (const auto& c : hotspot.clients) {
@@ -61,7 +68,7 @@ TEST(Figure2Integration, AllClientsTreatedEqually) {
 }
 
 TEST(Figure2Integration, DevicePowerIncludesPlatformBase) {
-    const auto hotspot = run_hotspot(quick(1), HotspotOptions{});
+    const auto hotspot = backend.run(ScenarioSpec::hotspot().with_stream(quick(1)));
     const auto& c = hotspot.clients.front();
     EXPECT_NEAR(c.device_average.watts(),
                 c.wnic_average.watts() + phy::calibration::kIpaqBase.watts(), 1e-9);
@@ -70,7 +77,7 @@ TEST(Figure2Integration, DevicePowerIncludesPlatformBase) {
 TEST(Figure1Integration, ScheduleTracesShowBurstsAndSleep) {
     StreamConfig cfg = quick();
     cfg.duration = Time::from_seconds(16);
-    HotspotOptions options;
+    HotspotConfig options;
     bool checked = false;
     options.inspect = [&](sim::Simulator& sim, HotspotServer& server,
                           std::vector<HotspotClient*>& clients) {
@@ -95,7 +102,7 @@ TEST(Figure1Integration, ScheduleTracesShowBurstsAndSleep) {
             EXPECT_LT(burst_time / sim.now(), 0.4);
         }
     };
-    (void)run_hotspot(cfg, options);
+    (void)backend.run(ScenarioSpec::hotspot().with_stream(cfg).with_hotspot(options));
     EXPECT_TRUE(checked);
 }
 
@@ -106,7 +113,7 @@ TEST(SwitchingIntegration, DegradedBtHandsOverToWlanSeamlessly) {
     script.add_point(Time::from_seconds(40), 1.0);
     script.add_point(Time::from_seconds(50), 0.1);
     script.add_point(Time::from_seconds(120), 0.1);
-    HotspotOptions options;
+    HotspotConfig options;
     options.bt_quality_script = script;
     std::uint64_t switches = 0;
     std::size_t final_channel = 99;
@@ -115,7 +122,8 @@ TEST(SwitchingIntegration, DegradedBtHandsOverToWlanSeamlessly) {
         switches = server.report(1).interface_switches;
         final_channel = server.report(1).current_channel;
     };
-    const auto result = run_hotspot(cfg, options);
+    const auto result =
+        backend.run(ScenarioSpec::hotspot().with_stream(cfg).with_hotspot(options));
     EXPECT_GE(switches, 1u);
     EXPECT_EQ(final_channel, 0u);  // WLAN (registration order)
     EXPECT_DOUBLE_EQ(result.min_qos(), 1.0);  // seamless
@@ -124,33 +132,38 @@ TEST(SwitchingIntegration, DegradedBtHandsOverToWlanSeamlessly) {
 TEST(BurstSizeIntegration, LargerBurstsDoNotHurtQos) {
     for (const double kb : {16.0, 96.0}) {
         StreamConfig cfg = quick();
-        HotspotOptions options;
+        HotspotConfig options;
         options.target_burst = DataSize::from_kilobytes(kb);
-        const auto result = run_hotspot(cfg, options);
+        const auto result =
+            backend.run(ScenarioSpec::hotspot().with_stream(cfg).with_hotspot(options));
         EXPECT_DOUBLE_EQ(result.min_qos(), 1.0) << kb << " KB bursts";
     }
 }
 
 TEST(EcMacIntegration, SitsBetweenPsmAndHotspot) {
     const auto cfg = quick();
-    const auto psm = run_wlan_psm(cfg);
-    const auto ecmac = run_ecmac(cfg);
+    const auto psm = backend.run(ScenarioSpec::psm().with_stream(cfg));
+    const auto ecmac = backend.run(ScenarioSpec::ecmac().with_stream(cfg));
     EXPECT_LT(ecmac.mean_wnic().watts(), psm.mean_wnic().watts());
     EXPECT_DOUBLE_EQ(ecmac.min_qos(), 1.0);
 }
 
 TEST(PsmIntegration, AggregationSavesEnergy) {
     const auto cfg = quick();
-    PsmOptions plain;
-    PsmOptions agg;
+    PsmConfig plain;
+    PsmConfig agg;
     agg.aggregate_limit = 8;
-    EXPECT_LT(run_wlan_psm(cfg, agg).mean_wnic().watts(),
-              run_wlan_psm(cfg, plain).mean_wnic().watts());
+    EXPECT_LT(
+        backend.run(ScenarioSpec::psm().with_stream(cfg).with_psm(agg)).mean_wnic().watts(),
+        backend.run(ScenarioSpec::psm().with_stream(cfg).with_psm(plain))
+            .mean_wnic()
+            .watts());
 }
 
 TEST(ReproducibilityIntegration, SameSeedSameResult) {
-    const auto a = run_hotspot(quick(), HotspotOptions{});
-    const auto b = run_hotspot(quick(), HotspotOptions{});
+    const auto spec = ScenarioSpec::hotspot().with_stream(quick());
+    const auto a = backend.run(spec);
+    const auto b = backend.run(spec);
     ASSERT_EQ(a.clients.size(), b.clients.size());
     for (std::size_t i = 0; i < a.clients.size(); ++i) {
         EXPECT_DOUBLE_EQ(a.clients[i].wnic_average.watts(), b.clients[i].wnic_average.watts());
@@ -162,18 +175,20 @@ TEST(ReproducibilityIntegration, DifferentSeedDifferentRealization) {
     auto cfg_a = quick();
     auto cfg_b = quick();
     cfg_b.seed = 4242;
-    const auto a = run_wlan_psm(cfg_a);
-    const auto b = run_wlan_psm(cfg_b);
+    const auto a = backend.run(ScenarioSpec::psm().with_stream(cfg_a));
+    const auto b = backend.run(ScenarioSpec::psm().with_stream(cfg_b));
     // Different random realizations (backoffs, channel) -> different power.
     EXPECT_NE(a.clients[0].wnic_average.watts(), b.clients[0].wnic_average.watts());
 }
 
 TEST(ScenarioValidation, InvalidOptionsThrow) {
-    HotspotOptions neither;
+    HotspotConfig neither;
     neither.wlan_available = false;
     neither.bt_available = false;
-    EXPECT_THROW((void)run_hotspot(quick(), neither), ContractViolation);
+    EXPECT_THROW((void)backend.run(
+                     ScenarioSpec::hotspot().with_stream(quick()).with_hotspot(neither)),
+                 ContractViolation);
 }
 
 }  // namespace
-}  // namespace wlanps::core::scenarios
+}  // namespace wlanps::core

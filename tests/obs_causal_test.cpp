@@ -11,7 +11,8 @@
 #include <string>
 #include <vector>
 
-#include "core/scenarios.hpp"
+#include "core/backend.hpp"
+#include "core/scenario_spec.hpp"
 #include "fault/fault.hpp"
 #include "obs/energy_ledger.hpp"
 #include "obs/flight.hpp"
@@ -25,7 +26,8 @@ namespace wlanps {
 namespace {
 
 using namespace time_literals;
-namespace sc = core::scenarios;
+
+const core::SimBackend backend;
 
 obs::FlightEvent make_event(std::int64_t t_ns, obs::Hop hop, std::uint64_t flow,
                             std::uint32_t client, std::uint8_t itf, double value) {
@@ -250,7 +252,7 @@ TEST(EnergyLedgerTest, ScopeInstallsAndRestores) {
 
 // ---- ledger reconciliation across the scenario grid ------------------------------
 
-double result_energy_j(const sc::ScenarioResult& result) {
+double result_energy_j(const core::ScenarioResult& result) {
     double sum = 0.0;
     for (const auto& c : result.clients) sum += c.wnic_energy.joules();
     return sum;
@@ -264,7 +266,7 @@ double causes_sum_j(const obs::EnergyLedger& led) {
     return sum;
 }
 
-void expect_reconciles(const obs::EnergyLedger& led, const sc::ScenarioResult& result) {
+void expect_reconciles(const obs::EnergyLedger& led, const core::ScenarioResult& result) {
     ASSERT_FALSE(result.clients.empty());
     EXPECT_NEAR(led.total(), result_energy_j(result), 1e-9);
     EXPECT_NEAR(causes_sum_j(led), led.total(), 1e-9);
@@ -272,22 +274,22 @@ void expect_reconciles(const obs::EnergyLedger& led, const sc::ScenarioResult& r
 }
 
 TEST(LedgerReconcileTest, WlanCam) {
-    sc::StreamConfig config;
+    core::StreamConfig config;
     config.clients = 2;
     config.duration = 45_s;
     obs::EnergyLedger led;
     obs::ScopedEnergyLedger scope(led);
-    expect_reconciles(led, sc::run_wlan_cam(config));
+    expect_reconciles(led, backend.run(core::ScenarioSpec::cam().with_stream(config)));
 }
 
 TEST(LedgerReconcileTest, WlanPsmUnderFaults) {
-    sc::StreamConfig config;
+    core::StreamConfig config;
     config.clients = 2;
     config.duration = 60_s;
     config.fault_plan.beacon_loss(20_s, 3_s).poll_drop(30_s, 10_s, 0.5);
     obs::EnergyLedger led;
     obs::ScopedEnergyLedger scope(led);
-    const auto result = sc::run_wlan_psm(config);
+    const auto result = backend.run(core::ScenarioSpec::psm().with_stream(config));
     EXPECT_EQ(result.faults_injected, 2u);
     expect_reconciles(led, result);
     // PSM spends real energy on beacon wakes; the ledger must see it.
@@ -295,30 +297,30 @@ TEST(LedgerReconcileTest, WlanPsmUnderFaults) {
 }
 
 TEST(LedgerReconcileTest, EcMac) {
-    sc::StreamConfig config;
+    core::StreamConfig config;
     config.clients = 2;
     config.duration = 45_s;
     obs::EnergyLedger led;
     obs::ScopedEnergyLedger scope(led);
-    expect_reconciles(led, sc::run_ecmac(config));
+    expect_reconciles(led, backend.run(core::ScenarioSpec::ecmac().with_stream(config)));
 }
 
 TEST(LedgerReconcileTest, BtActive) {
-    sc::StreamConfig config;
+    core::StreamConfig config;
     config.clients = 2;
     config.duration = 45_s;
     obs::EnergyLedger led;
     obs::ScopedEnergyLedger scope(led);
-    expect_reconciles(led, sc::run_bt_active(config));
+    expect_reconciles(led, backend.run(core::ScenarioSpec::bt().with_stream(config)));
 }
 
 TEST(LedgerReconcileTest, Hotspot) {
-    sc::StreamConfig config;
+    core::StreamConfig config;
     config.clients = 2;
     config.duration = 60_s;
     obs::EnergyLedger led;
     obs::ScopedEnergyLedger scope(led);
-    const auto result = sc::run_hotspot(config, sc::HotspotOptions{});
+    const auto result = backend.run(core::ScenarioSpec::hotspot().with_stream(config));
     expect_reconciles(led, result);
     // Hotspot bursts are the whole point: burst_rx energy must dominate
     // mode switches, and both must be present.
@@ -327,30 +329,33 @@ TEST(LedgerReconcileTest, Hotspot) {
 }
 
 TEST(LedgerReconcileTest, HotspotMixed) {
-    sc::StreamConfig config;
+    core::StreamConfig config;
     config.clients = 3;
     config.duration = 45_s;
-    sc::MixedWorkload mix;
+    core::MixedWorkload mix;
     mix.mp3_clients = 1;
     mix.video_clients = 1;
     mix.web_clients = 1;
     obs::EnergyLedger led;
     obs::ScopedEnergyLedger scope(led);
-    expect_reconciles(led, sc::run_hotspot_mixed(config, sc::HotspotOptions{}, mix));
+    expect_reconciles(led, backend.run(core::ScenarioSpec::hotspot_mixed()
+                                           .with_stream(config)
+                                           .with_mix(mix)));
 }
 
 TEST(LedgerReconcileTest, HotspotUnderCrashAndScheduleDrops) {
-    sc::StreamConfig config;
+    core::StreamConfig config;
     config.clients = 2;
     config.duration = 90_s;
     config.fault_plan.client_crash(30_s, 15_s, 1).schedule_drop(50_s, 10_s, 0.5);
-    sc::HotspotOptions options;
+    core::HotspotConfig options;
     options.resilience =
         core::ResilienceConfig{}.with_liveness_timeout(8_s).with_burst_repair(true);
     options.rejoin_enabled = true;
     obs::EnergyLedger led;
     obs::ScopedEnergyLedger scope(led);
-    const auto result = sc::run_hotspot(config, options);
+    const auto result = backend.run(
+        core::ScenarioSpec::hotspot().with_stream(config).with_hotspot(options));
     EXPECT_GT(result.faults_injected, 0u);
     expect_reconciles(led, result);
 }
@@ -358,17 +363,18 @@ TEST(LedgerReconcileTest, HotspotUnderCrashAndScheduleDrops) {
 // ---- determinism: attribution must not perturb the run ---------------------------
 
 TEST(CausalDeterminismTest, HotspotBitIdenticalWithAndWithoutScopes) {
-    sc::StreamConfig config;
+    core::StreamConfig config;
     config.clients = 2;
     config.duration = 60_s;
+    const auto spec = core::ScenarioSpec::hotspot().with_stream(config);
 
-    const auto bare = sc::run_hotspot(config, sc::HotspotOptions{});
+    const auto bare = backend.run(spec);
 
     obs::EnergyLedger led;
     obs::FlightRecorder rec(512);
     obs::ScopedEnergyLedger ledger_scope(led);
     obs::ScopedFlightRecorder flight_scope(rec);
-    const auto traced = sc::run_hotspot(config, sc::HotspotOptions{});
+    const auto traced = backend.run(spec);
 
     ASSERT_EQ(bare.clients.size(), traced.clients.size());
     for (std::size_t i = 0; i < bare.clients.size(); ++i) {
@@ -451,11 +457,11 @@ TEST(PostMortemTest, SlowRejoinRecoveryTriggersDump) {
     // A crashed client rejoining after ~17 s is far beyond a 1 s
     // threshold: the resilience layer must hand the recovery time to the
     // scoped post-mortem, which dumps the flight recorder's tail.
-    sc::StreamConfig config;
+    core::StreamConfig config;
     config.clients = 2;
     config.duration = 90_s;
     config.fault_plan.client_crash(30_s, 15_s, 1);
-    sc::HotspotOptions options;
+    core::HotspotConfig options;
     options.resilience =
         core::ResilienceConfig{}.with_liveness_timeout(8_s).with_burst_repair(true);
     options.rejoin_enabled = true;
@@ -468,7 +474,8 @@ TEST(PostMortemTest, SlowRejoinRecoveryTriggersDump) {
     obs::ScopedFlightRecorder flight_scope(rec);
     obs::ScopedPostMortem pm_scope(pm);
 
-    const auto result = sc::run_hotspot(config, options);
+    const auto result = backend.run(
+        core::ScenarioSpec::hotspot().with_stream(config).with_hotspot(options));
     EXPECT_GT(result.recovery.rejoins, 0u);
     EXPECT_GE(pm.dumps(), 1u);
     for (const std::string& path : pm.files()) std::remove(path.c_str());
@@ -477,12 +484,12 @@ TEST(PostMortemTest, SlowRejoinRecoveryTriggersDump) {
 // ---- flight hops from a real run (obs builds only) -------------------------------
 
 TEST(FlightScenarioTest, HotspotRunRecordsCausalHopsWhenCompiledIn) {
-    sc::StreamConfig config;
+    core::StreamConfig config;
     config.clients = 2;
     config.duration = 45_s;
     obs::FlightRecorder rec(4096);
     obs::ScopedFlightRecorder scope(rec);
-    (void)sc::run_hotspot(config, sc::HotspotOptions{});
+    (void)backend.run(core::ScenarioSpec::hotspot().with_stream(config));
 #if defined(WLANPS_OBS_ENABLED)
     // The causal chain must cover the scheduler and the radio: bursts are
     // enqueued, scheduled, woken for, and received, all flow-stamped.

@@ -7,8 +7,9 @@
 
 #include "bt/piconet.hpp"
 #include "channel/gilbert_elliott.hpp"
+#include "core/backend.hpp"
 #include "core/burst_channel.hpp"
-#include "core/scenarios.hpp"
+#include "core/scenario_spec.hpp"
 #include "core/selector.hpp"
 #include "power/duty_cycle.hpp"
 #include "sim/simulator.hpp"
@@ -17,6 +18,8 @@ namespace wlanps {
 namespace {
 
 using namespace time_literals;
+
+const core::SimBackend backend;
 
 // ---- Gilbert-Elliott stationarity across configurations --------------------------
 
@@ -43,18 +46,19 @@ INSTANTIATE_TEST_SUITE_P(Sojourns, GeSweep,
 class ListenIntervalSweep : public ::testing::TestWithParam<int> {};
 
 TEST_P(ListenIntervalSweep, PowerFallsLatencyRises) {
-    namespace sc = core::scenarios;
-    sc::StreamConfig config;
+    core::StreamConfig config;
     config.clients = 1;
     config.duration = Time::from_seconds(45);
 
-    sc::PsmOptions base;
+    core::PsmConfig base;
     base.listen_interval = 1;
-    sc::PsmOptions longer;
+    core::PsmConfig longer;
     longer.listen_interval = GetParam();
 
-    const auto r1 = sc::run_wlan_psm(config, base);
-    const auto rn = sc::run_wlan_psm(config, longer);
+    const auto r1 =
+        backend.run(core::ScenarioSpec::psm().with_stream(config).with_psm(base));
+    const auto rn =
+        backend.run(core::ScenarioSpec::psm().with_stream(config).with_psm(longer));
     EXPECT_LE(rn.mean_wnic().watts(), r1.mean_wnic().watts() * 1.02)
         << "listen interval " << GetParam();
     // QoS still holds (MP3 tolerates the added beacon-multiple latency).
@@ -108,18 +112,18 @@ TEST(SelectorCrossCheck, PredictedPowerMatchesDutyCycleModel) {
 class BurstCadenceSweep : public ::testing::TestWithParam<double> {};
 
 TEST_P(BurstCadenceSweep, SimulatedPowerNearPrediction) {
-    namespace sc = core::scenarios;
     const double kb = GetParam();
-    sc::StreamConfig config;
+    core::StreamConfig config;
     config.clients = 1;
     config.duration = Time::from_seconds(90);
     // Perfect links isolate the duty-cycle arithmetic.
     config.bt_link.ber_good = config.bt_link.ber_bad = 0.0;
     config.wlan_link.ber_good = config.wlan_link.ber_bad = 0.0;
-    sc::HotspotOptions options;
+    core::HotspotConfig options;
     options.target_burst = DataSize::from_kilobytes(kb);
     options.target_burst_period = Time::from_ms(1);  // burst size governs
-    const auto result = sc::run_hotspot(config, options);
+    const auto result = backend.run(
+        core::ScenarioSpec::hotspot().with_stream(config).with_hotspot(options));
 
     // Analytic prediction for the BT-served stream.
     const Rate stream = phy::calibration::kMp3Rate;
@@ -140,13 +144,13 @@ INSTANTIATE_TEST_SUITE_P(Bursts, BurstCadenceSweep, ::testing::Values(24.0, 48.0
 class BeaconSweep : public ::testing::TestWithParam<int> {};
 
 TEST_P(BeaconSweep, PsmWorksAcrossBeaconIntervals) {
-    namespace sc = core::scenarios;
-    sc::StreamConfig config;
+    core::StreamConfig config;
     config.clients = 1;
     config.duration = Time::from_seconds(45);
-    sc::PsmOptions options;
+    core::PsmConfig options;
     options.beacon_interval = Time::from_ms(GetParam());
-    const auto result = sc::run_wlan_psm(config, options);
+    const auto result =
+        backend.run(core::ScenarioSpec::psm().with_stream(config).with_psm(options));
     EXPECT_DOUBLE_EQ(result.min_qos(), 1.0) << GetParam() << " ms beacons";
     EXPECT_LT(result.mean_wnic().watts(), 0.45);
 }

@@ -9,8 +9,11 @@
 #include <memory>
 
 #include "bt/piconet.hpp"
+#include "core/backend.hpp"
 #include "core/burst_channel.hpp"
-#include "core/scenarios.hpp"
+#include "core/client.hpp"
+#include "core/scenario_spec.hpp"
+#include "core/server.hpp"
 #include "mac/access_point.hpp"
 #include "mac/station.hpp"
 #include "traffic/source.hpp"
@@ -19,20 +22,21 @@ namespace wlanps {
 namespace {
 
 using namespace time_literals;
-namespace sc = core::scenarios;
+
+const core::SimBackend backend;
 
 // ---- The headline claim, across seeds -----------------------------------------
 
 class SeedSweep : public ::testing::TestWithParam<std::uint64_t> {};
 
 TEST_P(SeedSweep, HotspotSavingHoldsForAnySeed) {
-    sc::StreamConfig config;
+    core::StreamConfig config;
     config.clients = 3;
     config.duration = Time::from_seconds(60);
     config.seed = GetParam();
 
-    const auto cam = sc::run_wlan_cam(config);
-    const auto hotspot = sc::run_hotspot(config, sc::HotspotOptions{});
+    const auto cam = backend.run(core::ScenarioSpec::cam().with_stream(config));
+    const auto hotspot = backend.run(core::ScenarioSpec::hotspot().with_stream(config));
 
     const double saving = 1.0 - hotspot.mean_wnic() / cam.mean_wnic();
     EXPECT_GT(saving, 0.90) << "seed " << GetParam();
@@ -41,14 +45,14 @@ TEST_P(SeedSweep, HotspotSavingHoldsForAnySeed) {
 }
 
 TEST_P(SeedSweep, TechniqueLadderOrderingHolds) {
-    sc::StreamConfig config;
+    core::StreamConfig config;
     config.clients = 2;
     config.duration = Time::from_seconds(60);
     config.seed = GetParam() + 100;
 
-    const auto cam = sc::run_wlan_cam(config);
-    const auto psm = sc::run_wlan_psm(config);
-    const auto bt = sc::run_bt_active(config);
+    const auto cam = backend.run(core::ScenarioSpec::cam().with_stream(config));
+    const auto psm = backend.run(core::ScenarioSpec::psm().with_stream(config));
+    const auto bt = backend.run(core::ScenarioSpec::bt().with_stream(config));
     EXPECT_GT(cam.mean_wnic().watts(), psm.mean_wnic().watts() * 2.0);
     EXPECT_GT(psm.mean_wnic().watts(), bt.mean_wnic().watts());
 }
@@ -96,13 +100,13 @@ TEST(BadChannelTest, PsmDeliversMostTrafficOverLossyLink) {
 }
 
 TEST(BadChannelTest, HotspotRebuffersLostChunksAndHoldsQos) {
-    sc::StreamConfig config;
+    core::StreamConfig config;
     config.clients = 2;
     config.duration = Time::from_seconds(90);
     // Very bursty, error-prone links on both interfaces.
     config.wlan_link = {300_ms, 150_ms, 1e-6, 2e-4};
     config.bt_link = {300_ms, 150_ms, 1e-6, 2e-4};
-    const auto result = sc::run_hotspot(config, sc::HotspotOptions{});
+    const auto result = backend.run(core::ScenarioSpec::hotspot().with_stream(config));
     // Lost chunks are re-bought by the server (live) / re-sent (stored);
     // the deep client buffer rides out the bad bursts.
     EXPECT_GT(result.min_qos(), 0.99);
@@ -114,26 +118,27 @@ TEST(BadChannelTest, HotspotSurvivesBothLinksDegraded) {
     // Both interfaces scripted to poor quality: the selector falls back to
     // the best available channel, the run completes, QoS degrades but the
     // system neither crashes nor wedges.
-    sc::StreamConfig config;
+    core::StreamConfig config;
     config.clients = 1;
     config.duration = Time::from_seconds(60);
-    sc::HotspotOptions options;
+    core::HotspotConfig options;
     channel::ScriptedQuality bad;
     bad.add_point(10_s, 1.0);
     bad.add_point(15_s, 0.35);
     options.bt_quality_script = bad;
     config.wlan_link = {100_ms, 400_ms, 1e-5, 1e-3};  // mostly bad WLAN
-    const auto result = sc::run_hotspot(config, options);
+    const auto result = backend.run(
+        core::ScenarioSpec::hotspot().with_stream(config).with_hotspot(options));
     EXPECT_GT(result.clients.front().received.bytes(),
               DataSize::from_kilobytes(200).bytes());
 }
 
 TEST(BadChannelTest, CamSurvivesNearDeadLink) {
-    sc::StreamConfig config;
+    core::StreamConfig config;
     config.clients = 1;
     config.duration = Time::from_seconds(30);
     config.wlan_link = {50_ms, 500_ms, 1e-4, 2e-3};  // awful
-    const auto result = sc::run_wlan_cam(config);
+    const auto result = backend.run(core::ScenarioSpec::cam().with_stream(config));
     // Retries exhaust on most frames; the run completes and power stays at
     // the always-on level (retries don't change the NIC duty much).
     EXPECT_GT(result.mean_wnic().watts(), 0.80);
@@ -146,15 +151,16 @@ TEST(RecoveryTest, CrashMidBurstReclaimsReservationAndRejoins) {
     // Client 1 dies at 30 s (mid-stream, bursts in flight) and revives at
     // 45 s.  The liveness sweep must reclaim its reservation while it is
     // down, and the rejoin agent must get it re-registered after revival.
-    sc::StreamConfig config;
+    core::StreamConfig config;
     config.clients = 3;
     config.duration = Time::from_seconds(120);
     config.fault_plan.client_crash(30_s, 15_s, 1);
-    sc::HotspotOptions options;
+    core::HotspotConfig options;
     options.resilience =
         core::ResilienceConfig{}.with_liveness_timeout(5_s).with_burst_repair(true);
     options.rejoin_enabled = true;
-    const auto result = sc::run_hotspot(config, options);
+    const auto result = backend.run(
+        core::ScenarioSpec::hotspot().with_stream(config).with_hotspot(options));
 
     EXPECT_GE(result.recovery.liveness_reclaims, 1u);
     EXPECT_GE(result.recovery.rejoins, 1u);
@@ -226,13 +232,14 @@ TEST(RecoveryTest, ScheduleRepairNeverDoubleBooksWakeWindows) {
     // repair must hand the interface to exactly one successor: a double
     // booking would wake two clients into the same window and trip the
     // NIC-occupancy contracts (ContractViolation aborts the run).
-    sc::StreamConfig config;
+    core::StreamConfig config;
     config.clients = 3;
     config.duration = Time::from_seconds(120);
     config.fault_plan.schedule_drop(5_s, 100_s, 0.5);
-    sc::HotspotOptions options;
+    core::HotspotConfig options;
     options.resilience = core::ResilienceConfig{}.with_burst_repair(true);
-    const auto result = sc::run_hotspot(config, options);
+    const auto result = backend.run(
+        core::ScenarioSpec::hotspot().with_stream(config).with_hotspot(options));
 
     EXPECT_GE(result.recovery.schedule_drops, 3u);
     EXPECT_GE(result.recovery.burst_repairs, 3u);
@@ -249,10 +256,10 @@ TEST(RecoveryTest, ScheduleRepairNeverDoubleBooksWakeWindows) {
 // ---- Long-run stability ----------------------------------------------------------
 
 TEST(LongRunTest, HotspotStableOverTwentyMinutes) {
-    sc::StreamConfig config;
+    core::StreamConfig config;
     config.clients = 3;
     config.duration = Time::from_seconds(1200);
-    const auto result = sc::run_hotspot(config, sc::HotspotOptions{});
+    const auto result = backend.run(core::ScenarioSpec::hotspot().with_stream(config));
     EXPECT_DOUBLE_EQ(result.min_qos(), 1.0);
     for (const auto& c : result.clients) {
         EXPECT_NEAR(c.wnic_average.watts(), 0.035, 0.004);
