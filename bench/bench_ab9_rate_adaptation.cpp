@@ -42,14 +42,34 @@ Outcome run(double distance_m, channel::ArfRateController* arf, Rate fixed_rate,
     std::int64_t delivered_bits = 0;
     power::Energy tx_energy;
 
+    // Fixed-rate runs use one modulation for the whole burst, so the
+    // BER→PER lookups batch: sample the channel for every frame up front,
+    // then one vectorized per_batch pass instead of kFrames scalar reads.
+    // ARF stays on the scalar path (its modulation depends on the previous
+    // frame's outcome).  Both paths are bit-identical per frame.
+    std::vector<double> batched_per;
+    if (arf == nullptr) {
+        std::vector<double> snrs(kFrames);
+        Time t = Time::zero();
+        for (int i = 0; i < kFrames; ++i) {
+            t += Time::from_ms(2);
+            snrs[static_cast<std::size_t>(i)] = path.snr_db(t, distance_m);
+        }
+        batched_per = channel::PerTable::lookup(channel::modulation_for_rate(fixed_rate), kFrame)
+                          .per_batch(snrs);
+    }
+
     for (int i = 0; i < kFrames; ++i) {
         clock += Time::from_ms(2);  // inter-frame pacing
         const Rate rate = arf != nullptr ? arf->current() : fixed_rate;
-        const double snr = path.snr_db(clock, distance_m);
         // Precomputed BER→PER curve: the per-frame snr→ber→per math folds
-        // into one interpolated table read per frame.
+        // into one interpolated table read per frame (or one batched pass
+        // for the whole fixed-rate burst).
         const double per =
-            channel::PerTable::lookup(channel::modulation_for_rate(rate), kFrame).per(snr);
+            arf != nullptr
+                ? channel::PerTable::lookup(channel::modulation_for_rate(rate), kFrame)
+                      .per(path.snr_db(clock, distance_m))
+                : batched_per[static_cast<std::size_t>(i)];
         const bool ok = !rng.chance(per);
         const Time air = phy::calibration::kWlanPlcpOverhead + rate.transmit_time(kFrame);
         airtime_total += air;

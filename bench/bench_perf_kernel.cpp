@@ -164,6 +164,26 @@ void BM_PerTableLookup(benchmark::State& state) {
 }
 BENCHMARK(BM_PerTableLookup);
 
+void BM_PerTableLookupBatch(benchmark::State& state) {
+    // The vectorized burst path: one per_batch pass over a burst's worth
+    // of SNR samples vs. per-frame scalar per() calls (BM_PerTableLookup).
+    const auto& table =
+        channel::PerTable::lookup(channel::Modulation::cck11, DataSize::from_bytes(1500));
+    constexpr std::size_t kBurst = 4096;
+    std::vector<double> snrs(kBurst);
+    std::vector<double> per(kBurst);
+    for (std::size_t i = 0; i < kBurst; ++i) {
+        snrs[i] = -10.0 + static_cast<double>(i) * (50.0 / static_cast<double>(kBurst));
+    }
+    for (auto _ : state) {
+        table.per_batch(snrs.data(), per.data(), kBurst);
+        benchmark::DoNotOptimize(per.data());
+        benchmark::ClobberMemory();
+    }
+    state.SetItemsProcessed(state.iterations() * kBurst);
+}
+BENCHMARK(BM_PerTableLookupBatch);
+
 void BM_BerPerExact(benchmark::State& state) {
     // The uncached snr→ber→per math, for comparison with BM_PerTableLookup.
     double snr = -10.0;
@@ -208,6 +228,27 @@ void BM_HotspotScenarioSecond(benchmark::State& state) {
     state.SetItemsProcessed(state.iterations() * 10);  // simulated seconds
 }
 BENCHMARK(BM_HotspotScenarioSecond);
+
+void BM_ShardedHotspot(benchmark::State& state) {
+    // One run of the 64-client multi-cell hotspot on the sharded kernel,
+    // by worker thread count (0 = the inline sequential reference the
+    // strict policy is bit-identical to).  Real time, not CPU time: the
+    // point is wall-clock speedup of a single simulation.
+    for (auto _ : state) {
+        core::StreamConfig config;
+        config.clients = 64;
+        config.duration = Time::from_seconds(10);
+        core::HotspotConfig options;
+        options.bt_available = false;  // 8 clients per cell exceeds a piconet
+        options.sharding = core::ShardingConfig{}.with_shards(8).with_threads(
+            static_cast<int>(state.range(0)));
+        auto result = core::SimBackend{}.run(
+            core::ScenarioSpec::hotspot().with_stream(config).with_hotspot(options));
+        benchmark::DoNotOptimize(result);
+    }
+    state.SetItemsProcessed(state.iterations() * 10);  // simulated seconds
+}
+BENCHMARK(BM_ShardedHotspot)->Arg(0)->Arg(1)->Arg(2)->Arg(4)->UseRealTime();
 
 void BM_ExperimentSweep(benchmark::State& state) {
     // An 8-run Hotspot sweep through the experiment runner at 1..N worker

@@ -5,9 +5,14 @@
 # must keep green.
 #
 #   1. tier-1: configure + build the default tree, run the full ctest suite
-#   2. scripts/check_tsan.sh: concurrency-sensitive tests under TSan
-#   3. scripts/check_perf.sh: BM_EventPostDispatch within 15% of baseline,
-#      obs-enabled null-check overhead within 5%
+#      (includes sim_sharded_test: strict bit-identity at every worker
+#      thread count)
+#   2. scripts/check_tsan.sh: concurrency-sensitive tests under TSan,
+#      including the sharded kernel's mailbox/barrier traffic
+#   3. scripts/check_perf.sh: gated benchmarks (event kernel, BER→PER
+#      lookups, sharded hotspot) within 5% of baseline, obs-enabled
+#      null-check overhead within 5%, sharded 4-thread speedup >= 2.5x on
+#      hosts with >= 4 cores
 #   4. scripts/check_xval.sh: analytic backend agrees with the simulator
 #      on the AB12 calibration grid (per-point saving within 5%)
 #

@@ -1,17 +1,34 @@
 #!/usr/bin/env bash
-# Perf regression gate for the event kernel.
+# Perf regression gate for the event kernel and the sharded runtime.
 #
-# Builds Release, runs bench_perf_kernel, and fails if the CPU time of
-# BM_EventPostDispatch regresses more than 15% against the checked-in
-# baseline (scripts/perf_baseline.json).  Machines differ, so the baseline
-# is a guard rail against order-of-magnitude slips (an accidental
-# allocation or a lost fast path), not a laboratory instrument.
+# Builds Release, runs bench_perf_kernel, and fails if the CPU time of any
+# gated benchmark regresses more than 5% against the checked-in baseline
+# (scripts/perf_baseline.json).  Gated set:
 #
-# A second Release build with -DWLANPS_OBS=ON runs the same benchmark to
+#   * BM_EventPostDispatch      — the no-handle event kernel fast path
+#   * BM_PerTableLookup         — scalar BER→PER interpolation
+#   * BM_PerTableLookupBatch    — vectorized burst BER→PER interpolation
+#   * BM_ShardedHotspot/0       — 64-client sharded hotspot, inline kernel
+#
+# The baseline is machine-specific; refresh it with --update-baseline when
+# benching on new hardware, and treat cross-machine failures as advisory.
+# Gating statistic is the MIN across repetitions: best-achievable time is
+# far more stable than the median on loaded or frequency-scaled hosts,
+# where a background blip can shift the median of a short run by 10%+.
+#
+# Sharded speedup gate: BM_ShardedHotspot/4 (4 worker threads) must beat
+# BM_ShardedHotspot/0 (inline) by >= 2.5x wall clock — enforced only when
+# the host has >= 4 cores.  On smaller hosts (including the single-core CI
+# container) barrier-quantum workers cannot run concurrently, so the ratio
+# is reported but not gated.
+#
+# A second Release build with -DWLANPS_OBS=ON runs BM_EventPostDispatch to
 # gate the *compiled-in-but-unattached* observability cost: one null-check
-# per dispatch must stay within 5% of the plain build measured in the same
-# invocation (attached-profile cost is reported by
-# BM_EventPostDispatchProfiled in run_bench.sh, not gated here).
+# per dispatch must stay within 5% of the plain build.  The two binaries
+# are run in interleaved A/B rounds so a host-load drift between "the
+# plain run" and "the obs run" cannot masquerade as overhead
+# (attached-profile cost is reported by BM_EventPostDispatchProfiled in
+# run_bench.sh, not gated here).
 #
 # Usage: scripts/check_perf.sh [--update-baseline] [build-dir] [obs-build-dir]
 #   (default build dirs: build-perf, build-perf-obs)
@@ -34,61 +51,121 @@ cmake --build "$OBS_BUILD_DIR" -j "$(nproc)" --target bench_perf_kernel >/dev/nu
 
 RESULT_JSON="$BUILD_DIR/check_perf_result.json"
 "./$BUILD_DIR/bench/bench_perf_kernel" \
-    --benchmark_filter='^BM_EventPostDispatch$' \
-    --benchmark_repetitions=5 \
-    --benchmark_report_aggregates_only=true \
+    --benchmark_filter='^BM_EventPostDispatch$|^BM_PerTableLookup(Batch)?$|^BM_ShardedHotspot/[04]/' \
+    --benchmark_repetitions=7 \
     --benchmark_format=json >"$RESULT_JSON"
 
-OBS_RESULT_JSON="$OBS_BUILD_DIR/check_perf_result.json"
-"./$OBS_BUILD_DIR/bench/bench_perf_kernel" \
-    --benchmark_filter='^BM_EventPostDispatch$' \
-    --benchmark_repetitions=5 \
-    --benchmark_report_aggregates_only=true \
-    --benchmark_format=json >"$OBS_RESULT_JSON"
+# Interleaved A/B rounds for the obs-overhead comparison: alternate the
+# two binaries so both sample the same stretch of host conditions.
+OBS_CMP_DIR="$BUILD_DIR/obs_cmp"
+rm -rf "$OBS_CMP_DIR"
+mkdir -p "$OBS_CMP_DIR"
+for round in 1 2 3 4; do
+    "./$BUILD_DIR/bench/bench_perf_kernel" \
+        --benchmark_filter='^BM_EventPostDispatch$' \
+        --benchmark_repetitions=2 \
+        --benchmark_format=json >"$OBS_CMP_DIR/plain_$round.json"
+    "./$OBS_BUILD_DIR/bench/bench_perf_kernel" \
+        --benchmark_filter='^BM_EventPostDispatch$' \
+        --benchmark_repetitions=2 \
+        --benchmark_format=json >"$OBS_CMP_DIR/obs_$round.json"
+done
 
-python3 - "$RESULT_JSON" "$OBS_RESULT_JSON" "$BASELINE" "$UPDATE" <<'PY'
+python3 - "$RESULT_JSON" "$OBS_CMP_DIR" "$BASELINE" "$UPDATE" "$(nproc)" <<'PY'
+import glob
 import json
+import os
 import sys
 
-result_json, obs_result_json, baseline_path = sys.argv[1], sys.argv[2], sys.argv[3]
+result_json, obs_cmp_dir, baseline_path = sys.argv[1], sys.argv[2], sys.argv[3]
 update = sys.argv[4] == "1"
+cores = int(sys.argv[5])
+
+GATED = [
+    "BM_EventPostDispatch",
+    "BM_PerTableLookup",
+    "BM_PerTableLookupBatch",
+    "BM_ShardedHotspot/0/real_time",
+]
+BUDGET = 1.05  # 5% regression budget per gated benchmark
+SPEEDUP_TARGET = 2.5  # BM_ShardedHotspot 4-thread wall-clock vs inline
+SPEEDUP_MIN_CORES = 4
 
 
-def median_cpu_ns(path):
+def mins(path, field):
+    # Min across repetitions: a benchmark can only run *slower* than its
+    # true cost, never faster, so the min filters host noise that medians
+    # let through on busy single-core containers.
     with open(path) as f:
         result = json.load(f)
-    median = next(
-        b for b in result["benchmarks"] if b["name"] == "BM_EventPostDispatch_median"
-    )
-    return median["cpu_time"]
+    out = {}
+    for b in result["benchmarks"]:
+        if b.get("run_type") != "iteration":
+            continue
+        name = b["name"]
+        out[name] = min(out.get(name, float("inf")), b[field])
+    return out
 
 
-cpu_ns = median_cpu_ns(result_json)
-obs_cpu_ns = median_cpu_ns(obs_result_json)
+cpu = mins(result_json, "cpu_time")
+real = mins(result_json, "real_time")
+
+
+def min_over(paths):
+    return min(mins(p, "cpu_time")["BM_EventPostDispatch"] for p in paths)
+
+
+ab_plain_ns = min_over(glob.glob(os.path.join(obs_cmp_dir, "plain_*.json")))
+obs_cpu_ns = min_over(glob.glob(os.path.join(obs_cmp_dir, "obs_*.json")))
 
 if update:
     with open(baseline_path, "w") as f:
-        json.dump({"BM_EventPostDispatch": {"cpu_ns": cpu_ns}}, f, indent=2)
+        json.dump({name: {"cpu_ns": cpu[name]} for name in GATED}, f, indent=2)
         f.write("\n")
-    print(f"baseline updated: BM_EventPostDispatch = {cpu_ns:.0f} ns CPU (median of 5)")
+    for name in GATED:
+        print(f"baseline updated: {name} = {cpu[name]:.0f} ns CPU (min of 7 reps)")
 
 ok = True
 
 if not update:
     with open(baseline_path) as f:
-        baseline = json.load(f)["BM_EventPostDispatch"]["cpu_ns"]
-    limit = baseline * 1.15
-    print(f"BM_EventPostDispatch: {cpu_ns:.0f} ns CPU "
-          f"(baseline {baseline:.0f} ns, limit {limit:.0f} ns)")
-    if cpu_ns > limit:
-        print("FAIL: event kernel regressed more than 15% against the baseline")
-        ok = False
+        baseline = json.load(f)
+    for name in GATED:
+        if name not in baseline:
+            print(f"WARN: {name} missing from {baseline_path}; "
+                  f"run --update-baseline (measured {cpu[name]:.0f} ns CPU)")
+            continue
+        base = baseline[name]["cpu_ns"]
+        limit = base * BUDGET
+        print(f"{name}: {cpu[name]:.0f} ns CPU "
+              f"(baseline {base:.0f} ns, limit {limit:.0f} ns)")
+        if cpu[name] > limit:
+            print(f"FAIL: {name} regressed more than "
+                  f"{(BUDGET - 1) * 100:.0f}% against the baseline")
+            ok = False
 
-# Obs gate: both sides measured back-to-back on this machine, so the 5%
-# budget is a same-run comparison, not a cross-machine one.
-obs_limit = cpu_ns * 1.05
+# Sharded wall-clock speedup: only a hard gate when the host can actually
+# run 4 workers concurrently.
+inline_ns = real["BM_ShardedHotspot/0/real_time"]
+par_ns = real["BM_ShardedHotspot/4/real_time"]
+speedup = inline_ns / par_ns if par_ns > 0 else 0.0
+print(f"BM_ShardedHotspot wall clock: inline {inline_ns:.0f} ns, "
+      f"4 threads {par_ns:.0f} ns -> speedup {speedup:.2f}x "
+      f"({cores} core(s) on this host)")
+if cores >= SPEEDUP_MIN_CORES:
+    if speedup < SPEEDUP_TARGET:
+        print(f"FAIL: sharded speedup {speedup:.2f}x below the "
+              f"{SPEEDUP_TARGET}x target on a {cores}-core host")
+        ok = False
+else:
+    print(f"NOTE: speedup gate skipped (needs >= {SPEEDUP_MIN_CORES} cores); "
+          f"barrier-quantum workers cannot overlap on this host")
+
+# Obs gate: both sides come from interleaved A/B rounds in this same
+# invocation, so the 5% budget compares like-for-like host conditions.
+obs_limit = ab_plain_ns * 1.05
 print(f"BM_EventPostDispatch [WLANPS_OBS=ON, no profile attached]: "
-      f"{obs_cpu_ns:.0f} ns CPU (plain {cpu_ns:.0f} ns, limit {obs_limit:.0f} ns)")
+      f"{obs_cpu_ns:.0f} ns CPU (plain {ab_plain_ns:.0f} ns, limit {obs_limit:.0f} ns)")
 if obs_cpu_ns > obs_limit:
     print("FAIL: compiled-in observability costs more than 5% on the dispatch path")
     ok = False

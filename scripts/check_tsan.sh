@@ -17,9 +17,14 @@ BUILD_DIR="${1:-build-tsan}"
 
 cmake -B "$BUILD_DIR" -S . -DWLANPS_SANITIZE=thread -DWLANPS_OBS=ON
 cmake --build "$BUILD_DIR" -j "$(nproc)" \
-    --target exp_runner_test sim_simulator_test sim_calendar_queue_test obs_test
+    --target exp_runner_test sim_simulator_test sim_calendar_queue_test obs_test \
+    sim_sharded_test
 "./$BUILD_DIR/tests/exp_runner_test"
 "./$BUILD_DIR/tests/sim_simulator_test"
 "./$BUILD_DIR/tests/sim_calendar_queue_test"
 "./$BUILD_DIR/tests/obs_test"
+# The sharded kernel is the one subsystem with real cross-thread traffic
+# during a simulation (mailbox posts, barrier handoffs, worker pool
+# start/stop); its tests run every policy at multiple worker counts.
+"./$BUILD_DIR/tests/sim_sharded_test"
 echo "TSan check passed."

@@ -22,12 +22,12 @@
 #     "backend_xval".
 #
 # Usage: scripts/run_bench.sh [build-dir] [output.json]
-#   (defaults: build, BENCH_6.json)
+#   (defaults: build, BENCH_7.json)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BUILD_DIR="${1:-build}"
-OUT="${2:-BENCH_6.json}"
+OUT="${2:-BENCH_7.json}"
 METRICS_OUT="$(dirname "$OUT")/metrics.json"
 
 cmake --build "$BUILD_DIR" -j "$(nproc)" >/dev/null
@@ -59,11 +59,12 @@ XVAL_JSON="$BUILD_DIR/bench_backend_xval.json"
 WLANPS_XVAL_OUT="$XVAL_JSON" \
     "./$BUILD_DIR/bench/bench_ab12_sensitivity" --backend=both >/dev/null
 
-python3 - "$KERNEL_JSON" "$WALL_TSV" "$XVAL_JSON" "$OUT" <<'PY'
+python3 - "$KERNEL_JSON" "$WALL_TSV" "$XVAL_JSON" "$OUT" "$(nproc)" <<'PY'
 import json
 import sys
 
 kernel_json, wall_tsv, xval_json, out = sys.argv[1:5]
+cores = int(sys.argv[5])
 
 with open(kernel_json) as f:
     kernel = json.load(f)
@@ -86,6 +87,9 @@ merged = {
         "BM_GilbertElliottTransmit_ns": 34.5,
         "bench_fig2_ipaq_power_seconds": 0.19,
     },
+    # Sharded speedups only mean something relative to the host's core
+    # count (a single-core container cannot overlap barrier workers).
+    "host": {"cores": cores},
     "google_benchmark": kernel,
     "wall_clock_seconds": wall,
 }
@@ -106,6 +110,19 @@ if post is not None:
     base = merged["baseline_pr1"]["BM_EventPostDispatch_ns"]
     print(f"BM_EventPostDispatch: {post['real_time']:.0f} ns "
           f"(PR-1 baseline {base} ns, {base / post['real_time']:.2f}x)")
+
+sharded = {
+    b["name"]: b["real_time"]
+    for b in kernel.get("benchmarks", [])
+    if b["name"].startswith("BM_ShardedHotspot/") and b["name"].endswith("_median")
+}
+inline = sharded.get("BM_ShardedHotspot/0/real_time_median")
+for threads in (1, 2, 4):
+    par = sharded.get(f"BM_ShardedHotspot/{threads}/real_time_median")
+    if inline and par:
+        print(f"BM_ShardedHotspot {threads} thread(s): {par / 1e6:.2f} ms "
+              f"vs inline {inline / 1e6:.2f} ms -> {inline / par:.2f}x "
+              f"({cores} core(s) on this host)")
 xval = merged["backend_xval"]
 print(f"backend_xval: {xval['grid_points']} points, "
       f"speedup {xval['speedup']:.0f}x, "

@@ -71,6 +71,28 @@ PerTable::PerTable(Modulation mod, wlanps::DataSize size) : mod_(mod), size_(siz
     }
 }
 
+void PerTable::per_batch(const double* snr_db, double* out, std::size_t n) const {
+    // Same arithmetic as the scalar per(), with the table pointer and
+    // bounds hoisted out of the loop; the body is branch-light enough for
+    // the compiler to if-convert and vectorize the interpolation.
+    const double* t = table_.data();
+    const double last = static_cast<double>(table_.size() - 1);
+    const double front = table_.front();
+    const double back = table_.back();
+    for (std::size_t k = 0; k < n; ++k) {
+        const double pos = (snr_db[k] - kMinSnrDb) * kStepsPerDb;
+        if (pos <= 0.0) {
+            out[k] = front;
+        } else if (pos >= last) {
+            out[k] = back;
+        } else {
+            const auto i = static_cast<std::size_t>(pos);
+            const double frac = pos - static_cast<double>(i);
+            out[k] = t[i] + frac * (t[i + 1] - t[i]);
+        }
+    }
+}
+
 const PerTable& PerTable::lookup(Modulation mod, wlanps::DataSize size) {
     // Entries are never evicted, so the returned reference stays valid for
     // the life of the process; unique_ptr keeps addresses stable across

@@ -62,6 +62,19 @@ public:
         return table_[i] + frac * (table_[i + 1] - table_[i]);
     }
 
+    /// Batch lookup: out[i] = per(snr_db[i]) for \p n samples, bit-identical
+    /// to the scalar path.  One pass over a contiguous burst keeps the grid
+    /// hot in cache and lets the compiler vectorize the interpolation
+    /// (per-frame loops over a burst's worth of SNR samples are the hot
+    /// path of rate-adaptation sweeps).
+    void per_batch(const double* snr_db, double* out, std::size_t n) const;
+
+    [[nodiscard]] std::vector<double> per_batch(const std::vector<double>& snr_db) const {
+        std::vector<double> out(snr_db.size());
+        per_batch(snr_db.data(), out.data(), snr_db.size());
+        return out;
+    }
+
     [[nodiscard]] Modulation modulation() const { return mod_; }
     [[nodiscard]] wlanps::DataSize size() const { return size_; }
 

@@ -62,6 +62,21 @@ void EcmacConfig::validate() const {
                        "EcmacConfig.superframe must be positive");
 }
 
+void ShardingConfig::validate() const {
+    WLANPS_REQUIRE_MSG(shards >= 0, "ShardingConfig.shards cannot be negative");
+    if (!enabled()) return;
+    WLANPS_REQUIRE_MSG(threads >= 0, "ShardingConfig.threads cannot be negative");
+    WLANPS_REQUIRE_MSG(lookahead > Time::zero(),
+                       "ShardingConfig.lookahead must be positive");
+    if (!skew_window.is_zero()) {
+        WLANPS_REQUIRE_MSG(lax,
+                           "ShardingConfig.skew_window is a lax-mode knob "
+                           "(set lax = true)");
+        WLANPS_REQUIRE_MSG(skew_window >= lookahead,
+                           "ShardingConfig.skew_window must be >= lookahead");
+    }
+}
+
 void HotspotConfig::validate() const {
     WLANPS_REQUIRE_MSG(known_scheduler(scheduler),
                        "HotspotConfig.scheduler '" + scheduler +
@@ -83,6 +98,23 @@ void HotspotConfig::validate() const {
                            "HotspotConfig.proxy_config.av_rate must be positive");
         WLANPS_REQUIRE_MSG(proxy_config.audio_rate <= proxy_config.av_rate,
                            "HotspotConfig.proxy_config.audio_rate cannot exceed av_rate");
+    }
+    sharding.validate();
+    if (sharding.enabled()) {
+        // The sharded world replaces HotspotServer with the schedule-ahead
+        // control plane; the features below live in the server (or assume
+        // one global event queue) and would be silently ignored.
+        WLANPS_REQUIRE_MSG(!media_proxy,
+                           "sharded hotspot does not support the media proxy yet");
+        WLANPS_REQUIRE_MSG(!rejoin_enabled,
+                           "sharded hotspot does not support rejoin agents yet");
+        WLANPS_REQUIRE_MSG(resilience.liveness_timeout.is_zero() && !resilience.burst_repair,
+                           "sharded hotspot does not support the resilience layer yet");
+        WLANPS_REQUIRE_MSG(bt_quality_script.empty(),
+                           "sharded hotspot does not support BT quality scripts yet");
+        WLANPS_REQUIRE_MSG(fault_trace == nullptr && !contract_tweak && !on_start && !inspect,
+                           "sharded hotspot does not support server callbacks/traces "
+                           "(on_start, inspect, contract_tweak, fault_trace)");
     }
 }
 
@@ -127,7 +159,9 @@ std::string ScenarioSpec::label() const {
         case Policy::psm: return "wlan-psm";
         case Policy::ecmac: return "ec-mac";
         case Policy::bt: return "bt-active";
-        case Policy::hotspot: return "hotspot-" + hotspot_.scheduler;
+        case Policy::hotspot:
+            return (hotspot_.sharding.enabled() ? "hotspot-sharded-" : "hotspot-") +
+                   hotspot_.scheduler;
         case Policy::hotspot_mixed: return "hotspot-mixed-" + hotspot_.scheduler;
     }
     return "?";
@@ -167,6 +201,11 @@ std::string ScenarioSpec::describe() const {
             out += " cap=" + fmt(hotspot_.utilization_cap);
             if (hotspot_.media_proxy) out += " media_proxy=1";
             if (hotspot_.rejoin_enabled) out += " rejoin=1";
+            if (hotspot_.sharding.enabled()) {
+                out += " shards=" + std::to_string(hotspot_.sharding.shards);
+                out += " sim_threads=" + std::to_string(hotspot_.sharding.threads);
+                if (hotspot_.sharding.lax) out += " sync=lax";
+            }
             break;
     }
     return out;
@@ -206,6 +245,19 @@ void ScenarioSpec::validate() const {
         "fault plans are only injectable into psm and hotspot scenarios, not '" +
             policy_name + "'");
     stream_.fault_plan.validate();
+    if (policy_ == Policy::hotspot && hotspot_.sharding.enabled()) {
+        WLANPS_REQUIRE_MSG(stream_.fault_plan.empty(),
+                           "sharded hotspot does not route fault hooks yet — drop the "
+                           "fault plan or disable sharding");
+        if (hotspot_.bt_available) {
+            const int per_cell =
+                (stream_.clients + hotspot_.sharding.shards - 1) / hotspot_.sharding.shards;
+            WLANPS_REQUIRE_MSG(per_cell <= 7,
+                               "each sharded cell owns one piconet (max 7 active slaves); " +
+                                   std::to_string(per_cell) +
+                                   " clients per cell need bt_available = false or more shards");
+        }
+    }
     switch (policy_) {
         case Policy::cam:
         case Policy::bt:

@@ -105,6 +105,36 @@ struct EcmacConfig {
     void validate() const;
 };
 
+/// Sharded parallel execution of the hotspot world (sim/sharded.hpp):
+/// clients are partitioned into per-shard AP cells, each advanced on its
+/// own event queue by the conservative sharded kernel, with a schedule-
+/// ahead control plane on shard 0 issuing burst grants through cross-
+/// shard mailboxes.  shards == 0 keeps the classic single-queue scenario
+/// path.  See DESIGN.md §12.
+struct ShardingConfig {
+    int shards = 0;
+    /// Sim worker threads; 0 = inline sequential execution of the sharded
+    /// world — the reference the strict barrier is bit-identical to.
+    int threads = 0;
+    /// Lax clock-skew window (bounded timestamp error, fewer barriers)
+    /// instead of the strict barrier.
+    bool lax = false;
+    /// Cross-shard grant/completion lookahead; also the strict quantum.
+    Time lookahead = Time::from_ms(20);
+    /// Lax-mode quantum; zero = lookahead (coincides with strict).
+    Time skew_window = Time::zero();
+
+    [[nodiscard]] bool enabled() const { return shards > 0; }
+
+    ShardingConfig& with_shards(int v) { shards = v; return *this; }
+    ShardingConfig& with_threads(int v) { threads = v; return *this; }
+    ShardingConfig& with_lax(bool v) { lax = v; return *this; }
+    ShardingConfig& with_lookahead(Time v) { lookahead = v; return *this; }
+    ShardingConfig& with_skew_window(Time v) { skew_window = v; return *this; }
+
+    void validate() const;
+};
+
 /// Hotspot scheduling sub-configuration (paper §2: bursts + interface
 /// selection + park/off between bursts).
 struct HotspotConfig {
@@ -146,6 +176,9 @@ struct HotspotConfig {
     /// Invoked just before teardown for inspection (traces, reports).
     /// Simulation backend only.
     std::function<void(sim::Simulator&, HotspotServer&, std::vector<HotspotClient*>&)> inspect;
+    /// Sharded multi-cell execution (disabled by default).  Incompatible
+    /// with the proxy/rejoin/fault machinery — validate() enforces it.
+    ShardingConfig sharding;
 
     HotspotConfig& with_scheduler(std::string v) { scheduler = std::move(v); return *this; }
     HotspotConfig& with_target_burst(DataSize v) { target_burst = v; return *this; }
@@ -162,6 +195,10 @@ struct HotspotConfig {
     HotspotConfig& with_media_proxy(MediaProxy::Config v) {
         media_proxy = true;
         proxy_config = v;
+        return *this;
+    }
+    HotspotConfig& with_sharding(ShardingConfig v) {
+        sharding = v;
         return *this;
     }
 

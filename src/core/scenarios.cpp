@@ -10,6 +10,8 @@
 
 #include "bt/piconet.hpp"
 #include "core/burst_channel.hpp"
+#include "core/scenario_obs.hpp"
+#include "core/sharded_hotspot.hpp"
 #include "fault/injector.hpp"
 #include "mac/access_point.hpp"
 #include "mac/ecmac.hpp"
@@ -24,10 +26,6 @@ namespace wlanps::core {
 
 namespace {
 
-using phy::calibration::kIpaqBase;
-
-power::Power device_power(power::Power wnic) { return wnic + kIpaqBase; }
-
 traffic::PlayoutBuffer::Config mp3_playout() {
     traffic::PlayoutBuffer::Config c;
     c.frame_size = phy::calibration::kMp3FrameSize;
@@ -38,45 +36,11 @@ traffic::PlayoutBuffer::Config mp3_playout() {
     return c;
 }
 
+// make_client_metrics / record_client_obs / record_kernel_obs moved to
+// core/scenario_obs.hpp (shared with the sharded hotspot engine).
 ClientMetrics make_metrics(power::Power wnic_avg, power::Energy wnic_energy,
                            const traffic::PlayoutBuffer& playout, DataSize received) {
-    ClientMetrics m;
-    m.wnic_average = wnic_avg;
-    m.wnic_energy = wnic_energy;
-    m.device_average = device_power(wnic_avg);
-    m.qos = playout.qos();
-    m.underruns = playout.underruns();
-    m.received = received;
-    return m;
-}
-
-/// Fold the run's per-client results into the active obs registry (if
-/// any): power/QoS/energy histograms accumulate percentiles across
-/// clients and — via the runner's snapshot merge — across seeds.
-void record_client_obs(const ScenarioResult& result) {
-    obs::MetricsRegistry* reg = obs::current();
-    if (reg == nullptr) return;
-    for (const ClientMetrics& c : result.clients) {
-        reg->histogram("scenario.client.wnic_mw").record(c.wnic_average.milliwatts());
-        reg->histogram("scenario.client.device_mw").record(c.device_average.milliwatts());
-        reg->histogram("scenario.client.energy_j").record(c.wnic_energy.joules());
-        reg->histogram("scenario.client.qos").record(c.qos);
-        reg->counter("scenario.client.underruns").add(c.underruns);
-        reg->counter("scenario.client.received_bytes")
-            .add(static_cast<std::uint64_t>(c.received.bytes()));
-    }
-}
-
-/// End-of-run kernel accounting, under names that keep the tombstone
-/// distinction explicit: queue_size() includes cancelled-but-unreaped
-/// entries, pending_events() does not.
-void record_kernel_obs(const sim::Simulator& sim) {
-    obs::MetricsRegistry* reg = obs::current();
-    if (reg == nullptr) return;
-    reg->counter("sim.kernel.events_dispatched").add(sim.events_dispatched());
-    reg->gauge("sim.queue.entries_incl_tombstones")
-        .set(static_cast<double>(sim.queue_size()));
-    reg->gauge("sim.queue.pending_live").set(static_cast<double>(sim.pending_events()));
+    return make_client_metrics(wnic_avg, wnic_energy, playout, received);
 }
 
 ScenarioResult sim_wlan_cam(const StreamConfig& config) {
@@ -718,7 +682,11 @@ ScenarioResult SimBackend::do_run(const ScenarioSpec& spec, std::uint64_t seed) 
         case Policy::psm: return sim_wlan_psm(config, spec.psm_config());
         case Policy::ecmac: return sim_ecmac(config, spec.ecmac_config().superframe);
         case Policy::bt: return sim_bt_active(config);
-        case Policy::hotspot: return sim_hotspot(config, spec.hotspot_config());
+        case Policy::hotspot:
+            if (spec.hotspot_config().sharding.enabled()) {
+                return sim_sharded_hotspot(config, spec.hotspot_config());
+            }
+            return sim_hotspot(config, spec.hotspot_config());
         case Policy::hotspot_mixed:
             return sim_hotspot_mixed(config, spec.hotspot_config(), spec.mix());
     }

@@ -1,0 +1,383 @@
+#include "core/sharded_hotspot.hpp"
+
+#include <algorithm>
+#include <array>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bt/piconet.hpp"
+#include "core/burst_channel.hpp"
+#include "core/client.hpp"
+#include "core/scenario_obs.hpp"
+#include "core/scheduler.hpp"
+#include "obs/hooks.hpp"
+#include "phy/calibration.hpp"
+#include "phy/wlan_nic.hpp"
+#include "sim/assert.hpp"
+#include "sim/random.hpp"
+#include "sim/sharded.hpp"
+
+#if defined(WLANPS_OBS_ENABLED)
+#include "obs/kernel_profile.hpp"
+#endif
+
+namespace wlanps::core {
+
+namespace {
+
+/// Control-plane cadence (mirrors ServerConfig's default plan interval).
+constexpr Time kPlanInterval = Time::from_ms(100);
+/// Margin between "earliest feasible" and the granted burst start, so the
+/// grant's wake event is strictly in the receiving shard's future.
+constexpr Time kStartMargin = Time::from_ms(1);
+/// Modeled service slack over the clean-channel transfer time: absorbs
+/// retries so consecutive reservation slots on one cell rarely overlap.
+constexpr double kServiceSlack = 1.25;
+/// Guard gap between consecutive reservations on one cell interface.
+constexpr Time kSlotGap = Time::from_ms(2);
+
+/// Schedule-ahead burst planner: the control plane of the sharded
+/// hotspot, living entirely on shard 0.
+///
+/// Unlike HotspotServer — which waits for a burst completion before
+/// dispatching the next burst on that interface (zero lookahead, hence
+/// unshardable) — this planner books bursts against per-(cell, interface)
+/// reservation timelines using modeled service times, issues grants one
+/// cross-shard lookahead ahead, and folds actual completions back into
+/// its buffer model when they arrive (again one lookahead later).  The
+/// feedback latency is microscopic next to the multi-second burst period,
+/// so the model stays tight while every message obeys the conservative-
+/// sync contract.
+class GrantPlanner {
+public:
+    struct Entry {
+        HotspotClient* client = nullptr;  // lives on `shard`
+        std::size_t shard = 0;
+        std::size_t channel_index = 0;
+        bool on_bt = false;
+        // Captured at admission (the planner never touches the client's
+        // shard-local state during the run):
+        Rate stream_rate;
+        DataSize client_buffer;
+        Time playback_start;  // modeled drain start (conservative: preroll)
+        Rate goodput;
+        Time wake_latency;
+        double weight = 1.0;
+        int priority = 1;
+        // Planner state:
+        bool outstanding = false;
+        DataSize delivered;  // completion-confirmed payload
+        DataSize in_flight;  // granted, not yet confirmed
+        std::uint64_t bursts_granted = 0;
+        std::uint64_t deadline_misses = 0;
+    };
+
+    GrantPlanner(sim::ShardedSimulator& shx, const HotspotConfig& options)
+        : shx_(shx),
+          options_(options),
+          scheduler_(make_scheduler(options.scheduler)),
+          timelines_(shx.shard_count()),
+          plan_tick_(shx.shard(0), kPlanInterval, [this] { plan(); }) {}
+
+    /// Admit client \p id (entries must be added in id order, id = index+1).
+    void add_client(ClientId id, Entry entry) {
+        WLANPS_REQUIRE(static_cast<std::size_t>(id) == entries_.size() + 1);
+        WLANPS_REQUIRE(entry.client != nullptr && !entry.goodput.is_zero());
+        entries_.push_back(entry);
+    }
+
+    void start() { plan_tick_.start_at(Time::zero()); }
+
+    [[nodiscard]] const Entry& entry(ClientId id) const { return entries_[id - 1]; }
+    [[nodiscard]] std::uint64_t deadline_misses() const {
+        std::uint64_t total = 0;
+        for (const Entry& e : entries_) total += e.deadline_misses;
+        return total;
+    }
+
+private:
+    [[nodiscard]] DataSize effective_burst(const Entry& e) const {
+        return std::max(options_.target_burst,
+                        e.stream_rate.data_in(options_.target_burst_period));
+    }
+
+    [[nodiscard]] static Time scaled_transfer(Rate goodput, DataSize size) {
+        return Time::from_seconds(static_cast<double>(size.bits()) / goodput.bps() *
+                                  kServiceSlack);
+    }
+
+    /// Modeled client buffer level at time \p t (may be negative if the
+    /// model predicts an underrun).
+    [[nodiscard]] DataSize modeled_level(const Entry& e, Time t) const {
+        const DataSize banked = e.delivered + e.in_flight;
+        if (t <= e.playback_start) return banked;
+        return banked - e.stream_rate.data_in(t - e.playback_start);
+    }
+
+    /// When the modeled buffer hits empty — the burst completion deadline.
+    [[nodiscard]] Time modeled_underrun(const Entry& e) const {
+        return e.playback_start + e.stream_rate.transmit_time(e.delivered + e.in_flight);
+    }
+
+    [[nodiscard]] Time& timeline(const Entry& e) {
+        return timelines_[e.shard][e.on_bt ? 1 : 0];
+    }
+
+    void plan() {
+        const Time now = shx_.shard(0).now();
+        // Grants are posted one lookahead out, but under the lax policy a
+        // message may only be *delivered* at the next window boundary — up
+        // to one full quantum after this tick.  Feasible burst starts must
+        // clear the delivery bound, not just the posting bound.
+        const Time grant_latency = shx_.config().quantum();
+        std::vector<BurstRequest> pending;
+        for (std::size_t i = 0; i < entries_.size(); ++i) {
+            Entry& e = entries_[i];
+            if (e.outstanding) continue;
+            const Time start_min = now + grant_latency + e.wake_latency + kStartMargin;
+            DataSize burst = effective_burst(e);
+            const Time done_est = start_min + scaled_transfer(e.goodput, burst);
+            const DataSize level = modeled_level(e, done_est);
+            // Stay one burst ahead of the drain; stop when the client
+            // buffer could not absorb another full burst.
+            if (level >= burst) continue;
+            const DataSize headroom =
+                e.client_buffer - std::max(level, DataSize::zero());
+            burst = std::min(burst, headroom);
+            if (burst <= DataSize::zero()) continue;
+            BurstRequest r;
+            r.client = static_cast<ClientId>(i + 1);
+            r.size = burst;
+            r.deadline = modeled_underrun(e);
+            r.weight = e.weight;
+            r.priority = e.priority;
+            r.created_at = now;
+            pending.push_back(r);
+        }
+        // Scheduler-ordered reservation: the configured policy (EDF, WFQ,
+        // ...) decides who books the earlier slots on a contended cell.
+        while (!pending.empty()) {
+            const std::size_t k = scheduler_->pick(pending, now);
+            const BurstRequest r = pending[k];
+            pending.erase(pending.begin() + static_cast<std::ptrdiff_t>(k));
+            Entry& e = entries_[r.client - 1];
+            const Time start_min = now + grant_latency + e.wake_latency + kStartMargin;
+            const Time start = std::max(start_min, timeline(e));
+            const Time service = scaled_transfer(e.goodput, r.size);
+            timeline(e) = start + service + kSlotGap;
+            scheduler_->on_dispatch(r, service);
+            issue(e, r, start);
+        }
+    }
+
+    void issue(Entry& e, const BurstRequest& r, Time start) {
+        e.outstanding = true;
+        e.in_flight += r.size;
+        ++e.bursts_granted;
+        GrantPlanner* self = this;
+        HotspotClient* client = e.client;
+        const std::size_t shard = e.shard;
+        const std::size_t channel = e.channel_index;
+        const ClientId cid = r.client;
+        const DataSize size = r.size;
+        const Time deadline = r.deadline;
+        const Time now = shx_.shard(0).now();
+        shx_.post_cross(
+            0, shard, now + shx_.config().lookahead,
+            [self, shard, client, channel, cid, size, start, deadline] {
+                client->execute_burst(
+                    channel, size, start,
+                    [self, shard, cid, deadline](const BurstChannel::Result& result) {
+                        sim::ShardedSimulator& shx = self->shx_;
+                        const Time done_at = shx.shard(shard).now();
+                        shx.post_cross(
+                            shard, 0, done_at + shx.config().lookahead,
+                            [self, cid, done_at, deadline,
+                             delivered = result.delivered] {
+                                self->complete(cid, delivered, done_at, deadline);
+                            });
+                    });
+            });
+    }
+
+    void complete(ClientId cid, DataSize delivered, Time completed_at, Time deadline) {
+        Entry& e = entries_[cid - 1];
+        e.outstanding = false;
+        e.in_flight = DataSize::zero();
+        e.delivered += delivered;
+        if (completed_at > deadline) ++e.deadline_misses;
+    }
+
+    sim::ShardedSimulator& shx_;
+    const HotspotConfig& options_;
+    std::unique_ptr<Scheduler> scheduler_;
+    std::vector<Entry> entries_;  // index = client id - 1
+    /// Per-(cell shard, interface) reservation frontier: [0] = WLAN, [1] = BT.
+    std::vector<std::array<Time, 2>> timelines_;
+    sim::PeriodicEvent plan_tick_;
+};
+
+}  // namespace
+
+ScenarioResult sim_sharded_hotspot(const StreamConfig& config, const HotspotConfig& options) {
+    const ShardingConfig& sharding = options.sharding;
+    WLANPS_REQUIRE_MSG(sharding.enabled(), "sim_sharded_hotspot needs sharding.shards >= 1");
+    WLANPS_REQUIRE(config.clients >= 1);
+    WLANPS_REQUIRE_MSG(options.wlan_available || options.bt_available,
+                       "at least one interface must be available");
+    WLANPS_REQUIRE_MSG(config.fault_plan.empty(),
+                       "sharded hotspot does not route fault hooks yet");
+    sharding.validate();
+
+    const auto shard_count = static_cast<std::size_t>(sharding.shards);
+    sim::ShardedConfig kernel;
+    kernel.shards = shard_count;
+    kernel.threads = static_cast<std::size_t>(sharding.threads);
+    kernel.policy = sharding.lax ? sim::SyncPolicy::lax_window : sim::SyncPolicy::strict_barrier;
+    kernel.lookahead = sharding.lookahead;
+    kernel.skew_window = sharding.lax ? sharding.skew_window : Time::zero();
+    // Worst case per flush: one grant + one completion per client.
+    kernel.mailbox_capacity =
+        std::max<std::size_t>(1024, static_cast<std::size_t>(config.clients) * 4);
+    sim::ShardedSimulator shx(kernel);
+
+    sim::Random root(config.seed);
+
+#if defined(WLANPS_OBS_ENABLED)
+    // Per-shard kernel profiles: each shard records into its own registry
+    // (single writer per quantum), folded into the run registry in shard
+    // order after the run — deterministic merge, no cross-thread sharing.
+    std::vector<std::unique_ptr<obs::MetricsRegistry>> shard_registries;
+    std::vector<std::unique_ptr<obs::KernelProfile>> shard_profiles;
+    if (obs::current() != nullptr) {
+        for (std::size_t s = 0; s < shard_count; ++s) {
+            shard_registries.push_back(std::make_unique<obs::MetricsRegistry>());
+            shard_profiles.push_back(
+                std::make_unique<obs::KernelProfile>(*shard_registries.back()));
+            shx.shard(s).attach_profile(shard_profiles.back().get());
+        }
+    }
+#endif
+
+    // One Bluetooth piconet per cell (each cell is its own AP + BT radio).
+    std::vector<std::unique_ptr<bt::Piconet>> piconets(shard_count);
+    if (options.bt_available) {
+        for (std::size_t s = 0; s < shard_count; ++s) {
+            piconets[s] = std::make_unique<bt::Piconet>(shx.shard(s), bt::PiconetConfig{},
+                                                        root.fork(1000 + s));
+        }
+    }
+
+    std::vector<std::unique_ptr<HotspotClient>> clients;
+    std::vector<std::unique_ptr<phy::WlanNic>> wlan_nics;
+    std::vector<std::unique_ptr<channel::WirelessLink>> wlan_links;
+    std::vector<std::unique_ptr<bt::BtSlave>> slaves;
+    // Static interface admission per cell: committed stream rate per
+    // (cell, interface); a client goes to BT (the paper's low-power pick
+    // for MP3-rate streams) while the cell's BT capacity holds.
+    std::vector<Rate> bt_committed(shard_count);
+
+    GrantPlanner planner(shx, options);
+
+    for (int i = 0; i < config.clients; ++i) {
+        const auto id = static_cast<ClientId>(i + 1);
+        const std::size_t s = static_cast<std::size_t>(i) % shard_count;
+        QosContract contract;
+        contract.stream_rate = phy::calibration::kMp3Rate;
+        auto client = std::make_unique<HotspotClient>(shx.shard(s), id, contract);
+
+        std::size_t wlan_index = 0;
+        std::size_t bt_index = 0;
+        if (options.wlan_available) {
+            // Same per-client RNG stream ids as the sequential hotspot, so
+            // a client's channel draws do not depend on the shard layout.
+            auto nic = std::make_unique<phy::WlanNic>(shx.shard(s), config.wlan_nic,
+                                                      phy::WlanNic::State::idle);
+            auto link = std::make_unique<channel::WirelessLink>(
+                config.wlan_link, root.fork(300 + static_cast<std::uint64_t>(i)));
+            wlan_index = client->add_channel(
+                std::make_unique<WlanBurstChannel>(shx.shard(s), *nic, link.get()));
+            wlan_nics.push_back(std::move(nic));
+            wlan_links.push_back(std::move(link));
+        }
+        if (options.bt_available) {
+            auto slave = std::make_unique<bt::BtSlave>(shx.shard(s), config.bt_nic,
+                                                       phy::BtNic::State::active);
+            const bt::SlaveId sid = piconets[s]->join(*slave);
+            piconets[s]->set_link(sid, config.bt_link,
+                                  root.fork(400 + static_cast<std::uint64_t>(i)));
+            bt_index = client->add_channel(
+                std::make_unique<BtBurstChannel>(*piconets[s], sid, *slave));
+            slaves.push_back(std::move(slave));
+        }
+
+        // Interface selection, decided at admission (the schedule-ahead
+        // plane does not migrate mid-run): BT while the cell's piconet
+        // capacity holds, else WLAN.
+        bool use_bt = false;
+        if (options.bt_available) {
+            const Rate bt_peak = client->channel(bt_index).goodput();
+            const bool fits =
+                (bt_committed[s] + contract.stream_rate).bps() <=
+                options.utilization_cap * bt_peak.bps();
+            use_bt = fits || !options.wlan_available;
+            if (use_bt) bt_committed[s] += contract.stream_rate;
+        }
+        const std::size_t channel_index = use_bt ? bt_index : wlan_index;
+
+        GrantPlanner::Entry entry;
+        entry.client = client.get();
+        entry.shard = s;
+        entry.channel_index = channel_index;
+        entry.on_bt = use_bt;
+        entry.stream_rate = contract.stream_rate;
+        entry.client_buffer = contract.client_buffer;
+        entry.playback_start = contract.preroll;
+        entry.goodput = client->channel(channel_index).goodput();
+        entry.wake_latency = client->channel(channel_index).wnic().wake_latency();
+        entry.weight = contract.weight;
+        entry.priority = contract.priority;
+        planner.add_client(id, entry);
+
+        clients.push_back(std::move(client));
+    }
+
+    for (auto& c : clients) c->start();
+    planner.start();
+    shx.run_until(config.duration);
+
+    ScenarioResult result;
+    result.label = "hotspot-sharded-" + options.scheduler;
+    for (auto& c : clients) {
+        result.clients.push_back(make_client_metrics(c->wnic_average_power(), c->wnic_energy(),
+                                                     c->playout(), c->bytes_received()));
+    }
+
+    if (obs::MetricsRegistry* reg = obs::current()) {
+        shx.publish_metrics(*reg);
+        reg->counter("sim.kernel.events_dispatched").add(shx.total_dispatched());
+        reg->counter("core.sharded.deadline_misses").add(planner.deadline_misses());
+        for (auto& nic : wlan_nics) nic->publish_metrics(*reg, "phy.wlan");
+        for (auto& s : slaves) s->nic().publish_metrics(*reg, "phy.bt");
+#if defined(WLANPS_OBS_ENABLED)
+        for (auto& shard_reg : shard_registries) {
+            const obs::MetricsSnapshot snap = shard_reg->snapshot();
+            for (const auto& e : snap.entries()) {
+                if (const obs::Counter* c = snap.counter(e.key)) {
+                    reg->counter(e.key).merge_from(*c);
+                } else if (const obs::Gauge* g = snap.gauge(e.key)) {
+                    reg->gauge(e.key).merge_from(*g);
+                } else if (const obs::Histogram* h = snap.histogram(e.key)) {
+                    reg->histogram(e.key).merge_from(*h);
+                }
+            }
+        }
+#endif
+    }
+    record_client_obs(result);
+    return result;
+}
+
+}  // namespace wlanps::core

@@ -1,0 +1,31 @@
+#pragma once
+/// \file sharded_hotspot.hpp
+/// Multi-cell hotspot scenario on the sharded parallel kernel.
+///
+/// The classic hotspot (core/scenarios.cpp) runs one HotspotServer whose
+/// per-interface dispatch is coupled to burst completions with zero
+/// lookahead — correct, but inherently sequential.  This engine is the
+/// scalable counterpart (ROADMAP items 1–2): clients are partitioned
+/// into per-shard AP cells (each cell owns its clients' full MAC/PHY/
+/// channel/energy state on a private event queue), and a schedule-ahead
+/// control plane on shard 0 plans burst grants against per-cell
+/// reservation timelines, sending grants and receiving completions
+/// through the sharded kernel's cross-shard mailboxes — every
+/// control-plane message rides the declared lookahead, so the world obeys
+/// conservative synchronization and is bit-reproducible at any worker
+/// thread count.  See DESIGN.md §12.
+///
+/// Reached through SimBackend: a hotspot ScenarioSpec whose
+/// HotspotConfig::sharding is enabled routes here.
+
+#include "core/scenario_spec.hpp"
+
+namespace wlanps::core {
+
+/// Run the sharded multi-cell hotspot described by \p config/\p options.
+/// Requires options.sharding.enabled(); the spec validation rules
+/// (no proxy/rejoin/resilience/faults) are enforced here too.
+[[nodiscard]] ScenarioResult sim_sharded_hotspot(const StreamConfig& config,
+                                                 const HotspotConfig& options);
+
+}  // namespace wlanps::core

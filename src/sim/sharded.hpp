@@ -1,0 +1,206 @@
+#pragma once
+/// \file sharded.hpp
+/// Conservative parallel discrete-event execution.
+///
+/// A ShardedSimulator partitions a simulated world across N shards, each
+/// owning a private Simulator (its own calendar queue, slab pool, and —
+/// by convention — RNG streams), and advances them in lockstep quanta.
+/// Cross-shard events travel through fixed-capacity mailboxes that are
+/// flushed at quantum boundaries in deterministic (time, source shard,
+/// sender sequence) order, so the execution is bit-reproducible at every
+/// worker-thread count, including the inline threads=0 reference.
+///
+/// Two synchronization policies (DESIGN.md §12):
+///   * strict_barrier — quantum = the declared cross-shard lookahead.  A
+///     message sent at local time t carries a timestamp >= t + lookahead,
+///     which is >= the end of the sending quantum, so flushing inboxes at
+///     the next quantum start never delivers into a shard's past: the
+///     parallel run dispatches exactly the events, in exactly the order,
+///     of the sequential (threads=0) execution of the same sharded world.
+///   * lax_window — quantum = a clock-skew window wider than the
+///     lookahead.  Fewer barriers (window/lookahead x), but a message may
+///     arrive after its timestamp; it is then bumped to the receiving
+///     shard's current time (a quantum boundary, hence still
+///     deterministic), introducing a bounded timestamp error
+///     <= window - lookahead that is measured and published.
+///
+/// The kernel is workload-agnostic: core/sharded_hotspot.cpp builds the
+/// multi-cell hotspot scenario on top of it.
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "sim/callback.hpp"
+#include "sim/simulator.hpp"
+#include "sim/time.hpp"
+
+namespace wlanps::sim {
+
+/// How shard clocks are kept consistent.
+enum class SyncPolicy {
+    strict_barrier,  ///< quantum = lookahead; bit-identical to sequential
+    lax_window,      ///< quantum = skew window; bounded timestamp error
+};
+
+[[nodiscard]] const char* to_string(SyncPolicy policy);
+
+/// Sharded-execution parameters.
+struct ShardedConfig {
+    std::size_t shards = 1;
+    /// Worker threads.  0 = run every quantum inline on the calling
+    /// thread, shards in index order — the sequential reference execution
+    /// the strict policy is bit-identical to.
+    std::size_t threads = 0;
+    SyncPolicy policy = SyncPolicy::strict_barrier;
+    /// Minimum delay of any cross-shard event, measured from the sender's
+    /// local clock at post time.  Also the strict-mode quantum.
+    Time lookahead = Time::from_ms(10);
+    /// Lax-mode quantum (ignored under strict_barrier).  Zero = lookahead,
+    /// which makes lax execution coincide with strict.
+    Time skew_window = Time::zero();
+    /// Per-shard mailbox capacity; exceeding it is a contract violation
+    /// (deterministic, not a silent drop).
+    std::size_t mailbox_capacity = 4096;
+
+    ShardedConfig& with_shards(std::size_t v) { shards = v; return *this; }
+    ShardedConfig& with_threads(std::size_t v) { threads = v; return *this; }
+    ShardedConfig& with_policy(SyncPolicy v) { policy = v; return *this; }
+    ShardedConfig& with_lookahead(Time v) { lookahead = v; return *this; }
+    ShardedConfig& with_skew_window(Time v) { skew_window = v; return *this; }
+    ShardedConfig& with_mailbox_capacity(std::size_t v) { mailbox_capacity = v; return *this; }
+
+    /// The quantum the sync loop actually uses.
+    [[nodiscard]] Time quantum() const {
+        if (policy == SyncPolicy::lax_window && !skew_window.is_zero()) return skew_window;
+        return lookahead;
+    }
+
+    void validate() const;
+};
+
+/// Per-shard accounting, stable across thread counts.
+struct ShardStats {
+    std::uint64_t events_dispatched = 0;
+    std::uint64_t cross_sent = 0;      ///< cross-shard events this shard posted
+    std::uint64_t cross_received = 0;  ///< cross-shard events flushed into it
+    std::uint64_t cross_late = 0;      ///< lax: arrivals bumped to the quantum start
+    std::size_t mailbox_peak = 0;      ///< high-water inbox depth
+    std::int64_t max_skew_ns = 0;      ///< lax: worst timestamp bump
+};
+
+/// N private Simulators in barrier-quantum lockstep.  Not copyable.
+///
+/// Threading contract: between run_until() calls (and during construction
+/// and teardown) every shard may be touched from the owning thread only.
+/// During a run, shard i's Simulator is driven exclusively by one worker
+/// (a fixed shard->worker map), and the only cross-thread channel is
+/// post_cross(), which is safe to call from any shard's event callbacks.
+class ShardedSimulator {
+public:
+    explicit ShardedSimulator(ShardedConfig config);
+    ~ShardedSimulator();
+    ShardedSimulator(const ShardedSimulator&) = delete;
+    ShardedSimulator& operator=(const ShardedSimulator&) = delete;
+
+    [[nodiscard]] const ShardedConfig& config() const { return config_; }
+    [[nodiscard]] std::size_t shard_count() const { return shards_.size(); }
+
+    /// Shard i's private kernel.  Build shard-local components against
+    /// this exactly as against a standalone Simulator.
+    [[nodiscard]] Simulator& shard(std::size_t i);
+
+    /// Global synchronized time: the last completed quantum boundary
+    /// (every shard's local now() equals this between quanta).
+    [[nodiscard]] Time now() const { return now_; }
+
+    /// Route \p callback to shard \p to, firing at \p when on its clock.
+    /// \p when must be >= shard \p from's now() + lookahead when the
+    /// shards differ (the conservative-sync contract); same-shard posts
+    /// are a plain local post_at.  Callable from shard \p from's event
+    /// callbacks while a run is in progress, or from the owning thread
+    /// between runs.
+    void post_cross(std::size_t from, std::size_t to, Time when, InlineCallback callback);
+
+    /// Advance every shard to \p horizon in lockstep quanta.  Afterwards
+    /// each shard's now() == horizon.  Callbacks' exceptions propagate
+    /// (first one wins under parallel execution).
+    void run_until(Time horizon);
+
+    // --- accounting -------------------------------------------------------
+    [[nodiscard]] ShardStats stats(std::size_t i) const;
+    [[nodiscard]] std::uint64_t quanta() const { return quanta_; }
+    [[nodiscard]] std::uint64_t total_dispatched() const;
+    /// Per-worker idle time at each quantum barrier (threads > 0 only).
+    [[nodiscard]] const obs::Histogram& barrier_wait_ns() const { return barrier_wait_ns_; }
+
+    /// Fold sharded-execution metrics into \p registry:
+    ///   sim.shard.dispatched (histogram across shards),
+    ///   sim.shard.mailbox_depth_peak / .mailbox_depth (gauges),
+    ///   sim.shard.cross_events / .cross_late / .quanta (counters),
+    ///   sim.shard.barrier_wait_ns, sim.shard.skew_ns (histograms).
+    /// Call from the owning thread after run_until().
+    void publish_metrics(obs::MetricsRegistry& registry) const;
+
+private:
+    struct CrossEvent {
+        Time when;
+        std::uint32_t src = 0;   // sending shard
+        std::uint64_t seq = 0;   // per-sender monotonic
+        InlineCallback callback;
+    };
+
+    /// Deterministic merge order for simultaneous cross-shard arrivals.
+    [[nodiscard]] static bool cross_less(const CrossEvent& a, const CrossEvent& b) {
+        if (a.when != b.when) return a.when < b.when;
+        if (a.src != b.src) return a.src < b.src;
+        return a.seq < b.seq;
+    }
+
+    struct Shard {
+        Simulator sim;
+        ShardStats stats;
+        obs::Histogram skew_ns;  // lax: distribution of timestamp bumps
+        std::uint64_t send_seq = 0;  // written only by the owning thread
+
+        std::mutex inbox_mutex;
+        std::vector<CrossEvent> inbox;       // guarded by inbox_mutex
+        Time inbox_min = Time::max();        // guarded by inbox_mutex
+    };
+
+    void flush_inbox(Shard& sh);
+    void run_shard_span(std::size_t worker, Time quantum_end);
+    void run_quantum(Time quantum_end);
+    [[nodiscard]] Time next_work_time();
+    void start_workers();
+    void worker_loop(std::size_t worker);
+
+    ShardedConfig config_;
+    std::vector<std::unique_ptr<Shard>> shards_;
+    Time now_ = Time::zero();
+    std::uint64_t quanta_ = 0;
+    obs::Histogram barrier_wait_ns_;  // recorded by the owning thread
+
+    // Worker pool (threads > 0), started lazily on the first run_until.
+    std::size_t worker_count_ = 0;
+    std::vector<std::thread> workers_;
+    std::vector<std::uint64_t> worker_finish_ns_;
+    std::mutex pool_mutex_;
+    std::condition_variable start_cv_;
+    std::condition_variable done_cv_;
+    std::uint64_t generation_ = 0;   // guarded by pool_mutex_
+    Time quantum_target_;            // guarded by pool_mutex_
+    bool shutdown_ = false;          // guarded by pool_mutex_
+    std::atomic<std::size_t> remaining_{0};
+    std::mutex error_mutex_;
+    std::exception_ptr first_error_;  // guarded by error_mutex_
+};
+
+}  // namespace wlanps::sim

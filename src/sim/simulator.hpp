@@ -121,6 +121,17 @@ public:
         return size_ - static_cast<std::size_t>(cancelled_pending_);
     }
 
+    /// Earliest queued timestamp, or Time::max() when the queue is empty.
+    /// Cancelled tombstones count, so this is a conservative lower bound
+    /// on when the next live event fires — exactly what a conservative
+    /// parallel synchronizer (sim/sharded.hpp) needs for idle-quantum
+    /// jumps.  Non-const: peeking may sort a bucket or migrate overflow
+    /// entries, which is dispatch-order neutral.
+    [[nodiscard]] Time next_event_time() {
+        if (size_ == 0) return Time::max();
+        return find_min()->when;
+    }
+
     /// Attach a kernel profiling sink (obs/kernel_profile.hpp), or nullptr
     /// to detach.  Only WLANPS_OBS builds record into it — the attached
     /// path times every dispatched callback and tracks calendar-queue

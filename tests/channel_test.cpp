@@ -341,5 +341,29 @@ TEST(PredictorTest, NoisyOracleFidelityOrdersAccuracy) {
     EXPECT_GT(prev_accuracy, 0.99);  // full-fidelity oracle is near perfect
 }
 
+// ---- PerTable -------------------------------------------------------------
+
+TEST(PerTableTest, BatchMatchesScalarBitForBit) {
+    const PerTable& table = PerTable::lookup(Modulation::cck11, DataSize::from_bytes(1500));
+    std::vector<double> snrs;
+    // Cover below-range, in-range (including off-grid fractions), and
+    // above-range inputs.
+    for (double snr = -15.0; snr <= 45.0; snr += 0.037) snrs.push_back(snr);
+    const std::vector<double> batch = table.per_batch(snrs);
+    ASSERT_EQ(batch.size(), snrs.size());
+    for (std::size_t i = 0; i < snrs.size(); ++i) {
+        EXPECT_EQ(batch[i], table.per(snrs[i])) << "snr " << snrs[i];
+    }
+}
+
+TEST(PerTableTest, TrackExactCurve) {
+    const DataSize frame = DataSize::from_bytes(1500);
+    const PerTable& table = PerTable::lookup(Modulation::dqpsk, frame);
+    for (double snr = -8.0; snr <= 35.0; snr += 0.5) {
+        const double exact = packet_error_rate(bit_error_rate(Modulation::dqpsk, snr), frame);
+        EXPECT_NEAR(table.per(snr), exact, 1e-4) << "snr " << snr;
+    }
+}
+
 }  // namespace
 }  // namespace wlanps::channel
