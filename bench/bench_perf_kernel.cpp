@@ -250,6 +250,34 @@ void BM_ShardedHotspot(benchmark::State& state) {
 }
 BENCHMARK(BM_ShardedHotspot)->Arg(0)->Arg(1)->Arg(2)->Arg(4)->UseRealTime();
 
+void BM_Federation(benchmark::State& state) {
+    // One run of a 16-AP federation — roaming clients, a flash crowd, and
+    // admission control on the sharded kernel — by worker thread count
+    // (0 = the inline sequential reference strict mode is bit-identical
+    // to).  Real time: the point is wall-clock cost of a city-scale run.
+    for (auto _ : state) {
+        core::StreamConfig config;
+        config.clients = 2000;
+        config.duration = Time::from_seconds(30);
+        core::FederationConfig fed;
+        fed.with_aps(16)
+            .with_shards(4)
+            .with_threads(static_cast<int>(state.range(0)))
+            .with_roaming(Time::from_seconds(8))
+            .with_admission(core::AdmissionPolicy::defer)
+            .with_capacity_per_ap(256);
+        fed.base_arrival_hz = 2.0;
+        fed.flash_arrival_hz = 50.0;
+        fed.flash_start = Time::from_seconds(10);
+        fed.flash_duration = Time::from_seconds(10);
+        auto result = core::SimBackend{}.run(
+            core::ScenarioSpec::federation().with_stream(config).with_federation(fed));
+        benchmark::DoNotOptimize(result);
+    }
+    state.SetItemsProcessed(state.iterations() * 30);  // simulated seconds
+}
+BENCHMARK(BM_Federation)->Arg(0)->Arg(1)->Arg(2)->Arg(4)->UseRealTime();
+
 void BM_ExperimentSweep(benchmark::State& state) {
     // An 8-run Hotspot sweep through the experiment runner at 1..N worker
     // threads — the multi-core scaling path every sweep bench rides on.

@@ -55,6 +55,7 @@
 
 #include "analytic/backend.hpp"
 #include "core/backend.hpp"
+#include "fed/federation.hpp"
 #include "core/burst_channel.hpp"
 #include "core/client.hpp"
 #include "core/scenario_spec.hpp"
@@ -75,13 +76,47 @@ namespace {
 [[noreturn]] void usage(const char* argv0) {
     std::fprintf(stderr,
                  "usage: %s [--clients N] [--duration S] [--scheduler NAME] [--burst KB]\n"
-                 "          [--config hotspot|wlan-cam|wlan-psm|bt|ecmac|mixed]\n"
+                 "          [--config hotspot|wlan-cam|wlan-psm|bt|ecmac|mixed|federation]\n"
                  "          [--backend sim|analytic] [--seed N] [--no-bt] [--no-wlan]\n"
                  "          [--fault-plan SPEC] [--recovery none|reclaim|rejoin|degrade]\n"
                  "          [--trace FILE] [--metrics FILE] [--sample-interval S]\n"
-                 "          [--flight N] [--post-mortem PREFIX] [--post-mortem-threshold S]\n",
+                 "          [--flight N] [--post-mortem PREFIX] [--post-mortem-threshold S]\n"
+                 "          [--federation] [--aps N] [--shards N] [--threads N]\n"
+                 "          [--roaming DWELL_S] [--admission reject|defer|degrade]\n"
+                 "          [--capacity N] [--arrivals HZ] [--flash HZ]\n"
+                 "          [--fed-stream FILE]\n",
                  argv0);
     std::exit(2);
+}
+
+void print_population(const fed::PopulationSummary& p) {
+    std::printf("\nfederation: population %llu (arrivals %llu, departures %llu, "
+                "truncated %llu)\n",
+                static_cast<unsigned long long>(p.population),
+                static_cast<unsigned long long>(p.arrivals),
+                static_cast<unsigned long long>(p.departures),
+                static_cast<unsigned long long>(p.arrivals_truncated));
+    std::printf("admission: rejected %llu, deferred %llu, degraded %llu | peak "
+                "association %llu\n",
+                static_cast<unsigned long long>(p.rejected),
+                static_cast<unsigned long long>(p.deferred),
+                static_cast<unsigned long long>(p.degraded),
+                static_cast<unsigned long long>(p.peak_association));
+    std::printf("roams %llu (handoff failures %llu) | bursts: admitted %llu = "
+                "completed %llu + shed %llu (%s)\n",
+                static_cast<unsigned long long>(p.roams),
+                static_cast<unsigned long long>(p.handoff_failures),
+                static_cast<unsigned long long>(p.bursts_admitted),
+                static_cast<unsigned long long>(p.bursts_completed),
+                static_cast<unsigned long long>(p.bursts_shed),
+                p.conserved() ? "conserved" : "NOT CONSERVED");
+    if (p.faults_injected + p.faults_missed > 0) {
+        std::printf("faults injected %llu, missed (target roamed away) %llu\n",
+                    static_cast<unsigned long long>(p.faults_injected),
+                    static_cast<unsigned long long>(p.faults_missed));
+    }
+    std::printf("population energy %.1f J | fingerprint %016llx\n", p.energy_j,
+                static_cast<unsigned long long>(p.fingerprint));
 }
 
 void print(const core::ScenarioResult& result) {
@@ -137,6 +172,7 @@ void print_recovery(const core::ScenarioResult& result) {
 int main(int argc, char** argv) {
     core::StreamConfig config;
     core::HotspotConfig options;
+    core::FederationConfig fed_options;
     std::string kind = "hotspot";
     std::string backend_name = "sim";
     std::string trace_path;
@@ -195,6 +231,31 @@ int main(int argc, char** argv) {
             postmortem_prefix = next();
         } else if (arg == "--post-mortem-threshold") {
             postmortem_threshold_s = std::atof(next());
+        } else if (arg == "--federation") {
+            kind = "federation";
+        } else if (arg == "--aps") {
+            fed_options.with_aps(std::atoi(next()));
+        } else if (arg == "--shards") {
+            fed_options.with_shards(std::atoi(next()));
+        } else if (arg == "--threads") {
+            fed_options.with_threads(std::atoi(next()));
+        } else if (arg == "--roaming") {
+            fed_options.with_roaming(Time::from_seconds(std::atof(next())));
+        } else if (arg == "--admission") {
+            try {
+                fed_options.with_admission(core::parse_admission(next()));
+            } catch (const ContractViolation& e) {
+                std::fprintf(stderr, "error: %s\n", e.what());
+                return 2;
+            }
+        } else if (arg == "--capacity") {
+            fed_options.with_capacity_per_ap(std::atoi(next()));
+        } else if (arg == "--arrivals") {
+            fed_options.base_arrival_hz = std::atof(next());
+        } else if (arg == "--flash") {
+            fed_options.flash_arrival_hz = std::atof(next());
+        } else if (arg == "--fed-stream") {
+            fed_options.with_stream_path(next());
         } else {
             usage(argv[0]);
         }
@@ -331,9 +392,28 @@ int main(int argc, char** argv) {
                 return core::ScenarioSpec::hotspot_mixed().with_hotspot(options).with_mix(
                     core::MixedWorkload{});
             }
+            if (kind == "federation") {
+                return core::ScenarioSpec::federation().with_federation(fed_options);
+            }
             usage(argv[0]);
         }();
         spec.with_stream(config);
+        if (kind == "federation") {
+            // Run directly: the population summary and fingerprint live
+            // beside the backend-shaped ScenarioResult.
+            const fed::FederationResult fr = fed::run_federation(spec);
+            print(fr.scenario);
+            print_population(fr.population);
+            if (!fed_options.stream_path.empty()) {
+                std::printf("metrics stream written to %s\n",
+                            fed_options.stream_path.c_str());
+            }
+            if (!metrics_path.empty()) {
+                obs::write_json_file(registry.snapshot(), &ledger, metrics_path);
+                std::printf("metrics snapshot written to %s\n", metrics_path.c_str());
+            }
+            return 0;
+        }
         const auto backend = analytic::make_backend(backend_name);
         const auto result = backend->run(spec);
         print(result);

@@ -8,6 +8,13 @@ Works on any pair of files sharing the repo's JSON shapes:
   * metrics.json snapshots from the obs exporter (counters, gauges,
     histograms, energy ledger).
 
+Either side may also be a binary WPSM metrics stream written by a
+federation run (src/obs/metrics_stream.hpp, magic "WPSM"): the file is
+sniffed by magic and decoded into the same flat numeric keys —
+summary.<key> for end-of-run scalars, series.<name>.{first,last,min,max,
+mean,count} for each registered time series, and client[<id>].<field>
+for the stride-sampled per-client records.
+
 Both documents are flattened to dot-separated paths of numeric leaves;
 every path present in both files is reported with its old value, new
 value, and relative delta.  Noisy bookkeeping (google-benchmark's
@@ -23,6 +30,7 @@ Usage:
 
 import argparse
 import json
+import struct
 import sys
 
 # Subtrees that never carry comparable measurements.
@@ -46,9 +54,69 @@ def flatten(node, prefix=""):
         yield prefix, float(node)
 
 
+WPSM_MAGIC = b"WPSM"
+
+
+def decode_wpsm(data, path):
+    """Decode a WPSM binary metrics stream into a flat {key: float} dict.
+
+    Frame grammar (little-endian, see src/obs/metrics_stream.hpp):
+      u8 type, u32 payload_len, payload
+    Unknown frame types are skipped by length, so newer writers stay
+    readable.
+    """
+    version = struct.unpack_from("<I", data, 4)[0]
+    if version != 1:
+        raise ValueError(f"{path}: unsupported WPSM version {version}")
+    series_names = {}
+    series_values = {}  # id -> [values in file order]
+    metrics = {}
+    off = 8
+    while off < len(data):
+        if off + 5 > len(data):
+            raise ValueError(f"{path}: truncated WPSM frame header at {off}")
+        ftype, length = struct.unpack_from("<BI", data, off)
+        off += 5
+        if off + length > len(data):
+            raise ValueError(f"{path}: truncated WPSM frame payload at {off}")
+        payload = data[off:off + length]
+        off += length
+        if ftype == 0:  # series-def: u32 id, u16 name_len, name
+            sid, name_len = struct.unpack_from("<IH", payload)
+            series_names[sid] = payload[6:6 + name_len].decode()
+        elif ftype == 1:  # sample: u32 id, i64 t_ns, f64 value
+            sid, _t_ns, value = struct.unpack_from("<Iqd", payload)
+            series_values.setdefault(sid, []).append(value)
+        elif ftype == 2:  # summary: u16 key_len, key, f64 value
+            key_len = struct.unpack_from("<H", payload)[0]
+            key = payload[2:2 + key_len].decode()
+            value = struct.unpack_from("<d", payload, 2 + key_len)[0]
+            metrics[f"summary.{key}"] = float(value)
+        elif ftype == 3:  # client record
+            cid, energy_j, qos, completed, shed = struct.unpack_from(
+                "<IffII", payload)
+            metrics[f"client[{cid}].energy_j"] = float(energy_j)
+            metrics[f"client[{cid}].qos"] = float(qos)
+            metrics[f"client[{cid}].bursts_completed"] = float(completed)
+            metrics[f"client[{cid}].bursts_shed"] = float(shed)
+        # unknown frame types: skipped by length
+    for sid, values in series_values.items():
+        name = series_names.get(sid, f"series_{sid}")
+        metrics[f"series.{name}.first"] = values[0]
+        metrics[f"series.{name}.last"] = values[-1]
+        metrics[f"series.{name}.min"] = min(values)
+        metrics[f"series.{name}.max"] = max(values)
+        metrics[f"series.{name}.mean"] = sum(values) / len(values)
+        metrics[f"series.{name}.count"] = float(len(values))
+    return metrics
+
+
 def load_metrics(path):
-    with open(path) as f:
-        doc = json.load(f)
+    with open(path, "rb") as f:
+        raw = f.read()
+    if raw[:4] == WPSM_MAGIC:
+        return decode_wpsm(raw, path)
+    doc = json.loads(raw.decode())
     metrics = {}
     for key, value in flatten(doc):
         if any(key.startswith(p) for p in EXCLUDE_PREFIXES):

@@ -145,7 +145,10 @@ if not update:
             ok = False
 
 # Sharded wall-clock speedup: only a hard gate when the host can actually
-# run 4 workers concurrently.
+# run 4 workers concurrently.  On smaller hosts the gate is *disarmed*:
+# the ratio is still printed, and the result JSON records the gate state
+# so downstream tooling (bench_diff.py, CI artifacts) can tell a genuine
+# pass from a host that simply could not run the comparison.
 inline_ns = real["BM_ShardedHotspot/0/real_time"]
 par_ns = real["BM_ShardedHotspot/4/real_time"]
 speedup = inline_ns / par_ns if par_ns > 0 else 0.0
@@ -153,13 +156,26 @@ print(f"BM_ShardedHotspot wall clock: inline {inline_ns:.0f} ns, "
       f"4 threads {par_ns:.0f} ns -> speedup {speedup:.2f}x "
       f"({cores} core(s) on this host)")
 if cores >= SPEEDUP_MIN_CORES:
+    speedup_gate = "armed"
     if speedup < SPEEDUP_TARGET:
         print(f"FAIL: sharded speedup {speedup:.2f}x below the "
               f"{SPEEDUP_TARGET}x target on a {cores}-core host")
         ok = False
 else:
-    print(f"NOTE: speedup gate skipped (needs >= {SPEEDUP_MIN_CORES} cores); "
+    speedup_gate = "disarmed"
+    print(f"SKIPPED (cores={cores})")
+    print(f"NOTE: speedup gate disarmed (needs >= {SPEEDUP_MIN_CORES} cores); "
           f"barrier-quantum workers cannot overlap on this host")
+
+# Record the gate state alongside the raw benchmark output so the result
+# JSON is self-describing.
+with open(result_json) as f:
+    recorded = json.load(f)
+recorded["speedup_gate"] = speedup_gate
+recorded["speedup_measured"] = speedup
+with open(result_json, "w") as f:
+    json.dump(recorded, f, indent=2)
+    f.write("\n")
 
 # Obs gate: both sides come from interleaved A/B rounds in this same
 # invocation, so the 5% budget compares like-for-like host conditions.

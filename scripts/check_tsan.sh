@@ -18,7 +18,7 @@ BUILD_DIR="${1:-build-tsan}"
 cmake -B "$BUILD_DIR" -S . -DWLANPS_SANITIZE=thread -DWLANPS_OBS=ON
 cmake --build "$BUILD_DIR" -j "$(nproc)" \
     --target exp_runner_test sim_simulator_test sim_calendar_queue_test obs_test \
-    sim_sharded_test
+    sim_sharded_test fed_federation_test
 "./$BUILD_DIR/tests/exp_runner_test"
 "./$BUILD_DIR/tests/sim_simulator_test"
 "./$BUILD_DIR/tests/sim_calendar_queue_test"
@@ -27,4 +27,9 @@ cmake --build "$BUILD_DIR" -j "$(nproc)" \
 # during a simulation (mailbox posts, barrier handoffs, worker pool
 # start/stop); its tests run every policy at multiple worker counts.
 "./$BUILD_DIR/tests/sim_sharded_test"
+# The federation rides the same kernel but adds slab atomics (state /
+# current_ap / epoch) and cross-shard handoff ownership transfers; its
+# thread-invariance tests run the full roam/fault machinery at 1/2/4
+# workers.
+"./$BUILD_DIR/tests/fed_federation_test"
 echo "TSan check passed."

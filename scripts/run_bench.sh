@@ -22,12 +22,12 @@
 #     "backend_xval".
 #
 # Usage: scripts/run_bench.sh [build-dir] [output.json]
-#   (defaults: build, BENCH_7.json)
+#   (defaults: build, BENCH_8.json)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BUILD_DIR="${1:-build}"
-OUT="${2:-BENCH_7.json}"
+OUT="${2:-BENCH_8.json}"
 METRICS_OUT="$(dirname "$OUT")/metrics.json"
 
 cmake --build "$BUILD_DIR" -j "$(nproc)" >/dev/null

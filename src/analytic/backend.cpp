@@ -23,6 +23,10 @@ std::string AnalyticBackend::unsupported_reason(const ScenarioSpec& spec) const 
             return "heterogeneous mixed workloads (video/web admission, per-class "
                    "QoS) have no closed-form model — run hotspot_mixed scenarios "
                    "on the sim backend";
+        case Policy::federation:
+            return "federation roaming/admission dynamics (flash crowds, handoffs, "
+                   "backhaul contention) are event-driven and have no closed-form "
+                   "model — run federation scenarios on the sim backend";
         default:
             break;
     }
@@ -88,6 +92,7 @@ ScenarioResult AnalyticBackend::do_run(const ScenarioSpec& spec, std::uint64_t s
         }
         case Policy::ecmac:
         case Policy::hotspot_mixed:
+        case Policy::federation:
             WLANPS_REQUIRE_MSG(false, "unsupported policy reached AnalyticBackend::do_run");
     }
 

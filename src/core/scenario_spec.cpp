@@ -66,6 +66,11 @@ void ShardingConfig::validate() const {
     WLANPS_REQUIRE_MSG(shards >= 0, "ShardingConfig.shards cannot be negative");
     if (!enabled()) return;
     WLANPS_REQUIRE_MSG(threads >= 0, "ShardingConfig.threads cannot be negative");
+    WLANPS_REQUIRE_MSG(threads <= shards,
+                       "ShardingConfig.threads (" + std::to_string(threads) +
+                           ") cannot exceed shards (" + std::to_string(shards) +
+                           ") — excess workers would never hold a shard; "
+                           "lower threads or raise shards");
     WLANPS_REQUIRE_MSG(lookahead > Time::zero(),
                        "ShardingConfig.lookahead must be positive");
     if (!skew_window.is_zero()) {
@@ -73,8 +78,95 @@ void ShardingConfig::validate() const {
                            "ShardingConfig.skew_window is a lax-mode knob "
                            "(set lax = true)");
         WLANPS_REQUIRE_MSG(skew_window >= lookahead,
-                           "ShardingConfig.skew_window must be >= lookahead");
+                           "ShardingConfig.skew_window must be >= lookahead "
+                           "(a quantum narrower than the lookahead would stall "
+                           "cross-shard delivery) — shrink lookahead or widen "
+                           "skew_window");
     }
+}
+
+std::string_view to_string(AdmissionPolicy policy) {
+    switch (policy) {
+        case AdmissionPolicy::reject: return "reject";
+        case AdmissionPolicy::defer: return "defer";
+        case AdmissionPolicy::degrade: return "degrade";
+    }
+    WLANPS_REQUIRE_MSG(false, "bad admission policy");
+    return "";
+}
+
+AdmissionPolicy parse_admission(std::string_view name) {
+    if (name == "reject") return AdmissionPolicy::reject;
+    if (name == "defer") return AdmissionPolicy::defer;
+    if (name == "degrade") return AdmissionPolicy::degrade;
+    WLANPS_REQUIRE_MSG(false, "unknown admission policy '" + std::string(name) +
+                                  "' (reject, defer, degrade)");
+    return AdmissionPolicy::reject;  // unreachable
+}
+
+void FederationConfig::validate() const {
+    WLANPS_REQUIRE_MSG(aps >= 1, "FederationConfig.aps must be >= 1 (got " +
+                                     std::to_string(aps) + ")");
+    WLANPS_REQUIRE_MSG(shards >= 1,
+                       "FederationConfig.shards must be >= 1 (got " +
+                           std::to_string(shards) +
+                           ") — the federation always rides the sharded kernel; "
+                           "there is no single-queue federation path");
+    WLANPS_REQUIRE_MSG(shards <= aps,
+                       "FederationConfig.shards (" + std::to_string(shards) +
+                           ") cannot exceed aps (" + std::to_string(aps) +
+                           ") — a shard with no AP cell would idle forever");
+    WLANPS_REQUIRE_MSG(threads >= 0, "FederationConfig.threads cannot be negative");
+    WLANPS_REQUIRE_MSG(threads <= shards,
+                       "FederationConfig.threads (" + std::to_string(threads) +
+                           ") cannot exceed shards (" + std::to_string(shards) +
+                           ") — excess workers would never hold a shard; "
+                           "lower threads or raise shards");
+    WLANPS_REQUIRE_MSG(lookahead > Time::zero(),
+                       "FederationConfig.lookahead must be positive");
+    if (!skew_window.is_zero()) {
+        WLANPS_REQUIRE_MSG(lax,
+                           "FederationConfig.skew_window is a lax-mode knob "
+                           "(set lax = true)");
+        WLANPS_REQUIRE_MSG(skew_window >= lookahead,
+                           "FederationConfig.skew_window must be >= lookahead "
+                           "(a quantum narrower than the lookahead would stall "
+                           "cross-shard handoffs) — shrink lookahead or widen "
+                           "skew_window");
+    }
+    WLANPS_REQUIRE_MSG(!roaming || aps >= 2,
+                       "FederationConfig.roaming needs at least 2 APs to roam "
+                       "between (got " + std::to_string(aps) +
+                           ") — add APs or disable roaming");
+    if (roaming) {
+        WLANPS_REQUIRE_MSG(mean_dwell > Time::zero(),
+                           "FederationConfig.mean_dwell must be positive");
+    }
+    WLANPS_REQUIRE_MSG(base_arrival_hz >= 0.0 && flash_arrival_hz >= 0.0,
+                       "FederationConfig arrival rates cannot be negative");
+    if (flash_arrival_hz > 0.0) {
+        WLANPS_REQUIRE_MSG(flash_duration > Time::zero(),
+                           "FederationConfig.flash_duration must be positive "
+                           "when flash_arrival_hz is set");
+    }
+    WLANPS_REQUIRE_MSG(mean_session > Time::zero(),
+                       "FederationConfig.mean_session must be positive");
+    WLANPS_REQUIRE_MSG(capacity_per_ap >= 1,
+                       "FederationConfig.capacity_per_ap must be >= 1");
+    WLANPS_REQUIRE_MSG(defer_retry > Time::zero(),
+                       "FederationConfig.defer_retry must be positive");
+    WLANPS_REQUIRE_MSG(degrade_factor > 0.0 && degrade_factor <= 1.0,
+                       "FederationConfig.degrade_factor must be in (0, 1] (got " +
+                           fmt(degrade_factor) + ")");
+    WLANPS_REQUIRE_MSG(!stream_rate.is_zero(), "FederationConfig.stream_rate must be positive");
+    WLANPS_REQUIRE_MSG(!target_burst.is_zero(),
+                       "FederationConfig.target_burst must be positive");
+    WLANPS_REQUIRE_MSG(!radio_goodput.is_zero(),
+                       "FederationConfig.radio_goodput must be positive");
+    WLANPS_REQUIRE_MSG(!backhaul_rate.is_zero(),
+                       "FederationConfig.backhaul_rate must be positive");
+    WLANPS_REQUIRE_MSG(sample_stride >= 1,
+                       "FederationConfig.sample_stride must be >= 1");
 }
 
 void HotspotConfig::validate() const {
@@ -134,6 +226,7 @@ std::string_view to_string(Policy policy) {
         case Policy::bt: return "bt";
         case Policy::hotspot: return "hotspot";
         case Policy::hotspot_mixed: return "hotspot-mixed";
+        case Policy::federation: return "federation";
     }
     WLANPS_REQUIRE_MSG(false, "bad policy");
     return "";
@@ -148,8 +241,10 @@ Policy parse_policy(std::string_view name) {
     if (name == "hotspot-mixed" || name == "hotspot_mixed" || name == "mixed") {
         return Policy::hotspot_mixed;
     }
+    if (name == "federation" || name == "fed") return Policy::federation;
     WLANPS_REQUIRE_MSG(false, "unknown policy '" + std::string(name) +
-                                  "' (cam, psm, ecmac, bt, hotspot, hotspot-mixed)");
+                                  "' (cam, psm, ecmac, bt, hotspot, hotspot-mixed, "
+                                  "federation)");
     return Policy::cam;  // unreachable
 }
 
@@ -163,6 +258,8 @@ std::string ScenarioSpec::label() const {
             return (hotspot_.sharding.enabled() ? "hotspot-sharded-" : "hotspot-") +
                    hotspot_.scheduler;
         case Policy::hotspot_mixed: return "hotspot-mixed-" + hotspot_.scheduler;
+        case Policy::federation:
+            return "federation-" + std::string(to_string(fed_.admission));
     }
     return "?";
 }
@@ -186,6 +283,23 @@ std::string ScenarioSpec::describe() const {
             break;
         case Policy::ecmac:
             out += " superframe_ms=" + fmt(ecmac_.superframe.to_seconds() * 1e3);
+            break;
+        case Policy::federation:
+            out += " aps=" + std::to_string(fed_.aps);
+            out += " shards=" + std::to_string(fed_.shards);
+            out += " sim_threads=" + std::to_string(fed_.threads);
+            if (fed_.lax) out += " sync=lax";
+            out += " admission=" + std::string(to_string(fed_.admission));
+            out += " capacity=" + std::to_string(fed_.capacity_per_ap);
+            if (fed_.roaming) out += " dwell_s=" + fmt(fed_.mean_dwell.to_seconds());
+            if (fed_.base_arrival_hz > 0.0) {
+                out += " arrival_hz=" + fmt(fed_.base_arrival_hz);
+            }
+            if (fed_.flash_arrival_hz > 0.0) {
+                out += " flash_hz=" + fmt(fed_.flash_arrival_hz);
+                out += " flash_s=" + fmt(fed_.flash_start.to_seconds()) + "+" +
+                       fmt(fed_.flash_duration.to_seconds());
+            }
             break;
         case Policy::hotspot_mixed:
             out += " mp3=" + std::to_string(mix_.mp3_clients);
@@ -216,6 +330,14 @@ void ScenarioSpec::validate() const {
                        "ScenarioSpec duration must be positive");
     if (policy_ == Policy::hotspot_mixed) {
         mix_.validate();
+    } else if (policy_ == Policy::federation) {
+        // The initial population may be empty if arrivals feed the cells.
+        WLANPS_REQUIRE_MSG(stream_.clients >= 0,
+                           "ScenarioSpec clients cannot be negative");
+        WLANPS_REQUIRE_MSG(
+            stream_.clients >= 1 || fed_.base_arrival_hz > 0.0 ||
+                fed_.flash_arrival_hz > 0.0,
+            "federation needs an initial population or a nonzero arrival rate");
     } else {
         WLANPS_REQUIRE_MSG(stream_.clients >= 1,
                            "ScenarioSpec needs at least one client (got " +
@@ -238,17 +360,34 @@ void ScenarioSpec::validate() const {
     WLANPS_REQUIRE_MSG(!mix_set_ || policy_ == Policy::hotspot_mixed,
                        "MixedWorkload set on a '" + policy_name +
                            "' scenario — use ScenarioSpec::hotspot_mixed()");
-    // Only the psm and hotspot worlds route fault hooks.
+    WLANPS_REQUIRE_MSG(!fed_set_ || policy_ == Policy::federation,
+                       "FederationConfig set on a '" + policy_name +
+                           "' scenario — use ScenarioSpec::federation()");
+    // Only the psm, hotspot, and federation worlds route fault hooks.
     WLANPS_REQUIRE_MSG(
         stream_.fault_plan.empty() ||
-            policy_ == Policy::psm || policy_ == Policy::hotspot,
-        "fault plans are only injectable into psm and hotspot scenarios, not '" +
-            policy_name + "'");
+            policy_ == Policy::psm || policy_ == Policy::hotspot ||
+            policy_ == Policy::federation,
+        "fault plans are only injectable into psm, hotspot, and federation "
+        "scenarios, not '" + policy_name + "'");
     stream_.fault_plan.validate();
     if (policy_ == Policy::hotspot && hotspot_.sharding.enabled()) {
-        WLANPS_REQUIRE_MSG(stream_.fault_plan.empty(),
-                           "sharded hotspot does not route fault hooks yet — drop the "
-                           "fault plan or disable sharding");
+        // The sharded world routes fault hooks through per-shard injectors,
+        // but has no beacon/poll MAC and the schedule-drop gate lives in the
+        // (absent) HotspotServer — refuse those kinds with a pointer.
+        for (const auto& f : stream_.fault_plan.specs()) {
+            const bool supported =
+                f.kind != fault::FaultKind::beacon_loss &&
+                f.kind != fault::FaultKind::poll_drop &&
+                f.kind != fault::FaultKind::schedule_drop;
+            WLANPS_REQUIRE_MSG(
+                supported,
+                std::string("sharded hotspot cannot inject '") +
+                    fault::to_string(f.kind) +
+                    "' (the schedule-ahead control plane has no beacon/poll MAC "
+                    "or schedule-message path) — use the single-queue hotspot "
+                    "(shards = 0) for that kind");
+        }
         if (hotspot_.bt_available) {
             const int per_cell =
                 (stream_.clients + hotspot_.sharding.shards - 1) / hotspot_.sharding.shards;
@@ -273,6 +412,25 @@ void ScenarioSpec::validate() const {
             break;
         case Policy::hotspot_mixed:
             hotspot_.validate();
+            break;
+        case Policy::federation:
+            fed_.validate();
+            // The federation models clients as slab records, not device
+            // objects: only the kinds with a slab-level meaning inject.
+            for (const auto& f : stream_.fault_plan.specs()) {
+                const bool supported =
+                    f.kind == fault::FaultKind::nic_lockup ||
+                    f.kind == fault::FaultKind::client_crash ||
+                    f.kind == fault::FaultKind::silent_leave ||
+                    f.kind == fault::FaultKind::delayed_registration;
+                WLANPS_REQUIRE_MSG(
+                    supported,
+                    std::string("federation cannot inject '") +
+                        fault::to_string(f.kind) +
+                        "' (slab clients expose nic-lockup, crash, "
+                        "silent-leave, and late-join only) — use a hotspot "
+                        "scenario for MAC/link-level kinds");
+            }
             break;
     }
 }

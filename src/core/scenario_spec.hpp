@@ -24,6 +24,7 @@
 #include "core/resilience.hpp"
 #include "fault/fault.hpp"
 #include "phy/bt_nic.hpp"
+#include "phy/calibration.hpp"
 #include "phy/wlan_nic.hpp"
 #include "sim/time.hpp"
 #include "sim/trace.hpp"
@@ -205,6 +206,125 @@ struct HotspotConfig {
     void validate() const;
 };
 
+/// What an AP cell does with a client that arrives (or roams in) while the
+/// cell is at capacity.
+enum class AdmissionPolicy {
+    reject,   ///< turn the client away (it departs, handoff fails)
+    defer,    ///< queue the admission and retry after defer_retry
+    degrade,  ///< admit, but serve bursts scaled by degrade_factor
+};
+
+/// Canonical name ("reject", "defer", "degrade").
+[[nodiscard]] std::string_view to_string(AdmissionPolicy policy);
+
+/// Parse an admission-policy name; throws a ContractViolation listing the
+/// accepted names on anything else.
+[[nodiscard]] AdmissionPolicy parse_admission(std::string_view name);
+
+/// City-scale hotspot federation (src/fed, DESIGN.md §13): N AP cells on
+/// the sharded kernel, slab-backed client populations (10⁴–10⁶), client
+/// roaming/handoff between cells, per-AP admission control under
+/// flash-crowd arrival processes, and per-AP backhaul contention.  The
+/// initial population and run length come from StreamConfig (clients,
+/// duration, seed); everything federation-specific lives here.
+struct FederationConfig {
+    /// AP cells; distributed round-robin over the shards.
+    int aps = 16;
+    /// Kernel shards — must be >= 1 (federation always rides the sharded
+    /// kernel; there is no single-queue federation path).
+    int shards = 4;
+    /// Worker threads; 0 = inline sequential reference execution.  Must
+    /// not exceed shards (excess workers would never hold a shard).
+    int threads = 0;
+    /// Lax clock-skew sync instead of the strict barrier.
+    bool lax = false;
+    /// Cross-shard handoff/grant lookahead; also the strict quantum.
+    Time lookahead = Time::from_ms(20);
+    /// Lax-mode quantum; zero = lookahead (coincides with strict).
+    Time skew_window = Time::zero();
+
+    // --- arrival process (deterministic seeded MMPP ramp per cell) ------
+    /// Calm-state mean arrival rate per AP, in clients/second.
+    double base_arrival_hz = 0.0;
+    /// Elevated rate during the flash-crowd window (0 = no flash).
+    double flash_arrival_hz = 0.0;
+    Time flash_start = Time::from_seconds(60);
+    Time flash_duration = Time::from_seconds(60);
+    /// Mean exponential session length before a client departs.
+    Time mean_session = Time::from_seconds(120);
+
+    // --- roaming --------------------------------------------------------
+    /// Clients roam to a uniformly chosen other AP after an exponential
+    /// dwell (requires aps >= 2).
+    bool roaming = false;
+    Time mean_dwell = Time::from_seconds(45);
+
+    // --- admission control ----------------------------------------------
+    AdmissionPolicy admission = AdmissionPolicy::reject;
+    /// Concurrent associations one AP accepts before the policy kicks in.
+    int capacity_per_ap = 1024;
+    /// Defer-mode retry interval.
+    Time defer_retry = Time::from_seconds(2);
+    /// Degrade-mode burst scale factor (0 < f <= 1).
+    double degrade_factor = 0.5;
+
+    // --- service / backhaul model ---------------------------------------
+    /// Per-client stream rate (paper's MP3 default).
+    Rate stream_rate = phy::calibration::kMp3Rate;
+    /// Burst size scheduled per service round.
+    DataSize target_burst = DataSize::from_kilobytes(48);
+    /// Radio goodput an AP can deliver to one client.
+    Rate radio_goodput = Rate::from_mbps(5.0);
+    /// Shared backhaul feeding each AP; effective per-client goodput is
+    /// min(radio, backhaul / associated) — the contention model.
+    Rate backhaul_rate = Rate::from_mbps(20.0);
+
+    // --- export ---------------------------------------------------------
+    /// 1-in-N clients keep full ClientMetrics and energy-ledger causes;
+    /// the rest exist only in the population summary (10⁶ clients cannot
+    /// each carry a JSON ledger entry).
+    int sample_stride = 64;
+    /// Optional path for the streaming binary metrics export (obs
+    /// metrics_stream.hpp); empty = no stream written.
+    std::string stream_path;
+
+    FederationConfig& with_aps(int v) { aps = v; return *this; }
+    FederationConfig& with_shards(int v) { shards = v; return *this; }
+    FederationConfig& with_threads(int v) { threads = v; return *this; }
+    FederationConfig& with_lax(bool v) { lax = v; return *this; }
+    FederationConfig& with_lookahead(Time v) { lookahead = v; return *this; }
+    FederationConfig& with_skew_window(Time v) { skew_window = v; return *this; }
+    FederationConfig& with_arrivals(double base_hz, double flash_hz,
+                                    Time start, Time duration) {
+        base_arrival_hz = base_hz;
+        flash_arrival_hz = flash_hz;
+        flash_start = start;
+        flash_duration = duration;
+        return *this;
+    }
+    FederationConfig& with_mean_session(Time v) { mean_session = v; return *this; }
+    FederationConfig& with_roaming(Time dwell) {
+        roaming = true;
+        mean_dwell = dwell;
+        return *this;
+    }
+    FederationConfig& with_admission(AdmissionPolicy v) { admission = v; return *this; }
+    FederationConfig& with_capacity_per_ap(int v) { capacity_per_ap = v; return *this; }
+    FederationConfig& with_defer_retry(Time v) { defer_retry = v; return *this; }
+    FederationConfig& with_degrade_factor(double v) { degrade_factor = v; return *this; }
+    FederationConfig& with_stream_rate(Rate v) { stream_rate = v; return *this; }
+    FederationConfig& with_target_burst(DataSize v) { target_burst = v; return *this; }
+    FederationConfig& with_radio_goodput(Rate v) { radio_goodput = v; return *this; }
+    FederationConfig& with_backhaul_rate(Rate v) { backhaul_rate = v; return *this; }
+    FederationConfig& with_sample_stride(int v) { sample_stride = v; return *this; }
+    FederationConfig& with_stream_path(std::string v) {
+        stream_path = std::move(v);
+        return *this;
+    }
+
+    void validate() const;
+};
+
 /// Mixed heterogeneous workload through one Hotspot (paper intro: "most
 /// of wireless data traffic is targeted at the infrastructure"):
 ///   * stored MP3 audio clients (as in Figure 2),
@@ -226,9 +346,10 @@ struct MixedWorkload {
 };
 
 /// Which power-management policy a scenario evaluates.
-enum class Policy { cam, psm, ecmac, bt, hotspot, hotspot_mixed };
+enum class Policy { cam, psm, ecmac, bt, hotspot, hotspot_mixed, federation };
 
-/// Canonical name ("cam", "psm", "ecmac", "bt", "hotspot", "hotspot-mixed").
+/// Canonical name ("cam", "psm", "ecmac", "bt", "hotspot", "hotspot-mixed",
+/// "federation").
 [[nodiscard]] std::string_view to_string(Policy policy);
 
 /// Parse a policy name; accepts the canonical names plus the historical
@@ -259,6 +380,9 @@ public:
     [[nodiscard]] static ScenarioSpec hotspot() { return ScenarioSpec{Policy::hotspot}; }
     [[nodiscard]] static ScenarioSpec hotspot_mixed() {
         return ScenarioSpec{Policy::hotspot_mixed};
+    }
+    [[nodiscard]] static ScenarioSpec federation() {
+        return ScenarioSpec{Policy::federation};
     }
     [[nodiscard]] static ScenarioSpec with_policy(Policy policy) {
         return ScenarioSpec{policy};
@@ -327,6 +451,11 @@ public:
         mix_set_ = true;
         return *this;
     }
+    ScenarioSpec& with_federation(FederationConfig config) {
+        fed_ = std::move(config);
+        fed_set_ = true;
+        return *this;
+    }
 
     // --- accessors --------------------------------------------------------
     [[nodiscard]] Policy policy() const { return policy_; }
@@ -336,6 +465,7 @@ public:
     [[nodiscard]] const EcmacConfig& ecmac_config() const { return ecmac_; }
     [[nodiscard]] const HotspotConfig& hotspot_config() const { return hotspot_; }
     [[nodiscard]] const MixedWorkload& mix() const { return mix_; }
+    [[nodiscard]] const FederationConfig& federation_config() const { return fed_; }
     [[nodiscard]] int clients() const {
         return policy_ == Policy::hotspot_mixed ? mix_.total() : stream_.clients;
     }
@@ -364,12 +494,14 @@ private:
     EcmacConfig ecmac_;
     HotspotConfig hotspot_;
     MixedWorkload mix_;
+    FederationConfig fed_;
     // Sub-configs explicitly set via with_* — validate() rejects ones that
     // do not belong to the chosen policy.
     bool psm_set_ = false;
     bool ecmac_set_ = false;
     bool hotspot_set_ = false;
     bool mix_set_ = false;
+    bool fed_set_ = false;
 };
 
 }  // namespace wlanps::core

@@ -13,6 +13,7 @@
 #include "core/scenario_obs.hpp"
 #include "core/sharded_hotspot.hpp"
 #include "fault/injector.hpp"
+#include "fed/federation.hpp"
 #include "mac/access_point.hpp"
 #include "mac/ecmac.hpp"
 #include "mac/station.hpp"
@@ -689,6 +690,8 @@ ScenarioResult SimBackend::do_run(const ScenarioSpec& spec, std::uint64_t seed) 
             return sim_hotspot(config, spec.hotspot_config());
         case Policy::hotspot_mixed:
             return sim_hotspot_mixed(config, spec.hotspot_config(), spec.mix());
+        case Policy::federation:
+            return fed::run_federation(spec, seed).scenario;
     }
     WLANPS_REQUIRE_MSG(false, "bad policy");
     return {};

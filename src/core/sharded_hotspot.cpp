@@ -12,6 +12,7 @@
 #include "core/client.hpp"
 #include "core/scenario_obs.hpp"
 #include "core/scheduler.hpp"
+#include "fault/injector.hpp"
 #include "obs/hooks.hpp"
 #include "phy/calibration.hpp"
 #include "phy/wlan_nic.hpp"
@@ -72,6 +73,12 @@ public:
         DataSize in_flight;  // granted, not yet confirmed
         std::uint64_t bursts_granted = 0;
         std::uint64_t deadline_misses = 0;
+        /// Late joiners (delayed_registration faults): no grants before this.
+        Time active_from = Time::zero();
+        /// Crash back-off: consecutive zero-delivery completions put the
+        /// client on probation so the planner stops spamming a corpse.
+        int zero_streak = 0;
+        Time probation_until = Time::zero();
     };
 
     GrantPlanner(sim::ShardedSimulator& shx, const HotspotConfig& options)
@@ -136,6 +143,7 @@ private:
         for (std::size_t i = 0; i < entries_.size(); ++i) {
             Entry& e = entries_[i];
             if (e.outstanding) continue;
+            if (now < e.active_from || now < e.probation_until) continue;
             const Time start_min = now + grant_latency + e.wake_latency + kStartMargin;
             DataSize burst = effective_burst(e);
             const Time done_est = start_min + scaled_transfer(e.goodput, burst);
@@ -208,6 +216,17 @@ private:
         e.in_flight = DataSize::zero();
         e.delivered += delivered;
         if (completed_at > deadline) ++e.deadline_misses;
+        if (delivered.is_zero()) {
+            // A burst reached a crashed device (zero-delivery completion).
+            // Three in a row: back off ~1 s before trying again, so a dead
+            // client costs one grant per second instead of one per tick.
+            if (++e.zero_streak >= 3) {
+                e.probation_until = completed_at + Time::from_seconds(1.0);
+                e.zero_streak = 0;
+            }
+        } else {
+            e.zero_streak = 0;
+        }
     }
 
     sim::ShardedSimulator& shx_;
@@ -227,8 +246,6 @@ ScenarioResult sim_sharded_hotspot(const StreamConfig& config, const HotspotConf
     WLANPS_REQUIRE(config.clients >= 1);
     WLANPS_REQUIRE_MSG(options.wlan_available || options.bt_available,
                        "at least one interface must be available");
-    WLANPS_REQUIRE_MSG(config.fault_plan.empty(),
-                       "sharded hotspot does not route fault hooks yet");
     sharding.validate();
 
     const auto shard_count = static_cast<std::size_t>(sharding.shards);
@@ -274,6 +291,15 @@ ScenarioResult sim_sharded_hotspot(const StreamConfig& config, const HotspotConf
     std::vector<std::unique_ptr<phy::WlanNic>> wlan_nics;
     std::vector<std::unique_ptr<channel::WirelessLink>> wlan_links;
     std::vector<std::unique_ptr<bt::BtSlave>> slaves;
+    // Shard-local fault-routing maps: every hook an injector fires touches
+    // only objects living on that injector's shard.
+    struct ShardFaultSurface {
+        std::vector<std::pair<ClientId, phy::WlanNic*>> nics;
+        std::vector<std::pair<ClientId, channel::WirelessLink*>> wlinks;
+        std::vector<std::pair<ClientId, bt::SlaveId>> bt_sids;
+        std::vector<HotspotClient*> clients;
+    };
+    std::vector<ShardFaultSurface> fault_surface(shard_count);
     // Static interface admission per cell: committed stream rate per
     // (cell, interface); a client goes to BT (the paper's low-power pick
     // for MP3-rate streams) while the cell's BT capacity holds.
@@ -299,6 +325,8 @@ ScenarioResult sim_sharded_hotspot(const StreamConfig& config, const HotspotConf
                 config.wlan_link, root.fork(300 + static_cast<std::uint64_t>(i)));
             wlan_index = client->add_channel(
                 std::make_unique<WlanBurstChannel>(shx.shard(s), *nic, link.get()));
+            fault_surface[s].nics.emplace_back(id, nic.get());
+            fault_surface[s].wlinks.emplace_back(id, link.get());
             wlan_nics.push_back(std::move(nic));
             wlan_links.push_back(std::move(link));
         }
@@ -310,8 +338,11 @@ ScenarioResult sim_sharded_hotspot(const StreamConfig& config, const HotspotConf
                                   root.fork(400 + static_cast<std::uint64_t>(i)));
             bt_index = client->add_channel(
                 std::make_unique<BtBurstChannel>(*piconets[s], sid, *slave));
+            fault_surface[s].bt_sids.emplace_back(id, sid);
             slaves.push_back(std::move(slave));
         }
+        fault_surface[s].clients.push_back(client.get());
+        client->set_notify_crash_drops(true);  // the planner has no repair watchdog
 
         // Interface selection, decided at admission (the schedule-ahead
         // plane does not migrate mid-run): BT while the cell's piconet
@@ -339,13 +370,100 @@ ScenarioResult sim_sharded_hotspot(const StreamConfig& config, const HotspotConf
         entry.wake_latency = client->channel(channel_index).wnic().wake_latency();
         entry.weight = contract.weight;
         entry.priority = contract.priority;
+        // Late joiners (delayed_registration): the planner issues no grant
+        // before the registration time, and playout starts only then.
+        entry.active_from = config.fault_plan.registration_at(static_cast<std::uint32_t>(id));
         planner.add_client(id, entry);
 
         clients.push_back(std::move(client));
     }
 
-    for (auto& c : clients) c->start();
+    for (std::size_t i = 0; i < clients.size(); ++i) {
+        const Time join_at =
+            config.fault_plan.registration_at(static_cast<std::uint32_t>(i + 1));
+        clients[i]->start(/*start_playout=*/join_at.is_zero());
+        if (!join_at.is_zero()) {
+            const std::size_t s = i % shard_count;
+            shx.shard(s).post_at(join_at,
+                                 [c = clients[i].get()] { c->playout().start(); });
+        }
+    }
+
+    // Per-shard fault injectors: the plan is split so each injector holds
+    // only the faults whose targets live on its shard (population-wide
+    // faults replicate everywhere), and every hook touches shard-local
+    // state only.
+    std::vector<std::unique_ptr<fault::FaultInjector>> injectors;
+    if (!config.fault_plan.empty()) {
+        for (std::size_t s = 0; s < shard_count; ++s) {
+            fault::FaultPlan shard_plan;
+            for (const fault::FaultSpec& spec : config.fault_plan.specs()) {
+                if (spec.kind == fault::FaultKind::delayed_registration) continue;
+                if (spec.client != 0 &&
+                    static_cast<std::size_t>(spec.client - 1) % shard_count != s) {
+                    continue;
+                }
+                shard_plan.add(spec);
+            }
+            if (shard_plan.empty()) continue;
+            auto inj = std::make_unique<fault::FaultInjector>(
+                shx.shard(s), shard_plan, root.fork(900 + s));
+            ShardFaultSurface& surface = fault_surface[s];
+            if (options.wlan_available) {
+                inj->phy().nic_lockup = [&surface](std::uint32_t target, Time until) {
+                    for (auto& [id, nic] : surface.nics) {
+                        if (target == 0 || static_cast<std::uint32_t>(id) == target) {
+                            nic->inject_lockup(until);
+                        }
+                    }
+                };
+                inj->phy().wake_stuck = [&surface](std::uint32_t target, Time extra) {
+                    for (auto& [id, nic] : surface.nics) {
+                        if (target == 0 || static_cast<std::uint32_t>(id) == target) {
+                            nic->inject_wake_stuck(extra);
+                        }
+                    }
+                };
+            }
+            sim::Simulator& ssim = shx.shard(s);
+            bt::Piconet* piconet = piconets[s].get();
+            inj->net().fault_window = [&surface, &ssim, piconet](
+                                          std::uint32_t target, fault::FaultSpec::Itf itf,
+                                          double p, Time until) {
+                if (itf != fault::FaultSpec::Itf::bt) {
+                    for (auto& [id, link] : surface.wlinks) {
+                        if (target == 0 || static_cast<std::uint32_t>(id) == target) {
+                            link->add_fault_window(ssim.now(), until, p);
+                        }
+                    }
+                }
+                if (itf != fault::FaultSpec::Itf::wlan && piconet != nullptr) {
+                    for (auto& [id, sid] : surface.bt_sids) {
+                        if (target != 0 && static_cast<std::uint32_t>(id) != target) continue;
+                        if (auto* link = piconet->link(sid)) {
+                            link->add_fault_window(ssim.now(), until, p);
+                        }
+                    }
+                }
+            };
+            inj->core().crash = [&surface](std::uint32_t target) {
+                for (HotspotClient* c : surface.clients) {
+                    if (target != 0 && static_cast<std::uint32_t>(c->id()) != target) continue;
+                    c->crash();
+                }
+            };
+            inj->core().revive = [&surface](std::uint32_t target) {
+                for (HotspotClient* c : surface.clients) {
+                    if (target != 0 && static_cast<std::uint32_t>(c->id()) != target) continue;
+                    c->revive();
+                }
+            };
+            injectors.push_back(std::move(inj));
+        }
+    }
+
     planner.start();
+    for (auto& inj : injectors) inj->arm();
     shx.run_until(config.duration);
 
     ScenarioResult result;
@@ -354,6 +472,7 @@ ScenarioResult sim_sharded_hotspot(const StreamConfig& config, const HotspotConf
         result.clients.push_back(make_client_metrics(c->wnic_average_power(), c->wnic_energy(),
                                                      c->playout(), c->bytes_received()));
     }
+    for (const auto& inj : injectors) result.faults_injected += inj->injected_total();
 
     if (obs::MetricsRegistry* reg = obs::current()) {
         shx.publish_metrics(*reg);

@@ -1,0 +1,57 @@
+#pragma once
+/// \file arrivals.hpp
+/// Deterministic seeded arrival processes for federation cells.
+///
+/// Each AP cell draws its client arrivals from a two-state MMPP ramp: a
+/// calm base Poisson rate everywhere, plus an elevated rate inside one
+/// flash-crowd window [flash_start, flash_start + flash_duration) — the
+/// "everyone walks out of the conference hall at once" regime admission
+/// control exists for.  Sampling uses thinning against the peak rate, so
+/// the process is an exact nonhomogeneous Poisson draw and fully
+/// deterministic given the cell's forked RNG stream.
+
+#include "sim/random.hpp"
+#include "sim/time.hpp"
+
+namespace wlanps::fed {
+
+class ArrivalProcess {
+public:
+    ArrivalProcess(double base_hz, double flash_hz, Time flash_start, Time flash_end,
+                   sim::Random rng)
+        : base_hz_(base_hz),
+          flash_hz_(flash_hz),
+          flash_start_(flash_start),
+          flash_end_(flash_end),
+          rng_(rng) {}
+
+    /// Instantaneous arrival rate at \p t, clients/second.
+    [[nodiscard]] double rate_at(Time t) const {
+        const bool in_flash = t >= flash_start_ && t < flash_end_;
+        return base_hz_ + (in_flash ? flash_hz_ : 0.0);
+    }
+
+    /// Next arrival strictly after \p t; Time::max() when the process is
+    /// silent (both rates zero).
+    [[nodiscard]] Time next_after(Time t) {
+        const double peak = base_hz_ + flash_hz_;
+        if (peak <= 0.0) return Time::max();
+        Time candidate = t;
+        for (;;) {
+            candidate = candidate + Time::from_seconds(rng_.exponential(1.0 / peak));
+            // Flash-only process past its window: silent forever.
+            if (base_hz_ <= 0.0 && candidate >= flash_end_) return Time::max();
+            const double r = rate_at(candidate);
+            if (r >= peak || rng_.uniform() * peak < r) return candidate;
+        }
+    }
+
+private:
+    double base_hz_;
+    double flash_hz_;
+    Time flash_start_;
+    Time flash_end_;
+    sim::Random rng_;
+};
+
+}  // namespace wlanps::fed

@@ -1,0 +1,158 @@
+#pragma once
+/// \file client_slab.hpp
+/// Struct-of-arrays storage for federation client populations.
+///
+/// A federation run holds 10⁴–10⁶ clients; one heap-allocated
+/// HotspotClient with real NIC/link objects per client (~kilobytes each,
+/// pointer-chasing everywhere) cannot scale there.  The slab keeps every
+/// client as a fixed set of parallel columns, budgeted in bytes
+/// (kBytesPerClient, static_assert'd ≤ 96) and indexed by a dense client
+/// id, so a million clients fit in well under 100 MB and a column sweep
+/// is a linear scan.
+///
+/// Ownership and threading (DESIGN.md §13): every row is owned by exactly
+/// one AP cell — hence one shard — at a time, and only the owning shard's
+/// worker reads or writes its plain columns.  Ownership moves between
+/// shards exclusively through the sharded kernel's cross-shard mailbox,
+/// whose mutex + quantum barrier establish the happens-before for the
+/// plain columns.  Three columns are atomics because non-owners consult
+/// them:
+///   * state    — release-stored on admission so a concurrent reader that
+///                observes `associated` also observes the matching
+///                current_ap (population-wide fault sweeps filter on the
+///                pair),
+///   * current_ap — which cell owns the row,
+///   * epoch    — bumped on every ownership/lifecycle change; stale
+///                fire-and-forget events compare it and drop themselves.
+/// The epoch race is benign by construction: an event's captured epoch
+/// can only equal the row's current epoch while the capturing cell still
+/// owns the row, so a torn-free relaxed load always classifies correctly.
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+
+#include "sim/assert.hpp"
+
+namespace wlanps::fed {
+
+/// Lifecycle of one slab client.
+enum class ClientState : std::uint8_t {
+    pending = 0,  ///< planned (initial population / future arrival), not yet admitted
+    associated,   ///< admitted at current_ap, streaming
+    deferred,     ///< admission deferred; waiting at current_ap to retry
+    roaming,      ///< disassociated, handoff message in flight
+    crashed,      ///< device down (fault); may revive
+    departed,     ///< session over (or rejected) — terminal
+};
+
+/// Bit flags (owner-shard access only).
+namespace client_flags {
+inline constexpr std::uint8_t kBurstQueued = 1u << 0;   ///< a burst sits in the cell queue
+inline constexpr std::uint8_t kRoamPending = 1u << 1;   ///< roam deferred until burst resolves
+inline constexpr std::uint8_t kDepartPending = 1u << 2; ///< departure deferred until burst resolves
+inline constexpr std::uint8_t kDegraded = 1u << 3;      ///< admitted under the degrade policy
+}  // namespace client_flags
+
+/// Parallel columns, one entry per client.  Fixed capacity: the
+/// federation pre-plans its arrival schedule, so the population ceiling
+/// is known at build time and rows never reallocate (atomics cannot move,
+/// and row pointers are captured by in-flight events).
+class ClientSlab {
+public:
+    explicit ClientSlab(std::size_t capacity)
+        : energy_j(std::make_unique<double[]>(capacity)),
+          arrival_at_ns(std::make_unique<std::int64_t[]>(capacity)),
+          departure_at_ns(std::make_unique<std::int64_t[]>(capacity)),
+          last_accrue_ns(std::make_unique<std::int64_t[]>(capacity)),
+          lockup_until_ns(std::make_unique<std::int64_t[]>(capacity)),
+          delivered_bits(std::make_unique<std::uint64_t[]>(capacity)),
+          bursts_admitted(std::make_unique<std::uint32_t[]>(capacity)),
+          bursts_completed(std::make_unique<std::uint32_t[]>(capacity)),
+          bursts_shed(std::make_unique<std::uint32_t[]>(capacity)),
+          roams(std::make_unique<std::uint16_t[]>(capacity)),
+          handoff_failures(std::make_unique<std::uint16_t[]>(capacity)),
+          home_ap(std::make_unique<std::uint16_t[]>(capacity)),
+          flags(std::make_unique<std::uint8_t[]>(capacity)),
+          state(std::make_unique<std::atomic<std::uint8_t>[]>(capacity)),
+          current_ap(std::make_unique<std::atomic<std::uint16_t>[]>(capacity)),
+          epoch(std::make_unique<std::atomic<std::uint16_t>[]>(capacity)),
+          capacity_(capacity) {
+        WLANPS_REQUIRE_MSG(capacity >= 1, "ClientSlab capacity must be >= 1");
+        for (std::size_t i = 0; i < capacity; ++i) {
+            energy_j[i] = 0.0;
+            arrival_at_ns[i] = 0;
+            departure_at_ns[i] = 0;
+            last_accrue_ns[i] = 0;
+            lockup_until_ns[i] = 0;
+            delivered_bits[i] = 0;
+            bursts_admitted[i] = 0;
+            bursts_completed[i] = 0;
+            bursts_shed[i] = 0;
+            roams[i] = 0;
+            handoff_failures[i] = 0;
+            home_ap[i] = 0;
+            flags[i] = 0;
+            state[i].store(static_cast<std::uint8_t>(ClientState::pending),
+                           std::memory_order_relaxed);
+            current_ap[i].store(0, std::memory_order_relaxed);
+            epoch[i].store(0, std::memory_order_relaxed);
+        }
+    }
+
+    [[nodiscard]] std::size_t capacity() const { return capacity_; }
+
+    /// Resident bytes of per-client state — the budget the acceptance
+    /// criterion pins.  Keep this in sync with the columns above.
+    static constexpr std::size_t kBytesPerClient =
+        sizeof(double) +             // energy_j
+        sizeof(std::int64_t) * 4 +   // arrival/departure/last_accrue/lockup
+        sizeof(std::uint64_t) +      // delivered_bits
+        sizeof(std::uint32_t) * 3 +  // bursts admitted/completed/shed
+        sizeof(std::uint16_t) * 3 +  // roams, handoff_failures, home_ap
+        sizeof(std::uint8_t) +       // flags
+        sizeof(std::atomic<std::uint8_t>) +    // state
+        sizeof(std::atomic<std::uint16_t>) * 2;  // current_ap, epoch
+    static_assert(kBytesPerClient <= 96,
+                  "federation per-client resident slab state exceeds its "
+                  "96-byte budget — trim a column or widen the contract");
+
+    // --- owner-shard helpers ---------------------------------------------
+    [[nodiscard]] ClientState state_of(std::size_t i) const {
+        return static_cast<ClientState>(state[i].load(std::memory_order_relaxed));
+    }
+    void set_state(std::size_t i, ClientState s) {
+        // Release so a reader that acquires `state` also sees current_ap.
+        state[i].store(static_cast<std::uint8_t>(s), std::memory_order_release);
+    }
+    void bump_epoch(std::size_t i) { epoch[i].fetch_add(1, std::memory_order_relaxed); }
+    [[nodiscard]] std::uint16_t epoch_of(std::size_t i) const {
+        return epoch[i].load(std::memory_order_relaxed);
+    }
+
+    // --- columns ----------------------------------------------------------
+    // Plain columns: owner shard only (handoff transfers via the mailbox).
+    std::unique_ptr<double[]> energy_j;  ///< accrued WNIC energy
+    std::unique_ptr<std::int64_t[]> arrival_at_ns;
+    std::unique_ptr<std::int64_t[]> departure_at_ns;  ///< planned session end
+    std::unique_ptr<std::int64_t[]> last_accrue_ns;
+    std::unique_ptr<std::int64_t[]> lockup_until_ns;  ///< nic-lockup fault window
+    std::unique_ptr<std::uint64_t[]> delivered_bits;
+    std::unique_ptr<std::uint32_t[]> bursts_admitted;
+    std::unique_ptr<std::uint32_t[]> bursts_completed;
+    std::unique_ptr<std::uint32_t[]> bursts_shed;
+    std::unique_ptr<std::uint16_t[]> roams;
+    std::unique_ptr<std::uint16_t[]> handoff_failures;
+    std::unique_ptr<std::uint16_t[]> home_ap;
+    std::unique_ptr<std::uint8_t[]> flags;
+    // Atomic columns: consulted by non-owners (see file comment).
+    std::unique_ptr<std::atomic<std::uint8_t>[]> state;
+    std::unique_ptr<std::atomic<std::uint16_t>[]> current_ap;
+    std::unique_ptr<std::atomic<std::uint16_t>[]> epoch;
+
+private:
+    std::size_t capacity_;
+};
+
+}  // namespace wlanps::fed

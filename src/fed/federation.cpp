@@ -1,0 +1,397 @@
+#include "fed/federation.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+#include "fed/ap_cell.hpp"
+#include "obs/energy_ledger.hpp"
+#include "obs/metrics_stream.hpp"
+#include "phy/calibration.hpp"
+#include "sim/assert.hpp"
+
+namespace wlanps::fed {
+
+namespace {
+
+// Root fork ids for federation cells (piconets use 1000+, faults 900+).
+constexpr std::uint64_t kCellStream = 2000;
+
+std::uint64_t fnv1a_u64(std::uint64_t h, std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+        h ^= (v >> (i * 8)) & 0xffu;
+        h *= 1099511628211ULL;
+    }
+    return h;
+}
+
+}  // namespace
+
+/// Open metrics stream plus the series ids it registered.
+class StreamState {
+public:
+    explicit StreamState(const std::string& path) : writer(path) {
+        associated = writer.define_series("fed.associated");
+        arrivals = writer.define_series("fed.arrivals");
+        departures = writer.define_series("fed.departures");
+        queue_depth = writer.define_series("fed.queue_depth");
+    }
+
+    obs::MetricsStreamWriter writer;
+    std::uint32_t associated = 0;
+    std::uint32_t arrivals = 0;
+    std::uint32_t departures = 0;
+    std::uint32_t queue_depth = 0;
+};
+
+Federation::Federation(const core::ScenarioSpec& spec)
+    : Federation(spec, spec.stream().seed) {}
+
+Federation::Federation(const core::ScenarioSpec& spec, std::uint64_t seed)
+    : config_(spec.federation_config()), stream_(spec.stream()), label_(spec.label()) {
+    WLANPS_REQUIRE_MSG(spec.policy() == core::Policy::federation,
+                       "Federation requires a Policy::federation spec");
+    stream_.seed = seed;
+    sim::ShardedConfig kcfg;
+    kcfg.shards = static_cast<std::size_t>(config_.shards);
+    kcfg.threads = static_cast<std::size_t>(config_.threads);
+    kcfg.policy = config_.lax ? sim::SyncPolicy::lax_window : sim::SyncPolicy::strict_barrier;
+    kcfg.lookahead = config_.lookahead;
+    kcfg.skew_window = config_.skew_window;
+    build_cells();  // sizes the population the mailboxes must absorb
+    // Worst case every client roams inside one quantum.
+    kcfg.mailbox_capacity = std::max<std::size_t>(4096, population_);
+    kernel_ = std::make_unique<sim::ShardedSimulator>(kcfg);
+    if (!config_.stream_path.empty()) {
+        stream_state_ = std::make_unique<StreamState>(config_.stream_path);
+    }
+    plan_faults();
+    for (auto& cell : cells_) cell->start();
+}
+
+Federation::~Federation() = default;
+
+void Federation::build_cells() {
+    sim::Random root(stream_.seed);
+    const auto aps = static_cast<std::uint32_t>(config_.aps);
+    cells_.reserve(aps);
+    for (std::uint32_t ap = 0; ap < aps; ++ap) {
+        cells_.push_back(std::make_unique<ApCell>(
+            *this, static_cast<std::uint16_t>(ap), root.fork(kCellStream + ap)));
+    }
+
+    // Plan every cell's arrival schedule up front: arrival ids are dense
+    // per-cell ranges fixed at build time, so id assignment never depends
+    // on run-time thread interleaving.
+    const double dur_s = stream_.duration.to_seconds();
+    const double flash_s = std::min(config_.flash_duration.to_seconds(), dur_s);
+    const double expected_per_cell =
+        config_.base_arrival_hz * dur_s + config_.flash_arrival_hz * flash_s;
+    const auto cap_per_cell = static_cast<std::size_t>(4.0 * expected_per_cell) + 64;
+
+    const auto n0 = static_cast<std::uint32_t>(stream_.clients);
+    std::uint32_t next_id = n0;
+    for (auto& cell : cells_) {
+        const std::size_t planned = cell->plan_arrivals(next_id, cap_per_cell);
+        next_id += static_cast<std::uint32_t>(planned);
+        arrivals_truncated_ += cell->truncated_arrivals();
+    }
+    population_ = next_id;
+    slab_ = std::make_unique<ClientSlab>(std::max<std::size_t>(population_, 1));
+    WLANPS_REQUIRE_MSG(config_.sample_stride >= 1, "sample_stride must be >= 1");
+    const auto stride = static_cast<std::size_t>(config_.sample_stride);
+    sampled_causes_.assign(population_ == 0 ? 0 : (population_ - 1) / stride + 1,
+                           {0.0, 0.0, 0.0});
+
+    // Initial population: round-robin home cells; delayed_registration
+    // faults are consumed here as late-join times (fault-plan client ids
+    // are 1-based).
+    const auto& plan = stream_.fault_plan;
+    for (std::uint32_t id = 0; id < n0; ++id) {
+        const auto home = static_cast<std::uint16_t>(id % aps);
+        slab_->home_ap[id] = home;
+        slab_->current_ap[id].store(home, std::memory_order_relaxed);
+        cells_[home]->add_initial(id, plan.registration_at(id + 1));
+    }
+    // Planned arrivals: home is the cell that drew them.
+    for (std::uint32_t ap = 0; ap < aps; ++ap) {
+        const ApCell& cell = *cells_[ap];
+        for (std::size_t k = 0; k < cell.planned_at_.size(); ++k) {
+            const std::uint32_t id = cell.first_id_ + static_cast<std::uint32_t>(k);
+            slab_->home_ap[id] = static_cast<std::uint16_t>(ap);
+            slab_->current_ap[id].store(static_cast<std::uint16_t>(ap),
+                                        std::memory_order_relaxed);
+        }
+    }
+}
+
+void Federation::plan_faults() {
+    for (const fault::FaultSpec& spec : stream_.fault_plan.specs()) {
+        if (spec.kind == fault::FaultKind::delayed_registration) continue;  // at build
+        const std::uint32_t row = spec.client == 0 ? 0 : spec.client - 1;
+        if (spec.client != 0 && row >= population_) continue;  // no such client
+        for (int k = 0; k < std::max(spec.repeat, 1); ++k) {
+            const Time at = Time::from_ns(spec.at.ns() + spec.period.ns() * k);
+            if (at >= stream_.duration) break;
+            const Time until =
+                spec.duration.is_zero() ? Time::max() : at + spec.duration;
+            switch (spec.kind) {
+                case fault::FaultKind::nic_lockup:
+                    if (spec.client == 0) {
+                        // Population-wide: replicate per cell, applied owner-side.
+                        for (auto& cptr : cells_) {
+                            ApCell* cell = cptr.get();
+                            kernel_->shard(cell->shard_).post_at(
+                                at, [cell, until, p = spec.probability] {
+                                    if (!cell->fault_roll(p)) return;
+                                    cell->lockup_all(until);
+                                    cell->count_fault(true);
+                                });
+                        }
+                    } else {
+                        // Deterministic targeting: the fault is pinned to the
+                        // client's home cell; if the target roamed away it is
+                        // counted as missed, never chased across shards.
+                        ApCell* cell = cells_[slab_->home_ap[row]].get();
+                        kernel_->shard(cell->shard_).post_at(
+                            at, [cell, row, until, p = spec.probability] {
+                                if (!cell->fault_roll(p)) return;
+                                cell->count_fault(cell->lockup_one(row, until));
+                            });
+                    }
+                    break;
+                case fault::FaultKind::client_crash: {
+                    ApCell* cell = cells_[slab_->home_ap[row]].get();
+                    kernel_->shard(cell->shard_).post_at(
+                        at, [cell, row, down = spec.duration, p = spec.probability] {
+                            if (!cell->fault_roll(p)) return;
+                            cell->count_fault(cell->crash_one(row, down));
+                        });
+                    break;
+                }
+                case fault::FaultKind::silent_leave: {
+                    ApCell* cell = cells_[slab_->home_ap[row]].get();
+                    kernel_->shard(cell->shard_).post_at(
+                        at, [cell, row, p = spec.probability] {
+                            if (!cell->fault_roll(p)) return;
+                            cell->count_fault(cell->leave_one(row));
+                        });
+                    break;
+                }
+                default:
+                    // Excluded by ScenarioSpec::validate for federation runs.
+                    break;
+            }
+        }
+    }
+}
+
+void Federation::post_handoff(std::uint32_t from_ap, std::uint32_t to_ap,
+                              std::uint32_t id) {
+    const std::size_t from = shard_of_ap(from_ap);
+    const std::size_t to = shard_of_ap(to_ap);
+    // Same lookahead whether or not the cells share a shard, so the event
+    // schedule is independent of the cell->shard layout.
+    const Time when = kernel_->shard(from).now() + config_.lookahead;
+    ApCell* dest = cells_[to_ap].get();
+    if (from == to) {
+        kernel_->shard(from).post_at(when, [dest, id] { dest->handoff_arrive(id); });
+    } else {
+        kernel_->post_cross(from, to, when, [dest, id] { dest->handoff_arrive(id); });
+    }
+}
+
+double* Federation::sampled_causes(std::uint32_t id) {
+    const auto stride = static_cast<std::uint32_t>(config_.sample_stride);
+    if (id % stride != 0) return nullptr;
+    return sampled_causes_[id / stride].data();
+}
+
+void Federation::write_stream_samples(Time at) {
+    if (!stream_state_) return;
+    std::uint64_t assoc = 0;
+    std::uint64_t arrivals = 0;
+    std::uint64_t departures = 0;
+    std::uint64_t queued = 0;
+    for (const auto& cell : cells_) {
+        assoc += static_cast<std::uint64_t>(std::max(cell->associated(), 0));
+        arrivals += cell->arrivals();
+        departures += cell->departures();
+        queued += cell->queue_.size();
+    }
+    auto& st = *stream_state_;
+    const auto t_ns = static_cast<std::uint64_t>(at.ns());
+    st.writer.sample(st.associated, t_ns, static_cast<double>(assoc));
+    st.writer.sample(st.arrivals, t_ns, static_cast<double>(arrivals));
+    st.writer.sample(st.departures, t_ns, static_cast<double>(departures));
+    st.writer.sample(st.queue_depth, t_ns, static_cast<double>(queued));
+}
+
+PopulationSummary Federation::summarize(Time horizon) {
+    PopulationSummary p;
+    p.population = population_;
+    p.arrivals_truncated = arrivals_truncated_;
+    for (const auto& cell : cells_) {
+        p.arrivals += cell->arrivals();
+        p.departures += cell->departures();
+        p.rejected += cell->rejected();
+        p.deferred += cell->deferred();
+        p.degraded += cell->degraded();
+        p.faults_injected += cell->faults_injected();
+        p.faults_missed += cell->faults_missed();
+        p.peak_association = std::max(p.peak_association, cell->peak_association());
+    }
+
+    // Workers are parked: the owning thread may touch every row.  Clients
+    // whose handoff was still in flight at the horizon idle-scan to the end.
+    const double idle_w = stream_.wlan_nic.idle.watts();
+    for (std::size_t i = 0; i < population_; ++i) {
+        if (slab_->state_of(i) == ClientState::roaming) {
+            const std::int64_t dt_ns = horizon.ns() - slab_->last_accrue_ns[i];
+            if (dt_ns > 0) {
+                const double joules = idle_w * (static_cast<double>(dt_ns) * 1e-9);
+                slab_->energy_j[i] += joules;
+                slab_->last_accrue_ns[i] = horizon.ns();
+                if (double* causes = sampled_causes(static_cast<std::uint32_t>(i))) {
+                    causes[0] += joules;
+                }
+            }
+        }
+    }
+
+    std::uint64_t h = 1469598103934665603ULL;  // FNV-1a offset basis
+    for (std::size_t i = 0; i < population_; ++i) {
+        p.bursts_admitted += slab_->bursts_admitted[i];
+        p.bursts_completed += slab_->bursts_completed[i];
+        p.bursts_shed += slab_->bursts_shed[i];
+        p.delivered_bits += slab_->delivered_bits[i];
+        p.energy_j += slab_->energy_j[i];
+        p.roams += slab_->roams[i];
+        p.handoff_failures += slab_->handoff_failures[i];
+
+        h = fnv1a_u64(h, std::bit_cast<std::uint64_t>(slab_->energy_j[i]));
+        h = fnv1a_u64(h, slab_->delivered_bits[i]);
+        h = fnv1a_u64(h, (static_cast<std::uint64_t>(slab_->bursts_admitted[i]) << 32) |
+                             slab_->bursts_completed[i]);
+        h = fnv1a_u64(h, (static_cast<std::uint64_t>(slab_->bursts_shed[i]) << 32) |
+                             (static_cast<std::uint64_t>(slab_->roams[i]) << 16) |
+                             slab_->handoff_failures[i]);
+        h = fnv1a_u64(h,
+                      (static_cast<std::uint64_t>(slab_->state_of(i)) << 32) |
+                          (static_cast<std::uint64_t>(
+                               slab_->current_ap[i].load(std::memory_order_relaxed))
+                           << 16) |
+                          slab_->epoch_of(i));
+    }
+    h = fnv1a_u64(h, p.arrivals);
+    h = fnv1a_u64(h, p.departures);
+    h = fnv1a_u64(h, p.rejected);
+    h = fnv1a_u64(h, p.deferred);
+    h = fnv1a_u64(h, p.degraded);
+    h = fnv1a_u64(h, p.faults_injected);
+    h = fnv1a_u64(h, p.faults_missed);
+    h = fnv1a_u64(h, p.peak_association);
+    p.fingerprint = h;
+    return p;
+}
+
+FederationResult Federation::run() {
+    const Time end = stream_.duration;
+    if (stream_state_) {
+        // Chunked horizons: run_until clamps each quantum, so strict-mode
+        // results are bit-identical to one uninterrupted run.
+        const std::int64_t chunk = std::max<std::int64_t>(end.ns() / 64, 1);
+        Time t = Time::zero();
+        while (t < end) {
+            t = Time::from_ns(std::min(end.ns(), t.ns() + chunk));
+            kernel_->run_until(t);
+            write_stream_samples(t);
+        }
+    } else {
+        kernel_->run_until(end);
+    }
+    for (auto& cell : cells_) cell->teardown(end);
+    const PopulationSummary pop = summarize(end);
+    WLANPS_REQUIRE_MSG(pop.conserved(),
+                       "federation burst conservation violated: admitted != "
+                       "completed + shed");
+
+    core::ScenarioResult res;
+    res.label = label_;
+    res.faults_injected = pop.faults_injected;
+
+    obs::EnergyLedger* ledger = obs::current_ledger();
+    const auto stride = static_cast<std::uint32_t>(config_.sample_stride);
+    const double dur_s = end.to_seconds();
+    for (std::uint32_t id = 0; id < population_; id += stride) {
+        core::ClientMetrics m;
+        const double joules = slab_->energy_j[id];
+        m.wnic_energy = power::Energy::from_joules(joules);
+        m.wnic_average = power::Power::from_watts(dur_s > 0.0 ? joules / dur_s : 0.0);
+        m.device_average = power::Power::from_watts(
+            m.wnic_average.watts() + phy::calibration::kIpaqBase.watts());
+        const std::uint32_t admitted = slab_->bursts_admitted[id];
+        m.qos = admitted > 0
+                    ? static_cast<double>(slab_->bursts_completed[id]) / admitted
+                    : 1.0;
+        m.underruns = slab_->bursts_shed[id];
+        m.received = DataSize::from_bits(
+            static_cast<std::int64_t>(slab_->delivered_bits[id]));
+        res.clients.push_back(m);
+        if (ledger) {
+            const auto& causes = sampled_causes_[id / stride];
+            ledger->charge(id, obs::EnergyCause::idle_listen, causes[0]);
+            ledger->charge(id, obs::EnergyCause::mode_switch, causes[1]);
+            ledger->charge(id, obs::EnergyCause::burst_rx, causes[2]);
+        }
+    }
+
+    if (stream_state_) {
+        auto& w = stream_state_->writer;
+        w.summary("population", static_cast<double>(pop.population));
+        w.summary("arrivals", static_cast<double>(pop.arrivals));
+        w.summary("departures", static_cast<double>(pop.departures));
+        w.summary("rejected", static_cast<double>(pop.rejected));
+        w.summary("deferred", static_cast<double>(pop.deferred));
+        w.summary("degraded", static_cast<double>(pop.degraded));
+        w.summary("roams", static_cast<double>(pop.roams));
+        w.summary("handoff_failures", static_cast<double>(pop.handoff_failures));
+        w.summary("bursts_admitted", static_cast<double>(pop.bursts_admitted));
+        w.summary("bursts_completed", static_cast<double>(pop.bursts_completed));
+        w.summary("bursts_shed", static_cast<double>(pop.bursts_shed));
+        w.summary("delivered_bits", static_cast<double>(pop.delivered_bits));
+        w.summary("energy_j", pop.energy_j);
+        w.summary("faults_injected", static_cast<double>(pop.faults_injected));
+        w.summary("faults_missed", static_cast<double>(pop.faults_missed));
+        w.summary("peak_association", static_cast<double>(pop.peak_association));
+        // The fingerprint is 64-bit; f64 summaries keep 32-bit halves exact.
+        w.summary("fingerprint_hi", static_cast<double>(pop.fingerprint >> 32));
+        w.summary("fingerprint_lo",
+                  static_cast<double>(pop.fingerprint & 0xffffffffULL));
+        for (std::uint32_t id = 0; id < population_; id += stride) {
+            const std::uint32_t admitted = slab_->bursts_admitted[id];
+            const double qos =
+                admitted > 0
+                    ? static_cast<double>(slab_->bursts_completed[id]) / admitted
+                    : 1.0;
+            w.client(id, static_cast<float>(slab_->energy_j[id]),
+                     static_cast<float>(qos), slab_->bursts_completed[id],
+                     slab_->bursts_shed[id]);
+        }
+        w.flush();
+    }
+
+    return {std::move(res), pop};
+}
+
+FederationResult run_federation(const core::ScenarioSpec& spec) {
+    return run_federation(spec, spec.stream().seed);
+}
+
+FederationResult run_federation(const core::ScenarioSpec& spec, std::uint64_t seed) {
+    spec.validate();
+    Federation fed(spec, seed);
+    return fed.run();
+}
+
+}  // namespace wlanps::fed

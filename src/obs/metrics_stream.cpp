@@ -1,0 +1,211 @@
+#include "obs/metrics_stream.hpp"
+
+#include <cstring>
+
+#include "sim/assert.hpp"
+
+namespace wlanps::obs {
+
+namespace {
+
+// The format is explicitly little-endian; serialize byte by byte so the
+// writer is byte-order independent (the repo only targets LE hosts today,
+// but a format should not inherit that assumption).
+void put_u16(std::vector<std::uint8_t>& buf, std::uint16_t v) {
+    buf.push_back(static_cast<std::uint8_t>(v & 0xff));
+    buf.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+void put_u32(std::vector<std::uint8_t>& buf, std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) buf.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void put_u64(std::vector<std::uint8_t>& buf, std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) buf.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void put_f64(std::vector<std::uint8_t>& buf, double v) {
+    std::uint64_t bits = 0;
+    std::memcpy(&bits, &v, sizeof(bits));
+    put_u64(buf, bits);
+}
+
+void put_f32(std::vector<std::uint8_t>& buf, float v) {
+    std::uint32_t bits = 0;
+    std::memcpy(&bits, &v, sizeof(bits));
+    put_u32(buf, bits);
+}
+
+struct Cursor {
+    const std::vector<std::uint8_t>& data;
+    std::size_t pos = 0;
+
+    [[nodiscard]] bool done() const { return pos >= data.size(); }
+
+    std::uint8_t u8() {
+        WLANPS_REQUIRE_MSG(pos + 1 <= data.size(), "metrics stream truncated");
+        return data[pos++];
+    }
+    std::uint16_t u16() {
+        std::uint16_t v = u8();
+        v |= static_cast<std::uint16_t>(u8()) << 8;
+        return v;
+    }
+    std::uint32_t u32() {
+        std::uint32_t v = 0;
+        for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(u8()) << (8 * i);
+        return v;
+    }
+    std::uint64_t u64() {
+        std::uint64_t v = 0;
+        for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(u8()) << (8 * i);
+        return v;
+    }
+    double f64() {
+        const std::uint64_t bits = u64();
+        double v = 0.0;
+        std::memcpy(&v, &bits, sizeof(v));
+        return v;
+    }
+    float f32() {
+        const std::uint32_t bits = u32();
+        float v = 0.0f;
+        std::memcpy(&v, &bits, sizeof(v));
+        return v;
+    }
+    std::string str(std::size_t n) {
+        WLANPS_REQUIRE_MSG(pos + n <= data.size(), "metrics stream truncated");
+        std::string s(reinterpret_cast<const char*>(data.data()) + pos, n);
+        pos += n;
+        return s;
+    }
+};
+
+}  // namespace
+
+MetricsStreamWriter::MetricsStreamWriter(const std::string& path)
+    : out_(path, std::ios::binary | std::ios::trunc) {
+    WLANPS_REQUIRE_MSG(out_.is_open(),
+                       "cannot open metrics stream file '" + path + "' for writing");
+    out_.write(kMetricsStreamMagic, sizeof(kMetricsStreamMagic));
+    std::vector<std::uint8_t> ver;
+    put_u32(ver, kMetricsStreamVersion);
+    out_.write(reinterpret_cast<const char*>(ver.data()),
+               static_cast<std::streamsize>(ver.size()));
+}
+
+void MetricsStreamWriter::frame(std::uint8_t type, const std::vector<std::uint8_t>& payload) {
+    std::vector<std::uint8_t> head;
+    head.push_back(type);
+    put_u32(head, static_cast<std::uint32_t>(payload.size()));
+    out_.write(reinterpret_cast<const char*>(head.data()),
+               static_cast<std::streamsize>(head.size()));
+    out_.write(reinterpret_cast<const char*>(payload.data()),
+               static_cast<std::streamsize>(payload.size()));
+}
+
+std::uint32_t MetricsStreamWriter::define_series(const std::string& name) {
+    const std::uint32_t id = next_series_++;
+    std::vector<std::uint8_t> p;
+    put_u32(p, id);
+    put_u16(p, static_cast<std::uint16_t>(name.size()));
+    p.insert(p.end(), name.begin(), name.end());
+    frame(0, p);
+    return id;
+}
+
+void MetricsStreamWriter::sample(std::uint32_t series_id, std::int64_t t_ns, double value) {
+    std::vector<std::uint8_t> p;
+    put_u32(p, series_id);
+    put_u64(p, static_cast<std::uint64_t>(t_ns));
+    put_f64(p, value);
+    frame(1, p);
+}
+
+void MetricsStreamWriter::summary(const std::string& key, double value) {
+    std::vector<std::uint8_t> p;
+    put_u16(p, static_cast<std::uint16_t>(key.size()));
+    p.insert(p.end(), key.begin(), key.end());
+    put_f64(p, value);
+    frame(2, p);
+}
+
+void MetricsStreamWriter::client(std::uint32_t client_id, float energy_j, float qos,
+                                 std::uint32_t bursts_completed, std::uint32_t bursts_shed) {
+    std::vector<std::uint8_t> p;
+    put_u32(p, client_id);
+    put_f32(p, energy_j);
+    put_f32(p, qos);
+    put_u32(p, bursts_completed);
+    put_u32(p, bursts_shed);
+    frame(3, p);
+}
+
+void MetricsStreamWriter::flush() { out_.flush(); }
+
+MetricsStreamContents read_metrics_stream(const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    WLANPS_REQUIRE_MSG(in.is_open(), "cannot open metrics stream file '" + path + "'");
+    std::vector<std::uint8_t> data((std::istreambuf_iterator<char>(in)),
+                                   std::istreambuf_iterator<char>());
+    WLANPS_REQUIRE_MSG(data.size() >= 8, "metrics stream too short for a header");
+    WLANPS_REQUIRE_MSG(std::memcmp(data.data(), kMetricsStreamMagic, 4) == 0,
+                       "bad metrics stream magic (want WPSM)");
+
+    Cursor c{data, 4};
+    const std::uint32_t version = c.u32();
+    WLANPS_REQUIRE_MSG(version == kMetricsStreamVersion,
+                       "unsupported metrics stream version " + std::to_string(version));
+
+    MetricsStreamContents out;
+    while (!c.done()) {
+        const std::uint8_t type = c.u8();
+        const std::uint32_t len = c.u32();
+        const std::size_t end = c.pos + len;
+        WLANPS_REQUIRE_MSG(end <= data.size(), "metrics stream frame overruns file");
+        switch (type) {
+            case 0: {
+                const std::uint32_t id = c.u32();
+                const std::uint16_t n = c.u16();
+                WLANPS_REQUIRE_MSG(id == out.series_names.size(),
+                                   "series ids must be defined densely in order");
+                out.series_names.push_back(c.str(n));
+                break;
+            }
+            case 1: {
+                MetricsStreamContents::Sample s;
+                s.series = c.u32();
+                s.t_ns = static_cast<std::int64_t>(c.u64());
+                s.value = c.f64();
+                out.samples.push_back(s);
+                break;
+            }
+            case 2: {
+                const std::uint16_t n = c.u16();
+                std::string key = c.str(n);
+                const double value = c.f64();
+                out.summaries.emplace_back(std::move(key), value);
+                break;
+            }
+            case 3: {
+                MetricsStreamContents::Client r;
+                r.id = c.u32();
+                r.energy_j = c.f32();
+                r.qos = c.f32();
+                r.bursts_completed = c.u32();
+                r.bursts_shed = c.u32();
+                out.clients.push_back(r);
+                break;
+            }
+            default:
+                // Unknown frame types are skippable by design (forward
+                // compatibility): length-prefixed framing exists for this.
+                break;
+        }
+        WLANPS_REQUIRE_MSG(c.pos <= end, "metrics stream frame underruns its length");
+        c.pos = end;
+    }
+    return out;
+}
+
+}  // namespace wlanps::obs
