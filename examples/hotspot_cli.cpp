@@ -11,6 +11,11 @@
 ///               [--flight N] [--post-mortem PREFIX] [--post-mortem-threshold S]
 ///
 ///   --config: hotspot (default) | wlan-cam | wlan-psm | bt | ecmac | mixed
+///   --policy: run one BSS under a pluggable power policy instead of a
+///            --config shape: cam | psm | ecmac | micro_nap | pamas
+///            (micro_nap = in-exchange NAV/backoff micro-sleeps; pamas =
+///            battery-driven duty-cycle stretch); a bad name lists the
+///            valid ones
 ///   --backend: sim (default, discrete-event) | analytic (closed-form
 ///            steady-state models — microseconds per run; rejects faults,
 ///            ecmac, mixed, and tracing with a message naming the fix)
@@ -77,6 +82,7 @@ namespace {
     std::fprintf(stderr,
                  "usage: %s [--clients N] [--duration S] [--scheduler NAME] [--burst KB]\n"
                  "          [--config hotspot|wlan-cam|wlan-psm|bt|ecmac|mixed|federation]\n"
+                 "          [--policy cam|psm|ecmac|micro_nap|pamas]\n"
                  "          [--backend sim|analytic] [--seed N] [--no-bt] [--no-wlan]\n"
                  "          [--fault-plan SPEC] [--recovery none|reclaim|rejoin|degrade]\n"
                  "          [--trace FILE] [--metrics FILE] [--sample-interval S]\n"
@@ -174,6 +180,7 @@ int main(int argc, char** argv) {
     core::HotspotConfig options;
     core::FederationConfig fed_options;
     std::string kind = "hotspot";
+    std::string policy_name;
     std::string backend_name = "sim";
     std::string trace_path;
     std::string metrics_path;
@@ -200,6 +207,10 @@ int main(int argc, char** argv) {
             options.target_burst = DataSize::from_kilobytes(std::atof(next()));
         } else if (arg == "--config") {
             kind = next();
+        } else if (arg == "--policy") {
+            policy_name = next();
+        } else if (arg.rfind("--policy=", 0) == 0) {
+            policy_name = arg.substr(std::strlen("--policy="));
         } else if (arg == "--backend") {
             backend_name = next();
         } else if (arg == "--seed") {
@@ -383,6 +394,12 @@ int main(int argc, char** argv) {
         // spec itself is engine-agnostic (Backend::run rejects unsupported
         // combinations, e.g. analytic + fault plan, with the reason).
         core::ScenarioSpec spec = [&]() -> core::ScenarioSpec {
+            if (!policy_name.empty()) {
+                // --policy replaces --config: one BSS whose stations run the
+                // named power policy (parse_power_policy lists valid names).
+                return core::ScenarioSpec::cam().with_power_policy(
+                    policy::PowerPolicyConfig::of(policy::parse_power_policy(policy_name)));
+            }
             if (kind == "hotspot") return core::ScenarioSpec::hotspot().with_hotspot(options);
             if (kind == "wlan-cam") return core::ScenarioSpec::cam();
             if (kind == "wlan-psm") return core::ScenarioSpec::psm();

@@ -1,8 +1,8 @@
 #!/usr/bin/env bash
 # The whole gate, one command: tier-1 tests, the ThreadSanitizer pass,
-# the event-kernel perf regression check, and the backend cross-validation
-# gate — exactly what CI runs (.github/workflows/ci.yml) and what a PR
-# must keep green.
+# the event-kernel perf regression check, the backend cross-validation
+# gate, and the policy-ablation gate — exactly what CI runs
+# (.github/workflows/ci.yml) and what a PR must keep green.
 #
 #   1. tier-1: configure + build the default tree, run the full ctest suite
 #      (includes sim_sharded_test: strict bit-identity at every worker
@@ -15,6 +15,10 @@
 #      hosts with >= 4 cores
 #   4. scripts/check_xval.sh: analytic backend agrees with the simulator
 #      on the AB12 calibration grid (per-point saving within 5%)
+#   5. policy ablation: the AB14 power-policy x fault grid in --quick
+#      mode (asserts per-cell ledger reconciliation within 1e-9 J and
+#      the μNap idle_listen -> nav_sleep reallocation); the policy unit
+#      and determinism tests already ran inside tier-1 ctest
 #
 # Usage: scripts/check_all.sh [build-dir]   (default: build)
 set -euo pipefail
@@ -22,18 +26,21 @@ cd "$(dirname "$0")/.."
 
 BUILD_DIR="${1:-build}"
 
-echo "=== [1/4] tier-1: build + ctest ==="
+echo "=== [1/5] tier-1: build + ctest ==="
 cmake -B "$BUILD_DIR" -S . >/dev/null
 cmake --build "$BUILD_DIR" -j "$(nproc)"
 (cd "$BUILD_DIR" && ctest --output-on-failure -j "$(nproc)")
 
-echo "=== [2/4] ThreadSanitizer ==="
+echo "=== [2/5] ThreadSanitizer ==="
 scripts/check_tsan.sh
 
-echo "=== [3/4] perf regression gate ==="
+echo "=== [3/5] perf regression gate ==="
 scripts/check_perf.sh
 
-echo "=== [4/4] backend cross-validation gate ==="
+echo "=== [4/5] backend cross-validation gate ==="
 scripts/check_xval.sh "$BUILD_DIR"
+
+echo "=== [5/5] policy-ablation gate ==="
+"./$BUILD_DIR/bench/bench_ab14_policy_ablation" --quick
 
 echo "All checks passed."

@@ -15,6 +15,13 @@ With --metrics metrics.json (the obs snapshot written by run_bench.sh or
 hotspot_cli --metrics), the per-client energy-attribution ledger is
 rendered as a stacked per-cause bar chart (energy_breakdown.png) and
 dumped to energy_breakdown.csv.
+
+With --ab14 ab14.json (the policy-ablation grid written by
+bench_ab14_policy_ablation via WLANPS_AB14_OUT, also embedded in
+BENCH_*.json as "policy_ablation"), the per-cause energy breakdown is
+rendered grouped by power policy (policy_ablation.png + .csv): one
+stacked bar per policy x fault-intensity cell, so the idle_listen ->
+nav_sleep reallocation of micro_nap is visible next to cam/psm/pamas.
 """
 
 import argparse
@@ -32,6 +39,7 @@ ENERGY_CAUSES = [
     "retransmission",
     "mode_switch",
     "tx",
+    "nav_sleep",
 ]
 
 
@@ -174,6 +182,65 @@ def energy_breakdown(metrics_path, outdir):
     print("wrote energy_breakdown.png")
 
 
+def policy_ablation(ab14_path, outdir):
+    """Per-cause energy breakdown grouped by power policy (AB14 grid)."""
+    with open(ab14_path) as f:
+        doc = json.load(f)
+    # Accept either the raw WLANPS_AB14_OUT file or a merged BENCH_*.json
+    # carrying it as the "policy_ablation" section.
+    grid = doc.get("policy_ablation", doc)
+    cells = grid.get("cells", [])
+    if not cells:
+        print(f"{ab14_path} has no policy-ablation cells (run "
+              "bench_ab14_policy_ablation with WLANPS_AB14_OUT set)",
+              file=sys.stderr)
+        return
+
+    os.makedirs(outdir, exist_ok=True)
+    csv_path = os.path.join(outdir, "policy_ablation.csv")
+    with open(csv_path, "w", newline="") as f:
+        writer = csv.writer(f)
+        writer.writerow(["policy", "faults", "wnic_w", "qos_min",
+                         "faults_injected"] + ENERGY_CAUSES)
+        for cell in cells:
+            causes = cell.get("causes", {})
+            writer.writerow([cell.get("policy"), cell.get("faults"),
+                             cell.get("wnic_w", 0.0), cell.get("qos_min", 0.0),
+                             cell.get("faults_injected", 0)]
+                            + [causes.get(c, 0.0) for c in ENERGY_CAUSES])
+    print(f"wrote policy_ablation.csv ({len(cells)} cells)")
+
+    try:
+        import matplotlib
+        matplotlib.use("Agg")
+        import matplotlib.pyplot as plt
+    except ImportError:
+        print("matplotlib not available; skipping policy-ablation plot",
+              file=sys.stderr)
+        return
+    # Group cells by policy so each policy's fault axis sits together.
+    policies = []
+    for cell in cells:
+        if cell.get("policy") not in policies:
+            policies.append(cell.get("policy"))
+    labels = [f"{c.get('policy')}\n{c.get('faults')}" for c in cells]
+    fig, ax = plt.subplots(figsize=(max(6.0, 0.9 * len(cells)), 3.8))
+    bottoms = [0.0] * len(cells)
+    for cause in ENERGY_CAUSES:
+        values = [c.get("causes", {}).get(cause, 0.0) for c in cells]
+        if not any(values):
+            continue
+        ax.bar(labels, values, bottom=bottoms, label=cause)
+        bottoms = [b + v for b, v in zip(bottoms, values)]
+    ax.set_ylabel("WNIC energy [J]")
+    ax.set_title("AB14 — energy by cause, per power policy x fault intensity")
+    ax.legend(fontsize=8)
+    plt.setp(ax.get_xticklabels(), fontsize=7)
+    fig.tight_layout()
+    fig.savefig(os.path.join(outdir, "policy_ablation.png"), dpi=150)
+    print("wrote policy_ablation.png")
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("input", nargs="?", help="bench output transcript")
@@ -181,13 +248,19 @@ def main():
     parser.add_argument("--metrics", metavar="JSON",
                         help="obs metrics snapshot; plots the per-client "
                              "energy ledger as a stacked bar chart")
+    parser.add_argument("--ab14", metavar="JSON",
+                        help="policy-ablation grid (WLANPS_AB14_OUT file or "
+                             "a merged BENCH_*.json); plots the per-cause "
+                             "breakdown grouped by power policy")
     args = parser.parse_args()
     if args.metrics:
         energy_breakdown(args.metrics, args.outdir)
+    if args.ab14:
+        policy_ablation(args.ab14, args.outdir)
     if args.input is None:
-        if not args.metrics:
-            print("nothing to do: pass a bench transcript and/or --metrics",
-                  file=sys.stderr)
+        if not args.metrics and not args.ab14:
+            print("nothing to do: pass a bench transcript, --metrics, "
+                  "and/or --ab14", file=sys.stderr)
             return 1
         return 0
     with open(args.input) as f:

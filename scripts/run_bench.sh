@@ -21,17 +21,22 @@
 #     per-backend seconds, speedup, max saving delta) is embedded under
 #     "backend_xval".
 #
+#   * bench_ab14_policy_ablation runs with WLANPS_AB14_OUT set; the
+#     power-policy x fault-intensity grid (per-cell energy causes, QoS,
+#     reconciliation error) is embedded under "policy_ablation".
+#
 # Usage: scripts/run_bench.sh [build-dir] [output.json]
-#   (defaults: build, BENCH_8.json)
+#   (defaults: build, BENCH_9.json)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BUILD_DIR="${1:-build}"
-OUT="${2:-BENCH_8.json}"
+OUT="${2:-BENCH_9.json}"
 METRICS_OUT="$(dirname "$OUT")/metrics.json"
 
 cmake --build "$BUILD_DIR" -j "$(nproc)" >/dev/null
 
+AB14_JSON="$BUILD_DIR/bench_ab14.json"
 KERNEL_JSON="$BUILD_DIR/bench_perf_kernel.json"
 "./$BUILD_DIR/bench/bench_perf_kernel" \
     --benchmark_format=json \
@@ -47,6 +52,9 @@ for bin in "$BUILD_DIR"/bench/bench_fig* "$BUILD_DIR"/bench/bench_ab*; do
         # The fig2 run doubles as the metrics exporter: flat JSON snapshot
         # of everything the scenarios recorded, next to the bench output.
         WLANPS_METRICS_OUT="$METRICS_OUT" "$bin" >/dev/null
+    elif [[ "$name" == "bench_ab14_policy_ablation" ]]; then
+        # The ab14 run doubles as the policy-ablation exporter.
+        WLANPS_AB14_OUT="$AB14_JSON" "$bin" >/dev/null
     else
         "$bin" >/dev/null
     fi
@@ -59,12 +67,12 @@ XVAL_JSON="$BUILD_DIR/bench_backend_xval.json"
 WLANPS_XVAL_OUT="$XVAL_JSON" \
     "./$BUILD_DIR/bench/bench_ab12_sensitivity" --backend=both >/dev/null
 
-python3 - "$KERNEL_JSON" "$WALL_TSV" "$XVAL_JSON" "$OUT" "$(nproc)" <<'PY'
+python3 - "$KERNEL_JSON" "$WALL_TSV" "$XVAL_JSON" "$AB14_JSON" "$OUT" "$(nproc)" <<'PY'
 import json
 import sys
 
-kernel_json, wall_tsv, xval_json, out = sys.argv[1:5]
-cores = int(sys.argv[5])
+kernel_json, wall_tsv, xval_json, ab14_json, out = sys.argv[1:6]
+cores = int(sys.argv[6])
 
 with open(kernel_json) as f:
     kernel = json.load(f)
@@ -97,6 +105,9 @@ merged = {
 with open(xval_json) as f:
     merged["backend_xval"] = json.load(f)
 
+with open(ab14_json) as f:
+    merged["policy_ablation"] = json.load(f)
+
 with open(out, "w") as f:
     json.dump(merged, f, indent=2)
     f.write("\n")
@@ -127,5 +138,9 @@ xval = merged["backend_xval"]
 print(f"backend_xval: {xval['grid_points']} points, "
       f"speedup {xval['speedup']:.0f}x, "
       f"max saving delta {xval['max_abs_saving_delta_pp']:.3f} pp")
+cells = merged["policy_ablation"]["cells"]
+worst_recon = max(c["recon_err_j"] for c in cells)
+print(f"policy_ablation: {len(cells)} cells, "
+      f"worst ledger reconciliation {worst_recon:.1e} J")
 print(f"wrote {out}")
 PY

@@ -250,7 +250,17 @@ Policy parse_policy(std::string_view name) {
 
 std::string ScenarioSpec::label() const {
     switch (policy_) {
-        case Policy::cam: return "wlan-cam";
+        case Policy::cam:
+            if (power_set_) {
+                switch (power_.kind) {
+                    case policy::PolicyKind::cam: return "wlan-cam";
+                    case policy::PolicyKind::psm: return "wlan-psm";
+                    case policy::PolicyKind::ecmac: return "ec-mac";
+                    case policy::PolicyKind::micro_nap: return "micro-nap";
+                    case policy::PolicyKind::pamas: return "pamas";
+                }
+            }
+            return "wlan-cam";
         case Policy::psm: return "wlan-psm";
         case Policy::ecmac: return "ec-mac";
         case Policy::bt: return "bt-active";
@@ -274,6 +284,34 @@ std::string ScenarioSpec::describe() const {
     }
     switch (policy_) {
         case Policy::cam:
+            if (power_set_) {
+                out += " power_policy=" + std::string(policy::to_string(power_.kind));
+                out += " beacon_ms=" + fmt(power_.beacon_interval.to_seconds() * 1e3);
+                switch (power_.kind) {
+                    case policy::PolicyKind::cam:
+                        break;
+                    case policy::PolicyKind::psm:
+                        out += " listen_interval=" + std::to_string(power_.psm_listen_interval);
+                        out += " aggregate_limit=" + std::to_string(power_.psm_aggregate_limit);
+                        break;
+                    case policy::PolicyKind::ecmac:
+                        out += " superframe_ms=" +
+                               fmt(power_.ecmac_superframe.to_seconds() * 1e3);
+                        break;
+                    case policy::PolicyKind::micro_nap:
+                        out += " nap_guard_us=" +
+                               fmt(power_.micro_nap.guard.to_seconds() * 1e6);
+                        break;
+                    case policy::PolicyKind::pamas:
+                        out += " pamas_base_ms=" +
+                               fmt(power_.pamas.base_period.to_seconds() * 1e3);
+                        break;
+                }
+                if (power_.uplink_period > Time::zero()) {
+                    out += " uplink_ms=" + fmt(power_.uplink_period.to_seconds() * 1e3);
+                }
+            }
+            break;
         case Policy::bt:
             break;
         case Policy::psm:
@@ -363,13 +401,20 @@ void ScenarioSpec::validate() const {
     WLANPS_REQUIRE_MSG(!fed_set_ || policy_ == Policy::federation,
                        "FederationConfig set on a '" + policy_name +
                            "' scenario — use ScenarioSpec::federation()");
-    // Only the psm, hotspot, and federation worlds route fault hooks.
+    // Power policies replace the station build, so they ride the cam base
+    // policy only — every other policy already fixes its station behavior.
+    WLANPS_REQUIRE_MSG(!power_set_ || policy_ == Policy::cam,
+                       "PowerPolicyConfig set on a '" + policy_name +
+                           "' scenario — power policies ride the cam base: "
+                           "ScenarioSpec::cam().with_power_policy(...)");
+    // Only the cam, psm, hotspot, and federation worlds route fault hooks
+    // (cam and the power-policy worlds take per-kind whitelists below).
     WLANPS_REQUIRE_MSG(
         stream_.fault_plan.empty() ||
-            policy_ == Policy::psm || policy_ == Policy::hotspot ||
-            policy_ == Policy::federation,
-        "fault plans are only injectable into psm, hotspot, and federation "
-        "scenarios, not '" + policy_name + "'");
+            policy_ == Policy::cam || policy_ == Policy::psm ||
+            policy_ == Policy::hotspot || policy_ == Policy::federation,
+        "fault plans are only injectable into cam, psm, hotspot, and "
+        "federation scenarios, not '" + policy_name + "'");
     stream_.fault_plan.validate();
     if (policy_ == Policy::hotspot && hotspot_.sharding.enabled()) {
         // The sharded world routes fault hooks through per-shard injectors,
@@ -398,7 +443,91 @@ void ScenarioSpec::validate() const {
         }
     }
     switch (policy_) {
-        case Policy::cam:
+        case Policy::cam: {
+            if (power_set_) {
+                power_.validate();
+                if (power_.kind == policy::PolicyKind::micro_nap) {
+                    const phy::NapCostTable& nap = stream_.wlan_nic.nap;
+                    WLANPS_REQUIRE_MSG(
+                        nap.sleep_latency > Time::zero() && nap.wake_latency > Time::zero(),
+                        "μNap needs positive Wnic nap transition latencies "
+                        "(stream().wlan_nic.nap) — a free transition would let the "
+                        "policy sleep through its own carrier-sense guarantee");
+                    WLANPS_REQUIRE_MSG(
+                        nap.sleep_latency + nap.wake_latency <= power_.beacon_interval,
+                        "μNap transition cost (sleep " +
+                            fmt(nap.sleep_latency.to_seconds() * 1e6) + "us + wake " +
+                            fmt(nap.wake_latency.to_seconds() * 1e6) +
+                            "us) exceeds the beacon interval (" +
+                            fmt(power_.beacon_interval.to_seconds() * 1e3) +
+                            "ms) — no idle gap could ever amortize a nap; shrink the "
+                            "Wnic nap cost table (stream().wlan_nic.nap) or raise the "
+                            "beacon interval");
+                }
+            }
+            // Per-kind fault whitelist: each power policy's world routes a
+            // different subset of the injector hooks.
+            const policy::PolicyKind pk =
+                power_set_ ? power_.kind : policy::PolicyKind::cam;
+            for (const auto& f : stream_.fault_plan.specs()) {
+                bool supported = false;
+                std::string hint;
+                switch (pk) {
+                    case policy::PolicyKind::cam:
+                        supported = f.kind == fault::FaultKind::nic_lockup ||
+                                    f.kind == fault::FaultKind::wake_stuck ||
+                                    f.kind == fault::FaultKind::blackout ||
+                                    f.kind == fault::FaultKind::corruption;
+                        hint = "cam stations route phy and link hooks only "
+                               "(nic_lockup, wake_stuck, blackout, corruption)";
+                        break;
+                    case policy::PolicyKind::psm:
+                        supported = f.kind == fault::FaultKind::beacon_loss ||
+                                    f.kind == fault::FaultKind::poll_drop ||
+                                    f.kind == fault::FaultKind::blackout ||
+                                    f.kind == fault::FaultKind::corruption;
+                        hint = "the psm adapter routes MAC and link hooks only "
+                               "(beacon_loss, poll_drop, blackout, corruption)";
+                        break;
+                    case policy::PolicyKind::ecmac:
+                        supported = false;
+                        hint = "the ec-mac adapter routes no fault hooks — drop the "
+                               "plan or pick another policy";
+                        break;
+                    case policy::PolicyKind::micro_nap:
+                        // wake_stuck stretches a nap resume past the DCF
+                        // carrier-sense guarantee when the policy naps inside
+                        // its own backoff countdown.
+                        supported = f.kind == fault::FaultKind::nic_lockup ||
+                                    f.kind == fault::FaultKind::beacon_loss ||
+                                    f.kind == fault::FaultKind::blackout ||
+                                    f.kind == fault::FaultKind::corruption ||
+                                    (f.kind == fault::FaultKind::wake_stuck &&
+                                     !power_.micro_nap.nap_on_backoff);
+                        hint = f.kind == fault::FaultKind::wake_stuck
+                                   ? "wake_stuck would stretch a backoff-nap resume "
+                                     "past the station's own DCF fire — disable "
+                                     "micro_nap.nap_on_backoff to inject it"
+                                   : "micro_nap routes phy, beacon, and link hooks "
+                                     "(nic_lockup, beacon_loss, blackout, corruption)";
+                        break;
+                    case policy::PolicyKind::pamas:
+                        supported = f.kind == fault::FaultKind::nic_lockup ||
+                                    f.kind == fault::FaultKind::wake_stuck ||
+                                    f.kind == fault::FaultKind::beacon_loss ||
+                                    f.kind == fault::FaultKind::blackout ||
+                                    f.kind == fault::FaultKind::corruption;
+                        hint = "pamas routes phy, beacon, and link hooks "
+                               "(nic_lockup, wake_stuck, beacon_loss, blackout, "
+                               "corruption)";
+                        break;
+                }
+                WLANPS_REQUIRE_MSG(supported, "'" + label() + "' cannot inject '" +
+                                                  std::string(fault::to_string(f.kind)) +
+                                                  "' — " + hint);
+            }
+            break;
+        }
         case Policy::bt:
             break;
         case Policy::psm:

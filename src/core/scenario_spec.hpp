@@ -26,6 +26,7 @@
 #include "phy/bt_nic.hpp"
 #include "phy/calibration.hpp"
 #include "phy/wlan_nic.hpp"
+#include "policy/policy.hpp"
 #include "sim/time.hpp"
 #include "sim/trace.hpp"
 #include "sim/units.hpp"
@@ -456,6 +457,16 @@ public:
         fed_set_ = true;
         return *this;
     }
+    /// Select a pluggable per-station power policy (src/policy): the two
+    /// event-driven policies (micro_nap, pamas) or an adapter kind that
+    /// reroutes to the matching pre-existing scenario (cam/psm/ecmac), so
+    /// one axis sweeps every policy the repo can run.  Rides the cam base
+    /// policy: ScenarioSpec::cam().with_power_policy(...).
+    ScenarioSpec& with_power_policy(policy::PowerPolicyConfig config) {
+        power_ = std::move(config);
+        power_set_ = true;
+        return *this;
+    }
 
     // --- accessors --------------------------------------------------------
     [[nodiscard]] Policy policy() const { return policy_; }
@@ -466,6 +477,8 @@ public:
     [[nodiscard]] const HotspotConfig& hotspot_config() const { return hotspot_; }
     [[nodiscard]] const MixedWorkload& mix() const { return mix_; }
     [[nodiscard]] const FederationConfig& federation_config() const { return fed_; }
+    [[nodiscard]] bool has_power_policy() const { return power_set_; }
+    [[nodiscard]] const policy::PowerPolicyConfig& power_policy_config() const { return power_; }
     [[nodiscard]] int clients() const {
         return policy_ == Policy::hotspot_mixed ? mix_.total() : stream_.clients;
     }
@@ -495,6 +508,7 @@ private:
     HotspotConfig hotspot_;
     MixedWorkload mix_;
     FederationConfig fed_;
+    policy::PowerPolicyConfig power_;
     // Sub-configs explicitly set via with_* — validate() rejects ones that
     // do not belong to the chosen policy.
     bool psm_set_ = false;
@@ -502,6 +516,7 @@ private:
     bool hotspot_set_ = false;
     bool mix_set_ = false;
     bool fed_set_ = false;
+    bool power_set_ = false;
 };
 
 }  // namespace wlanps::core

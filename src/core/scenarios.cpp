@@ -19,6 +19,7 @@
 #include "mac/station.hpp"
 #include "obs/energy_ledger.hpp"
 #include "obs/hooks.hpp"
+#include "policy/world.hpp"
 #include "sim/assert.hpp"
 #include "traffic/playout.hpp"
 #include "traffic/source.hpp"
@@ -77,15 +78,52 @@ ScenarioResult sim_wlan_cam(const StreamConfig& config) {
         sources.push_back(std::move(src));
     }
 
+    // Fault injection: CAM has no beacon/poll dependence, so only the phy
+    // kinds (radio wedge, stuck wake) and link windows route anywhere.
+    std::unique_ptr<fault::FaultInjector> injector;
+    if (!config.fault_plan.empty()) {
+        injector = std::make_unique<fault::FaultInjector>(sim, config.fault_plan,
+                                                          root.fork(900));
+        injector->phy().nic_lockup = [&stations](std::uint32_t target, Time until) {
+            for (std::size_t i = 0; i < stations.size(); ++i) {
+                if (target == 0 || target == i + 1) stations[i]->wlan_nic().inject_lockup(until);
+            }
+        };
+        injector->phy().wake_stuck = [&stations](std::uint32_t target, Time extra) {
+            for (std::size_t i = 0; i < stations.size(); ++i) {
+                if (target == 0 || target == i + 1) {
+                    stations[i]->wlan_nic().inject_wake_stuck(extra);
+                }
+            }
+        };
+        injector->net().fault_window = [&bss, &sim, &config](std::uint32_t client,
+                                                             fault::FaultSpec::Itf itf,
+                                                             double p, Time until) {
+            if (itf == fault::FaultSpec::Itf::bt) return;  // no BT in this scenario
+            auto apply = [&](mac::StationId id) {
+                if (auto* link = bss.link(id)) link->add_fault_window(sim.now(), until, p);
+            };
+            if (client == 0) {
+                for (int i = 0; i < config.clients; ++i) {
+                    apply(static_cast<mac::StationId>(i + 1));
+                }
+            } else {
+                apply(static_cast<mac::StationId>(client));
+            }
+        };
+    }
+
     ap.start();
     for (auto& st : stations) st->start(ap.config().beacon_interval, ap.config().beacon_interval);
     for (auto& p : playouts) p->start();
     for (auto& s : sources) s->start();
+    if (injector) injector->arm();
     sim.run_until(config.duration);
     for (auto& st : stations) st->wlan_nic().settle_ledger();
 
     ScenarioResult result;
     result.label = "wlan-cam";
+    if (injector) result.faults_injected = injector->injected_total();
     for (int i = 0; i < config.clients; ++i) {
         result.clients.push_back(make_metrics(stations[static_cast<std::size_t>(i)]->average_power(),
                                               stations[static_cast<std::size_t>(i)]->energy_consumed(),
@@ -673,11 +711,115 @@ ScenarioResult sim_hotspot_mixed(const StreamConfig& config, const HotspotConfig
     return result;
 }
 
+/// Event-driven power policies (micro_nap, pamas): one PolicyBssWorld on a
+/// single-queue Simulator, with the same fault-injector surface as the psm
+/// scenario plus the phy hooks (μNap interacts with radio wedges directly).
+ScenarioResult sim_policy_bss(const StreamConfig& config,
+                              const policy::PowerPolicyConfig& power) {
+    WLANPS_REQUIRE(config.clients >= 1);
+    sim::Simulator sim;
+    sim::Random root(config.seed);  // world forks 100/200+i/300+i; injector 900
+
+    policy::PolicyWorldConfig wc;
+    wc.clients = config.clients;
+    wc.seed = config.seed;
+    wc.policy = power;
+    wc.nic = config.wlan_nic;
+    wc.link = config.wlan_link;
+    wc.playout = mp3_playout();
+    policy::PolicyBssWorld world(sim, wc, obs::current_ledger());
+
+    std::unique_ptr<fault::FaultInjector> injector;
+    if (!config.fault_plan.empty()) {
+        injector = std::make_unique<fault::FaultInjector>(sim, config.fault_plan,
+                                                          root.fork(900));
+        injector->mac().beacon_loss = [&world](Time until) {
+            world.ap().suppress_beacons(until);
+        };
+        injector->phy().nic_lockup = [&world, &config](std::uint32_t target, Time until) {
+            for (int i = 0; i < config.clients; ++i) {
+                if (target == 0 || target == static_cast<std::uint32_t>(i + 1)) {
+                    world.station(i).wlan_nic().inject_lockup(until);
+                }
+            }
+        };
+        injector->phy().wake_stuck = [&world, &config](std::uint32_t target, Time extra) {
+            for (int i = 0; i < config.clients; ++i) {
+                if (target == 0 || target == static_cast<std::uint32_t>(i + 1)) {
+                    world.station(i).wlan_nic().inject_wake_stuck(extra);
+                }
+            }
+        };
+        injector->net().fault_window = [&world, &sim, &config](std::uint32_t client,
+                                                               fault::FaultSpec::Itf itf,
+                                                               double p, Time until) {
+            if (itf == fault::FaultSpec::Itf::bt) return;  // no BT in this scenario
+            auto apply = [&](mac::StationId id) {
+                if (auto* link = world.bss().link(id)) {
+                    link->add_fault_window(sim.now(), until, p);
+                }
+            };
+            if (client == 0) {
+                for (int i = 0; i < config.clients; ++i) {
+                    apply(static_cast<mac::StationId>(i + 1));
+                }
+            } else {
+                apply(static_cast<mac::StationId>(client));
+            }
+        };
+    }
+
+    world.start();
+    if (injector) injector->arm();
+    sim.run_until(config.duration);
+    world.settle();
+
+    ScenarioResult result;
+    result.label = power.kind == policy::PolicyKind::micro_nap ? "micro-nap" : "pamas";
+    if (injector) result.faults_injected = injector->injected_total();
+    for (int i = 0; i < config.clients; ++i) {
+        policy::PolicyStation& st = world.station(i);
+        result.clients.push_back(make_metrics(st.average_power(), st.energy_consumed(),
+                                              world.playout(i), st.bytes_received()));
+    }
+    if (obs::MetricsRegistry* reg = obs::current()) {
+        for (int i = 0; i < config.clients; ++i) {
+            world.station(i).wlan_nic().publish_metrics(*reg, "phy.wlan");
+        }
+    }
+    record_client_obs(result);
+    record_kernel_obs(sim);
+    return result;
+}
+
 }  // namespace
 
 ScenarioResult SimBackend::do_run(const ScenarioSpec& spec, std::uint64_t seed) const {
     StreamConfig config = spec.stream();
     config.seed = seed;
+    if (spec.policy() == Policy::cam && spec.has_power_policy()) {
+        // Pluggable power policies: the adapter kinds reroute to the
+        // matching pre-existing scenario so one spec axis sweeps them all;
+        // the event-driven kinds build a PolicyBssWorld.
+        const policy::PowerPolicyConfig& power = spec.power_policy_config();
+        switch (power.kind) {
+            case policy::PolicyKind::cam:
+                return sim_wlan_cam(config);
+            case policy::PolicyKind::psm: {
+                PsmConfig psm;
+                psm.listen_interval = power.psm_listen_interval;
+                psm.aggregate_limit = power.psm_aggregate_limit;
+                psm.beacon_interval = power.beacon_interval;
+                return sim_wlan_psm(config, psm);
+            }
+            case policy::PolicyKind::ecmac:
+                return sim_ecmac(config, power.ecmac_superframe);
+            case policy::PolicyKind::micro_nap:
+            case policy::PolicyKind::pamas:
+                return sim_policy_bss(config, power);
+        }
+        WLANPS_REQUIRE_MSG(false, "bad power-policy kind");
+    }
     switch (spec.policy()) {
         case Policy::cam: return sim_wlan_cam(config);
         case Policy::psm: return sim_wlan_psm(config, spec.psm_config());

@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "phy/calibration.hpp"
+#include "policy/power_policy.hpp"
 #include "sim/assert.hpp"
 
 namespace wlanps::mac {
@@ -31,7 +33,49 @@ MacEntity* Bss::find(StationId id) {
     return it == entities_.end() ? nullptr : it->second;
 }
 
+void Bss::register_policy(StationId id, policy::PowerPolicy* policy) {
+    if (policy == nullptr) {
+        policies_.erase(id);
+        return;
+    }
+    policies_[id] = policy;
+}
+
+void Bss::notify_policies(const Frame& frame, Time airtime) {
+    if (policies_.empty()) return;
+    const Time now = sim_.now();
+    const Time done_at = now + airtime;
+    if (frame.dst == kBroadcast) {
+        // Broadcasts (beacons) carry no NAV reservation beyond their own
+        // airtime; every listener is a receiver.
+        for (auto& [id, policy] : policies_) {
+            if (id != frame.src) policy->on_rx_start(done_at);
+        }
+        return;
+    }
+    // The 802.11 duration field reserves the medium for the whole
+    // exchange: data airtime + SIFS + ACK.  Non-data frames (PS-Polls)
+    // only pin it for their own airtime here — their response exchange
+    // renews the reservation when it starts.
+    const Time ack_air = phy::calibration::kWlanPlcpOverhead +
+                         phy::calibration::kWlanRate2.transmit_time(
+                             phy::calibration::kWlanAckFrame);
+    const Time nav_until = frame.kind == FrameKind::data
+                               ? done_at + phy::calibration::kWlanSifs + ack_air
+                               : done_at;
+    for (auto& [id, policy] : policies_) {
+        if (id == frame.src) {
+            policy->on_tx_start(done_at);
+        } else if (id == frame.dst) {
+            policy->on_rx_start(done_at);
+        } else {
+            policy->on_nav_set(nav_until);
+        }
+    }
+}
+
 bool Bss::reception_begins(const Frame& frame, Time airtime) {
+    notify_policies(frame, airtime);
     if (frame.dst == kBroadcast) {
         // All listening stations decode the broadcast (they pay rx power
         // whether or not they care about it).
@@ -100,6 +144,12 @@ void Bss::deliver(const Frame& frame) {
         return;
     }
     if (MacEntity* dst = find(frame.dst)) dst->on_frame(frame);
+    if (auto it = policies_.find(frame.dst); it != policies_.end()) {
+        it->second->on_rx_end();
+    }
+    if (auto it = policies_.find(frame.src); it != policies_.end()) {
+        it->second->on_tx_end();
+    }
 }
 
 }  // namespace wlanps::mac

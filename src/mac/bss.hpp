@@ -8,6 +8,7 @@
 /// into rx while frames addressed to them are on air).
 
 #include <functional>
+#include <map>
 #include <memory>
 #include <unordered_map>
 
@@ -18,6 +19,10 @@
 #include "phy/wlan_nic.hpp"
 #include "sim/random.hpp"
 #include "sim/simulator.hpp"
+
+namespace wlanps::policy {
+class PowerPolicy;
+}  // namespace wlanps::policy
 
 namespace wlanps::mac {
 
@@ -52,6 +57,12 @@ public:
     [[nodiscard]] sim::Simulator& simulator() { return sim_; }
     [[nodiscard]] channel::WirelessLink* link(StationId id);
 
+    /// Drive \p policy with medium-state hooks for station \p id: NAV
+    /// set on third-party exchanges, TX/RX boundaries on its own.  The
+    /// policy must outlive the Bss; nullptr detaches.  Ordered map so
+    /// hook delivery order is deterministic.
+    void register_policy(StationId id, policy::PowerPolicy* policy);
+
     // --- DcfEnvironment ----------------------------------------------------
     bool reception_begins(const Frame& frame, Time airtime) override;
     bool channel_ok(const Frame& frame, Time start, DataSize on_air, Rate rate) override;
@@ -62,11 +73,15 @@ public:
 
 private:
     [[nodiscard]] MacEntity* find(StationId id);
+    /// Fan a starting transmission out to registered policies (NAV for
+    /// third parties, TX/RX boundaries for the exchange's endpoints).
+    void notify_policies(const Frame& frame, Time airtime);
 
     sim::Simulator& sim_;
     Medium medium_;
     std::unordered_map<StationId, MacEntity*> entities_;
     std::unordered_map<StationId, std::unique_ptr<channel::WirelessLink>> links_;
+    std::map<StationId, policy::PowerPolicy*> policies_;
 };
 
 }  // namespace wlanps::mac

@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "policy/power_policy.hpp"
 #include "sim/assert.hpp"
 
 namespace wlanps::mac {
@@ -52,9 +53,21 @@ void DcfTransmitter::attempt() {
     const std::int64_t slots = management ? 0 : rng_.uniform_int(0, cw_);
     const Time start_delay = config_.difs + config_.slot * static_cast<double>(slots);
     fire_event_ = sim_.schedule_in(start_delay, [this] { fire(); });
+    if (policy_ != nullptr) policy_->on_backoff_start(sim_.now() + start_delay);
 }
 
 void DcfTransmitter::fire() {
+    if (policy_ != nullptr && !nic_.awake()) {
+        // A policy-managed radio can still be completing its nap->idle
+        // transition when a deferred backoff re-fires: the nap's resume
+        // margin covers the fire it was scheduled against, but an unACKed
+        // exchange frees the medium a SIFS+ACK early and a waiting
+        // attempt can re-fire inside that window.  A cold receiver
+        // cannot carrier-sense, so hold the attempt in slot quanta until
+        // the transition completes.
+        fire_event_ = sim_.schedule_in(config_.slot, [this] { fire(); });
+        return;
+    }
     if (medium_.busy()) {
         // Carrier sensing takes a slot time to register a peer's start:
         // firing inside that vulnerability window proceeds (and collides);

@@ -22,6 +22,10 @@
 #include "sim/simulator.hpp"
 #include "sim/stats.hpp"
 
+namespace wlanps::policy {
+class PowerPolicy;
+}  // namespace wlanps::policy
+
 namespace wlanps::mac {
 
 /// DCF timing/contention parameters (defaults: 802.11b long preamble).
@@ -103,6 +107,10 @@ public:
 
     [[nodiscard]] std::uint64_t rts_exchanges() const { return rts_exchanges_; }
 
+    /// Notify \p policy of each scheduled backoff countdown (μNap sleeps
+    /// through DIFS+backoff waits).  nullptr (the default) detaches.
+    void set_power_policy(policy::PowerPolicy* policy) { policy_ = policy; }
+
 private:
     void start_next();
     void attempt();
@@ -130,6 +138,7 @@ private:
     bool waiting_idle_ = false;
     Time service_start_;
     sim::EventHandle fire_event_;
+    policy::PowerPolicy* policy_ = nullptr;
 
     sim::RatioCounter deliveries_;
     sim::Accumulator attempts_;

@@ -24,6 +24,7 @@ const char* to_string(EnergyCause cause) {
         case EnergyCause::retransmission: return "retransmission";
         case EnergyCause::mode_switch: return "mode_switch";
         case EnergyCause::tx: return "tx";
+        case EnergyCause::nav_sleep: return "nav_sleep";
     }
     return "?";
 }

@@ -32,9 +32,10 @@ enum class EnergyCause : std::uint8_t {
     retransmission,  ///< re-receiving after a corrupted chunk
     mode_switch,     ///< doze/off <-> awake transition overhead
     tx,              ///< transmitting (ACKs, PS-Polls, uplink)
+    nav_sleep,       ///< μNap micro-sleep inside a NAV/backoff idle slot
 };
 
-inline constexpr std::size_t kEnergyCauseCount = 6;
+inline constexpr std::size_t kEnergyCauseCount = 7;
 
 [[nodiscard]] const char* to_string(EnergyCause cause);
 

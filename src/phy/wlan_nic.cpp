@@ -19,6 +19,7 @@ power::PowerModel build_model(const WlanNicConfig& c) {
     m.add_state("tx", c.tx);
     const auto rx = power::StateId{3};
     const auto tx = power::StateId{4};
+    const auto nap = m.add_state("nap", c.doze);
     m.add_transition(off, idle, c.resume_latency, c.resume_draw.over(c.resume_latency));
     m.add_transition(idle, off, c.suspend_latency, c.idle.over(c.suspend_latency));
     m.add_transition(doze, idle, c.doze_wake_latency, c.idle.over(c.doze_wake_latency));
@@ -29,6 +30,10 @@ power::PowerModel build_model(const WlanNicConfig& c) {
         m.add_transition(busy, off, c.suspend_latency, c.idle.over(c.suspend_latency));
         m.add_transition(busy, doze, c.doze_enter_latency, c.doze.over(c.doze_enter_latency));
     }
+    // μNap micro-sleep: reachable from idle only, with the configured
+    // transition-cost table (far cheaper than the doze handshake).
+    m.add_transition(idle, nap, c.nap.sleep_latency, c.nap.sleep_energy);
+    m.add_transition(nap, idle, c.nap.wake_latency, c.nap.wake_energy);
     // idle <-> rx/tx are instantaneous (the radio is already powered).
     return m;
 }
@@ -44,6 +49,7 @@ power::StateId WlanNic::id_of(State s) {
         case State::idle: return 2;
         case State::rx: return 3;
         case State::tx: return 4;
+        case State::nap: return 5;
     }
     WLANPS_REQUIRE_MSG(false, "bad state");
     return 0;
@@ -55,7 +61,8 @@ WlanNic::State WlanNic::state() const {
         case 1: return State::doze;
         case 2: return State::idle;
         case 3: return State::rx;
-        default: return State::tx;
+        case 4: return State::tx;
+        default: return State::nap;
     }
 }
 
@@ -142,8 +149,8 @@ std::size_t WlanNic::entries(State s) const { return machine_.entries(id_of(s));
 void WlanNic::publish_metrics(obs::MetricsRegistry& registry,
                               const std::string& prefix) const {
     static constexpr State kStates[] = {State::off, State::doze, State::idle, State::rx,
-                                        State::tx};
-    static constexpr const char* kNames[] = {"off", "doze", "idle", "rx", "tx"};
+                                        State::tx,  State::nap};
+    static constexpr const char* kNames[] = {"off", "doze", "idle", "rx", "tx", "nap"};
     for (std::size_t i = 0; i < std::size(kStates); ++i) {
         registry.histogram(prefix + ".residency_s." + kNames[i])
             .record(residency(kStates[i]).to_seconds());

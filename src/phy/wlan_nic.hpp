@@ -33,13 +33,19 @@ struct WlanNicConfig {
     /// Fraction of the PHY rate delivered as goodput through DCF with MAC
     /// overheads at burst sizes (measured ~0.5 for 11 Mb/s 802.11b).
     double goodput_efficiency = 0.50;
+    /// μNap micro-sleep transition costs (idle <-> nap).  The nap state
+    /// draws doze power but keeps the MAC association hot, so it is cheap
+    /// enough to enter inside a single NAV reservation.
+    NapCostTable nap;
 };
 
 /// An 802.11b NIC instance in a simulation.
 class WlanNic final : public Wnic {
 public:
-    /// States exposed for residency queries.
-    enum class State { off, doze, idle, rx, tx };
+    /// States exposed for residency queries.  `nap` is the μNap
+    /// micro-sleep: doze-level draw reachable from idle in tens of
+    /// microseconds (vs the millisecond-scale doze handshake).
+    enum class State { off, doze, idle, rx, tx, nap };
 
     WlanNic(sim::Simulator& sim, WlanNicConfig config, State initial = State::idle);
 
@@ -58,6 +64,7 @@ public:
         return machine_.energy_consumed();
     }
     [[nodiscard]] std::string name() const override { return "wlan-nic"; }
+    [[nodiscard]] NapCostTable nap_costs() const override { return config_.nap; }
 
     // --- MAC-facing controls ---------------------------------------------
     /// Enter PSM doze (connection kept, wakes for TIM beacons).

@@ -33,6 +33,24 @@ enum class Interface { wlan, bluetooth };
     return i == Interface::wlan ? obs::kFlightItfWlan : obs::kFlightItfBt;
 }
 
+/// Cost table for μNap-style micro-sleeps: the measured latency and energy
+/// of dropping into and out of the nap state (paper-adjacent: Azcorra et
+/// al.'s μNap break-even analysis).  A policy compares an upcoming idle
+/// gap against these costs before committing to a nap.
+struct NapCostTable {
+    Time sleep_latency = Time::from_us(50);    ///< idle -> nap
+    Time wake_latency = Time::from_us(250);    ///< nap -> idle
+    power::Energy sleep_energy = power::Energy::from_joules(41.5e-6);
+    power::Energy wake_energy = power::Energy::from_joules(207.5e-6);
+
+    [[nodiscard]] constexpr Time round_trip() const {
+        return sleep_latency + wake_latency;
+    }
+    [[nodiscard]] constexpr power::Energy round_trip_energy() const {
+        return sleep_energy + wake_energy;
+    }
+};
+
 /// Resource-manager-facing NIC interface.
 class Wnic {
 public:
@@ -65,6 +83,12 @@ public:
 
     /// Cumulative energy consumed by this NIC.
     [[nodiscard]] virtual power::Energy energy_consumed() const = 0;
+
+    /// Transition costs of the NIC's micro-sleep (nap) state, for policies
+    /// computing a sleep/wake break-even.  Radios without a nap state
+    /// report the default table; only the WLAN NIC currently implements
+    /// the state itself.
+    [[nodiscard]] virtual NapCostTable nap_costs() const { return {}; }
 
     /// Mirror power-state changes into \p trace (level = watts); nullptr
     /// detaches.  The trace must outlive the NIC's use of it.

@@ -1,0 +1,125 @@
+#include "policy/micro_nap.hpp"
+
+#include <algorithm>
+
+#include "obs/energy_ledger.hpp"
+#include "sim/assert.hpp"
+
+namespace wlanps::policy {
+
+void MicroNapPolicy::attach(sim::Simulator& sim, phy::WlanNic& nic, MaySleep may_sleep) {
+    PowerPolicy::attach(sim, nic, std::move(may_sleep));
+    const auto& c = nic.config();
+    const phy::NapCostTable nap = nic.nap_costs();
+    WLANPS_REQUIRE_MSG(nap.sleep_latency > Time::zero() && nap.wake_latency > Time::zero(),
+                       "μNap transition latencies must be positive");
+    WLANPS_REQUIRE_MSG(c.idle > c.doze,
+                       "μNap needs the nap state to draw less than idle listening");
+    // The resume starts wake_latency+guard before the medium is needed, so
+    // as long as that margin covers one slot the DCF's carrier-sense
+    // vulnerability window (fire within a slot of a busy start) can never
+    // catch the radio still napping.
+    WLANPS_REQUIRE_MSG(nap.wake_latency + config_.guard >= phy::calibration::kWlanSlot,
+                       "μNap wake_latency + guard must cover one DCF slot");
+    // Energy break-even: napping a gap g costs E_trans + P_nap·(g − t_trans)
+    // against P_idle·g for staying awake; solve for the g where they meet.
+    const double p_idle = c.idle.watts();
+    const double p_nap = c.doze.watts();
+    const double e_trans = nap.round_trip_energy().joules();
+    const double t_trans = nap.round_trip().to_seconds();
+    const double g_star = (e_trans - p_nap * t_trans) / (p_idle - p_nap);
+    const Time fit_floor = nap.round_trip() + config_.guard + config_.guard;
+    break_even_ = std::max(fit_floor, Time::from_seconds(g_star));
+}
+
+void MicroNapPolicy::on_nav_set(Time until) {
+    if (config_.nap_on_nav) try_nap(until, /*voluntary=*/true);
+}
+
+void MicroNapPolicy::on_backoff_start(Time fire_at) {
+    // Bounded by our own DCF fire event: the radio only needs to be back
+    // by fire_at, and the DCF itself guarantees nothing else runs on it.
+    if (config_.nap_on_backoff) try_nap(fire_at, /*voluntary=*/false);
+}
+
+void MicroNapPolicy::try_nap(Time resume_by, bool voluntary) {
+    const Time now = sim_->now();
+    const phy::NapCostTable nap = nic_->nap_costs();
+    const Time wake_begin = resume_by - config_.guard - nap.wake_latency;
+    if (napping_) {
+        // Overlapping reservation: push the resume out, never pull it in.
+        if (wake_begin > wake_begin_) {
+            wake_event_.cancel();
+            wake_begin_ = wake_begin;
+            wake_event_ = sim_->schedule_at(wake_begin, [this] { resume(); });
+        }
+        return;
+    }
+    if (nic_->transitioning() || nic_->state() != phy::WlanNic::State::idle) return;
+    if (voluntary && may_sleep_ && !may_sleep_()) return;
+    if (resume_by - now < break_even_) return;
+
+    napping_ = true;
+    ++naps_;
+    nap_started_ = now;
+    // Cause boundaries: the idle span so far stays on the previous cause;
+    // the sleep transition accrues under mode_switch; residency in nap is
+    // charged to nav_sleep once the transition completes.
+    nic_->set_energy_cause(obs::EnergyCause::mode_switch);
+    nic_->request_state(phy::WlanNic::State::nap, [this] {
+        if (napping_) nic_->set_energy_cause(obs::EnergyCause::nav_sleep);
+    });
+    wake_begin_ = wake_begin;
+    wake_event_ = sim_->schedule_at(wake_begin, [this] { resume(); });
+}
+
+void MicroNapPolicy::resume() {
+    if (!napping_) return;
+    napping_ = false;
+    napped_total_ += sim_->now() - nap_started_;
+    // Close the nav_sleep span, accrue the wake transition as mode_switch,
+    // then fall back to idle_listen once the radio is hot again.
+    nic_->set_energy_cause(obs::EnergyCause::mode_switch);
+    nic_->wake([this] { nic_->set_energy_cause(obs::EnergyCause::idle_listen); });
+}
+
+void MicroNapPolicy::on_tx_start(Time done_at) {
+    (void)done_at;
+    nic_->set_energy_cause(obs::EnergyCause::tx);
+}
+
+void MicroNapPolicy::on_tx_end() {
+    nic_->set_energy_cause(obs::EnergyCause::idle_listen);
+}
+
+void MicroNapPolicy::on_rx_start(Time done_at) {
+    // A frame addressed to a napping radio is missed (the sender retries);
+    // charging its airtime to burst_rx would misattribute the nap span.
+    if (napping_) return;
+    nic_->set_energy_cause(obs::EnergyCause::burst_rx);
+    // Broadcast receptions (beacons) have no on_rx_end — revert at the
+    // end of the airtime so a lost/collided frame can't leave the
+    // burst_rx span dangling over subsequent idle time.
+    rx_revert_.cancel();
+    rx_revert_ = sim_->schedule_at(done_at, [this] {
+        if (!napping_) nic_->set_energy_cause(obs::EnergyCause::idle_listen);
+    });
+}
+
+void MicroNapPolicy::on_rx_end() {
+    rx_revert_.cancel();
+    if (napping_) return;
+    nic_->set_energy_cause(obs::EnergyCause::idle_listen);
+}
+
+void MicroNapPolicy::on_host_wake() {
+    if (!napping_) return;
+    // The host needs the radio now: abandon the scheduled resume and let
+    // the caller's wake() drive the transition.
+    wake_event_.cancel();
+    napping_ = false;
+    napped_total_ += sim_->now() - nap_started_;
+    nic_->set_energy_cause(obs::EnergyCause::mode_switch);
+}
+
+}  // namespace wlanps::policy

@@ -1,0 +1,82 @@
+#pragma once
+/// \file micro_nap.hpp
+/// μNap micro-sleep policy (Azcorra et al., arXiv:1706.08312).
+///
+/// A CAM station burns idle power listening to frame exchanges it is not
+/// part of.  μNap drops the radio into the nap state for the NAV-reserved
+/// span of third-party exchanges and for the station's own backoff waits,
+/// whenever the announced gap beats the wake/sleep transition break-even
+/// computed from the NIC's NapCostTable:
+///
+///   g* = max( t_sleep + t_wake + 2·guard,
+///             (E_sleep + E_wake − P_nap·(t_sleep+t_wake)) / (P_idle − P_nap) )
+///
+/// The first term guarantees the transitions physically fit in the gap
+/// with a guard margin on both ends; the second is the energy break-even
+/// (below it the transitions cost more than napping saves).  With the
+/// default IPAQ CF-card table (50 µs + 250 µs, 249 µJ total) g* ≈ 305 µs,
+/// comfortably under an MP3-frame exchange's ~780 µs NAV span.
+
+#include <cstdint>
+
+#include "policy/power_policy.hpp"
+
+namespace wlanps::policy {
+
+/// μNap knobs.
+struct MicroNapConfig {
+    bool nap_on_nav = true;      ///< sleep through third-party NAV spans
+    bool nap_on_backoff = true;  ///< sleep through own DIFS+backoff waits
+    /// Safety margin subtracted from each end of the gap: the nap must be
+    /// fully exited this long before the medium is needed again.
+    Time guard = Time::from_us(20);
+};
+
+/// Sleeps the radio inside NAV/backoff idle slots longer than break-even.
+class MicroNapPolicy final : public PowerPolicy {
+public:
+    explicit MicroNapPolicy(MicroNapConfig config = {}) : config_(config) {}
+
+    [[nodiscard]] std::string_view name() const override { return "micro_nap"; }
+
+    void attach(sim::Simulator& sim, phy::WlanNic& nic, MaySleep may_sleep = {}) override;
+
+    void on_nav_set(Time until) override;
+    void on_backoff_start(Time fire_at) override;
+    void on_host_wake() override;
+
+    // Energy attribution for the station's own exchanges: bracket TX/RX
+    // airtime so it lands on tx/burst_rx instead of idle_listen.
+    void on_tx_start(Time done_at) override;
+    void on_tx_end() override;
+    void on_rx_start(Time done_at) override;
+    void on_rx_end() override;
+
+    /// Minimum gap worth napping through (computed at attach()).
+    [[nodiscard]] Time break_even_gap() const { return break_even_; }
+
+    // --- diagnostics ---------------------------------------------------
+    [[nodiscard]] std::uint64_t naps() const { return naps_; }
+    [[nodiscard]] Time napped() const { return napped_total_; }
+    [[nodiscard]] bool napping() const { return napping_; }
+
+private:
+    /// Nap until shortly before \p resume_by if the gap beats break-even,
+    /// or extend the current nap.  \p voluntary naps ask the host's
+    /// may_sleep() first (NAV naps — the host may have uplink pending);
+    /// backoff naps are bounded by the DCF's own fire event and skip it.
+    void try_nap(Time resume_by, bool voluntary);
+    void resume();
+
+    MicroNapConfig config_;
+    Time break_even_;
+    bool napping_ = false;
+    Time wake_begin_;             ///< when the scheduled resume starts waking
+    Time nap_started_;
+    sim::EventHandle wake_event_;
+    sim::EventHandle rx_revert_;
+    std::uint64_t naps_ = 0;
+    Time napped_total_;
+};
+
+}  // namespace wlanps::policy

@@ -1,0 +1,46 @@
+#include "policy/pamas_policy.hpp"
+
+#include <string>
+
+#include "sim/assert.hpp"
+
+namespace wlanps::policy {
+
+void PamasPolicyConfig::validate() const {
+    WLANPS_REQUIRE_MSG(base_period > Time::zero(),
+                       "PAMAS base_period must be positive");
+    WLANPS_REQUIRE_MSG(!thresholds.empty(),
+                       "PAMAS threshold table must not be empty");
+    for (std::size_t i = 0; i < thresholds.size(); ++i) {
+        const auto& t = thresholds[i];
+        WLANPS_REQUIRE_MSG(t.level >= 0.0 && t.level <= 1.0,
+                           "PAMAS threshold level must be in [0,1] (got " +
+                               std::to_string(t.level) + ")");
+        WLANPS_REQUIRE_MSG(t.stretch >= 1.0,
+                           "PAMAS stretch must be >= 1 (got " +
+                               std::to_string(t.stretch) + ")");
+        if (i > 0) {
+            WLANPS_REQUIRE_MSG(t.level < thresholds[i - 1].level,
+                               "PAMAS threshold levels must be strictly descending");
+            WLANPS_REQUIRE_MSG(t.stretch >= thresholds[i - 1].stretch,
+                               "PAMAS stretches must be non-decreasing as the "
+                               "battery drains");
+        }
+    }
+    WLANPS_REQUIRE_MSG(thresholds.back().level == 0.0,
+                       "PAMAS threshold table must end with a level-0 row so "
+                       "every battery level maps to a stretch");
+}
+
+PamasPolicy::PamasPolicy(PamasPolicyConfig config) : config_(std::move(config)) {
+    config_.validate();
+}
+
+double PamasPolicy::stretch_for(double level) const {
+    for (const auto& t : config_.thresholds) {
+        if (level >= t.level) return t.stretch;
+    }
+    return config_.thresholds.back().stretch;
+}
+
+}  // namespace wlanps::policy

@@ -1,0 +1,66 @@
+#pragma once
+/// \file pamas_policy.hpp
+/// PAMAS-style battery-driven sleep policy.
+///
+/// The station duty-cycles against a PSM-buffering AP: sleep a quantum,
+/// wake, drain the AP's buffer if anything is queued, sleep again.  The
+/// PAMAS twist is that sleep aggressiveness follows the battery: a
+/// threshold table maps remaining battery fraction to a stretch factor on
+/// the base sleep period, trading latency for lifetime as charge runs out
+/// (paper §2's battery-aware resource management, PAMAS lineage).
+
+#include <vector>
+
+#include "policy/power_policy.hpp"
+#include "power/battery.hpp"
+
+namespace wlanps::policy {
+
+/// One row of the battery-threshold table: at or above \p level the sleep
+/// period is base_period × \p stretch.
+struct PamasThreshold {
+    double level;    ///< battery fraction in [0,1]
+    double stretch;  ///< multiplier on the base sleep period, >= 1
+};
+
+/// PAMAS knobs.
+struct PamasPolicyConfig {
+    /// Sleep period at full battery.
+    Time base_period = Time::from_ms(250);
+    /// Threshold table, strictly descending by level, stretches
+    /// non-decreasing; the last row should cover level 0.
+    std::vector<PamasThreshold> thresholds{
+        {0.75, 1.0}, {0.50, 2.0}, {0.25, 4.0}, {0.00, 8.0}};
+    /// Station battery.  Default is deliberately small (vs the IPAQ's
+    /// 18.6 kJ pack) so threshold crossings are observable inside a
+    /// minutes-long simulated run.
+    power::BatteryConfig battery{power::Energy::from_joules(30.0),
+                                 power::Power::from_watts(1.0), 0.15};
+
+    void validate() const;
+};
+
+/// Battery-driven duty cycling: sleep_quantum() stretches as charge drops.
+class PamasPolicy final : public PowerPolicy {
+public:
+    explicit PamasPolicy(PamasPolicyConfig config);
+
+    [[nodiscard]] std::string_view name() const override { return "pamas"; }
+
+    void on_battery_level(double level) override { level_ = level; }
+
+    [[nodiscard]] Time sleep_quantum() const override {
+        return Time::from_seconds(config_.base_period.to_seconds() * stretch_for(level_));
+    }
+
+    /// Stretch factor the current battery level selects.
+    [[nodiscard]] double current_stretch() const { return stretch_for(level_); }
+    [[nodiscard]] double stretch_for(double level) const;
+    [[nodiscard]] const PamasPolicyConfig& config() const { return config_; }
+
+private:
+    PamasPolicyConfig config_;
+    double level_ = 1.0;
+};
+
+}  // namespace wlanps::policy

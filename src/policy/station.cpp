@@ -1,0 +1,157 @@
+#include "policy/station.hpp"
+
+#include <utility>
+
+#include "obs/energy_ledger.hpp"
+#include "sim/assert.hpp"
+
+namespace wlanps::policy {
+
+using mac::Frame;
+using mac::FrameKind;
+
+PolicyStation::PolicyStation(sim::Simulator& sim, mac::Bss& bss, mac::AccessPoint& ap,
+                             mac::StationId id, PowerPolicy& policy,
+                             PowerPolicyConfig config, mac::DcfConfig dcf,
+                             phy::WlanNicConfig nic_config, sim::Random rng)
+    : sim_(sim),
+      bss_(bss),
+      ap_(ap),
+      id_(id),
+      policy_(policy),
+      config_(std::move(config)),
+      duty_cycle_(policy.sleep_quantum() > Time::zero()),
+      nic_(sim, nic_config,
+           duty_cycle_ ? phy::WlanNic::State::doze : phy::WlanNic::State::idle),
+      dcf_(sim, bss.medium(), nic_, bss, rng.fork(1), dcf),
+      rng_(rng.fork(2)) {
+    WLANPS_REQUIRE_MSG(id != mac::kApId && id != mac::kBroadcast, "reserved station id");
+    if (duty_cycle_) {
+        WLANPS_REQUIRE_MSG(ap.mode() == mac::ApMode::psm,
+                           "duty-cycling policies need a buffering (PSM-mode) AP");
+        battery_.emplace(config_.pamas.battery);
+    }
+    bss_.attach(id, *this);
+}
+
+void PolicyStation::start() {
+    policy_.attach(sim_, nic_, [this] { return may_sleep(); });
+    bss_.register_policy(id_, &policy_);
+    dcf_.set_power_policy(&policy_);
+    bss_.medium().on_idle([this] { policy_.on_nav_clear(); });
+    ap_.on_beacon([this](const std::set<mac::StationId>&) {
+        policy_.on_beacon_tick(sim_.now() + ap_.config().beacon_interval);
+    });
+    if (duty_cycle_) {
+        policy_.on_battery_level(battery_->level());
+        reschedule_cycle();
+    }
+    if (!config_.uplink_period.is_zero()) schedule_uplink();
+}
+
+void PolicyStation::reschedule_cycle() {
+    const Time quantum = policy_.sleep_quantum();
+    WLANPS_REQUIRE_MSG(quantum > Time::zero(), "duty-cycle quantum must stay positive");
+    sim_.post_in(quantum, [this] { cycle(); });
+}
+
+void PolicyStation::cycle() {
+    drain_battery();
+    if (battery_->empty()) {
+        nic_.deep_sleep();  // dead node: radio off, no more cycles
+        return;
+    }
+    ++cycles_;
+    // Probe (free, signaling channel): anything buffered for us?
+    if (ap_.buffered(id_) == 0) {
+        reschedule_cycle();
+        return;
+    }
+    // Close the doze span (idle_listen, matching the PSM convention) and
+    // charge the wake transition + buffer drain to beacon_wake until the
+    // first data frame flips it to burst_rx.
+    nic_.set_energy_cause(obs::EnergyCause::beacon_wake);
+    retrieving_ = true;
+    nic_.wake([this] {
+        ap_.flush_to(id_, [this] {
+            retrieving_ = false;
+            nic_.doze();
+            nic_.set_energy_cause(obs::EnergyCause::idle_listen);
+            drain_battery();
+            reschedule_cycle();
+        });
+    });
+}
+
+void PolicyStation::drain_battery() {
+    const power::Energy total = nic_.energy_consumed();
+    const power::Energy delta = total - drained_;
+    drained_ = total;
+    if (delta > power::Energy::zero()) {
+        battery_->drain(delta, nic_.average_power());
+    }
+    policy_.on_battery_level(battery_->level());
+}
+
+void PolicyStation::on_frame(const Frame& frame) {
+    switch (frame.kind) {
+        case FrameKind::beacon:
+            ++beacons_heard_;
+            return;
+        case FrameKind::data:
+            if (frame.payload.is_zero()) return;
+            ++frames_received_;
+            bytes_received_ += frame.payload;
+            latency_.add((sim_.now() - frame.enqueued_at).to_seconds());
+            if (duty_cycle_) nic_.set_energy_cause(obs::EnergyCause::burst_rx);
+            if (on_receive_) on_receive_(frame.payload, sim_.now() - frame.enqueued_at);
+            return;
+        case FrameKind::ack:
+        case FrameKind::ps_poll:
+        case FrameKind::schedule:
+            return;
+    }
+}
+
+void PolicyStation::send_up(DataSize payload, std::function<void(bool)> done) {
+    ++uplink_in_flight_;
+    auto transmit = [this, payload, done = std::move(done)]() mutable {
+        Frame f;
+        f.kind = FrameKind::data;
+        f.src = id_;
+        f.dst = mac::kApId;
+        f.payload = payload;
+        dcf_.enqueue(std::move(f), [this, payload, done = std::move(done)](
+                                       const mac::DcfTransmitter::Result& r) {
+            --uplink_in_flight_;
+            if (r.delivered) bytes_sent_ += payload;
+            if (done) done(r.delivered);
+            // A duty-cycling station dozes again once its uplink drains
+            // (unless a buffer flush is mid-flight and needs the radio).
+            if (duty_cycle_ && !retrieving_ && may_sleep()) {
+                nic_.doze();
+                nic_.set_energy_cause(obs::EnergyCause::idle_listen);
+            }
+        });
+    };
+    if (!nic_.awake()) {
+        // The host preempts any policy nap; the policy drops its resume
+        // bookkeeping and this wake() drives the radio back up.
+        policy_.on_host_wake();
+        nic_.wake(std::move(transmit));
+    } else {
+        transmit();
+    }
+}
+
+void PolicyStation::schedule_uplink() {
+    // Per-station random phase within the period decorrelates the fleet's
+    // uplink attempts (all-at-once uplinks would collide every period).
+    const Time jitter = config_.uplink_period * rng_.uniform(0.0, 1.0);
+    sim_.post_in(config_.uplink_period + jitter, [this] {
+        send_up(config_.uplink_size);
+        schedule_uplink();
+    });
+}
+
+}  // namespace wlanps::policy

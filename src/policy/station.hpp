@@ -1,0 +1,109 @@
+#pragma once
+/// \file station.hpp
+/// Policy-driven 802.11 client station.
+///
+/// The station handles MAC mechanics only — frame delivery, uplink DCF,
+/// battery accounting — and delegates every sleep decision to an attached
+/// PowerPolicy.  Two operating shapes fall out of the policy's
+/// sleep_quantum():
+///  - zero (μNap): the radio stays associated and idle-listening; the
+///    policy naps it inside NAV/backoff gaps via the MAC hooks.
+///  - positive (PAMAS): the station duty-cycles against a buffering
+///    (PSM-mode) AP — sleep a quantum, wake if traffic is buffered, drain
+///    it, sleep again — re-querying the quantum every cycle so the policy
+///    can stretch it as the battery drains.
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+
+#include "mac/access_point.hpp"
+#include "mac/bss.hpp"
+#include "mac/dcf.hpp"
+#include "mac/frame.hpp"
+#include "phy/wlan_nic.hpp"
+#include "policy/policy.hpp"
+#include "power/battery.hpp"
+#include "sim/random.hpp"
+#include "sim/simulator.hpp"
+#include "sim/stats.hpp"
+
+namespace wlanps::policy {
+
+/// A client station whose radio idle time is owned by a PowerPolicy.
+class PolicyStation final : public mac::MacEntity {
+public:
+    using ReceiveCallback = std::function<void(DataSize payload, Time mac_latency)>;
+
+    PolicyStation(sim::Simulator& sim, mac::Bss& bss, mac::AccessPoint& ap,
+                  mac::StationId id, PowerPolicy& policy, PowerPolicyConfig config,
+                  mac::DcfConfig dcf, phy::WlanNicConfig nic_config, sim::Random rng);
+
+    /// Attach the policy to the radio, register the MAC hooks and begin
+    /// operating (duty cycling / uplink, as configured).
+    void start();
+
+    void set_receive_callback(ReceiveCallback cb) { on_receive_ = std::move(cb); }
+
+    /// Send \p payload upstream to the AP, waking a napping radio first.
+    void send_up(DataSize payload, std::function<void(bool delivered)> done = {});
+
+    [[nodiscard]] mac::StationId id() const { return id_; }
+    [[nodiscard]] PowerPolicy& policy() { return policy_; }
+    [[nodiscard]] const PowerPolicyConfig& config() const { return config_; }
+
+    // Accounting.
+    [[nodiscard]] power::Energy energy_consumed() const { return nic_.energy_consumed(); }
+    [[nodiscard]] power::Power average_power() const { return nic_.average_power(); }
+    [[nodiscard]] std::uint64_t frames_received() const { return frames_received_; }
+    [[nodiscard]] DataSize bytes_received() const { return bytes_received_; }
+    [[nodiscard]] DataSize bytes_sent() const { return bytes_sent_; }
+    [[nodiscard]] std::uint64_t beacons_heard() const { return beacons_heard_; }
+    [[nodiscard]] std::uint64_t cycles() const { return cycles_; }
+    [[nodiscard]] const sim::Accumulator& delivery_latency() const { return latency_; }
+    [[nodiscard]] phy::WlanNic& wlan_nic() { return nic_; }
+    [[nodiscard]] mac::DcfTransmitter& dcf() { return dcf_; }
+    /// Battery, when the policy duty-cycles (nullopt for listen-mode).
+    [[nodiscard]] const power::Battery* battery() const {
+        return battery_ ? &*battery_ : nullptr;
+    }
+
+    // --- MacEntity -----------------------------------------------------
+    [[nodiscard]] phy::WlanNic& nic() override { return nic_; }
+    [[nodiscard]] bool listening() const override { return nic_.awake(); }
+    void on_frame(const mac::Frame& frame) override;
+
+private:
+    [[nodiscard]] bool may_sleep() const {
+        return dcf_.idle() && uplink_in_flight_ == 0;
+    }
+    void cycle();
+    void reschedule_cycle();
+    void drain_battery();
+    void schedule_uplink();
+
+    sim::Simulator& sim_;
+    mac::Bss& bss_;
+    mac::AccessPoint& ap_;
+    mac::StationId id_;
+    PowerPolicy& policy_;
+    PowerPolicyConfig config_;
+    bool duty_cycle_;
+    phy::WlanNic nic_;
+    mac::DcfTransmitter dcf_;
+    sim::Random rng_;
+    std::optional<power::Battery> battery_;
+    power::Energy drained_;
+    ReceiveCallback on_receive_;
+
+    std::uint64_t frames_received_ = 0;
+    DataSize bytes_received_;
+    DataSize bytes_sent_;
+    std::uint64_t beacons_heard_ = 0;
+    std::uint64_t cycles_ = 0;
+    bool retrieving_ = false;
+    int uplink_in_flight_ = 0;
+    sim::Accumulator latency_;
+};
+
+}  // namespace wlanps::policy

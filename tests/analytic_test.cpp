@@ -13,6 +13,7 @@
 #include "core/backend.hpp"
 #include "core/scenario_spec.hpp"
 #include "phy/calibration.hpp"
+#include "policy/policy.hpp"
 #include "sim/assert.hpp"
 
 namespace wlanps::analytic {
@@ -279,6 +280,45 @@ TEST(AnalyticBackendTest, SupportedSpecsReportNoReason) {
         spec.with_stream(stream(2, 60));
         EXPECT_EQ(analytic.unsupported_reason(spec), "") << spec.label();
     }
+}
+
+TEST(AnalyticBackendTest, RejectsEventDrivenPowerPoliciesByName) {
+    // The refusal must name the offending policy and point at the sim
+    // backend, so a user sweeping --policy knows exactly what to change.
+    const struct {
+        policy::PolicyKind kind;
+        const char* name;
+    } refused[] = {{policy::PolicyKind::micro_nap, "micro_nap"},
+                   {policy::PolicyKind::pamas, "pamas"},
+                   {policy::PolicyKind::ecmac, "EC-MAC"}};
+    for (const auto& [kind, name] : refused) {
+        const auto spec = core::ScenarioSpec::cam()
+                              .with_stream(stream(2, 60))
+                              .with_power_policy(policy::PowerPolicyConfig::of(kind));
+        const std::string reason = analytic.unsupported_reason(spec);
+        EXPECT_NE(reason.find(name), std::string::npos) << reason;
+        EXPECT_NE(reason.find("sim backend"), std::string::npos) << reason;
+        EXPECT_THROW((void)analytic.run(spec), ContractViolation);
+    }
+}
+
+TEST(AnalyticBackendTest, AdapterPowerPoliciesMapOntoClosedForms) {
+    for (const auto kind : {policy::PolicyKind::cam, policy::PolicyKind::psm}) {
+        const auto spec = core::ScenarioSpec::cam()
+                              .with_stream(stream(2, 60))
+                              .with_power_policy(policy::PowerPolicyConfig::of(kind));
+        EXPECT_EQ(analytic.unsupported_reason(spec), "") << spec.label();
+        const auto result = analytic.run(spec);
+        ASSERT_EQ(result.clients.size(), 2u);
+        EXPECT_GT(result.clients.front().wnic_average.watts(), 0.0);
+    }
+    // The psm adapter's closed form must agree with the native psm spec.
+    const auto native = analytic.run(core::ScenarioSpec::psm().with_stream(stream(2, 60)));
+    const auto adapted = analytic.run(
+        core::ScenarioSpec::cam().with_stream(stream(2, 60)).with_power_policy(
+            policy::PowerPolicyConfig::of(policy::PolicyKind::psm)));
+    EXPECT_DOUBLE_EQ(adapted.clients.front().wnic_average.watts(),
+                     native.clients.front().wnic_average.watts());
 }
 
 // ---- ScenarioSpec validation -------------------------------------------------------

@@ -223,9 +223,10 @@ TEST(EnergyLedgerTest, ToJsonGolden) {
     const std::string expected =
         "{\"total_j\":1.75,"
         "\"causes\":{\"idle_listen\":1.5,\"beacon_wake\":0,\"burst_rx\":0,"
-        "\"retransmission\":0,\"mode_switch\":0,\"tx\":0.25},"
+        "\"retransmission\":0,\"mode_switch\":0,\"tx\":0.25,\"nav_sleep\":0},"
         "\"clients\":{\"1\":{\"total_j\":1.75,\"idle_listen\":1.5,\"beacon_wake\":0,"
-        "\"burst_rx\":0,\"retransmission\":0,\"mode_switch\":0,\"tx\":0.25}}}";
+        "\"burst_rx\":0,\"retransmission\":0,\"mode_switch\":0,\"tx\":0.25,"
+        "\"nav_sleep\":0}}}";
     EXPECT_EQ(led.to_json(), expected);
 }
 
