@@ -7,6 +7,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
 #include <memory>
 
 #include "channel/ber.hpp"
@@ -14,6 +15,8 @@
 #include "core/scenarios.hpp"
 #include "core/scheduler.hpp"
 #include "exp/runner.hpp"
+#include "fed/federation.hpp"
+#include "obs/health_report.hpp"
 #include "obs/metrics.hpp"
 #include "sim/random.hpp"
 #include "sim/simulator.hpp"
@@ -234,6 +237,14 @@ void BM_ShardedHotspot(benchmark::State& state) {
     // by worker thread count (0 = the inline sequential reference the
     // strict policy is bit-identical to).  Real time, not CPU time: the
     // point is wall-clock speedup of a single simulation.
+    //
+    // WLANPS_BENCH_NO_HEALTH skips the HealthReport attach so
+    // check_perf.sh can price the attached shard telemetry (obs builds
+    // attach it through options.health) against the same binary without
+    // it — a plain-vs-obs comparison would fold in every other
+    // compiled-in obs cost on the sim path.
+    const bool attach_health = std::getenv("WLANPS_BENCH_NO_HEALTH") == nullptr;
+    obs::HealthReport health;
     for (auto _ : state) {
         core::StreamConfig config;
         config.clients = 64;
@@ -242,11 +253,16 @@ void BM_ShardedHotspot(benchmark::State& state) {
         options.bt_available = false;  // 8 clients per cell exceeds a piconet
         options.sharding = core::ShardingConfig{}.with_shards(8).with_threads(
             static_cast<int>(state.range(0)));
+        if (attach_health) options.health = &health;
         auto result = core::SimBackend{}.run(
             core::ScenarioSpec::hotspot().with_stream(config).with_hotspot(options));
         benchmark::DoNotOptimize(result);
     }
     state.SetItemsProcessed(state.iterations() * 10);  // simulated seconds
+    state.counters["shard_imbalance"] = health.imbalance_index;
+    state.counters["barrier_wait_ms"] = static_cast<double>(health.barrier_wait_ns) / 1e6;
+    state.counters["idle_jumps"] = static_cast<double>(health.idle_jumps);
+    state.counters["quanta"] = static_cast<double>(health.quanta);
 }
 BENCHMARK(BM_ShardedHotspot)->Arg(0)->Arg(1)->Arg(2)->Arg(4)->UseRealTime();
 
@@ -255,6 +271,7 @@ void BM_Federation(benchmark::State& state) {
     // admission control on the sharded kernel — by worker thread count
     // (0 = the inline sequential reference strict mode is bit-identical
     // to).  Real time: the point is wall-clock cost of a city-scale run.
+    obs::HealthReport health;
     for (auto _ : state) {
         core::StreamConfig config;
         config.clients = 2000;
@@ -270,11 +287,18 @@ void BM_Federation(benchmark::State& state) {
         fed.flash_arrival_hz = 50.0;
         fed.flash_start = Time::from_seconds(10);
         fed.flash_duration = Time::from_seconds(10);
-        auto result = core::SimBackend{}.run(
+        // run_federation instead of the backend dispatch: the result
+        // carries the kernel health rollup the counters below report.
+        auto fr = fed::run_federation(
             core::ScenarioSpec::federation().with_stream(config).with_federation(fed));
-        benchmark::DoNotOptimize(result);
+        benchmark::DoNotOptimize(fr);
+        health = std::move(fr.health);
     }
     state.SetItemsProcessed(state.iterations() * 30);  // simulated seconds
+    state.counters["shard_imbalance"] = health.imbalance_index;
+    state.counters["barrier_wait_ms"] = static_cast<double>(health.barrier_wait_ns) / 1e6;
+    state.counters["idle_jumps"] = static_cast<double>(health.idle_jumps);
+    state.counters["quanta"] = static_cast<double>(health.quanta);
 }
 BENCHMARK(BM_Federation)->Arg(0)->Arg(1)->Arg(2)->Arg(4)->UseRealTime();
 

@@ -7,8 +7,9 @@
 ///               [--burst KB] [--config NAME] [--backend NAME] [--seed N]
 ///               [--no-bt] [--no-wlan]
 ///               [--fault-plan SPEC] [--recovery PRESET]
-///               [--trace FILE] [--metrics FILE] [--sample-interval S]
-///               [--flight N] [--post-mortem PREFIX] [--post-mortem-threshold S]
+///               [--obs-trace FILE] [--obs-metrics FILE] [--obs-health FILE]
+///               [--obs-stream FILE] [--obs-sample-interval S] [--obs-flight N]
+///               [--obs-post-mortem PREFIX] [--obs-post-mortem-threshold S]
 ///
 ///   --config: hotspot (default) | wlan-cam | wlan-psm | bt | ecmac | mixed
 ///   --policy: run one BSS under a pluggable power policy instead of a
@@ -28,21 +29,38 @@
 ///   --recovery: none (default) | reclaim | rejoin | degrade — what the
 ///            hotspot does about injected faults (liveness reclamation +
 ///            burst repair; + rejoin backoff; + media-proxy degradation)
-///   --trace: write a Chrome trace_event JSON of the NIC power-state lanes
-///            plus a fault lane when a plan is active (hotspot/mixed
-///            configs) — open it at https://ui.perfetto.dev
-///   --metrics: write the run's obs metrics snapshot as flat JSON; always
-///            includes the per-client energy-attribution ledger
-///   --sample-interval: poll queue depth / live clients / per-client
-///            energy every S sim-seconds and export them as counter
-///            tracks in the --trace file (hotspot/mixed configs)
-///   --flight: keep a flight recorder of the last N causal hops
-///            (enqueued/scheduled/polled/tx/retx/rx/doze-wakeup); hops
-///            are recorded only in a -DWLANPS_OBS=ON build and exported
-///            into the --trace file as flow-arrow lanes
-///   --post-mortem: when a fault recovery takes longer than the
-///            threshold, dump the flight recorder's tail to
-///            PREFIX.c<id>.<n>.flight.json (implies --flight 1024)
+/// Observability (every --obs-* flag also accepts its historical
+/// spelling, shown in parentheses):
+///   --obs-trace (--trace): write a Chrome trace_event JSON of the NIC
+///            power-state lanes plus a fault lane when a plan is active
+///            (hotspot/mixed configs) — open it at https://ui.perfetto.dev
+///   --obs-metrics (--metrics): write the run's obs metrics snapshot as
+///            flat JSON; always includes the per-client energy ledger
+///   --obs-health (--health-out): write the kernel health report —
+///            per-shard barrier/imbalance attribution, per-cell rollups
+///            (federation), watchdog reports — as deterministic JSON.
+///            Shard attribution needs a -DWLANPS_OBS=ON build and a
+///            sharded run (--federation, or --config hotspot --shards N)
+///   --obs-stream (--fed-stream): stream federation metrics incrementally
+///            to a compact WPSM binary file (bench_diff.py decodes it)
+///   --obs-sample-interval (--sample-interval): poll queue depth / live
+///            clients / per-client energy every S sim-seconds and export
+///            them as counter tracks in the --obs-trace file; also drives
+///            the watchdog sweep cadence (hotspot/mixed configs)
+///   --obs-flight (--flight): keep a flight recorder of the last N causal
+///            hops (enqueued/scheduled/polled/tx/retx/rx/doze-wakeup);
+///            hops are recorded only in a -DWLANPS_OBS=ON build and
+///            exported into the --obs-trace file as flow-arrow lanes
+///   --obs-post-mortem (--post-mortem): when a fault recovery takes longer
+///            than the threshold, dump the flight recorder's tail to
+///            PREFIX.c<id>.<n>.flight.json (implies --obs-flight 1024)
+///
+/// A runtime invariant watchdog is always armed: federation runs sweep it
+/// at chunk boundaries (burst conservation, slab epoch monotonicity,
+/// ledger drift, fingerprint stability), single-sim runs sweep per-client
+/// energy monotonicity at the --obs-sample-interval cadence plus a final
+/// ledger reconciliation.  Violations print as structured reports (and
+/// land in --obs-health) instead of crashing the run.
 ///
 /// Examples:
 ///   hotspot_cli                               # the Figure 2 hotspot row
@@ -51,10 +69,12 @@
 ///   hotspot_cli --fault-plan "crash@30+15:c1" --recovery rejoin
 ///   hotspot_cli --trace hotspot_trace.json --metrics metrics.json
 
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -68,9 +88,11 @@
 #include "fault/fault.hpp"
 #include "obs/energy_ledger.hpp"
 #include "obs/flight.hpp"
+#include "obs/health_report.hpp"
 #include "obs/hooks.hpp"
 #include "obs/json.hpp"
 #include "obs/trace_export.hpp"
+#include "obs/watchdog.hpp"
 #include "sim/sampler.hpp"
 #include "sim/trace.hpp"
 
@@ -85,12 +107,14 @@ namespace {
                  "          [--policy cam|psm|ecmac|micro_nap|pamas]\n"
                  "          [--backend sim|analytic] [--seed N] [--no-bt] [--no-wlan]\n"
                  "          [--fault-plan SPEC] [--recovery none|reclaim|rejoin|degrade]\n"
-                 "          [--trace FILE] [--metrics FILE] [--sample-interval S]\n"
-                 "          [--flight N] [--post-mortem PREFIX] [--post-mortem-threshold S]\n"
+                 "          [--obs-trace FILE] [--obs-metrics FILE] [--obs-health FILE]\n"
+                 "          [--obs-stream FILE] [--obs-sample-interval S] [--obs-flight N]\n"
+                 "          [--obs-post-mortem PREFIX] [--obs-post-mortem-threshold S]\n"
                  "          [--federation] [--aps N] [--shards N] [--threads N]\n"
                  "          [--roaming DWELL_S] [--admission reject|defer|degrade]\n"
                  "          [--capacity N] [--arrivals HZ] [--flash HZ]\n"
-                 "          [--fed-stream FILE]\n",
+                 "(--trace/--metrics/--health-out/--fed-stream/--sample-interval/--flight/\n"
+                 " --post-mortem[-threshold] are accepted aliases of the --obs-* flags)\n",
                  argv0);
     std::exit(2);
 }
@@ -173,6 +197,21 @@ void print_recovery(const core::ScenarioResult& result) {
     }
 }
 
+void print_watchdog(const obs::Watchdog& w) {
+    if (w.sweeps() == 0 && w.violations() == 0) return;
+    std::printf("\nwatchdog: %zu checks, %llu sweeps, %llu violations\n", w.check_count(),
+                static_cast<unsigned long long>(w.sweeps()),
+                static_cast<unsigned long long>(w.violations()));
+    for (const auto& r : w.reports()) {
+        std::printf("  [%s] @ %.3f s (sweep %llu): %s\n", r.check.c_str(),
+                    static_cast<double>(r.t_ns) / 1e9,
+                    static_cast<unsigned long long>(r.sweep), r.message.c_str());
+        if (!r.flight_dump.empty()) {
+            std::printf("    flight dump: %s\n", r.flight_dump.c_str());
+        }
+    }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -184,11 +223,14 @@ int main(int argc, char** argv) {
     std::string backend_name = "sim";
     std::string trace_path;
     std::string metrics_path;
+    std::string health_path;
     std::string recovery = "none";
     double sample_interval_s = 0.0;
     std::size_t flight_capacity = 0;
     std::string postmortem_prefix;
     double postmortem_threshold_s = 1.0;
+    int shards_flag = -1;
+    int threads_flag = -1;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -228,28 +270,32 @@ int main(int argc, char** argv) {
             }
         } else if (arg == "--recovery") {
             recovery = next();
-        } else if (arg == "--trace") {
+        } else if (arg == "--obs-trace" || arg == "--trace") {
             trace_path = next();
-        } else if (arg == "--metrics") {
+        } else if (arg == "--obs-metrics" || arg == "--metrics") {
             metrics_path = next();
-        } else if (arg == "--sample-interval") {
+        } else if (arg == "--obs-health" || arg == "--health-out") {
+            health_path = next();
+        } else if (arg == "--obs-sample-interval" || arg == "--sample-interval") {
             sample_interval_s = std::atof(next());
             if (sample_interval_s <= 0.0) usage(argv[0]);
-        } else if (arg == "--flight") {
+        } else if (arg == "--obs-flight" || arg == "--flight") {
             flight_capacity = static_cast<std::size_t>(std::atoll(next()));
             if (flight_capacity < 1) usage(argv[0]);
-        } else if (arg == "--post-mortem") {
+        } else if (arg == "--obs-post-mortem" || arg == "--post-mortem") {
             postmortem_prefix = next();
-        } else if (arg == "--post-mortem-threshold") {
+        } else if (arg == "--obs-post-mortem-threshold" || arg == "--post-mortem-threshold") {
             postmortem_threshold_s = std::atof(next());
         } else if (arg == "--federation") {
             kind = "federation";
         } else if (arg == "--aps") {
             fed_options.with_aps(std::atoi(next()));
         } else if (arg == "--shards") {
-            fed_options.with_shards(std::atoi(next()));
+            shards_flag = std::atoi(next());
+            fed_options.with_shards(shards_flag);
         } else if (arg == "--threads") {
-            fed_options.with_threads(std::atoi(next()));
+            threads_flag = std::atoi(next());
+            fed_options.with_threads(threads_flag);
         } else if (arg == "--roaming") {
             fed_options.with_roaming(Time::from_seconds(std::atof(next())));
         } else if (arg == "--admission") {
@@ -265,11 +311,18 @@ int main(int argc, char** argv) {
             fed_options.base_arrival_hz = std::atof(next());
         } else if (arg == "--flash") {
             fed_options.flash_arrival_hz = std::atof(next());
-        } else if (arg == "--fed-stream") {
+        } else if (arg == "--obs-stream" || arg == "--fed-stream") {
             fed_options.with_stream_path(next());
         } else {
             usage(argv[0]);
         }
+    }
+
+    // --shards/--threads name whichever sharded world runs: the federation,
+    // or the sharded hotspot (--config hotspot --shards N).
+    if (kind == "hotspot") {
+        if (shards_flag > 0) options.sharding.with_shards(shards_flag);
+        if (threads_flag >= 0) options.sharding.with_threads(threads_flag);
     }
 
     // Recovery presets stack: reclaim < rejoin < degrade.
@@ -296,6 +349,36 @@ int main(int argc, char** argv) {
     obs::EnergyLedger ledger;
     obs::ScopedEnergyLedger ledger_scope(ledger);
 
+    // The runtime invariant watchdog is always armed: the federation
+    // sweeps it at chunk boundaries (conservation, epoch monotonicity,
+    // ledger drift, fingerprint stability), the single-sim path from the
+    // sampler tick below plus one final ledger reconciliation.
+    obs::Watchdog watchdog;
+    obs::ScopedWatchdog watchdog_scope(watchdog);
+
+    // Per-client energy monotonicity: WNIC energy integrals only grow.
+    // The clients live inside the scenario, so `alive` gates the check to
+    // the window between on_start and inspect.
+    struct EnergyWatch {
+        std::vector<core::HotspotClient*> clients;
+        std::vector<double> prev;
+        bool alive = false;
+    };
+    auto energy_watch = std::make_shared<EnergyWatch>();
+    watchdog.add_check("cli.energy_monotonic", [energy_watch]() -> std::optional<std::string> {
+        if (!energy_watch->alive) return std::nullopt;
+        for (std::size_t i = 0; i < energy_watch->clients.size(); ++i) {
+            const double e = energy_watch->clients[i]->wnic_energy().joules();
+            if (e + 1e-12 < energy_watch->prev[i]) {
+                return "client " + std::to_string(i + 1) + " WNIC energy went backwards (" +
+                       std::to_string(e) + " J after " + std::to_string(energy_watch->prev[i]) +
+                       " J)";
+            }
+            energy_watch->prev[i] = e;
+        }
+        return std::nullopt;
+    });
+
     // Flight recorder + post-mortem dumper (--post-mortem implies a
     // recorder).  Hops are recorded only in a -DWLANPS_OBS=ON build; in
     // other builds the recorder simply stays empty.
@@ -314,6 +397,10 @@ int main(int argc, char** argv) {
             postmortem = std::make_unique<obs::PostMortem>(*flight, pm_cfg);
             postmortem_scope = std::make_unique<obs::ScopedPostMortem>(*postmortem);
         }
+        // A watchdog violation snapshots the flight recorder's tail too.
+        watchdog.set_flight(flight.get(), postmortem_prefix.empty()
+                                              ? std::string("watchdog")
+                                              : postmortem_prefix + ".watchdog");
     }
 
     std::vector<std::unique_ptr<sim::TimelineTrace>> lanes;
@@ -338,6 +425,9 @@ int main(int argc, char** argv) {
         }
         options.on_start = [&](sim::Simulator& s, core::HotspotServer& server,
                                std::vector<core::HotspotClient*>& clients) {
+            energy_watch->clients = clients;
+            energy_watch->prev.assign(clients.size(), 0.0);
+            energy_watch->alive = true;
             if (!trace_path.empty()) {
                 for (std::size_t i = 0; i < clients.size(); ++i) {
                     for (core::BurstChannel* ch : clients[i]->channels()) {
@@ -366,11 +456,23 @@ int main(int argc, char** argv) {
                     sampler->add_track("C" + std::to_string(i + 1) + " battery",
                                        [c] { return c->battery_level(); });
                 }
+                // The sampler tick doubles as the watchdog sweep driver.
+                sim::Simulator* sp = &s;
+                obs::Watchdog* wd = &watchdog;
+                sampler->add_track("watchdog violations", [sp, wd] {
+                    wd->sweep(sp->now().ns());
+                    return static_cast<double>(wd->violations());
+                });
                 sampler->start();
             }
         };
         options.inspect = [&](sim::Simulator& s, core::HotspotServer&,
                               std::vector<core::HotspotClient*>&) {
+            // Last sweep while the clients still exist, then disarm the
+            // energy watch — later sweeps must not chase dead pointers.
+            watchdog.sweep(s.now().ns());
+            energy_watch->alive = false;
+            energy_watch->clients.clear();
             for (auto& lane : lanes) lane->finish(s.now());
             fault_lane.finish(s.now());
             if (sampler) {
@@ -380,6 +482,14 @@ int main(int argc, char** argv) {
             }
         };
     }
+
+    // Kernel health rollup: the sharded hotspot fills this in place; the
+    // federation builds and writes its own report via fed_options.
+    obs::HealthReport health_report;
+    if (kind == "hotspot" && policy_name.empty() && options.sharding.enabled()) {
+        options.health = &health_report;
+    }
+    if (!health_path.empty()) fed_options.with_health_path(health_path);
 
     std::printf("%d client(s), %.0f s, seed %llu\n", config.clients,
                 config.duration.to_seconds(),
@@ -421,15 +531,19 @@ int main(int argc, char** argv) {
             const fed::FederationResult fr = fed::run_federation(spec);
             print(fr.scenario);
             print_population(fr.population);
+            print_watchdog(watchdog);
             if (!fed_options.stream_path.empty()) {
                 std::printf("metrics stream written to %s\n",
                             fed_options.stream_path.c_str());
+            }
+            if (!health_path.empty()) {
+                std::printf("health report written to %s\n", health_path.c_str());
             }
             if (!metrics_path.empty()) {
                 obs::write_json_file(registry.snapshot(), &ledger, metrics_path);
                 std::printf("metrics snapshot written to %s\n", metrics_path.c_str());
             }
-            return 0;
+            return watchdog.healthy() ? 0 : 3;
         }
         const auto backend = analytic::make_backend(backend_name);
         const auto result = backend->run(spec);
@@ -465,9 +579,34 @@ int main(int argc, char** argv) {
             obs::write_json_file(registry.snapshot(), &ledger, metrics_path);
             std::printf("metrics snapshot written to %s\n", metrics_path.c_str());
         }
+        // Final reconciliation: the per-cause ledger telescopes to the
+        // summed WNIC energy integrals.  Analytic runs leave the ledger
+        // empty — nothing to reconcile.
+        if (ledger.total() > 0.0) {
+            double wnic_j = 0.0;
+            for (const auto& c : result.clients) wnic_j += c.wnic_energy.joules();
+            watchdog.add_check(
+                "cli.ledger_reconcile", [&ledger, wnic_j]() -> std::optional<std::string> {
+                    const double drift = ledger.total() - wnic_j;
+                    if (std::fabs(drift) < 1e-6) return std::nullopt;
+                    return "energy ledger total " + std::to_string(ledger.total()) +
+                           " J drifts " + std::to_string(drift) +
+                           " J from summed WNIC energy";
+                });
+            watchdog.sweep(config.duration.ns());
+        }
+        print_watchdog(watchdog);
+        if (!health_path.empty()) {
+            if (options.health == nullptr) {
+                health_report.scope = policy_name.empty() ? kind : "policy-" + policy_name;
+            }
+            health_report.set_watchdog(watchdog);
+            health_report.write_file(health_path);
+            std::printf("health report written to %s\n", health_path.c_str());
+        }
     } catch (const ContractViolation& e) {
         std::fprintf(stderr, "error: %s\n", e.what());
         return 1;
     }
-    return 0;
+    return watchdog.healthy() ? 0 : 3;
 }

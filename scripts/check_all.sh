@@ -19,6 +19,11 @@
 #      mode (asserts per-cell ledger reconciliation within 1e-9 J and
 #      the μNap idle_listen -> nav_sleep reallocation); the policy unit
 #      and determinism tests already ran inside tier-1 ctest
+#   6. scripts/check_health.sh: kernel health telemetry gate — seeded
+#      invariant corruption is caught by the watchdog within one sweep,
+#      clean runs report zero violations, the WPSM golden fixture
+#      decodes byte for byte, and the health JSON is bit-identical
+#      across worker-thread counts
 #
 # Usage: scripts/check_all.sh [build-dir]   (default: build)
 set -euo pipefail
@@ -26,21 +31,24 @@ cd "$(dirname "$0")/.."
 
 BUILD_DIR="${1:-build}"
 
-echo "=== [1/5] tier-1: build + ctest ==="
+echo "=== [1/6] tier-1: build + ctest ==="
 cmake -B "$BUILD_DIR" -S . >/dev/null
 cmake --build "$BUILD_DIR" -j "$(nproc)"
 (cd "$BUILD_DIR" && ctest --output-on-failure -j "$(nproc)")
 
-echo "=== [2/5] ThreadSanitizer ==="
+echo "=== [2/6] ThreadSanitizer ==="
 scripts/check_tsan.sh
 
-echo "=== [3/5] perf regression gate ==="
+echo "=== [3/6] perf regression gate ==="
 scripts/check_perf.sh
 
-echo "=== [4/5] backend cross-validation gate ==="
+echo "=== [4/6] backend cross-validation gate ==="
 scripts/check_xval.sh "$BUILD_DIR"
 
-echo "=== [5/5] policy-ablation gate ==="
+echo "=== [5/6] policy-ablation gate ==="
 "./$BUILD_DIR/bench/bench_ab14_policy_ablation" --quick
+
+echo "=== [6/6] kernel health gate ==="
+scripts/check_health.sh "$BUILD_DIR"
 
 echo "All checks passed."

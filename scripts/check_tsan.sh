@@ -18,7 +18,7 @@ BUILD_DIR="${1:-build-tsan}"
 cmake -B "$BUILD_DIR" -S . -DWLANPS_SANITIZE=thread -DWLANPS_OBS=ON
 cmake --build "$BUILD_DIR" -j "$(nproc)" \
     --target exp_runner_test sim_simulator_test sim_calendar_queue_test obs_test \
-    sim_sharded_test fed_federation_test
+    sim_sharded_test fed_federation_test obs_health_test
 "./$BUILD_DIR/tests/exp_runner_test"
 "./$BUILD_DIR/tests/sim_simulator_test"
 "./$BUILD_DIR/tests/sim_calendar_queue_test"
@@ -32,4 +32,9 @@ cmake --build "$BUILD_DIR" -j "$(nproc)" \
 # thread-invariance tests run the full roam/fault machinery at 1/2/4
 # workers.
 "./$BUILD_DIR/tests/fed_federation_test"
+# Health telemetry stages per-quantum counters in shard fields the
+# workers write and the coordinator reads back across the barrier; its
+# across-thread bit-identity tests run that handoff at 1/2/4 workers
+# with watchdog sweeps live.
+"./$BUILD_DIR/tests/obs_health_test"
 echo "TSan check passed."

@@ -25,13 +25,19 @@
 #     power-policy x fault-intensity grid (per-cell energy causes, QoS,
 #     reconciliation error) is embedded under "policy_ablation".
 #
+#   * BM_ShardedHotspot and BM_Federation attach a HealthReport and emit
+#     shard_imbalance / barrier_wait_ms / idle_jumps / quanta counters;
+#     those are lifted out of the google-benchmark blob into a
+#     "kernel_health" section so the shard-balance trajectory is
+#     greppable PR over PR.
+#
 # Usage: scripts/run_bench.sh [build-dir] [output.json]
-#   (defaults: build, BENCH_9.json)
+#   (defaults: build, BENCH_10.json)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BUILD_DIR="${1:-build}"
-OUT="${2:-BENCH_9.json}"
+OUT="${2:-BENCH_10.json}"
 METRICS_OUT="$(dirname "$OUT")/metrics.json"
 
 cmake --build "$BUILD_DIR" -j "$(nproc)" >/dev/null
@@ -108,6 +114,22 @@ with open(xval_json) as f:
 with open(ab14_json) as f:
     merged["policy_ablation"] = json.load(f)
 
+# Kernel health telemetry: the sharded and federation benches attach a
+# HealthReport and surface its deterministic rollup as benchmark
+# counters; lift them into their own section keyed by benchmark name.
+HEALTH_COUNTERS = ("shard_imbalance", "barrier_wait_ms", "idle_jumps", "quanta")
+kernel_health = {}
+for b in kernel.get("benchmarks", []):
+    name = b.get("name", "")
+    if not name.endswith("_median"):
+        continue
+    if not (name.startswith("BM_ShardedHotspot/") or name.startswith("BM_Federation")):
+        continue
+    picked = {k: b[k] for k in HEALTH_COUNTERS if k in b}
+    if picked:
+        kernel_health[name.removesuffix("_median")] = picked
+merged["kernel_health"] = kernel_health
+
 with open(out, "w") as f:
     json.dump(merged, f, indent=2)
     f.write("\n")
@@ -142,5 +164,8 @@ cells = merged["policy_ablation"]["cells"]
 worst_recon = max(c["recon_err_j"] for c in cells)
 print(f"policy_ablation: {len(cells)} cells, "
       f"worst ledger reconciliation {worst_recon:.1e} J")
+for name, counters in sorted(kernel_health.items()):
+    parts = ", ".join(f"{k} {v:.4g}" for k, v in sorted(counters.items()))
+    print(f"kernel_health {name}: {parts}")
 print(f"wrote {out}")
 PY

@@ -35,6 +35,10 @@ namespace wlanps::sim {
 class Simulator;
 }
 
+namespace wlanps::obs {
+struct HealthReport;
+}
+
 namespace wlanps::core {
 
 class HotspotServer;
@@ -181,6 +185,10 @@ struct HotspotConfig {
     /// Sharded multi-cell execution (disabled by default).  Incompatible
     /// with the proxy/rejoin/fault machinery — validate() enforces it.
     ShardingConfig sharding;
+    /// Filled with the kernel health rollup after a sharded run (must
+    /// outlive the run; ignored by the single-kernel paths).  Simulation
+    /// backend only.
+    obs::HealthReport* health = nullptr;
 
     HotspotConfig& with_scheduler(std::string v) { scheduler = std::move(v); return *this; }
     HotspotConfig& with_target_burst(DataSize v) { target_burst = v; return *this; }
@@ -288,6 +296,10 @@ struct FederationConfig {
     /// Optional path for the streaming binary metrics export (obs
     /// metrics_stream.hpp); empty = no stream written.
     std::string stream_path;
+    /// Optional path for the deterministic kernel health report JSON
+    /// (obs/health_report.hpp); empty = no file written.  The rollup is
+    /// always available in FederationResult::health.
+    std::string health_path;
 
     FederationConfig& with_aps(int v) { aps = v; return *this; }
     FederationConfig& with_shards(int v) { shards = v; return *this; }
@@ -318,6 +330,7 @@ struct FederationConfig {
     FederationConfig& with_radio_goodput(Rate v) { radio_goodput = v; return *this; }
     FederationConfig& with_backhaul_rate(Rate v) { backhaul_rate = v; return *this; }
     FederationConfig& with_sample_stride(int v) { sample_stride = v; return *this; }
+    FederationConfig& with_health_path(std::string v) { health_path = std::move(v); return *this; }
     FederationConfig& with_stream_path(std::string v) {
         stream_path = std::move(v);
         return *this;

@@ -13,7 +13,9 @@
 #include "core/scenario_obs.hpp"
 #include "core/scheduler.hpp"
 #include "fault/injector.hpp"
+#include "obs/health_report.hpp"
 #include "obs/hooks.hpp"
+#include "obs/watchdog.hpp"
 #include "phy/calibration.hpp"
 #include "phy/wlan_nic.hpp"
 #include "sim/assert.hpp"
@@ -260,6 +262,16 @@ ScenarioResult sim_sharded_hotspot(const StreamConfig& config, const HotspotConf
         std::max<std::size_t>(1024, static_cast<std::size_t>(config.clients) * 4);
     sim::ShardedSimulator shx(kernel);
 
+#if defined(WLANPS_OBS_ENABLED)
+    // Per-quantum shard attribution: attached whenever a metrics registry
+    // is scoped or the caller asked for a health rollup.
+    std::unique_ptr<obs::ShardTelemetry> telemetry;
+    if (obs::current() != nullptr || options.health != nullptr) {
+        telemetry = std::make_unique<obs::ShardTelemetry>(shard_count);
+        shx.attach_telemetry(telemetry.get());
+    }
+#endif
+
     sim::Random root(config.seed);
 
 #if defined(WLANPS_OBS_ENABLED)
@@ -475,7 +487,9 @@ ScenarioResult sim_sharded_hotspot(const StreamConfig& config, const HotspotConf
     for (const auto& inj : injectors) result.faults_injected += inj->injected_total();
 
     if (obs::MetricsRegistry* reg = obs::current()) {
-        shx.publish_metrics(*reg);
+        // Timing (wall-clock) series stay out of the registry so the
+        // snapshot is bit-identical across worker-thread counts.
+        shx.publish_metrics(*reg, /*include_timing=*/false);
         reg->counter("sim.kernel.events_dispatched").add(shx.total_dispatched());
         reg->counter("core.sharded.deadline_misses").add(planner.deadline_misses());
         for (auto& nic : wlan_nics) nic->publish_metrics(*reg, "phy.wlan");
@@ -494,6 +508,13 @@ ScenarioResult sim_sharded_hotspot(const StreamConfig& config, const HotspotConf
             }
         }
 #endif
+    }
+    if (options.health != nullptr) {
+        shx.fill_health(*options.health);
+        options.health->scope = "sharded-hotspot";
+        if (const obs::Watchdog* wd = obs::current_watchdog()) {
+            options.health->set_watchdog(*wd);
+        }
     }
     record_client_obs(result);
     return result;

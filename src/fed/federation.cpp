@@ -6,6 +6,7 @@
 
 #include "fed/ap_cell.hpp"
 #include "obs/energy_ledger.hpp"
+#include "obs/hooks.hpp"
 #include "obs/metrics_stream.hpp"
 #include "phy/calibration.hpp"
 #include "sim/assert.hpp"
@@ -62,6 +63,15 @@ Federation::Federation(const core::ScenarioSpec& spec, std::uint64_t seed)
     // Worst case every client roams inside one quantum.
     kcfg.mailbox_capacity = std::max<std::size_t>(4096, population_);
     kernel_ = std::make_unique<sim::ShardedSimulator>(kcfg);
+#if defined(WLANPS_OBS_ENABLED)
+    // Per-quantum attribution whenever someone is listening (a scoped
+    // registry or an explicit health file); unattached kernels skip the
+    // timing reads entirely.
+    if (obs::current() != nullptr || !config_.health_path.empty()) {
+        telemetry_ = std::make_unique<obs::ShardTelemetry>(kcfg.shards);
+        kernel_->attach_telemetry(telemetry_.get());
+    }
+#endif
     if (!config_.stream_path.empty()) {
         stream_state_ = std::make_unique<StreamState>(config_.stream_path);
     }
@@ -295,26 +305,158 @@ PopulationSummary Federation::summarize(Time horizon) {
     return p;
 }
 
+void Federation::register_watchdog_checks(obs::Watchdog& watchdog) {
+    // Burst conservation, continuously: mid-run some admitted bursts are
+    // still in flight, so the sweep invariant is completed + shed <=
+    // admitted (the final sweep demands equality).  Plain columns are
+    // safe to scan: sweeps run between chunks with the workers parked.
+    watchdog.add_check("fed.conservation", [this]() -> std::optional<std::string> {
+        std::uint64_t admitted = 0;
+        std::uint64_t resolved = 0;
+        for (std::size_t i = 0; i < population_; ++i) {
+            admitted += slab_->bursts_admitted[i];
+            resolved += static_cast<std::uint64_t>(slab_->bursts_completed[i]) +
+                        slab_->bursts_shed[i];
+        }
+        if (resolved <= admitted) return std::nullopt;
+        return "bursts completed+shed " + std::to_string(resolved) +
+               " exceeds admitted " + std::to_string(admitted);
+    });
+    // Slab epoch monotonicity: epochs only ever bump forward; a rewind
+    // means torn ownership transfer.  Relaxed loads — epochs are atomic
+    // precisely so non-owners may read them.
+    watchdog.add_check(
+        "fed.slab_epoch",
+        [this, prev = std::vector<std::uint16_t>(population_, 0)]() mutable
+        -> std::optional<std::string> {
+            for (std::size_t i = 0; i < population_; ++i) {
+                const std::uint16_t now_epoch = slab_->epoch_of(i);
+                if (now_epoch < prev[i]) {
+                    return "client " + std::to_string(i) + " epoch rewound " +
+                           std::to_string(prev[i]) + " -> " + std::to_string(now_epoch);
+                }
+                prev[i] = now_epoch;
+            }
+            return std::nullopt;
+        });
+    // Slab state validity: the state byte must be a ClientState.
+    watchdog.add_check("fed.slab_state", [this]() -> std::optional<std::string> {
+        for (std::size_t i = 0; i < population_; ++i) {
+            const auto raw = static_cast<std::uint8_t>(slab_->state_of(i));
+            if (raw > static_cast<std::uint8_t>(ClientState::departed)) {
+                return "client " + std::to_string(i) + " state byte " +
+                       std::to_string(raw) + " out of range";
+            }
+        }
+        return std::nullopt;
+    });
+}
+
+void Federation::register_final_checks(obs::Watchdog& watchdog,
+                                       const PopulationSummary& pop, Time horizon) {
+    // Exact conservation at teardown — the invariant WLANPS_REQUIRE used
+    // to crash on; with a watchdog attached it reports instead.
+    watchdog.add_check("fed.conservation_final",
+                       [pop]() -> std::optional<std::string> {
+                           if (pop.conserved()) return std::nullopt;
+                           return "admitted " + std::to_string(pop.bursts_admitted) +
+                                  " != completed " + std::to_string(pop.bursts_completed) +
+                                  " + shed " + std::to_string(pop.bursts_shed);
+                       });
+    // Energy-ledger telescoping: for every stride-sampled client, the
+    // cause-resolved cells must telescope back to the slab's accrued
+    // energy within 1e-9 J (the ledger reconciliation contract).
+    watchdog.add_check("fed.ledger_drift", [this]() -> std::optional<std::string> {
+        const auto stride = static_cast<std::uint32_t>(config_.sample_stride);
+        for (std::uint32_t id = 0; id < population_; id += stride) {
+            const auto& causes = sampled_causes_[id / stride];
+            const double telescoped = causes[0] + causes[1] + causes[2];
+            const double drift = std::abs(telescoped - slab_->energy_j[id]);
+            if (drift >= 1e-9) {
+                return "client " + std::to_string(id) + " cause sum drifts " +
+                       std::to_string(drift) + " J from accrued energy";
+            }
+        }
+        return std::nullopt;
+    });
+    // Fingerprint stability: re-reducing the parked population must
+    // reproduce the fingerprint bit for bit (summarize is idempotent once
+    // the roaming accrual caught up).  A mismatch means state mutated
+    // after the barrier — exactly the class of bug strict mode forbids.
+    watchdog.add_check("fed.fingerprint",
+                       [this, pop, horizon]() -> std::optional<std::string> {
+                           const std::uint64_t again = summarize(horizon).fingerprint;
+                           if (again == pop.fingerprint) return std::nullopt;
+                           return "population fingerprint unstable across reductions";
+                       });
+}
+
+obs::HealthReport Federation::build_health(const PopulationSummary& pop,
+                                           const obs::Watchdog* watchdog) const {
+    obs::HealthReport health;
+    health.scope = "federation";
+    kernel_->fill_health(health);
+    health.per_cell.reserve(cells_.size());
+    for (std::uint32_t ap = 0; ap < cells_.size(); ++ap) {
+        const ApCell& cell = *cells_[ap];
+        obs::CellHealth c;
+        c.cell = ap;
+        c.shard = static_cast<std::uint32_t>(shard_of_ap(ap));
+        c.arrivals = cell.arrivals();
+        c.departures = cell.departures();
+        c.rejected = cell.rejected();
+        c.deferred = cell.deferred();
+        c.degraded = cell.degraded();
+        c.faults_injected = cell.faults_injected();
+        c.faults_missed = cell.faults_missed();
+        c.peak_association = cell.peak_association();
+        health.per_cell.push_back(c);
+    }
+    health.has_population = true;
+    health.population = pop.population;
+    health.bursts_admitted = pop.bursts_admitted;
+    health.bursts_completed = pop.bursts_completed;
+    health.bursts_shed = pop.bursts_shed;
+    health.conserved = pop.conserved();
+    health.fingerprint = pop.fingerprint;
+    if (watchdog != nullptr) health.set_watchdog(*watchdog);
+    return health;
+}
+
 FederationResult Federation::run() {
     const Time end = stream_.duration;
-    if (stream_state_) {
+    obs::Watchdog* wd = obs::current_watchdog();
+    if (wd != nullptr) register_watchdog_checks(*wd);
+    if (stream_state_ || wd != nullptr) {
         // Chunked horizons: run_until clamps each quantum, so strict-mode
-        // results are bit-identical to one uninterrupted run.
+        // results are bit-identical to one uninterrupted run.  The chunk
+        // boundaries double as watchdog sweeps: workers are parked, so
+        // the checks may scan every shard's state.
         const std::int64_t chunk = std::max<std::int64_t>(end.ns() / 64, 1);
         Time t = Time::zero();
         while (t < end) {
             t = Time::from_ns(std::min(end.ns(), t.ns() + chunk));
             kernel_->run_until(t);
             write_stream_samples(t);
+            if (wd != nullptr) wd->sweep(t.ns());
         }
     } else {
         kernel_->run_until(end);
     }
     for (auto& cell : cells_) cell->teardown(end);
     const PopulationSummary pop = summarize(end);
-    WLANPS_REQUIRE_MSG(pop.conserved(),
-                       "federation burst conservation violated: admitted != "
-                       "completed + shed");
+    if (wd != nullptr) {
+        // One teardown sweep over the periodic checks plus the
+        // teardown-only ones; a violated invariant becomes a structured
+        // report (and flight dump) instead of a crash, so the health
+        // report below still reaches the operator.
+        register_final_checks(*wd, pop, end);
+        wd->sweep(end.ns());
+    } else {
+        WLANPS_REQUIRE_MSG(pop.conserved(),
+                           "federation burst conservation violated: admitted != "
+                           "completed + shed");
+    }
 
     core::ScenarioResult res;
     res.label = label_;
@@ -345,6 +487,8 @@ FederationResult Federation::run() {
             ledger->charge(id, obs::EnergyCause::burst_rx, causes[2]);
         }
     }
+
+    obs::HealthReport health = build_health(pop, wd);
 
     if (stream_state_) {
         auto& w = stream_state_->writer;
@@ -378,10 +522,19 @@ FederationResult Federation::run() {
                      static_cast<float>(qos), slab_->bursts_completed[id],
                      slab_->bursts_shed[id]);
         }
+        health.export_stream(w);
         w.flush();
     }
 
-    return {std::move(res), pop};
+    if (!config_.health_path.empty()) health.write_file(config_.health_path);
+    // Timing (wall-clock) series stay out of the registry so the snapshot
+    // is bit-identical across worker-thread counts; health.to_json(true)
+    // carries them for callers that want the wall-clock attribution.
+    if (obs::MetricsRegistry* reg = obs::current()) {
+        kernel_->publish_metrics(*reg, /*include_timing=*/false);
+    }
+
+    return {std::move(res), pop, std::move(health)};
 }
 
 FederationResult run_federation(const core::ScenarioSpec& spec) {

@@ -25,6 +25,8 @@
 
 #include "core/scenario_spec.hpp"
 #include "fed/client_slab.hpp"
+#include "obs/health_report.hpp"
+#include "obs/watchdog.hpp"
 #include "sim/random.hpp"
 #include "sim/sharded.hpp"
 
@@ -64,10 +66,12 @@ struct PopulationSummary {
 };
 
 /// One federation run's outputs: the backend-shaped ScenarioResult
-/// (stride-sampled clients) plus the population reduction.
+/// (stride-sampled clients), the population reduction, and the kernel
+/// health rollup (shard/cell attribution, watchdog state).
 struct FederationResult {
     core::ScenarioResult scenario;
     PopulationSummary population;
+    obs::HealthReport health;
 };
 
 /// Owns the kernel, the slab, and the cells for one run.  Single-use:
@@ -112,6 +116,18 @@ private:
     void plan_faults();
     [[nodiscard]] PopulationSummary summarize(Time horizon);
     void write_stream_samples(Time at);
+    /// Register the continuously-swept invariants (burst conservation,
+    /// slab epoch monotonicity, slab state validity) with \p watchdog.
+    /// Checks read cross-shard state, so sweeps must come from the owning
+    /// thread between run_until() chunks (workers parked).
+    void register_watchdog_checks(obs::Watchdog& watchdog);
+    /// Register the teardown-time invariants (exact conservation,
+    /// energy-ledger telescoping drift, fingerprint stability) against
+    /// the finished run's \p pop; swept once after summarize().
+    void register_final_checks(obs::Watchdog& watchdog, const PopulationSummary& pop,
+                               Time horizon);
+    [[nodiscard]] obs::HealthReport build_health(const PopulationSummary& pop,
+                                                 const obs::Watchdog* watchdog) const;
 
     core::FederationConfig config_;
     core::StreamConfig stream_;
@@ -124,6 +140,9 @@ private:
     std::vector<std::array<double, 3>> sampled_causes_;
     // Streaming export (optional).
     std::unique_ptr<class StreamState> stream_state_;
+    // Per-quantum kernel attribution, attached when an obs registry is
+    // scoped or a health path is requested (WLANPS_OBS builds only).
+    std::unique_ptr<obs::ShardTelemetry> telemetry_;
 };
 
 /// Run one federation scenario end to end.  The entry point

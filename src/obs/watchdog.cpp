@@ -1,0 +1,91 @@
+#include "obs/watchdog.hpp"
+
+#include <fstream>
+#include <utility>
+
+#include "obs/json.hpp"
+#include "sim/assert.hpp"
+
+namespace wlanps::obs {
+
+namespace {
+
+thread_local Watchdog* t_watchdog = nullptr;
+
+}  // namespace
+
+std::string to_json(const WatchdogReport& report) {
+    std::string out = "{\"check\":\"" + json_escape(report.check) + "\"";
+    out += ",\"t_ns\":" + std::to_string(report.t_ns);
+    out += ",\"sweep\":" + std::to_string(report.sweep);
+    out += ",\"message\":\"" + json_escape(report.message) + "\"";
+    out += ",\"flight_dump\":\"" + json_escape(report.flight_dump) + "\"}";
+    return out;
+}
+
+void Watchdog::add_check(std::string name, Check check) {
+    WLANPS_REQUIRE_MSG(static_cast<bool>(check), "null watchdog check");
+    WLANPS_REQUIRE_MSG(!name.empty(), "watchdog check needs a name");
+    checks_.push_back(Entry{std::move(name), std::move(check), false});
+}
+
+void Watchdog::set_flight(const FlightRecorder* recorder, std::string path_prefix,
+                          std::size_t last_n, std::size_t max_dumps) {
+    flight_ = recorder;
+    flight_prefix_ = std::move(path_prefix);
+    flight_last_n_ = last_n;
+    flight_max_dumps_ = max_dumps;
+}
+
+std::size_t Watchdog::sweep(std::int64_t t_ns) {
+    ++sweeps_;
+    std::size_t caught = 0;
+    for (Entry& entry : checks_) {
+        if (entry.tripped) continue;
+        std::optional<std::string> violation = entry.check();
+        if (!violation.has_value()) continue;
+        entry.tripped = true;
+        ++caught;
+        WatchdogReport report;
+        report.check = entry.name;
+        report.message = std::move(*violation);
+        report.t_ns = t_ns;
+        report.sweep = sweeps_;
+        if (flight_ != nullptr && flight_dumps_ < flight_max_dumps_) {
+            report.flight_dump = flight_prefix_ + "." + entry.name + "." +
+                                 std::to_string(flight_dumps_) + ".flight.json";
+            std::ofstream out(report.flight_dump, std::ios::trunc);
+            if (out) {
+                out << flight_->dump_json(flight_last_n_) << "\n";
+                ++flight_dumps_;
+            } else {
+                report.flight_dump.clear();  // diagnosis must not kill the run
+            }
+        }
+        reports_.push_back(std::move(report));
+    }
+    return caught;
+}
+
+std::string Watchdog::to_json() const {
+    std::string out = "{\"checks\":" + std::to_string(checks_.size());
+    out += ",\"sweeps\":" + std::to_string(sweeps_);
+    out += ",\"violations\":" + std::to_string(reports_.size());
+    out += ",\"reports\":[";
+    for (std::size_t i = 0; i < reports_.size(); ++i) {
+        if (i > 0) out += ",";
+        out += obs::to_json(reports_[i]);
+    }
+    out += "]}";
+    return out;
+}
+
+Watchdog* current_watchdog() noexcept { return t_watchdog; }
+
+ScopedWatchdog::ScopedWatchdog(Watchdog& watchdog) : previous_(t_watchdog) {
+    t_watchdog = &watchdog;
+}
+
+ScopedWatchdog::~ScopedWatchdog() { t_watchdog = previous_; }
+
+}  // namespace wlanps::obs

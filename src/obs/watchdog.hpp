@@ -1,0 +1,116 @@
+#pragma once
+/// \file watchdog.hpp
+/// Runtime invariant watchdogs: cheap periodic checks that turn a
+/// would-be WLANPS_REQUIRE crash at teardown into a structured, timed
+/// report while the run keeps going.
+///
+/// A Watchdog holds a registry of named checks — pure predicates over
+/// simulation state that return a violation message or nothing.  A sweep
+/// driver (a SimSampler track for single-kernel runs, the federation's
+/// chunk-boundary loop for sharded ones) calls sweep(sim_now_ns) from the
+/// owning thread; every violation becomes a WatchdogReport carrying the
+/// check name, the sim time of the catching sweep, and — when a
+/// FlightRecorder is wired in — the path of a post-mortem flight dump
+/// written at the moment of detection.  A tripped check latches: the
+/// invariant is already broken, so repeated sweeps do not repeat the
+/// report.
+///
+/// Gating follows EnergyLedger, not the WLANPS_OBS macros: the classes
+/// are always compiled, and cost nothing unless a scope installs one
+/// (current_watchdog() is a thread-local pointer check at the sweep
+/// driver only — never on the event hot path).
+///
+/// Everything here is std-only so it can live in the wlanps_obs core.
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "obs/flight.hpp"
+
+namespace wlanps::obs {
+
+/// One caught invariant violation.
+struct WatchdogReport {
+    std::string check;        ///< registered check name
+    std::string message;      ///< what the check saw
+    std::int64_t t_ns = 0;    ///< sim time of the catching sweep
+    std::uint64_t sweep = 0;  ///< 1-based index of the catching sweep
+    std::string flight_dump;  ///< post-mortem dump path, empty when none
+};
+
+/// Deterministic JSON for one report:
+///   {"check":"...","t_ns":...,"sweep":...,"message":"...","flight_dump":"..."}
+[[nodiscard]] std::string to_json(const WatchdogReport& report);
+
+/// Named invariant checks + the reports their sweeps produced.
+/// Single-threaded: register and sweep from the owning thread only
+/// (between run_until() calls — checks may scan cross-shard state).
+class Watchdog {
+public:
+    /// A check inspects simulation state and returns std::nullopt when the
+    /// invariant holds, or a human-readable violation message.  Checks
+    /// must be pure observers: mutating simulation state from a sweep
+    /// would make the watchdog itself a determinism hazard.
+    using Check = std::function<std::optional<std::string>()>;
+
+    void add_check(std::string name, Check check);
+    [[nodiscard]] std::size_t check_count() const { return checks_.size(); }
+
+    /// Wire a flight recorder: each violation dumps the recorder's last
+    /// \p last_n events to "<prefix>.<check>.<k>.flight.json" (at most
+    /// \p max_dumps files per watchdog), recorded in the report.
+    void set_flight(const FlightRecorder* recorder, std::string path_prefix,
+                    std::size_t last_n = 256, std::size_t max_dumps = 8);
+
+    /// Run every registered (non-tripped) check once at sim time \p t_ns.
+    /// Returns the number of new violations this sweep.
+    std::size_t sweep(std::int64_t t_ns);
+
+    [[nodiscard]] std::uint64_t sweeps() const { return sweeps_; }
+    [[nodiscard]] std::uint64_t violations() const { return reports_.size(); }
+    [[nodiscard]] bool healthy() const { return reports_.empty(); }
+    [[nodiscard]] const std::vector<WatchdogReport>& reports() const { return reports_; }
+
+    /// Deterministic JSON of the whole watchdog state:
+    ///   {"checks":N,"sweeps":S,"violations":V,"reports":[...]}
+    [[nodiscard]] std::string to_json() const;
+
+private:
+    struct Entry {
+        std::string name;
+        Check check;
+        bool tripped = false;
+    };
+
+    std::vector<Entry> checks_;
+    std::vector<WatchdogReport> reports_;
+    std::uint64_t sweeps_ = 0;
+    const FlightRecorder* flight_ = nullptr;
+    std::string flight_prefix_;
+    std::size_t flight_last_n_ = 256;
+    std::size_t flight_max_dumps_ = 8;
+    std::size_t flight_dumps_ = 0;
+};
+
+/// The watchdog sweep drivers consult, or nullptr when no scope is
+/// active.  Thread-local, like obs::current() and current_ledger().
+[[nodiscard]] Watchdog* current_watchdog() noexcept;
+
+/// RAII scope installing \p watchdog as the thread's watchdog; restores
+/// the previous one (scopes nest) on destruction.
+class ScopedWatchdog {
+public:
+    explicit ScopedWatchdog(Watchdog& watchdog);
+    ~ScopedWatchdog();
+    ScopedWatchdog(const ScopedWatchdog&) = delete;
+    ScopedWatchdog& operator=(const ScopedWatchdog&) = delete;
+
+private:
+    Watchdog* previous_;
+};
+
+}  // namespace wlanps::obs

@@ -4,6 +4,7 @@
 #include <chrono>
 #include <utility>
 
+#include "obs/health_report.hpp"
 #include "sim/assert.hpp"
 
 namespace wlanps::sim {
@@ -139,10 +140,40 @@ Time ShardedSimulator::next_work_time() {
     return earliest;
 }
 
+void ShardedSimulator::run_one_shard(Shard& sh, Time quantum_end) {
+#if defined(WLANPS_OBS_ENABLED)
+    if (telemetry_ != nullptr) {
+        const std::uint64_t events_before = sh.sim.events_dispatched();
+        if (time_this_quantum_) {
+            const std::uint64_t t0 = steady_ns();
+            sh.sim.run_until(quantum_end);
+            sh.q_dispatch_ns = steady_ns() - t0;
+        } else {
+            // Untimed quantum (timing stride): event counts stay exact,
+            // the clock stays cold.
+            sh.sim.run_until(quantum_end);
+            sh.q_dispatch_ns = 0;
+        }
+        sh.q_events = sh.sim.events_dispatched() - events_before;
+        return;
+    }
+#endif
+    sh.sim.run_until(quantum_end);
+}
+
 void ShardedSimulator::run_shard_span(std::size_t worker, Time quantum_end) {
     for (std::size_t i = worker; i < shards_.size(); i += worker_count_) {
-        shards_[i]->sim.run_until(quantum_end);
+        run_one_shard(*shards_[i], quantum_end);
     }
+}
+
+void ShardedSimulator::record_quantum_telemetry() {
+    for (std::size_t i = 0; i < shards_.size(); ++i) {
+        const Shard& sh = *shards_[i];
+        telemetry_->record_shard(i, sh.q_events, sh.q_dispatch_ns, sh.q_flush_ns,
+                                 sh.stats.cross_received - sh.q_cross_base);
+    }
+    telemetry_->commit_quantum();
 }
 
 void ShardedSimulator::run_quantum(Time quantum_end) {
@@ -153,10 +184,38 @@ void ShardedSimulator::run_quantum(Time quantum_end) {
     // making delivery timing depend on shard visit order — which differs
     // between inline and parallel execution.  A separate flush phase sees
     // exactly the messages of completed quanta, in every mode.
+#if defined(WLANPS_OBS_ENABLED)
+    if (telemetry_ != nullptr) {
+        // Timing stride: two steady_clock reads per shard per quantum are
+        // the dominant telemetry cost, so only every stride-th quantum is
+        // timed (ShardTelemetry scales the samples back up).  Workers read
+        // time_this_quantum_ after the generation handoff under
+        // pool_mutex_, so the write here happens-before their use.
+        time_this_quantum_ = quantum_seq_ % telemetry_->timing_stride() == 0;
+        ++quantum_seq_;
+        for (auto& sh : shards_) {
+            sh->q_cross_base = sh->stats.cross_received;
+            if (time_this_quantum_) {
+                const std::uint64_t t0 = steady_ns();
+                flush_inbox(*sh);
+                sh->q_flush_ns = steady_ns() - t0;
+            } else {
+                flush_inbox(*sh);
+                sh->q_flush_ns = 0;
+            }
+        }
+    } else {
+        for (auto& sh : shards_) flush_inbox(*sh);
+    }
+#else
     for (auto& sh : shards_) flush_inbox(*sh);
+#endif
     if (worker_count_ == 0) {
         // Inline reference execution: shards in index order on this thread.
-        for (auto& sh : shards_) sh->sim.run_until(quantum_end);
+        for (auto& sh : shards_) run_one_shard(*sh, quantum_end);
+#if defined(WLANPS_OBS_ENABLED)
+        if (telemetry_ != nullptr) record_quantum_telemetry();
+#endif
         return;
     }
     {
@@ -172,8 +231,17 @@ void ShardedSimulator::run_quantum(Time quantum_end) {
     const std::uint64_t all_done = steady_ns();
     for (std::size_t w = 0; w < worker_count_; ++w) {
         const std::uint64_t finished = worker_finish_ns_[w];
-        barrier_wait_ns_.record(static_cast<double>(all_done - std::min(finished, all_done)));
+        const std::uint64_t waited = all_done - std::min(finished, all_done);
+        barrier_wait_ns_.record(static_cast<double>(waited));
+#if defined(WLANPS_OBS_ENABLED)
+        if (telemetry_ != nullptr) telemetry_->record_barrier_wait(waited);
+#endif
     }
+#if defined(WLANPS_OBS_ENABLED)
+    // The workers' q_* staging writes happen-before this read via the
+    // acq_rel countdown the done_cv_ wait acquired.
+    if (telemetry_ != nullptr) record_quantum_telemetry();
+#endif
     std::exception_ptr error;
     {
         std::lock_guard<std::mutex> lock2(error_mutex_);
@@ -227,7 +295,10 @@ void ShardedSimulator::run_until(Time horizon) {
         // shards agree on this minimum, so the jump is deterministic.
         Time start = now_;
         const Time frontier = next_work_time();
-        if (frontier > start) start = std::min(frontier, horizon);
+        if (frontier > start) {
+            start = std::min(frontier, horizon);
+            ++idle_jumps_;
+        }
         Time quantum_end = start + quantum;
         if (quantum_end > horizon || quantum_end < start) quantum_end = horizon;
         run_quantum(quantum_end);
@@ -249,7 +320,8 @@ std::uint64_t ShardedSimulator::total_dispatched() const {
     return total;
 }
 
-void ShardedSimulator::publish_metrics(obs::MetricsRegistry& registry) const {
+void ShardedSimulator::publish_metrics(obs::MetricsRegistry& registry,
+                                       bool include_timing) const {
     obs::Histogram& dispatched = registry.histogram("sim.shard.dispatched");
     obs::Gauge& depth_peak = registry.gauge("sim.shard.mailbox_depth_peak");
     obs::Gauge& depth_now = registry.gauge("sim.shard.mailbox_depth");
@@ -267,7 +339,70 @@ void ShardedSimulator::publish_metrics(obs::MetricsRegistry& registry) const {
     registry.counter("sim.shard.cross_events").add(cross);
     registry.counter("sim.shard.cross_late").add(late);
     registry.counter("sim.shard.quanta").add(quanta_);
-    registry.histogram("sim.shard.barrier_wait_ns").merge_from(barrier_wait_ns_);
+    registry.counter("sim.shard.idle_jumps").add(idle_jumps_);
+    if (include_timing) {
+        registry.histogram("sim.shard.barrier_wait_ns").merge_from(barrier_wait_ns_);
+    }
+    if (telemetry_ != nullptr) {
+        telemetry_->publish(registry);
+        if (include_timing) telemetry_->publish_timing(registry);
+    }
+}
+
+void ShardedSimulator::fill_health(obs::HealthReport& report) const {
+    report.policy = to_string(config_.policy);
+    report.shards = shards_.size();
+    report.workers = worker_count_;
+    report.quanta = quanta_;
+    report.idle_jumps = idle_jumps_;
+    report.events = 0;
+    report.per_shard.clear();
+    report.per_shard.reserve(shards_.size());
+    std::uint64_t max_shard_events = 0;
+    for (std::size_t i = 0; i < shards_.size(); ++i) {
+        const Shard& sh = *shards_[i];
+        obs::ShardHealth h;
+        h.shard = static_cast<std::uint32_t>(i);
+        h.events = sh.sim.events_dispatched();
+        h.cross_sent = sh.stats.cross_sent;
+        h.cross_received = sh.stats.cross_received;
+        h.cross_late = sh.stats.cross_late;
+        h.mailbox_peak = sh.stats.mailbox_peak;
+        h.max_skew_ns = sh.stats.max_skew_ns;
+        report.events += h.events;
+        max_shard_events = std::max(max_shard_events, h.events);
+        report.per_shard.push_back(h);
+    }
+
+    const obs::ShardTelemetry* tel = telemetry_;
+    if (tel != nullptr && tel->quanta() > 0) {
+        for (std::size_t i = 0; i < shards_.size(); ++i) {
+            const obs::ShardTelemetry::Lane& lane = tel->lane(i);
+            report.per_shard[i].busy_quanta = lane.busy_quanta;
+            report.per_shard[i].max_events_quantum = lane.max_events_quantum;
+            report.per_shard[i].dispatch_ns = lane.dispatch_ns;
+            report.per_shard[i].flush_ns = lane.flush_ns;
+        }
+        report.imbalance_index = tel->imbalance_index();
+        report.skew_count = tel->skew().count();
+        report.skew_mean = tel->skew().mean();
+        report.skew_max = tel->skew().max();
+        report.barrier_wait_ns = tel->total_barrier_wait_ns();
+        report.dispatch_ns = tel->total_dispatch_ns();
+        report.flush_ns = tel->total_flush_ns();
+        report.imbalance_index_ns = tel->imbalance_index_ns();
+    } else {
+        // No per-quantum attribution (plain build, or telemetry never
+        // attached): the whole-run max/mean across shards still flags a
+        // statically imbalanced decomposition.
+        report.imbalance_index =
+            report.events == 0
+                ? 0.0
+                : static_cast<double>(max_shard_events) /
+                      (static_cast<double>(report.events) /
+                       static_cast<double>(shards_.size()));
+        report.barrier_wait_ns = static_cast<std::uint64_t>(barrier_wait_ns_.sum());
+    }
 }
 
 }  // namespace wlanps::sim

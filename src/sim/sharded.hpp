@@ -38,9 +38,14 @@
 #include <vector>
 
 #include "obs/metrics.hpp"
+#include "obs/shard_telemetry.hpp"
 #include "sim/callback.hpp"
 #include "sim/simulator.hpp"
 #include "sim/time.hpp"
+
+namespace wlanps::obs {
+struct HealthReport;
+}  // namespace wlanps::obs
 
 namespace wlanps::sim {
 
@@ -137,17 +142,35 @@ public:
     // --- accounting -------------------------------------------------------
     [[nodiscard]] ShardStats stats(std::size_t i) const;
     [[nodiscard]] std::uint64_t quanta() const { return quanta_; }
+    /// Quanta whose start was fast-forwarded over an empty window.
+    [[nodiscard]] std::uint64_t idle_jumps() const { return idle_jumps_; }
     [[nodiscard]] std::uint64_t total_dispatched() const;
     /// Per-worker idle time at each quantum barrier (threads > 0 only).
     [[nodiscard]] const obs::Histogram& barrier_wait_ns() const { return barrier_wait_ns_; }
 
+    /// Attach per-quantum attribution (obs/shard_telemetry.hpp).  The
+    /// telemetry object must outlive every run_until(); recording sites
+    /// compile to nothing unless the build sets WLANPS_OBS_ENABLED, so an
+    /// attached telemetry stays empty in plain builds.  Pass nullptr to
+    /// detach.  Call from the owning thread between runs.
+    void attach_telemetry(obs::ShardTelemetry* telemetry) { telemetry_ = telemetry; }
+    [[nodiscard]] obs::ShardTelemetry* telemetry() const { return telemetry_; }
+
     /// Fold sharded-execution metrics into \p registry:
     ///   sim.shard.dispatched (histogram across shards),
     ///   sim.shard.mailbox_depth_peak / .mailbox_depth (gauges),
-    ///   sim.shard.cross_events / .cross_late / .quanta (counters),
-    ///   sim.shard.barrier_wait_ns, sim.shard.skew_ns (histograms).
+    ///   sim.shard.cross_events / .cross_late / .quanta /
+    ///   .idle_jumps (counters), sim.shard.skew_ns and — only with
+    ///   \p include_timing — sim.shard.barrier_wait_ns (histograms).
     /// Call from the owning thread after run_until().
-    void publish_metrics(obs::MetricsRegistry& registry) const;
+    void publish_metrics(obs::MetricsRegistry& registry, bool include_timing = true) const;
+
+    /// Fill the kernel section of \p report: shard/worker/quantum counts,
+    /// per-shard rollups (ShardStats always; telemetry lanes and the
+    /// wall-clock timing section when telemetry ran), and the imbalance
+    /// index — per-quantum when telemetry ran, whole-run otherwise.
+    /// Call from the owning thread after run_until().
+    void fill_health(obs::HealthReport& report) const;
 
 private:
     struct CrossEvent {
@@ -173,11 +196,22 @@ private:
         std::mutex inbox_mutex;
         std::vector<CrossEvent> inbox;       // guarded by inbox_mutex
         Time inbox_min = Time::max();        // guarded by inbox_mutex
+
+        // Per-quantum telemetry staging, written by the shard's driver
+        // during the quantum (the barrier's acq_rel handoff publishes it
+        // to the coordinator) and read back after the barrier.  Only
+        // touched when telemetry is attached in an obs build.
+        std::uint64_t q_events = 0;
+        std::uint64_t q_dispatch_ns = 0;
+        std::uint64_t q_flush_ns = 0;
+        std::uint64_t q_cross_base = 0;  // cross_received before this flush
     };
 
     void flush_inbox(Shard& sh);
+    void run_one_shard(Shard& sh, Time quantum_end);
     void run_shard_span(std::size_t worker, Time quantum_end);
     void run_quantum(Time quantum_end);
+    void record_quantum_telemetry();
     [[nodiscard]] Time next_work_time();
     void start_workers();
     void worker_loop(std::size_t worker);
@@ -186,7 +220,14 @@ private:
     std::vector<std::unique_ptr<Shard>> shards_;
     Time now_ = Time::zero();
     std::uint64_t quanta_ = 0;
+    std::uint64_t idle_jumps_ = 0;
     obs::Histogram barrier_wait_ns_;  // recorded by the owning thread
+    obs::ShardTelemetry* telemetry_ = nullptr;  // optional, owned by the caller
+    // Telemetry timing stride (obs builds): set by the coordinator at the
+    // top of each quantum, read by shard drivers under the barrier's
+    // happens-before.
+    std::uint64_t quantum_seq_ = 0;
+    bool time_this_quantum_ = false;
 
     // Worker pool (threads > 0), started lazily on the first run_until.
     std::size_t worker_count_ = 0;

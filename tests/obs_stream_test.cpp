@@ -1,0 +1,144 @@
+/// \file obs_stream_test.cpp
+/// WPSM metrics-stream golden round-trip.  The writer's byte output is
+/// pinned by a checked-in fixture (tests/data/wpsm_golden.bin), the
+/// in-memory reader decodes the fixture back, and scripts/check_health.sh
+/// diffs scripts/bench_diff.py's decode of the same bytes against
+/// tests/data/wpsm_golden.json — so the C++ writer, the C++ reader, and
+/// the python decoder are all pinned to one another.  HealthReport's
+/// stream export rides the same frames and is round-tripped here too.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "obs/health_report.hpp"
+#include "obs/metrics_stream.hpp"
+
+using namespace wlanps;
+
+namespace {
+
+#if !defined(WLANPS_SOURCE_DIR)
+#error "tests need WLANPS_SOURCE_DIR (set in tests/CMakeLists.txt)"
+#endif
+
+std::string fixture_path() {
+    return std::string(WLANPS_SOURCE_DIR) + "/tests/data/wpsm_golden.bin";
+}
+
+/// The exact stream the fixture pins.  If the WPSM format ever changes,
+/// regenerate the fixture by running this against tests/data/ and update
+/// tests/data/wpsm_golden.json to match (see scripts/check_health.sh).
+void write_golden(const std::string& path) {
+    obs::MetricsStreamWriter w(path);
+    const std::uint32_t live = w.define_series("clients.live");
+    const std::uint32_t energy = w.define_series("energy.j");
+    w.sample(live, 1'000'000'000, 3.0);
+    w.sample(energy, 1'000'000'000, 0.5);
+    w.sample(live, 2'000'000'000, 5.0);
+    w.sample(energy, 2'000'000'000, 1.25);
+    w.sample(live, 3'000'000'000, 4.0);
+    w.summary("population", 42.0);
+    w.summary("health.imbalance_index", 1.25);
+    w.client(7, 1.5F, 0.875F, 12, 1);
+    w.client(9, 2.5F, 1.0F, 20, 0);
+    w.flush();
+}
+
+std::string slurp(const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return buf.str();
+}
+
+}  // namespace
+
+TEST(ObsStreamGoldenTest, WriterReproducesCheckedInFixtureByteForByte) {
+    const std::string tmp = ::testing::TempDir() + "wpsm_roundtrip.bin";
+    write_golden(tmp);
+    const std::string produced = slurp(tmp);
+    const std::string golden = slurp(fixture_path());
+    ASSERT_FALSE(produced.empty());
+    ASSERT_FALSE(golden.empty()) << "missing fixture " << fixture_path();
+    EXPECT_TRUE(produced == golden)
+        << "WPSM writer output drifted from tests/data/wpsm_golden.bin ("
+        << produced.size() << " vs " << golden.size() << " bytes)";
+    std::remove(tmp.c_str());
+}
+
+TEST(ObsStreamGoldenTest, ReaderDecodesTheFixture) {
+    const obs::MetricsStreamContents c = obs::read_metrics_stream(fixture_path());
+    ASSERT_EQ(c.series_names.size(), 2u);
+    EXPECT_EQ(c.series_names[0], "clients.live");
+    EXPECT_EQ(c.series_names[1], "energy.j");
+
+    ASSERT_EQ(c.samples.size(), 5u);
+    EXPECT_EQ(c.samples[0].series, 0u);
+    EXPECT_EQ(c.samples[0].t_ns, 1'000'000'000);
+    EXPECT_DOUBLE_EQ(c.samples[0].value, 3.0);
+    EXPECT_EQ(c.samples[3].series, 1u);
+    EXPECT_DOUBLE_EQ(c.samples[3].value, 1.25);
+    EXPECT_EQ(c.samples[4].t_ns, 3'000'000'000);
+
+    ASSERT_EQ(c.summaries.size(), 2u);
+    EXPECT_EQ(c.summaries[0].first, "population");
+    EXPECT_DOUBLE_EQ(c.summaries[0].second, 42.0);
+    EXPECT_EQ(c.summaries[1].first, "health.imbalance_index");
+    EXPECT_DOUBLE_EQ(c.summaries[1].second, 1.25);
+
+    ASSERT_EQ(c.clients.size(), 2u);
+    EXPECT_EQ(c.clients[0].id, 7u);
+    EXPECT_FLOAT_EQ(c.clients[0].energy_j, 1.5F);
+    EXPECT_FLOAT_EQ(c.clients[0].qos, 0.875F);
+    EXPECT_EQ(c.clients[0].bursts_completed, 12u);
+    EXPECT_EQ(c.clients[0].bursts_shed, 1u);
+    EXPECT_EQ(c.clients[1].id, 9u);
+    EXPECT_EQ(c.clients[1].bursts_completed, 20u);
+    EXPECT_EQ(c.clients[1].bursts_shed, 0u);
+}
+
+TEST(ObsStreamGoldenTest, HealthReportSummariesRideTheStream) {
+    obs::HealthReport report;
+    report.scope = "test";
+    report.quanta = 120;
+    report.idle_jumps = 7;
+    report.events = 4242;
+    report.imbalance_index = 1.5;
+    obs::ShardHealth sh;
+    sh.shard = 0;
+    sh.events = 4000;
+    sh.mailbox_peak = 3;
+    report.per_shard.push_back(sh);
+    sh.shard = 1;
+    sh.events = 242;
+    sh.mailbox_peak = 1;
+    report.per_shard.push_back(sh);
+
+    const std::string tmp = ::testing::TempDir() + "wpsm_health.bin";
+    {
+        obs::MetricsStreamWriter w(tmp);
+        report.export_stream(w);
+        w.flush();
+    }
+    const obs::MetricsStreamContents c = obs::read_metrics_stream(tmp);
+    std::remove(tmp.c_str());
+
+    auto summary = [&](const std::string& key) -> double {
+        for (const auto& [k, v] : c.summaries) {
+            if (k == key) return v;
+        }
+        ADD_FAILURE() << "summary key missing: " << key;
+        return -1.0;
+    };
+    EXPECT_DOUBLE_EQ(summary("health.quanta"), 120.0);
+    EXPECT_DOUBLE_EQ(summary("health.idle_jumps"), 7.0);
+    EXPECT_DOUBLE_EQ(summary("health.events"), 4242.0);
+    EXPECT_DOUBLE_EQ(summary("health.imbalance_index"), 1.5);
+    EXPECT_DOUBLE_EQ(summary("health.watchdog_violations"), 0.0);
+    EXPECT_DOUBLE_EQ(summary("health.shard0.events"), 4000.0);
+    EXPECT_DOUBLE_EQ(summary("health.shard1.mailbox_peak"), 1.0);
+}
